@@ -1,0 +1,140 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md's experiment index) and registers
+   one Bechamel test per experiment measuring the harness itself.
+
+   Usage:
+     dune exec bench/main.exe                 -- all experiments, ref size
+     dune exec bench/main.exe -- --size test  -- fast smoke sizes
+     dune exec bench/main.exe -- --only F2,F8 -- a subset
+     dune exec bench/main.exe -- --no-bechamel
+*)
+
+module Experiments = Sdt_harness.Experiments
+module Table = Sdt_harness.Table
+module Run = Sdt_harness.Run
+
+let parse_args () =
+  let size = ref `Ref in
+  let only = ref None in
+  let bechamel = ref true in
+  let csv_dir = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--size" :: "test" :: rest ->
+        size := `Test;
+        go rest
+    | "--size" :: "ref" :: rest ->
+        size := `Ref;
+        go rest
+    | "--only" :: ids :: rest ->
+        only := Some (String.split_on_char ',' ids);
+        go rest
+    | "--no-bechamel" :: rest ->
+        bechamel := false;
+        go rest
+    | "--csv" :: dir :: rest ->
+        csv_dir := Some dir;
+        go rest
+    | arg :: _ ->
+        Printf.eprintf
+          "unknown argument %S\n\
+           usage: bench [--size test|ref] [--only T1,F2,...] [--csv DIR] \
+           [--no-bechamel]\n"
+          arg;
+        exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!size, !only, !bechamel, !csv_dir)
+
+let selected only =
+  match only with
+  | None -> Experiments.experiments
+  | Some ids ->
+      List.filter_map
+        (fun id ->
+          match Experiments.find (String.trim id) with
+          | Some e -> Some e
+          | None ->
+              Printf.eprintf "unknown experiment id %S\n" id;
+              exit 2)
+        ids
+
+let run_experiments size csv_dir exps =
+  Option.iter
+    (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
+    csv_dir;
+  List.iter
+    (fun (e : Experiments.experiment) ->
+      let t0 = Sys.time () in
+      let tables = e.Experiments.run size in
+      List.iter Table.print tables;
+      Option.iter
+        (fun dir ->
+          List.iteri
+            (fun i t ->
+              let path =
+                Filename.concat dir
+                  (Printf.sprintf "%s%s.csv" e.Experiments.id
+                     (if i = 0 then "" else Printf.sprintf "_%d" i))
+              in
+              Out_channel.with_open_text path (fun oc ->
+                  Out_channel.output_string oc (Table.to_csv t)))
+            tables)
+        csv_dir;
+      Printf.printf "[%s: %s — %.1fs]\n\n%!" e.Experiments.id
+        e.Experiments.title (Sys.time () -. t0))
+    exps
+
+(* One Bechamel test per experiment: each measures one end-to-end
+   evaluation of that experiment at the smoke size (the experiments are
+   deterministic simulations, so wall time per evaluation is the
+   quantity of interest). *)
+let bechamel_tests exps =
+  let open Bechamel in
+  List.map
+    (fun (e : Experiments.experiment) ->
+      Test.make ~name:e.Experiments.id
+        (Staged.stage (fun () ->
+             Run.clear_cache ();
+             ignore (e.Experiments.run `Test))))
+    exps
+
+let run_bechamel exps =
+  let open Bechamel in
+  let open Toolkit in
+  let tests = Test.make_grouped ~name:"experiments" (bechamel_tests exps) in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:8 ~quota:(Time.second 1.0) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline
+    "== Bechamel: wall time per experiment evaluation (smoke size) ==";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> x
+        | Some [] | None -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-28s %10.2f ms/run\n" name (ns /. 1e6))
+    (List.sort compare !rows);
+  print_newline ()
+
+let () =
+  let size, only, bechamel, csv_dir = parse_args () in
+  let exps = selected only in
+  Printf.printf
+    "SDT indirect-branch mechanism evaluation (%s size, %d experiments)\n\n%!"
+    (match size with `Test -> "test" | `Ref -> "ref")
+    (List.length exps);
+  run_experiments size csv_dir exps;
+  if bechamel then run_bechamel exps

@@ -1,0 +1,1 @@
+bin/via_asm.ml: Arg Cmd Cmdliner Filename Printf Sdt_isa Term

@@ -1,0 +1,1 @@
+bin/via_asm.mli:

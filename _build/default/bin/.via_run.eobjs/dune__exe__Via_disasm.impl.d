@@ -1,0 +1,1 @@
+bin/via_disasm.ml: Arg Cmd Cmdliner Printf Sdt_isa Term

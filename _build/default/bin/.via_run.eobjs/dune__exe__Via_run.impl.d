@@ -1,0 +1,1 @@
+bin/via_run.ml: Arg Cmd Cmdliner Filename Format List Printf Sdt_core Sdt_isa Sdt_machine Sdt_march Sdt_workloads String Term

@@ -1,0 +1,39 @@
+(* via_asm: assemble VIA assembly source to an image file. *)
+
+open Cmdliner
+
+let run input output listing =
+  match Sdt_isa.Assembler.assemble_file input with
+  | exception Sdt_isa.Assembler.Error { line; msg } ->
+      Printf.eprintf "%s:%d: %s\n" input line msg;
+      1
+  | program ->
+      let out =
+        match output with
+        | Some o -> o
+        | None -> Filename.remove_extension input ^ ".img"
+      in
+      Sdt_isa.Image.save out program;
+      if listing then print_string (Sdt_isa.Disasm.listing program);
+      Printf.printf "wrote %s (%d bytes, entry 0x%x)\n" out
+        (Sdt_isa.Program.size_bytes program)
+        program.Sdt_isa.Program.entry;
+      0
+
+let input =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.via"
+       ~doc:"Assembly source.")
+
+let output =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT"
+       ~doc:"Output image path (default: FILE.img).")
+
+let listing =
+  Arg.(value & flag & info [ "l"; "listing" ] ~doc:"Print a disassembly listing.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "via_asm" ~doc:"assemble VIA source to an image")
+    Term.(const run $ input $ output $ listing)
+
+let () = exit (Cmd.eval' cmd)

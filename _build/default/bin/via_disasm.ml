@@ -1,0 +1,23 @@
+(* via_disasm: disassemble a VIA image file. *)
+
+open Cmdliner
+
+let run input =
+  match Sdt_isa.Image.load input with
+  | exception Sdt_isa.Image.Error msg ->
+      Printf.eprintf "%s: %s\n" input msg;
+      1
+  | program ->
+      print_string (Sdt_isa.Disasm.listing program);
+      0
+
+let input =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+       ~doc:"Image produced by via_asm.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "via_disasm" ~doc:"disassemble a VIA image")
+    Term.(const run $ input)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,297 @@
+(* via_run: run a VIA program (assembly source, image, or named
+   workload), natively or under the software dynamic translator, on a
+   chosen architecture model, printing program output and statistics. *)
+
+module Arch = Sdt_march.Arch
+module Timing = Sdt_march.Timing
+module Machine = Sdt_machine.Machine
+module Loader = Sdt_machine.Loader
+module Config = Sdt_core.Config
+module Stats = Sdt_core.Stats
+module Runtime = Sdt_core.Runtime
+module Suite = Sdt_workloads.Suite
+
+open Cmdliner
+
+let load_program file workload size =
+  match (file, workload) with
+  | Some path, None ->
+      if Filename.check_suffix path ".via" then
+        Sdt_isa.Assembler.assemble_file path
+      else Sdt_isa.Image.load path
+  | None, Some name -> (
+      match Suite.find name with
+      | Some e -> Suite.program e size
+      | None ->
+          Printf.eprintf "unknown workload %S; available: %s\n" name
+            (String.concat ", " Suite.names);
+          exit 2)
+  | Some _, Some _ | None, None ->
+      prerr_endline "exactly one of FILE or --workload is required";
+      exit 2
+
+let mechanism_of mech ibtc_entries sieve_buckets inline miss_policy ways =
+  match mech with
+  | "dispatch" -> Config.Dispatch
+  | "ibtc" ->
+      Config.Ibtc
+        {
+          Config.default_ibtc with
+          entries = ibtc_entries;
+          ways;
+          inline_lookup = inline;
+          miss = (if miss_policy = "full" then Config.Full_switch else Config.Fast_reload);
+        }
+  | "ibtc-per-branch" ->
+      Config.Ibtc
+        { Config.default_ibtc with shared = false; per_site_entries = ibtc_entries }
+  | "sieve" -> Config.Sieve { buckets = sieve_buckets; insert_at_head = true }
+  | other ->
+      Printf.eprintf "unknown mechanism %S\n" other;
+      exit 2
+
+let returns_of returns =
+  match returns with
+  | "as-ib" -> Config.As_ib
+  | "retcache" -> Config.Return_cache { entries = 4096 }
+  | "shadow" -> Config.Shadow_stack { depth = 1024 }
+  | "fast" -> Config.Fast_return
+  | other ->
+      Printf.eprintf "unknown return policy %S\n" other;
+      exit 2
+
+let run file workload size_name native arch_name mech ibtc_entries
+    sieve_buckets inline miss_policy returns pred no_link traces ways
+    profile_ib shepherd show_stats trace_steps dump_frags max_steps =
+  let size = if size_name = "ref" then `Ref else `Test in
+  let program = load_program file workload size in
+  let arch =
+    match Arch.by_name arch_name with
+    | Some a -> a
+    | None ->
+        Printf.eprintf "unknown architecture %S (archA, archB, ideal)\n"
+          arch_name;
+        exit 2
+  in
+  let timing = Timing.create arch in
+  let traced m =
+    (* single-step the first N instructions, printing a disassembly
+       trace, then continue at full speed *)
+    if trace_steps > 0 then begin
+      let steps = ref 0 in
+      while Machine.exit_code m = None && !steps < trace_steps do
+        let pc = m.Machine.pc in
+        let i = Sdt_machine.Memory.fetch m.Machine.mem pc in
+        Printf.eprintf "%8d  %08x  %s
+" !steps pc
+          (Sdt_isa.Disasm.inst ~pc i);
+        Machine.step m;
+        incr steps
+      done
+    end
+  in
+  if native then begin
+    let m = Loader.load ~timing program in
+    traced m;
+    Machine.run ~max_steps m;
+    print_string (Machine.output m);
+    Printf.printf "\n--- native on %s ---\n" arch.Arch.name;
+    Printf.printf "instructions: %d\n" m.Machine.c.Machine.instructions;
+    Printf.printf "cycles:       %d\n" (Timing.cycles timing);
+    Printf.printf "indirect branches: %d\n" (Machine.ib_dynamic_count m);
+    Printf.printf "checksum:     0x%08x\n" m.Machine.checksum;
+    Printf.printf "exit code:    %s\n"
+      (match Machine.exit_code m with Some c -> string_of_int c | None -> "-");
+    0
+  end
+  else begin
+    let cfg =
+      {
+        Config.default with
+        mech = mechanism_of mech ibtc_entries sieve_buckets inline miss_policy ways;
+        returns = returns_of returns;
+        pred_depth = pred;
+        link_direct = not no_link;
+        follow_direct_jumps = traces;
+        profile_ib_sites = profile_ib;
+        shepherd;
+      }
+    in
+    let rt = Runtime.create ~cfg ~arch ~timing program in
+    (* with --trace, translate the entry block first (a zero-step run
+       raises the step-limit error after doing exactly that), then
+       single-step from the fragment cache *)
+    if trace_steps > 0 then (
+      try Runtime.run ~max_steps:0 rt with Machine.Error _ -> ());
+    (try
+       traced (Runtime.machine rt);
+       Runtime.run ~max_steps rt
+     with Runtime.Policy_violation { target } ->
+       Printf.printf "POLICY VIOLATION: control transfer to %#x blocked\n"
+         target);
+    let m = Runtime.machine rt in
+    print_string (Machine.output m);
+    Printf.printf "\n--- SDT %s on %s ---\n" (Config.describe cfg) arch.Arch.name;
+    Printf.printf "machine steps: %d\n" m.Machine.c.Machine.instructions;
+    Printf.printf "cycles:        %d\n" (Timing.cycles timing);
+    Printf.printf "runtime cycles: %d\n" (Timing.runtime_cycles timing);
+    Printf.printf "code bytes:    %d\n" (Runtime.code_bytes rt);
+    Printf.printf "checksum:      0x%08x\n" m.Machine.checksum;
+    Printf.printf "exit code:     %s\n"
+      (match Machine.exit_code m with Some c -> string_of_int c | None -> "-");
+    if show_stats then Format.printf "%a@." Stats.pp (Runtime.stats rt);
+    if dump_frags then begin
+      let frags = Runtime.fragments rt in
+      let symbols = program.Sdt_isa.Program.symbols in
+      let nearest pc =
+        List.fold_left
+          (fun best (n, a) ->
+            if a <= pc then
+              match best with
+              | Some (_, ba) when ba >= a -> best
+              | _ -> Some (n, a)
+            else best)
+          None symbols
+      in
+      print_endline "--- fragment map (emission order) ---";
+      let ends =
+        List.tl (List.map snd frags) @ [ 0x0040_0000 + Runtime.code_bytes rt ]
+      in
+      List.iter2
+        (fun (app, frag) fin ->
+          Printf.printf "fragment %08x <- app %08x %s (%d bytes)\n" frag app
+            (match nearest app with
+            | Some (n, a) -> Printf.sprintf "(%s+0x%x)" n (app - a)
+            | None -> "")
+            (fin - frag);
+          let mem = (Runtime.machine rt).Machine.mem in
+          let rec dis pc =
+            if pc < fin && pc < frag + 64 then begin
+              Printf.printf "    %08x  %s\n" pc
+                (Sdt_isa.Disasm.inst ~pc (Sdt_machine.Memory.fetch mem pc));
+              dis (pc + 4)
+            end
+          in
+          dis frag)
+        frags ends
+    end;
+    if profile_ib then begin
+      let symbols = program.Sdt_isa.Program.symbols in
+      let nearest pc =
+        List.fold_left
+          (fun best (n, a) ->
+            if a <= pc then
+              match best with
+              | Some (_, ba) when ba >= a -> best
+              | _ -> Some (n, a)
+            else best)
+          None symbols
+      in
+      print_endline "--- hottest indirect-branch sites ---";
+      List.iteri
+        (fun i (pc, count) ->
+          if i < 10 && count > 0 then
+            Printf.printf "  %08x %-20s %d\n" pc
+              (match nearest pc with
+              | Some (n, a) -> Printf.sprintf "%s+0x%x" n (pc - a)
+              | None -> "?")
+              count)
+        (Runtime.ib_site_profile rt)
+    end;
+    0
+  end
+
+let file =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE"
+       ~doc:"VIA assembly source (.via) or image file.")
+
+let workload =
+  Arg.(value & opt (some string) None & info [ "workload"; "w" ] ~docv:"NAME"
+       ~doc:"Run a named benchmark workload instead of a file.")
+
+let size_name =
+  Arg.(value & opt string "test" & info [ "size" ] ~docv:"SIZE"
+       ~doc:"Workload size: test or ref.")
+
+let native =
+  Arg.(value & flag & info [ "native"; "n" ]
+       ~doc:"Run natively (no translation).")
+
+let arch_name =
+  Arg.(value & opt string "archA" & info [ "arch" ] ~docv:"ARCH"
+       ~doc:"Architecture model: archA, archB or ideal.")
+
+let mech =
+  Arg.(value & opt string "ibtc" & info [ "mech"; "m" ] ~docv:"MECH"
+       ~doc:"IB mechanism: dispatch, ibtc, ibtc-per-branch or sieve.")
+
+let ibtc_entries =
+  Arg.(value & opt int 4096 & info [ "ibtc-entries" ] ~docv:"N"
+       ~doc:"IBTC entries (power of two).")
+
+let sieve_buckets =
+  Arg.(value & opt int 4096 & info [ "sieve-buckets" ] ~docv:"N"
+       ~doc:"Sieve buckets (power of two).")
+
+let inline =
+  Arg.(value & opt bool true & info [ "inline" ]
+       ~doc:"Inline the IBTC probe at each site (vs shared routine).")
+
+let miss_policy =
+  Arg.(value & opt string "fast" & info [ "miss" ] ~docv:"POLICY"
+       ~doc:"IBTC miss policy: fast or full.")
+
+let returns =
+  Arg.(value & opt string "retcache" & info [ "returns"; "r" ] ~docv:"POLICY"
+       ~doc:"Return handling: as-ib, retcache, shadow or fast.")
+
+let pred =
+  Arg.(value & opt int 0 & info [ "pred" ] ~docv:"DEPTH"
+       ~doc:"Inline target prediction depth (0-4).")
+
+let no_link =
+  Arg.(value & flag & info [ "no-link" ]
+       ~doc:"Disable direct-branch fragment linking.")
+
+let traces =
+  Arg.(value & flag & info [ "traces" ]
+       ~doc:"Superblock formation: translate through direct jumps.")
+
+let ways =
+  Arg.(value & opt int 1 & info [ "ways" ] ~docv:"N"
+       ~doc:"IBTC associativity (1 or 2).")
+
+let profile_ib =
+  Arg.(value & flag & info [ "profile-ib" ]
+       ~doc:"Instrument every IB site with an execution counter and print the hottest sites.")
+
+let shepherd =
+  Arg.(value & flag & info [ "shepherd" ]
+       ~doc:"Enforce a control-flow policy: transfers may only enter the text segment.")
+
+let trace_steps =
+  Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N"
+       ~doc:"Single-step the first N instructions, printing a disassembly trace to stderr.")
+
+let dump_frags =
+  Arg.(value & flag & info [ "dump-frags" ]
+       ~doc:"After the run, dump the fragment map with a disassembly of each fragment's head.")
+
+let show_stats =
+  Arg.(value & flag & info [ "stats"; "s" ] ~doc:"Print SDT statistics.")
+
+let max_steps =
+  Arg.(value & opt int 2_000_000_000 & info [ "max-steps" ] ~docv:"N"
+       ~doc:"Step budget before aborting.")
+
+let cmd =
+  let doc = "run VIA programs natively or under the software dynamic translator" in
+  Cmd.v
+    (Cmd.info "via_run" ~doc)
+    Term.(
+      const run $ file $ workload $ size_name $ native $ arch_name $ mech
+      $ ibtc_entries $ sieve_buckets $ inline $ miss_policy $ returns $ pred
+      $ no_link $ traces $ ways $ profile_ib $ shepherd $ show_stats
+      $ trace_steps $ dump_frags $ max_steps)
+
+let () = exit (Cmd.eval' cmd)

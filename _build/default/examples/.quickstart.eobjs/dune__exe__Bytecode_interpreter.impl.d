@@ -1,0 +1,1 @@
+examples/bytecode_interpreter.ml: List Option Printf Sdt_core Sdt_harness Sdt_march Sdt_workloads

@@ -1,0 +1,1 @@
+examples/bytecode_interpreter.mli:

@@ -1,0 +1,1 @@
+examples/instrumentation.ml: List Option Printf Sdt_core Sdt_machine Sdt_march Sdt_workloads

@@ -1,0 +1,1 @@
+examples/profiling.ml: List Option Printf Sdt_core Sdt_isa Sdt_march Sdt_workloads

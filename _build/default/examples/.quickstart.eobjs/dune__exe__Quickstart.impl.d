@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Sdt_core Sdt_isa Sdt_machine Sdt_march

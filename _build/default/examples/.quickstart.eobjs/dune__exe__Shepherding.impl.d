@@ -1,0 +1,1 @@
+examples/shepherding.ml: Option Printexc Printf Sdt_core Sdt_isa Sdt_machine Sdt_march Sdt_workloads

@@ -1,0 +1,1 @@
+examples/virtual_dispatch.ml: List Option Printf Sdt_core Sdt_harness Sdt_march Sdt_workloads

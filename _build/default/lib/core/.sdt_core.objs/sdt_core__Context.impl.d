@@ -1,0 +1,1 @@
+lib/core/context.ml: Emitter Env Layout Sdt_isa Sdt_march

@@ -1,0 +1,1 @@
+lib/core/dispatch.ml: Context Emitter Env Layout Sdt_isa Sdt_machine Sdt_march Stats

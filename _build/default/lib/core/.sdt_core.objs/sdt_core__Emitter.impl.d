@@ -1,0 +1,1 @@
+lib/core/emitter.ml: Hashtbl List Printf Sdt_isa Sdt_machine

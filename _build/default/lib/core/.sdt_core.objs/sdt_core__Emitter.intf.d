@@ -1,0 +1,1 @@
+lib/core/emitter.mli: Sdt_isa Sdt_machine

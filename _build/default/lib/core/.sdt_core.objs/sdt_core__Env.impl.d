@@ -1,0 +1,1 @@
+lib/core/env.ml: Config Emitter Hashtbl Layout Sdt_isa Sdt_machine Sdt_march Stats

@@ -1,0 +1,1 @@
+lib/core/ibtc.ml: Config Context Emitter Env Hashtbl Layout List Option Sdt_isa Sdt_machine Sdt_march Stats

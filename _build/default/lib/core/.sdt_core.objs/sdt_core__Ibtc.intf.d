@@ -1,0 +1,1 @@
+lib/core/ibtc.mli: Config Env

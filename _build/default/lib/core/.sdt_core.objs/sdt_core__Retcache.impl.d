@@ -1,0 +1,1 @@
+lib/core/retcache.ml: Emitter Env Layout Sdt_isa Sdt_machine

@@ -1,0 +1,1 @@
+lib/core/retcache.mli: Emitter Env

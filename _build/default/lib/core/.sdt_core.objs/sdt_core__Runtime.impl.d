@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Bytes Config Dispatch Emitter Env Hashtbl Ibtc Layout List Option Printf Retcache Sdt_isa Sdt_machine Sdt_march Shadow_stack Sieve Stats Translate

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Config Env Sdt_isa Sdt_machine Sdt_march Stats

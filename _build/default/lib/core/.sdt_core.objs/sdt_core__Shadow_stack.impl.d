@@ -1,0 +1,1 @@
+lib/core/shadow_stack.ml: Emitter Env Layout Sdt_isa Sdt_machine

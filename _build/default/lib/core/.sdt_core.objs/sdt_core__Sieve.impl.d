@@ -1,0 +1,1 @@
+lib/core/sieve.ml: Config Context Emitter Env Hashtbl Layout Sdt_isa Sdt_machine Sdt_march Stats

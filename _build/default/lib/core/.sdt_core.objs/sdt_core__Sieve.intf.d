@@ -1,0 +1,1 @@
+lib/core/sieve.mli: Config Env

@@ -1,0 +1,1 @@
+lib/core/target_pred.ml: Array Emitter Env Sdt_isa Sdt_machine Sdt_march Stats

@@ -1,0 +1,1 @@
+lib/core/target_pred.mli: Emitter Env

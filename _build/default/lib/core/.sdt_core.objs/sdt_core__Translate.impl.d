@@ -1,0 +1,1 @@
+lib/core/translate.ml: Config Emitter Env Hashtbl Layout List Option Printf Retcache Sdt_isa Sdt_machine Sdt_march Shadow_stack Stats Target_pred

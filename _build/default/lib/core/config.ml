@@ -1,0 +1,159 @@
+type ibtc_miss_policy = Full_switch | Fast_reload
+type ibtc_hash = Shift_mask | Multiplicative
+
+type ibtc = {
+  entries : int;
+  ways : int;
+  shared : bool;
+  per_site_entries : int;
+  miss : ibtc_miss_policy;
+  hash : ibtc_hash;
+  inline_lookup : bool;
+}
+
+type sieve = { buckets : int; insert_at_head : bool }
+type mechanism = Dispatch | Ibtc of ibtc | Sieve of sieve
+
+type return_policy =
+  | As_ib
+  | Return_cache of { entries : int }
+  | Shadow_stack of { depth : int }
+  | Fast_return
+
+type spill_mode = Spill_auto | Spill_always | Spill_never
+
+type t = {
+  mech : mechanism;
+  returns : return_policy;
+  pred_depth : int;
+  link_direct : bool;
+  follow_direct_jumps : bool;
+  spill : spill_mode;
+  block_limit : int;
+  code_capacity : int;
+  count_memops : bool;
+  profile_ib_sites : bool;
+  shepherd : bool;
+}
+
+let default_ibtc =
+  {
+    entries = 4096;
+    ways = 1;
+    shared = true;
+    per_site_entries = 64;
+    miss = Fast_reload;
+    hash = Shift_mask;
+    inline_lookup = true;
+  }
+
+let default_sieve = { buckets = 4096; insert_at_head = true }
+
+let default =
+  {
+    mech = Ibtc default_ibtc;
+    returns = Return_cache { entries = 4096 };
+    pred_depth = 0;
+    link_direct = true;
+    follow_direct_jumps = false;
+    spill = Spill_auto;
+    block_limit = 64;
+    code_capacity = 0x0050_0000;
+    count_memops = false;
+    profile_ib_sites = false;
+    shepherd = false;
+  }
+
+let baseline =
+  {
+    mech = Dispatch;
+    returns = As_ib;
+    pred_depth = 0;
+    link_direct = true;
+    follow_direct_jumps = false;
+    spill = Spill_auto;
+    block_limit = 64;
+    code_capacity = 0x0050_0000;
+    count_memops = false;
+    profile_ib_sites = false;
+    shepherd = false;
+  }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let validate t =
+  let ( let* ) r f = Result.bind r f in
+  let ensure cond msg = if cond then Ok () else Error msg in
+  let* () =
+    match t.mech with
+    | Dispatch -> Ok ()
+    | Ibtc i ->
+        let* () = ensure (is_pow2 i.entries) "ibtc entries must be a power of two" in
+        let* () = ensure (i.ways = 1 || i.ways = 2) "ibtc ways must be 1 or 2" in
+        let* () =
+          ensure (i.entries >= 4 * i.ways) "ibtc entries too small for ways"
+        in
+        let* () =
+          ensure (i.entries >= 4 && i.entries <= 1 lsl 16)
+            "ibtc entries must be in [4, 65536] (16-bit mask immediates)"
+        in
+        ensure
+          (i.shared
+          || (is_pow2 i.per_site_entries
+             && i.per_site_entries >= 4
+             && i.per_site_entries <= 1 lsl 16))
+          "per-site ibtc entries must be a power of two in [4, 65536]"
+    | Sieve s ->
+        let* () = ensure (is_pow2 s.buckets) "sieve buckets must be a power of two" in
+        ensure
+          (s.buckets >= 4 && s.buckets <= 1 lsl 16)
+          "sieve buckets must be in [4, 65536] (16-bit mask immediates)"
+  in
+  let* () =
+    match t.returns with
+    | As_ib | Fast_return -> Ok ()
+    | Return_cache { entries } ->
+        ensure
+          (is_pow2 entries && entries >= 4 && entries <= 1 lsl 16)
+          "return cache entries must be a power of two in [4, 65536]"
+    | Shadow_stack { depth } ->
+        ensure (depth > 0 && depth <= 1 lsl 16) "shadow stack depth out of range"
+  in
+  let* () =
+    ensure
+      (not (t.shepherd && t.returns = Fast_return))
+      "shepherding cannot police fast returns (they bypass the translator)"
+  in
+  let* () = ensure (t.pred_depth >= 0 && t.pred_depth <= 4) "pred_depth in [0,4]" in
+  let* () = ensure (t.block_limit >= 1) "block_limit must be positive" in
+  ensure (t.code_capacity >= 0x400) "code_capacity too small"
+
+let describe t =
+  let mech =
+    match t.mech with
+    | Dispatch -> "dispatch"
+    | Ibtc i ->
+        Printf.sprintf "ibtc(%s%s,%s,%s,%s)"
+          (if i.shared then string_of_int i.entries
+           else Printf.sprintf "per-site:%d" i.per_site_entries)
+          (if i.ways = 2 then ",2way" else "")
+          (if i.shared then "shared" else "per-branch")
+          (match i.miss with Full_switch -> "full" | Fast_reload -> "fast")
+          (if i.inline_lookup then "inline" else "routine")
+    | Sieve s ->
+        Printf.sprintf "sieve(%d,%s)" s.buckets
+          (if s.insert_at_head then "head" else "tail")
+  in
+  let ret =
+    match t.returns with
+    | As_ib -> "ret:as-ib"
+    | Return_cache { entries } -> Printf.sprintf "ret:cache(%d)" entries
+    | Shadow_stack { depth } -> Printf.sprintf "ret:shadow(%d)" depth
+    | Fast_return -> "ret:fast"
+  in
+  let pred = if t.pred_depth > 0 then Printf.sprintf "+pred%d" t.pred_depth else "" in
+  let link = if t.link_direct then "" else "+nolink" in
+  let trace = if t.follow_direct_jumps then "+traces" else "" in
+  let instr = if t.count_memops then "+count-memops" else "" in
+  let shep = if t.shepherd then "+shepherd" else "" in
+  mech ^ "+" ^ ret ^ pred ^ link ^ trace ^ instr ^ shep

@@ -1,0 +1,132 @@
+(** SDT configuration: every knob the paper sweeps.
+
+    A configuration picks one indirect-branch translation {!mechanism},
+    one {!return_policy}, an optional inline target-prediction depth,
+    and the structural parameters of the translator (fragment-cache
+    capacity, basic-block limit, direct linking). The benchmark harness
+    regenerates the paper's tables by sweeping these. *)
+
+type ibtc_miss_policy =
+  | Full_switch
+      (** a miss performs a complete context switch into the translator,
+          exactly like baseline dispatch, then refills the table *)
+  | Fast_reload
+      (** a miss runs a small hand-written reload stub that fills the
+          table entry without saving the application context *)
+
+type ibtc_hash =
+  | Shift_mask      (** [(target >> 2) land (entries-1)] — 2 ALU ops *)
+  | Multiplicative  (** Fibonacci hashing — 4 ALU ops incl. a multiply,
+                        but fewer collisions on strided target sets *)
+
+type ibtc = {
+  entries : int;  (** shared-table size; power of two *)
+  ways : int;
+      (** associativity: 1 (direct-mapped, the classic IBTC) or 2 (two
+          tags probed per set — one more load+compare on the probe path,
+          far fewer conflict misses on small tables) *)
+  shared : bool;  (** one process-wide table vs one table per IB site *)
+  per_site_entries : int;  (** table size per site when not [shared] *)
+  miss : ibtc_miss_policy;
+  hash : ibtc_hash;
+  inline_lookup : bool;
+      (** inline the probe at every IB site (code bloat, but each site's
+          final indirect jump gets its own BTB slot) vs jump to one
+          shared lookup routine *)
+}
+
+type sieve = {
+  buckets : int;  (** power of two *)
+  insert_at_head : bool;
+      (** new sieve stubs become the bucket head (MRU-ish) vs being
+          appended at the tail — ablation A3 *)
+}
+
+type mechanism =
+  | Dispatch  (** baseline: every IB context-switches into the translator *)
+  | Ibtc of ibtc
+  | Sieve of sieve
+
+type return_policy =
+  | As_ib  (** returns go through the IB mechanism like any other IB *)
+  | Return_cache of { entries : int }
+      (** calls deposit the translated return point in a direct-mapped,
+          untagged cache slot; the return point verifies the application
+          return address and falls back to the IB mechanism on mismatch *)
+  | Shadow_stack of { depth : int }
+      (** calls push (app return address, translated return point) on a
+          translator-private stack; returns pop and verify *)
+  | Fast_return
+      (** calls push {e fragment-cache} return addresses so returns are a
+          bare [jr $ra] (return-address-stack predicted). Violates
+          address transparency; incompatible with fragment-cache flushes. *)
+
+type spill_mode =
+  | Spill_auto    (** follow {!Sdt_march.Arch.t.reserved_regs_free} *)
+  | Spill_always
+  | Spill_never
+
+type t = {
+  mech : mechanism;
+  returns : return_policy;
+  pred_depth : int;
+      (** inline target-prediction slots emitted ahead of the mechanism
+          at indirect-jump and (transparent) indirect-call sites; 0 = off *)
+  link_direct : bool;
+      (** patch direct-branch exit stubs to jump fragment-to-fragment;
+          when off, every direct block transition context-switches *)
+  follow_direct_jumps : bool;
+      (** superblock formation (NET-style): translation continues
+          straight through unconditional direct jumps (eliding them) and
+          through the fall-through side of conditional branches (whose
+          taken-side stubs are deferred to the fragment end), up to
+          [block_limit]. Jumps back into the trace or to
+          already-translated code end the trace (they would unroll loops
+          or duplicate fragments). Longer fragments, fewer links,
+          straighter fetch — at the cost of duplicating code reached
+          from several places *)
+  spill : spill_mode;
+  block_limit : int;      (** max instructions translated per fragment *)
+  code_capacity : int;    (** fragment code region bytes actually used *)
+  count_memops : bool;
+      (** instrumentation mode: emit a counter increment before every
+          translated load/store (the paper's motivating SDT use case);
+          read the count back with {!Runtime.instrumented_memops} *)
+  profile_ib_sites : bool;
+      (** instrumentation mode: give every translated indirect-branch
+          site its own execution counter; read the profile back with
+          {!Runtime.ib_site_profile} — the data a dynamic optimiser
+          would use to pick per-site mechanisms *)
+  shepherd : bool;
+      (** program shepherding (the security use case of SDTs): every
+          control-transfer target entering the translator is validated
+          against the application's text region before it is translated
+          or cached; a hijacked indirect branch raises
+          {!Runtime.Policy_violation} instead of executing data.
+          Validation happens only on the miss path, so steady-state cost
+          is zero — the selling point of SDT-based enforcement.
+          Incompatible with {!Fast_return}, whose returns bypass the
+          translator entirely (the security/transparency trade). *)
+}
+
+val default_ibtc : ibtc
+(** 4096-entry shared table, shift-mask hash, fast reload, inline. *)
+
+val default_sieve : sieve
+(** 4096 buckets, head insertion. *)
+
+val default : t
+(** The sensible configuration: shared inline IBTC with fast reload,
+    return cache, direct linking, no inline prediction. *)
+
+val baseline : t
+(** The paper's starting point: [Dispatch] for everything (returns
+    too), direct linking on. *)
+
+val validate : t -> (unit, string) result
+(** Check power-of-two table sizes, positive limits, and mechanism /
+    return-policy compatibility. *)
+
+val describe : t -> string
+(** A short single-line description, e.g.
+    ["ibtc(4096,shared,fast,inline)+retcache"]. *)

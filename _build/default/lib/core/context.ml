@@ -1,0 +1,37 @@
+module Inst = Sdt_isa.Inst
+module Reg = Sdt_isa.Reg
+module Arch = Sdt_march.Arch
+
+(* On a register-windowed architecture only [context_regs] registers
+   are saved/restored in emitted code (the window shift covers the
+   rest); saving a prefix of the register file models that cost. The
+   values are unchanged across the switch, so which subset is
+   save/restored does not affect correctness. *)
+let regs_to_switch (env : Env.t) = min 31 env.Env.arch.Arch.context_regs
+
+let emit_save (env : Env.t) =
+  let em = env.Env.em in
+  Emitter.li32 em Reg.k1 env.Env.layout.Layout.ctx_base;
+  for r = 1 to regs_to_switch env do
+    if r <> Reg.k1 then Emitter.emit em (Inst.Sw (r, Reg.k1, 4 * r))
+  done
+
+let emit_tail (env : Env.t) ~(tail : Env.tail) =
+  match tail with
+  | Env.Tail_jr -> Emitter.emit env.Env.em (Inst.Jr Reg.k1)
+  | Env.Tail_jalr_ra -> Emitter.emit env.Env.em (Inst.Jalr (Reg.ra, Reg.k1))
+
+let emit_restore_no_jump (env : Env.t) =
+  let em = env.Env.em in
+  Emitter.li32 em Reg.k1 env.Env.layout.Layout.ctx_base;
+  for r = 1 to regs_to_switch env do
+    if r <> Reg.k1 then Emitter.emit em (Inst.Lw (r, Reg.k1, 4 * r))
+  done;
+  Emitter.li32 em Reg.k1 env.Env.layout.Layout.result_slot;
+  Emitter.emit em (Inst.Lw (Reg.k1, Reg.k1, 0))
+
+let emit_restore_and_jump (env : Env.t) ~tail =
+  emit_restore_no_jump env;
+  emit_tail env ~tail
+
+let max_save_restore_cost_insts = 2 + 30 + 2 + 30 + 2 + 1 + 1

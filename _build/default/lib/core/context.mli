@@ -1,0 +1,29 @@
+(** Full context switches.
+
+    The baseline dispatch mechanism (and the IBTC full-miss policy)
+    saves the complete application register file to the context area,
+    traps into the translator runtime, restores the register file, and
+    jumps to the fragment address the runtime left in the result slot.
+    All of it is emitted code: the ~60 memory operations hit the
+    simulated data cache, which is precisely the overhead source the
+    paper attributes to context switches. *)
+
+val emit_save : Env.t -> unit
+(** Save [r1]..[r31] to the context area ([$k1] is clobbered as the
+    base pointer; its stale slot value is irrelevant as a reserved
+    register). *)
+
+val emit_restore_and_jump : Env.t -> tail:Env.tail -> unit
+(** Restore [r1]..[r31] except [$k1], load the fragment target from the
+    result slot into [$k1], and transfer. *)
+
+val emit_restore_no_jump : Env.t -> unit
+(** Restore and load the result into [$k1], but fall through instead of
+    transferring (used when the transfer instruction is shared with the
+    hit path of an inline probe). *)
+
+val max_save_restore_cost_insts : int
+(** Static instruction count of one full save+restore pair on a
+    flat-register-file architecture (for documentation and tests);
+    register-windowed architectures emit fewer
+    ({!Sdt_march.Arch.t.context_regs}). *)

@@ -1,0 +1,14 @@
+(** Baseline indirect-branch handling: translator dispatch.
+
+    Every indirect branch transfers to a shared routine that performs a
+    full context switch into the translator, which looks up (or
+    translates) the target and resumes through a full restore. This is
+    the mechanism whose overhead the paper sets out to eliminate. *)
+
+val emit_routine : Env.t -> int
+(** Emit the shared dispatch routine once; returns its entry address.
+    Call with the application target in [$k0]; the routine ends with
+    [jr $k1]. *)
+
+val emit_site : Env.t -> tail:Env.tail -> routine:int -> unit
+(** Emit the per-site code (a jump to the routine). *)

@@ -1,0 +1,139 @@
+module Word = Sdt_isa.Word
+module Inst = Sdt_isa.Inst
+module Encode = Sdt_isa.Encode
+module Memory = Sdt_machine.Memory
+
+exception Code_full
+
+type fixup =
+  | Fix_branch of int * Inst.t  (* branch site, template *)
+  | Fix_jump of int * [ `J | `Jal ]
+  | Fix_hi of int * Sdt_isa.Reg.t  (* lui site *)
+  | Fix_lo of int * Sdt_isa.Reg.t  (* ori site *)
+
+type label_state = Placed of int | Pending of fixup list
+
+type t = {
+  mem : Memory.t;
+  base : int;
+  limit : int;
+  mutable cursor : int;
+  labels : (int, label_state) Hashtbl.t;
+  mutable next_label : int;
+  mutable unresolved : int;
+}
+
+type label = int
+
+let create ~mem ~base ~limit =
+  if base land 3 <> 0 || limit <= base then invalid_arg "Emitter.create";
+  {
+    mem;
+    base;
+    limit;
+    cursor = base;
+    labels = Hashtbl.create 64;
+    next_label = 0;
+    unresolved = 0;
+  }
+
+let here t = t.cursor
+let used_bytes t = t.cursor - t.base
+
+let reset ?(force = false) t =
+  if t.unresolved <> 0 && not force then
+    invalid_arg "Emitter.reset: unresolved forward references";
+  t.cursor <- t.base;
+  Hashtbl.reset t.labels;
+  t.next_label <- 0;
+  t.unresolved <- 0
+
+let emit t i =
+  if t.cursor + 4 > t.limit then raise Code_full;
+  Memory.store_word t.mem t.cursor (Encode.inst i);
+  t.cursor <- t.cursor + 4
+
+let patch t addr i =
+  if addr < t.base || addr >= t.cursor then
+    invalid_arg (Printf.sprintf "Emitter.patch: %#x outside emitted code" addr);
+  Memory.store_word t.mem addr (Encode.inst i)
+
+let li32 t rd v =
+  let w = Word.of_int v in
+  emit t (Inst.Lui (rd, Word.hi16 w));
+  emit t (Inst.Ori (rd, rd, Word.lo16 w))
+
+let encode_jump op target =
+  if target land 3 <> 0 then invalid_arg "Emitter: unaligned jump target";
+  let idx = (target lsr 2) land 0x3FF_FFFF in
+  match op with `J -> Inst.J idx | `Jal -> Inst.Jal idx
+
+let jump_abs t op target = emit t (encode_jump op target)
+
+let fresh t =
+  let l = t.next_label in
+  t.next_label <- l + 1;
+  Hashtbl.replace t.labels l (Pending []);
+  l
+
+let branch_inst template ~at ~target =
+  let delta = target - (at + 4) in
+  let off = delta asr 2 in
+  if delta land 3 <> 0 || not (Encode.signed_imm_fits off) then
+    invalid_arg "Emitter: branch displacement out of range";
+  Inst.with_branch_offset template off
+
+let apply_fixup t ~target = function
+  | Fix_branch (at, template) -> patch t at (branch_inst template ~at ~target)
+  | Fix_jump (at, op) -> patch t at (encode_jump op target)
+  | Fix_hi (at, rd) -> patch t at (Inst.Lui (rd, Word.hi16 (Word.of_int target)))
+  | Fix_lo (at, rd) ->
+      patch t at (Inst.Ori (rd, rd, Word.lo16 (Word.of_int target)))
+
+let place t l =
+  match Hashtbl.find_opt t.labels l with
+  | None -> invalid_arg "Emitter.place: unknown label"
+  | Some (Placed _) -> invalid_arg "Emitter.place: label placed twice"
+  | Some (Pending fixups) ->
+      let target = t.cursor in
+      List.iter (apply_fixup t ~target) fixups;
+      t.unresolved <- t.unresolved - List.length fixups;
+      Hashtbl.replace t.labels l (Placed target)
+
+let addr_of t l =
+  match Hashtbl.find_opt t.labels l with
+  | Some (Placed a) -> a
+  | Some (Pending _) | None -> invalid_arg "Emitter.addr_of: label not placed"
+
+let defer t l fixup placed_now =
+  match Hashtbl.find_opt t.labels l with
+  | Some (Placed target) -> placed_now target
+  | Some (Pending fixups) ->
+      Hashtbl.replace t.labels l (Pending (fixup :: fixups));
+      t.unresolved <- t.unresolved + 1
+  | None -> invalid_arg "Emitter: unknown label"
+
+let branch_to t template l =
+  let at = t.cursor in
+  (* emit a placeholder with offset 0; patched when the label resolves *)
+  emit t (Inst.with_branch_offset template 0);
+  defer t l
+    (Fix_branch (at, template))
+    (fun target -> patch t at (branch_inst template ~at ~target))
+
+let jump_to t op l =
+  let at = t.cursor in
+  emit t (encode_jump op t.base);
+  defer t l (Fix_jump (at, op)) (fun target -> patch t at (encode_jump op target))
+
+let li32_label t rd l =
+  let at_hi = t.cursor in
+  emit t (Inst.Lui (rd, 0));
+  let at_lo = t.cursor in
+  emit t (Inst.Ori (rd, rd, 0));
+  defer t l (Fix_hi (at_hi, rd)) (fun target ->
+      patch t at_hi (Inst.Lui (rd, Word.hi16 (Word.of_int target))));
+  defer t l (Fix_lo (at_lo, rd)) (fun target ->
+      patch t at_lo (Inst.Ori (rd, rd, Word.lo16 (Word.of_int target))))
+
+let unresolved t = t.unresolved

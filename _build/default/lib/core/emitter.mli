@@ -1,0 +1,69 @@
+(** Code emission into the simulated fragment cache.
+
+    The emitter writes encoded instructions into simulated memory at a
+    monotonically advancing cursor, with single-pass backpatching for
+    forward references. Unlike {!Sdt_isa.Builder} (which keeps
+    application code honest), the emitter may freely use the
+    translator-reserved registers — that is what they are reserved for.
+
+    Patching an already-emitted word (fragment linking, sieve chain
+    rewiring, prediction-slot burning) goes through {!patch}; the
+    machine's decode cache is invalidated by the underlying store. *)
+
+module Inst = Sdt_isa.Inst
+module Memory = Sdt_machine.Memory
+
+type t
+
+exception Code_full
+(** The code region is exhausted; the runtime reacts by flushing the
+    fragment cache. *)
+
+val create : mem:Memory.t -> base:int -> limit:int -> t
+
+val here : t -> int
+(** Address the next instruction will be emitted at. *)
+
+val used_bytes : t -> int
+
+val reset : ?force:bool -> t -> unit
+(** Rewind the cursor to the base (fragment-cache flush).
+    @raise Invalid_argument if labels are still unresolved, unless
+    [force] is set (a flush can interrupt a half-emitted fragment; its
+    pending references die with it). *)
+
+val emit : t -> Inst.t -> unit
+(** Append one instruction. @raise Code_full *)
+
+val patch : t -> int -> Inst.t -> unit
+(** Overwrite the instruction word at an address already emitted. *)
+
+val li32 : t -> Sdt_isa.Reg.t -> int -> unit
+(** Materialise a 32-bit constant as a fixed-shape [lui]+[ori] pair
+    (always 2 words, so the immediates can be re-patched later). *)
+
+val jump_abs : t -> [ `J | `Jal ] -> int -> unit
+(** Emit a direct jump to a known absolute address. *)
+
+(** {1 Forward references} *)
+
+type label
+
+val fresh : t -> label
+
+val place : t -> label -> unit
+(** Bind the label to {!here}, resolving any pending references.
+    @raise Invalid_argument if placed twice. *)
+
+val addr_of : t -> label -> int
+(** @raise Invalid_argument if not yet placed. *)
+
+val branch_to : t -> Inst.t -> label -> unit
+(** Emit a conditional branch whose displacement targets [label]. *)
+
+val jump_to : t -> [ `J | `Jal ] -> label -> unit
+val li32_label : t -> Sdt_isa.Reg.t -> label -> unit
+
+val unresolved : t -> int
+(** Count of pending forward references (must be 0 at the end of every
+    emission sequence; checked by tests). *)

@@ -1,0 +1,113 @@
+module Inst = Sdt_isa.Inst
+module Reg = Sdt_isa.Reg
+module Arch = Sdt_march.Arch
+module Timing = Sdt_march.Timing
+module Machine = Sdt_machine.Machine
+
+type tail = Tail_jr | Tail_jalr_ra
+type handler = Machine.t -> trap_pc:int -> unit
+
+type t = {
+  cfg : Config.t;
+  arch : Arch.t;
+  machine : Machine.t;
+  em : Emitter.t;
+  layout : Layout.t;
+  stats : Stats.t;
+  frags : (int, int) Hashtbl.t;
+  traps : (int, handler) Hashtbl.t;
+  spill : bool;
+  mutable ensure_translated : int -> int;
+  mutable translator_entry : int;
+  mutable mech_routine : int;
+  mutable emit_ib : t -> tail:tail -> unit;
+  mutable generation : int;
+  mutable flush : unit -> unit;
+  mutable ib_site_counters : (int * int) list;
+}
+
+let trap_link = 1
+let trap_dispatch = 2
+let trap_ibtc_full = 3
+let trap_ibtc_fast = 4
+let trap_sieve = 5
+let trap_pred = 6
+let trap_link_call = 7
+
+let create ~cfg ~arch ~machine ~em ~layout =
+  (match Config.validate cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Env.create: " ^ msg));
+  let spill =
+    match cfg.Config.spill with
+    | Config.Spill_always -> true
+    | Config.Spill_never -> false
+    | Config.Spill_auto -> not arch.Arch.reserved_regs_free
+  in
+  {
+    cfg;
+    arch;
+    machine;
+    em;
+    layout;
+    stats = Stats.create ();
+    frags = Hashtbl.create 1024;
+    traps = Hashtbl.create 256;
+    spill;
+    ensure_translated = (fun _ -> failwith "Env: runtime not wired");
+    translator_entry = 0;
+    mech_routine = 0;
+    emit_ib = (fun _ ~tail:_ -> failwith "Env: runtime not wired");
+    generation = 0;
+    flush = (fun () -> failwith "Env: runtime not wired");
+    ib_site_counters = [];
+  }
+
+let charge t n =
+  match t.machine.Machine.timing with
+  | None -> ()
+  | Some tm -> Timing.add_runtime tm n
+
+let register_trap_at t addr h = Hashtbl.replace t.traps addr h
+
+let emit_trap t ~code h =
+  let at = Emitter.here t.em in
+  Emitter.emit t.em (Inst.Trap code);
+  register_trap_at t at h
+
+let frag_of t app_pc = Hashtbl.find_opt t.frags app_pc
+
+(* Spill modelling: on architectures without translator-reserved
+   registers (x86-like), every inline IB sequence brackets its use of
+   $at/$k0/$k1 with stores to and loads from the spill slots. The
+   registers hold no live application values in this ISA (they are
+   reserved), so the sequence is semantically inert — it exists to
+   charge the instruction and data-cache costs Strata pays on x86. *)
+
+let emit_spill_prologue t =
+  if t.spill then begin
+    Emitter.li32 t.em Reg.k1 t.layout.Layout.spill_base;
+    Emitter.emit t.em (Inst.Sw (Reg.at, Reg.k1, 0));
+    Emitter.emit t.em (Inst.Sw (Reg.k0, Reg.k1, 4))
+  end
+
+let emit_spill_epilogue t =
+  if t.spill then begin
+    Emitter.li32 t.em Reg.at t.layout.Layout.spill_base;
+    Emitter.emit t.em (Inst.Lw (Reg.k0, Reg.at, 4));
+    Emitter.emit t.em (Inst.Lw (Reg.at, Reg.at, 0))
+  end
+
+let spill_prologue_len t = if t.spill then 4 else 0
+
+let emit_transfer t ~tail =
+  match tail with
+  | Tail_jr -> Emitter.emit t.em (Inst.Jr Reg.k1)
+  | Tail_jalr_ra -> Emitter.emit t.em (Inst.Jalr (Reg.ra, Reg.k1))
+
+let emit_goto_routine t ~tail addr =
+  match tail with
+  | Tail_jr -> Emitter.jump_abs t.em `J addr
+  | Tail_jalr_ra ->
+      Emitter.li32 t.em Reg.k1 addr;
+      Emitter.emit t.em (Inst.Jalr (Reg.ra, Reg.k1))

@@ -1,0 +1,118 @@
+(** Shared translator state.
+
+    [Env.t] is the record every code-generation module works against:
+    the machine being translated, the emitter into its fragment cache,
+    the memory layout, configuration, statistics, and the trap table
+    that maps emitted [Trap] sites to runtime handlers.
+
+    The mutable function fields are wired up by {!Runtime} after the
+    shared routines exist; they break what would otherwise be a
+    dependency cycle between the translator and the IB mechanisms
+    (translation emits IB handling code; IB miss handlers translate). *)
+
+module Inst = Sdt_isa.Inst
+module Reg = Sdt_isa.Reg
+module Arch = Sdt_march.Arch
+module Timing = Sdt_march.Timing
+module Machine = Sdt_machine.Machine
+
+type tail = Tail_jr | Tail_jalr_ra
+(** How an IB handling sequence finally transfers to the looked-up
+    fragment address (held in [$k1]): a plain [jr $k1], or
+    [jalr $ra, $k1] so the hardware return-address stack is pushed
+    (used by the fast-return policy at indirect call sites). *)
+
+type handler = Machine.t -> trap_pc:int -> unit
+
+type t = {
+  cfg : Config.t;
+  arch : Arch.t;
+  machine : Machine.t;
+  em : Emitter.t;
+  layout : Layout.t;
+  stats : Stats.t;
+  frags : (int, int) Hashtbl.t;  (** application PC -> fragment address *)
+  traps : (int, handler) Hashtbl.t;  (** trap site -> runtime handler *)
+  spill : bool;  (** resolved spill decision for this (config, arch) *)
+  mutable ensure_translated : int -> int;
+      (** translate-on-demand: application PC to fragment address,
+          charging translation costs; set by {!Runtime} *)
+  mutable translator_entry : int;
+      (** the full-context-switch dispatch routine: enter with the
+          application target in [$k0]; also the landing pad of unlinked
+          direct-branch stubs when direct linking is disabled *)
+  mutable mech_routine : int;
+      (** shared IB-mechanism routine: enter with the application target
+          in [$k0]; ends with [jr $k1]; used as the fallback of the
+          return mechanisms and of exhausted prediction sites *)
+  mutable emit_ib : t -> tail:tail -> unit;
+      (** emit the configured mechanism's IB handling at the current
+          emission point, assuming [$k0] already holds the target *)
+  mutable generation : int;
+      (** incremented on every fragment-cache flush. Trap handlers that
+          cached code addresses (resume points, patch sites) compare the
+          generation they captured at emission time against the current
+          one: a mismatch means the site no longer exists, and the
+          handler must transfer straight to the freshly translated
+          fragment instead. *)
+  mutable flush : unit -> unit;
+      (** flush the fragment cache (set by {!Runtime}); raises on
+          configurations that forbid it (fast returns). *)
+  mutable ib_site_counters : (int * int) list;
+      (** (application PC of the IB, counter address) for every site
+          instrumented under {!Config.t.profile_ib_sites}; cleared on
+          flush (sites are retranslated) *)
+}
+
+(** Trap codes, for diagnostics only (dispatch is by site address). *)
+
+val trap_link : int
+val trap_dispatch : int
+val trap_ibtc_full : int
+val trap_ibtc_fast : int
+val trap_sieve : int
+val trap_pred : int
+val trap_link_call : int
+
+val create :
+  cfg:Config.t ->
+  arch:Arch.t ->
+  machine:Machine.t ->
+  em:Emitter.t ->
+  layout:Layout.t ->
+  t
+(** @raise Invalid_argument if the configuration fails
+    {!Config.validate}. *)
+
+val charge : t -> int -> unit
+(** Charge runtime-service cycles (no-op when untimed). *)
+
+val emit_trap : t -> code:int -> handler -> unit
+(** Emit a [Trap code] at the current point and register its handler. *)
+
+val register_trap_at : t -> int -> handler -> unit
+(** Re-register a handler for an existing trap site (used when a patched
+    site changes behaviour). *)
+
+val frag_of : t -> int -> int option
+(** Fragment address for an application PC, if already translated. *)
+
+val emit_spill_prologue : t -> unit
+(** When spilling is on, emit the scratch-register save sequence an IB
+    handling sequence must start with (models x86 register scarcity). *)
+
+val emit_spill_epilogue : t -> unit
+(** The matching reload sequence, emitted before the final transfer. *)
+
+val spill_prologue_len : t -> int
+(** Number of instructions {!emit_spill_prologue} produces (0 or 4). *)
+
+val emit_goto_routine : t -> tail:tail -> int -> unit
+(** Transfer to a shared routine that ends in [jr $k1]. With
+    [Tail_jr] this is a plain [j]; with [Tail_jalr_ra] it is
+    [li32 $k1, addr; jalr $ra, $k1] so that [$ra] carries the site's
+    continuation and the return-address stack is pushed. *)
+
+val emit_transfer : t -> tail:tail -> unit
+(** The final transfer of an inline sequence: [jr $k1] or
+    [jalr $ra, $k1]. *)

@@ -1,0 +1,254 @@
+module Word = Sdt_isa.Word
+module Inst = Sdt_isa.Inst
+module Reg = Sdt_isa.Reg
+module Arch = Sdt_march.Arch
+module Machine = Sdt_machine.Machine
+module Memory = Sdt_machine.Memory
+
+let empty_tag = 0xFFFF_FFFF
+
+type t = {
+  cfg : Config.ibtc;
+  shared_base : int;  (* 0 when per-site *)
+  mutable site_tables : int list;  (* bases of per-site tables, for flush *)
+  mutable full_miss_routine : int;
+  mutable lookup_routine : int;
+  (* victim-way choice for 2-way tables: round-robin per (table, set),
+     tracked host-side — a hardware IBTC would keep an LRU bit; the
+     emitted probe is identical either way *)
+  rr_way : (int * int, int) Hashtbl.t;
+}
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+(* With [ways = 2] the table is organised as [entries/2] sets of two
+   (tag, fragment) pairs; the set index is hashed exactly like the
+   direct-mapped index, over the set count. *)
+let sets_of (cfg : Config.ibtc) ~entries = entries / cfg.ways
+
+let hash_value (cfg : Config.ibtc) ~entries target =
+  let sets = sets_of cfg ~entries in
+  match cfg.hash with
+  | Config.Shift_mask -> (target lsr 2) land (sets - 1)
+  | Config.Multiplicative -> Word.mul 0x9E37_79B1 target lsr (32 - log2 sets)
+
+let clear_table env base entries =
+  let mem = env.Env.machine.Machine.mem in
+  for i = 0 to entries - 1 do
+    Memory.store_word mem (base + (8 * i)) empty_tag;
+    Memory.store_word mem (base + (8 * i) + 4) 0
+  done
+
+let alloc_table env entries =
+  let base = Layout.alloc env.Env.layout ~bytes:(8 * entries) in
+  clear_table env base entries;
+  base
+
+let fill_entry t env ~base ~cfg ~entries ~target ~frag =
+  let mem = env.Env.machine.Machine.mem in
+  let idx = hash_value cfg ~entries target in
+  if cfg.Config.ways = 1 then begin
+    Memory.store_word mem (base + (8 * idx)) target;
+    Memory.store_word mem (base + (8 * idx) + 4) frag
+  end
+  else begin
+    let set_base = base + (16 * idx) in
+    (* prefer an empty way; otherwise evict round-robin *)
+    let way =
+      if Memory.load_word mem set_base = empty_tag then 0
+      else if Memory.load_word mem (set_base + 8) = empty_tag then 1
+      else begin
+        let w = Option.value (Hashtbl.find_opt t.rr_way (base, idx)) ~default:0 in
+        Hashtbl.replace t.rr_way (base, idx) (1 - w);
+        w
+      end
+    in
+    Memory.store_word mem (set_base + (8 * way)) target;
+    Memory.store_word mem (set_base + (8 * way) + 4) frag
+  end
+
+(* The emitted probe. Enter with the target in $k0; on a hit transfers
+   to the fragment with [tail]; on a miss runs the configured policy.
+   [base]/[entries] select the table this site probes.
+
+   Every path funnels into one final transfer instruction: under
+   [Tail_jalr_ra] the transfer must be the last word of the sequence,
+   because the callee's return lands on the word after it. *)
+let emit_probe t env ~base ~entries ~tail =
+  let em = env.Env.em in
+  let cfg = t.cfg in
+  let sets = sets_of cfg ~entries in
+  Env.emit_spill_prologue env;
+  (match cfg.hash with
+  | Config.Shift_mask ->
+      Emitter.emit em (Inst.Srl (Reg.at, Reg.k0, 2));
+      Emitter.emit em (Inst.Andi (Reg.at, Reg.at, sets - 1))
+  | Config.Multiplicative ->
+      Emitter.li32 em Reg.at 0x9E37_79B1;
+      Emitter.emit em (Inst.Mul (Reg.at, Reg.at, Reg.k0));
+      Emitter.emit em (Inst.Srl (Reg.at, Reg.at, 32 - log2 sets)));
+  Emitter.emit em (Inst.Sll (Reg.at, Reg.at, (if cfg.ways = 2 then 4 else 3)));
+  Emitter.li32 em Reg.k1 base;
+  Emitter.emit em (Inst.Add (Reg.k1, Reg.k1, Reg.at));
+  let lhit = Emitter.fresh em in
+  let lhit1 = Emitter.fresh em in
+  let lresume = Emitter.fresh em in
+  let resume = ref 0 in
+  Emitter.emit em (Inst.Lw (Reg.at, Reg.k1, 0));
+  Emitter.branch_to em (Inst.Beq (Reg.at, Reg.k0, 0)) lhit;
+  if cfg.ways = 2 then begin
+    Emitter.emit em (Inst.Lw (Reg.at, Reg.k1, 8));
+    Emitter.branch_to em (Inst.Beq (Reg.at, Reg.k0, 0)) lhit1
+  end;
+  (* miss path *)
+  (match cfg.miss with
+  | Config.Fast_reload ->
+      let gen = env.Env.generation in
+      Env.emit_trap env ~code:Env.trap_ibtc_fast (fun m ~trap_pc:_ ->
+          let stats = env.Env.stats in
+          stats.Stats.ibtc_misses_fast <- stats.Stats.ibtc_misses_fast + 1;
+          let target = Machine.reg m Reg.k0 in
+          let known = Hashtbl.mem env.Env.frags target in
+          let frag = env.Env.ensure_translated target in
+          Env.charge env
+            (if known then env.Env.arch.Arch.fast_miss_cycles
+             else
+               env.Env.arch.Arch.trap_cycles + env.Env.arch.Arch.lookup_cycles);
+          if env.Env.generation <> gen then
+            (* this site was flushed away while translating the target;
+               transfer directly to the fresh fragment *)
+            m.Machine.pc <- frag
+          else begin
+            fill_entry t env ~base ~cfg ~entries ~target ~frag;
+            Machine.set_reg m Reg.k1 frag;
+            m.Machine.pc <- !resume
+          end)
+  | Config.Full_switch ->
+      if cfg.shared && tail = Env.Tail_jr then
+        (* the shared routine both refills and transfers *)
+        Emitter.jump_abs em `J t.full_miss_routine
+      else begin
+        (* per-site table, or a jalr-tailed site whose transfer must stay
+           the last instruction: inline context switch, then rejoin the
+           common resume point with the fragment in $k1 *)
+        Context.emit_save env;
+        let restore = ref 0 in
+        let gen = env.Env.generation in
+        Env.emit_trap env ~code:Env.trap_ibtc_full (fun m ~trap_pc:_ ->
+            let stats = env.Env.stats in
+            stats.Stats.ibtc_misses_full <- stats.Stats.ibtc_misses_full + 1;
+            let target = Machine.reg m Reg.k0 in
+            let frag = env.Env.ensure_translated target in
+            Env.charge env
+              (env.Env.arch.Arch.trap_cycles + env.Env.arch.Arch.lookup_cycles);
+            if env.Env.generation <> gen then
+              (* the site (and its saved-context restore path) was
+                 flushed; the register file was never clobbered, so
+                 jumping straight to the fragment is safe *)
+              m.Machine.pc <- frag
+            else begin
+              fill_entry t env ~base ~cfg ~entries ~target ~frag;
+              Memory.store_word m.Machine.mem env.Env.layout.Layout.result_slot
+                frag;
+              m.Machine.pc <- !restore
+            end);
+        restore := Emitter.here em;
+        Context.emit_restore_no_jump env;
+        Emitter.jump_to em `J lresume
+      end);
+  (* hit paths *)
+  if cfg.ways = 2 then begin
+    Emitter.place em lhit1;
+    Emitter.emit em (Inst.Lw (Reg.k1, Reg.k1, 12));
+    Emitter.jump_to em `J lresume
+  end
+  else Emitter.place em lhit1;
+  Emitter.place em lhit;
+  Emitter.emit em (Inst.Lw (Reg.k1, Reg.k1, 4));
+  Emitter.place em lresume;
+  resume := Emitter.here em;
+  Env.emit_spill_epilogue env;
+  Env.emit_transfer env ~tail
+
+let emit_full_miss_routine t env =
+  (* shared-table full-miss routine: full context switch, fill, resume *)
+  let entry = Emitter.here env.Env.em in
+  Context.emit_save env;
+  let restore = ref 0 in
+  Env.emit_trap env ~code:Env.trap_ibtc_full (fun m ~trap_pc:_ ->
+      let stats = env.Env.stats in
+      stats.Stats.ibtc_misses_full <- stats.Stats.ibtc_misses_full + 1;
+      let target = Machine.reg m Reg.k0 in
+      let frag = env.Env.ensure_translated target in
+      fill_entry t env ~base:t.shared_base ~cfg:t.cfg
+        ~entries:t.cfg.Config.entries ~target ~frag;
+      Memory.store_word m.Machine.mem env.Env.layout.Layout.result_slot frag;
+      Env.charge env
+        (env.Env.arch.Arch.trap_cycles + env.Env.arch.Arch.lookup_cycles);
+      m.Machine.pc <- !restore);
+  restore := Emitter.here env.Env.em;
+  Context.emit_restore_and_jump env ~tail:Env.Tail_jr;
+  t.full_miss_routine <- entry
+
+let emit_lookup_routine t env =
+  let entry = Emitter.here env.Env.em in
+  emit_probe t env ~base:t.shared_base ~entries:t.cfg.Config.entries
+    ~tail:Env.Tail_jr;
+  t.lookup_routine <- entry
+
+let emit_routines t env =
+  if t.cfg.Config.shared then begin
+    emit_full_miss_routine t env;
+    emit_lookup_routine t env
+  end
+
+let create env (cfg : Config.ibtc) =
+  let shared_base = if cfg.shared then alloc_table env cfg.entries else 0 in
+  let t =
+    {
+      cfg;
+      shared_base;
+      site_tables = [];
+      full_miss_routine = 0;
+      lookup_routine = 0;
+      rr_way = Hashtbl.create 64;
+    }
+  in
+  if cfg.shared then env.Env.stats.Stats.ibtc_tables <- 1;
+  emit_routines t env;
+  t
+
+let routine t =
+  if not t.cfg.Config.shared then
+    invalid_arg "Ibtc.routine: per-site IBTC has no shared routine";
+  t.lookup_routine
+
+let emit_site t env ~tail =
+  if t.cfg.Config.shared then begin
+    if t.cfg.Config.inline_lookup then
+      emit_probe t env ~base:t.shared_base ~entries:t.cfg.Config.entries ~tail
+    else Env.emit_goto_routine env ~tail t.lookup_routine
+  end
+  else begin
+    (* per-branch table: allocate one for this site *)
+    let entries = t.cfg.Config.per_site_entries in
+    let base = alloc_table env entries in
+    t.site_tables <- base :: t.site_tables;
+    env.Env.stats.Stats.ibtc_tables <- env.Env.stats.Stats.ibtc_tables + 1;
+    emit_probe t env ~base ~entries ~tail
+  end
+
+let on_flush t env =
+  Hashtbl.reset t.rr_way;
+  emit_routines t env;
+  if t.cfg.Config.shared then clear_table env t.shared_base t.cfg.Config.entries;
+  (* per-site tables are stale along with their sites; their storage is
+     not reclaimed (Layout.alloc is monotonic) but they are no longer
+     referenced by any live code *)
+  t.site_tables <- []
+
+let table_bytes t =
+  if t.cfg.Config.shared then 8 * t.cfg.Config.entries
+  else 8 * t.cfg.Config.per_site_entries * List.length t.site_tables

@@ -1,0 +1,46 @@
+(** The Indirect Branch Translation Cache.
+
+    An IBTC is a hash table in (simulated) translator memory mapping
+    application branch targets to fragment-cache addresses. The probe is
+    emitted as straight-line code at each IB site (or in one shared
+    routine): hash the target, load the tag, compare, load the fragment
+    address, jump. A tag mismatch escapes to the configured miss policy:
+
+    - {!Config.Full_switch}: a full context switch into the translator
+      (the miss costs the same as baseline dispatch);
+    - {!Config.Fast_reload}: a short hand-written stub refills the entry
+      without saving application context (modelled as a trap that
+      charges {!Sdt_march.Arch.t.fast_miss_cycles}) — unless the target
+      has never been translated, in which case it escalates to the
+      translator anyway.
+
+    Tables may be process-shared or per-branch-site
+    ({!Config.ibtc.shared}); entries are 8 bytes ([tag], [fragment]).
+    The empty tag is [0xFFFF_FFFF], which no application address can
+    equal. *)
+
+type t
+
+val create : Env.t -> Config.ibtc -> t
+(** Allocate the shared table (if configured), emit the full-miss
+    routine and the shared lookup routine, and initialise all tags
+    empty. The shared lookup routine's address becomes the mechanism
+    fallback ({!routine}). *)
+
+val routine : t -> int
+(** Entry of the shared lookup routine (target in [$k0], ends
+    [jr $k1]). *)
+
+val emit_site : t -> Env.t -> tail:Env.tail -> unit
+(** Emit this mechanism's handling at the current point: the inline
+    probe when [inline_lookup], otherwise a transfer to {!routine}. *)
+
+val on_flush : t -> Env.t -> unit
+(** After a fragment-cache flush: re-emit the shared routines into the
+    freshly reset emitter (they land at the same addresses, since shared
+    routines are emitted first and deterministically) and empty every
+    table — the fragment addresses they cache are stale. Per-site tables
+    are reclaimed: their sites are gone with the flush. *)
+
+val table_bytes : t -> int
+(** Total simulated memory the tables occupy (for reports). *)

@@ -1,0 +1,47 @@
+type t = {
+  code_base : int;
+  code_limit : int;
+  ctx_base : int;
+  result_slot : int;
+  spill_base : int;
+  shadow_ptr_slot : int;
+  counter_slot : int;
+  data_limit : int;
+  mutable cursor : int;
+}
+
+exception Out_of_memory
+
+let code_region_base = 0x0040_0000
+
+let create ~mem_size ~code_capacity =
+  let code_limit = code_region_base + code_capacity in
+  (* data region: everything between the code region and the top *)
+  let data_base = code_limit in
+  if mem_size - data_base < 0x1_0000 then
+    invalid_arg "Layout.create: machine too small for the SDT data region";
+  let ctx_base = data_base in
+  let result_slot = ctx_base + (32 * 4) in
+  let spill_base = result_slot + 4 in
+  let shadow_ptr_slot = spill_base + (4 * 4) in
+  let counter_slot = shadow_ptr_slot + 4 in
+  let cursor = counter_slot + 4 in
+  {
+    code_base = code_region_base;
+    code_limit;
+    ctx_base;
+    result_slot;
+    spill_base;
+    shadow_ptr_slot;
+    counter_slot;
+    data_limit = mem_size;
+    cursor;
+  }
+
+let alloc t ~bytes =
+  let addr = (t.cursor + 3) land lnot 3 in
+  if addr + bytes > t.data_limit then raise Out_of_memory;
+  t.cursor <- addr + bytes;
+  addr
+
+let in_code t addr = addr >= t.code_base && addr < t.code_limit

@@ -1,0 +1,41 @@
+(** The translator's memory map inside simulated memory.
+
+    Everything the SDT owns lives in simulated memory so that emitted
+    code pays real instruction-fetch costs and table probes pay real
+    data-cache costs:
+
+    - the {e code region} holds translated fragments, stubs and shared
+      routines;
+    - the {e data region} holds the register-context save area, the
+      dispatch result slot, scratch spill slots, the shadow-stack
+      pointer and storage, and the IBTC / sieve / return-cache tables
+      (allocated by {!alloc}).
+
+    Table allocations survive fragment-cache flushes (only their
+    contents are reinitialised), so {!alloc} is monotonic. *)
+
+type t = {
+  code_base : int;
+  code_limit : int;      (** exclusive *)
+  ctx_base : int;        (** 32-word register save area *)
+  result_slot : int;     (** fragment address handed back by the runtime *)
+  spill_base : int;      (** 4 scratch spill words *)
+  shadow_ptr_slot : int; (** current shadow-stack pointer *)
+  counter_slot : int;    (** instrumentation counter (memory-op counting) *)
+  data_limit : int;
+  mutable cursor : int;  (** next free data byte *)
+}
+
+exception Out_of_memory
+
+val create : mem_size:int -> code_capacity:int -> t
+(** Carve the map out of a machine of [mem_size] bytes. The code region
+    starts at 0x0040_0000 and is capped at [code_capacity] bytes.
+    @raise Invalid_argument if the machine is too small. *)
+
+val alloc : t -> bytes:int -> int
+(** Allocate word-aligned SDT data. @raise Out_of_memory when the data
+    region is exhausted. *)
+
+val in_code : t -> int -> bool
+(** Is the address inside the fragment code region? *)

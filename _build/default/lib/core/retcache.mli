@@ -1,0 +1,33 @@
+(** The return cache.
+
+    A direct-mapped, untagged table indexed by a hash of the application
+    return address. Each translated call stores the address of its
+    translated return point into the slot for its (statically known)
+    return address; a translated return hashes the dynamic [$ra], loads
+    the slot, and jumps — three ALU ops, one load, one jump, no tag
+    compare. The translated return point begins with verification code
+    that compares [$ra] against the return address it was built for and
+    escapes to the IB mechanism on mismatch (hash collision or
+    irregular control flow), preserving correctness. *)
+
+type t
+
+val create : Env.t -> entries:int -> t
+(** Allocate the table, emit the default-slot routine (which forwards
+    to {!Env.t.mech_routine} — the mechanism routine must already be
+    wired), and point every slot at it. *)
+
+val emit_call_site : t -> Env.t -> app_ret:int -> re:Emitter.label -> unit
+(** Emit the call-side store of the (forward) return-entry label into
+    the slot for [app_ret]. *)
+
+val emit_return_entry : t -> Env.t -> app_ret:int -> re:Emitter.label -> unit
+(** Place [re] and emit the verification prologue; falls through on a
+    verified return (the caller emits the continuation next). *)
+
+val emit_return_site : t -> Env.t -> unit
+(** Emit the translation of [jr $ra]: hash, load, jump. *)
+
+val on_flush : t -> Env.t -> unit
+(** Re-emit the default routine and reset every slot to it (cached
+    return entries died with the code region). *)

@@ -1,0 +1,214 @@
+module Arch = Sdt_march.Arch
+module Timing = Sdt_march.Timing
+module Machine = Sdt_machine.Machine
+module Memory = Sdt_machine.Memory
+module Loader = Sdt_machine.Loader
+module Program = Sdt_isa.Program
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type mech_instance = M_dispatch | M_ibtc of Ibtc.t | M_sieve of Sieve.t
+
+type t = {
+  env : Env.t;
+  mutable ret : Translate.ret_plan;
+  mutable mech : mech_instance;
+  entry : int;
+  (* program shepherding: the address range of the application's text
+     segment (the one containing the entry point); valid transfer
+     targets must be word-aligned addresses inside it *)
+  text_lo : int;
+  text_hi : int;
+}
+
+exception Policy_violation of { target : int }
+
+let wire_mech_dispatch env =
+  env.Env.mech_routine <- env.Env.translator_entry;
+  env.Env.emit_ib <-
+    (fun env ~tail -> Env.emit_goto_routine env ~tail env.Env.translator_entry)
+
+let setup_shared t =
+  let env = t.env in
+  env.Env.translator_entry <- Dispatch.emit_routine env;
+  (match env.Env.cfg.Config.mech with
+  | Config.Dispatch ->
+      t.mech <- M_dispatch;
+      wire_mech_dispatch env
+  | Config.Ibtc icfg ->
+      let i = Ibtc.create env icfg in
+      t.mech <- M_ibtc i;
+      env.Env.mech_routine <-
+        (if icfg.Config.shared then Ibtc.routine i else env.Env.translator_entry);
+      env.Env.emit_ib <- (fun env ~tail -> Ibtc.emit_site i env ~tail)
+  | Config.Sieve scfg ->
+      let s = Sieve.create env scfg in
+      t.mech <- M_sieve s;
+      env.Env.mech_routine <- Sieve.routine s;
+      env.Env.emit_ib <- (fun env ~tail -> Sieve.emit_site s env ~tail));
+  t.ret <-
+    (match env.Env.cfg.Config.returns with
+    | Config.As_ib -> Translate.Plan_as_ib
+    | Config.Return_cache { entries } ->
+        Translate.Plan_retcache (Retcache.create env ~entries)
+    | Config.Shadow_stack { depth } ->
+        Translate.Plan_shadow (Shadow_stack.create env ~depth)
+    | Config.Fast_return -> Translate.Plan_fast)
+
+let reemit_shared t =
+  (* Shared routines are re-emitted in exactly the creation order, so
+     they land at the same addresses; mechanism tables are merely
+     cleared (their storage is stable across flushes). *)
+  let env = t.env in
+  let te = Dispatch.emit_routine env in
+  if te <> env.Env.translator_entry then
+    error "flush: dispatch routine moved (%#x -> %#x)" env.Env.translator_entry
+      te;
+  (match t.mech with
+  | M_dispatch -> wire_mech_dispatch env
+  | M_ibtc i ->
+      Ibtc.on_flush i env;
+      env.Env.mech_routine <-
+        (match env.Env.cfg.Config.mech with
+        | Config.Ibtc { shared = true; _ } -> Ibtc.routine i
+        | Config.Ibtc _ | Config.Dispatch | Config.Sieve _ ->
+            env.Env.translator_entry)
+  | M_sieve s ->
+      Sieve.on_flush s env;
+      env.Env.mech_routine <- Sieve.routine s);
+  match t.ret with
+  | Translate.Plan_retcache rc -> Retcache.on_flush rc t.env
+  | Translate.Plan_shadow sh -> Shadow_stack.on_flush sh t.env
+  | Translate.Plan_as_ib | Translate.Plan_fast -> ()
+
+let flush_env t () =
+  let env = t.env in
+  if env.Env.cfg.Config.returns = Config.Fast_return then
+    error
+      "fragment cache overflow under fast returns: translated return \
+       addresses live in application state and cannot be invalidated; \
+       increase code_capacity";
+  env.Env.stats.Stats.flushes <- env.Env.stats.Stats.flushes + 1;
+  env.Env.generation <- env.Env.generation + 1;
+  Hashtbl.reset env.Env.frags;
+  Hashtbl.reset env.Env.traps;
+  env.Env.ib_site_counters <- [];
+  Emitter.reset ~force:true env.Env.em;
+  reemit_shared t
+
+let ensure t app_pc =
+  let env = t.env in
+  if
+    env.Env.cfg.Config.shepherd
+    && (app_pc < t.text_lo || app_pc >= t.text_hi || app_pc land 3 <> 0)
+  then raise (Policy_violation { target = app_pc });
+  match Hashtbl.find_opt env.Env.frags app_pc with
+  | Some frag -> frag
+  | None -> (
+      let before = env.Env.stats.Stats.insts_translated in
+      let frag =
+        try Translate.block env ~ret:t.ret app_pc
+        with Emitter.Code_full -> (
+          env.Env.flush ();
+          try Translate.block env ~ret:t.ret app_pc
+          with Emitter.Code_full ->
+            error "a single block overflows the whole code region")
+      in
+      let n = env.Env.stats.Stats.insts_translated - before in
+      Env.charge env (n * env.Env.arch.Arch.translate_per_inst);
+      frag)
+
+let create ~cfg ~arch ?timing (program : Program.t) =
+  (match Config.validate cfg with
+  | Ok () -> ()
+  | Error msg -> error "invalid configuration: %s" msg);
+  let machine = Loader.load ?timing program in
+  let layout =
+    Layout.create
+      ~mem_size:(Memory.size machine.Machine.mem)
+      ~code_capacity:cfg.Config.code_capacity
+  in
+  let em =
+    Emitter.create ~mem:machine.Machine.mem ~base:layout.Layout.code_base
+      ~limit:layout.Layout.code_limit
+  in
+  let env = Env.create ~cfg ~arch ~machine ~em ~layout in
+  let text_lo, text_hi =
+    match
+      List.find_opt
+        (fun { Program.base; data } ->
+          program.Program.entry >= base
+          && program.Program.entry < base + Bytes.length data)
+        program.Program.segments
+    with
+    | Some { Program.base; data } -> (base, base + Bytes.length data)
+    | None -> (program.Program.entry, program.Program.entry + 4)
+  in
+  let t =
+    {
+      env;
+      ret = Translate.Plan_as_ib;
+      mech = M_dispatch;
+      entry = program.Program.entry;
+      text_lo;
+      text_hi;
+    }
+  in
+  setup_shared t;
+  env.Env.ensure_translated <- (fun pc -> ensure t pc);
+  env.Env.flush <- flush_env t;
+  Machine.set_trap_handler machine (fun m ~code ~trap_pc ->
+      match Hashtbl.find_opt env.Env.traps trap_pc with
+      | Some h -> h m ~trap_pc
+      | None -> error "stray trap %d at %#x" code trap_pc);
+  t
+
+let run ?max_steps t =
+  (try
+     let entry_frag = ensure t t.entry in
+     t.env.Env.machine.Machine.pc <- entry_frag
+   with Translate.Unsupported msg -> error "unsupported application: %s" msg);
+  try Machine.run ?max_steps t.env.Env.machine
+  with Translate.Unsupported msg -> error "unsupported application: %s" msg
+
+let machine t = t.env.Env.machine
+let stats t = t.env.Env.stats
+let env t = t.env
+let code_bytes t = Emitter.used_bytes t.env.Env.em
+
+let fragments t =
+  Hashtbl.fold (fun app frag acc -> (app, frag) :: acc) t.env.Env.frags []
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+let mech_stats t =
+  match t.mech with
+  | M_dispatch -> []
+  | M_ibtc i -> [ ("ibtc_table_bytes", float_of_int (Ibtc.table_bytes i)) ]
+  | M_sieve s ->
+      [
+        ("sieve_stubs", float_of_int (Sieve.stub_count s));
+        ("sieve_max_chain", float_of_int (Sieve.max_chain s));
+        ("sieve_avg_chain", Sieve.avg_chain s);
+      ]
+
+let ib_site_profile t =
+  let mem = t.env.Env.machine.Machine.mem in
+  (* overlapping basic blocks can translate the same application IB more
+     than once; merge counters by application PC *)
+  let by_pc = Hashtbl.create 64 in
+  List.iter
+    (fun (pc, slot) ->
+      let prev = Option.value (Hashtbl.find_opt by_pc pc) ~default:0 in
+      Hashtbl.replace by_pc pc (prev + Memory.load_word mem slot))
+    t.env.Env.ib_site_counters;
+  Hashtbl.fold (fun pc count acc -> (pc, count) :: acc) by_pc []
+  |> List.sort (fun (pa, a) (pb, b) ->
+         if a = b then compare pa pb else compare b a)
+
+let instrumented_memops t =
+  Memory.load_word t.env.Env.machine.Machine.mem
+    t.env.Env.layout.Layout.counter_slot
+
+let flush t = flush_env t ()

@@ -1,0 +1,63 @@
+(** The SDT runtime: wires the machine, translator, and IB mechanisms
+    together and runs an application under translation.
+
+    Execution never touches original application text after startup:
+    the entry block is translated, the machine's PC is pointed into the
+    fragment cache, and all further translation happens through trap
+    handlers (lazy block translation, stub linking, IB misses). *)
+
+module Arch = Sdt_march.Arch
+module Timing = Sdt_march.Timing
+module Machine = Sdt_machine.Machine
+module Program = Sdt_isa.Program
+
+exception Error of string
+
+exception Policy_violation of { target : int }
+(** Raised (under {!Config.t.shepherd}) when a control transfer tries to
+    enter code outside the application's text segment — e.g. an indirect
+    branch through a corrupted function pointer. *)
+
+type t
+
+val create :
+  cfg:Config.t -> arch:Arch.t -> ?timing:Timing.t -> Program.t -> t
+(** Load the program, emit the shared routines, and install the trap
+    handler. The machine is not started yet.
+    @raise Error on an invalid configuration. *)
+
+val run : ?max_steps:int -> t -> unit
+(** Translate the entry block and run to exit.
+    @raise Machine.Error on step-limit overrun;
+    @raise Error on translator failures (unsupported application code,
+    fragment-cache overflow under fast returns). *)
+
+val machine : t -> Machine.t
+val stats : t -> Stats.t
+val env : t -> Env.t
+
+val code_bytes : t -> int
+(** Bytes of fragment-cache code currently emitted. *)
+
+val fragments : t -> (int * int) list
+(** The fragment map: (application PC, fragment address) pairs, sorted
+    by fragment address — i.e. in emission order. *)
+
+val mech_stats : t -> (string * float) list
+(** Mechanism-specific extras for reports (e.g. sieve chain lengths). *)
+
+val instrumented_memops : t -> int
+(** Value of the instrumentation counter
+    ({!Config.t.count_memops}). *)
+
+val ib_site_profile : t -> (int * int) list
+(** Per-site execution counts collected under
+    {!Config.t.profile_ib_sites}: (application PC, executions), merged
+    across overlapping fragments and sorted hottest-first (ties by PC).
+    Counts reset on a fragment-cache flush (the sites are
+    retranslated). *)
+
+val flush : t -> unit
+(** Force a fragment-cache flush (also triggered automatically on
+    overflow). @raise Error under the fast-return policy, whose
+    fragment addresses escape into application state. *)

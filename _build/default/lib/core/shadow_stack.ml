@@ -1,0 +1,53 @@
+module Inst = Sdt_isa.Inst
+module Reg = Sdt_isa.Reg
+module Machine = Sdt_machine.Machine
+module Memory = Sdt_machine.Memory
+
+type t = { base : int; limit : int }
+
+let reset_ptr t env =
+  Memory.store_word env.Env.machine.Machine.mem
+    env.Env.layout.Layout.shadow_ptr_slot t.base
+
+let create env ~depth =
+  let base = Layout.alloc env.Env.layout ~bytes:(8 * depth) in
+  let t = { base; limit = base + (8 * depth) } in
+  reset_ptr t env;
+  t
+
+let emit_call_site t env ~app_ret ~re =
+  let em = env.Env.em in
+  let lskip = Emitter.fresh em in
+  Emitter.li32 em Reg.k1 env.Env.layout.Layout.shadow_ptr_slot;
+  Emitter.emit em (Inst.Lw (Reg.at, Reg.k1, 0));
+  (* overflow: leave the stack full; the unmatched return will fall
+     back through the IB mechanism *)
+  Emitter.li32 em Reg.k0 t.limit;
+  Emitter.branch_to em (Inst.Bgeu (Reg.at, Reg.k0, 0)) lskip;
+  Emitter.li32 em Reg.k0 app_ret;
+  Emitter.emit em (Inst.Sw (Reg.k0, Reg.at, 0));
+  Emitter.li32_label em Reg.k0 re;
+  Emitter.emit em (Inst.Sw (Reg.k0, Reg.at, 4));
+  Emitter.emit em (Inst.Addi (Reg.at, Reg.at, 8));
+  Emitter.emit em (Inst.Sw (Reg.at, Reg.k1, 0));
+  Emitter.place em lskip
+
+let emit_return_site t env =
+  let em = env.Env.em in
+  let lmiss = Emitter.fresh em in
+  Emitter.li32 em Reg.k1 env.Env.layout.Layout.shadow_ptr_slot;
+  Emitter.emit em (Inst.Lw (Reg.at, Reg.k1, 0));
+  Emitter.li32 em Reg.k0 t.base;
+  (* underflow: empty stack *)
+  Emitter.branch_to em (Inst.Bgeu (Reg.k0, Reg.at, 0)) lmiss;
+  Emitter.emit em (Inst.Addi (Reg.at, Reg.at, -8));
+  Emitter.emit em (Inst.Sw (Reg.at, Reg.k1, 0));
+  Emitter.emit em (Inst.Lw (Reg.k0, Reg.at, 0));
+  Emitter.branch_to em (Inst.Bne (Reg.k0, Reg.ra, 0)) lmiss;
+  Emitter.emit em (Inst.Lw (Reg.k1, Reg.at, 4));
+  Emitter.emit em (Inst.Jr Reg.k1);
+  Emitter.place em lmiss;
+  Emitter.emit em (Inst.Add (Reg.k0, Reg.ra, Reg.zero));
+  Emitter.jump_abs em `J env.Env.mech_routine
+
+let on_flush t env = reset_ptr t env

@@ -1,0 +1,30 @@
+(** The shadow return stack.
+
+    A translator-private stack of (application return address, translated
+    return point) pairs. Calls push; returns pop, compare the saved
+    application return address against the dynamic [$ra], and jump to the
+    saved return point on a match. Irregular control flow — returns that
+    do not pair with the pushing call, overflow, underflow — falls back
+    to the IB mechanism; the stack self-heals because a mismatch simply
+    discards the popped frame.
+
+    The shadow-stack pointer lives in translator memory (not a pinned
+    register), so every push/pop pays the pointer load/store — the cost
+    Strata reports for software return stacks on register-starved
+    hosts. *)
+
+type t
+
+val create : Env.t -> depth:int -> t
+(** Allocate [depth] 8-byte frames and point the stack pointer at the
+    base. *)
+
+val emit_call_site : t -> Env.t -> app_ret:int -> re:Emitter.label -> unit
+(** Emit the push (with overflow check — a full stack skips the push). *)
+
+val emit_return_site : t -> Env.t -> unit
+(** Emit the pop/verify/jump sequence for [jr $ra]. *)
+
+val on_flush : t -> Env.t -> unit
+(** Reset the stack pointer: saved return points are stale; subsequent
+    returns underflow into the IB mechanism, which is correct. *)

@@ -1,0 +1,154 @@
+module Inst = Sdt_isa.Inst
+module Reg = Sdt_isa.Reg
+module Arch = Sdt_march.Arch
+module Machine = Sdt_machine.Machine
+module Memory = Sdt_machine.Memory
+
+type t = {
+  cfg : Config.sieve;
+  bucket_base : int;
+  mutable miss_routine : int;
+  mutable dispatch_routine : int;
+  (* bucket index -> (chain length, address of the tail stub's "j next"
+     word, for tail insertion) *)
+  chains : (int, int * int) Hashtbl.t;
+}
+
+let hash_value (cfg : Config.sieve) target =
+  (target lsr 2) land (cfg.buckets - 1)
+
+let bucket_addr t idx = t.bucket_base + (4 * idx)
+
+let reset_buckets t env =
+  let mem = env.Env.machine.Machine.mem in
+  for i = 0 to t.cfg.Config.buckets - 1 do
+    Memory.store_word mem (bucket_addr t i) t.miss_routine
+  done;
+  Hashtbl.reset t.chains
+
+(* One sieve stub:
+     lui  $at, hi(target)
+     ori  $at, $at, lo(target)
+     beq  $at, $k0, +1        ; skip the chain link
+     j    next                ; next stub in chain, or the miss routine
+     [spill epilogue]
+     j    fragment
+   The "j next" word is what tail insertion patches. *)
+let emit_stub t env ~target ~frag ~next =
+  let em = env.Env.em in
+  let entry = Emitter.here em in
+  Emitter.li32 em Reg.at target;
+  Emitter.emit em (Inst.Beq (Reg.at, Reg.k0, 1));
+  let jnext_at = Emitter.here em in
+  Emitter.jump_abs em `J next;
+  Env.emit_spill_epilogue env;
+  Emitter.jump_abs em `J frag;
+  ignore t;
+  (entry, jnext_at)
+
+let emit_miss_routine t env =
+  let em = env.Env.em in
+  let entry = Emitter.here em in
+  Context.emit_save env;
+  let restore = ref 0 in
+  Env.emit_trap env ~code:Env.trap_sieve (fun m ~trap_pc:_ ->
+      let stats = env.Env.stats in
+      stats.Stats.sieve_misses <- stats.Stats.sieve_misses + 1;
+      let target = Machine.reg m Reg.k0 in
+      let mem = m.Machine.mem in
+      (* Translating the target or emitting the stub can overflow the
+         code region; a flush resets chains and buckets, after which the
+         whole insertion is retried against the fresh state. *)
+      let rec attempt () =
+        let frag = env.Env.ensure_translated target in
+        let idx = hash_value t.cfg target in
+        let baddr = bucket_addr t idx in
+        let len, tail_jnext =
+          match Hashtbl.find_opt t.chains idx with
+          | Some c -> c
+          | None -> (0, 0)
+        in
+        match
+          if t.cfg.Config.insert_at_head then begin
+            let old_head = Memory.load_word mem baddr in
+            let e, j = emit_stub t env ~target ~frag ~next:old_head in
+            Memory.store_word mem baddr e;
+            (j, frag, idx, len)
+          end
+          else begin
+            let e, j = emit_stub t env ~target ~frag ~next:t.miss_routine in
+            if len = 0 then Memory.store_word mem baddr e
+            else begin
+              (* patch the previous tail's chain link to the new stub *)
+              let idx26 = (e lsr 2) land 0x3FF_FFFF in
+              Emitter.patch em tail_jnext (Inst.J idx26)
+            end;
+            (j, frag, idx, len)
+          end
+        with
+        | result -> result
+        | exception Emitter.Code_full ->
+            env.Env.flush ();
+            attempt ()
+      in
+      let stub_jnext, frag, idx, len = attempt () in
+      Hashtbl.replace t.chains idx (len + 1, stub_jnext);
+      stats.Stats.sieve_stubs <- stats.Stats.sieve_stubs + 1;
+      Memory.store_word mem env.Env.layout.Layout.result_slot frag;
+      Env.charge env
+        (env.Env.arch.Arch.trap_cycles + env.Env.arch.Arch.lookup_cycles
+        + (5 * env.Env.arch.Arch.translate_per_inst));
+      m.Machine.pc <- !restore);
+  restore := Emitter.here em;
+  Context.emit_restore_and_jump env ~tail:Env.Tail_jr;
+  t.miss_routine <- entry
+
+let emit_body t env ~tail =
+  let em = env.Env.em in
+  Env.emit_spill_prologue env;
+  Emitter.emit em (Inst.Srl (Reg.at, Reg.k0, 2));
+  Emitter.emit em (Inst.Andi (Reg.at, Reg.at, t.cfg.Config.buckets - 1));
+  Emitter.emit em (Inst.Sll (Reg.at, Reg.at, 2));
+  Emitter.li32 em Reg.k1 t.bucket_base;
+  Emitter.emit em (Inst.Add (Reg.k1, Reg.k1, Reg.at));
+  Emitter.emit em (Inst.Lw (Reg.k1, Reg.k1, 0));
+  Env.emit_transfer env ~tail
+
+let emit_dispatch_routine t env =
+  let entry = Emitter.here env.Env.em in
+  emit_body t env ~tail:Env.Tail_jr;
+  t.dispatch_routine <- entry
+
+let emit_routines t env =
+  emit_miss_routine t env;
+  emit_dispatch_routine t env
+
+let create env (cfg : Config.sieve) =
+  let bucket_base = Layout.alloc env.Env.layout ~bytes:(4 * cfg.buckets) in
+  let t =
+    {
+      cfg;
+      bucket_base;
+      miss_routine = 0;
+      dispatch_routine = 0;
+      chains = Hashtbl.create 256;
+    }
+  in
+  emit_routines t env;
+  reset_buckets t env;
+  t
+
+let routine t = t.dispatch_routine
+let emit_site t env ~tail = emit_body t env ~tail
+
+let on_flush t env =
+  emit_routines t env;
+  reset_buckets t env
+
+let stub_count t = Hashtbl.fold (fun _ (len, _) acc -> acc + len) t.chains 0
+
+let max_chain t = Hashtbl.fold (fun _ (len, _) acc -> max acc len) t.chains 0
+
+let avg_chain t =
+  let n = Hashtbl.length t.chains in
+  if n = 0 then 0.0 else float_of_int (stub_count t) /. float_of_int n

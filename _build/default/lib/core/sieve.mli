@@ -1,0 +1,36 @@
+(** The sieve: IB dispatch through chains of translated compare-and-jump
+    stubs.
+
+    A sieve replaces the IBTC's data-side hash table with code: the
+    target is hashed into a bucket table whose slots hold {e code
+    addresses}; the indirect jump lands on the bucket's chain of stubs,
+    each of which compares the target against one known application
+    address (materialised as immediates — no data loads) and either
+    jumps directly to the translated fragment or falls to the next stub.
+    Unknown targets reach the sieve-miss routine, which context-switches
+    into the translator to translate the target and grow the chain.
+
+    Compared to the IBTC, the sieve trades data-cache pressure for
+    instruction-cache pressure and conditional-branch prediction — which
+    is exactly the architecture-sensitivity the paper measures. *)
+
+type t
+
+val create : Env.t -> Config.sieve -> t
+(** Allocate and initialise the bucket table and emit the miss routine
+    and the shared dispatch routine. *)
+
+val routine : t -> int
+(** Shared dispatch routine (target in [$k0], ends with the bucket-table
+    [jr]). *)
+
+val emit_site : t -> Env.t -> tail:Env.tail -> unit
+(** Emit the inline hash + bucket-table jump. *)
+
+val on_flush : t -> Env.t -> unit
+(** Re-emit routines after a flush and point every bucket back at the
+    miss routine; chains are gone with the code region. *)
+
+val stub_count : t -> int
+val max_chain : t -> int
+val avg_chain : t -> float

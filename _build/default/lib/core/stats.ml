@@ -1,0 +1,69 @@
+type t = {
+  mutable blocks_translated : int;
+  mutable insts_translated : int;
+  mutable links : int;
+  mutable dispatch_entries : int;
+  mutable ibtc_misses_full : int;
+  mutable ibtc_misses_fast : int;
+  mutable ibtc_tables : int;
+  mutable sieve_misses : int;
+  mutable sieve_stubs : int;
+  mutable retcache_fallbacks : int;
+  mutable shadow_fallbacks : int;
+  mutable pred_fills : int;
+  mutable pred_exhausted_sites : int;
+  mutable flushes : int;
+  mutable ib_sites : int;
+}
+
+let create () =
+  {
+    blocks_translated = 0;
+    insts_translated = 0;
+    links = 0;
+    dispatch_entries = 0;
+    ibtc_misses_full = 0;
+    ibtc_misses_fast = 0;
+    ibtc_tables = 0;
+    sieve_misses = 0;
+    sieve_stubs = 0;
+    retcache_fallbacks = 0;
+    shadow_fallbacks = 0;
+    pred_fills = 0;
+    pred_exhausted_sites = 0;
+    flushes = 0;
+    ib_sites = 0;
+  }
+
+let reset t =
+  t.blocks_translated <- 0;
+  t.insts_translated <- 0;
+  t.links <- 0;
+  t.dispatch_entries <- 0;
+  t.ibtc_misses_full <- 0;
+  t.ibtc_misses_fast <- 0;
+  t.ibtc_tables <- 0;
+  t.sieve_misses <- 0;
+  t.sieve_stubs <- 0;
+  t.retcache_fallbacks <- 0;
+  t.shadow_fallbacks <- 0;
+  t.pred_fills <- 0;
+  t.pred_exhausted_sites <- 0;
+  t.flushes <- 0;
+  t.ib_sites <- 0
+
+let total_ib_misses t =
+  t.dispatch_entries + t.ibtc_misses_full + t.ibtc_misses_fast + t.sieve_misses
+  + t.retcache_fallbacks + t.shadow_fallbacks
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>blocks translated: %d@,app insts translated: %d@,links patched: \
+     %d@,dispatch entries: %d@,ibtc misses (full/fast): %d/%d@,ibtc tables: \
+     %d@,sieve misses: %d@,sieve stubs: %d@,retcache fallbacks: %d@,shadow \
+     fallbacks: %d@,pred fills: %d@,pred exhausted sites: %d@,flushes: \
+     %d@,static IB sites: %d@]"
+    t.blocks_translated t.insts_translated t.links t.dispatch_entries
+    t.ibtc_misses_full t.ibtc_misses_fast t.ibtc_tables t.sieve_misses
+    t.sieve_stubs t.retcache_fallbacks t.shadow_fallbacks t.pred_fills
+    t.pred_exhausted_sites t.flushes t.ib_sites

@@ -1,0 +1,33 @@
+(** SDT runtime counters.
+
+    These count events the emitted code cannot count for itself —
+    everything that passes through the translator runtime — plus static
+    code-generation facts. Hit rates are computed by the harness as
+    (dynamic IBs from the native run) − (misses counted here). *)
+
+type t = {
+  mutable blocks_translated : int;
+  mutable insts_translated : int;  (** application instructions decoded *)
+  mutable links : int;             (** direct-branch stubs patched *)
+  mutable dispatch_entries : int;  (** baseline dispatch context switches *)
+  mutable ibtc_misses_full : int;
+  mutable ibtc_misses_fast : int;
+  mutable ibtc_tables : int;       (** tables allocated (per-site mode) *)
+  mutable sieve_misses : int;
+  mutable sieve_stubs : int;
+  mutable retcache_fallbacks : int;
+  mutable shadow_fallbacks : int;
+  mutable pred_fills : int;
+  mutable pred_exhausted_sites : int;
+  mutable flushes : int;
+  mutable ib_sites : int;          (** static indirect-branch sites translated *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val total_ib_misses : t -> int
+(** Dispatch entries + IBTC misses + sieve misses + return fallbacks. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable dump. *)

@@ -1,0 +1,86 @@
+module Word = Sdt_isa.Word
+module Inst = Sdt_isa.Inst
+module Reg = Sdt_isa.Reg
+module Arch = Sdt_march.Arch
+module Machine = Sdt_machine.Machine
+
+let invalid_tag = 0xFFFF_FFFF
+
+type slot = { hi_at : int; lo_at : int; jump_at : int }
+
+type site = {
+  slots : slot array;
+  mutable filled : int;
+  fall_at : int;
+  call_hit : bool;  (* slots perform a jal (fast-return calls) *)
+}
+
+let emit_site (env : Env.t) ~depth ~(tail : Env.tail) ?cont () =
+  let em = env.Env.em in
+  let cont =
+    match (tail, cont) with
+    | Env.Tail_jr, _ -> None
+    | Env.Tail_jalr_ra, Some c -> Some c
+    | Env.Tail_jalr_ra, None ->
+        invalid_arg "Target_pred.emit_site: jalr tail needs a continuation"
+  in
+  let slots =
+    Array.init depth (fun _ ->
+        let hi_at = Emitter.here em in
+        Emitter.li32 em Reg.at invalid_tag;
+        let lo_at = hi_at + 4 in
+        (* on mismatch skip the hit words *)
+        (match cont with
+        | None ->
+            Emitter.emit em (Inst.Bne (Reg.at, Reg.k0, 1));
+            let jump_at = Emitter.here em in
+            (* unreachable until the slot is filled *)
+            Emitter.emit em Inst.Nop;
+            { hi_at; lo_at; jump_at }
+        | Some c ->
+            Emitter.emit em (Inst.Bne (Reg.at, Reg.k0, 2));
+            let jump_at = Emitter.here em in
+            Emitter.emit em Inst.Nop;  (* patched to jal fragment *)
+            Emitter.jump_to em `J c;   (* resumed at after the callee returns *)
+            { hi_at; lo_at; jump_at }))
+  in
+  let gen = env.Env.generation in
+  let fall_at = Emitter.here em in
+  let site = { slots; filled = 0; fall_at; call_hit = cont <> None } in
+  Env.emit_trap env ~code:Env.trap_pred (fun m ~trap_pc:_ ->
+      let target = Machine.reg m Reg.k0 in
+      let frag = env.Env.ensure_translated target in
+      Env.charge env
+        (env.Env.arch.Arch.trap_cycles + env.Env.arch.Arch.lookup_cycles);
+      if env.Env.generation <> gen then m.Machine.pc <- frag
+      else begin
+        let stats = env.Env.stats in
+        let resume = ref frag in
+        if site.filled < Array.length site.slots then begin
+          let s = site.slots.(site.filled) in
+          let w = Word.of_int target in
+          Emitter.patch em s.hi_at (Inst.Lui (Reg.at, Word.hi16 w));
+          Emitter.patch em s.lo_at (Inst.Ori (Reg.at, Reg.at, Word.lo16 w));
+          let idx26 = (frag lsr 2) land 0x3FF_FFFF in
+          Emitter.patch em s.jump_at
+            (if site.call_hit then Inst.Jal idx26 else Inst.J idx26);
+          (* for call slots, resume at the freshly patched jal so this
+             execution performs the call (setting $ra) for real *)
+          if site.call_hit then resume := s.jump_at;
+          site.filled <- site.filled + 1;
+          stats.Stats.pred_fills <- stats.Stats.pred_fills + 1;
+          if site.filled = Array.length site.slots then begin
+            (* all slots taken: unmatched targets now fall through to
+               the mechanism emitted right after this trap word *)
+            Emitter.patch em site.fall_at Inst.Nop;
+            stats.Stats.pred_exhausted_sites <-
+              stats.Stats.pred_exhausted_sites + 1
+          end
+        end
+        else if site.call_hit then
+          (* exhausted call site (the fall trap is about to become the
+             mechanism): this execution still has to perform the call;
+             the mechanism body follows the trap word *)
+          resume := site.fall_at;
+        m.Machine.pc <- !resume
+      end)

@@ -1,0 +1,23 @@
+(** Inline target prediction (inline caching for indirect branches).
+
+    Ahead of the configured mechanism, an IB site compares the target in
+    [$k0] against up to [depth] application addresses burned into the
+    code as immediates, each guarding a direct jump to the corresponding
+    fragment. Slots are filled lazily: until all are taken, the
+    fall-through is a trap whose handler patches the next free slot with
+    the observed target; once full, the trap word is replaced by a NOP
+    and unmatched targets fall through to the mechanism.
+
+    Monomorphic branches are a compare and a direct jump; megamorphic
+    branches pay [4 * depth] extra instructions before the real lookup —
+    the tradeoff the paper's prediction experiment measures. *)
+
+val emit_site :
+  Env.t -> depth:int -> tail:Env.tail -> ?cont:Emitter.label -> unit -> unit
+(** Emit the prediction slots and the lazy-fill trap; the caller emits
+    the mechanism body immediately after. With [Tail_jr], a slot hit is
+    a direct [j fragment]. With [Tail_jalr_ra] (fast-return indirect
+    calls), a slot hit is a direct [jal fragment] followed by a jump to
+    [cont] — the call site's continuation label, which the caller must
+    place on its continuation stub. @raise Invalid_argument if
+    [Tail_jalr_ra] is requested without [cont]. *)

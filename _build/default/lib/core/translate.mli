@@ -1,0 +1,37 @@
+(** Basic-block translation.
+
+    The translator decodes application instructions straight out of
+    simulated memory and emits their translation into the fragment
+    cache. Non-control instructions translate to themselves (the
+    application ABI guarantees they never touch the reserved registers);
+    control transfers are rewritten:
+
+    - direct branches/jumps end the block with {e exit stubs} that trap
+      once, get patched ("linked") to jump fragment-to-fragment, and
+      thereafter cost a single direct jump;
+    - calls additionally materialise the application return address (or,
+      under fast returns, perform a real [jal] so the hardware return
+      stack pairs) and run the return policy's call-side setup;
+    - indirect jumps, indirect calls and returns get the configured IB
+      mechanism, optionally preceded by inline target prediction.
+
+    Translation is lazy: a block's successors are translated only when
+    first executed. *)
+
+type ret_plan =
+  | Plan_as_ib
+  | Plan_retcache of Retcache.t
+  | Plan_shadow of Shadow_stack.t
+  | Plan_fast
+
+exception Unsupported of string
+(** The application used a reserved register, contained a [Trap] or
+    undecodable word, or otherwise stepped outside the translatable
+    subset. *)
+
+val block : Env.t -> ret:ret_plan -> int -> int
+(** [block env ~ret app_pc] returns the fragment address for [app_pc],
+    translating the basic block if needed. Raises [Emitter.Code_full]
+    when the code region overflows (the runtime flushes and retries);
+    does not itself charge translation cycles (the runtime does, from
+    the {!Stats.t.insts_translated} delta). *)

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: List Option Run Sdt_core Sdt_march Sdt_workloads String Summary Table

@@ -1,0 +1,1 @@
+lib/harness/run.ml: Hashtbl Printf Sdt_core Sdt_isa Sdt_machine Sdt_march

@@ -1,0 +1,1 @@
+lib/harness/run.mli: Sdt_core Sdt_isa Sdt_march

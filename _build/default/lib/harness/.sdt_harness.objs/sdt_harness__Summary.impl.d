@@ -1,0 +1,1 @@
+lib/harness/summary.ml: List Printf

@@ -1,0 +1,700 @@
+module Arch = Sdt_march.Arch
+module Config = Sdt_core.Config
+module Stats = Sdt_core.Stats
+module Suite = Sdt_workloads.Suite
+
+type size = [ `Test | `Ref ]
+
+type experiment = { id : string; title : string; run : size -> Table.t list }
+
+let key e (size : size) =
+  e.Suite.name ^ match size with `Test -> ":test" | `Ref -> ":ref"
+
+let build e (size : size) () = Suite.program e size
+
+let native ?(arch = Arch.arch_a) e size =
+  Run.native ~arch ~key:(key e size) (build e size)
+
+let sdt ?(arch = Arch.arch_a) ~cfg e size =
+  Run.sdt ~arch ~cfg ~key:(key e size) (build e size)
+
+let app_ibs (n : Run.native) = n.Run.n_ijumps + n.Run.n_icalls + n.Run.n_returns
+
+(* configuration constructors *)
+
+let ibtc ?(entries = 4096) ?(ways = 1) ?(shared = true) ?(per_site = 64)
+    ?(miss = Config.Fast_reload) ?(hash = Config.Shift_mask) ?(inline = true)
+    ?(returns = Config.As_ib) ?(pred = 0) () =
+  {
+    Config.default with
+    mech =
+      Config.Ibtc
+        {
+          entries;
+          ways;
+          shared;
+          per_site_entries = per_site;
+          miss;
+          hash;
+          inline_lookup = inline;
+        };
+    returns;
+    pred_depth = pred;
+  }
+
+let sieve ?(buckets = 4096) ?(head = true) ?(returns = Config.As_ib) () =
+  {
+    Config.default with
+    mech = Config.Sieve { buckets; insert_at_head = head };
+    returns;
+  }
+
+let geomean_row label values =
+  label :: List.map (fun v -> Summary.f2 v) values
+
+(* ------------------------------------------------------------------ *)
+(* T1 *)
+
+let table_ib_characteristics size =
+  let rows =
+    List.map
+      (fun e ->
+        let n = native e size in
+        [
+          e.Suite.name;
+          Summary.millions n.Run.n_instrs;
+          Summary.f2 (Summary.per_mille n.Run.n_ijumps n.Run.n_instrs);
+          Summary.f2 (Summary.per_mille n.Run.n_icalls n.Run.n_instrs);
+          Summary.f2 (Summary.per_mille n.Run.n_returns n.Run.n_instrs);
+          Summary.f2 (Summary.per_mille (app_ibs n) n.Run.n_instrs);
+        ])
+      Suite.all
+  in
+  let means =
+    let col f =
+      Summary.mean
+        (List.map
+           (fun e ->
+             let n = native e size in
+             Summary.per_mille (f n) n.Run.n_instrs)
+           Suite.all)
+    in
+    [
+      "mean";
+      "";
+      Summary.f2 (col (fun n -> n.Run.n_ijumps));
+      Summary.f2 (col (fun n -> n.Run.n_icalls));
+      Summary.f2 (col (fun n -> n.Run.n_returns));
+      Summary.f2 (col app_ibs);
+    ]
+  in
+  [
+    Table.make ~title:"T1: dynamic indirect-branch characteristics"
+      ~note:
+        "Per-benchmark dynamic counts, per 1000 executed instructions \
+         (native run). Returns dominate; interpreters (perlbmk, gap) and \
+         OO codes (eon, vortex) are IB-heavy; mcf/bzip2 are IB-free."
+      ~headers:
+        [ "benchmark"; "instrs"; "ijump/1k"; "icall/1k"; "return/1k"; "IB/1k" ]
+      (rows @ [ means ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* F1 *)
+
+let fig_baseline_overhead size =
+  let rows =
+    List.map
+      (fun e ->
+        let n = native e size in
+        let s = sdt ~cfg:Config.baseline e size in
+        [
+          e.Suite.name;
+          Summary.f2 s.Run.slowdown;
+          Summary.f1 (Summary.pct s.Run.s_runtime_cycles s.Run.s_cycles);
+          Summary.f2
+            (Summary.per_mille s.Run.s_stats.Stats.dispatch_entries
+               n.Run.n_instrs);
+          Summary.f1 (float_of_int s.Run.s_code_bytes /. 1024.0);
+        ])
+      Suite.all
+  in
+  let gm =
+    Summary.geomean
+      (List.map (fun e -> (sdt ~cfg:Config.baseline e size).Run.slowdown) Suite.all)
+  in
+  [
+    Table.make ~title:"F1: baseline SDT overhead (translator dispatch for every IB)"
+      ~note:
+        "Slowdown vs native on archA; runtime% = cycles spent inside the \
+         translator runtime; switches/1k = full context switches per 1000 \
+         application instructions."
+      ~headers:[ "benchmark"; "slowdown"; "runtime%"; "switch/1k"; "code KB" ]
+      (rows @ [ geomean_row "geomean" [ gm ] ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* F2 *)
+
+let ibtc_sizes = [ 16; 64; 256; 1024; 4096; 65536 ]
+
+let fig_ibtc_size_sweep size =
+  let measure e entries = sdt ~cfg:(ibtc ~entries ()) e size in
+  let slow_rows =
+    List.map
+      (fun e ->
+        e.Suite.name
+        :: List.map (fun n -> Summary.f2 (measure e n).Run.slowdown) ibtc_sizes)
+      Suite.all
+  in
+  let gm =
+    "geomean"
+    :: List.map
+         (fun n ->
+           Summary.f2
+             (Summary.geomean
+                (List.map (fun e -> (measure e n).Run.slowdown) Suite.all)))
+         ibtc_sizes
+  in
+  let miss_rows =
+    List.map
+      (fun e ->
+        let nat = native e size in
+        e.Suite.name
+        :: List.map
+             (fun n ->
+               let s = measure e n in
+               let misses =
+                 s.Run.s_stats.Stats.ibtc_misses_fast
+                 + s.Run.s_stats.Stats.ibtc_misses_full
+               in
+               Summary.f2 (Summary.pct misses (app_ibs nat)))
+             ibtc_sizes)
+      Suite.all
+  in
+  let headers = "benchmark" :: List.map string_of_int ibtc_sizes in
+  [
+    Table.make ~title:"F2a: shared IBTC size sweep — slowdown vs native (archA)"
+      ~note:
+        "Returns handled through the IBTC (as-ib). Slowdown falls until \
+         the table covers the IB target working set, then flattens."
+      ~headers (slow_rows @ [ gm ]);
+    Table.make ~title:"F2b: shared IBTC size sweep — miss rate (% of dynamic IBs)"
+      ~headers miss_rows;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* F3 *)
+
+let fig_ibtc_sharing size =
+  let cfgs =
+    [
+      ("shared-4096", ibtc ~entries:4096 ());
+      ("per-branch-16", ibtc ~shared:false ~per_site:16 ());
+      ("per-branch-64", ibtc ~shared:false ~per_site:64 ());
+      ("per-branch-256", ibtc ~shared:false ~per_site:256 ());
+    ]
+  in
+  let rows =
+    List.map
+      (fun e ->
+        e.Suite.name
+        :: List.map (fun (_, cfg) -> Summary.f2 (sdt ~cfg e size).Run.slowdown) cfgs)
+      Suite.all
+  in
+  let gm =
+    "geomean"
+    :: List.map
+         (fun (_, cfg) ->
+           Summary.f2
+             (Summary.geomean
+                (List.map (fun e -> (sdt ~cfg e size).Run.slowdown) Suite.all)))
+         cfgs
+  in
+  [
+    Table.make ~title:"F3: shared vs per-branch IBTC — slowdown (archA)"
+      ~note:
+        "Per-branch tables avoid cross-branch interference but replicate \
+         code and cold-miss every site; monomorphic sites love them, \
+         megamorphic interpreters prefer one big shared table."
+      ~headers:("benchmark" :: List.map fst cfgs)
+      (rows @ [ gm ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* F4 *)
+
+let fig_ibtc_miss_policy size =
+  let cfgs =
+    [
+      ("64/full", ibtc ~entries:64 ~miss:Config.Full_switch ());
+      ("64/fast", ibtc ~entries:64 ~miss:Config.Fast_reload ());
+      ("1024/full", ibtc ~entries:1024 ~miss:Config.Full_switch ());
+      ("1024/fast", ibtc ~entries:1024 ~miss:Config.Fast_reload ());
+    ]
+  in
+  let rows =
+    List.map
+      (fun e ->
+        e.Suite.name
+        :: List.map (fun (_, cfg) -> Summary.f2 (sdt ~cfg e size).Run.slowdown) cfgs)
+      Suite.all
+  in
+  let gm =
+    "geomean"
+    :: List.map
+         (fun (_, cfg) ->
+           Summary.f2
+             (Summary.geomean
+                (List.map (fun e -> (sdt ~cfg e size).Run.slowdown) Suite.all)))
+         cfgs
+  in
+  [
+    Table.make
+      ~title:"F4: IBTC miss handling — full context switch vs fast reload (archA)"
+      ~note:
+        "The gap between full and fast widens as the table shrinks (more \
+         misses); with a big table, misses are rare and the policies \
+         converge."
+      ~headers:("benchmark" :: List.map fst cfgs)
+      (rows @ [ gm ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* F5 *)
+
+let sieve_sizes = [ 16; 64; 256; 1024; 4096; 65536 ]
+
+let fig_sieve_sweep size =
+  let measure e buckets = sdt ~cfg:(sieve ~buckets ()) e size in
+  let rows =
+    List.map
+      (fun e ->
+        e.Suite.name
+        :: List.map (fun n -> Summary.f2 (measure e n).Run.slowdown) sieve_sizes)
+      Suite.all
+  in
+  let gm =
+    "geomean"
+    :: List.map
+         (fun n ->
+           Summary.f2
+             (Summary.geomean
+                (List.map (fun e -> (measure e n).Run.slowdown) Suite.all)))
+         sieve_sizes
+  in
+  let chain_rows =
+    List.map
+      (fun e ->
+        let s = measure e 64 in
+        let get k = Option.value (List.assoc_opt k s.Run.s_mech) ~default:0.0 in
+        [
+          e.Suite.name;
+          string_of_int (int_of_float (get "sieve_stubs"));
+          Summary.f2 (get "sieve_avg_chain");
+          string_of_int (int_of_float (get "sieve_max_chain"));
+        ])
+      Suite.all
+  in
+  [
+    Table.make ~title:"F5a: sieve bucket-count sweep — slowdown vs native (archA)"
+      ~note:"Returns handled through the sieve (as-ib)."
+      ~headers:("benchmark" :: List.map string_of_int sieve_sizes)
+      (rows @ [ gm ]);
+    Table.make ~title:"F5b: sieve chain shape at 64 buckets (deliberately crowded)"
+      ~headers:[ "benchmark"; "stubs"; "avg chain"; "max chain" ]
+      chain_rows;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* F6 *)
+
+let return_cfgs =
+  [
+    ("as-ib", Config.As_ib);
+    ("retcache-4096", Config.Return_cache { entries = 4096 });
+    ("shadow-1024", Config.Shadow_stack { depth = 1024 });
+    ("fast", Config.Fast_return);
+  ]
+
+let fig_return_handling size =
+  let rows =
+    List.map
+      (fun e ->
+        e.Suite.name
+        :: List.map
+             (fun (_, returns) ->
+               Summary.f2 (sdt ~cfg:(ibtc ~returns ()) e size).Run.slowdown)
+             return_cfgs)
+      Suite.all
+  in
+  let gm =
+    "geomean"
+    :: List.map
+         (fun (_, returns) ->
+           Summary.f2
+             (Summary.geomean
+                (List.map
+                   (fun e -> (sdt ~cfg:(ibtc ~returns ()) e size).Run.slowdown)
+                   Suite.all)))
+         return_cfgs
+  in
+  [
+    Table.make
+      ~title:"F6: return handling over a shared 4096-entry IBTC (archA)"
+      ~note:
+        "Returns dominate dynamic IBs, so return-specific mechanisms \
+         recover most of the remaining overhead; non-transparent fast \
+         returns are the floor."
+      ~headers:("benchmark" :: List.map fst return_cfgs)
+      (rows @ [ gm ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* F7 *)
+
+let fig_target_prediction size =
+  let depths = [ 0; 1; 2; 4 ] in
+  let cfg d = ibtc ~returns:(Config.Return_cache { entries = 4096 }) ~pred:d () in
+  let rows =
+    List.map
+      (fun e ->
+        e.Suite.name
+        :: List.map
+             (fun d -> Summary.f2 (sdt ~cfg:(cfg d) e size).Run.slowdown)
+             depths)
+      Suite.all
+  in
+  let gm =
+    "geomean"
+    :: List.map
+         (fun d ->
+           Summary.f2
+             (Summary.geomean
+                (List.map (fun e -> (sdt ~cfg:(cfg d) e size).Run.slowdown) Suite.all)))
+         depths
+  in
+  [
+    Table.make
+      ~title:"F7: inline target prediction depth (over IBTC + return cache, archA)"
+      ~note:
+        "Depth helps sites with 1-2 hot targets (virtual calls) and adds \
+         pure overhead to megamorphic interpreter dispatch."
+      ~headers:("benchmark" :: List.map (fun d -> "depth " ^ string_of_int d) depths)
+      (rows @ [ gm ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* F8 *)
+
+let cross_arch_cfgs =
+  let rc = Config.Return_cache { entries = 4096 } in
+  [
+    ("dispatch", Config.baseline);
+    ("ibtc-full+retcache", ibtc ~miss:Config.Full_switch ~returns:rc ());
+    ("ibtc+retcache", ibtc ~returns:rc ());
+    ("ibtc+pred2+retcache", ibtc ~returns:rc ~pred:2 ());
+    ("sieve+retcache", sieve ~returns:rc ());
+    ("ibtc+fastret", ibtc ~returns:Config.Fast_return ());
+    ("ibtc+pred2+fastret", ibtc ~returns:Config.Fast_return ~pred:2 ());
+    ("sieve+fastret", sieve ~returns:Config.Fast_return ());
+  ]
+
+let fig_cross_arch size =
+  let arches = [ Arch.arch_a; Arch.arch_b; Arch.arch_c ] in
+  let gms =
+    List.map
+      (fun (name, cfg) ->
+        ( name,
+          List.map
+            (fun arch ->
+              Summary.geomean
+                (List.map
+                   (fun e -> (sdt ~arch ~cfg e size).Run.slowdown)
+                   Suite.all))
+            arches ))
+      cross_arch_cfgs
+  in
+  let rank col row_value =
+    let values = List.map (fun (_, vs) -> List.nth vs col) gms in
+    1 + List.length (List.filter (fun v -> v < row_value) values)
+  in
+  let rows =
+    List.map
+      (fun (name, vs) ->
+        name
+        :: List.concat
+             (List.mapi
+                (fun col v -> [ Summary.f2 v; string_of_int (rank col v) ])
+                vs))
+      gms
+  in
+  [
+    Table.make ~title:"F8: cross-architecture comparison (geomean slowdowns)"
+      ~note:
+        "archA: x86-like (BTB + RAS, costly mispredicts, scratch \
+         registers spilled). archB: SPARC-like (no indirect predictor, \
+         fixed indirect cost, costlier memory, register windows). archC: \
+         embedded in-order (no prediction hardware at all; instruction \
+         count decides). The best mechanism/configuration changes with \
+         the architecture."
+      ~headers:
+        [ "configuration"; "archA"; "rkA"; "archB"; "rkB"; "archC"; "rkC" ]
+      rows;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* F9 *)
+
+let best_candidates = cross_arch_cfgs
+
+let fig_best_config size =
+  let rows =
+    List.map
+      (fun e ->
+        let best arch =
+          List.fold_left
+            (fun (bn, bs) (name, cfg) ->
+              let s = (sdt ~arch ~cfg e size).Run.slowdown in
+              if s < bs then (name, s) else (bn, bs))
+            ("", infinity) best_candidates
+        in
+        let na, sa = best Arch.arch_a in
+        let nb, sb = best Arch.arch_b in
+        let nc, sc = best Arch.arch_c in
+        [
+          e.Suite.name;
+          Summary.f2 sa;
+          na;
+          Summary.f2 sb;
+          nb;
+          Summary.f2 sc;
+          nc;
+          (if na <> nb || nb <> nc then "<- differs" else "");
+        ])
+      Suite.all
+  in
+  [
+    Table.make ~title:"F9: best configuration per benchmark"
+      ~note:
+        "Winner among the F8 candidates. Rows marked \"differs\" pick \
+         different mechanisms across the three architecture models — the \
+         paper's cross-architecture dependence at benchmark granularity."
+      ~headers:
+        [ "benchmark"; "A best"; "A config"; "B best"; "B config";
+          "C best"; "C config"; "" ]
+      rows;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations *)
+
+let fig_ablation_linking size =
+  let cfgs =
+    [
+      ("linked", ibtc ());
+      ("unlinked", { (ibtc ()) with Config.link_direct = false });
+    ]
+  in
+  let rows =
+    List.map
+      (fun e ->
+        e.Suite.name
+        :: List.map (fun (_, cfg) -> Summary.f2 (sdt ~cfg e size).Run.slowdown) cfgs)
+      Suite.all
+  in
+  let gm =
+    "geomean"
+    :: List.map
+         (fun (_, cfg) ->
+           Summary.f2
+             (Summary.geomean
+                (List.map (fun e -> (sdt ~cfg e size).Run.slowdown) Suite.all)))
+         cfgs
+  in
+  [
+    Table.make ~title:"A1: direct-branch linking on/off (shared IBTC, archA)"
+      ~note:
+        "Without linking every block transition context-switches; indirect \
+         branches are the remaining problem only because linking already \
+         solved the direct ones."
+      ~headers:("benchmark" :: List.map fst cfgs)
+      (rows @ [ gm ]);
+  ]
+
+let fig_ablation_hash size =
+  let cfgs =
+    [
+      ("shift-mask", ibtc ~entries:1024 ~hash:Config.Shift_mask ());
+      ("multiplicative", ibtc ~entries:1024 ~hash:Config.Multiplicative ());
+    ]
+  in
+  let rows =
+    List.map
+      (fun e ->
+        let nat = native e size in
+        e.Suite.name
+        :: List.concat_map
+             (fun (_, cfg) ->
+               let s = sdt ~cfg e size in
+               let misses =
+                 s.Run.s_stats.Stats.ibtc_misses_fast
+                 + s.Run.s_stats.Stats.ibtc_misses_full
+               in
+               [
+                 Summary.f2 s.Run.slowdown;
+                 Summary.f2 (Summary.pct misses (app_ibs nat));
+               ])
+             cfgs)
+      Suite.all
+  in
+  [
+    Table.make ~title:"A2: IBTC hash function at 1024 entries (archA)"
+      ~note:
+        "The multiplicative hash spreads clustered code addresses better \
+         (fewer conflict misses) but costs a multiply on every lookup."
+      ~headers:
+        [ "benchmark"; "shift slow"; "shift miss%"; "mult slow"; "mult miss%" ]
+      rows;
+  ]
+
+let fig_ablation_sieve_order size =
+  let cfgs =
+    [ ("head", sieve ~buckets:64 ~head:true ()); ("tail", sieve ~buckets:64 ~head:false ()) ]
+  in
+  let rows =
+    List.map
+      (fun e ->
+        e.Suite.name
+        :: List.concat_map
+             (fun (_, cfg) ->
+               let s = sdt ~cfg e size in
+               let get k =
+                 Option.value (List.assoc_opt k s.Run.s_mech) ~default:0.0
+               in
+               [ Summary.f2 s.Run.slowdown; Summary.f2 (get "sieve_avg_chain") ])
+             cfgs)
+      Suite.all
+  in
+  [
+    Table.make
+      ~title:"A3: sieve insertion order at 64 buckets (deliberately crowded, archA)"
+      ~note:
+        "Head insertion puts recent targets first (MRU-ish); tail keeps \
+         first-seen targets first. Chains are identical in length, so the \
+         difference is purely which stub is hit early."
+      ~headers:[ "benchmark"; "head slow"; "head chain"; "tail slow"; "tail chain" ]
+      rows;
+  ]
+
+let fig_ablation_traces size =
+  let cfgs =
+    [
+      ("blocks", ibtc ~returns:(Config.Return_cache { entries = 4096 }) ());
+      ( "traces",
+        {
+          (ibtc ~returns:(Config.Return_cache { entries = 4096 }) ()) with
+          Config.follow_direct_jumps = true;
+        } );
+    ]
+  in
+  let rows =
+    List.map
+      (fun e ->
+        e.Suite.name
+        :: List.concat_map
+             (fun (_, cfg) ->
+               let s = sdt ~cfg e size in
+               [
+                 Summary.f2 s.Run.slowdown;
+                 string_of_int s.Run.s_stats.Stats.blocks_translated;
+                 Summary.f1 (float_of_int s.Run.s_code_bytes /. 1024.0);
+               ])
+             cfgs)
+      Suite.all
+  in
+  let gm =
+    "geomean"
+    :: List.concat_map
+         (fun (_, cfg) ->
+           [
+             Summary.f2
+               (Summary.geomean
+                  (List.map (fun e -> (sdt ~cfg e size).Run.slowdown) Suite.all));
+             "";
+             "";
+           ])
+         cfgs
+  in
+  [
+    Table.make
+      ~title:"A4: superblock formation — translate through direct jumps (archA)"
+      ~note:
+        "Following unconditional jumps elides them and merges fragments:          fewer blocks and links, straighter fetch — at the price of          duplicated code."
+      ~headers:
+        [ "benchmark"; "blk slow"; "blk frags"; "blk KB";
+          "trc slow"; "trc frags"; "trc KB" ]
+      (rows @ [ gm ]);
+  ]
+
+let fig_ablation_assoc size =
+  let cfgs =
+    [
+      ("64/1way", ibtc ~entries:64 ~ways:1 ());
+      ("64/2way", ibtc ~entries:64 ~ways:2 ());
+      ("256/1way", ibtc ~entries:256 ~ways:1 ());
+      ("256/2way", ibtc ~entries:256 ~ways:2 ());
+    ]
+  in
+  let rows =
+    List.map
+      (fun e ->
+        let nat = native e size in
+        e.Suite.name
+        :: List.concat_map
+             (fun (_, cfg) ->
+               let s = sdt ~cfg e size in
+               let misses =
+                 s.Run.s_stats.Stats.ibtc_misses_fast
+                 + s.Run.s_stats.Stats.ibtc_misses_full
+               in
+               [
+                 Summary.f2 s.Run.slowdown;
+                 Summary.f1 (Summary.pct misses (app_ibs nat));
+               ])
+             cfgs)
+      Suite.all
+  in
+  [
+    Table.make
+      ~title:"A5: IBTC associativity on small tables (archA, slowdown and miss%)"
+      ~note:
+        "A second way turns conflict misses into one extra load+compare          on the probe path; it pays exactly where direct-mapped tables          thrash."
+      ~headers:
+        [ "benchmark"; "64/1w"; "miss%"; "64/2w"; "miss%";
+          "256/1w"; "miss%"; "256/2w"; "miss%" ]
+      rows;
+  ]
+
+let experiments =
+  [
+    { id = "T1"; title = "IB characteristics"; run = table_ib_characteristics };
+    { id = "F1"; title = "baseline overhead"; run = fig_baseline_overhead };
+    { id = "F2"; title = "IBTC size sweep"; run = fig_ibtc_size_sweep };
+    { id = "F3"; title = "IBTC sharing"; run = fig_ibtc_sharing };
+    { id = "F4"; title = "IBTC miss policy"; run = fig_ibtc_miss_policy };
+    { id = "F5"; title = "sieve sweep"; run = fig_sieve_sweep };
+    { id = "F6"; title = "return handling"; run = fig_return_handling };
+    { id = "F7"; title = "target prediction"; run = fig_target_prediction };
+    { id = "F8"; title = "cross-architecture"; run = fig_cross_arch };
+    { id = "F9"; title = "best configuration"; run = fig_best_config };
+    { id = "A1"; title = "linking ablation"; run = fig_ablation_linking };
+    { id = "A2"; title = "hash ablation"; run = fig_ablation_hash };
+    { id = "A3"; title = "sieve order ablation"; run = fig_ablation_sieve_order };
+    { id = "A4"; title = "superblock traces"; run = fig_ablation_traces };
+    { id = "A5"; title = "IBTC associativity"; run = fig_ablation_assoc };
+  ]
+
+let find id =
+  let id = String.uppercase_ascii id in
+  List.find_opt (fun e -> e.id = id) experiments

@@ -1,0 +1,70 @@
+(** The paper's tables and figures, regenerated.
+
+    Each experiment runs the full workload suite (or a documented
+    subset) under the relevant SDT configurations and renders the same
+    rows/series the paper reports. Absolute cycle counts come from this
+    repo's microarchitecture models, not the paper's hardware; what is
+    expected to reproduce is the *shape*: orderings, knees, and
+    cross-architecture rank flips. See EXPERIMENTS.md for the
+    paper-vs-measured record. *)
+
+type size = [ `Test | `Ref ]
+(** [`Ref] is the calibrated benchmark size; [`Test] is a fast smoke
+    size used by the test suite. *)
+
+type experiment = {
+  id : string;  (** "T1", "F1" … "F9", "A1" … "A3" *)
+  title : string;
+  run : size -> Table.t list;
+}
+
+val table_ib_characteristics : size -> Table.t list
+(** T1: dynamic indirect-branch characteristics of the suite. *)
+
+val fig_baseline_overhead : size -> Table.t list
+(** F1: baseline (translator-dispatch) slowdown and where it goes. *)
+
+val fig_ibtc_size_sweep : size -> Table.t list
+(** F2: shared-IBTC size sweep — slowdown and miss rate vs entries. *)
+
+val fig_ibtc_sharing : size -> Table.t list
+(** F3: one shared table vs per-branch tables. *)
+
+val fig_ibtc_miss_policy : size -> Table.t list
+(** F4: full context switch vs fast reload on IBTC misses. *)
+
+val fig_sieve_sweep : size -> Table.t list
+(** F5: sieve bucket-count sweep, plus chain-shape statistics. *)
+
+val fig_return_handling : size -> Table.t list
+(** F6: returns-as-IB vs return cache vs shadow stack vs fast returns. *)
+
+val fig_target_prediction : size -> Table.t list
+(** F7: inline target prediction depth 0/1/2/4. *)
+
+val fig_cross_arch : size -> Table.t list
+(** F8: mechanism ranking on archA vs archB. *)
+
+val fig_best_config : size -> Table.t list
+(** F9: best configuration per benchmark per architecture. *)
+
+val fig_ablation_linking : size -> Table.t list
+(** A1: direct-branch linking on/off. *)
+
+val fig_ablation_hash : size -> Table.t list
+(** A2: IBTC hash function — shift-mask vs multiplicative. *)
+
+val fig_ablation_sieve_order : size -> Table.t list
+(** A3: sieve chain insertion at head vs tail. *)
+
+val fig_ablation_traces : size -> Table.t list
+(** A4: superblock formation (translating through direct jumps). *)
+
+val fig_ablation_assoc : size -> Table.t list
+(** A5: IBTC associativity (direct-mapped vs 2-way) on small tables. *)
+
+val experiments : experiment list
+(** All of the above, in presentation order. *)
+
+val find : string -> experiment option
+(** Look up by id, case-insensitively. *)

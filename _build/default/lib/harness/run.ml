@@ -1,0 +1,92 @@
+module Arch = Sdt_march.Arch
+module Timing = Sdt_march.Timing
+module Program = Sdt_isa.Program
+module Machine = Sdt_machine.Machine
+module Loader = Sdt_machine.Loader
+module Config = Sdt_core.Config
+module Stats = Sdt_core.Stats
+module Runtime = Sdt_core.Runtime
+
+type native = {
+  n_instrs : int;
+  n_cycles : int;
+  n_ijumps : int;
+  n_icalls : int;
+  n_returns : int;
+  n_cond : int;
+  n_output : string;
+  n_checksum : int;
+}
+
+type sdt = {
+  s_cycles : int;
+  s_instrs : int;
+  s_runtime_cycles : int;
+  s_icache_misses : int;
+  s_dcache_misses : int;
+  s_cond_misp : int;
+  s_ind_misp : int;
+  s_ras_misp : int;
+  s_code_bytes : int;
+  s_stats : Stats.t;
+  s_mech : (string * float) list;
+  slowdown : float;
+}
+
+exception Mismatch of string
+
+let max_steps = ref 2_000_000_000
+let cache : (string * string, native) Hashtbl.t = Hashtbl.create 64
+
+let clear_cache () = Hashtbl.reset cache
+
+let native ~arch ~key build =
+  let ck = (key, arch.Arch.name) in
+  match Hashtbl.find_opt cache ck with
+  | Some n -> n
+  | None ->
+      let timing = Timing.create arch in
+      let m = Loader.load ~timing (build ()) in
+      Machine.run ~max_steps:!max_steps m;
+      let c = m.Machine.c in
+      let n =
+        {
+          n_instrs = c.Machine.instructions;
+          n_cycles = Timing.cycles timing;
+          n_ijumps = c.Machine.ijumps;
+          n_icalls = c.Machine.icalls;
+          n_returns = c.Machine.returns;
+          n_cond = c.Machine.cond_branches;
+          n_output = Machine.output m;
+          n_checksum = m.Machine.checksum;
+        }
+      in
+      Hashtbl.replace cache ck n;
+      n
+
+let sdt ~arch ~cfg ~key build =
+  let nat = native ~arch ~key build in
+  let timing = Timing.create arch in
+  let rt = Runtime.create ~cfg ~arch ~timing (build ()) in
+  Runtime.run ~max_steps:!max_steps rt;
+  let m = Runtime.machine rt in
+  if Machine.output m <> nat.n_output || m.Machine.checksum <> nat.n_checksum
+  then
+    raise
+      (Mismatch
+         (Printf.sprintf "%s under %s on %s diverged from native" key
+            (Config.describe cfg) arch.Arch.name));
+  {
+    s_cycles = Timing.cycles timing;
+    s_instrs = m.Machine.c.Machine.instructions;
+    s_runtime_cycles = Timing.runtime_cycles timing;
+    s_icache_misses = Timing.icache_misses timing;
+    s_dcache_misses = Timing.dcache_misses timing;
+    s_cond_misp = Timing.cond_mispredicts timing;
+    s_ind_misp = Timing.indirect_mispredicts timing;
+    s_ras_misp = Timing.ras_mispredicts timing;
+    s_code_bytes = Runtime.code_bytes rt;
+    s_stats = Runtime.stats rt;
+    s_mech = Runtime.mech_stats rt;
+    slowdown = float_of_int (Timing.cycles timing) /. float_of_int nat.n_cycles;
+  }

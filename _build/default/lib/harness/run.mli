@@ -1,0 +1,55 @@
+(** Measurement drivers: run a program natively and under the SDT with a
+    cycle accountant, collect everything the experiments report, and
+    verify translated correctness against the native run.
+
+    Native runs are memoised per (program identity is by build, so
+    callers pass a [key]) — every SDT measurement needs its native
+    counterpart for normalisation. *)
+
+module Arch = Sdt_march.Arch
+module Program = Sdt_isa.Program
+module Config = Sdt_core.Config
+module Stats = Sdt_core.Stats
+
+type native = {
+  n_instrs : int;
+  n_cycles : int;
+  n_ijumps : int;
+  n_icalls : int;
+  n_returns : int;
+  n_cond : int;
+  n_output : string;
+  n_checksum : int;
+}
+
+type sdt = {
+  s_cycles : int;
+  s_instrs : int;  (** machine steps, including emitted SDT code *)
+  s_runtime_cycles : int;
+  s_icache_misses : int;
+  s_dcache_misses : int;
+  s_cond_misp : int;
+  s_ind_misp : int;
+  s_ras_misp : int;
+  s_code_bytes : int;
+  s_stats : Stats.t;
+  s_mech : (string * float) list;
+  slowdown : float;  (** s_cycles / native cycles on the same arch *)
+}
+
+exception Mismatch of string
+(** An SDT run diverged from its native run — a translator bug; the
+    harness refuses to report numbers for wrong executions. *)
+
+val native : arch:Arch.t -> key:string -> (unit -> Program.t) -> native
+(** Memoised on [(key, arch.name)]. *)
+
+val sdt :
+  arch:Arch.t -> cfg:Config.t -> key:string -> (unit -> Program.t) -> sdt
+(** Runs natively first (memoised), then translated; checks output and
+    checksum; computes [slowdown]. @raise Mismatch on divergence. *)
+
+val clear_cache : unit -> unit
+
+val max_steps : int ref
+(** Step budget per run (default 2 * 10^9). *)

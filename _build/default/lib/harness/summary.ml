@@ -1,0 +1,19 @@
+let geomean = function
+  | [] -> 1.0
+  | xs ->
+      let n = float_of_int (List.length xs) in
+      exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let per_mille part whole =
+  if whole = 0 then 0.0 else 1000.0 *. float_of_int part /. float_of_int whole
+
+let pct part whole =
+  if whole = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole
+
+let f2 x = Printf.sprintf "%.2f" x
+let f1 x = Printf.sprintf "%.1f" x
+let millions n = Printf.sprintf "%.2fM" (float_of_int n /. 1e6)

@@ -1,0 +1,18 @@
+(** Small numeric helpers the experiments share. *)
+
+val geomean : float list -> float
+(** Geometric mean; 1.0 on the empty list. *)
+
+val mean : float list -> float
+val per_mille : int -> int -> float
+(** [per_mille part whole]: occurrences per 1000, as a float. *)
+
+val pct : int -> int -> float
+(** [pct part whole] in percent. *)
+
+val f2 : float -> string
+(** Two-decimal rendering. *)
+
+val f1 : float -> string
+val millions : int -> string
+(** e.g. [millions 1_234_000 = "1.23M"]. *)

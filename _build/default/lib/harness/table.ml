@@ -1,0 +1,52 @@
+type t = {
+  title : string;
+  note : string;
+  headers : string list;
+  rows : string list list;
+}
+
+let make ~title ?(note = "") ~headers rows = { title; note; headers; rows }
+
+let is_numeric s = match float_of_string_opt s with Some _ -> true | None -> false
+
+let render t =
+  let all = t.headers :: t.rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun c w ->
+           let cell = Option.value (List.nth_opt row c) ~default:"" in
+           let pad = w - String.length cell in
+           if is_numeric cell then String.make pad ' ' ^ cell
+           else cell ^ String.make pad ' ')
+         widths)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  if t.note <> "" then Buffer.add_string buf (t.note ^ "\n");
+  Buffer.add_string buf (render_row t.headers ^ "\n");
+  Buffer.add_string buf
+    (String.make (List.fold_left ( + ) (2 * (ncols - 1)) widths) '-' ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (render_row r ^ "\n")) t.rows;
+  Buffer.contents buf
+
+let print t = print_string (render t ^ "\n")
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_cell row) in
+  String.concat "\n" (List.map line (t.headers :: t.rows)) ^ "\n"

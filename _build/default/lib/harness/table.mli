@@ -1,0 +1,21 @@
+(** Plain-text table rendering for the reproduced paper artefacts. *)
+
+type t = {
+  title : string;
+  note : string;  (** one-line interpretation aid printed under the title *)
+  headers : string list;
+  rows : string list list;
+}
+
+val make :
+  title:string -> ?note:string -> headers:string list -> string list list -> t
+
+val render : t -> string
+(** Fixed-width columns, a rule under the headers, right-aligned numeric
+    cells (cells parsing as floats), left-aligned text. *)
+
+val print : t -> unit
+
+val to_csv : t -> string
+(** Comma-separated rendering (headers + rows); cells containing commas
+    or quotes are quoted. *)

@@ -1,0 +1,1 @@
+lib/isa/assembler.ml: Builder Fun Hashtbl Inst Lexer List Parser Printf Reg String

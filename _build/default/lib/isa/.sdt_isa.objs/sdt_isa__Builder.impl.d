@@ -1,0 +1,1 @@
+lib/isa/builder.ml: Array Buffer Bytes Char Encode Hashtbl Inst List Printf Program Reg String Word

@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Buffer Decode Hashtbl Inst List Printf Program Reg

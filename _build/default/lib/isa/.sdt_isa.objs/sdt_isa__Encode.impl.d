@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Inst Opcodes Printf Reg Word

@@ -1,0 +1,1 @@
+lib/isa/image.ml: Buffer Bytes Char In_channel List Out_channel Printf Program String

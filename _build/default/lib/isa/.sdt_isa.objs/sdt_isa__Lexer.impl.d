@@ -1,0 +1,1 @@
+lib/isa/lexer.ml: Buffer Char Format List Printf Reg String

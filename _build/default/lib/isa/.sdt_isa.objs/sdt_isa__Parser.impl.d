@@ -1,0 +1,1 @@
+lib/isa/parser.ml: Format Lexer List Printf Reg String

@@ -1,0 +1,170 @@
+exception Error of { line : int; msg : string }
+
+let fail line fmt = Printf.ksprintf (fun msg -> raise (Error { line; msg })) fmt
+
+type section = Text | Data
+
+type state = {
+  b : Builder.t;
+  labels : (string, Builder.label) Hashtbl.t;
+  mutable section : section;
+  mutable globls : string list;
+}
+
+let label_of st name =
+  match Hashtbl.find_opt st.labels name with
+  | Some l -> l
+  | None ->
+      let l = Builder.fresh_label ~name st.b in
+      Hashtbl.replace st.labels name l;
+      l
+
+let reg line = function
+  | Parser.Reg r -> r
+  | Parser.Imm _ | Parser.Sym _ | Parser.Mem _ -> fail line "expected a register"
+
+let imm line = function
+  | Parser.Imm v -> v
+  | Parser.Reg _ | Parser.Sym _ | Parser.Mem _ -> fail line "expected an immediate"
+
+let sym line = function
+  | Parser.Sym s -> s
+  | Parser.Reg _ | Parser.Imm _ | Parser.Mem _ -> fail line "expected a label"
+
+let mem line = function
+  | Parser.Mem (off, base) -> (off, base)
+  | Parser.Sym _ | Parser.Reg _ | Parser.Imm _ -> fail line "expected off(base)"
+
+let instr st line mnemonic ops =
+  let b = st.b in
+  let r = reg line and i = imm line and s = sym line and m = mem line in
+  let lbl o = label_of st (s o) in
+  let emit inst =
+    try Builder.emit b inst
+    with Builder.Error msg -> fail line "%s" msg
+  in
+  let rrr mk = function
+    | [ a; b'; c ] -> emit (mk (r a) (r b') (r c))
+    | _ -> fail line "%s expects rd, rs, rt" mnemonic
+  in
+  let rri mk = function
+    | [ a; b'; c ] -> emit (mk (r a) (r b') (i c))
+    | _ -> fail line "%s expects rt, rs, imm" mnemonic
+  in
+  let load mk = function
+    | [ a; b' ] ->
+        let off, base = m b' in
+        emit (mk (r a) base off)
+    | _ -> fail line "%s expects rt, off(base)" mnemonic
+  in
+  let branch bmk = function
+    | [ a; b'; c ] -> bmk b (r a) (r b') (lbl c)
+    | _ -> fail line "%s expects rs, rt, label" mnemonic
+  in
+  match (mnemonic, ops) with
+  | "add", _ -> rrr (fun a b c -> Inst.Add (a, b, c)) ops
+  | "sub", _ -> rrr (fun a b c -> Inst.Sub (a, b, c)) ops
+  | "mul", _ -> rrr (fun a b c -> Inst.Mul (a, b, c)) ops
+  | "div", _ -> rrr (fun a b c -> Inst.Div (a, b, c)) ops
+  | "rem", _ -> rrr (fun a b c -> Inst.Rem (a, b, c)) ops
+  | "and", _ -> rrr (fun a b c -> Inst.And (a, b, c)) ops
+  | "or", _ -> rrr (fun a b c -> Inst.Or (a, b, c)) ops
+  | "xor", _ -> rrr (fun a b c -> Inst.Xor (a, b, c)) ops
+  | "nor", _ -> rrr (fun a b c -> Inst.Nor (a, b, c)) ops
+  | "slt", _ -> rrr (fun a b c -> Inst.Slt (a, b, c)) ops
+  | "sltu", _ -> rrr (fun a b c -> Inst.Sltu (a, b, c)) ops
+  | "sllv", _ -> rrr (fun a b c -> Inst.Sllv (a, b, c)) ops
+  | "srlv", _ -> rrr (fun a b c -> Inst.Srlv (a, b, c)) ops
+  | "srav", _ -> rrr (fun a b c -> Inst.Srav (a, b, c)) ops
+  | "sll", _ -> rri (fun a b c -> Inst.Sll (a, b, c)) ops
+  | "srl", _ -> rri (fun a b c -> Inst.Srl (a, b, c)) ops
+  | "sra", _ -> rri (fun a b c -> Inst.Sra (a, b, c)) ops
+  | "addi", _ -> rri (fun a b c -> Inst.Addi (a, b, c)) ops
+  | "slti", _ -> rri (fun a b c -> Inst.Slti (a, b, c)) ops
+  | "sltiu", _ -> rri (fun a b c -> Inst.Sltiu (a, b, c)) ops
+  | "andi", _ -> rri (fun a b c -> Inst.Andi (a, b, c)) ops
+  | "ori", _ -> rri (fun a b c -> Inst.Ori (a, b, c)) ops
+  | "xori", _ -> rri (fun a b c -> Inst.Xori (a, b, c)) ops
+  | "lui", [ a; b' ] -> emit (Inst.Lui (r a, i b'))
+  | "lw", _ -> load (fun a b c -> Inst.Lw (a, b, c)) ops
+  | "lb", _ -> load (fun a b c -> Inst.Lb (a, b, c)) ops
+  | "lbu", _ -> load (fun a b c -> Inst.Lbu (a, b, c)) ops
+  | "sw", _ -> load (fun a b c -> Inst.Sw (a, b, c)) ops
+  | "sb", _ -> load (fun a b c -> Inst.Sb (a, b, c)) ops
+  | "beq", _ -> branch Builder.beq ops
+  | "bne", _ -> branch Builder.bne ops
+  | "blt", _ -> branch Builder.blt ops
+  | "bge", _ -> branch Builder.bge ops
+  | "bltu", _ -> branch Builder.bltu ops
+  | "bgeu", _ -> branch Builder.bgeu ops
+  | "beqz", [ a; c ] -> Builder.beq b (r a) Reg.zero (lbl c)
+  | "bnez", [ a; c ] -> Builder.bne b (r a) Reg.zero (lbl c)
+  | "j", [ c ] -> Builder.j b (lbl c)
+  | "b", [ c ] -> Builder.j b (lbl c)
+  | "jal", [ c ] | "call", [ c ] -> Builder.jal b (lbl c)
+  | "jr", [ a ] -> Builder.jr b (r a)
+  | "jalr", [ a ] -> emit (Inst.Jalr (Reg.ra, r a))
+  | "jalr", [ d; a ] -> emit (Inst.Jalr (r d, r a))
+  | "ret", [] -> Builder.ret b
+  | "li", [ a; v ] -> Builder.li b (r a) (i v)
+  | "la", [ a; c ] -> (
+      try Builder.la b (r a) (lbl c) with Builder.Error msg -> fail line "%s" msg)
+  | ("move" | "mv"), [ a; b' ] -> Builder.mv b (r a) (r b')
+  | "not", [ a; b' ] -> emit (Inst.Nor (r a, r b', Reg.zero))
+  | "neg", [ a; b' ] -> emit (Inst.Sub (r a, Reg.zero, r b'))
+  | "push", [ a ] -> Builder.push b (r a)
+  | "pop", [ a ] -> Builder.pop b (r a)
+  | "nop", [] -> Builder.nop b
+  | "halt", [] -> Builder.halt b
+  | "syscall", [] -> Builder.syscall b
+  | "trap", [ v ] -> emit (Inst.Trap (i v))
+  | _, _ -> fail line "unknown instruction or bad operands: %s" mnemonic
+
+let stmt st line = function
+  | Parser.Label name -> (
+      let l = label_of st name in
+      try
+        match st.section with
+        | Text -> Builder.place st.b l
+        | Data -> Builder.place_data st.b l
+      with Builder.Error msg -> fail line "%s" msg)
+  | Parser.Instr (mnemonic, ops) ->
+      if st.section = Data then fail line "instruction in .data section";
+      instr st line mnemonic ops
+  | Parser.Dir_text -> st.section <- Text
+  | Parser.Dir_data -> st.section <- Data
+  | Parser.Dir_word vs -> Builder.words st.b vs
+  | Parser.Dir_byte vs -> List.iter (Builder.byte st.b) vs
+  | Parser.Dir_asciiz s -> Builder.asciiz st.b s
+  | Parser.Dir_space n -> Builder.space st.b n
+  | Parser.Dir_align n -> Builder.align st.b n
+  | Parser.Dir_globl s -> st.globls <- s :: st.globls
+
+let assemble_string ?text_base ?data_base src =
+  let b = Builder.create ?text_base ?data_base () in
+  let st = { b; labels = Hashtbl.create 64; section = Text; globls = [] } in
+  let start = Builder.here ~name:"__start" b in
+  let lines = String.split_on_char '\n' src in
+  List.iteri
+    (fun idx src_line ->
+      let line = idx + 1 in
+      let stmts =
+        try Parser.parse_line ~line src_line with
+        | Lexer.Error { line; msg } | Parser.Error { line; msg } ->
+            raise (Error { line; msg })
+      in
+      List.iter (stmt st line) stmts)
+    lines;
+  let entry =
+    match Hashtbl.find_opt st.labels "main" with Some l -> l | None -> start
+  in
+  try Builder.assemble b ~entry
+  with Builder.Error msg -> raise (Error { line = 0; msg })
+
+let assemble_file ?text_base ?data_base path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let src = really_input_string ic (in_channel_length ic) in
+      assemble_string ?text_base ?data_base src)

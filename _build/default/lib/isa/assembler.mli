@@ -1,0 +1,17 @@
+(** Two-pass textual assembler for [.via] source files.
+
+    Drives {!Builder} from parsed statements. The entry point is the
+    [main] symbol if defined, otherwise the first text address.
+
+    Supported pseudo-instructions beyond the base ISA: [li], [la],
+    [move]/[mv], [not], [neg], [b], [beqz], [bnez], [call], [ret],
+    [push], [pop]. *)
+
+exception Error of { line : int; msg : string }
+
+val assemble_string : ?text_base:int -> ?data_base:int -> string -> Program.t
+(** Assemble a whole source text. @raise Error with a 1-based source
+    line on any lexical, syntactic or semantic problem. *)
+
+val assemble_file : ?text_base:int -> ?data_base:int -> string -> Program.t
+(** Read and assemble a file. *)

@@ -1,0 +1,199 @@
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type label = int
+
+type item =
+  | Raw of Inst.t
+  | Branch_to of Inst.t * label  (* offset field is a placeholder *)
+  | Jump_to of [ `J | `Jal ] * label
+  | La_hi of Reg.t * label       (* lui part of la *)
+  | La_lo of Reg.t * label       (* ori part of la *)
+
+type t = {
+  text_base : int;
+  data_base : int;
+  mutable items : item list;  (* reversed *)
+  mutable n_items : int;
+  data : Buffer.t;
+  labels : (label, int) Hashtbl.t;  (* label -> absolute address *)
+  mutable next_label : int;
+  mutable names : (string * label) list;
+}
+
+let create ?(text_base = Program.default_text_base)
+    ?(data_base = Program.default_data_base) () =
+  if text_base land 3 <> 0 then error "text base %#x not word-aligned" text_base;
+  {
+    text_base;
+    data_base;
+    items = [];
+    n_items = 0;
+    data = Buffer.create 256;
+    labels = Hashtbl.create 64;
+    next_label = 0;
+    names = [];
+  }
+
+let fresh_label ?name t =
+  let l = t.next_label in
+  t.next_label <- l + 1;
+  (match name with Some n -> t.names <- (n, l) :: t.names | None -> ());
+  l
+
+let text_pos t = t.text_base + (4 * t.n_items)
+
+let place t l =
+  if Hashtbl.mem t.labels l then error "label %d placed twice" l;
+  Hashtbl.replace t.labels l (text_pos t)
+
+let place_data t l =
+  if Hashtbl.mem t.labels l then error "label %d placed twice" l;
+  Hashtbl.replace t.labels l (t.data_base + Buffer.length t.data)
+
+let here ?name t =
+  let l = fresh_label ?name t in
+  place t l;
+  l
+
+let add_item t it =
+  t.items <- it :: t.items;
+  t.n_items <- t.n_items + 1
+
+let emit t i =
+  if Inst.uses_reserved i then
+    error "instruction uses a translator-reserved register: %s"
+      (Inst.to_string i);
+  add_item t (Raw i)
+
+(* Internal emit that may use reserved registers (the SDT layer has its
+   own emitter; Builder keeps applications honest). *)
+
+let branch t mk l = add_item t (Branch_to (mk 0, l))
+let beq t rs rt l = branch t (fun o -> Inst.Beq (rs, rt, o)) l
+let bne t rs rt l = branch t (fun o -> Inst.Bne (rs, rt, o)) l
+let blt t rs rt l = branch t (fun o -> Inst.Blt (rs, rt, o)) l
+let bge t rs rt l = branch t (fun o -> Inst.Bge (rs, rt, o)) l
+let bltu t rs rt l = branch t (fun o -> Inst.Bltu (rs, rt, o)) l
+let bgeu t rs rt l = branch t (fun o -> Inst.Bgeu (rs, rt, o)) l
+let j t l = add_item t (Jump_to (`J, l))
+let jal t l = add_item t (Jump_to (`Jal, l))
+let jr t rs = emit t (Inst.Jr rs)
+let ret t = jr t Reg.ra
+let jalr t rs = emit t (Inst.Jalr (Reg.ra, rs))
+
+let li t rd v =
+  let w = Word.of_int v in
+  let signed = Word.to_signed w in
+  if Encode.signed_imm_fits signed then emit t (Inst.Addi (rd, Reg.zero, signed))
+  else begin
+    emit t (Inst.Lui (rd, Word.hi16 w));
+    if Word.lo16 w <> 0 then emit t (Inst.Ori (rd, rd, Word.lo16 w))
+  end
+
+let la t rd l =
+  if Reg.is_reserved rd then error "la into reserved register";
+  add_item t (La_hi (rd, l));
+  add_item t (La_lo (rd, l))
+
+let mv t rd rs = emit t (Inst.Add (rd, rs, Reg.zero))
+let nop t = emit t Inst.Nop
+let halt t = emit t Inst.Halt
+let syscall t = emit t Inst.Syscall
+
+let push t r =
+  emit t (Inst.Addi (Reg.sp, Reg.sp, -4));
+  emit t (Inst.Sw (r, Reg.sp, 0))
+
+let pop t r =
+  emit t (Inst.Lw (r, Reg.sp, 0));
+  emit t (Inst.Addi (Reg.sp, Reg.sp, 4))
+
+let data_pos t = t.data_base + Buffer.length t.data
+
+let dlabel ?name t =
+  let l = fresh_label ?name t in
+  Hashtbl.replace t.labels l (data_pos t);
+  l
+
+let byte t v = Buffer.add_char t.data (Char.chr (v land 0xFF))
+
+let word t v =
+  let w = Word.of_int v in
+  byte t w;
+  byte t (w lsr 8);
+  byte t (w lsr 16);
+  byte t (w lsr 24)
+
+let words t vs = List.iter (word t) vs
+
+let asciiz t s =
+  String.iter (Buffer.add_char t.data) s;
+  Buffer.add_char t.data '\000'
+
+let space t n =
+  for _ = 1 to n do
+    byte t 0
+  done
+
+let align t n =
+  if n <= 0 then error "align: non-positive alignment";
+  while Buffer.length t.data mod n <> 0 do
+    byte t 0
+  done
+
+let resolve t l =
+  match Hashtbl.find_opt t.labels l with
+  | Some a -> a
+  | None ->
+      let name =
+        List.find_map (fun (n, l') -> if l = l' then Some n else None) t.names
+      in
+      error "unresolved label %s"
+        (match name with Some n -> n | None -> string_of_int l)
+
+let encode_item t ~pc = function
+  | Raw i -> Encode.inst i
+  | Branch_to (i, l) ->
+      let target = resolve t l in
+      let delta = target - (pc + 4) in
+      if delta land 3 <> 0 then error "branch to unaligned address %#x" target;
+      let off = delta asr 2 in
+      if not (Encode.signed_imm_fits off) then
+        error "branch displacement %d words out of range at %#x" off pc;
+      Encode.inst (Inst.with_branch_offset i off)
+  | Jump_to (op, l) ->
+      let target = resolve t l in
+      if target land 3 <> 0 then error "jump to unaligned address %#x" target;
+      if (pc + 4) land 0xF000_0000 <> target land 0xF000_0000 then
+        error "jump from %#x to %#x crosses a 256MiB region" pc target;
+      let idx = (target lsr 2) land 0x3FF_FFFF in
+      Encode.inst (match op with `J -> Inst.J idx | `Jal -> Inst.Jal idx)
+  | La_hi (rd, l) -> Encode.inst (Inst.Lui (rd, Word.hi16 (resolve t l)))
+  | La_lo (rd, l) ->
+      let a = resolve t l in
+      Encode.inst (Inst.Ori (rd, rd, Word.lo16 a))
+
+let assemble ?(extra_symbols = []) t ~entry =
+  let items = Array.of_list (List.rev t.items) in
+  let text = Bytes.create (4 * Array.length items) in
+  Array.iteri
+    (fun i it ->
+      let pc = t.text_base + (4 * i) in
+      let w = encode_item t ~pc it in
+      Bytes.set text (4 * i) (Char.chr (w land 0xFF));
+      Bytes.set text ((4 * i) + 1) (Char.chr ((w lsr 8) land 0xFF));
+      Bytes.set text ((4 * i) + 2) (Char.chr ((w lsr 16) land 0xFF));
+      Bytes.set text ((4 * i) + 3) (Char.chr ((w lsr 24) land 0xFF)))
+    items;
+  let segments =
+    { Program.base = t.text_base; data = text }
+    ::
+    (if Buffer.length t.data = 0 then []
+     else [ { Program.base = t.data_base; data = Buffer.to_bytes t.data } ])
+  in
+  let symbols =
+    extra_symbols @ List.map (fun (n, l) -> (n, resolve t l)) t.names
+  in
+  { Program.entry = resolve t entry; segments; symbols }

@@ -1,0 +1,102 @@
+(** Programmatic assembler.
+
+    [Builder] is the DSL the synthetic workloads are written in: an
+    append-only text section and data section with labels, branches to
+    labels, and the usual pseudo-instructions. Instruction sizes are
+    fixed at append time ([li] expands immediately), so placing a label
+    simply records the current position; {!assemble} resolves all label
+    references and fails loudly on anything unresolvable.
+
+    Registers [$at], [$k0] and [$k1] are reserved for the dynamic
+    translator (see {!Reg.reserved}); [emit] rejects instructions that
+    touch them so that workload bugs are caught at build time rather
+    than as silent mistranslations. *)
+
+type t
+type label
+
+exception Error of string
+(** Raised on malformed programs: unplaced or doubly-placed labels,
+    branch displacement overflow, reserved-register use, out-of-range
+    constants. *)
+
+val create : ?text_base:int -> ?data_base:int -> unit -> t
+(** Bases default to {!Program.default_text_base} and
+    {!Program.default_data_base}. *)
+
+(** {1 Labels} *)
+
+val fresh_label : ?name:string -> t -> label
+(** A new, unplaced label. [name] registers it in the symbol table. *)
+
+val place : t -> label -> unit
+(** Bind a label to the current text position. *)
+
+val place_data : t -> label -> unit
+(** Bind a label to the current data position. *)
+
+val here : ?name:string -> t -> label
+(** [here t] is [let l = fresh_label t in place t l; l]. *)
+
+val text_pos : t -> int
+(** Current text address. *)
+
+(** {1 Instructions} *)
+
+val emit : t -> Inst.t -> unit
+(** Append one instruction verbatim.
+    @raise Error if it uses a reserved register. *)
+
+val beq : t -> Reg.t -> Reg.t -> label -> unit
+val bne : t -> Reg.t -> Reg.t -> label -> unit
+val blt : t -> Reg.t -> Reg.t -> label -> unit
+val bge : t -> Reg.t -> Reg.t -> label -> unit
+val bltu : t -> Reg.t -> Reg.t -> label -> unit
+val bgeu : t -> Reg.t -> Reg.t -> label -> unit
+val j : t -> label -> unit
+val jal : t -> label -> unit
+val jr : t -> Reg.t -> unit
+val ret : t -> unit
+(** [jr $ra] *)
+
+val jalr : t -> Reg.t -> unit
+(** [jalr $ra, rs] — the common indirect call. *)
+
+(** {1 Pseudo-instructions} *)
+
+val li : t -> Reg.t -> int -> unit
+(** Load a 32-bit constant (1 or 2 instructions). *)
+
+val la : t -> Reg.t -> label -> unit
+(** Load a label address (always 2 instructions: [lui]+[ori]). *)
+
+val mv : t -> Reg.t -> Reg.t -> unit
+val nop : t -> unit
+val halt : t -> unit
+val syscall : t -> unit
+val push : t -> Reg.t -> unit
+(** [addi $sp,$sp,-4; sw r,0($sp)] *)
+
+val pop : t -> Reg.t -> unit
+(** [lw r,0($sp); addi $sp,$sp,4] *)
+
+(** {1 Data section} *)
+
+val dlabel : ?name:string -> t -> label
+(** A label placed at the current data position. *)
+
+val word : t -> int -> unit
+val words : t -> int list -> unit
+val byte : t -> int -> unit
+val asciiz : t -> string -> unit
+val space : t -> int -> unit
+(** [space t n] reserves [n] zero bytes. *)
+
+val align : t -> int -> unit
+(** Pad the data section to an [n]-byte boundary. *)
+
+(** {1 Assembly} *)
+
+val assemble : ?extra_symbols:(string * int) list -> t -> entry:label -> Program.t
+(** Resolve every reference and produce the image.
+    @raise Error on unresolved labels or displacement overflow. *)

@@ -1,0 +1,71 @@
+let signed16 imm = Word.to_signed (Word.sext16 imm)
+
+let decode_rtype w =
+  let rs = (w lsr 21) land 0x1F in
+  let rt = (w lsr 16) land 0x1F in
+  let rd = (w lsr 11) land 0x1F in
+  let shamt = (w lsr 6) land 0x1F in
+  let funct = w land 0x3F in
+  let open Inst in
+  (* Fields that must be zero for a given funct are checked so that only
+     canonical encodings decode; everything else is Illegal. *)
+  let z cond i = if cond then i else Illegal w in
+  if funct = Opcodes.f_sll then z (rs = 0) (Sll (rd, rt, shamt))
+  else if funct = Opcodes.f_srl then z (rs = 0) (Srl (rd, rt, shamt))
+  else if funct = Opcodes.f_sra then z (rs = 0) (Sra (rd, rt, shamt))
+  else if funct = Opcodes.f_sllv then z (shamt = 0) (Sllv (rd, rt, rs))
+  else if funct = Opcodes.f_srlv then z (shamt = 0) (Srlv (rd, rt, rs))
+  else if funct = Opcodes.f_srav then z (shamt = 0) (Srav (rd, rt, rs))
+  else if funct = Opcodes.f_jr then z (rt = 0 && rd = 0 && shamt = 0) (Jr rs)
+  else if funct = Opcodes.f_jalr then z (rt = 0 && shamt = 0) (Jalr (rd, rs))
+  else if funct = Opcodes.f_syscall then
+    z (rs = 0 && rt = 0 && rd = 0 && shamt = 0) Syscall
+  else if shamt <> 0 then Illegal w
+  else if funct = Opcodes.f_mul then Mul (rd, rs, rt)
+  else if funct = Opcodes.f_div then Div (rd, rs, rt)
+  else if funct = Opcodes.f_rem then Rem (rd, rs, rt)
+  else if funct = Opcodes.f_add then Add (rd, rs, rt)
+  else if funct = Opcodes.f_sub then Sub (rd, rs, rt)
+  else if funct = Opcodes.f_and then And (rd, rs, rt)
+  else if funct = Opcodes.f_or then Or (rd, rs, rt)
+  else if funct = Opcodes.f_xor then Xor (rd, rs, rt)
+  else if funct = Opcodes.f_nor then Nor (rd, rs, rt)
+  else if funct = Opcodes.f_slt then Slt (rd, rs, rt)
+  else if funct = Opcodes.f_sltu then Sltu (rd, rs, rt)
+  else Illegal w
+
+let inst (w : Word.t) : Inst.t =
+  if w = 0 then Inst.Nop
+  else
+    let op = (w lsr 26) land 0x3F in
+    if op = Opcodes.op_rtype then decode_rtype w
+    else
+      let rs = (w lsr 21) land 0x1F in
+      let rt = (w lsr 16) land 0x1F in
+      let imm = w land 0xFFFF in
+      let target = w land 0x3FF_FFFF in
+      let open Inst in
+      if op = Opcodes.op_j then J target
+      else if op = Opcodes.op_jal then Jal target
+      else if op = Opcodes.op_beq then Beq (rs, rt, signed16 imm)
+      else if op = Opcodes.op_bne then Bne (rs, rt, signed16 imm)
+      else if op = Opcodes.op_blt then Blt (rs, rt, signed16 imm)
+      else if op = Opcodes.op_bge then Bge (rs, rt, signed16 imm)
+      else if op = Opcodes.op_bltu then Bltu (rs, rt, signed16 imm)
+      else if op = Opcodes.op_bgeu then Bgeu (rs, rt, signed16 imm)
+      else if op = Opcodes.op_addi then Addi (rt, rs, signed16 imm)
+      else if op = Opcodes.op_slti then Slti (rt, rs, signed16 imm)
+      else if op = Opcodes.op_sltiu then Sltiu (rt, rs, signed16 imm)
+      else if op = Opcodes.op_andi then Andi (rt, rs, imm)
+      else if op = Opcodes.op_ori then Ori (rt, rs, imm)
+      else if op = Opcodes.op_xori then Xori (rt, rs, imm)
+      else if op = Opcodes.op_lui then if rs = 0 then Lui (rt, imm) else Illegal w
+      else if op = Opcodes.op_lw then Lw (rt, rs, signed16 imm)
+      else if op = Opcodes.op_lb then Lb (rt, rs, signed16 imm)
+      else if op = Opcodes.op_lbu then Lbu (rt, rs, signed16 imm)
+      else if op = Opcodes.op_sw then Sw (rt, rs, signed16 imm)
+      else if op = Opcodes.op_sb then Sb (rt, rs, signed16 imm)
+      else if op = Opcodes.op_trap then
+        if target <= 0xFFFF then Trap target else Illegal w
+      else if op = Opcodes.op_halt then if target = 0 then Halt else Illegal w
+      else Illegal w

@@ -1,0 +1,11 @@
+(** Binary decoding of VIA instructions.
+
+    Total: every 32-bit word decodes, possibly to [Inst.Illegal]. The
+    software dynamic translator uses this decoder to read application
+    text straight out of simulated memory, and the simulated CPU uses it
+    at fetch time. *)
+
+val inst : Word.t -> Inst.t
+(** [inst w] decodes [w]. The word [0] decodes to [Inst.Nop] (the
+    canonical encoding of [sll $zero, $zero, 0]). Words that match no
+    instruction decode to [Inst.Illegal w]. *)

@@ -1,0 +1,46 @@
+let inst ~pc (i : Inst.t) =
+  let abs_branch off = pc + 4 + (off * 4) in
+  match i with
+  | Beq (rs, rt, off) ->
+      Printf.sprintf "beq %s, %s, 0x%x" (Reg.name rs) (Reg.name rt)
+        (abs_branch off)
+  | Bne (rs, rt, off) ->
+      Printf.sprintf "bne %s, %s, 0x%x" (Reg.name rs) (Reg.name rt)
+        (abs_branch off)
+  | Blt (rs, rt, off) ->
+      Printf.sprintf "blt %s, %s, 0x%x" (Reg.name rs) (Reg.name rt)
+        (abs_branch off)
+  | Bge (rs, rt, off) ->
+      Printf.sprintf "bge %s, %s, 0x%x" (Reg.name rs) (Reg.name rt)
+        (abs_branch off)
+  | Bltu (rs, rt, off) ->
+      Printf.sprintf "bltu %s, %s, 0x%x" (Reg.name rs) (Reg.name rt)
+        (abs_branch off)
+  | Bgeu (rs, rt, off) ->
+      Printf.sprintf "bgeu %s, %s, 0x%x" (Reg.name rs) (Reg.name rt)
+        (abs_branch off)
+  | J t -> Printf.sprintf "j 0x%x" (((pc + 4) land 0xF000_0000) lor (t lsl 2))
+  | Jal t -> Printf.sprintf "jal 0x%x" (((pc + 4) land 0xF000_0000) lor (t lsl 2))
+  | Nop | Add _ | Sub _ | Mul _ | Div _ | Rem _ | And _ | Or _ | Xor _
+  | Nor _ | Slt _ | Sltu _ | Sllv _ | Srlv _ | Srav _ | Sll _ | Srl _
+  | Sra _ | Addi _ | Slti _ | Sltiu _ | Andi _ | Ori _ | Xori _ | Lui _
+  | Lw _ | Lb _ | Lbu _ | Sw _ | Sb _ | Jr _ | Jalr _ | Syscall | Trap _
+  | Halt | Illegal _ ->
+      Inst.to_string i
+
+let word ~pc w = inst ~pc (Decode.inst w)
+
+let listing ?symbols (p : Program.t) =
+  let symbols = match symbols with Some s -> s | None -> p.Program.symbols in
+  let by_addr = Hashtbl.create 16 in
+  List.iter (fun (n, a) -> Hashtbl.replace by_addr a n) symbols;
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (addr, w) ->
+      (match Hashtbl.find_opt by_addr addr with
+      | Some n -> Buffer.add_string buf (Printf.sprintf "%s:\n" n)
+      | None -> ());
+      Buffer.add_string buf
+        (Printf.sprintf "  %08x: %08x  %s\n" addr w (word ~pc:addr w)))
+    (Program.text_words p);
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** Disassembler.
+
+    Renders machine words back to assembly, resolving PC-relative branch
+    displacements and jump indices to absolute addresses so listings are
+    readable. *)
+
+val inst : pc:int -> Inst.t -> string
+(** Render one instruction located at [pc]. Branch and jump targets are
+    shown as absolute hex addresses. *)
+
+val word : pc:int -> Word.t -> string
+(** [word ~pc w] is [inst ~pc (Decode.inst w)]. *)
+
+val listing : ?symbols:(string * int) list -> Program.t -> string
+(** A full listing of a program image: one line per word,
+    [address: rawword  mnemonic], with symbol names interleaved. *)

@@ -1,0 +1,92 @@
+let signed_imm_fits v = v >= -32768 && v <= 32767
+let unsigned_imm_fits v = v >= 0 && v <= 65535
+
+let check_reg r =
+  if not (Reg.is_valid r) then invalid_arg "Encode: bad register"
+
+let check_shamt s =
+  if s < 0 || s > 31 then invalid_arg "Encode: bad shift amount"
+
+let check_simm v =
+  if not (signed_imm_fits v) then
+    invalid_arg (Printf.sprintf "Encode: signed immediate %d out of range" v)
+
+let check_uimm v =
+  if not (unsigned_imm_fits v) then
+    invalid_arg (Printf.sprintf "Encode: unsigned immediate %d out of range" v)
+
+let check_target t =
+  if t < 0 || t >= 1 lsl 26 then invalid_arg "Encode: jump target out of range"
+
+let r_type ~rs ~rt ~rd ~shamt ~funct =
+  check_reg rs;
+  check_reg rt;
+  check_reg rd;
+  check_shamt shamt;
+  (rs lsl 21) lor (rt lsl 16) lor (rd lsl 11) lor (shamt lsl 6) lor funct
+
+let i_type ~op ~rs ~rt ~imm =
+  check_reg rs;
+  check_reg rt;
+  (op lsl 26) lor (rs lsl 21) lor (rt lsl 16) lor (imm land 0xFFFF)
+
+let i_signed ~op ~rs ~rt ~imm =
+  check_simm imm;
+  i_type ~op ~rs ~rt ~imm
+
+let i_unsigned ~op ~rs ~rt ~imm =
+  check_uimm imm;
+  i_type ~op ~rs ~rt ~imm
+
+let j_type ~op ~target =
+  check_target target;
+  (op lsl 26) lor target
+
+let inst (i : Inst.t) : Word.t =
+  match i with
+  | Nop -> 0
+  | Sll (rd, rt, sh) -> r_type ~rs:0 ~rt ~rd ~shamt:sh ~funct:Opcodes.f_sll
+  | Srl (rd, rt, sh) -> r_type ~rs:0 ~rt ~rd ~shamt:sh ~funct:Opcodes.f_srl
+  | Sra (rd, rt, sh) -> r_type ~rs:0 ~rt ~rd ~shamt:sh ~funct:Opcodes.f_sra
+  | Sllv (rd, rt, rs) -> r_type ~rs ~rt ~rd ~shamt:0 ~funct:Opcodes.f_sllv
+  | Srlv (rd, rt, rs) -> r_type ~rs ~rt ~rd ~shamt:0 ~funct:Opcodes.f_srlv
+  | Srav (rd, rt, rs) -> r_type ~rs ~rt ~rd ~shamt:0 ~funct:Opcodes.f_srav
+  | Jr rs -> r_type ~rs ~rt:0 ~rd:0 ~shamt:0 ~funct:Opcodes.f_jr
+  | Jalr (rd, rs) -> r_type ~rs ~rt:0 ~rd ~shamt:0 ~funct:Opcodes.f_jalr
+  | Syscall -> r_type ~rs:0 ~rt:0 ~rd:0 ~shamt:0 ~funct:Opcodes.f_syscall
+  | Mul (rd, rs, rt) -> r_type ~rs ~rt ~rd ~shamt:0 ~funct:Opcodes.f_mul
+  | Div (rd, rs, rt) -> r_type ~rs ~rt ~rd ~shamt:0 ~funct:Opcodes.f_div
+  | Rem (rd, rs, rt) -> r_type ~rs ~rt ~rd ~shamt:0 ~funct:Opcodes.f_rem
+  | Add (rd, rs, rt) -> r_type ~rs ~rt ~rd ~shamt:0 ~funct:Opcodes.f_add
+  | Sub (rd, rs, rt) -> r_type ~rs ~rt ~rd ~shamt:0 ~funct:Opcodes.f_sub
+  | And (rd, rs, rt) -> r_type ~rs ~rt ~rd ~shamt:0 ~funct:Opcodes.f_and
+  | Or (rd, rs, rt) -> r_type ~rs ~rt ~rd ~shamt:0 ~funct:Opcodes.f_or
+  | Xor (rd, rs, rt) -> r_type ~rs ~rt ~rd ~shamt:0 ~funct:Opcodes.f_xor
+  | Nor (rd, rs, rt) -> r_type ~rs ~rt ~rd ~shamt:0 ~funct:Opcodes.f_nor
+  | Slt (rd, rs, rt) -> r_type ~rs ~rt ~rd ~shamt:0 ~funct:Opcodes.f_slt
+  | Sltu (rd, rs, rt) -> r_type ~rs ~rt ~rd ~shamt:0 ~funct:Opcodes.f_sltu
+  | J t -> j_type ~op:Opcodes.op_j ~target:t
+  | Jal t -> j_type ~op:Opcodes.op_jal ~target:t
+  | Beq (rs, rt, off) -> i_signed ~op:Opcodes.op_beq ~rs ~rt ~imm:off
+  | Bne (rs, rt, off) -> i_signed ~op:Opcodes.op_bne ~rs ~rt ~imm:off
+  | Blt (rs, rt, off) -> i_signed ~op:Opcodes.op_blt ~rs ~rt ~imm:off
+  | Bge (rs, rt, off) -> i_signed ~op:Opcodes.op_bge ~rs ~rt ~imm:off
+  | Bltu (rs, rt, off) -> i_signed ~op:Opcodes.op_bltu ~rs ~rt ~imm:off
+  | Bgeu (rs, rt, off) -> i_signed ~op:Opcodes.op_bgeu ~rs ~rt ~imm:off
+  | Addi (rt, rs, imm) -> i_signed ~op:Opcodes.op_addi ~rs ~rt ~imm
+  | Slti (rt, rs, imm) -> i_signed ~op:Opcodes.op_slti ~rs ~rt ~imm
+  | Sltiu (rt, rs, imm) -> i_signed ~op:Opcodes.op_sltiu ~rs ~rt ~imm
+  | Andi (rt, rs, imm) -> i_unsigned ~op:Opcodes.op_andi ~rs ~rt ~imm
+  | Ori (rt, rs, imm) -> i_unsigned ~op:Opcodes.op_ori ~rs ~rt ~imm
+  | Xori (rt, rs, imm) -> i_unsigned ~op:Opcodes.op_xori ~rs ~rt ~imm
+  | Lui (rt, imm) -> i_unsigned ~op:Opcodes.op_lui ~rs:0 ~rt ~imm
+  | Lw (rt, rs, off) -> i_signed ~op:Opcodes.op_lw ~rs ~rt ~imm:off
+  | Lb (rt, rs, off) -> i_signed ~op:Opcodes.op_lb ~rs ~rt ~imm:off
+  | Lbu (rt, rs, off) -> i_signed ~op:Opcodes.op_lbu ~rs ~rt ~imm:off
+  | Sw (rt, rs, off) -> i_signed ~op:Opcodes.op_sw ~rs ~rt ~imm:off
+  | Sb (rt, rs, off) -> i_signed ~op:Opcodes.op_sb ~rs ~rt ~imm:off
+  | Trap k ->
+      check_uimm k;
+      j_type ~op:Opcodes.op_trap ~target:k
+  | Halt -> j_type ~op:Opcodes.op_halt ~target:0
+  | Illegal w -> Word.of_int w

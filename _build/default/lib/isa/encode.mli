@@ -1,0 +1,24 @@
+(** Binary encoding of VIA instructions.
+
+    The word layout is MIPS-like:
+    - R-type: [op(6) rs(5) rt(5) rd(5) shamt(5) funct(6)], with [op = 0];
+    - I-type: [op(6) rs(5) rt(5) imm(16)];
+    - J-type: [op(6) target(26)], target in words.
+
+    {!Decode.inst} is the exact inverse on every word {!inst} produces
+    (and on every 32-bit word at all: non-instruction words decode to
+    [Inst.Illegal], which re-encodes to the original word). *)
+
+val inst : Inst.t -> Word.t
+(** [inst i] is the 32-bit encoding of [i].
+
+    @raise Invalid_argument if an operand is out of range: a register
+    outside [0, 31], a shift amount outside [0, 31], a signed immediate
+    outside [-32768, 32767], an unsigned immediate outside [0, 65535], or
+    a jump target outside [0, 2{^26}). *)
+
+val signed_imm_fits : int -> bool
+(** Does the value fit a sign-extended 16-bit immediate? *)
+
+val unsigned_imm_fits : int -> bool
+(** Does the value fit a zero-extended 16-bit immediate? *)

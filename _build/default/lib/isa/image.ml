@@ -1,0 +1,101 @@
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let to_string (p : Program.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "via-image v1\n";
+  Buffer.add_string buf (Printf.sprintf "entry 0x%08x\n" p.Program.entry);
+  List.iter
+    (fun (name, addr) ->
+      Buffer.add_string buf (Printf.sprintf "symbol %s 0x%08x\n" name addr))
+    p.Program.symbols;
+  List.iter
+    (fun { Program.base; data } ->
+      Buffer.add_string buf (Printf.sprintf "segment 0x%08x\n" base);
+      Buffer.add_string buf (Printf.sprintf "bytes %d\n" (Bytes.length data));
+      let n = Bytes.length data in
+      let i = ref 0 in
+      while !i < n do
+        let w = ref 0 in
+        for j = 3 downto 0 do
+          w := (!w lsl 8) lor (if !i + j < n then Char.code (Bytes.get data (!i + j)) else 0)
+        done;
+        Buffer.add_string buf (Printf.sprintf "%08x\n" !w);
+        i := !i + 4
+      done)
+    p.Program.segments;
+  Buffer.contents buf
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | magic :: rest when magic = "via-image v1" ->
+      let entry = ref None in
+      let symbols = ref [] in
+      let segments = ref [] in
+      (* current segment being accumulated *)
+      let cur_base = ref None in
+      let cur_bytes = ref 0 in
+      let cur_words = ref [] in
+      let flush_segment () =
+        match !cur_base with
+        | None -> ()
+        | Some base ->
+            let words = List.rev !cur_words in
+            let n = !cur_bytes in
+            let data = Bytes.create n in
+            List.iteri
+              (fun wi w ->
+                for j = 0 to 3 do
+                  let off = (wi * 4) + j in
+                  if off < n then
+                    Bytes.set data off (Char.chr ((w lsr (8 * j)) land 0xFF))
+                done)
+              words;
+            segments := { Program.base; data } :: !segments;
+            cur_base := None;
+            cur_words := []
+      in
+      let parse_hex str =
+        match int_of_string_opt ("0x" ^ str) with
+        | Some v -> v
+        | None -> error "bad hex %S" str
+      in
+      List.iter
+        (fun line ->
+          match String.split_on_char ' ' line with
+          | [ "entry"; a ] -> entry := Some (int_of_string a)
+          | [ "symbol"; name; a ] ->
+              symbols := (name, int_of_string a) :: !symbols
+          | [ "segment"; a ] ->
+              flush_segment ();
+              cur_base := Some (int_of_string a);
+              cur_bytes := 0
+          | [ "bytes"; n ] -> cur_bytes := int_of_string n
+          | [ w ] when !cur_base <> None -> cur_words := parse_hex w :: !cur_words
+          | _ -> error "unexpected line %S" line)
+        rest;
+      flush_segment ();
+      let entry =
+        match !entry with Some e -> e | None -> error "missing entry"
+      in
+      {
+        Program.entry;
+        segments = List.rev !segments;
+        symbols = List.rev !symbols;
+      }
+  | _ -> error "not a via-image file"
+
+let save path p =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (to_string p))
+
+let load path =
+  In_channel.with_open_bin path (fun ic ->
+      try of_string (In_channel.input_all ic)
+      with Failure _ -> error "malformed image %s" path)

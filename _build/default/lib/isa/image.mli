@@ -1,0 +1,24 @@
+(** A plain-text serialisation of program images, so the assembler,
+    runner and disassembler can be separate executables.
+
+    Format (line-oriented, '#' comments):
+    {v
+      via-image v1
+      entry 0x00001000
+      symbol main 0x00001000
+      segment 0x00001000
+      24080000
+      ...
+    v}
+    Segment payloads are one 32-bit hex word per line, little-endian in
+    memory; a trailing [bytes N] word count allows non-multiple-of-4
+    segments. *)
+
+exception Error of string
+
+val to_string : Program.t -> string
+val of_string : string -> Program.t
+(** @raise Error on malformed input. *)
+
+val save : string -> Program.t -> unit
+val load : string -> Program.t

@@ -1,0 +1,219 @@
+type t =
+  | Nop
+  | Add of Reg.t * Reg.t * Reg.t
+  | Sub of Reg.t * Reg.t * Reg.t
+  | Mul of Reg.t * Reg.t * Reg.t
+  | Div of Reg.t * Reg.t * Reg.t
+  | Rem of Reg.t * Reg.t * Reg.t
+  | And of Reg.t * Reg.t * Reg.t
+  | Or of Reg.t * Reg.t * Reg.t
+  | Xor of Reg.t * Reg.t * Reg.t
+  | Nor of Reg.t * Reg.t * Reg.t
+  | Slt of Reg.t * Reg.t * Reg.t
+  | Sltu of Reg.t * Reg.t * Reg.t
+  | Sllv of Reg.t * Reg.t * Reg.t
+  | Srlv of Reg.t * Reg.t * Reg.t
+  | Srav of Reg.t * Reg.t * Reg.t
+  | Sll of Reg.t * Reg.t * int
+  | Srl of Reg.t * Reg.t * int
+  | Sra of Reg.t * Reg.t * int
+  | Addi of Reg.t * Reg.t * int
+  | Slti of Reg.t * Reg.t * int
+  | Sltiu of Reg.t * Reg.t * int
+  | Andi of Reg.t * Reg.t * int
+  | Ori of Reg.t * Reg.t * int
+  | Xori of Reg.t * Reg.t * int
+  | Lui of Reg.t * int
+  | Lw of Reg.t * Reg.t * int
+  | Lb of Reg.t * Reg.t * int
+  | Lbu of Reg.t * Reg.t * int
+  | Sw of Reg.t * Reg.t * int
+  | Sb of Reg.t * Reg.t * int
+  | Beq of Reg.t * Reg.t * int
+  | Bne of Reg.t * Reg.t * int
+  | Blt of Reg.t * Reg.t * int
+  | Bge of Reg.t * Reg.t * int
+  | Bltu of Reg.t * Reg.t * int
+  | Bgeu of Reg.t * Reg.t * int
+  | J of int
+  | Jal of int
+  | Jr of Reg.t
+  | Jalr of Reg.t * Reg.t
+  | Syscall
+  | Trap of int
+  | Halt
+  | Illegal of int
+
+let is_control = function
+  | Beq _ | Bne _ | Blt _ | Bge _ | Bltu _ | Bgeu _ | J _ | Jal _ | Jr _
+  | Jalr _ | Halt ->
+      true
+  | Nop | Add _ | Sub _ | Mul _ | Div _ | Rem _ | And _ | Or _ | Xor _
+  | Nor _ | Slt _ | Sltu _ | Sllv _ | Srlv _ | Srav _ | Sll _ | Srl _
+  | Sra _ | Addi _ | Slti _ | Sltiu _ | Andi _ | Ori _ | Xori _ | Lui _
+  | Lw _ | Lb _ | Lbu _ | Sw _ | Sb _ | Syscall | Trap _ | Illegal _ ->
+      false
+
+let is_branch = function
+  | Beq _ | Bne _ | Blt _ | Bge _ | Bltu _ | Bgeu _ -> true
+  | Nop | Add _ | Sub _ | Mul _ | Div _ | Rem _ | And _ | Or _ | Xor _
+  | Nor _ | Slt _ | Sltu _ | Sllv _ | Srlv _ | Srav _ | Sll _ | Srl _
+  | Sra _ | Addi _ | Slti _ | Sltiu _ | Andi _ | Ori _ | Xori _ | Lui _
+  | Lw _ | Lb _ | Lbu _ | Sw _ | Sb _ | J _ | Jal _ | Jr _ | Jalr _
+  | Syscall | Trap _ | Halt | Illegal _ ->
+      false
+
+let writes = function
+  | Add (rd, _, _)
+  | Sub (rd, _, _)
+  | Mul (rd, _, _)
+  | Div (rd, _, _)
+  | Rem (rd, _, _)
+  | And (rd, _, _)
+  | Or (rd, _, _)
+  | Xor (rd, _, _)
+  | Nor (rd, _, _)
+  | Slt (rd, _, _)
+  | Sltu (rd, _, _)
+  | Sllv (rd, _, _)
+  | Srlv (rd, _, _)
+  | Srav (rd, _, _)
+  | Sll (rd, _, _)
+  | Srl (rd, _, _)
+  | Sra (rd, _, _) ->
+      [ rd ]
+  | Addi (rt, _, _)
+  | Slti (rt, _, _)
+  | Sltiu (rt, _, _)
+  | Andi (rt, _, _)
+  | Ori (rt, _, _)
+  | Xori (rt, _, _)
+  | Lui (rt, _)
+  | Lw (rt, _, _)
+  | Lb (rt, _, _)
+  | Lbu (rt, _, _) ->
+      [ rt ]
+  | Jal _ -> [ Reg.ra ]
+  | Jalr (rd, _) -> [ rd ]
+  | Syscall -> [ Reg.v0; Reg.v1 ]
+  | Nop | Sw _ | Sb _ | Beq _ | Bne _ | Blt _ | Bge _ | Bltu _ | Bgeu _
+  | J _ | Jr _ | Trap _ | Halt | Illegal _ ->
+      []
+
+let reads = function
+  | Add (_, rs, rt)
+  | Sub (_, rs, rt)
+  | Mul (_, rs, rt)
+  | Div (_, rs, rt)
+  | Rem (_, rs, rt)
+  | And (_, rs, rt)
+  | Or (_, rs, rt)
+  | Xor (_, rs, rt)
+  | Nor (_, rs, rt)
+  | Slt (_, rs, rt)
+  | Sltu (_, rs, rt)
+  | Beq (rs, rt, _)
+  | Bne (rs, rt, _)
+  | Blt (rs, rt, _)
+  | Bge (rs, rt, _)
+  | Bltu (rs, rt, _)
+  | Bgeu (rs, rt, _) ->
+      [ rs; rt ]
+  | Sllv (_, rt, rs) | Srlv (_, rt, rs) | Srav (_, rt, rs) -> [ rt; rs ]
+  | Sll (_, rt, _) | Srl (_, rt, _) | Sra (_, rt, _) -> [ rt ]
+  | Addi (_, rs, _)
+  | Slti (_, rs, _)
+  | Sltiu (_, rs, _)
+  | Andi (_, rs, _)
+  | Ori (_, rs, _)
+  | Xori (_, rs, _)
+  | Lw (_, rs, _)
+  | Lb (_, rs, _)
+  | Lbu (_, rs, _) ->
+      [ rs ]
+  | Sw (rt, rs, _) | Sb (rt, rs, _) -> [ rt; rs ]
+  | Jr rs -> [ rs ]
+  | Jalr (_, rs) -> [ rs ]
+  | Syscall -> [ Reg.v0; Reg.a0; Reg.a1 ]
+  | Nop | Lui _ | J _ | Jal _ | Trap _ | Halt | Illegal _ -> []
+
+let uses_reserved i =
+  List.exists Reg.is_reserved (writes i)
+  || List.exists Reg.is_reserved (reads i)
+
+let branch_offset = function
+  | Beq (_, _, off) | Bne (_, _, off) | Blt (_, _, off) | Bge (_, _, off)
+  | Bltu (_, _, off) | Bgeu (_, _, off) ->
+      Some off
+  | Nop | Add _ | Sub _ | Mul _ | Div _ | Rem _ | And _ | Or _ | Xor _
+  | Nor _ | Slt _ | Sltu _ | Sllv _ | Srlv _ | Srav _ | Sll _ | Srl _
+  | Sra _ | Addi _ | Slti _ | Sltiu _ | Andi _ | Ori _ | Xori _ | Lui _
+  | Lw _ | Lb _ | Lbu _ | Sw _ | Sb _ | J _ | Jal _ | Jr _ | Jalr _
+  | Syscall | Trap _ | Halt | Illegal _ ->
+      None
+
+let with_branch_offset i off =
+  match i with
+  | Beq (rs, rt, _) -> Beq (rs, rt, off)
+  | Bne (rs, rt, _) -> Bne (rs, rt, off)
+  | Blt (rs, rt, _) -> Blt (rs, rt, off)
+  | Bge (rs, rt, _) -> Bge (rs, rt, off)
+  | Bltu (rs, rt, _) -> Bltu (rs, rt, off)
+  | Bgeu (rs, rt, _) -> Bgeu (rs, rt, off)
+  | Nop | Add _ | Sub _ | Mul _ | Div _ | Rem _ | And _ | Or _ | Xor _
+  | Nor _ | Slt _ | Sltu _ | Sllv _ | Srlv _ | Srav _ | Sll _ | Srl _
+  | Sra _ | Addi _ | Slti _ | Sltiu _ | Andi _ | Ori _ | Xori _ | Lui _
+  | Lw _ | Lb _ | Lbu _ | Sw _ | Sb _ | J _ | Jal _ | Jr _ | Jalr _
+  | Syscall | Trap _ | Halt | Illegal _ ->
+      invalid_arg "Inst.with_branch_offset: not a conditional branch"
+
+let pp ppf i =
+  let r = Reg.name in
+  let f fmt = Format.fprintf ppf fmt in
+  match i with
+  | Nop -> f "nop"
+  | Add (rd, rs, rt) -> f "add %s, %s, %s" (r rd) (r rs) (r rt)
+  | Sub (rd, rs, rt) -> f "sub %s, %s, %s" (r rd) (r rs) (r rt)
+  | Mul (rd, rs, rt) -> f "mul %s, %s, %s" (r rd) (r rs) (r rt)
+  | Div (rd, rs, rt) -> f "div %s, %s, %s" (r rd) (r rs) (r rt)
+  | Rem (rd, rs, rt) -> f "rem %s, %s, %s" (r rd) (r rs) (r rt)
+  | And (rd, rs, rt) -> f "and %s, %s, %s" (r rd) (r rs) (r rt)
+  | Or (rd, rs, rt) -> f "or %s, %s, %s" (r rd) (r rs) (r rt)
+  | Xor (rd, rs, rt) -> f "xor %s, %s, %s" (r rd) (r rs) (r rt)
+  | Nor (rd, rs, rt) -> f "nor %s, %s, %s" (r rd) (r rs) (r rt)
+  | Slt (rd, rs, rt) -> f "slt %s, %s, %s" (r rd) (r rs) (r rt)
+  | Sltu (rd, rs, rt) -> f "sltu %s, %s, %s" (r rd) (r rs) (r rt)
+  | Sllv (rd, rt, rs) -> f "sllv %s, %s, %s" (r rd) (r rt) (r rs)
+  | Srlv (rd, rt, rs) -> f "srlv %s, %s, %s" (r rd) (r rt) (r rs)
+  | Srav (rd, rt, rs) -> f "srav %s, %s, %s" (r rd) (r rt) (r rs)
+  | Sll (rd, rt, sh) -> f "sll %s, %s, %d" (r rd) (r rt) sh
+  | Srl (rd, rt, sh) -> f "srl %s, %s, %d" (r rd) (r rt) sh
+  | Sra (rd, rt, sh) -> f "sra %s, %s, %d" (r rd) (r rt) sh
+  | Addi (rt, rs, imm) -> f "addi %s, %s, %d" (r rt) (r rs) imm
+  | Slti (rt, rs, imm) -> f "slti %s, %s, %d" (r rt) (r rs) imm
+  | Sltiu (rt, rs, imm) -> f "sltiu %s, %s, %d" (r rt) (r rs) imm
+  | Andi (rt, rs, imm) -> f "andi %s, %s, %d" (r rt) (r rs) imm
+  | Ori (rt, rs, imm) -> f "ori %s, %s, %d" (r rt) (r rs) imm
+  | Xori (rt, rs, imm) -> f "xori %s, %s, %d" (r rt) (r rs) imm
+  | Lui (rt, imm) -> f "lui %s, %d" (r rt) imm
+  | Lw (rt, rs, off) -> f "lw %s, %d(%s)" (r rt) off (r rs)
+  | Lb (rt, rs, off) -> f "lb %s, %d(%s)" (r rt) off (r rs)
+  | Lbu (rt, rs, off) -> f "lbu %s, %d(%s)" (r rt) off (r rs)
+  | Sw (rt, rs, off) -> f "sw %s, %d(%s)" (r rt) off (r rs)
+  | Sb (rt, rs, off) -> f "sb %s, %d(%s)" (r rt) off (r rs)
+  | Beq (rs, rt, off) -> f "beq %s, %s, %d" (r rs) (r rt) off
+  | Bne (rs, rt, off) -> f "bne %s, %s, %d" (r rs) (r rt) off
+  | Blt (rs, rt, off) -> f "blt %s, %s, %d" (r rs) (r rt) off
+  | Bge (rs, rt, off) -> f "bge %s, %s, %d" (r rs) (r rt) off
+  | Bltu (rs, rt, off) -> f "bltu %s, %s, %d" (r rs) (r rt) off
+  | Bgeu (rs, rt, off) -> f "bgeu %s, %s, %d" (r rs) (r rt) off
+  | J t -> f "j 0x%x" (t * 4)
+  | Jal t -> f "jal 0x%x" (t * 4)
+  | Jr rs -> f "jr %s" (r rs)
+  | Jalr (rd, rs) -> f "jalr %s, %s" (r rd) (r rs)
+  | Syscall -> f "syscall"
+  | Trap k -> f "trap %d" k
+  | Halt -> f "halt"
+  | Illegal w -> f ".illegal 0x%08x" w
+
+let to_string i = Format.asprintf "%a" pp i

@@ -1,0 +1,109 @@
+(** The VIA instruction set.
+
+    VIA is a 32-bit, fixed-width, load/store architecture in the MIPS
+    mould (no branch delay slots). It is the guest *and* host ISA of this
+    reproduction: application binaries are VIA machine code, and the
+    software dynamic translator emits VIA machine code into its fragment
+    cache.
+
+    Operand conventions, by constructor argument order:
+    - three-register ALU ops: [(rd, rs, rt)], compute [rd := rs op rt];
+    - immediate ALU ops: [(rt, rs, imm)], compute [rt := rs op imm];
+    - shifts by immediate: [(rd, rt, shamt)];
+    - loads [(rt, rs, off)]: [rt := mem(rs + sext off)];
+    - stores [(rt, rs, off)]: [mem(rs + sext off) := rt];
+    - branches [(rs, rt, off)]: compare [rs] with [rt]; the 16-bit offset
+      is a signed word displacement relative to the instruction after the
+      branch;
+    - [J]/[Jal] carry a 26-bit word index within the current 256 MiB
+      region;
+    - [Jr rs] jumps to the address in [rs]; [Jr ra] is the conventional
+      return and is the form return predictors recognise;
+    - [Jalr (rd, rs)] is the indirect call: [rd := pc + 4; pc := rs].
+
+    [Trap k] is not part of the application-visible ISA: it is the
+    translator's trampoline into the runtime and is only legal inside the
+    fragment cache. *)
+
+type t =
+  | Nop
+  (* R-type ALU *)
+  | Add of Reg.t * Reg.t * Reg.t
+  | Sub of Reg.t * Reg.t * Reg.t
+  | Mul of Reg.t * Reg.t * Reg.t
+  | Div of Reg.t * Reg.t * Reg.t
+  | Rem of Reg.t * Reg.t * Reg.t
+  | And of Reg.t * Reg.t * Reg.t
+  | Or of Reg.t * Reg.t * Reg.t
+  | Xor of Reg.t * Reg.t * Reg.t
+  | Nor of Reg.t * Reg.t * Reg.t
+  | Slt of Reg.t * Reg.t * Reg.t
+  | Sltu of Reg.t * Reg.t * Reg.t
+  | Sllv of Reg.t * Reg.t * Reg.t  (** [(rd, rt, rs)]: [rd := rt << rs]. *)
+  | Srlv of Reg.t * Reg.t * Reg.t
+  | Srav of Reg.t * Reg.t * Reg.t
+  (* shifts by immediate *)
+  | Sll of Reg.t * Reg.t * int
+  | Srl of Reg.t * Reg.t * int
+  | Sra of Reg.t * Reg.t * int
+  (* I-type ALU *)
+  | Addi of Reg.t * Reg.t * int   (** immediate sign-extended *)
+  | Slti of Reg.t * Reg.t * int
+  | Sltiu of Reg.t * Reg.t * int
+  | Andi of Reg.t * Reg.t * int   (** immediate zero-extended *)
+  | Ori of Reg.t * Reg.t * int
+  | Xori of Reg.t * Reg.t * int
+  | Lui of Reg.t * int
+  (* memory *)
+  | Lw of Reg.t * Reg.t * int
+  | Lb of Reg.t * Reg.t * int
+  | Lbu of Reg.t * Reg.t * int
+  | Sw of Reg.t * Reg.t * int
+  | Sb of Reg.t * Reg.t * int
+  (* control *)
+  | Beq of Reg.t * Reg.t * int
+  | Bne of Reg.t * Reg.t * int
+  | Blt of Reg.t * Reg.t * int
+  | Bge of Reg.t * Reg.t * int
+  | Bltu of Reg.t * Reg.t * int
+  | Bgeu of Reg.t * Reg.t * int
+  | J of int
+  | Jal of int
+  | Jr of Reg.t
+  | Jalr of Reg.t * Reg.t
+  (* system *)
+  | Syscall
+  | Trap of int
+  | Halt
+  | Illegal of int
+      (** A word that does not decode; executing it is a machine error.
+          The payload is the raw word, preserved for encode/decode
+          round-tripping. *)
+
+val is_control : t -> bool
+(** Does this instruction end a basic block? *)
+
+val is_branch : t -> bool
+(** Conditional branch? *)
+
+val writes : t -> Reg.t list
+(** Registers written (excluding [$zero] semantics; [Jal] writes [$ra]). *)
+
+val reads : t -> Reg.t list
+(** Registers read. *)
+
+val uses_reserved : t -> bool
+(** Does the instruction read or write a translator-reserved register
+    ({!Reg.reserved})? Application code must not; the translator checks. *)
+
+val branch_offset : t -> int option
+(** The signed word displacement of a conditional branch. *)
+
+val with_branch_offset : t -> int -> t
+(** Replace the displacement of a conditional branch.
+    @raise Invalid_argument on non-branches. *)
+
+val pp : Format.formatter -> t -> unit
+(** Assembly rendering, e.g. [add $t0, $t1, $t2]. *)
+
+val to_string : t -> string

@@ -1,0 +1,142 @@
+type token =
+  | Ident of string
+  | Directive of string
+  | Register of Reg.t
+  | Int of int
+  | Str of string
+  | Comma
+  | Colon
+  | Lparen
+  | Rparen
+
+exception Error of { line : int; msg : string }
+
+let fail line fmt = Printf.ksprintf (fun msg -> raise (Error { line; msg })) fmt
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '.'
+
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize ~line s =
+  let n = String.length s in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  let peek () = if !i < n then Some s.[!i] else None in
+  let comment_ahead () =
+    match peek () with
+    | Some '#' | Some ';' -> true
+    | Some '/' -> !i + 1 < n && s.[!i + 1] = '/'
+    | Some _ | None -> false
+  in
+  let read_while p =
+    let start = !i in
+    while !i < n && p s.[!i] do
+      incr i
+    done;
+    String.sub s start (!i - start)
+  in
+  let read_escape () =
+    incr i;
+    if !i >= n then fail line "dangling escape";
+    let c = s.[!i] in
+    incr i;
+    match c with
+    | 'n' -> '\n'
+    | 't' -> '\t'
+    | 'r' -> '\r'
+    | '0' -> '\000'
+    | '\\' -> '\\'
+    | '"' -> '"'
+    | '\'' -> '\''
+    | c -> fail line "unknown escape '\\%c'" c
+  in
+  let finished = ref false in
+  while not !finished do
+    match peek () with
+    | None -> finished := true
+    | Some _ when comment_ahead () -> finished := true
+    | Some (' ' | '\t' | '\r') -> incr i
+    | Some ',' ->
+        push Comma;
+        incr i
+    | Some ':' ->
+        push Colon;
+        incr i
+    | Some '(' ->
+        push Lparen;
+        incr i
+    | Some ')' ->
+        push Rparen;
+        incr i
+    | Some '$' ->
+        incr i;
+        let name = read_while (fun c -> is_ident c) in
+        (match Reg.of_name name with
+        | Some r -> push (Register r)
+        | None -> fail line "unknown register $%s" name)
+    | Some '\'' ->
+        incr i;
+        let c =
+          match peek () with
+          | Some '\\' -> read_escape ()
+          | Some c ->
+              incr i;
+              c
+          | None -> fail line "unterminated character literal"
+        in
+        (match peek () with
+        | Some '\'' ->
+            incr i;
+            push (Int (Char.code c))
+        | Some _ | None -> fail line "unterminated character literal")
+    | Some '"' ->
+        incr i;
+        let buf = Buffer.create 16 in
+        let closed = ref false in
+        while not !closed do
+          match peek () with
+          | None -> fail line "unterminated string"
+          | Some '"' ->
+              incr i;
+              closed := true
+          | Some '\\' -> Buffer.add_char buf (read_escape ())
+          | Some c ->
+              Buffer.add_char buf c;
+              incr i
+        done;
+        push (Str (Buffer.contents buf))
+    | Some '-' ->
+        incr i;
+        let digits = read_while (fun c -> is_digit c || c = 'x' || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')) in
+        (match int_of_string_opt ("-" ^ digits) with
+        | Some v -> push (Int v)
+        | None -> fail line "bad number -%s" digits)
+    | Some c when is_digit c ->
+        let digits = read_while (fun c -> is_digit c || c = 'x' || c = 'X' || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')) in
+        (match int_of_string_opt digits with
+        | Some v -> push (Int v)
+        | None -> fail line "bad number %s" digits)
+    | Some '.' ->
+        incr i;
+        let name = read_while is_ident in
+        push (Directive name)
+    | Some c when is_ident_start c ->
+        let name = read_while is_ident in
+        push (Ident name)
+    | Some c -> fail line "unexpected character '%c'" c
+  done;
+  List.rev !toks
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "ident(%s)" s
+  | Directive s -> Format.fprintf ppf ".%s" s
+  | Register r -> Format.fprintf ppf "%s" (Reg.name r)
+  | Int v -> Format.fprintf ppf "%d" v
+  | Str s -> Format.fprintf ppf "%S" s
+  | Comma -> Format.fprintf ppf ","
+  | Colon -> Format.fprintf ppf ":"
+  | Lparen -> Format.fprintf ppf "("
+  | Rparen -> Format.fprintf ppf ")"

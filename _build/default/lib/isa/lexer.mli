@@ -1,0 +1,22 @@
+(** Line lexer for VIA assembly source.
+
+    Assembly is line-oriented; the lexer turns one source line into
+    tokens, stripping comments ([#], [//] and [;] to end of line). *)
+
+type token =
+  | Ident of string      (** mnemonic, label or directive name *)
+  | Directive of string  (** ".word" -> [Directive "word"] *)
+  | Register of Reg.t
+  | Int of int           (** decimal, hex (0x..), or char ('a') literal *)
+  | Str of string        (** double-quoted, with escapes *)
+  | Comma
+  | Colon
+  | Lparen
+  | Rparen
+
+exception Error of { line : int; msg : string }
+
+val tokenize : line:int -> string -> token list
+(** Tokenize one line. @raise Error on malformed input. *)
+
+val pp_token : Format.formatter -> token -> unit

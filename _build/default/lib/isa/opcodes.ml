@@ -1,0 +1,48 @@
+(* Opcode and funct assignments for the VIA encoding; shared by
+   {!Encode} and {!Decode}. The numbering follows MIPS where an
+   equivalent instruction exists, so disassembly is familiar. *)
+
+let op_rtype = 0
+let op_j = 2
+let op_jal = 3
+let op_beq = 4
+let op_bne = 5
+let op_blt = 6
+let op_bge = 7
+let op_addi = 8
+let op_slti = 10
+let op_sltiu = 11
+let op_andi = 12
+let op_ori = 13
+let op_xori = 14
+let op_lui = 15
+let op_bltu = 16
+let op_bgeu = 17
+let op_lb = 32
+let op_lw = 35
+let op_lbu = 36
+let op_sb = 40
+let op_sw = 43
+let op_trap = 62
+let op_halt = 63
+
+let f_sll = 0
+let f_srl = 2
+let f_sra = 3
+let f_sllv = 4
+let f_srlv = 6
+let f_srav = 7
+let f_jr = 8
+let f_jalr = 9
+let f_syscall = 12
+let f_mul = 24
+let f_div = 26
+let f_rem = 27
+let f_add = 32
+let f_sub = 34
+let f_and = 36
+let f_or = 37
+let f_xor = 38
+let f_nor = 39
+let f_slt = 42
+let f_sltu = 43

@@ -1,0 +1,86 @@
+type operand =
+  | Reg of Reg.t
+  | Imm of int
+  | Sym of string
+  | Mem of int * Reg.t
+
+type stmt =
+  | Label of string
+  | Instr of string * operand list
+  | Dir_text
+  | Dir_data
+  | Dir_word of int list
+  | Dir_byte of int list
+  | Dir_asciiz of string
+  | Dir_space of int
+  | Dir_align of int
+  | Dir_globl of string
+
+exception Error of { line : int; msg : string }
+
+let fail line fmt = Printf.ksprintf (fun msg -> raise (Error { line; msg })) fmt
+
+let parse_operands line toks =
+  (* operand {',' operand} *)
+  let operand = function
+    | Lexer.Register r :: rest -> ((Reg r : operand), rest)
+    | Lexer.Int v :: Lexer.Lparen :: Lexer.Register r :: Lexer.Rparen :: rest
+      ->
+        (Mem (v, r), rest)
+    | Lexer.Lparen :: Lexer.Register r :: Lexer.Rparen :: rest ->
+        (Mem (0, r), rest)
+    | Lexer.Int v :: rest -> (Imm v, rest)
+    | Lexer.Ident s :: rest -> (Sym s, rest)
+    | tok :: _ -> fail line "unexpected token %s" (Format.asprintf "%a" Lexer.pp_token tok)
+    | [] -> fail line "missing operand"
+  in
+  let rec loop acc toks =
+    let op, rest = operand toks in
+    match rest with
+    | [] -> List.rev (op :: acc)
+    | Lexer.Comma :: rest -> loop (op :: acc) rest
+    | tok :: _ ->
+        fail line "expected ',' but found %s"
+          (Format.asprintf "%a" Lexer.pp_token tok)
+  in
+  match toks with [] -> [] | _ -> loop [] toks
+
+let int_list line ops =
+  List.map
+    (function
+      | Imm v -> v
+      | Reg _ | Sym _ | Mem _ -> fail line "expected integer literal")
+    ops
+
+let parse_directive line name toks =
+  let ops = parse_operands line toks in
+  match (name, ops) with
+  | "text", [] -> Dir_text
+  | "data", [] -> Dir_data
+  | "word", _ :: _ -> Dir_word (int_list line ops)
+  | "byte", _ :: _ -> Dir_byte (int_list line ops)
+  | "asciiz", [ _ ] -> fail line ".asciiz expects a string literal"
+  | "space", [ Imm n ] -> Dir_space n
+  | "align", [ Imm n ] -> Dir_align n
+  | "globl", [ Sym s ] -> Dir_globl s
+  | _ -> fail line "malformed directive .%s" name
+
+let parse_line ~line src =
+  let toks = Lexer.tokenize ~line src in
+  let rec labels acc = function
+    | Lexer.Ident name :: Lexer.Colon :: rest -> labels (Label name :: acc) rest
+    | rest -> (acc, rest)
+  in
+  let labs, rest = labels [] toks in
+  let stmts =
+    match rest with
+    | [] -> []
+    | [ Lexer.Directive "asciiz"; Lexer.Str s ] -> [ Dir_asciiz s ]
+    | Lexer.Directive name :: toks -> [ parse_directive line name toks ]
+    | Lexer.Ident mnemonic :: toks ->
+        [ Instr (String.lowercase_ascii mnemonic, parse_operands line toks) ]
+    | tok :: _ ->
+        fail line "expected instruction or directive, found %s"
+          (Format.asprintf "%a" Lexer.pp_token tok)
+  in
+  List.rev_append labs stmts

@@ -1,0 +1,32 @@
+(** Parser for VIA assembly source lines.
+
+    Grammar, per line (all parts optional):
+    {[ [label ':']... [mnemonic operand {',' operand}] [comment] ]}
+    plus directives [.text], [.data], [.word e,...], [.byte e,...],
+    [.asciiz "s"], [.space n], [.align n], [.globl name] (recorded as an
+    exported symbol). Operands are registers, integer literals, bare
+    identifiers (label references), or [off(base)] memory forms. *)
+
+type operand =
+  | Reg of Reg.t
+  | Imm of int
+  | Sym of string
+  | Mem of int * Reg.t  (** [off(base)] *)
+
+type stmt =
+  | Label of string
+  | Instr of string * operand list
+  | Dir_text
+  | Dir_data
+  | Dir_word of int list
+  | Dir_byte of int list
+  | Dir_asciiz of string
+  | Dir_space of int
+  | Dir_align of int
+  | Dir_globl of string
+
+exception Error of { line : int; msg : string }
+
+val parse_line : line:int -> string -> stmt list
+(** Parse one source line into zero or more statements (labels followed
+    by an instruction on the same line yield several). *)

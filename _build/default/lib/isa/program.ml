@@ -1,0 +1,23 @@
+type segment = { base : int; data : bytes }
+type t = { entry : int; segments : segment list; symbols : (string * int) list }
+
+let default_text_base = 0x0000_1000
+let default_data_base = 0x0010_0000
+
+let get_word b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let text_words t =
+  let seg_words { base; data } =
+    let n = Bytes.length data / 4 in
+    List.init n (fun i -> (base + (i * 4), get_word data (i * 4)))
+  in
+  t.segments
+  |> List.sort (fun a b -> compare a.base b.base)
+  |> List.concat_map seg_words
+
+let symbol t name = List.assoc_opt name t.symbols
+let size_bytes t = List.fold_left (fun acc s -> acc + Bytes.length s.data) 0 t.segments

@@ -1,0 +1,32 @@
+(** Linked program images.
+
+    A program is a set of memory segments (text, data) plus an entry
+    point and a symbol table. Images are what the {!Assembler} and
+    {!Builder} produce and what the machine loader consumes. *)
+
+type segment = {
+  base : int;  (** load address, word-aligned for text *)
+  data : bytes;
+}
+
+type t = {
+  entry : int;  (** address of the first instruction to execute *)
+  segments : segment list;
+  symbols : (string * int) list;  (** name -> address, for diagnostics *)
+}
+
+val default_text_base : int
+(** 0x0000_1000: where application text conventionally loads. *)
+
+val default_data_base : int
+(** 0x0010_0000: where application data conventionally loads. *)
+
+val text_words : t -> (int * Word.t) list
+(** All word-aligned (address, word) pairs of every segment, in address
+    order — used by the disassembler. *)
+
+val symbol : t -> string -> int option
+(** Look up a symbol address. *)
+
+val size_bytes : t -> int
+(** Total bytes across segments. *)

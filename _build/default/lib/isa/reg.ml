@@ -1,0 +1,66 @@
+type t = int
+
+let zero = 0
+let at = 1
+let v0 = 2
+let v1 = 3
+let a0 = 4
+let a1 = 5
+let a2 = 6
+let a3 = 7
+let t0 = 8
+let t1 = 9
+let t2 = 10
+let t3 = 11
+let t4 = 12
+let t5 = 13
+let t6 = 14
+let t7 = 15
+let s0 = 16
+let s1 = 17
+let s2 = 18
+let s3 = 19
+let s4 = 20
+let s5 = 21
+let s6 = 22
+let s7 = 23
+let t8 = 24
+let t9 = 25
+let k0 = 26
+let k1 = 27
+let gp = 28
+let sp = 29
+let fp = 30
+let ra = 31
+
+let is_valid r = r >= 0 && r < 32
+let reserved = [ at; k0; k1 ]
+let is_reserved r = r = at || r = k0 || r = k1
+
+let names =
+  [| "$zero"; "$at"; "$v0"; "$v1"; "$a0"; "$a1"; "$a2"; "$a3";
+     "$t0"; "$t1"; "$t2"; "$t3"; "$t4"; "$t5"; "$t6"; "$t7";
+     "$s0"; "$s1"; "$s2"; "$s3"; "$s4"; "$s5"; "$s6"; "$s7";
+     "$t8"; "$t9"; "$k0"; "$k1"; "$gp"; "$sp"; "$fp"; "$ra" |]
+
+let name r =
+  if is_valid r then names.(r) else Printf.sprintf "$bad%d" r
+
+let of_name s =
+  let s = if String.length s > 0 && s.[0] = '$' then String.sub s 1 (String.length s - 1) else s in
+  let by_name =
+    let found = ref None in
+    Array.iteri
+      (fun i n ->
+        if String.sub n 1 (String.length n - 1) = s then found := Some i)
+      names;
+    !found
+  in
+  match by_name with
+  | Some _ as r -> r
+  | None -> (
+      match int_of_string_opt s with
+      | Some r when is_valid r -> Some r
+      | Some _ | None -> None)
+
+let pp ppf r = Format.pp_print_string ppf (name r)

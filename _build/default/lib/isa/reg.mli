@@ -1,0 +1,68 @@
+(** VIA register names and calling convention.
+
+    VIA has 32 general-purpose registers. The ABI mirrors the MIPS o32
+    convention, with one twist that matters to this reproduction: the
+    registers [$at], [$k0] and [$k1] are reserved for the software dynamic
+    translator, exactly as Strata reserves scratch registers on SPARC.
+    Application code produced by the workload builders never reads or
+    writes them, which lets the translator emit indirect-branch handling
+    sequences without spilling (the per-architecture [spill_scratch]
+    configuration re-introduces spills to model register-starved hosts
+    such as x86). *)
+
+type t = int
+(** A register number in [0, 31]. *)
+
+(** [zero] is [r0] (hardwired zero); [at], [k0], [k1] are reserved for
+    the translator; [v0]/[v1] carry results and syscall numbers;
+    [a0]..[a3] arguments; [t0]..[t9] caller-saved; [s0]..[s7]
+    callee-saved; [gp], [sp], [fp], [ra] as in MIPS o32. *)
+
+val zero : t
+val at : t
+val v0 : t
+val v1 : t
+val a0 : t
+val a1 : t
+val a2 : t
+val a3 : t
+val t0 : t
+val t1 : t
+val t2 : t
+val t3 : t
+val t4 : t
+val t5 : t
+val t6 : t
+val t7 : t
+val s0 : t
+val s1 : t
+val s2 : t
+val s3 : t
+val s4 : t
+val s5 : t
+val s6 : t
+val s7 : t
+val t8 : t
+val t9 : t
+val k0 : t
+val k1 : t
+val gp : t
+val sp : t
+val fp : t
+val ra : t
+
+val is_valid : int -> bool
+(** [is_valid r] is [0 <= r && r < 32]. *)
+
+val reserved : t list
+(** The translator-reserved registers: [at], [k0], [k1]. *)
+
+val is_reserved : t -> bool
+
+val name : t -> string
+(** Canonical ABI name, e.g. [name 8 = "$t0"]. *)
+
+val of_name : string -> t option
+(** Parse either an ABI name ("$t0", "t0") or a numeric name ("$8"). *)
+
+val pp : Format.formatter -> t -> unit

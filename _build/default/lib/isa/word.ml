@@ -1,0 +1,46 @@
+type t = int
+
+let mask = 0xFFFF_FFFF
+let of_int n = n land mask
+let of_signed = of_int
+
+let to_signed w =
+  if w land 0x8000_0000 <> 0 then w - 0x1_0000_0000 else w
+
+let add a b = (a + b) land mask
+let sub a b = (a - b) land mask
+let mul a b = a * b land mask
+
+let sdiv a b =
+  if b = 0 then 0
+  else of_int (to_signed a / to_signed b)
+
+let srem a b =
+  if b = 0 then a
+  else of_int (to_signed a mod to_signed b)
+
+let logand = ( land )
+let logor = ( lor )
+let logxor = ( lxor )
+let lognot w = lnot w land mask
+
+let shl w n = (w lsl (n land 31)) land mask
+let shr_l w n = w lsr (n land 31)
+let shr_a w n = (to_signed w asr (n land 31)) land mask
+
+let lt_s a b = to_signed a < to_signed b
+let lt_u a b = a < b
+
+let hi16 w = (w lsr 16) land 0xFFFF
+let lo16 w = w land 0xFFFF
+
+let sext16 imm =
+  let imm = imm land 0xFFFF in
+  if imm land 0x8000 <> 0 then imm lor 0xFFFF_0000 else imm
+
+let sext8 b =
+  let b = b land 0xFF in
+  if b land 0x80 <> 0 then b lor 0xFFFF_FF00 else b
+
+let pp ppf w = Format.fprintf ppf "0x%08x" w
+let to_hex w = Printf.sprintf "0x%08x" w

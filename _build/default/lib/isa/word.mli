@@ -1,0 +1,72 @@
+(** 32-bit machine words.
+
+    The VIA architecture is a 32-bit machine; registers and memory words
+    are values of this type. Words are represented as OCaml [int]s kept in
+    the canonical range [0, 2{^32}), so they are cheap to box-free pass
+    around on a 64-bit host. All arithmetic wraps modulo 2{^32}. *)
+
+type t = int
+(** A word. Invariant: [0 <= w < 0x1_0000_0000]. *)
+
+val mask : int
+(** [mask = 0xFFFF_FFFF]. *)
+
+val of_int : int -> t
+(** [of_int n] truncates [n] to its low 32 bits. *)
+
+val to_signed : t -> int
+(** [to_signed w] reinterprets [w] as a two's-complement signed 32-bit
+    value, in the range [-2{^31}, 2{^31}). *)
+
+val of_signed : int -> t
+(** [of_signed n] is [of_int n]; named for call-site clarity when the
+    argument is a signed quantity such as a branch displacement. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val sdiv : t -> t -> t
+(** Signed division, truncating toward zero. Division by zero yields 0
+    (VIA divide is trap-free). [min_int / -1] wraps to [min_int]. *)
+
+val srem : t -> t -> t
+(** Signed remainder paired with {!sdiv}. Remainder by zero yields the
+    dividend. *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+val shl : t -> int -> t
+(** [shl w n] shifts left by [n land 31]. *)
+
+val shr_l : t -> int -> t
+(** Logical right shift by [n land 31]. *)
+
+val shr_a : t -> int -> t
+(** Arithmetic right shift by [n land 31] (sign-extending). *)
+
+val lt_s : t -> t -> bool
+(** Signed comparison. *)
+
+val lt_u : t -> t -> bool
+(** Unsigned comparison. *)
+
+val hi16 : t -> int
+(** Upper 16 bits, in [0, 0xFFFF]. *)
+
+val lo16 : t -> int
+(** Lower 16 bits, in [0, 0xFFFF]. *)
+
+val sext16 : int -> t
+(** Sign-extend a 16-bit immediate to a word. *)
+
+val sext8 : int -> t
+(** Sign-extend an 8-bit value to a word. *)
+
+val pp : Format.formatter -> t -> unit
+(** Hexadecimal rendering, [0x%08x]. *)
+
+val to_hex : t -> string

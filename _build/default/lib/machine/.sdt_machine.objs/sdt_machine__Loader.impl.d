@@ -1,0 +1,1 @@
+lib/machine/loader.ml: List Machine Memory Sdt_isa Sdt_march

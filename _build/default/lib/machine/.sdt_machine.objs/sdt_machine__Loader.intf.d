@@ -1,0 +1,1 @@
+lib/machine/loader.mli: Machine Sdt_isa Sdt_march

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Buffer Memory Printf Sdt_isa Sdt_march Syscall

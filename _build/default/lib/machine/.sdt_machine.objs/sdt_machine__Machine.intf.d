@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Buffer Memory Sdt_isa Sdt_march

@@ -1,0 +1,1 @@
+lib/machine/memory.ml: Array Buffer Bytes Char Sdt_isa

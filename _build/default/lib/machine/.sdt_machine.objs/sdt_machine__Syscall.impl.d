@@ -1,0 +1,1 @@
+lib/machine/syscall.ml: Char Sdt_isa String

@@ -1,0 +1,16 @@
+module Program = Sdt_isa.Program
+module Reg = Sdt_isa.Reg
+module Timing = Sdt_march.Timing
+
+let default_mem_size = 0x00A0_0000
+let default_stack_top = 0x0030_0000
+
+let load ?(mem_size = default_mem_size) ?(stack_top = default_stack_top)
+    ?timing (p : Program.t) =
+  let m = Machine.create ?timing ~mem_size () in
+  List.iter
+    (fun { Program.base; data } -> Memory.write_bytes m.Machine.mem base data)
+    p.Program.segments;
+  Machine.set_reg m Reg.sp stack_top;
+  m.Machine.pc <- p.Program.entry;
+  m

@@ -1,0 +1,322 @@
+module Word = Sdt_isa.Word
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+module Timing = Sdt_march.Timing
+
+exception Error of string
+
+type counters = {
+  mutable instructions : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable cond_branches : int;
+  mutable jumps : int;
+  mutable calls : int;
+  mutable icalls : int;
+  mutable ijumps : int;
+  mutable returns : int;
+  mutable syscalls : int;
+  mutable traps : int;
+}
+
+type status = Running | Exited of int
+
+type t = {
+  mem : Memory.t;
+  regs : int array;
+  mutable pc : int;
+  timing : Timing.t option;
+  mutable status : status;
+  out : Buffer.t;
+  mutable checksum : int;
+  c : counters;
+  mutable trap_handler : t -> code:int -> trap_pc:int -> unit;
+}
+
+let no_handler _ ~code ~trap_pc =
+  raise
+    (Error
+       (Printf.sprintf "trap %d at %#x with no handler installed" code trap_pc))
+
+let create ?timing ~mem_size () =
+  {
+    mem = Memory.create ~size_bytes:mem_size;
+    regs = Array.make 32 0;
+    pc = 0;
+    timing;
+    status = Running;
+    out = Buffer.create 256;
+    checksum = 0;
+    c =
+      {
+        instructions = 0;
+        loads = 0;
+        stores = 0;
+        cond_branches = 0;
+        jumps = 0;
+        calls = 0;
+        icalls = 0;
+        ijumps = 0;
+        returns = 0;
+        syscalls = 0;
+        traps = 0;
+      };
+    trap_handler = no_handler;
+  }
+
+let set_trap_handler t h = t.trap_handler <- h
+let reg t r = if r = 0 then 0 else t.regs.(r)
+
+let set_reg t r v = if r <> 0 then t.regs.(r) <- v land Word.mask
+
+(* A sentinel PC installed before calling the trap handler; if the
+   handler forgets to set a continuation the next fetch faults loudly
+   instead of re-executing the trap. *)
+let poison_pc = -4
+
+let do_syscall t =
+  t.c.syscalls <- t.c.syscalls + 1;
+  let env =
+    {
+      Syscall.num = reg t Reg.v0;
+      arg0 = reg t Reg.a0;
+      put = Buffer.add_string t.out;
+      mix = (fun v -> t.checksum <- Syscall.mix_checksum t.checksum v);
+      read_str = Memory.read_string t.mem;
+      exit = (fun code -> t.status <- Exited (code land 0xFF));
+    }
+  in
+  Syscall.perform env
+
+let step t =
+  match t.status with
+  | Exited _ -> ()
+  | Running ->
+      let pc = t.pc in
+      let i = Memory.fetch t.mem pc in
+      let c = t.c in
+      c.instructions <- c.instructions + 1;
+      let next = pc + 4 in
+      let rget r = if r = 0 then 0 else Array.unsafe_get t.regs r in
+      let rset r v = if r <> 0 then Array.unsafe_set t.regs r (v land Word.mask) in
+      let ev : Timing.event =
+        match i with
+        | Inst.Nop ->
+            t.pc <- next;
+            Timing.Alu
+        | Inst.Add (rd, rs, rt) ->
+            rset rd (Word.add (rget rs) (rget rt));
+            t.pc <- next;
+            Timing.Alu
+        | Inst.Sub (rd, rs, rt) ->
+            rset rd (Word.sub (rget rs) (rget rt));
+            t.pc <- next;
+            Timing.Alu
+        | Inst.Mul (rd, rs, rt) ->
+            rset rd (Word.mul (rget rs) (rget rt));
+            t.pc <- next;
+            Timing.Mul_op
+        | Inst.Div (rd, rs, rt) ->
+            rset rd (Word.sdiv (rget rs) (rget rt));
+            t.pc <- next;
+            Timing.Div_op
+        | Inst.Rem (rd, rs, rt) ->
+            rset rd (Word.srem (rget rs) (rget rt));
+            t.pc <- next;
+            Timing.Div_op
+        | Inst.And (rd, rs, rt) ->
+            rset rd (Word.logand (rget rs) (rget rt));
+            t.pc <- next;
+            Timing.Alu
+        | Inst.Or (rd, rs, rt) ->
+            rset rd (Word.logor (rget rs) (rget rt));
+            t.pc <- next;
+            Timing.Alu
+        | Inst.Xor (rd, rs, rt) ->
+            rset rd (Word.logxor (rget rs) (rget rt));
+            t.pc <- next;
+            Timing.Alu
+        | Inst.Nor (rd, rs, rt) ->
+            rset rd (Word.lognot (Word.logor (rget rs) (rget rt)));
+            t.pc <- next;
+            Timing.Alu
+        | Inst.Slt (rd, rs, rt) ->
+            rset rd (if Word.lt_s (rget rs) (rget rt) then 1 else 0);
+            t.pc <- next;
+            Timing.Alu
+        | Inst.Sltu (rd, rs, rt) ->
+            rset rd (if Word.lt_u (rget rs) (rget rt) then 1 else 0);
+            t.pc <- next;
+            Timing.Alu
+        | Inst.Sllv (rd, rt, rs) ->
+            rset rd (Word.shl (rget rt) (rget rs));
+            t.pc <- next;
+            Timing.Alu
+        | Inst.Srlv (rd, rt, rs) ->
+            rset rd (Word.shr_l (rget rt) (rget rs));
+            t.pc <- next;
+            Timing.Alu
+        | Inst.Srav (rd, rt, rs) ->
+            rset rd (Word.shr_a (rget rt) (rget rs));
+            t.pc <- next;
+            Timing.Alu
+        | Inst.Sll (rd, rt, sh) ->
+            rset rd (Word.shl (rget rt) sh);
+            t.pc <- next;
+            Timing.Alu
+        | Inst.Srl (rd, rt, sh) ->
+            rset rd (Word.shr_l (rget rt) sh);
+            t.pc <- next;
+            Timing.Alu
+        | Inst.Sra (rd, rt, sh) ->
+            rset rd (Word.shr_a (rget rt) sh);
+            t.pc <- next;
+            Timing.Alu
+        | Inst.Addi (rt, rs, imm) ->
+            rset rt (Word.add (rget rs) (Word.of_signed imm));
+            t.pc <- next;
+            Timing.Alu
+        | Inst.Slti (rt, rs, imm) ->
+            rset rt (if Word.lt_s (rget rs) (Word.of_signed imm) then 1 else 0);
+            t.pc <- next;
+            Timing.Alu
+        | Inst.Sltiu (rt, rs, imm) ->
+            rset rt (if Word.lt_u (rget rs) (Word.of_signed imm) then 1 else 0);
+            t.pc <- next;
+            Timing.Alu
+        | Inst.Andi (rt, rs, imm) ->
+            rset rt (Word.logand (rget rs) imm);
+            t.pc <- next;
+            Timing.Alu
+        | Inst.Ori (rt, rs, imm) ->
+            rset rt (Word.logor (rget rs) imm);
+            t.pc <- next;
+            Timing.Alu
+        | Inst.Xori (rt, rs, imm) ->
+            rset rt (Word.logxor (rget rs) imm);
+            t.pc <- next;
+            Timing.Alu
+        | Inst.Lui (rt, imm) ->
+            rset rt (imm lsl 16);
+            t.pc <- next;
+            Timing.Alu
+        | Inst.Lw (rt, rs, off) ->
+            let addr = Word.add (rget rs) (Word.of_signed off) in
+            rset rt (Memory.load_word t.mem addr);
+            c.loads <- c.loads + 1;
+            t.pc <- next;
+            Timing.Load addr
+        | Inst.Lb (rt, rs, off) ->
+            let addr = Word.add (rget rs) (Word.of_signed off) in
+            rset rt (Memory.load_byte_s t.mem addr);
+            c.loads <- c.loads + 1;
+            t.pc <- next;
+            Timing.Load addr
+        | Inst.Lbu (rt, rs, off) ->
+            let addr = Word.add (rget rs) (Word.of_signed off) in
+            rset rt (Memory.load_byte_u t.mem addr);
+            c.loads <- c.loads + 1;
+            t.pc <- next;
+            Timing.Load addr
+        | Inst.Sw (rt, rs, off) ->
+            let addr = Word.add (rget rs) (Word.of_signed off) in
+            Memory.store_word t.mem addr (rget rt);
+            c.stores <- c.stores + 1;
+            t.pc <- next;
+            Timing.Store addr
+        | Inst.Sb (rt, rs, off) ->
+            let addr = Word.add (rget rs) (Word.of_signed off) in
+            Memory.store_byte t.mem addr (rget rt);
+            c.stores <- c.stores + 1;
+            t.pc <- next;
+            Timing.Store addr
+        | Inst.Beq (rs, rt, off) ->
+            let taken = rget rs = rget rt in
+            c.cond_branches <- c.cond_branches + 1;
+            t.pc <- (if taken then next + (off * 4) else next);
+            Timing.Cond { pc; taken }
+        | Inst.Bne (rs, rt, off) ->
+            let taken = rget rs <> rget rt in
+            c.cond_branches <- c.cond_branches + 1;
+            t.pc <- (if taken then next + (off * 4) else next);
+            Timing.Cond { pc; taken }
+        | Inst.Blt (rs, rt, off) ->
+            let taken = Word.lt_s (rget rs) (rget rt) in
+            c.cond_branches <- c.cond_branches + 1;
+            t.pc <- (if taken then next + (off * 4) else next);
+            Timing.Cond { pc; taken }
+        | Inst.Bge (rs, rt, off) ->
+            let taken = not (Word.lt_s (rget rs) (rget rt)) in
+            c.cond_branches <- c.cond_branches + 1;
+            t.pc <- (if taken then next + (off * 4) else next);
+            Timing.Cond { pc; taken }
+        | Inst.Bltu (rs, rt, off) ->
+            let taken = Word.lt_u (rget rs) (rget rt) in
+            c.cond_branches <- c.cond_branches + 1;
+            t.pc <- (if taken then next + (off * 4) else next);
+            Timing.Cond { pc; taken }
+        | Inst.Bgeu (rs, rt, off) ->
+            let taken = not (Word.lt_u (rget rs) (rget rt)) in
+            c.cond_branches <- c.cond_branches + 1;
+            t.pc <- (if taken then next + (off * 4) else next);
+            Timing.Cond { pc; taken }
+        | Inst.J target ->
+            c.jumps <- c.jumps + 1;
+            t.pc <- (next land 0xF000_0000) lor (target lsl 2);
+            Timing.Jump
+        | Inst.Jal target ->
+            c.calls <- c.calls + 1;
+            rset Reg.ra next;
+            t.pc <- (next land 0xF000_0000) lor (target lsl 2);
+            Timing.Call { next }
+        | Inst.Jr rs ->
+            let target = rget rs in
+            t.pc <- target;
+            if rs = Reg.ra then begin
+              c.returns <- c.returns + 1;
+              Timing.Return { pc; target }
+            end
+            else begin
+              c.ijumps <- c.ijumps + 1;
+              Timing.Ijump { pc; target }
+            end
+        | Inst.Jalr (rd, rs) ->
+            let target = rget rs in
+            c.icalls <- c.icalls + 1;
+            rset rd next;
+            t.pc <- target;
+            Timing.Icall { pc; target; next }
+        | Inst.Syscall ->
+            do_syscall t;
+            t.pc <- next;
+            Timing.Syscall_op
+        | Inst.Trap code ->
+            c.traps <- c.traps + 1;
+            t.pc <- poison_pc;
+            t.trap_handler t ~code ~trap_pc:pc;
+            Timing.Trap_op
+        | Inst.Halt ->
+            t.status <- Exited 0;
+            Timing.Halt_op
+        | Inst.Illegal w ->
+            raise
+              (Error (Printf.sprintf "illegal instruction %#x at %#x" w pc))
+      in
+      (match t.timing with
+      | None -> ()
+      | Some tm -> Timing.instr tm ~pc ev)
+
+let run ?(max_steps = 1_000_000_000) t =
+  let steps = ref 0 in
+  while t.status == Running && !steps < max_steps do
+    step t;
+    incr steps
+  done;
+  match t.status with
+  | Running ->
+      raise (Error (Printf.sprintf "step limit (%d) exceeded at pc=%#x" max_steps t.pc))
+  | Exited _ -> ()
+
+let output t = Buffer.contents t.out
+let exit_code t = match t.status with Running -> None | Exited c -> Some c
+let ib_dynamic_count t = t.c.icalls + t.c.ijumps + t.c.returns

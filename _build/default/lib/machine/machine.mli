@@ -1,0 +1,73 @@
+(** The VIA functional simulator.
+
+    A machine is registers + PC + {!Memory.t} + an optional
+    {!Sdt_march.Timing.t} accountant, driven by {!step}/{!run}. The same
+    machine executes both native application code and translator-emitted
+    fragment code — translated execution is ordinary execution whose PC
+    happens to sit in the fragment cache region, so every cost the SDT
+    incurs is charged organically.
+
+    [Inst.Trap] instructions vector to the installed {!set_trap_handler}
+    callback (the SDT runtime); the handler must assign a new PC before
+    returning. Executing a trap with no handler installed, or an
+    [Inst.Illegal] word, raises {!Error}. *)
+
+module Inst = Sdt_isa.Inst
+module Timing = Sdt_march.Timing
+
+exception Error of string
+
+type counters = {
+  mutable instructions : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable cond_branches : int;
+  mutable jumps : int;
+  mutable calls : int;     (** direct [jal] *)
+  mutable icalls : int;    (** [jalr] *)
+  mutable ijumps : int;    (** [jr rs], [rs <> $ra] *)
+  mutable returns : int;   (** [jr $ra] *)
+  mutable syscalls : int;
+  mutable traps : int;
+}
+
+type status = Running | Exited of int
+
+type t = {
+  mem : Memory.t;
+  regs : int array;  (** 32 words; slot 0 reads as 0 and ignores writes *)
+  mutable pc : int;
+  timing : Timing.t option;
+  mutable status : status;
+  out : Buffer.t;
+  mutable checksum : int;
+  c : counters;
+  mutable trap_handler : t -> code:int -> trap_pc:int -> unit;
+}
+
+val create : ?timing:Timing.t -> mem_size:int -> unit -> t
+
+val set_trap_handler : t -> (t -> code:int -> trap_pc:int -> unit) -> unit
+
+val reg : t -> int -> int
+(** Read a register ([reg t 0 = 0]). *)
+
+val set_reg : t -> int -> int -> unit
+(** Write a register; writes to register 0 are discarded. The value is
+    truncated to 32 bits. *)
+
+val step : t -> unit
+(** Execute one instruction. No-op if the machine has exited. *)
+
+val run : ?max_steps:int -> t -> unit
+(** Step until exit. @raise Error if [max_steps] (default [10^9])
+    elapses first — the deterministic workloads always terminate, so
+    hitting the limit indicates a translation bug. *)
+
+val output : t -> string
+(** Everything printed so far. *)
+
+val exit_code : t -> int option
+
+val ib_dynamic_count : t -> int
+(** Executed indirect control transfers: [icalls + ijumps + returns]. *)

@@ -1,0 +1,88 @@
+module Word = Sdt_isa.Word
+module Inst = Sdt_isa.Inst
+module Decode = Sdt_isa.Decode
+
+exception Fault of { addr : int; kind : string }
+
+(* The decode cache uses [Inst.Illegal (-1)] as the "not decoded yet"
+   sentinel: {!Decode.inst} only ever produces [Illegal w] with
+   [0 <= w < 2^32], so the sentinel cannot collide with a real decoding. *)
+let not_cached = Inst.Illegal (-1)
+
+type t = {
+  bytes : Bytes.t;
+  decoded : Inst.t array; (* indexed by word number *)
+}
+
+let fault addr kind = raise (Fault { addr; kind })
+
+let create ~size_bytes =
+  let size = (size_bytes + 3) land lnot 3 in
+  { bytes = Bytes.make size '\000'; decoded = Array.make (size / 4) not_cached }
+
+let size t = Bytes.length t.bytes
+
+let check_word t addr kind =
+  if addr land 3 <> 0 then fault addr "align";
+  if addr < 0 || addr + 4 > Bytes.length t.bytes then fault addr kind
+
+let load_word t addr =
+  check_word t addr "load";
+  Char.code (Bytes.unsafe_get t.bytes addr)
+  lor (Char.code (Bytes.unsafe_get t.bytes (addr + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get t.bytes (addr + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get t.bytes (addr + 3)) lsl 24)
+
+let store_word t addr w =
+  check_word t addr "store";
+  Bytes.unsafe_set t.bytes addr (Char.unsafe_chr (w land 0xFF));
+  Bytes.unsafe_set t.bytes (addr + 1) (Char.unsafe_chr ((w lsr 8) land 0xFF));
+  Bytes.unsafe_set t.bytes (addr + 2) (Char.unsafe_chr ((w lsr 16) land 0xFF));
+  Bytes.unsafe_set t.bytes (addr + 3) (Char.unsafe_chr ((w lsr 24) land 0xFF));
+  Array.unsafe_set t.decoded (addr lsr 2) not_cached
+
+let check_byte t addr kind =
+  if addr < 0 || addr >= Bytes.length t.bytes then fault addr kind
+
+let load_byte_u t addr =
+  check_byte t addr "load";
+  Char.code (Bytes.unsafe_get t.bytes addr)
+
+let load_byte_s t addr = Word.sext8 (load_byte_u t addr)
+
+let store_byte t addr v =
+  check_byte t addr "store";
+  Bytes.unsafe_set t.bytes addr (Char.unsafe_chr (v land 0xFF));
+  Array.unsafe_set t.decoded (addr lsr 2) not_cached
+
+let fetch t addr =
+  check_word t addr "fetch";
+  let idx = addr lsr 2 in
+  let cached = Array.unsafe_get t.decoded idx in
+  if cached != not_cached then cached
+  else begin
+    let i = Decode.inst (load_word t addr) in
+    Array.unsafe_set t.decoded idx i;
+    i
+  end
+
+let read_string t addr =
+  let buf = Buffer.create 16 in
+  let rec go a =
+    let c = load_byte_u t a in
+    if c <> 0 then begin
+      Buffer.add_char buf (Char.chr c);
+      go (a + 1)
+    end
+  in
+  go addr;
+  Buffer.contents buf
+
+let write_bytes t addr b =
+  let n = Bytes.length b in
+  if addr < 0 || addr + n > Bytes.length t.bytes then fault addr "store";
+  Bytes.blit b 0 t.bytes addr n;
+  let first = addr lsr 2 and last = (addr + n + 3) lsr 2 in
+  for i = first to min (last - 1) (Array.length t.decoded - 1) do
+    t.decoded.(i) <- not_cached
+  done

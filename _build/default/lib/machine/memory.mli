@@ -1,0 +1,42 @@
+(** Byte-addressable simulated memory with a decoded-instruction cache.
+
+    Memory is flat, little-endian, and shared by application code, data,
+    stack, and the translator's fragment cache and tables — the SDT
+    emits code by storing words here, and the CPU executes it from here.
+
+    Fetches go through a decode cache so the interpreter does not re-decode
+    hot instruction words; any store into a word invalidates that word's
+    cached decoding, which is what makes fragment linking (patching
+    emitted code in place) safe. *)
+
+module Word = Sdt_isa.Word
+module Inst = Sdt_isa.Inst
+
+type t
+
+exception Fault of { addr : int; kind : string }
+(** Out-of-range or misaligned access. [kind] is a short description
+    ("load", "store", "fetch", "align"). *)
+
+val create : size_bytes:int -> t
+(** Fresh zeroed memory. [size_bytes] is rounded up to a multiple of 4. *)
+
+val size : t -> int
+
+val load_word : t -> int -> Word.t
+(** @raise Fault on misaligned or out-of-range address. *)
+
+val store_word : t -> int -> Word.t -> unit
+val load_byte_u : t -> int -> int
+val load_byte_s : t -> int -> int
+val store_byte : t -> int -> int -> unit
+
+val fetch : t -> int -> Inst.t
+(** Decode the instruction word at an address, with caching. *)
+
+val read_string : t -> int -> string
+(** Read a NUL-terminated string. *)
+
+val write_bytes : t -> int -> bytes -> unit
+(** Bulk copy (used by the loader); invalidates affected decode-cache
+    entries. *)

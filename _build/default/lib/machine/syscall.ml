@@ -1,0 +1,30 @@
+module Word = Sdt_isa.Word
+
+let sys_print_int = 1
+let sys_print_char = 2
+let sys_print_str = 3
+let sys_checksum = 4
+let sys_exit = 5
+
+type env = {
+  num : int;
+  arg0 : int;
+  put : string -> unit;
+  mix : int -> unit;
+  read_str : int -> string;
+  exit : int -> unit;
+}
+
+exception Unknown of int
+
+let mix_checksum acc v = Word.mul (Word.logxor acc (Word.of_int v)) 0x0100_0193
+
+let perform env =
+  if env.num = sys_print_int then
+    env.put (string_of_int (Word.to_signed (Word.of_int env.arg0)))
+  else if env.num = sys_print_char then
+    env.put (String.make 1 (Char.chr (env.arg0 land 0xFF)))
+  else if env.num = sys_print_str then env.put (env.read_str env.arg0)
+  else if env.num = sys_checksum then env.mix env.arg0
+  else if env.num = sys_exit then env.exit env.arg0
+  else raise (Unknown env.num)

@@ -1,0 +1,37 @@
+(** VIA system calls.
+
+    The syscall number is taken from [$v0], the argument from [$a0].
+    Calls are deliberately side-channel-free (no clocks, no input): a
+    program's output and final checksum depend only on its code and
+    data, so a run under the dynamic translator must reproduce the
+    native run bit-for-bit — the correctness oracle of this repo. *)
+
+(** The call numbers: 1 prints [$a0] in decimal, 2 prints it as a
+    character, 3 prints the NUL-terminated string it points to, 4 mixes
+    it into the running checksum, 5 terminates with it as exit code. *)
+
+val sys_print_int : int
+val sys_print_char : int
+val sys_print_str : int
+val sys_checksum : int
+val sys_exit : int
+
+type env = {
+  num : int;
+  arg0 : int;
+  put : string -> unit;
+  mix : int -> unit;
+  read_str : int -> string;
+  exit : int -> unit;
+}
+(** What a syscall may observe and do, supplied by the machine. *)
+
+exception Unknown of int
+
+val perform : env -> unit
+(** Execute the call described by [env]. @raise Unknown on a bad
+    number. *)
+
+val mix_checksum : int -> int -> int
+(** [mix_checksum acc v]: the FNV-style word mix used for syscall 4;
+    exposed so hosts and tests agree on the function. *)

@@ -1,0 +1,1 @@
+lib/march/arch.ml: Cache Format List String

@@ -1,0 +1,1 @@
+lib/march/arch.mli: Cache Format

@@ -1,0 +1,1 @@
+lib/march/cache.ml: Array

@@ -1,0 +1,1 @@
+lib/march/timing.ml: Arch Branch_pred Cache Option

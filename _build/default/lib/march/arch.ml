@@ -1,0 +1,144 @@
+type t = {
+  name : string;
+  alu_cycles : int;
+  mul_cycles : int;
+  div_cycles : int;
+  mem_cycles : int;
+  branch_cycles : int;
+  syscall_cycles : int;
+  icache : Cache.config option;
+  dcache : Cache.config option;
+  cond_bits : int;
+  cond_mispredict : int;
+  btb_entries : int;
+  indirect_mispredict : int;
+  indirect_fixed : int;
+  ras_depth : int;
+  ras_mispredict : int;
+  trap_cycles : int;
+  translate_per_inst : int;
+  lookup_cycles : int;
+  fast_miss_cycles : int;
+  reserved_regs_free : bool;
+  context_regs : int;
+}
+
+let arch_a =
+  {
+    name = "archA";
+    alu_cycles = 1;
+    mul_cycles = 3;
+    div_cycles = 24;
+    mem_cycles = 1;
+    branch_cycles = 1;
+    syscall_cycles = 40;
+    icache =
+      Some { Cache.size_bytes = 32768; line_bytes = 64; assoc = 2; miss_penalty = 18 };
+    dcache =
+      Some { Cache.size_bytes = 16384; line_bytes = 64; assoc = 4; miss_penalty = 18 };
+    cond_bits = 12;
+    cond_mispredict = 14;
+    btb_entries = 512;
+    indirect_mispredict = 20;
+    indirect_fixed = 0;
+    ras_depth = 16;
+    ras_mispredict = 14;
+    trap_cycles = 120;
+    translate_per_inst = 40;
+    lookup_cycles = 60;
+    fast_miss_cycles = 45;
+    reserved_regs_free = false;
+    context_regs = 31;
+  }
+
+let arch_b =
+  {
+    name = "archB";
+    alu_cycles = 1;
+    mul_cycles = 5;
+    div_cycles = 36;
+    mem_cycles = 3;
+    branch_cycles = 1;
+    syscall_cycles = 60;
+    icache =
+      Some { Cache.size_bytes = 16384; line_bytes = 32; assoc = 2; miss_penalty = 26 };
+    dcache =
+      Some { Cache.size_bytes = 8192; line_bytes = 32; assoc = 1; miss_penalty = 30 };
+    cond_bits = 11;
+    cond_mispredict = 3;
+    btb_entries = 0;
+    indirect_mispredict = 0;
+    indirect_fixed = 12;
+    ras_depth = 8;
+    ras_mispredict = 4;
+    trap_cycles = 90;
+    translate_per_inst = 45;
+    lookup_cycles = 55;
+    fast_miss_cycles = 35;
+    reserved_regs_free = true;
+    context_regs = 8;
+  }
+
+let arch_c =
+  {
+    name = "archC";
+    alu_cycles = 1;
+    mul_cycles = 4;
+    div_cycles = 32;
+    mem_cycles = 2;
+    branch_cycles = 1;
+    syscall_cycles = 30;
+    icache =
+      Some { Cache.size_bytes = 8192; line_bytes = 16; assoc = 1; miss_penalty = 12 };
+    dcache =
+      Some { Cache.size_bytes = 4096; line_bytes = 16; assoc = 1; miss_penalty = 14 };
+    (* short in-order pipeline: mispredicts barely hurt, nothing is
+       predicted dynamically *)
+    cond_bits = 0;
+    cond_mispredict = 0;
+    btb_entries = 0;
+    indirect_mispredict = 0;
+    indirect_fixed = 2;
+    ras_depth = 0;
+    ras_mispredict = 0;
+    trap_cycles = 60;
+    translate_per_inst = 30;
+    lookup_cycles = 40;
+    fast_miss_cycles = 25;
+    reserved_regs_free = true;
+    context_regs = 31;
+  }
+
+let ideal =
+  {
+    name = "ideal";
+    alu_cycles = 1;
+    mul_cycles = 1;
+    div_cycles = 1;
+    mem_cycles = 1;
+    branch_cycles = 1;
+    syscall_cycles = 1;
+    icache = None;
+    dcache = None;
+    cond_bits = 0;
+    cond_mispredict = 0;
+    btb_entries = 0;
+    indirect_mispredict = 0;
+    indirect_fixed = 0;
+    ras_depth = 0;
+    ras_mispredict = 0;
+    trap_cycles = 0;
+    translate_per_inst = 0;
+    lookup_cycles = 0;
+    fast_miss_cycles = 0;
+    reserved_regs_free = true;
+    context_regs = 31;
+  }
+
+let all = [ arch_a; arch_b; arch_c ]
+
+let by_name s =
+  let s = String.lowercase_ascii s in
+  List.find_opt (fun a -> String.lowercase_ascii a.name = s) (ideal :: all)
+
+let pp ppf t = Format.fprintf ppf "%s" t.name

@@ -1,0 +1,127 @@
+module Cond = struct
+  type t = {
+    mask : int;
+    counters : Bytes.t;
+    mutable mispredicts : int;
+    mutable lookups : int;
+  }
+
+  let create ~bits =
+    if bits < 1 || bits > 24 then invalid_arg "Cond.create: bits out of range";
+    let n = 1 lsl bits in
+    { mask = n - 1; counters = Bytes.make n '\002'; mispredicts = 0; lookups = 0 }
+
+  let predict_and_update t ~pc ~taken =
+    let idx = (pc lsr 2) land t.mask in
+    let c = Char.code (Bytes.unsafe_get t.counters idx) in
+    let predicted_taken = c >= 2 in
+    let correct = predicted_taken = taken in
+    t.lookups <- t.lookups + 1;
+    if not correct then t.mispredicts <- t.mispredicts + 1;
+    let c' = if taken then min 3 (c + 1) else max 0 (c - 1) in
+    Bytes.unsafe_set t.counters idx (Char.unsafe_chr c');
+    correct
+
+  let mispredicts t = t.mispredicts
+  let lookups t = t.lookups
+
+  let reset t =
+    Bytes.fill t.counters 0 (Bytes.length t.counters) '\002';
+    t.mispredicts <- 0;
+    t.lookups <- 0
+end
+
+module Btb = struct
+  type t = {
+    mask : int;  (* -1 when disabled *)
+    targets : int array;
+    pcs : int array;
+    mutable mispredicts : int;
+    mutable lookups : int;
+  }
+
+  let create ~entries =
+    if entries = 0 then
+      { mask = -1; targets = [||]; pcs = [||]; mispredicts = 0; lookups = 0 }
+    else begin
+      if entries < 0 || entries land (entries - 1) <> 0 then
+        invalid_arg "Btb.create: entries must be 0 or a power of two";
+      {
+        mask = entries - 1;
+        targets = Array.make entries (-1);
+        pcs = Array.make entries (-1);
+        mispredicts = 0;
+        lookups = 0;
+      }
+    end
+
+  let enabled t = t.mask >= 0
+
+  let predict_and_update t ~pc ~target =
+    t.lookups <- t.lookups + 1;
+    if t.mask < 0 then begin
+      t.mispredicts <- t.mispredicts + 1;
+      false
+    end
+    else begin
+      let idx = (pc lsr 2) land t.mask in
+      let hit = t.pcs.(idx) = pc && t.targets.(idx) = target in
+      if not hit then t.mispredicts <- t.mispredicts + 1;
+      t.pcs.(idx) <- pc;
+      t.targets.(idx) <- target;
+      hit
+    end
+
+  let mispredicts t = t.mispredicts
+  let lookups t = t.lookups
+
+  let reset t =
+    Array.fill t.targets 0 (Array.length t.targets) (-1);
+    Array.fill t.pcs 0 (Array.length t.pcs) (-1);
+    t.mispredicts <- 0;
+    t.lookups <- 0
+end
+
+module Ras = struct
+  type t = {
+    depth : int;
+    stack : int array;
+    mutable top : int;    (* index of next push slot *)
+    mutable count : int;  (* live entries, <= depth *)
+    mutable mispredicts : int;
+    mutable lookups : int;
+  }
+
+  let create ~depth =
+    if depth <= 0 then invalid_arg "Ras.create: depth must be positive";
+    { depth; stack = Array.make depth (-1); top = 0; count = 0; mispredicts = 0; lookups = 0 }
+
+  let push t addr =
+    t.stack.(t.top) <- addr;
+    t.top <- (t.top + 1) mod t.depth;
+    if t.count < t.depth then t.count <- t.count + 1
+
+  let pop_predict t ~target =
+    t.lookups <- t.lookups + 1;
+    if t.count = 0 then begin
+      t.mispredicts <- t.mispredicts + 1;
+      false
+    end
+    else begin
+      t.top <- (t.top + t.depth - 1) mod t.depth;
+      t.count <- t.count - 1;
+      let hit = t.stack.(t.top) = target in
+      if not hit then t.mispredicts <- t.mispredicts + 1;
+      hit
+    end
+
+  let mispredicts t = t.mispredicts
+  let lookups t = t.lookups
+
+  let reset t =
+    Array.fill t.stack 0 t.depth (-1);
+    t.top <- 0;
+    t.count <- 0;
+    t.mispredicts <- 0;
+    t.lookups <- 0
+end

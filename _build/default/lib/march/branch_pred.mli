@@ -1,0 +1,67 @@
+(** Branch prediction structures.
+
+    Three predictors drive the control-flow cycle charges, and their
+    interplay is the heart of the paper's cross-architecture findings:
+
+    - {!Cond}: a table of 2-bit saturating counters indexed by branch PC
+      (bimodal). Sieve stubs are chains of conditional compares, so their
+      cost depends on this predictor.
+    - {!Btb}: a direct-mapped branch target buffer predicting indirect
+      branch targets by last-target. IBTC hit paths end in an indirect
+      jump whose target is the actual destination (poorly predictable
+      for megamorphic branches), while a sieve's table jump lands on a
+      per-bucket stub chain head (stable once the chain exists).
+    - {!Ras}: a return-address stack, pushed by calls and consulted by
+      [jr $ra]. Only translated code that preserves the call/return
+      pairing (the "fast returns" mechanism) benefits from it. *)
+
+module Cond : sig
+  type t
+
+  val create : bits:int -> t
+  (** [2^bits] two-bit counters, PC-indexed. *)
+
+  val predict_and_update : t -> pc:int -> taken:bool -> bool
+  (** Returns [true] iff the prediction was correct, then trains. *)
+
+  val mispredicts : t -> int
+  val lookups : t -> int
+  val reset : t -> unit
+end
+
+module Btb : sig
+  type t
+
+  val create : entries:int -> t
+  (** [entries = 0] models an architecture with no indirect-branch
+      predictor: {!predict_and_update} always reports a miss. *)
+
+  val enabled : t -> bool
+
+  val predict_and_update : t -> pc:int -> target:int -> bool
+  (** Returns [true] iff the buffered target for [pc] matched [target],
+      then stores [target]. *)
+
+  val mispredicts : t -> int
+  val lookups : t -> int
+  val reset : t -> unit
+end
+
+module Ras : sig
+  type t
+
+  val create : depth:int -> t
+
+  val push : t -> int -> unit
+  (** Called on [jal]/[jalr] with the fall-through address. The stack
+      wraps (old entries are overwritten) like a hardware RAS. *)
+
+  val pop_predict : t -> target:int -> bool
+  (** Called on [jr $ra]: pops and returns [true] iff the popped
+      prediction matches the actual [target]. An empty stack predicts
+      wrong. *)
+
+  val mispredicts : t -> int
+  val lookups : t -> int
+  val reset : t -> unit
+end

@@ -1,0 +1,33 @@
+(** Set-associative cache model with LRU replacement.
+
+    Used for both the instruction and data caches of the simulated
+    microarchitecture. Only hit/miss behaviour is modelled (no dirty
+    write-back traffic): the timing model charges [miss_penalty] extra
+    cycles per miss, which is the granularity the paper's analysis
+    needs — e.g. IBTC lookups polluting the data cache, or sieve stubs
+    spreading across instruction-cache lines. *)
+
+type config = {
+  size_bytes : int;   (** total capacity; must be assoc * line * sets *)
+  line_bytes : int;   (** power of two *)
+  assoc : int;        (** ways per set *)
+  miss_penalty : int; (** extra cycles charged per miss *)
+}
+
+type t
+
+val create : config -> t
+(** @raise Invalid_argument if the geometry is not a power-of-two set
+    count. *)
+
+val config : t -> config
+
+val access : t -> int -> bool
+(** [access t addr] touches the line containing [addr] and returns
+    [true] on hit. Misses allocate (for stores too: write-allocate). *)
+
+val hits : t -> int
+val misses : t -> int
+
+val reset : t -> unit
+(** Invalidate all lines and zero the counters. *)

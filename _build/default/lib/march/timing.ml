@@ -1,0 +1,134 @@
+type event =
+  | Alu
+  | Mul_op
+  | Div_op
+  | Load of int
+  | Store of int
+  | Cond of { pc : int; taken : bool }
+  | Jump
+  | Call of { next : int }
+  | Icall of { pc : int; target : int; next : int }
+  | Ijump of { pc : int; target : int }
+  | Return of { pc : int; target : int }
+  | Syscall_op
+  | Trap_op
+  | Halt_op
+
+type t = {
+  arch : Arch.t;
+  icache : Cache.t option;
+  dcache : Cache.t option;
+  cond : Branch_pred.Cond.t option;
+  btb : Branch_pred.Btb.t;
+  ras : Branch_pred.Ras.t option;
+  mutable cycles : int;
+  mutable runtime_cycles : int;
+}
+
+let create (arch : Arch.t) =
+  {
+    arch;
+    icache = Option.map Cache.create arch.icache;
+    dcache = Option.map Cache.create arch.dcache;
+    cond =
+      (if arch.cond_bits > 0 then Some (Branch_pred.Cond.create ~bits:arch.cond_bits)
+       else None);
+    btb = Branch_pred.Btb.create ~entries:arch.btb_entries;
+    ras =
+      (if arch.ras_depth > 0 then Some (Branch_pred.Ras.create ~depth:arch.ras_depth)
+       else None);
+    cycles = 0;
+    runtime_cycles = 0;
+  }
+
+let arch t = t.arch
+
+let charge t n = t.cycles <- t.cycles + n
+
+let dcache_access t addr =
+  match t.dcache with
+  | None -> ()
+  | Some c -> if not (Cache.access c addr) then charge t (Cache.config c).miss_penalty
+
+let indirect t ~pc ~target =
+  if Branch_pred.Btb.enabled t.btb then begin
+    if not (Branch_pred.Btb.predict_and_update t.btb ~pc ~target) then
+      charge t t.arch.indirect_mispredict
+  end
+  else begin
+    (* no predictor: every indirect transfer pays the fixed dispatch
+       cost; count it as a "mispredict" so reports show the pressure *)
+    ignore (Branch_pred.Btb.predict_and_update t.btb ~pc ~target);
+    charge t t.arch.indirect_fixed
+  end
+
+let ras_push t next =
+  match t.ras with None -> () | Some r -> Branch_pred.Ras.push r next
+
+let instr t ~pc ev =
+  (match t.icache with
+  | None -> ()
+  | Some c -> if not (Cache.access c pc) then charge t (Cache.config c).miss_penalty);
+  let a = t.arch in
+  match ev with
+  | Alu -> charge t a.alu_cycles
+  | Mul_op -> charge t a.mul_cycles
+  | Div_op -> charge t a.div_cycles
+  | Load addr | Store addr ->
+      charge t a.mem_cycles;
+      dcache_access t addr
+  | Cond { pc; taken } -> (
+      charge t a.branch_cycles;
+      match t.cond with
+      | None -> ()
+      | Some p ->
+          if not (Branch_pred.Cond.predict_and_update p ~pc ~taken) then
+            charge t a.cond_mispredict)
+  | Jump -> charge t a.branch_cycles
+  | Call { next } ->
+      charge t a.branch_cycles;
+      ras_push t next
+  | Icall { pc; target; next } ->
+      charge t a.branch_cycles;
+      indirect t ~pc ~target;
+      ras_push t next
+  | Ijump { pc; target } ->
+      charge t a.branch_cycles;
+      indirect t ~pc ~target
+  | Return { pc; target } -> (
+      charge t a.branch_cycles;
+      match t.ras with
+      | None -> indirect t ~pc ~target
+      | Some r ->
+          if not (Branch_pred.Ras.pop_predict r ~target) then
+            charge t a.ras_mispredict)
+  | Syscall_op -> charge t a.syscall_cycles
+  | Trap_op -> charge t a.branch_cycles
+  | Halt_op -> charge t a.alu_cycles
+
+let add_runtime t n =
+  t.cycles <- t.cycles + n;
+  t.runtime_cycles <- t.runtime_cycles + n
+
+let cycles t = t.cycles
+let runtime_cycles t = t.runtime_cycles
+
+let icache_misses t = match t.icache with None -> 0 | Some c -> Cache.misses c
+let dcache_misses t = match t.dcache with None -> 0 | Some c -> Cache.misses c
+
+let cond_mispredicts t =
+  match t.cond with None -> 0 | Some p -> Branch_pred.Cond.mispredicts p
+
+let indirect_mispredicts t = Branch_pred.Btb.mispredicts t.btb
+
+let ras_mispredicts t =
+  match t.ras with None -> 0 | Some r -> Branch_pred.Ras.mispredicts r
+
+let reset t =
+  Option.iter Cache.reset t.icache;
+  Option.iter Cache.reset t.dcache;
+  Option.iter Branch_pred.Cond.reset t.cond;
+  Branch_pred.Btb.reset t.btb;
+  Option.iter Branch_pred.Ras.reset t.ras;
+  t.cycles <- 0;
+  t.runtime_cycles <- 0

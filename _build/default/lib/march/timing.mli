@@ -1,0 +1,55 @@
+(** The cycle accountant.
+
+    The machine reports one {!event} per executed instruction; the
+    accountant charges base cost plus microarchitectural penalties
+    (instruction-cache, data-cache, predictor misses) according to an
+    {!Arch.t}. The SDT runtime additionally charges its service costs
+    via {!add_runtime}, which are accumulated both into the total and
+    into a separate bucket so overhead breakdowns can distinguish
+    "executing extra instructions" from "sitting in the translator". *)
+
+type event =
+  | Alu
+  | Mul_op
+  | Div_op
+  | Load of int   (** effective address *)
+  | Store of int
+  | Cond of { pc : int; taken : bool }
+  | Jump  (** direct [j] *)
+  | Call of { next : int }  (** [jal]; [next] is the fall-through address *)
+  | Icall of { pc : int; target : int; next : int }  (** [jalr] *)
+  | Ijump of { pc : int; target : int }  (** [jr rs], [rs <> $ra] *)
+  | Return of { pc : int; target : int }  (** [jr $ra] *)
+  | Syscall_op
+  | Trap_op
+  | Halt_op
+
+type t
+
+val create : Arch.t -> t
+val arch : t -> Arch.t
+
+val instr : t -> pc:int -> event -> unit
+(** Account one executed instruction at [pc]: instruction fetch, base
+    cost, and any penalty its event implies. *)
+
+val add_runtime : t -> int -> unit
+(** Charge [n] cycles of SDT runtime service time. *)
+
+val cycles : t -> int
+(** Total cycles so far. *)
+
+val runtime_cycles : t -> int
+(** The {!add_runtime} portion of {!cycles}. *)
+
+(** {1 Event counters} *)
+
+val icache_misses : t -> int
+val dcache_misses : t -> int
+val cond_mispredicts : t -> int
+val indirect_mispredicts : t -> int
+(** BTB mispredictions, or (on a BTB-less architecture) the number of
+    indirect transfers that paid the fixed dispatch cost. *)
+
+val ras_mispredicts : t -> int
+val reset : t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: List Sdt_isa

@@ -1,0 +1,1 @@
+lib/workloads/synthetic.ml: Gen List Printf Sdt_isa

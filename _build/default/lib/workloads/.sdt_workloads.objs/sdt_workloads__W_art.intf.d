@@ -1,0 +1,1 @@
+lib/workloads/w_art.mli: Sdt_isa

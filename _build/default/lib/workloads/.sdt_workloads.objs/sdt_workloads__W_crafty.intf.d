@@ -1,0 +1,1 @@
+lib/workloads/w_crafty.mli: Sdt_isa

@@ -1,0 +1,1 @@
+lib/workloads/w_eon.ml: Gen List Printf Sdt_isa

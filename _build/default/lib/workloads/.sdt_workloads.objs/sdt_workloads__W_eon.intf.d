@@ -1,0 +1,1 @@
+lib/workloads/w_eon.mli: Sdt_isa

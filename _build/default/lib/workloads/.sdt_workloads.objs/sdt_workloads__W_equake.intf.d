@@ -1,0 +1,1 @@
+lib/workloads/w_equake.mli: Sdt_isa

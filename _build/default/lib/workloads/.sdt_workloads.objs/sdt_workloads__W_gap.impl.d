@@ -1,0 +1,1 @@
+lib/workloads/w_gap.ml: Gen List Printf Sdt_isa

@@ -1,0 +1,1 @@
+lib/workloads/w_gzip.mli: Sdt_isa

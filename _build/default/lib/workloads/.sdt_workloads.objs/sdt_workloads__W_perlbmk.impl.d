@@ -1,0 +1,1 @@
+lib/workloads/w_perlbmk.ml: Array Gen List Printf Sdt_isa

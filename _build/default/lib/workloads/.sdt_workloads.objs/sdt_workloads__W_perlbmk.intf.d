@@ -1,0 +1,1 @@
+lib/workloads/w_perlbmk.mli: Sdt_isa

@@ -1,0 +1,51 @@
+module B = Sdt_isa.Builder
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+
+let lcg_step b ~seed ~tmp =
+  B.li b tmp 1103515245;
+  B.emit b (Inst.Mul (seed, seed, tmp));
+  B.emit b (Inst.Addi (seed, seed, 12345))
+
+let lcg_bits b ~seed ~tmp ~dst =
+  lcg_step b ~seed ~tmp;
+  B.emit b (Inst.Srl (dst, seed, 16));
+  B.emit b (Inst.Andi (dst, dst, 0x7FFF))
+
+let checksum_reg b r =
+  B.mv b Reg.a0 r;
+  B.li b Reg.v0 4;
+  B.syscall b
+
+let print_int_reg b r =
+  B.mv b Reg.a0 r;
+  B.li b Reg.v0 1;
+  B.syscall b
+
+let exit0 b =
+  B.li b Reg.a0 0;
+  B.li b Reg.v0 5;
+  B.syscall b
+
+let for_loop b ~counter ~bound body =
+  let top = B.fresh_label b in
+  let out = B.fresh_label b in
+  B.place b top;
+  B.bge b counter bound out;
+  body ();
+  B.emit b (Inst.Addi (counter, counter, 1));
+  B.j b top;
+  B.place b out
+
+let table_of_labels b ~name labels =
+  let tbl = B.dlabel ~name b in
+  List.iter (fun _ -> B.word b 0) labels;
+  tbl
+
+let fill_table b ~table labels =
+  B.la b Reg.t8 table;
+  List.iteri
+    (fun i l ->
+      B.la b Reg.t9 l;
+      B.emit b (Inst.Sw (Reg.t9, Reg.t8, 4 * i)))
+    labels

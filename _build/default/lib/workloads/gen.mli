@@ -1,0 +1,46 @@
+(** Shared building blocks for the synthetic SPEC CPU2000 stand-ins.
+
+    All workloads are deterministic: randomness comes from an in-guest
+    linear congruential generator, results are folded into the machine
+    checksum via syscall 4, and every program ends with an explicit
+    exit. Register discipline follows the VIA ABI ([$s*] for state that
+    survives calls, [$t*] scratch, [$a*]/[$v*] for arguments/results);
+    the translator-reserved registers are never touched — {!Builder}
+    enforces that. *)
+
+module B = Sdt_isa.Builder
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+
+val lcg_step : B.t -> seed:Reg.t -> tmp:Reg.t -> unit
+(** [seed <- seed * 1103515245 + 12345] (mod 2^32). *)
+
+val lcg_bits : B.t -> seed:Reg.t -> tmp:Reg.t -> dst:Reg.t -> unit
+(** Step the LCG and put its top 15 useful bits in [dst]
+    ([ (seed >> 16) & 0x7FFF ]). *)
+
+val checksum_reg : B.t -> Reg.t -> unit
+(** Fold a register into the machine checksum (syscall 4; clobbers
+    [$a0], [$v0]). *)
+
+val print_int_reg : B.t -> Reg.t -> unit
+(** Print a register in decimal (clobbers [$a0], [$v0]). *)
+
+val exit0 : B.t -> unit
+(** Exit with code 0 (syscall 5). *)
+
+val for_loop :
+  B.t -> counter:Reg.t -> bound:Reg.t -> (unit -> unit) -> unit
+(** [for_loop b ~counter ~bound body]: emits
+    [while counter < bound do body (); counter++ done]. [counter] must
+    be initialised by the caller; [body] must preserve [counter] and
+    [bound]. *)
+
+val table_of_labels : B.t -> name:string -> B.label list -> B.label
+(** Emit a data-section word table that a startup shim fills with the
+    absolute addresses of the given code labels (computed at assembly
+    time via [la]+[sw] in {!fill_table}); returns the table label. *)
+
+val fill_table : B.t -> table:B.label -> B.label list -> unit
+(** Emit startup code storing each label's address into consecutive
+    words of [table] (clobbers [$t8], [$t9]). *)

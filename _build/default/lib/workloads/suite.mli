@@ -1,0 +1,28 @@
+(** The workload registry: the fourteen SPEC CPU2000 stand-ins (12 INT + 2 FP).
+
+    Each entry carries two calibrated size parameters: [test_size]
+    (tens of thousands of dynamic instructions — fast enough for unit
+    tests over every SDT configuration) and [ref_size] (hundreds of
+    thousands — what the benchmark harness runs). Workloads are
+    deterministic; the same size always produces the same output and
+    checksum, natively or translated. *)
+
+module Program = Sdt_isa.Program
+
+type entry = {
+  name : string;
+  description : string;
+  build : size:int -> Program.t;
+  test_size : int;
+  ref_size : int;
+}
+
+val all : entry list
+(** In the paper's customary SPEC INT order — gzip, vpr, gcc, mcf,
+    crafty, parser, eon, perlbmk, gap, vortex, bzip2, twolf — followed
+    by two CFP2000 stand-ins, art and equake. *)
+
+val find : string -> entry option
+val names : string list
+
+val program : entry -> [ `Test | `Ref ] -> Program.t

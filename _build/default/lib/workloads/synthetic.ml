@@ -1,0 +1,141 @@
+(* Parameterised indirect-branch microbenchmark generator.
+
+   Builds terminating-by-construction programs whose IB behaviour is
+   dialled in by [params]: how many static indirect-jump sites, how many
+   distinct targets each cycles through, how much indirect-call and
+   recursion (return) traffic accompanies them. Used by the sweep
+   benchmarks and as the program generator for the translation
+   equivalence property tests. *)
+
+module B = Sdt_isa.Builder
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+
+type params = {
+  ib_sites : int;          (* static indirect-jump sites, 1..16 *)
+  targets : int;           (* distinct targets in the jump table, 2..64 *)
+  fns : int;               (* functions reachable by indirect call, 0..8 *)
+  recursion_depth : int;   (* extra return traffic per iteration, 0..8 *)
+  iters : int;
+  seed : int;
+}
+
+let default =
+  { ib_sites = 4; targets = 16; fns = 4; recursion_depth = 2; iters = 500; seed = 1 }
+
+let clamp lo hi v = max lo (min hi v)
+
+let normalise p =
+  {
+    ib_sites = clamp 1 16 p.ib_sites;
+    targets = clamp 2 64 p.targets;
+    fns = clamp 0 8 p.fns;
+    recursion_depth = clamp 0 8 p.recursion_depth;
+    iters = clamp 1 1_000_000 p.iters;
+    seed = p.seed land 0xFFFF;
+  }
+
+let build p =
+  let p = normalise p in
+  let b = B.create () in
+  let cases =
+    List.init p.targets (fun i -> B.fresh_label ~name:(Printf.sprintf "case%d" i) b)
+  in
+  let jtab = Gen.table_of_labels b ~name:"jtab" cases in
+  let fns =
+    List.init (max 1 p.fns) (fun i ->
+        B.fresh_label ~name:(Printf.sprintf "fn%d" i) b)
+  in
+  let ftab = Gen.table_of_labels b ~name:"ftab" fns in
+
+  let main = B.here ~name:"main" b in
+  let recurse = B.fresh_label ~name:"recurse" b in
+
+  (* s0=i, s1=iters, s2=seed, s3=acc, s5=jtab, s6=ftab *)
+  Gen.fill_table b ~table:jtab cases;
+  Gen.fill_table b ~table:ftab fns;
+  B.la b Reg.s5 jtab;
+  B.la b Reg.s6 ftab;
+  B.li b Reg.s0 0;
+  B.li b Reg.s1 p.iters;
+  B.li b Reg.s2 (p.seed + 7);
+  B.li b Reg.s3 0;
+
+  Gen.for_loop b ~counter:Reg.s0 ~bound:Reg.s1 (fun () ->
+      Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.s4;
+      (* the indirect-jump sites, statically unrolled *)
+      for site = 0 to p.ib_sites - 1 do
+        let cont = B.fresh_label b in
+        (* each site derives its own index so sites see different
+           target streams *)
+        B.emit b (Inst.Addi (Reg.t1, Reg.s4, site * 3));
+        B.li b Reg.t2 p.targets;
+        B.emit b (Inst.Rem (Reg.t1, Reg.t1, Reg.t2));
+        B.emit b (Inst.Sll (Reg.t1, Reg.t1, 2));
+        B.emit b (Inst.Add (Reg.t1, Reg.s5, Reg.t1));
+        B.emit b (Inst.Lw (Reg.t1, Reg.t1, 0));
+        (* the case handler returns control via jr to t9, which we point
+           at the continuation *)
+        B.la b Reg.t9 cont;
+        B.jr b Reg.t1;
+        B.place b cont
+      done;
+      (* indirect call *)
+      if p.fns > 0 then begin
+        B.emit b (Inst.Andi (Reg.t1, Reg.s4, 7));
+        B.li b Reg.t2 p.fns;
+        B.emit b (Inst.Rem (Reg.t1, Reg.t1, Reg.t2));
+        B.emit b (Inst.Sll (Reg.t1, Reg.t1, 2));
+        B.emit b (Inst.Add (Reg.t1, Reg.s6, Reg.t1));
+        B.emit b (Inst.Lw (Reg.t1, Reg.t1, 0));
+        B.mv b Reg.a0 Reg.s4;
+        B.emit b (Inst.Jalr (Reg.ra, Reg.t1));
+        B.emit b (Inst.Add (Reg.s3, Reg.s3, Reg.v0))
+      end;
+      (* recursion for return traffic *)
+      if p.recursion_depth > 0 then begin
+        B.li b Reg.a0 p.recursion_depth;
+        B.jal b recurse;
+        B.emit b (Inst.Add (Reg.s3, Reg.s3, Reg.v0))
+      end);
+
+  Gen.checksum_reg b Reg.s3;
+  Gen.exit0 b;
+
+  (* case handlers: fold a distinct constant, then jr $t9 back — each
+     case is itself one more indirect jump, mirroring threaded code *)
+  List.iteri
+    (fun i c ->
+      B.place b c;
+      B.emit b (Inst.Xori (Reg.t3, Reg.s3, (i * 97) land 0xFFFF));
+      B.emit b (Inst.Add (Reg.s3, Reg.s3, Reg.t3));
+      B.jr b Reg.t9)
+    cases;
+
+  (* functions: distinct bodies *)
+  List.iteri
+    (fun i f ->
+      B.place b f;
+      B.emit b (Inst.Addi (Reg.v0, Reg.a0, i + 1));
+      B.emit b (Inst.Xori (Reg.v0, Reg.v0, i * 29));
+      B.ret b)
+    fns;
+
+  (* v0 = recurse(a0): linear recursion *)
+  B.place b recurse;
+  let base = B.fresh_label b in
+  B.emit b (Inst.Slti (Reg.t4, Reg.a0, 1));
+  B.bne b Reg.t4 Reg.zero base;
+  B.push b Reg.ra;
+  B.push b Reg.a0;
+  B.emit b (Inst.Addi (Reg.a0, Reg.a0, -1));
+  B.jal b recurse;
+  B.pop b Reg.t5;
+  B.emit b (Inst.Add (Reg.v0, Reg.v0, Reg.t5));
+  B.pop b Reg.ra;
+  B.ret b;
+  B.place b base;
+  B.li b Reg.v0 1;
+  B.ret b;
+
+  B.assemble b ~entry:main

@@ -1,0 +1,24 @@
+(** Parameterised indirect-branch microbenchmark generator.
+
+    Builds terminating-by-construction programs whose IB behaviour is
+    dialled in by {!params}: how many static indirect-jump sites, how
+    many distinct targets each cycles through, how much indirect-call
+    and recursion (return) traffic accompanies them. Used by the sweep
+    benchmarks and as the program generator for the translation
+    equivalence property tests. *)
+
+type params = {
+  ib_sites : int;          (** static indirect-jump sites, clamped to 1..16 *)
+  targets : int;           (** distinct jump-table targets, 2..64 *)
+  fns : int;               (** functions reachable by indirect call, 0..8 *)
+  recursion_depth : int;   (** extra return traffic per iteration, 0..8 *)
+  iters : int;
+  seed : int;
+}
+
+val default : params
+
+val normalise : params -> params
+(** Clamp every field into its supported range (applied by {!build}). *)
+
+val build : params -> Sdt_isa.Program.t

@@ -1,0 +1,88 @@
+(* art stand-in (SPEC CFP2000 179.art): neural-network image matching in
+   fixed point. The hot code is multiply-accumulate sweeps over weight
+   matrices with saturation tests — numeric loops with essentially no
+   indirect branches, representing the FP half of SPEC that the paper
+   shows is barely affected by any IB mechanism. *)
+
+module B = Sdt_isa.Builder
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+
+let name = "art"
+let description = "fixed-point neural-net matching (MAC sweeps)"
+
+let neurons = 48  (* F1 layer width; weights are neurons x neurons *)
+
+let build ~size =
+  let epochs = max 2 (size / 15_000) in
+  let b = B.create () in
+  let weights = B.dlabel ~name:"weights" b in
+  B.space b (4 * neurons * neurons);
+  let activations = B.dlabel ~name:"acts" b in
+  B.space b (4 * neurons);
+
+  let main = B.here ~name:"main" b in
+  (* s0=weights, s1=acts, s2=seed, s3=acc, s4=epoch, s5=epochs *)
+  B.la b Reg.s0 weights;
+  B.la b Reg.s1 activations;
+  B.li b Reg.s2 (size + 83);
+  B.li b Reg.s3 0;
+
+  (* init weights (Q8.8 fixed point, small) and activations *)
+  B.li b Reg.t5 0;
+  B.li b Reg.t6 (neurons * neurons);
+  Gen.for_loop b ~counter:Reg.t5 ~bound:Reg.t6 (fun () ->
+      Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.t1;
+      B.emit b (Inst.Andi (Reg.t1, Reg.t1, 0x1FF));
+      B.emit b (Inst.Sll (Reg.t2, Reg.t5, 2));
+      B.emit b (Inst.Add (Reg.t2, Reg.s0, Reg.t2));
+      B.emit b (Inst.Sw (Reg.t1, Reg.t2, 0)));
+  B.li b Reg.t5 0;
+  B.li b Reg.t6 neurons;
+  Gen.for_loop b ~counter:Reg.t5 ~bound:Reg.t6 (fun () ->
+      Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.t1;
+      B.emit b (Inst.Andi (Reg.t1, Reg.t1, 0xFF));
+      B.emit b (Inst.Sll (Reg.t2, Reg.t5, 2));
+      B.emit b (Inst.Add (Reg.t2, Reg.s1, Reg.t2));
+      B.emit b (Inst.Sw (Reg.t1, Reg.t2, 0)));
+
+  (* epochs: acts <- saturate(W * acts >> 8), winner-take-all fold *)
+  B.li b Reg.s4 0;
+  B.li b Reg.s5 epochs;
+  Gen.for_loop b ~counter:Reg.s4 ~bound:Reg.s5 (fun () ->
+      B.li b Reg.s6 0;
+      B.li b Reg.s7 neurons;
+      Gen.for_loop b ~counter:Reg.s6 ~bound:Reg.s7 (fun () ->
+          (* t7 = sum over j of W[i][j] * act[j] *)
+          B.li b Reg.t7 0;
+          B.li b Reg.t5 0;
+          B.li b Reg.t6 neurons;
+          Gen.for_loop b ~counter:Reg.t5 ~bound:Reg.t6 (fun () ->
+              B.li b Reg.t0 neurons;
+              B.emit b (Inst.Mul (Reg.t0, Reg.s6, Reg.t0));
+              B.emit b (Inst.Add (Reg.t0, Reg.t0, Reg.t5));
+              B.emit b (Inst.Sll (Reg.t0, Reg.t0, 2));
+              B.emit b (Inst.Add (Reg.t0, Reg.s0, Reg.t0));
+              B.emit b (Inst.Lw (Reg.t0, Reg.t0, 0));
+              B.emit b (Inst.Sll (Reg.t1, Reg.t5, 2));
+              B.emit b (Inst.Add (Reg.t1, Reg.s1, Reg.t1));
+              B.emit b (Inst.Lw (Reg.t1, Reg.t1, 0));
+              B.emit b (Inst.Mul (Reg.t0, Reg.t0, Reg.t1));
+              B.emit b (Inst.Add (Reg.t7, Reg.t7, Reg.t0)));
+          (* fixed-point rescale with saturation at 0xFFFF *)
+          B.emit b (Inst.Srl (Reg.t7, Reg.t7, 8));
+          let ok = B.fresh_label b in
+          B.emit b (Inst.Srl (Reg.t0, Reg.t7, 16));
+          B.beq b Reg.t0 Reg.zero ok;
+          B.li b Reg.t7 0xFFFF;
+          B.place b ok;
+          (* write back, shifted down so the network stays bounded *)
+          B.emit b (Inst.Srl (Reg.t0, Reg.t7, 8));
+          B.emit b (Inst.Sll (Reg.t1, Reg.s6, 2));
+          B.emit b (Inst.Add (Reg.t1, Reg.s1, Reg.t1));
+          B.emit b (Inst.Sw (Reg.t0, Reg.t1, 0));
+          B.emit b (Inst.Add (Reg.s3, Reg.s3, Reg.t7))));
+
+  Gen.checksum_reg b Reg.s3;
+  Gen.exit0 b;
+  B.assemble b ~entry:main

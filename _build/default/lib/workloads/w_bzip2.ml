@@ -1,0 +1,119 @@
+(* bzip2 stand-in: counting sort followed by a move-to-front transform,
+   the branchy scan/shift inner loops of block-sorting compressors.
+   Very low indirect-branch density. *)
+
+module B = Sdt_isa.Builder
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+
+let name = "bzip2"
+let description = "counting sort + move-to-front transform"
+
+let alphabet = 16
+
+let build ~size =
+  let n = max 64 size in
+  let b = B.create () in
+  let src = B.dlabel ~name:"src" b in
+  B.space b n;
+  B.align b 4;
+  let sorted = B.dlabel ~name:"sorted" b in
+  B.space b n;
+  B.align b 4;
+  let freq = B.dlabel ~name:"freq" b in
+  B.space b (4 * alphabet);
+  let mtf = B.dlabel ~name:"mtf" b in
+  B.space b alphabet;
+  B.align b 4;
+
+  let main = B.here ~name:"main" b in
+  (* s0=src, s1=n, s2=seed, s3=acc, s4=freq, s5=sorted, s6=mtf *)
+  B.la b Reg.s0 src;
+  B.la b Reg.s4 freq;
+  B.la b Reg.s5 sorted;
+  B.la b Reg.s6 mtf;
+  B.li b Reg.s1 n;
+  B.li b Reg.s2 (size + 3);
+  B.li b Reg.s3 0;
+
+  (* fill src; count frequencies *)
+  B.li b Reg.t5 0;
+  Gen.for_loop b ~counter:Reg.t5 ~bound:Reg.s1 (fun () ->
+      Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.t1;
+      B.emit b (Inst.Andi (Reg.t1, Reg.t1, alphabet - 1));
+      B.emit b (Inst.Add (Reg.t2, Reg.s0, Reg.t5));
+      B.emit b (Inst.Sb (Reg.t1, Reg.t2, 0));
+      B.emit b (Inst.Sll (Reg.t2, Reg.t1, 2));
+      B.emit b (Inst.Add (Reg.t2, Reg.s4, Reg.t2));
+      B.emit b (Inst.Lw (Reg.t3, Reg.t2, 0));
+      B.emit b (Inst.Addi (Reg.t3, Reg.t3, 1));
+      B.emit b (Inst.Sw (Reg.t3, Reg.t2, 0)));
+
+  (* exclusive prefix sums over freq *)
+  B.li b Reg.t0 0;  (* running total *)
+  B.li b Reg.t5 0;
+  B.li b Reg.t6 alphabet;
+  Gen.for_loop b ~counter:Reg.t5 ~bound:Reg.t6 (fun () ->
+      B.emit b (Inst.Sll (Reg.t1, Reg.t5, 2));
+      B.emit b (Inst.Add (Reg.t1, Reg.s4, Reg.t1));
+      B.emit b (Inst.Lw (Reg.t2, Reg.t1, 0));
+      B.emit b (Inst.Sw (Reg.t0, Reg.t1, 0));
+      B.emit b (Inst.Add (Reg.t0, Reg.t0, Reg.t2)));
+
+  (* stable counting sort into sorted[] *)
+  B.li b Reg.t5 0;
+  Gen.for_loop b ~counter:Reg.t5 ~bound:Reg.s1 (fun () ->
+      B.emit b (Inst.Add (Reg.t1, Reg.s0, Reg.t5));
+      B.emit b (Inst.Lbu (Reg.t1, Reg.t1, 0));
+      B.emit b (Inst.Sll (Reg.t2, Reg.t1, 2));
+      B.emit b (Inst.Add (Reg.t2, Reg.s4, Reg.t2));
+      B.emit b (Inst.Lw (Reg.t3, Reg.t2, 0));
+      B.emit b (Inst.Add (Reg.t4, Reg.s5, Reg.t3));
+      B.emit b (Inst.Sb (Reg.t1, Reg.t4, 0));
+      B.emit b (Inst.Addi (Reg.t3, Reg.t3, 1));
+      B.emit b (Inst.Sw (Reg.t3, Reg.t2, 0)));
+
+  (* init MTF list to identity *)
+  B.li b Reg.t5 0;
+  B.li b Reg.t6 alphabet;
+  Gen.for_loop b ~counter:Reg.t5 ~bound:Reg.t6 (fun () ->
+      B.emit b (Inst.Add (Reg.t1, Reg.s6, Reg.t5));
+      B.emit b (Inst.Sb (Reg.t5, Reg.t1, 0)));
+
+  (* move-to-front over sorted[]: find symbol (scan), shift, emit index *)
+  B.li b Reg.t5 0;
+  Gen.for_loop b ~counter:Reg.t5 ~bound:Reg.s1 (fun () ->
+      B.emit b (Inst.Add (Reg.t0, Reg.s5, Reg.t5));
+      B.emit b (Inst.Lbu (Reg.t0, Reg.t0, 0));  (* symbol *)
+      (* find index of symbol in mtf list *)
+      B.li b Reg.t1 0;
+      let find = B.fresh_label b in
+      let found = B.fresh_label b in
+      B.place b find;
+      B.emit b (Inst.Add (Reg.t2, Reg.s6, Reg.t1));
+      B.emit b (Inst.Lbu (Reg.t3, Reg.t2, 0));
+      B.beq b Reg.t3 Reg.t0 found;
+      B.emit b (Inst.Addi (Reg.t1, Reg.t1, 1));
+      B.j b find;
+      B.place b found;
+      (* shift mtf[0..idx-1] up by one, put symbol at front *)
+      let shift = B.fresh_label b in
+      let shifted = B.fresh_label b in
+      B.mv b Reg.t2 Reg.t1;
+      B.place b shift;
+      B.beq b Reg.t2 Reg.zero shifted;
+      B.emit b (Inst.Add (Reg.t3, Reg.s6, Reg.t2));
+      B.emit b (Inst.Lbu (Reg.t4, Reg.t3, -1));
+      B.emit b (Inst.Sb (Reg.t4, Reg.t3, 0));
+      B.emit b (Inst.Addi (Reg.t2, Reg.t2, -1));
+      B.j b shift;
+      B.place b shifted;
+      B.emit b (Inst.Sb (Reg.t0, Reg.s6, 0));
+      (* fold the emitted index *)
+      B.li b Reg.t3 33;
+      B.emit b (Inst.Mul (Reg.s3, Reg.s3, Reg.t3));
+      B.emit b (Inst.Add (Reg.s3, Reg.s3, Reg.t1)));
+
+  Gen.checksum_reg b Reg.s3;
+  Gen.exit0 b;
+  B.assemble b ~entry:main

@@ -1,0 +1,186 @@
+(* crafty stand-in: bitboard game-tree search. A negamax search with a
+   real recursion tree explores positions; at each node, per-piece move
+   generators are reached through a function-pointer table (indirect
+   calls over twelve targets) and run shift/mask bit tricks plus a
+   popcount helper call. The profile is crafty's: search recursion
+   (returns), type dispatch (indirect calls), and bit-twiddling ALU
+   work over table-resident state. *)
+
+module B = Sdt_isa.Builder
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+
+let name = "crafty"
+let description = "bitboard negamax search with per-piece move dispatch"
+
+let n_pieces = 12
+let search_depth = 3
+
+let build ~size =
+  let positions = max 4 (size / 340) in
+  let b = B.create () in
+  let handlers =
+    List.init n_pieces (fun i -> B.fresh_label ~name:(Printf.sprintf "piece%d" i) b)
+  in
+  let ftab = Gen.table_of_labels b ~name:"ftab" handlers in
+
+  let main = B.here ~name:"main" b in
+  let popcount = B.fresh_label ~name:"popcount" b in
+  let gen_moves = B.fresh_label ~name:"gen_moves" b in
+  let negamax = B.fresh_label ~name:"negamax" b in
+
+  (* s0=i, s1=positions, s2=seed, s3=acc, s5=ftab *)
+  Gen.fill_table b ~table:ftab handlers;
+  B.la b Reg.s5 ftab;
+  B.li b Reg.s0 0;
+  B.li b Reg.s1 positions;
+  B.li b Reg.s2 (size + 11);
+  B.li b Reg.s3 0;
+
+  Gen.for_loop b ~counter:Reg.s0 ~bound:Reg.s1 (fun () ->
+      (* root board = 32 random bits: two LCG draws *)
+      Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.t1;
+      Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.t2;
+      B.emit b (Inst.Sll (Reg.a0, Reg.t1, 17));
+      B.emit b (Inst.Or (Reg.a0, Reg.a0, Reg.t2));
+      B.li b Reg.a1 search_depth;
+      B.jal b negamax;
+      B.emit b (Inst.Add (Reg.s3, Reg.s3, Reg.v0)));
+
+  Gen.checksum_reg b Reg.s3;
+  Gen.exit0 b;
+
+  (* v0 = negamax(a0 = board, a1 = depth):
+       if depth = 0: evaluate = popcount(board)
+       else: for each of 3 candidate moves m in {1, 2, 3}:
+               child = gen_moves(board, piece(board, m))
+               score = max(score, m*7 - negamax(child, depth-1))
+     The per-node work mirrors a chess engine: move generation through
+     the piece dispatch table, evaluation by a material count. *)
+  B.place b negamax;
+  let leaf = B.fresh_label b in
+  B.beq b Reg.a1 Reg.zero leaf;
+  B.push b Reg.ra;
+  B.push b Reg.s6;  (* best score *)
+  B.push b Reg.s7;  (* move counter *)
+  B.push b Reg.a0;
+  B.push b Reg.a1;
+  B.li b Reg.s6 (-1_000_000);
+  B.li b Reg.s7 1;
+  let move_loop = B.fresh_label b in
+  let move_done = B.fresh_label b in
+  B.place b move_loop;
+  B.emit b (Inst.Slti (Reg.t0, Reg.s7, 4));
+  B.beq b Reg.t0 Reg.zero move_done;
+  (* reload the node's board *)
+  B.emit b (Inst.Lw (Reg.a0, Reg.sp, 4));
+  (* perturb by the move number so children differ *)
+  B.emit b (Inst.Sllv (Reg.t1, Reg.a0, Reg.s7));
+  B.emit b (Inst.Xor (Reg.a0, Reg.a0, Reg.t1));
+  B.jal b gen_moves;            (* v0 = child board *)
+  B.mv b Reg.a0 Reg.v0;
+  B.emit b (Inst.Lw (Reg.a1, Reg.sp, 0));
+  B.emit b (Inst.Addi (Reg.a1, Reg.a1, -1));
+  B.jal b negamax;              (* v0 = child score *)
+  (* score = move*7 - child score; keep the max *)
+  B.li b Reg.t2 7;
+  B.emit b (Inst.Mul (Reg.t2, Reg.t2, Reg.s7));
+  B.emit b (Inst.Sub (Reg.t2, Reg.t2, Reg.v0));
+  let no_better = B.fresh_label b in
+  B.bge b Reg.s6 Reg.t2 no_better;
+  B.mv b Reg.s6 Reg.t2;
+  B.place b no_better;
+  B.emit b (Inst.Addi (Reg.s7, Reg.s7, 1));
+  B.j b move_loop;
+  B.place b move_done;
+  B.mv b Reg.v0 Reg.s6;
+  B.pop b Reg.a1;
+  B.pop b Reg.a0;
+  B.pop b Reg.s7;
+  B.pop b Reg.s6;
+  B.pop b Reg.ra;
+  B.ret b;
+  B.place b leaf;
+  B.push b Reg.ra;
+  B.jal b popcount;             (* material evaluation *)
+  B.pop b Reg.ra;
+  B.ret b;
+
+  (* v0 = gen_moves(a0 = board): dispatch on the board's piece type
+     (its low bits, modulo the piece count) through the function table;
+     the handler computes the successor board. *)
+  B.place b gen_moves;
+  B.push b Reg.ra;
+  B.emit b (Inst.Andi (Reg.t3, Reg.a0, 31));
+  B.li b Reg.t4 n_pieces;
+  B.emit b (Inst.Rem (Reg.t3, Reg.t3, Reg.t4));
+  B.emit b (Inst.Sll (Reg.t3, Reg.t3, 2));
+  B.emit b (Inst.Add (Reg.t3, Reg.s5, Reg.t3));
+  B.emit b (Inst.Lw (Reg.t3, Reg.t3, 0));
+  B.emit b (Inst.Jalr (Reg.ra, Reg.t3));
+  B.pop b Reg.ra;
+  B.ret b;
+
+  (* piece handlers: a0 = board; v0 = successor board. *)
+  let h i mask_gen =
+    B.place b (List.nth handlers i);
+    mask_gen ();
+    B.ret b
+  in
+  (* pawn: forward shifts *)
+  h 0 (fun () ->
+      B.emit b (Inst.Sll (Reg.t5, Reg.a0, 8));
+      B.emit b (Inst.Or (Reg.v0, Reg.a0, Reg.t5)));
+  (* knight: L-shaped shifts *)
+  h 1 (fun () ->
+      B.emit b (Inst.Sll (Reg.t5, Reg.a0, 6));
+      B.emit b (Inst.Srl (Reg.t6, Reg.a0, 10));
+      B.emit b (Inst.Xor (Reg.v0, Reg.t5, Reg.t6)));
+  (* bishop: diagonal smear *)
+  h 2 (fun () ->
+      B.emit b (Inst.Sll (Reg.t5, Reg.a0, 9));
+      B.emit b (Inst.Or (Reg.t5, Reg.a0, Reg.t5));
+      B.emit b (Inst.Sll (Reg.t6, Reg.t5, 18));
+      B.emit b (Inst.Or (Reg.v0, Reg.t5, Reg.t6)));
+  (* rook: rank/file smear *)
+  h 3 (fun () ->
+      B.emit b (Inst.Sll (Reg.t5, Reg.a0, 1));
+      B.emit b (Inst.Or (Reg.t5, Reg.a0, Reg.t5));
+      B.emit b (Inst.Srl (Reg.t6, Reg.t5, 16));
+      B.emit b (Inst.Or (Reg.v0, Reg.t5, Reg.t6)));
+  (* queen: rook|bishop-ish *)
+  h 4 (fun () ->
+      B.emit b (Inst.Sll (Reg.t5, Reg.a0, 7));
+      B.emit b (Inst.Srl (Reg.t6, Reg.a0, 9));
+      B.emit b (Inst.Or (Reg.t5, Reg.a0, Reg.t5));
+      B.emit b (Inst.Or (Reg.v0, Reg.t5, Reg.t6)));
+  (* king: one-step neighbourhood *)
+  h 5 (fun () ->
+      B.emit b (Inst.Sll (Reg.t5, Reg.a0, 1));
+      B.emit b (Inst.Srl (Reg.t6, Reg.a0, 1));
+      B.emit b (Inst.Or (Reg.t5, Reg.t5, Reg.t6));
+      B.emit b (Inst.Or (Reg.v0, Reg.a0, Reg.t5)));
+  (* fairy pieces: formulaic shift/mask mixes to widen the target set *)
+  for i = 6 to n_pieces - 1 do
+    h i (fun () ->
+        B.emit b (Inst.Sll (Reg.t5, Reg.a0, (i mod 14) + 2));
+        B.emit b (Inst.Srl (Reg.t6, Reg.a0, (i mod 9) + 3));
+        B.emit b (Inst.Xor (Reg.v0, Reg.t5, Reg.t6));
+        B.emit b (Inst.Ori (Reg.v0, Reg.v0, (i * 257) land 0xFFFF)))
+  done;
+
+  (* v0 = popcount(a0), Kernighan loop *)
+  B.place b popcount;
+  B.li b Reg.v0 0;
+  let pl = B.fresh_label b in
+  let pd = B.fresh_label b in
+  B.place b pl;
+  B.beq b Reg.a0 Reg.zero pd;
+  B.emit b (Inst.Addi (Reg.t7, Reg.a0, -1));
+  B.emit b (Inst.And (Reg.a0, Reg.a0, Reg.t7));
+  B.emit b (Inst.Addi (Reg.v0, Reg.v0, 1));
+  B.j b pl;
+  B.place b pd;
+  B.ret b;
+
+  B.assemble b ~entry:main

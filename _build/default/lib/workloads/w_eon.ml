@@ -1,0 +1,108 @@
+(* eon stand-in: C++-style virtual dispatch. Objects carry vtable
+   pointers; hot loops load the vtable, load a method slot, and make an
+   indirect call. The object array is segmented by class with a little
+   noise, so each of the four unrolled call sites is quasi-monomorphic —
+   the profile real C++ exhibits and the one inline target prediction
+   and per-branch IBTCs exploit. 8 classes x 4 methods = 32 targets. *)
+
+module B = Sdt_isa.Builder
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+
+let name = "eon"
+let description = "virtual method dispatch over a segmented object array"
+
+let n_classes = 8
+let n_methods = 4  (* per class *)
+let n_objects = 128
+let n_sites = 4    (* unrolled call sites, one per object segment *)
+
+let build ~size =
+  let rounds = max 2 (size / (n_objects * 8)) in
+  let b = B.create () in
+  let methods =
+    List.init (n_classes * n_methods) (fun i ->
+        B.fresh_label ~name:(Printf.sprintf "m%d_%d" (i / n_methods) (i mod n_methods)) b)
+  in
+  let vtables = Gen.table_of_labels b ~name:"vtables" methods in
+  (* objects: [vtable_base_offset, value] pairs *)
+  let objects = B.dlabel ~name:"objects" b in
+  B.space b (8 * n_objects);
+  B.align b 4;
+
+  let main = B.here ~name:"main" b in
+  (* s0=objects, s1=vtables, s2=seed, s3=acc, s4=round, s5=rounds *)
+  Gen.fill_table b ~table:vtables methods;
+  B.la b Reg.s0 objects;
+  B.la b Reg.s1 vtables;
+  B.li b Reg.s2 (size + 23);
+  B.li b Reg.s3 0;
+
+  (* init: object i belongs to segment i / (n_objects/n_sites); its
+     class is the segment's home class, except 1 draw in 8 is random *)
+  let seg_len = n_objects / n_sites in
+  B.li b Reg.t5 0;
+  B.li b Reg.t6 n_objects;
+  Gen.for_loop b ~counter:Reg.t5 ~bound:Reg.t6 (fun () ->
+      Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.t1;
+      (* home class = 2 * segment index *)
+      B.li b Reg.t2 seg_len;
+      B.emit b (Inst.Div (Reg.t2, Reg.t5, Reg.t2));
+      B.emit b (Inst.Sll (Reg.t2, Reg.t2, 1));
+      let use_home = B.fresh_label b in
+      B.emit b (Inst.Andi (Reg.t3, Reg.t1, 7));
+      B.bne b Reg.t3 Reg.zero use_home;
+      B.emit b (Inst.Andi (Reg.t2, Reg.t1, n_classes - 1));
+      B.place b use_home;
+      (* vtable byte offset = class * n_methods * 4 *)
+      B.emit b (Inst.Sll (Reg.t2, Reg.t2, 4));
+      B.emit b (Inst.Sll (Reg.t3, Reg.t5, 3));
+      B.emit b (Inst.Add (Reg.t3, Reg.s0, Reg.t3));
+      B.emit b (Inst.Sw (Reg.t2, Reg.t3, 0));
+      B.emit b (Inst.Sw (Reg.t1, Reg.t3, 4)));
+
+  (* hot loop: per round, each unrolled site walks its own segment and
+     calls method (round mod n_methods) on every object *)
+  B.li b Reg.s4 0;
+  B.li b Reg.s5 rounds;
+  Gen.for_loop b ~counter:Reg.s4 ~bound:Reg.s5 (fun () ->
+      for site = 0 to n_sites - 1 do
+        B.li b Reg.s6 (site * seg_len);
+        B.li b Reg.s7 ((site + 1) * seg_len);
+        Gen.for_loop b ~counter:Reg.s6 ~bound:Reg.s7 (fun () ->
+            B.emit b (Inst.Sll (Reg.t0, Reg.s6, 3));
+            B.emit b (Inst.Add (Reg.a0, Reg.s0, Reg.t0));  (* obj ptr *)
+            B.emit b (Inst.Lw (Reg.t1, Reg.a0, 0));        (* vtable off *)
+            B.emit b (Inst.Add (Reg.t1, Reg.s1, Reg.t1));
+            (* each site invokes one fixed method slot, as a C++ call
+               site does; polymorphism comes only from the object's class *)
+            B.emit b (Inst.Lw (Reg.t1, Reg.t1, 4 * (site mod n_methods)));
+            B.emit b (Inst.Jalr (Reg.ra, Reg.t1));         (* virtual call *)
+            B.emit b (Inst.Add (Reg.s3, Reg.s3, Reg.v0)))
+      done);
+
+  Gen.checksum_reg b Reg.s3;
+  Gen.exit0 b;
+
+  (* methods: a0 = object pointer; update value, return contribution.
+     Bodies are formulaic but distinct per (class, method). *)
+  List.iteri
+    (fun i m ->
+      B.place b m;
+      B.emit b (Inst.Lw (Reg.t3, Reg.a0, 4));
+      (match i mod 4 with
+      | 0 -> B.emit b (Inst.Addi (Reg.t3, Reg.t3, (i * 7) + 3))
+      | 1 -> B.emit b (Inst.Xori (Reg.t3, Reg.t3, (i * 131) land 0xFFFF))
+      | 2 ->
+          B.li b Reg.t4 ((2 * i) + 5);
+          B.emit b (Inst.Mul (Reg.t3, Reg.t3, Reg.t4));
+          B.emit b (Inst.Addi (Reg.t3, Reg.t3, 1))
+      | _ ->
+          B.emit b (Inst.Sll (Reg.t4, Reg.t3, (i mod 13) + 1));
+          B.emit b (Inst.Xor (Reg.t3, Reg.t3, Reg.t4)));
+      B.emit b (Inst.Sw (Reg.t3, Reg.a0, 4));
+      B.mv b Reg.v0 Reg.t3;
+      B.ret b)
+    methods;
+
+  B.assemble b ~entry:main

@@ -1,0 +1,107 @@
+(* equake stand-in (SPEC CFP2000 183.equake): seismic wave propagation =
+   sparse matrix-vector products in fixed point. Irregular indexed loads
+   (gather) over a CSR-ish structure, time-stepped — memory-intensive
+   numeric code with no indirect branches. *)
+
+module B = Sdt_isa.Builder
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+
+let name = "equake"
+let description = "fixed-point sparse matrix-vector time stepping"
+
+let nodes = 256
+let nnz_per_row = 8
+
+let build ~size =
+  let steps = max 2 (size / 15_000) in
+  let b = B.create () in
+  (* CSR-ish: for each row, nnz_per_row (col, val) pairs *)
+  let cols = B.dlabel ~name:"cols" b in
+  B.space b (4 * nodes * nnz_per_row);
+  let vals = B.dlabel ~name:"vals" b in
+  B.space b (4 * nodes * nnz_per_row);
+  let x = B.dlabel ~name:"x" b in
+  B.space b (4 * nodes);
+  let y = B.dlabel ~name:"y" b in
+  B.space b (4 * nodes);
+
+  let main = B.here ~name:"main" b in
+  (* s0=cols, s1=vals, s4=x, s5=y, s2=seed, s3=acc *)
+  B.la b Reg.s0 cols;
+  B.la b Reg.s1 vals;
+  B.la b Reg.s4 x;
+  B.la b Reg.s5 y;
+  B.li b Reg.s2 (size + 91);
+  B.li b Reg.s3 0;
+
+  (* init matrix (random columns, small Q8.8 values) and x *)
+  B.li b Reg.t5 0;
+  B.li b Reg.t6 (nodes * nnz_per_row);
+  Gen.for_loop b ~counter:Reg.t5 ~bound:Reg.t6 (fun () ->
+      Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.t1;
+      B.emit b (Inst.Andi (Reg.t1, Reg.t1, nodes - 1));
+      B.emit b (Inst.Sll (Reg.t2, Reg.t5, 2));
+      B.emit b (Inst.Add (Reg.t3, Reg.s0, Reg.t2));
+      B.emit b (Inst.Sw (Reg.t1, Reg.t3, 0));
+      Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.t1;
+      B.emit b (Inst.Andi (Reg.t1, Reg.t1, 0xFF));
+      B.emit b (Inst.Add (Reg.t3, Reg.s1, Reg.t2));
+      B.emit b (Inst.Sw (Reg.t1, Reg.t3, 0)));
+  B.li b Reg.t5 0;
+  B.li b Reg.t6 nodes;
+  Gen.for_loop b ~counter:Reg.t5 ~bound:Reg.t6 (fun () ->
+      Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.t1;
+      B.emit b (Inst.Andi (Reg.t1, Reg.t1, 0x3FF));
+      B.emit b (Inst.Sll (Reg.t2, Reg.t5, 2));
+      B.emit b (Inst.Add (Reg.t2, Reg.s4, Reg.t2));
+      B.emit b (Inst.Sw (Reg.t1, Reg.t2, 0)));
+
+  (* time steps: y = A x (gather); then x <- (x + y>>8) / 2, fold y *)
+  B.li b Reg.s6 0;
+  B.li b Reg.s7 steps;
+  Gen.for_loop b ~counter:Reg.s6 ~bound:Reg.s7 (fun () ->
+      B.li b Reg.t8 0;  (* row *)
+      B.li b Reg.t9 nodes;
+      Gen.for_loop b ~counter:Reg.t8 ~bound:Reg.t9 (fun () ->
+          B.li b Reg.t7 0;  (* row sum *)
+          B.li b Reg.t5 0;
+          B.li b Reg.t6 nnz_per_row;
+          Gen.for_loop b ~counter:Reg.t5 ~bound:Reg.t6 (fun () ->
+              B.li b Reg.t0 nnz_per_row;
+              B.emit b (Inst.Mul (Reg.t0, Reg.t8, Reg.t0));
+              B.emit b (Inst.Add (Reg.t0, Reg.t0, Reg.t5));
+              B.emit b (Inst.Sll (Reg.t0, Reg.t0, 2));
+              B.emit b (Inst.Add (Reg.t1, Reg.s0, Reg.t0));
+              B.emit b (Inst.Lw (Reg.t1, Reg.t1, 0));   (* col *)
+              B.emit b (Inst.Sll (Reg.t1, Reg.t1, 2));
+              B.emit b (Inst.Add (Reg.t1, Reg.s4, Reg.t1));
+              B.emit b (Inst.Lw (Reg.t1, Reg.t1, 0));   (* x[col]: gather *)
+              B.emit b (Inst.Add (Reg.t2, Reg.s1, Reg.t0));
+              B.emit b (Inst.Lw (Reg.t2, Reg.t2, 0));   (* val *)
+              B.emit b (Inst.Mul (Reg.t1, Reg.t1, Reg.t2));
+              B.emit b (Inst.Add (Reg.t7, Reg.t7, Reg.t1)));
+          B.emit b (Inst.Srl (Reg.t7, Reg.t7, 8));
+          B.emit b (Inst.Sll (Reg.t0, Reg.t8, 2));
+          B.emit b (Inst.Add (Reg.t0, Reg.s5, Reg.t0));
+          B.emit b (Inst.Sw (Reg.t7, Reg.t0, 0)));
+      (* x <- (x + y) / 2; fold a sample of y *)
+      B.li b Reg.t8 0;
+      Gen.for_loop b ~counter:Reg.t8 ~bound:Reg.t9 (fun () ->
+          B.emit b (Inst.Sll (Reg.t0, Reg.t8, 2));
+          B.emit b (Inst.Add (Reg.t1, Reg.s4, Reg.t0));
+          B.emit b (Inst.Add (Reg.t2, Reg.s5, Reg.t0));
+          B.emit b (Inst.Lw (Reg.t3, Reg.t1, 0));
+          B.emit b (Inst.Lw (Reg.t4, Reg.t2, 0));
+          B.emit b (Inst.Add (Reg.t3, Reg.t3, Reg.t4));
+          B.emit b (Inst.Srl (Reg.t3, Reg.t3, 1));
+          B.emit b (Inst.Andi (Reg.t3, Reg.t3, 0xFFFF));
+          B.emit b (Inst.Sw (Reg.t3, Reg.t1, 0)));
+      B.emit b (Inst.Lw (Reg.t0, Reg.s5, 128));
+      B.emit b (Inst.Add (Reg.s3, Reg.s3, Reg.t0)));
+
+  Gen.checksum_reg b Reg.s3;
+  B.emit b (Inst.Lw (Reg.t0, Reg.s4, 64));
+  Gen.checksum_reg b Reg.t0;
+  Gen.exit0 b;
+  B.assemble b ~entry:main

@@ -1,0 +1,206 @@
+(* gap stand-in: a stack-based VM whose opcodes are implemented as
+   functions reached through a function-pointer table — every VM
+   instruction costs an indirect call and a return, the profile of
+   interpreters built around op handlers. The VM data is a permutation
+   composition workload (GAP is a group-theory system). *)
+
+module B = Sdt_isa.Builder
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+
+let name = "gap"
+let description = "stack VM with function-per-opcode dispatch"
+
+let n_ops = 12
+let perm_len = 8
+
+(* ops: 0 push-lcg, 1 add, 2 mul, 3 xor, 4 dup, 5 swap, 6 compose-perm,
+   7 emit, 8-11 unary mixers. Generated host-side with guaranteed stack
+   balance. *)
+let gen_bytecode ~len ~seed =
+  let s = ref seed in
+  let rand () =
+    s := ((!s * 1103515245) + 12345) land 0xFFFF_FFFF;
+    (!s lsr 16) land 0x7FFF
+  in
+  let ops = ref [] in
+  let depth = ref 0 in
+  for _ = 1 to len do
+    let candidates =
+      if !depth = 0 then [ 0 ]
+      else if !depth = 1 then [ 0; 4; 6; 7; 8; 9; 10; 11 ]
+      else [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ]
+    in
+    let op = List.nth candidates (rand () mod List.length candidates) in
+    (match op with
+    | 0 -> incr depth
+    | 1 | 2 | 3 | 7 -> decr depth
+    | 4 -> incr depth
+    | 5 | 6 | 8 | 9 | 10 | 11 -> ()
+    | _ -> assert false);
+    (* cap the stack depth to the VM's limit of 64 *)
+    if !depth > 60 then begin
+      ops := 7 :: !ops;
+      decr depth
+    end;
+    ops := op :: !ops
+  done;
+  (* drain the stack, then stop *)
+  let drain = List.init !depth (fun _ -> 7) in
+  List.rev !ops @ drain
+
+let build ~size =
+  let reps = max 2 (size / 160) in
+  let bytecode = gen_bytecode ~len:64 ~seed:(size + 5) in
+  let b = B.create () in
+  let code = B.dlabel ~name:"bytecode" b in
+  List.iter (B.word b) bytecode;
+  let code_len = List.length bytecode in
+  let vstack = B.dlabel ~name:"vstack" b in
+  B.space b (4 * 64);
+  B.align b 4;
+  let perm = B.dlabel ~name:"perm" b in
+  (* two permutations of 0..7; composed repeatedly by op 6 *)
+  List.iter (B.word b) [ 3; 1; 4; 0; 5; 2; 7; 6 ];
+  List.iter (B.word b) [ 0; 0; 0; 0; 0; 0; 0; 0 ];
+
+  let handlers =
+    List.init n_ops (fun i -> B.fresh_label ~name:(Printf.sprintf "vop%d" i) b)
+  in
+  let ftab = Gen.table_of_labels b ~name:"ftab" handlers in
+
+  let main = B.here ~name:"main" b in
+  (* s0=bytecode, s1=vpc index, s2=vstack base, s3=stack depth,
+     s4=seed, s5=ftab, s6=reps, s7=perm base *)
+  Gen.fill_table b ~table:ftab handlers;
+  B.la b Reg.s0 code;
+  B.la b Reg.s2 vstack;
+  B.la b Reg.s5 ftab;
+  B.la b Reg.s7 perm;
+  B.li b Reg.s4 (size + 99);
+  B.li b Reg.s6 reps;
+  (* identity into the second permutation *)
+  B.li b Reg.t0 0;
+  B.li b Reg.t1 perm_len;
+  Gen.for_loop b ~counter:Reg.t0 ~bound:Reg.t1 (fun () ->
+      B.emit b (Inst.Sll (Reg.t2, Reg.t0, 2));
+      B.emit b (Inst.Add (Reg.t2, Reg.s7, Reg.t2));
+      B.emit b (Inst.Sw (Reg.t0, Reg.t2, 32)));
+
+  let outer = B.fresh_label b in
+  let loop = B.fresh_label ~name:"vloop" b in
+  let finish = B.fresh_label b in
+  B.place b outer;
+  B.li b Reg.s1 0;
+  B.li b Reg.s3 0;
+  B.place b loop;
+  (* stop when vpc reaches the end of the bytecode *)
+  B.li b Reg.t0 code_len;
+  B.bge b Reg.s1 Reg.t0 finish;
+  B.emit b (Inst.Sll (Reg.t1, Reg.s1, 2));
+  B.emit b (Inst.Add (Reg.t1, Reg.s0, Reg.t1));
+  B.emit b (Inst.Lw (Reg.t1, Reg.t1, 0));
+  B.emit b (Inst.Sll (Reg.t1, Reg.t1, 2));
+  B.emit b (Inst.Add (Reg.t1, Reg.s5, Reg.t1));
+  B.emit b (Inst.Lw (Reg.t1, Reg.t1, 0));
+  B.emit b (Inst.Addi (Reg.s1, Reg.s1, 1));
+  B.emit b (Inst.Jalr (Reg.ra, Reg.t1));
+  B.j b loop;
+
+  B.place b finish;
+  B.emit b (Inst.Addi (Reg.s6, Reg.s6, -1));
+  B.bne b Reg.s6 Reg.zero outer;
+  (* checksum the composed permutation *)
+  B.li b Reg.t0 0;
+  B.li b Reg.t1 perm_len;
+  Gen.for_loop b ~counter:Reg.t0 ~bound:Reg.t1 (fun () ->
+      B.emit b (Inst.Sll (Reg.t2, Reg.t0, 2));
+      B.emit b (Inst.Add (Reg.t2, Reg.s7, Reg.t2));
+      B.emit b (Inst.Lw (Reg.t3, Reg.t2, 32));
+      Gen.checksum_reg b Reg.t3);
+  Gen.exit0 b;
+
+  (* --- op handlers; stack slot i at vstack + 4*i, depth in s3 --- *)
+  let top_addr dst =
+    (* dst := address of the top slot (depth-1) *)
+    B.emit b (Inst.Sll (dst, Reg.s3, 2));
+    B.emit b (Inst.Add (dst, Reg.s2, dst));
+    B.emit b (Inst.Addi (dst, dst, -4))
+  in
+  let h i body =
+    B.place b (List.nth handlers i);
+    body ();
+    B.ret b
+  in
+  (* push-lcg *)
+  h 0 (fun () ->
+      Gen.lcg_bits b ~seed:Reg.s4 ~tmp:Reg.t2 ~dst:Reg.t3;
+      B.emit b (Inst.Sll (Reg.t4, Reg.s3, 2));
+      B.emit b (Inst.Add (Reg.t4, Reg.s2, Reg.t4));
+      B.emit b (Inst.Sw (Reg.t3, Reg.t4, 0));
+      B.emit b (Inst.Addi (Reg.s3, Reg.s3, 1)));
+  let binop mk =
+    top_addr Reg.t4;
+    B.emit b (Inst.Lw (Reg.t5, Reg.t4, 0));
+    B.emit b (Inst.Lw (Reg.t6, Reg.t4, -4));
+    mk ();
+    B.emit b (Inst.Sw (Reg.t6, Reg.t4, -4));
+    B.emit b (Inst.Addi (Reg.s3, Reg.s3, -1))
+  in
+  h 1 (fun () -> binop (fun () -> B.emit b (Inst.Add (Reg.t6, Reg.t6, Reg.t5))));
+  h 2 (fun () ->
+      binop (fun () ->
+          B.emit b (Inst.Mul (Reg.t6, Reg.t6, Reg.t5));
+          B.emit b (Inst.Addi (Reg.t6, Reg.t6, 7))));
+  h 3 (fun () -> binop (fun () -> B.emit b (Inst.Xor (Reg.t6, Reg.t6, Reg.t5))));
+  (* dup *)
+  h 4 (fun () ->
+      top_addr Reg.t4;
+      B.emit b (Inst.Lw (Reg.t5, Reg.t4, 0));
+      B.emit b (Inst.Sw (Reg.t5, Reg.t4, 4));
+      B.emit b (Inst.Addi (Reg.s3, Reg.s3, 1)));
+  (* swap *)
+  h 5 (fun () ->
+      top_addr Reg.t4;
+      B.emit b (Inst.Lw (Reg.t5, Reg.t4, 0));
+      B.emit b (Inst.Lw (Reg.t6, Reg.t4, -4));
+      B.emit b (Inst.Sw (Reg.t5, Reg.t4, -4));
+      B.emit b (Inst.Sw (Reg.t6, Reg.t4, 0)));
+  (* compose-perm: perm2 <- perm1 ∘ perm2, salted by the stack top *)
+  h 6 (fun () ->
+      top_addr Reg.t4;
+      B.emit b (Inst.Lw (Reg.t5, Reg.t4, 0));
+      B.li b Reg.t0 0;
+      B.li b Reg.t1 perm_len;
+      Gen.for_loop b ~counter:Reg.t0 ~bound:Reg.t1 (fun () ->
+          B.emit b (Inst.Sll (Reg.t2, Reg.t0, 2));
+          B.emit b (Inst.Add (Reg.t2, Reg.s7, Reg.t2));
+          B.emit b (Inst.Lw (Reg.t3, Reg.t2, 32));   (* perm2[i] *)
+          B.emit b (Inst.Sll (Reg.t3, Reg.t3, 2));
+          B.emit b (Inst.Add (Reg.t3, Reg.s7, Reg.t3));
+          B.emit b (Inst.Lw (Reg.t3, Reg.t3, 0));    (* perm1[perm2[i]] *)
+          B.emit b (Inst.Sw (Reg.t3, Reg.t2, 32)));
+      (* salt the top so the value stream depends on compositions *)
+      B.emit b (Inst.Lw (Reg.t2, Reg.s7, 32));
+      B.emit b (Inst.Add (Reg.t5, Reg.t5, Reg.t2));
+      B.emit b (Inst.Sw (Reg.t5, Reg.t4, 0)));
+  (* unary mixers on the stack top *)
+  for i = 8 to n_ops - 1 do
+    h i (fun () ->
+        top_addr Reg.t4;
+        B.emit b (Inst.Lw (Reg.t5, Reg.t4, 0));
+        B.emit b (Inst.Xori (Reg.t5, Reg.t5, (i * 73) land 0xFFFF));
+        (if i land 1 = 0 then B.emit b (Inst.Sll (Reg.t6, Reg.t5, 2))
+         else B.emit b (Inst.Srl (Reg.t6, Reg.t5, 2)));
+        B.emit b (Inst.Add (Reg.t5, Reg.t5, Reg.t6));
+        B.emit b (Inst.Sw (Reg.t5, Reg.t4, 0)))
+  done;
+
+  (* emit: pop and checksum *)
+  h 7 (fun () ->
+      top_addr Reg.t4;
+      B.emit b (Inst.Lw (Reg.t5, Reg.t4, 0));
+      B.emit b (Inst.Addi (Reg.s3, Reg.s3, -1));
+      Gen.checksum_reg b Reg.t5);
+
+  B.assemble b ~entry:main

@@ -1,0 +1,114 @@
+(* gcc stand-in: a token-processing loop dispatching over a 16-way jump
+   table (the switch statements that dominate compiler front ends), with
+   two token kinds recursing into an expression parser. High
+   indirect-jump density with a wide target set, plus bursts of
+   call/return from the recursion. *)
+
+module B = Sdt_isa.Builder
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+
+let name = "gcc"
+let description = "64-way switch token dispatch + recursive descent"
+
+let n_tokens = 64
+
+let build ~size =
+  let tokens = max 32 (size / 8) in
+  let b = B.create () in
+  let handlers =
+    List.init n_tokens (fun i -> B.fresh_label ~name:(Printf.sprintf "tok%d" i) b)
+  in
+  let jtab = Gen.table_of_labels b ~name:"jtab" handlers in
+
+  let main = B.here ~name:"main" b in
+  let parse_expr = B.fresh_label ~name:"parse_expr" b in
+  let cont = B.fresh_label ~name:"cont" b in
+
+  (* s0=token counter, s1=#tokens, s2=seed, s3=acc, s5=jtab *)
+  Gen.fill_table b ~table:jtab handlers;
+  B.la b Reg.s5 jtab;
+  B.li b Reg.s0 0;
+  B.li b Reg.s1 tokens;
+  B.li b Reg.s2 (size + 1);
+  B.li b Reg.s3 0;
+
+  let loop = B.fresh_label ~name:"token_loop" b in
+  let out = B.fresh_label b in
+  B.place b loop;
+  B.bge b Reg.s0 Reg.s1 out;
+  Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.t1;
+  B.emit b (Inst.Andi (Reg.t2, Reg.t1, n_tokens - 1));
+  B.emit b (Inst.Sll (Reg.t2, Reg.t2, 2));
+  B.emit b (Inst.Add (Reg.t2, Reg.s5, Reg.t2));
+  B.emit b (Inst.Lw (Reg.t2, Reg.t2, 0));
+  B.jr b Reg.t2;
+  B.place b cont;
+  B.emit b (Inst.Addi (Reg.s0, Reg.s0, 1));
+  B.j b loop;
+  B.place b out;
+  Gen.checksum_reg b Reg.s3;
+  Gen.exit0 b;
+
+  (* token handlers; all rejoin at cont *)
+  let h i body =
+    B.place b (List.nth handlers i);
+    body ();
+    B.j b cont
+  in
+  for i = 0 to n_tokens - 1 do
+    match i with
+    | i when i mod 8 = 3 ->
+        (* nested expression: recurse to depth (bits & 7) *)
+        h i (fun () ->
+            B.emit b (Inst.Srl (Reg.a0, Reg.t1, 4));
+            B.emit b (Inst.Andi (Reg.a0, Reg.a0, 7));
+            B.jal b parse_expr;
+            B.emit b (Inst.Add (Reg.s3, Reg.s3, Reg.v0)))
+    | i when i mod 16 = 11 ->
+        h i (fun () ->
+            (* a "declaration": hash the token payload *)
+            B.emit b (Inst.Srl (Reg.t3, Reg.t1, 2));
+            B.li b Reg.t4 2654435761;
+            B.emit b (Inst.Mul (Reg.t3, Reg.t3, Reg.t4));
+            B.emit b (Inst.Srl (Reg.t3, Reg.t3, 20));
+            B.emit b (Inst.Add (Reg.s3, Reg.s3, Reg.t3)))
+    | _ ->
+        h i (fun () ->
+            B.emit b (Inst.Addi (Reg.t3, Reg.zero, (i * 13) + 1));
+            B.emit b (Inst.Xor (Reg.s3, Reg.s3, Reg.t3));
+            B.emit b (Inst.Sll (Reg.t3, Reg.s3, 1));
+            B.emit b (Inst.Srl (Reg.t4, Reg.s3, 31));
+            B.emit b (Inst.Or (Reg.s3, Reg.t3, Reg.t4)))
+  done;
+
+  (* v0 = parse_expr(a0): binary recursion over the depth, lots of
+     returns in a burst *)
+  B.place b parse_expr;
+  let base = B.fresh_label b in
+  B.emit b (Inst.Slti (Reg.t5, Reg.a0, 1));
+  B.bne b Reg.t5 Reg.zero base;
+  B.push b Reg.ra;
+  B.push b Reg.a0;
+  B.emit b (Inst.Addi (Reg.a0, Reg.a0, -1));
+  B.jal b parse_expr;
+  B.pop b Reg.a0;
+  B.push b Reg.v0;
+  B.emit b (Inst.Addi (Reg.a0, Reg.a0, -2));
+  let skip_second = B.fresh_label b in
+  let second_done = B.fresh_label b in
+  B.blt b Reg.a0 Reg.zero skip_second;
+  B.jal b parse_expr;
+  B.j b second_done;
+  B.place b skip_second;
+  B.li b Reg.v0 1;
+  B.place b second_done;
+  B.pop b Reg.t6;
+  B.emit b (Inst.Add (Reg.v0, Reg.v0, Reg.t6));
+  B.pop b Reg.ra;
+  B.ret b;
+  B.place b base;
+  B.li b Reg.v0 1;
+  B.ret b;
+
+  B.assemble b ~entry:main

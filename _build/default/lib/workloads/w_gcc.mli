@@ -1,0 +1,9 @@
+(** The gcc stand-in; see the implementation header for the workload's
+    structure and its indirect-branch profile. *)
+
+val name : string
+val description : string
+
+val build : size:int -> Sdt_isa.Program.t
+(** Build the program at a given size (roughly proportional to dynamic
+    instruction count); see {!Suite} for the calibrated sizes. *)

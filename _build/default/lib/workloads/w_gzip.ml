@@ -1,0 +1,160 @@
+(* gzip stand-in: run-length compression over a run-prone pseudo-random
+   buffer (helper call per emitted pair), followed by an LZ77-style
+   hash-chain match pass over the compressed stream — the deflate inner
+   loop's profile: hash computation, head-table probes, and match
+   extension loops. Low indirect-branch density throughout. *)
+
+module B = Sdt_isa.Builder
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+
+let name = "gzip"
+let description = "RLE + LZ77 hash-chain matching over a run-prone buffer"
+let hash_buckets = 64
+
+let build ~size =
+  let n = max 64 size in
+  let b = B.create () in
+  let src = B.dlabel ~name:"src" b in
+  B.space b n;
+  B.align b 4;
+  let dst = B.dlabel ~name:"dst" b in
+  B.space b (2 * n);
+  B.align b 4;
+  let heads = B.dlabel ~name:"heads" b in
+  B.space b (4 * hash_buckets);
+
+  let main = B.here ~name:"main" b in
+  let emit_pair = B.fresh_label ~name:"emit_pair" b in
+
+  (* s0=i, s1=n, s2=in-guest checksum, s3=output index, s4=src, s5=dst,
+     s6=lcg seed *)
+  B.la b Reg.s4 src;
+  B.la b Reg.s5 dst;
+  B.li b Reg.s6 42;
+  B.li b Reg.s1 n;
+  B.li b Reg.s2 0;
+  B.li b Reg.s3 0;
+
+  (* fill src with a 4-symbol alphabet (natural runs) *)
+  B.li b Reg.s0 0;
+  Gen.for_loop b ~counter:Reg.s0 ~bound:Reg.s1 (fun () ->
+      Gen.lcg_bits b ~seed:Reg.s6 ~tmp:Reg.t0 ~dst:Reg.t1;
+      B.emit b (Inst.Srl (Reg.t1, Reg.t1, 3));
+      B.emit b (Inst.Andi (Reg.t1, Reg.t1, 3));
+      B.emit b (Inst.Add (Reg.t2, Reg.s4, Reg.s0));
+      B.emit b (Inst.Sb (Reg.t1, Reg.t2, 0)));
+
+  (* RLE scan: i in s0, current char t3, run length t4 *)
+  B.li b Reg.s0 0;
+  let scan = B.fresh_label b in
+  let scan_done = B.fresh_label b in
+  let run = B.fresh_label b in
+  let run_done = B.fresh_label b in
+  B.place b scan;
+  B.bge b Reg.s0 Reg.s1 scan_done;
+  B.emit b (Inst.Add (Reg.t2, Reg.s4, Reg.s0));
+  B.emit b (Inst.Lbu (Reg.t3, Reg.t2, 0));
+  B.li b Reg.t4 1;
+  B.place b run;
+  B.emit b (Inst.Add (Reg.t5, Reg.s0, Reg.t4));
+  B.bge b Reg.t5 Reg.s1 run_done;
+  B.emit b (Inst.Add (Reg.t6, Reg.s4, Reg.t5));
+  B.emit b (Inst.Lbu (Reg.t6, Reg.t6, 0));
+  B.bne b Reg.t6 Reg.t3 run_done;
+  B.emit b (Inst.Slti (Reg.t7, Reg.t4, 255));
+  B.beq b Reg.t7 Reg.zero run_done;
+  B.emit b (Inst.Addi (Reg.t4, Reg.t4, 1));
+  B.j b run;
+  B.place b run_done;
+  B.mv b Reg.a0 Reg.t3;
+  B.mv b Reg.a1 Reg.t4;
+  B.emit b (Inst.Add (Reg.s0, Reg.s0, Reg.t4));
+  B.jal b emit_pair;
+  B.j b scan;
+  B.place b scan_done;
+
+  (* checksum the compressed stream in-guest, then hand it over *)
+  B.li b Reg.t0 0;
+  let ck = B.fresh_label b in
+  let ck_done = B.fresh_label b in
+  B.place b ck;
+  B.bge b Reg.t0 Reg.s3 ck_done;
+  B.emit b (Inst.Add (Reg.t1, Reg.s5, Reg.t0));
+  B.emit b (Inst.Lbu (Reg.t1, Reg.t1, 0));
+  B.li b Reg.t2 31;
+  B.emit b (Inst.Mul (Reg.s2, Reg.s2, Reg.t2));
+  B.emit b (Inst.Add (Reg.s2, Reg.s2, Reg.t1));
+  B.emit b (Inst.Addi (Reg.t0, Reg.t0, 1));
+  B.j b ck;
+  B.place b ck_done;
+  Gen.checksum_reg b Reg.s2;
+  Gen.checksum_reg b Reg.s3;
+
+  (* LZ77-ish pass over the compressed stream: hash 3-byte windows into
+     a head table (storing position+1 so 0 means empty), and when the
+     bucket already holds a position, extend the match byte by byte.
+     s7 accumulates total match length. *)
+  B.la b Reg.s6 heads;
+  B.li b Reg.s7 0;
+  B.li b Reg.t0 0;  (* p *)
+  B.emit b (Inst.Addi (Reg.t9, Reg.s3, -3));  (* limit = out - 3 *)
+  let lz = B.fresh_label b in
+  let lz_done = B.fresh_label b in
+  let no_match = B.fresh_label b in
+  B.place b lz;
+  B.bge b Reg.t0 Reg.t9 lz_done;
+  (* h = (b0 ^ b1<<2 ^ b2<<4) & 63 *)
+  B.emit b (Inst.Add (Reg.t1, Reg.s5, Reg.t0));
+  B.emit b (Inst.Lbu (Reg.t2, Reg.t1, 0));
+  B.emit b (Inst.Lbu (Reg.t3, Reg.t1, 1));
+  B.emit b (Inst.Sll (Reg.t3, Reg.t3, 2));
+  B.emit b (Inst.Xor (Reg.t2, Reg.t2, Reg.t3));
+  B.emit b (Inst.Lbu (Reg.t3, Reg.t1, 2));
+  B.emit b (Inst.Sll (Reg.t3, Reg.t3, 4));
+  B.emit b (Inst.Xor (Reg.t2, Reg.t2, Reg.t3));
+  B.emit b (Inst.Andi (Reg.t2, Reg.t2, hash_buckets - 1));
+  (* probe and update the head table *)
+  B.emit b (Inst.Sll (Reg.t2, Reg.t2, 2));
+  B.emit b (Inst.Add (Reg.t2, Reg.s6, Reg.t2));
+  B.emit b (Inst.Lw (Reg.t3, Reg.t2, 0));     (* prev + 1, or 0 *)
+  B.emit b (Inst.Addi (Reg.t4, Reg.t0, 1));
+  B.emit b (Inst.Sw (Reg.t4, Reg.t2, 0));
+  B.beq b Reg.t3 Reg.zero no_match;
+  B.emit b (Inst.Addi (Reg.t3, Reg.t3, -1));  (* prev position *)
+  (* extend the match while bytes agree and p+len < out *)
+  B.li b Reg.t4 0;  (* len *)
+  let extend = B.fresh_label b in
+  let extended = B.fresh_label b in
+  B.place b extend;
+  (* deflate-style cap on match length *)
+  B.emit b (Inst.Slti (Reg.t5, Reg.t4, 16));
+  B.beq b Reg.t5 Reg.zero extended;
+  B.emit b (Inst.Add (Reg.t5, Reg.t0, Reg.t4));
+  B.bge b Reg.t5 Reg.s3 extended;
+  B.emit b (Inst.Add (Reg.t5, Reg.t1, Reg.t4));
+  B.emit b (Inst.Lbu (Reg.t5, Reg.t5, 0));
+  B.emit b (Inst.Add (Reg.t6, Reg.s5, Reg.t3));
+  B.emit b (Inst.Add (Reg.t6, Reg.t6, Reg.t4));
+  B.emit b (Inst.Lbu (Reg.t6, Reg.t6, 0));
+  B.bne b Reg.t5 Reg.t6 extended;
+  B.emit b (Inst.Addi (Reg.t4, Reg.t4, 1));
+  B.j b extend;
+  B.place b extended;
+  B.emit b (Inst.Add (Reg.s7, Reg.s7, Reg.t4));
+  B.place b no_match;
+  B.emit b (Inst.Addi (Reg.t0, Reg.t0, 1));
+  B.j b lz;
+  B.place b lz_done;
+  Gen.checksum_reg b Reg.s7;
+  Gen.exit0 b;
+
+  (* emit_pair (a0 = symbol, a1 = run length): append two bytes *)
+  B.place b emit_pair;
+  B.emit b (Inst.Add (Reg.t0, Reg.s5, Reg.s3));
+  B.emit b (Inst.Sb (Reg.a0, Reg.t0, 0));
+  B.emit b (Inst.Sb (Reg.a1, Reg.t0, 1));
+  B.emit b (Inst.Addi (Reg.s3, Reg.s3, 2));
+  B.ret b;
+
+  B.assemble b ~entry:main

@@ -1,0 +1,90 @@
+(* mcf stand-in: network-simplex-flavoured pointer chasing over a
+   randomly linked node array. Memory-bound, branchy, and almost free of
+   indirect branches — the benchmark the paper shows barely suffers
+   under any IB mechanism. *)
+
+module B = Sdt_isa.Builder
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+
+let name = "mcf"
+let description = "pointer chasing over a linked node graph"
+
+(* node: [next_offset, cost, potential, flow] = 16 bytes *)
+let build ~size =
+  let nodes = 1024 in
+  let steps = max 256 (size * 4) in
+  let b = B.create () in
+  let arr = B.dlabel ~name:"nodes" b in
+  B.space b (16 * nodes);
+  B.align b 4;
+
+  let main = B.here ~name:"main" b in
+  (* s0=node base, s1=#nodes mask source, s2=seed, s3=acc, s4=cur addr *)
+  B.la b Reg.s0 arr;
+  B.li b Reg.s2 (7 + size);
+  B.li b Reg.s3 0;
+
+  (* init: next = 16 * (lcg mod nodes); cost = lcg & 0xFF *)
+  B.li b Reg.t5 0;
+  B.li b Reg.t6 nodes;
+  Gen.for_loop b ~counter:Reg.t5 ~bound:Reg.t6 (fun () ->
+      Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.t1;
+      B.emit b (Inst.Andi (Reg.t1, Reg.t1, nodes - 1));
+      B.emit b (Inst.Sll (Reg.t1, Reg.t1, 4));
+      B.emit b (Inst.Sll (Reg.t2, Reg.t5, 4));
+      B.emit b (Inst.Add (Reg.t2, Reg.t2, Reg.s0));
+      B.emit b (Inst.Sw (Reg.t1, Reg.t2, 0));
+      Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.t3;
+      B.emit b (Inst.Andi (Reg.t3, Reg.t3, 0xFF));
+      B.emit b (Inst.Sw (Reg.t3, Reg.t2, 4));
+      B.emit b (Inst.Sw (Reg.zero, Reg.t2, 8));
+      B.emit b (Inst.Sw (Reg.zero, Reg.t2, 12)));
+
+  (* chase: potential updates along the next chain; every 256th step a
+     helper call rebalances, so the benchmark has the trickle of
+     returns real mcf shows (~0.5 per 1000 instructions) *)
+  let relax = B.fresh_label ~name:"relax" b in
+  let over = B.fresh_label b in
+  B.j b over;
+  B.place b relax;
+  B.emit b (Inst.Lw (Reg.t0, Reg.s4, 8));
+  B.emit b (Inst.Sra (Reg.t0, Reg.t0, 1));
+  B.emit b (Inst.Sw (Reg.t0, Reg.s4, 8));
+  B.ret b;
+  B.place b over;
+  B.mv b Reg.s4 Reg.s0;
+  B.li b Reg.t5 0;
+  B.li b Reg.t6 steps;
+  Gen.for_loop b ~counter:Reg.t5 ~bound:Reg.t6 (fun () ->
+      let no_call = B.fresh_label b in
+      B.emit b (Inst.Andi (Reg.t0, Reg.t5, 255));
+      B.bne b Reg.t0 Reg.zero no_call;
+      B.jal b relax;
+      B.place b no_call;
+      B.emit b (Inst.Lw (Reg.t0, Reg.s4, 4));  (* cost *)
+      B.emit b (Inst.Lw (Reg.t1, Reg.s4, 8));  (* potential *)
+      B.emit b (Inst.Sra (Reg.t2, Reg.t1, 3));
+      B.emit b (Inst.Sub (Reg.t2, Reg.t0, Reg.t2));
+      B.emit b (Inst.Add (Reg.t1, Reg.t1, Reg.t2));
+      (* clamp: if potential > 4095 then halve and bump flow *)
+      let no_clamp = B.fresh_label b in
+      B.emit b (Inst.Slti (Reg.t3, Reg.t1, 4096));
+      B.bne b Reg.t3 Reg.zero no_clamp;
+      B.emit b (Inst.Sra (Reg.t1, Reg.t1, 1));
+      B.emit b (Inst.Lw (Reg.t4, Reg.s4, 12));
+      B.emit b (Inst.Addi (Reg.t4, Reg.t4, 1));
+      B.emit b (Inst.Sw (Reg.t4, Reg.s4, 12));
+      B.place b no_clamp;
+      B.emit b (Inst.Sw (Reg.t1, Reg.s4, 8));
+      B.emit b (Inst.Add (Reg.s3, Reg.s3, Reg.t1));
+      (* follow next *)
+      B.emit b (Inst.Lw (Reg.t0, Reg.s4, 0));
+      B.emit b (Inst.Add (Reg.s4, Reg.s0, Reg.t0)));
+
+  Gen.checksum_reg b Reg.s3;
+  (* fold in total flow of node 0 *)
+  B.emit b (Inst.Lw (Reg.t0, Reg.s0, 12));
+  Gen.checksum_reg b Reg.t0;
+  Gen.exit0 b;
+  B.assemble b ~entry:main

@@ -1,0 +1,115 @@
+(* parser stand-in: dictionary hashing plus recursive descent.
+   Chained hash-table inserts and lookups (pointer chasing) interleave
+   with a recursive "sentence" parser — a return-dominated profile. *)
+
+module B = Sdt_isa.Builder
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+
+let name = "parser"
+let description = "hash-table dictionary + recursive descent parsing"
+
+let buckets = 128
+let max_entries = 4096
+
+let build ~size =
+  let words = max 32 (min max_entries (size / 16)) in
+  let b = B.create () in
+  let table = B.dlabel ~name:"buckets" b in
+  B.space b (4 * buckets);
+  (* entry pool: [key, next_addr] *)
+  let pool = B.dlabel ~name:"pool" b in
+  B.space b (8 * max_entries);
+  B.align b 4;
+
+  let main = B.here ~name:"main" b in
+  let parse = B.fresh_label ~name:"parse" b in
+  (* s0=table, s1=pool, s2=seed, s3=acc, s4=next free entry index,
+     s5=#words *)
+  B.la b Reg.s0 table;
+  B.la b Reg.s1 pool;
+  B.li b Reg.s2 (size + 31);
+  B.li b Reg.s3 0;
+  B.li b Reg.s4 0;
+  B.li b Reg.s5 words;
+
+  (* insert phase: key = lcg bits; bucket = key & 127; push-front *)
+  B.li b Reg.s6 0;
+  Gen.for_loop b ~counter:Reg.s6 ~bound:Reg.s5 (fun () ->
+      Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.t1;
+      B.emit b (Inst.Andi (Reg.t2, Reg.t1, buckets - 1));
+      B.emit b (Inst.Sll (Reg.t2, Reg.t2, 2));
+      B.emit b (Inst.Add (Reg.t2, Reg.s0, Reg.t2));  (* bucket addr *)
+      B.emit b (Inst.Lw (Reg.t3, Reg.t2, 0));        (* old head *)
+      B.emit b (Inst.Sll (Reg.t4, Reg.s4, 3));
+      B.emit b (Inst.Add (Reg.t4, Reg.s1, Reg.t4));  (* new entry addr *)
+      B.emit b (Inst.Sw (Reg.t1, Reg.t4, 0));
+      B.emit b (Inst.Sw (Reg.t3, Reg.t4, 4));
+      B.emit b (Inst.Sw (Reg.t4, Reg.t2, 0));
+      B.emit b (Inst.Addi (Reg.s4, Reg.s4, 1)));
+
+  (* lookup + parse phase: probe 2x words keys, walk chains; every hit
+     recurses into parse(key & 15) *)
+  B.li b Reg.s6 0;
+  B.emit b (Inst.Sll (Reg.s7, Reg.s5, 1));
+  Gen.for_loop b ~counter:Reg.s6 ~bound:Reg.s7 (fun () ->
+      Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.t1;
+      B.emit b (Inst.Andi (Reg.t2, Reg.t1, buckets - 1));
+      B.emit b (Inst.Sll (Reg.t2, Reg.t2, 2));
+      B.emit b (Inst.Add (Reg.t2, Reg.s0, Reg.t2));
+      B.emit b (Inst.Lw (Reg.t3, Reg.t2, 0));
+      (* walk the chain looking for the key *)
+      let walk = B.fresh_label b in
+      let miss = B.fresh_label b in
+      let hit = B.fresh_label b in
+      let next = B.fresh_label b in
+      B.place b walk;
+      B.beq b Reg.t3 Reg.zero miss;
+      B.emit b (Inst.Lw (Reg.t4, Reg.t3, 0));
+      B.beq b Reg.t4 Reg.t1 hit;
+      B.emit b (Inst.Lw (Reg.t3, Reg.t3, 4));
+      B.j b walk;
+      B.place b hit;
+      B.emit b (Inst.Andi (Reg.a0, Reg.t1, 15));
+      B.jal b parse;
+      B.emit b (Inst.Add (Reg.s3, Reg.s3, Reg.v0));
+      B.j b next;
+      B.place b miss;
+      B.emit b (Inst.Addi (Reg.s3, Reg.s3, 1));
+      B.place b next);
+
+  Gen.checksum_reg b Reg.s3;
+  Gen.checksum_reg b Reg.s4;
+  Gen.exit0 b;
+
+  (* v0 = parse(a0): a skewed recursion — parse(n) calls parse(n-1) and,
+     when n is even, parse(n/2); heavy on returns *)
+  B.place b parse;
+  let base = B.fresh_label b in
+  B.emit b (Inst.Slti (Reg.t5, Reg.a0, 1));
+  B.bne b Reg.t5 Reg.zero base;
+  B.push b Reg.ra;
+  B.push b Reg.a0;
+  B.emit b (Inst.Addi (Reg.a0, Reg.a0, -1));
+  B.jal b parse;
+  B.pop b Reg.a0;
+  B.push b Reg.v0;
+  let odd = B.fresh_label b in
+  let join = B.fresh_label b in
+  B.emit b (Inst.Andi (Reg.t5, Reg.a0, 1));
+  B.bne b Reg.t5 Reg.zero odd;
+  B.emit b (Inst.Srl (Reg.a0, Reg.a0, 1));
+  B.jal b parse;
+  B.j b join;
+  B.place b odd;
+  B.li b Reg.v0 1;
+  B.place b join;
+  B.pop b Reg.t6;
+  B.emit b (Inst.Add (Reg.v0, Reg.v0, Reg.t6));
+  B.pop b Reg.ra;
+  B.ret b;
+  B.place b base;
+  B.li b Reg.v0 1;
+  B.ret b;
+
+  B.assemble b ~entry:main

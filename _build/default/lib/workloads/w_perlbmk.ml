@@ -1,0 +1,132 @@
+(* perlbmk stand-in: a register-based bytecode interpreter whose hot
+   loop dispatches through a jump table — the classic megamorphic
+   indirect jump that dominates interpreter profiles and that the
+   paper's IBTC/sieve sweeps are most sensitive to.
+
+   The bytecode is generated host-side (deterministically, from the size
+   parameter), is straight-line except for a bounded forward skip, and
+   ends with an END opcode that decrements an outer repetition counter.
+   Thirty-two opcodes over four virtual registers held in $s2..$s5. *)
+
+module B = Sdt_isa.Builder
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+
+let name = "perlbmk"
+let description = "register VM interpreter, jump-table dispatch"
+
+let n_ops = 32
+
+(* host-side bytecode generator: word = opcode | (operand << 4) *)
+let gen_bytecode ~len ~seed =
+  let s = ref seed in
+  let rand () =
+    s := ((!s * 1103515245) + 12345) land 0xFFFF_FFFF;
+    (!s lsr 16) land 0x7FFF
+  in
+  List.init len (fun i ->
+      if i = len - 1 then n_ops - 1 (* END *)
+      else
+        (* never END early; never SKIP (11) right before END, which
+           would jump past it into unmapped bytecode *)
+        let op =
+          if i = len - 2 then rand () mod 11
+          else
+            let op = rand () mod (n_ops - 1) in
+            if op = 11 && rand () mod 2 = 0 then 12 else op
+        in
+        let operand = rand () land 0xFF in
+        op lor (operand lsl 5))
+
+let build ~size =
+  let prog_len = 160 in
+  let reps = max 4 (size / 24) in
+  let b = B.create () in
+  let code = B.dlabel ~name:"bytecode" b in
+  List.iter (B.word b) (gen_bytecode ~len:prog_len ~seed:(size + 17));
+  let handlers = List.init n_ops (fun i -> B.fresh_label ~name:(Printf.sprintf "op%d" i) b) in
+  let jtab = Gen.table_of_labels b ~name:"jtab" handlers in
+
+  let main = B.here ~name:"main" b in
+  (* s0=bytecode base, s1=vpc (byte offset), s2..s5 = vm registers,
+     s6=outer reps left, s7=jtab base; t7 = current operand *)
+  Gen.fill_table b ~table:jtab handlers;
+  B.la b Reg.s0 code;
+  B.la b Reg.s7 jtab;
+  B.li b Reg.s1 0;
+  B.li b Reg.s2 1;
+  B.li b Reg.s3 2;
+  B.li b Reg.s4 3;
+  B.li b Reg.s5 5;
+  B.li b Reg.s6 reps;
+
+  let loop = B.fresh_label ~name:"dispatch" b in
+  let finish = B.fresh_label b in
+  B.place b loop;
+  B.emit b (Inst.Add (Reg.t0, Reg.s0, Reg.s1));
+  B.emit b (Inst.Lw (Reg.t0, Reg.t0, 0));
+  B.emit b (Inst.Andi (Reg.t1, Reg.t0, n_ops - 1));
+  B.emit b (Inst.Srl (Reg.t7, Reg.t0, 5));
+  B.emit b (Inst.Sll (Reg.t1, Reg.t1, 2));
+  B.emit b (Inst.Add (Reg.t1, Reg.s7, Reg.t1));
+  B.emit b (Inst.Lw (Reg.t1, Reg.t1, 0));
+  B.emit b (Inst.Addi (Reg.s1, Reg.s1, 4));
+  B.jr b Reg.t1;
+
+  (* handlers: each ends by jumping back to the dispatch loop *)
+  let h i body =
+    B.place b (List.nth handlers i);
+    body ();
+    B.j b loop
+  in
+  h 0 (fun () -> B.emit b (Inst.Add (Reg.s2, Reg.s2, Reg.s3)));
+  h 1 (fun () -> B.emit b (Inst.Sub (Reg.s3, Reg.s3, Reg.s4)));
+  h 2 (fun () -> B.emit b (Inst.Xor (Reg.s4, Reg.s4, Reg.s5)));
+  h 3 (fun () -> B.emit b (Inst.Add (Reg.s5, Reg.s5, Reg.t7)));
+  h 4 (fun () -> B.emit b (Inst.Sll (Reg.s2, Reg.s2, 1)));
+  h 5 (fun () -> B.emit b (Inst.Srl (Reg.s3, Reg.s3, 1)));
+  h 6 (fun () ->
+      B.emit b (Inst.Mul (Reg.s4, Reg.s4, Reg.s3));
+      B.emit b (Inst.Addi (Reg.s4, Reg.s4, 1)));
+  h 7 (fun () -> B.emit b (Inst.Or (Reg.s5, Reg.s5, Reg.s2)));
+  h 8 (fun () -> B.mv b Reg.s2 Reg.t7);
+  h 9 (fun () -> B.emit b (Inst.Add (Reg.s3, Reg.s2, Reg.s5)));
+  h 10 (fun () ->
+      (* conditional: if s2 odd then tweak s4 *)
+      let even = B.fresh_label b in
+      B.emit b (Inst.Andi (Reg.t2, Reg.s2, 1));
+      B.beq b Reg.t2 Reg.zero even;
+      B.emit b (Inst.Xor (Reg.s4, Reg.s4, Reg.t7));
+      B.place b even);
+  h 11 (fun () ->
+      (* SKIP: advance vpc by one extra instruction *)
+      B.emit b (Inst.Addi (Reg.s1, Reg.s1, 4)));
+  h 12 (fun () -> B.emit b (Inst.Nor (Reg.s5, Reg.s5, Reg.s3)));
+  h 13 (fun () ->
+      B.emit b (Inst.Slt (Reg.t2, Reg.s3, Reg.s4));
+      B.emit b (Inst.Add (Reg.s2, Reg.s2, Reg.t2)));
+  h 14 (fun () -> B.emit b (Inst.Sub (Reg.s4, Reg.zero, Reg.s4)));
+  (* ops 15..30: formulaic mixers over the VM registers *)
+  for i = 15 to n_ops - 2 do
+    let vr = [| Reg.s2; Reg.s3; Reg.s4; Reg.s5 |] in
+    let a = vr.(i land 3) and b' = vr.((i lsr 2) land 3) in
+    h i (fun () ->
+        B.emit b (Inst.Xori (Reg.t2, a, (i * 41) land 0xFFFF));
+        B.emit b (Inst.Add (a, Reg.t2, b'));
+        if i land 1 = 0 then B.emit b (Inst.Srl (a, a, 1))
+        else B.emit b (Inst.Sll (a, a, 1)))
+  done;
+  (* END: fold state, restart or finish *)
+  B.place b (List.nth handlers (n_ops - 1));
+  B.emit b (Inst.Xor (Reg.t2, Reg.s2, Reg.s3));
+  B.emit b (Inst.Xor (Reg.t2, Reg.t2, Reg.s4));
+  B.emit b (Inst.Xor (Reg.t2, Reg.t2, Reg.s5));
+  Gen.checksum_reg b Reg.t2;
+  B.emit b (Inst.Addi (Reg.s6, Reg.s6, -1));
+  B.li b Reg.s1 0;
+  B.bne b Reg.s6 Reg.zero loop;
+  B.j b finish;
+
+  B.place b finish;
+  Gen.exit0 b;
+  B.assemble b ~entry:main

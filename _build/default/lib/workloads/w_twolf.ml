@@ -1,0 +1,159 @@
+(* twolf stand-in: standard-cell place/route moves. A 16-way move-type
+   switch (jump table) drives small grid updates, and every few moves a
+   window-evaluation function runs — a mixed indirect-jump plus
+   call/return profile between gcc and vpr. *)
+
+module B = Sdt_isa.Builder
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+
+let name = "twolf"
+let description = "16-way move dispatch over a cell grid + window eval calls"
+
+let cells = 512
+let n_moves = 16
+
+let build ~size =
+  let iters = max 16 (size / 32) in
+  let b = B.create () in
+  let grid = B.dlabel ~name:"grid" b in
+  B.space b (4 * cells);
+  B.align b 4;
+  let handlers =
+    List.init n_moves (fun i -> B.fresh_label ~name:(Printf.sprintf "mv%d" i) b)
+  in
+  let mtab = Gen.table_of_labels b ~name:"mtab" handlers in
+
+  let main = B.here ~name:"main" b in
+  let eval_window = B.fresh_label ~name:"eval_window" b in
+  let cont = B.fresh_label b in
+
+  (* s0=grid, s1=iters, s2=seed, s3=acc, s5=mtab, s6=i, s7=cell idx *)
+  Gen.fill_table b ~table:mtab handlers;
+  B.la b Reg.s0 grid;
+  B.la b Reg.s5 mtab;
+  B.li b Reg.s1 iters;
+  B.li b Reg.s2 (size + 73);
+  B.li b Reg.s3 0;
+
+  (* init grid *)
+  B.li b Reg.s6 0;
+  B.li b Reg.t6 cells;
+  Gen.for_loop b ~counter:Reg.s6 ~bound:Reg.t6 (fun () ->
+      Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.t1;
+      B.emit b (Inst.Sll (Reg.t2, Reg.s6, 2));
+      B.emit b (Inst.Add (Reg.t2, Reg.s0, Reg.t2));
+      B.emit b (Inst.Sw (Reg.t1, Reg.t2, 0)));
+
+  (* move loop *)
+  B.li b Reg.s6 0;
+  let loop = B.fresh_label b in
+  let out = B.fresh_label b in
+  B.place b loop;
+  B.bge b Reg.s6 Reg.s1 out;
+  Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.t1;
+  (* s7 = interior cell index *)
+  B.emit b (Inst.Andi (Reg.s7, Reg.t1, cells - 8));
+  B.emit b (Inst.Addi (Reg.s7, Reg.s7, 2));
+  (* move type *)
+  B.emit b (Inst.Srl (Reg.t2, Reg.t1, 8));
+  B.emit b (Inst.Andi (Reg.t2, Reg.t2, n_moves - 1));
+  B.emit b (Inst.Sll (Reg.t2, Reg.t2, 2));
+  B.emit b (Inst.Add (Reg.t2, Reg.s5, Reg.t2));
+  B.emit b (Inst.Lw (Reg.t2, Reg.t2, 0));
+  B.jr b Reg.t2;
+  B.place b cont;
+  (* every 4th move: evaluate a window *)
+  let no_eval = B.fresh_label b in
+  B.emit b (Inst.Andi (Reg.t3, Reg.s6, 3));
+  B.bne b Reg.t3 Reg.zero no_eval;
+  B.mv b Reg.a0 Reg.s7;
+  B.jal b eval_window;
+  B.emit b (Inst.Add (Reg.s3, Reg.s3, Reg.v0));
+  B.place b no_eval;
+  B.emit b (Inst.Addi (Reg.s6, Reg.s6, 1));
+  B.j b loop;
+  B.place b out;
+  Gen.checksum_reg b Reg.s3;
+  B.emit b (Inst.Lw (Reg.t0, Reg.s0, 64));
+  Gen.checksum_reg b Reg.t0;
+  Gen.exit0 b;
+
+  (* move handlers: operate on grid[s7]; rejoin at cont *)
+  let cell_addr dst =
+    B.emit b (Inst.Sll (dst, Reg.s7, 2));
+    B.emit b (Inst.Add (dst, Reg.s0, dst))
+  in
+  let h i body =
+    B.place b (List.nth handlers i);
+    cell_addr Reg.t4;
+    body ();
+    B.j b cont
+  in
+  h 0 (fun () ->
+      B.emit b (Inst.Lw (Reg.t5, Reg.t4, 0));
+      B.emit b (Inst.Addi (Reg.t5, Reg.t5, 5));
+      B.emit b (Inst.Sw (Reg.t5, Reg.t4, 0)));
+  h 1 (fun () ->
+      (* swap with right neighbour *)
+      B.emit b (Inst.Lw (Reg.t5, Reg.t4, 0));
+      B.emit b (Inst.Lw (Reg.t6, Reg.t4, 4));
+      B.emit b (Inst.Sw (Reg.t6, Reg.t4, 0));
+      B.emit b (Inst.Sw (Reg.t5, Reg.t4, 4)));
+  h 2 (fun () ->
+      B.emit b (Inst.Lw (Reg.t5, Reg.t4, -4));
+      B.emit b (Inst.Lw (Reg.t6, Reg.t4, 4));
+      B.emit b (Inst.Add (Reg.t5, Reg.t5, Reg.t6));
+      B.emit b (Inst.Srl (Reg.t5, Reg.t5, 1));
+      B.emit b (Inst.Sw (Reg.t5, Reg.t4, 0)));
+  h 3 (fun () ->
+      B.emit b (Inst.Lw (Reg.t5, Reg.t4, 0));
+      B.emit b (Inst.Xori (Reg.t5, Reg.t5, 0x249));
+      B.emit b (Inst.Sw (Reg.t5, Reg.t4, 0)));
+  h 4 (fun () ->
+      B.emit b (Inst.Lw (Reg.t5, Reg.t4, 0));
+      B.emit b (Inst.Sll (Reg.t6, Reg.t5, 3));
+      B.emit b (Inst.Xor (Reg.t5, Reg.t5, Reg.t6));
+      B.emit b (Inst.Sw (Reg.t5, Reg.t4, 0)));
+  h 5 (fun () ->
+      (* rotate three cells *)
+      B.emit b (Inst.Lw (Reg.t5, Reg.t4, -4));
+      B.emit b (Inst.Lw (Reg.t6, Reg.t4, 0));
+      B.emit b (Inst.Lw (Reg.t7, Reg.t4, 4));
+      B.emit b (Inst.Sw (Reg.t7, Reg.t4, -4));
+      B.emit b (Inst.Sw (Reg.t5, Reg.t4, 0));
+      B.emit b (Inst.Sw (Reg.t6, Reg.t4, 4)));
+  h 6 (fun () ->
+      B.emit b (Inst.Lw (Reg.t5, Reg.t4, 0));
+      B.li b Reg.t6 13;
+      B.emit b (Inst.Mul (Reg.t5, Reg.t5, Reg.t6));
+      B.emit b (Inst.Addi (Reg.t5, Reg.t5, 1));
+      B.emit b (Inst.Sw (Reg.t5, Reg.t4, 0)));
+  h 7 (fun () ->
+      B.emit b (Inst.Lw (Reg.t5, Reg.t4, 0));
+      B.emit b (Inst.Sub (Reg.t5, Reg.zero, Reg.t5));
+      B.emit b (Inst.Sw (Reg.t5, Reg.t4, 0)));
+  for i = 8 to n_moves - 1 do
+    h i (fun () ->
+        B.emit b (Inst.Lw (Reg.t5, Reg.t4, 0));
+        B.emit b (Inst.Xori (Reg.t5, Reg.t5, (i * 517) land 0xFFFF));
+        B.emit b (Inst.Sll (Reg.t6, Reg.t5, (i mod 5) + 1));
+        B.emit b (Inst.Add (Reg.t5, Reg.t5, Reg.t6));
+        B.emit b (Inst.Sw (Reg.t5, Reg.t4, 0)))
+  done;
+
+  (* v0 = eval_window(a0): sum a 5-cell window around a0 *)
+  B.place b eval_window;
+  B.li b Reg.v0 0;
+  B.emit b (Inst.Sll (Reg.t0, Reg.a0, 2));
+  B.emit b (Inst.Add (Reg.t0, Reg.s0, Reg.t0));
+  List.iter
+    (fun off ->
+      B.emit b (Inst.Lw (Reg.t1, Reg.t0, off));
+      B.emit b (Inst.Xor (Reg.v0, Reg.v0, Reg.t1));
+      B.emit b (Inst.Sra (Reg.t1, Reg.t1, 2));
+      B.emit b (Inst.Add (Reg.v0, Reg.v0, Reg.t1)))
+    [ -8; -4; 0; 4; 8 ];
+  B.ret b;
+
+  B.assemble b ~entry:main

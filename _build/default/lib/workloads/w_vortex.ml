@@ -1,0 +1,182 @@
+(* vortex stand-in: an object-oriented database. Records live in a
+   binary search tree; operations run through layered direct calls
+   (main -> db op -> recursive tree walk) and record updates dispatch
+   through a small method table. Call/return dominated with a sprinkle
+   of indirect calls — the paper's return-mechanism benchmarks move
+   vortex the most. *)
+
+module B = Sdt_isa.Builder
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+
+let name = "vortex"
+let description = "OO database: BST inserts/lookups through layered calls"
+
+let max_records = 4096
+
+(* record: [key, val, left_addr, right_addr] = 16 bytes *)
+let build ~size =
+  let records = max 16 (min max_records (size / 32)) in
+  let b = B.create () in
+  let pool = B.dlabel ~name:"pool" b in
+  B.space b (16 * max_records);
+  B.align b 4;
+  let root_slot = B.dlabel ~name:"root" b in
+  B.word b 0;
+
+  let updaters =
+    List.init 8 (fun i -> B.fresh_label ~name:(Printf.sprintf "upd%d" i) b)
+  in
+  let utab = Gen.table_of_labels b ~name:"utab" updaters in
+
+  let main = B.here ~name:"main" b in
+  let db_insert = B.fresh_label ~name:"db_insert" b in
+  let tree_insert = B.fresh_label ~name:"tree_insert" b in
+  let db_lookup = B.fresh_label ~name:"db_lookup" b in
+  let tree_lookup = B.fresh_label ~name:"tree_lookup" b in
+
+  (* s0=pool, s1=root slot addr, s2=seed, s3=acc, s4=next free record,
+     s5=#records, s7=utab *)
+  Gen.fill_table b ~table:utab updaters;
+  B.la b Reg.s0 pool;
+  B.la b Reg.s1 root_slot;
+  B.la b Reg.s7 utab;
+  B.li b Reg.s2 (size + 41);
+  B.li b Reg.s3 0;
+  B.li b Reg.s4 0;
+  B.li b Reg.s5 records;
+
+  (* insert phase *)
+  B.li b Reg.s6 0;
+  Gen.for_loop b ~counter:Reg.s6 ~bound:Reg.s5 (fun () ->
+      Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.a0;
+      Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.a1;
+      B.jal b db_insert);
+
+  (* lookup + update phase *)
+  B.li b Reg.s6 0;
+  B.emit b (Inst.Sll (Reg.t0, Reg.s5, 1));
+  B.mv b Reg.t6 Reg.t0;
+  Gen.for_loop b ~counter:Reg.s6 ~bound:Reg.t6 (fun () ->
+      Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.a0;
+      B.jal b db_lookup;
+      B.emit b (Inst.Add (Reg.s3, Reg.s3, Reg.v0)));
+
+  Gen.checksum_reg b Reg.s3;
+  Gen.checksum_reg b Reg.s4;
+  Gen.exit0 b;
+
+  (* db_insert(a0=key, a1=val): allocate record, descend from root *)
+  B.place b db_insert;
+  B.push b Reg.ra;
+  B.emit b (Inst.Sll (Reg.t0, Reg.s4, 4));
+  B.emit b (Inst.Add (Reg.t0, Reg.s0, Reg.t0));
+  B.emit b (Inst.Addi (Reg.s4, Reg.s4, 1));
+  B.emit b (Inst.Sw (Reg.a0, Reg.t0, 0));
+  B.emit b (Inst.Sw (Reg.a1, Reg.t0, 4));
+  B.emit b (Inst.Sw (Reg.zero, Reg.t0, 8));
+  B.emit b (Inst.Sw (Reg.zero, Reg.t0, 12));
+  B.mv b Reg.a1 Reg.t0;          (* a1 = new record *)
+  B.mv b Reg.a2 Reg.s1;          (* a2 = slot holding subtree pointer *)
+  B.jal b tree_insert;
+  B.pop b Reg.ra;
+  B.ret b;
+
+  (* tree_insert(a0=key, a1=record, a2=slot): recursive descent *)
+  B.place b tree_insert;
+  let ti_empty = B.fresh_label b in
+  B.emit b (Inst.Lw (Reg.t1, Reg.a2, 0));
+  B.beq b Reg.t1 Reg.zero ti_empty;
+  B.emit b (Inst.Lw (Reg.t2, Reg.t1, 0));   (* node key *)
+  let go_right = B.fresh_label b in
+  B.bge b Reg.a0 Reg.t2 go_right;
+  B.emit b (Inst.Addi (Reg.a2, Reg.t1, 8));
+  B.push b Reg.ra;
+  B.jal b tree_insert;
+  B.pop b Reg.ra;
+  B.ret b;
+  B.place b go_right;
+  B.emit b (Inst.Addi (Reg.a2, Reg.t1, 12));
+  B.push b Reg.ra;
+  B.jal b tree_insert;
+  B.pop b Reg.ra;
+  B.ret b;
+  B.place b ti_empty;
+  B.emit b (Inst.Sw (Reg.a1, Reg.a2, 0));
+  B.ret b;
+
+  (* db_lookup(a0=key): find closest record; on hit, dispatch an
+     updater through the method table on (key & 7) *)
+  B.place b db_lookup;
+  B.push b Reg.ra;
+  B.emit b (Inst.Lw (Reg.a1, Reg.s1, 0));
+  B.jal b tree_lookup;
+  let missed = B.fresh_label b in
+  B.beq b Reg.v0 Reg.zero missed;
+  (* v0 = record addr: virtual-ish update *)
+  B.mv b Reg.a0 Reg.v0;
+  B.emit b (Inst.Lw (Reg.t1, Reg.a0, 0));
+  B.emit b (Inst.Andi (Reg.t1, Reg.t1, 7));
+  B.emit b (Inst.Sll (Reg.t1, Reg.t1, 2));
+  B.emit b (Inst.Add (Reg.t1, Reg.s7, Reg.t1));
+  B.emit b (Inst.Lw (Reg.t1, Reg.t1, 0));
+  B.emit b (Inst.Jalr (Reg.ra, Reg.t1));
+  B.pop b Reg.ra;
+  B.ret b;
+  B.place b missed;
+  B.li b Reg.v0 0;
+  B.pop b Reg.ra;
+  B.ret b;
+
+  (* tree_lookup(a0=key, a1=node): recursive; v0 = record addr or 0 *)
+  B.place b tree_lookup;
+  let tl_nil = B.fresh_label b in
+  let tl_right = B.fresh_label b in
+  let tl_hit = B.fresh_label b in
+  B.beq b Reg.a1 Reg.zero tl_nil;
+  B.emit b (Inst.Lw (Reg.t2, Reg.a1, 0));
+  B.beq b Reg.t2 Reg.a0 tl_hit;
+  B.bge b Reg.a0 Reg.t2 tl_right;
+  B.emit b (Inst.Lw (Reg.a1, Reg.a1, 8));
+  B.push b Reg.ra;
+  B.jal b tree_lookup;
+  B.pop b Reg.ra;
+  B.ret b;
+  B.place b tl_right;
+  B.emit b (Inst.Lw (Reg.a1, Reg.a1, 12));
+  B.push b Reg.ra;
+  B.jal b tree_lookup;
+  B.pop b Reg.ra;
+  B.ret b;
+  B.place b tl_hit;
+  B.mv b Reg.v0 Reg.a1;
+  B.ret b;
+  B.place b tl_nil;
+  B.li b Reg.v0 0;
+  B.ret b;
+
+  (* updaters: a0 = record; return its (updated) value *)
+  let u i body =
+    B.place b (List.nth updaters i);
+    B.emit b (Inst.Lw (Reg.v0, Reg.a0, 4));
+    body ();
+    B.emit b (Inst.Sw (Reg.v0, Reg.a0, 4));
+    B.ret b
+  in
+  u 0 (fun () -> B.emit b (Inst.Addi (Reg.v0, Reg.v0, 7)));
+  u 1 (fun () -> B.emit b (Inst.Xori (Reg.v0, Reg.v0, 0xFF)));
+  u 2 (fun () -> B.emit b (Inst.Sll (Reg.v0, Reg.v0, 1)));
+  u 3 (fun () -> B.emit b (Inst.Srl (Reg.v0, Reg.v0, 1)));
+  u 4 (fun () ->
+      B.li b Reg.t2 29;
+      B.emit b (Inst.Mul (Reg.v0, Reg.v0, Reg.t2));
+      B.emit b (Inst.Addi (Reg.v0, Reg.v0, 1)));
+  u 5 (fun () -> B.emit b (Inst.Nor (Reg.v0, Reg.v0, Reg.zero)));
+  u 6 (fun () ->
+      B.emit b (Inst.Sll (Reg.t2, Reg.v0, 7));
+      B.emit b (Inst.Xor (Reg.v0, Reg.v0, Reg.t2)));
+  u 7 (fun () ->
+      B.emit b (Inst.Srl (Reg.t2, Reg.v0, 3));
+      B.emit b (Inst.Add (Reg.v0, Reg.v0, Reg.t2)));
+
+  B.assemble b ~entry:main

@@ -1,0 +1,110 @@
+(* vpr stand-in: simulated-annealing placement. Each iteration picks two
+   cells, calls a cost-delta function over their neighbourhoods, and
+   swaps on improvement (or occasionally anyway, annealing-style).
+   A call/return per iteration over a branchy, load-heavy core. *)
+
+module B = Sdt_isa.Builder
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+
+let name = "vpr"
+let description = "simulated-annealing placement with a cost call per move"
+
+let cells = 1024  (* power of two *)
+
+let build ~size =
+  let moves = max 16 (size / 40) in
+  let b = B.create () in
+  let grid = B.dlabel ~name:"grid" b in
+  B.space b (4 * cells);
+  B.align b 4;
+
+  let main = B.here ~name:"main" b in
+  let cost_delta = B.fresh_label ~name:"cost_delta" b in
+  let swap = B.fresh_label ~name:"swap" b in
+
+  (* s0=grid, s1=moves, s2=seed, s3=acc, s6=i *)
+  B.la b Reg.s0 grid;
+  B.li b Reg.s1 moves;
+  B.li b Reg.s2 (size + 59);
+  B.li b Reg.s3 0;
+
+  (* init grid *)
+  B.li b Reg.s6 0;
+  B.li b Reg.t6 cells;
+  Gen.for_loop b ~counter:Reg.s6 ~bound:Reg.t6 (fun () ->
+      Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.t1;
+      B.emit b (Inst.Sll (Reg.t2, Reg.s6, 2));
+      B.emit b (Inst.Add (Reg.t2, Reg.s0, Reg.t2));
+      B.emit b (Inst.Sw (Reg.t1, Reg.t2, 0)));
+
+  (* annealing loop *)
+  B.li b Reg.s6 0;
+  Gen.for_loop b ~counter:Reg.s6 ~bound:Reg.s1 (fun () ->
+      (* pick two interior cells *)
+      Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.a0;
+      B.emit b (Inst.Andi (Reg.a0, Reg.a0, cells - 4));
+      B.emit b (Inst.Addi (Reg.a0, Reg.a0, 1));
+      Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.a1;
+      B.emit b (Inst.Andi (Reg.a1, Reg.a1, cells - 4));
+      B.emit b (Inst.Addi (Reg.a1, Reg.a1, 1));
+      B.jal b cost_delta;
+      B.emit b (Inst.Add (Reg.s3, Reg.s3, Reg.v0));
+      (* accept if delta < 0, or anneal-accept when (seed>>16)&15 == 0 *)
+      let accept = B.fresh_label b in
+      let reject = B.fresh_label b in
+      B.blt b Reg.v0 Reg.zero accept;
+      B.emit b (Inst.Srl (Reg.t3, Reg.s2, 16));
+      B.emit b (Inst.Andi (Reg.t3, Reg.t3, 15));
+      B.bne b Reg.t3 Reg.zero reject;
+      B.place b accept;
+      B.jal b swap;
+      B.place b reject);
+
+  Gen.checksum_reg b Reg.s3;
+  (* fold a few grid cells *)
+  B.emit b (Inst.Lw (Reg.t0, Reg.s0, 4));
+  Gen.checksum_reg b Reg.t0;
+  B.emit b (Inst.Lw (Reg.t0, Reg.s0, 512));
+  Gen.checksum_reg b Reg.t0;
+  Gen.exit0 b;
+
+  (* v0 = cost_delta(a0, a1): difference of neighbourhood tensions if
+     the two cells were swapped; preserves a0/a1 *)
+  B.place b cost_delta;
+  let cell dst idx_reg off =
+    B.emit b (Inst.Sll (Reg.t0, idx_reg, 2));
+    B.emit b (Inst.Add (Reg.t0, Reg.s0, Reg.t0));
+    B.emit b (Inst.Lw (dst, Reg.t0, off))
+  in
+  (* tension(i) = |v[i]-v[i-1]| + |v[i]-v[i+1]| approximated without
+     abs: sum of xors *)
+  cell Reg.t1 Reg.a0 0;
+  cell Reg.t2 Reg.a0 (-4);
+  cell Reg.t3 Reg.a0 4;
+  B.emit b (Inst.Xor (Reg.t2, Reg.t1, Reg.t2));
+  B.emit b (Inst.Xor (Reg.t3, Reg.t1, Reg.t3));
+  B.emit b (Inst.Add (Reg.t4, Reg.t2, Reg.t3));  (* tension a *)
+  cell Reg.t1 Reg.a1 0;
+  cell Reg.t2 Reg.a1 (-4);
+  cell Reg.t3 Reg.a1 4;
+  B.emit b (Inst.Xor (Reg.t2, Reg.t1, Reg.t2));
+  B.emit b (Inst.Xor (Reg.t3, Reg.t1, Reg.t3));
+  B.emit b (Inst.Add (Reg.t5, Reg.t2, Reg.t3));  (* tension b *)
+  B.emit b (Inst.Sub (Reg.v0, Reg.t4, Reg.t5));
+  B.emit b (Inst.Sra (Reg.v0, Reg.v0, 4));
+  B.ret b;
+
+  (* swap(a0, a1): exchange the two cells *)
+  B.place b swap;
+  B.emit b (Inst.Sll (Reg.t0, Reg.a0, 2));
+  B.emit b (Inst.Add (Reg.t0, Reg.s0, Reg.t0));
+  B.emit b (Inst.Sll (Reg.t1, Reg.a1, 2));
+  B.emit b (Inst.Add (Reg.t1, Reg.s0, Reg.t1));
+  B.emit b (Inst.Lw (Reg.t2, Reg.t0, 0));
+  B.emit b (Inst.Lw (Reg.t3, Reg.t1, 0));
+  B.emit b (Inst.Sw (Reg.t3, Reg.t0, 0));
+  B.emit b (Inst.Sw (Reg.t2, Reg.t1, 0));
+  B.ret b;
+
+  B.assemble b ~entry:main

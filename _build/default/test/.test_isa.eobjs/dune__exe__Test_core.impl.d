@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Format Lazy List Option Printexc Printf QCheck QCheck_alcotest Sdt_core Sdt_isa Sdt_machine Sdt_march String

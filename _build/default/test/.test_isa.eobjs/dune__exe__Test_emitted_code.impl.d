@@ -1,0 +1,1 @@
+test/test_emitted_code.ml: Alcotest List Option Sdt_core Sdt_isa Sdt_machine Sdt_march

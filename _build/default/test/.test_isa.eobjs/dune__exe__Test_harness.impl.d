@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Gen List Option Printf QCheck QCheck_alcotest Sdt_core Sdt_harness Sdt_march Sdt_workloads String

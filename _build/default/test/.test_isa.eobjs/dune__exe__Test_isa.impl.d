@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Bytes Gen List Printf QCheck QCheck_alcotest Sdt_isa Sdt_machine String

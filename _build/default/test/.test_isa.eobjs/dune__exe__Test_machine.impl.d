@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Char Sdt_isa Sdt_machine Sdt_march String

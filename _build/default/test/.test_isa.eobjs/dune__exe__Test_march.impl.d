@@ -1,0 +1,1 @@
+test/test_march.ml: Alcotest Gen List Option QCheck QCheck_alcotest Sdt_march

@@ -1,0 +1,1 @@
+test/test_workload_refs.ml: Alcotest Array Buffer Char List Option Printf QCheck QCheck_alcotest Sdt_isa Sdt_machine Sdt_workloads String

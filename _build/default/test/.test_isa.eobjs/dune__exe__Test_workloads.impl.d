@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Filename List Option Printf QCheck QCheck_alcotest Sdt_core Sdt_isa Sdt_machine Sdt_march Sdt_workloads String Sys

@@ -1,0 +1,238 @@
+(* Structural tests of the code the SDT emits: set up a runtime, let it
+   translate known programs, and disassemble the fragment cache to check
+   that each mechanism produced the instruction sequences it is supposed
+   to. This pins down the cost model — if a probe silently grows or
+   shrinks, these tests catch it before the benchmarks drift. *)
+
+module Word = Sdt_isa.Word
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+module Assembler = Sdt_isa.Assembler
+module Memory = Sdt_machine.Memory
+module Machine = Sdt_machine.Machine
+module Arch = Sdt_march.Arch
+module Config = Sdt_core.Config
+module Layout = Sdt_core.Layout
+module Runtime = Sdt_core.Runtime
+module Env = Sdt_core.Env
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* a one-indirect-jump program: jr $t0 to a runtime-loaded target *)
+let ijump_src =
+  {|
+        .data
+slot:   .word 0
+        .text
+main:   la   $t0, slot
+        la   $t1, dest
+        sw   $t1, 0($t0)
+        lw   $t0, 0($t0)
+        jr   $t0
+dest:   li   $a0, 1
+        li   $v0, 4
+        syscall
+        li   $a0, 0
+        li   $v0, 5
+        syscall
+|}
+
+let run_and_env ~cfg ~arch src =
+  let p = Assembler.assemble_string src in
+  let rt = Runtime.create ~cfg ~arch p in
+  Runtime.run ~max_steps:1_000_000 rt;
+  (rt, Runtime.env rt)
+
+(* read the emitted code region back as decoded instructions *)
+let emitted_code (env : Env.t) =
+  let mem = env.Env.machine.Machine.mem in
+  let base = env.Env.layout.Layout.code_base in
+  let len = Sdt_core.Emitter.used_bytes env.Env.em / 4 in
+  List.init len (fun i -> Memory.fetch mem (base + (4 * i)))
+
+let count pred insts = List.length (List.filter pred insts)
+
+let is_lw = function Inst.Lw _ -> true | _ -> false
+let is_sw = function Inst.Sw _ -> true | _ -> false
+let is_trap = function Inst.Trap _ -> true | _ -> false
+
+let test_dispatch_routine_shape () =
+  (* archA: 31-register context switch; the dispatch routine must
+     contain ~30 stores and ~30 loads around one trap *)
+  let _, env =
+    run_and_env ~cfg:Config.baseline ~arch:Arch.arch_a ijump_src
+  in
+  let code = emitted_code env in
+  check bool "30 ctx stores" true (count is_sw code >= 30);
+  check bool "30 ctx loads" true (count is_lw code >= 30);
+  check bool "has traps" true (count is_trap code >= 1)
+
+let test_register_window_switch_smaller () =
+  (* archB's register windows: the dispatch save is 8 registers *)
+  let _, env_a = run_and_env ~cfg:Config.baseline ~arch:Arch.arch_a ijump_src in
+  let _, env_b = run_and_env ~cfg:Config.baseline ~arch:Arch.arch_b ijump_src in
+  let stores_a = count is_sw (emitted_code env_a) in
+  let stores_b = count is_sw (emitted_code env_b) in
+  check bool "windowed switch stores far fewer registers" true
+    (stores_b + 15 < stores_a)
+
+let test_spill_only_on_spilling_arch () =
+  (* the IBTC probe brackets itself with spill code on archA but not on
+     archB (reserved registers are free there) *)
+  let cfg = { Config.default with returns = Config.As_ib } in
+  let _, env_a = run_and_env ~cfg ~arch:Arch.arch_a ijump_src in
+  let _, env_b = run_and_env ~cfg ~arch:Arch.arch_b ijump_src in
+  check bool "archA spills" true env_a.Env.spill;
+  check bool "archB does not" false env_b.Env.spill;
+  (* spill traffic writes the spill slots; find stores with the spill
+     base materialised — just compare store counts *)
+  let stores a = count is_sw (emitted_code a) in
+  check bool "more stores with spilling" true (stores env_a > stores env_b)
+
+let test_ibtc_probe_loads () =
+  (* a direct-mapped IBTC probe performs exactly 2 loads (tag+frag);
+     2-way adds one more on the second-way path *)
+  let cfg ways =
+    {
+      Config.default with
+      mech = Config.Ibtc { Config.default_ibtc with ways };
+      returns = Config.As_ib;
+      spill = Config.Spill_never;
+    }
+  in
+  let loads ways =
+    let _, env = run_and_env ~cfg:(cfg ways) ~arch:Arch.arch_b ijump_src in
+    count is_lw (emitted_code env)
+  in
+  let l1 = loads 1 and l2 = loads 2 in
+  check bool "2-way probe emits one more load per probe" true (l2 > l1)
+
+let test_sieve_stub_structure () =
+  let cfg =
+    {
+      Config.default with
+      mech = Config.Sieve Config.default_sieve;
+      returns = Config.As_ib;
+      spill = Config.Spill_never;
+    }
+  in
+  let _, env = run_and_env ~cfg ~arch:Arch.arch_b ijump_src in
+  let code = emitted_code env in
+  (* the executed indirect jump created exactly one sieve stub:
+     lui/ori (target), beq +1, j next, j frag *)
+  let rec has_stub = function
+    | Inst.Lui (r1, _)
+      :: Inst.Ori (r2, r3, _)
+      :: Inst.Beq (r4, r5, 1)
+      :: Inst.J _ :: Inst.J _ :: _
+      when r1 = Reg.at && r2 = Reg.at && r3 = Reg.at && r4 = Reg.at
+           && r5 = Reg.k0 ->
+        true
+    | _ :: rest -> has_stub rest
+    | [] -> false
+  in
+  check bool "sieve stub shape" true (has_stub code)
+
+let test_fast_return_is_bare_jr_ra () =
+  let src =
+    {|
+main:   jal f
+        li  $a0, 0
+        li  $v0, 5
+        syscall
+f:      ret
+|}
+  in
+  let cfg = { Config.default with returns = Config.Fast_return } in
+  let _, env = run_and_env ~cfg ~arch:Arch.arch_a src in
+  let code = emitted_code env in
+  check bool "contains a bare jr $ra" true
+    (List.exists (function Inst.Jr r -> r = Reg.ra | _ -> false) code);
+  (* and a real jal into the fragment cache *)
+  check bool "contains a linked jal" true
+    (List.exists
+       (function
+         | Inst.Jal t -> Layout.in_code env.Env.layout (t lsl 2)
+         | _ -> false)
+       code)
+
+let test_linking_patches_stub_to_jump () =
+  let src = {|
+main:   j next
+next:   li $a0, 0
+        li $v0, 5
+        syscall
+|} in
+  let _, env = run_and_env ~cfg:Config.default ~arch:Arch.arch_a src in
+  let code = emitted_code env in
+  (* after execution, the exit stub for "next" must have been patched
+     from Trap to a J into the code region *)
+  check bool "fragment-to-fragment J" true
+    (List.exists
+       (function
+         | Inst.J t -> Layout.in_code env.Env.layout (t lsl 2)
+         | _ -> false)
+       code)
+
+let test_pred_slots_burned_in () =
+  let cfg = { Config.default with pred_depth = 1; returns = Config.As_ib } in
+  let rt, env = run_and_env ~cfg ~arch:Arch.arch_a ijump_src in
+  let code = emitted_code env in
+  ignore rt;
+  (* after the jr executed once, one slot holds the app target "dest"
+     as lui/ori immediates followed by a direct J *)
+  let p = Assembler.assemble_string ijump_src in
+  let dest = Option.get (Sdt_isa.Program.symbol p "dest") in
+  let rec burned = function
+    | Inst.Lui (r, hi) :: Inst.Ori (_, _, lo) :: _
+      when r = Reg.at && hi = Word.hi16 dest && lo = Word.lo16 dest ->
+        true
+    | _ :: rest -> burned rest
+    | [] -> false
+  in
+  check bool "slot holds the observed target" true (burned code)
+
+let test_instrumentation_probe_shape () =
+  let cfg = { Config.default with count_memops = true } in
+  let _, env = run_and_env ~cfg ~arch:Arch.arch_a ijump_src in
+  let code = emitted_code env in
+  (* counter increments: lui/ori k1, lw at, addi at 1, sw at *)
+  let rec has_probe = function
+    | Inst.Lw (r1, _, _) :: Inst.Addi (r2, r3, 1) :: Inst.Sw (r4, _, _) :: _
+      when r1 = Reg.at && r2 = Reg.at && r3 = Reg.at && r4 = Reg.at ->
+        true
+    | _ :: rest -> has_probe rest
+    | [] -> false
+  in
+  check bool "memop counter sequence" true (has_probe code)
+
+let test_code_size_accounting () =
+  let _, env = run_and_env ~cfg:Config.default ~arch:Arch.arch_a ijump_src in
+  let code = emitted_code env in
+  check int "used_bytes matches decoded length"
+    (List.length code * 4)
+    (Sdt_core.Emitter.used_bytes env.Env.em)
+
+let () =
+  Alcotest.run "sdt_emitted_code"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "dispatch routine" `Quick test_dispatch_routine_shape;
+          Alcotest.test_case "register windows" `Quick
+            test_register_window_switch_smaller;
+          Alcotest.test_case "spill bracketing" `Quick
+            test_spill_only_on_spilling_arch;
+          Alcotest.test_case "ibtc probe loads" `Quick test_ibtc_probe_loads;
+          Alcotest.test_case "sieve stub" `Quick test_sieve_stub_structure;
+          Alcotest.test_case "fast returns" `Quick test_fast_return_is_bare_jr_ra;
+          Alcotest.test_case "linking patches" `Quick
+            test_linking_patches_stub_to_jump;
+          Alcotest.test_case "prediction burn-in" `Quick test_pred_slots_burned_in;
+          Alcotest.test_case "instrumentation probe" `Quick
+            test_instrumentation_probe_shape;
+          Alcotest.test_case "size accounting" `Quick test_code_size_accounting;
+        ] );
+    ]

@@ -1,0 +1,201 @@
+(* Tests for the harness: summaries, table rendering, run drivers with
+   their correctness oracle, and smoke evaluation of every experiment at
+   the fast size. *)
+
+module Arch = Sdt_march.Arch
+module Config = Sdt_core.Config
+module Suite = Sdt_workloads.Suite
+module Run = Sdt_harness.Run
+module Summary = Sdt_harness.Summary
+module Table = Sdt_harness.Table
+module Experiments = Sdt_harness.Experiments
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let feq msg a b = check bool msg true (abs_float (a -. b) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Summary *)
+
+let test_geomean () =
+  feq "empty" 1.0 (Summary.geomean []);
+  feq "singleton" 2.0 (Summary.geomean [ 2.0 ]);
+  feq "pair" 2.0 (Summary.geomean [ 1.0; 4.0 ]);
+  feq "order independent"
+    (Summary.geomean [ 1.5; 2.5; 3.5 ])
+    (Summary.geomean [ 3.5; 1.5; 2.5 ])
+
+let test_means_and_rates () =
+  feq "mean" 2.0 (Summary.mean [ 1.0; 2.0; 3.0 ]);
+  feq "mean empty" 0.0 (Summary.mean []);
+  feq "per_mille" 500.0 (Summary.per_mille 1 2);
+  feq "per_mille zero denom" 0.0 (Summary.per_mille 5 0);
+  feq "pct" 25.0 (Summary.pct 1 4);
+  check Alcotest.string "millions" "1.23M" (Summary.millions 1_230_000);
+  check Alcotest.string "f2" "1.50" (Summary.f2 1.5)
+
+let prop_geomean_bounds =
+  QCheck.Test.make ~count:200 ~name:"geomean between min and max"
+    QCheck.(list_of_size Gen.(int_range 1 10) (float_range 0.1 100.0))
+    (fun xs ->
+      let g = Summary.geomean xs in
+      let lo = List.fold_left min infinity xs in
+      let hi = List.fold_left max neg_infinity xs in
+      g >= lo -. 1e-9 && g <= hi +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let test_table_render () =
+  let t =
+    Table.make ~title:"demo" ~note:"a note"
+      ~headers:[ "name"; "value" ]
+      [ [ "alpha"; "1.00" ]; [ "longer-name"; "12.34" ] ]
+  in
+  let s = Table.render t in
+  check bool "has title" true
+    (String.length s > 0
+    && String.sub s 0 7 = "== demo");
+  (* numeric cells right-aligned: "12.34" ends its column *)
+  let lines = String.split_on_char '\n' s in
+  check bool "all rows present" true (List.length lines >= 5);
+  let row =
+    List.find
+      (fun l -> String.length l >= 5 && String.sub l 0 5 = "alpha")
+      lines
+  in
+  check bool "alpha row mentions value" true
+    (String.length row >= String.length "alpha  1.00")
+
+let test_table_csv () =
+  let t =
+    Table.make ~title:"c" ~headers:[ "a"; "b" ]
+      [ [ "x,y"; "1" ]; [ "q\"z"; "2" ] ]
+  in
+  let csv = Table.to_csv t in
+  check Alcotest.string "csv escaping" "a,b\n\"x,y\",1\n\"q\"\"z\",2\n" csv
+
+let test_table_ragged_rows () =
+  (* rows shorter than the header list must render without exception *)
+  let t = Table.make ~title:"r" ~headers:[ "a"; "b"; "c" ] [ [ "x" ] ] in
+  check bool "renders" true (String.length (Table.render t) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Run *)
+
+let entry name = Option.get (Suite.find name)
+
+let test_native_memoised () =
+  Run.clear_cache ();
+  let e = entry "gzip" in
+  let calls = ref 0 in
+  let build () =
+    incr calls;
+    Suite.program e `Test
+  in
+  let a = Run.native ~arch:Arch.arch_a ~key:"memo-test" build in
+  let b = Run.native ~arch:Arch.arch_a ~key:"memo-test" build in
+  check int "built once" 1 !calls;
+  check int "same cycles" a.Run.n_cycles b.Run.n_cycles;
+  (* a different arch is a different cache line *)
+  let _ = Run.native ~arch:Arch.arch_b ~key:"memo-test" build in
+  check int "rebuilt for other arch" 2 !calls
+
+let test_sdt_result_sane () =
+  Run.clear_cache ();
+  let e = entry "gcc" in
+  let build () = Suite.program e `Test in
+  let s = Run.sdt ~arch:Arch.arch_a ~cfg:Config.default ~key:"sane" build in
+  check bool "slowdown > 1" true (s.Run.slowdown > 1.0);
+  check bool "slowdown < 30" true (s.Run.slowdown < 30.0);
+  check bool "code emitted" true (s.Run.s_code_bytes > 0);
+  check bool "runtime cycles subset" true
+    (s.Run.s_runtime_cycles < s.Run.s_cycles)
+
+let test_mismatch_detected () =
+  Run.clear_cache ();
+  let e = entry "gzip" in
+  (* lie to the harness: native cached under this key is for a
+     different program, so the SDT run must be flagged as divergent *)
+  let _ =
+    Run.native ~arch:Arch.arch_a ~key:"divergent" (fun () ->
+        Suite.program (entry "mcf") `Test)
+  in
+  check bool "mismatch raises" true
+    (match
+       Run.sdt ~arch:Arch.arch_a ~cfg:Config.default ~key:"divergent"
+         (fun () -> Suite.program e `Test)
+     with
+    | exception Run.Mismatch _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Experiments *)
+
+let test_registry () =
+  check int "15 experiments" 15 (List.length Experiments.experiments);
+  check bool "find T1" true (Experiments.find "t1" <> None);
+  check bool "find F8" true (Experiments.find "F8" <> None);
+  check bool "unknown" true (Experiments.find "Z9" = None)
+
+let experiment_cases =
+  List.map
+    (fun (e : Experiments.experiment) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s renders" e.Experiments.id)
+        `Slow
+        (fun () ->
+          Run.clear_cache ();
+          let tables = e.Experiments.run `Test in
+          check bool "at least one table" true (List.length tables >= 1);
+          List.iter
+            (fun t ->
+              let s = Table.render t in
+              check bool "non-empty render" true (String.length s > 100);
+              check bool "has rows" true (List.length t.Table.rows >= 5))
+            tables))
+    Experiments.experiments
+
+let test_baseline_worse_than_default () =
+  Run.clear_cache ();
+  let worse = ref 0 in
+  List.iter
+    (fun name ->
+      let e = entry name in
+      let build () = Suite.program e `Test in
+      let b = Run.sdt ~arch:Arch.arch_a ~cfg:Config.baseline ~key:name build in
+      let d = Run.sdt ~arch:Arch.arch_a ~cfg:Config.default ~key:name build in
+      if b.Run.slowdown > d.Run.slowdown then incr worse)
+    [ "gcc"; "eon"; "perlbmk"; "vortex" ];
+  check int "dispatch worse on all IB-heavy workloads" 4 !worse
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sdt_harness"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "geomean" `Quick test_geomean;
+          Alcotest.test_case "means and rates" `Quick test_means_and_rates;
+          qt prop_geomean_bounds;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "ragged rows" `Quick test_table_ragged_rows;
+          Alcotest.test_case "csv export" `Quick test_table_csv;
+        ] );
+      ( "run",
+        [
+          Alcotest.test_case "native memoised" `Quick test_native_memoised;
+          Alcotest.test_case "sdt results sane" `Quick test_sdt_result_sane;
+          Alcotest.test_case "divergence detected" `Quick test_mismatch_detected;
+        ] );
+      ( "experiments",
+        Alcotest.test_case "registry" `Quick test_registry
+        :: Alcotest.test_case "IB-heavy ordering" `Quick
+             test_baseline_worse_than_default
+        :: experiment_cases );
+    ]

@@ -1,0 +1,529 @@
+(* Tests for the sdt_isa library: words, registers, encode/decode,
+   builder, textual assembler, disassembler. *)
+
+module Word = Sdt_isa.Word
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+module Encode = Sdt_isa.Encode
+module Decode = Sdt_isa.Decode
+module Builder = Sdt_isa.Builder
+module Program = Sdt_isa.Program
+module Assembler = Sdt_isa.Assembler
+module Disasm = Sdt_isa.Disasm
+module Image = Sdt_isa.Image
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Word *)
+
+let test_word_wrap () =
+  check int "add wraps" 0 (Word.add 0xFFFF_FFFF 1);
+  check int "sub wraps" 0xFFFF_FFFF (Word.sub 0 1);
+  check int "mul wraps" (Word.of_int (0xFFFF_FFFF * 3)) (Word.mul 0xFFFF_FFFF 3);
+  check int "of_int truncates" 0x2345_6789 (Word.of_int 0x1_2345_6789)
+
+let test_word_signed () =
+  check int "to_signed negative" (-1) (Word.to_signed 0xFFFF_FFFF);
+  check int "to_signed min" (-0x8000_0000) (Word.to_signed 0x8000_0000);
+  check int "to_signed positive" 0x7FFF_FFFF (Word.to_signed 0x7FFF_FFFF);
+  check bool "lt_s sign" true (Word.lt_s 0xFFFF_FFFF 0);
+  check bool "lt_u magnitude" false (Word.lt_u 0xFFFF_FFFF 0)
+
+let test_word_div () =
+  check int "sdiv" (Word.of_int (-2)) (Word.sdiv (Word.of_int (-7)) 3);
+  check int "sdiv by zero" 0 (Word.sdiv 42 0);
+  check int "srem" (Word.of_int (-1)) (Word.srem (Word.of_int (-7)) 3);
+  check int "srem by zero" 42 (Word.srem 42 0)
+
+let test_word_shift () =
+  check int "shl" 0x8000_0000 (Word.shl 1 31);
+  check int "shl masks amount" 2 (Word.shl 1 33);
+  check int "shr_l" 1 (Word.shr_l 0x8000_0000 31);
+  check int "shr_a sign extends" 0xFFFF_FFFF (Word.shr_a 0x8000_0000 31);
+  check int "sext16" 0xFFFF_8000 (Word.sext16 0x8000);
+  check int "sext8" 0xFFFF_FF80 (Word.sext8 0x80);
+  check int "hi16/lo16" 0xDEAD (Word.hi16 0xDEAD_BEEF);
+  check int "lo16" 0xBEEF (Word.lo16 0xDEAD_BEEF)
+
+(* ------------------------------------------------------------------ *)
+(* Reg *)
+
+let test_reg_names () =
+  check (Alcotest.option int) "of_name $t0" (Some 8) (Reg.of_name "$t0");
+  check (Alcotest.option int) "of_name sp" (Some 29) (Reg.of_name "sp");
+  check (Alcotest.option int) "of_name $31" (Some 31) (Reg.of_name "$31");
+  check (Alcotest.option int) "of_name bogus" None (Reg.of_name "$xx");
+  check Alcotest.string "name ra" "$ra" (Reg.name Reg.ra);
+  check bool "k0 reserved" true (Reg.is_reserved Reg.k0);
+  check bool "t0 not reserved" false (Reg.is_reserved Reg.t0)
+
+(* ------------------------------------------------------------------ *)
+(* Encode/Decode *)
+
+let arbitrary_reg = QCheck.Gen.int_bound 31
+
+let arbitrary_inst : Inst.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let reg = arbitrary_reg in
+  let simm = int_range (-32768) 32767 in
+  let uimm = int_bound 65535 in
+  let shamt = int_bound 31 in
+  let target = int_bound ((1 lsl 26) - 1) in
+  let rrr mk = map3 (fun a b c -> mk a b c) reg reg reg in
+  let no_zero_sll =
+    (* Sll ($zero, $zero, 0) is the canonical NOP encoding; avoid
+       generating it so round-trips are exact. *)
+    map3
+      (fun a b c ->
+        if a = 0 && b = 0 && c = 0 then Inst.Sll (1, 0, 0) else Inst.Sll (a, b, c))
+      reg reg shamt
+  in
+  frequency
+    [
+      (1, return Inst.Nop);
+      (2, rrr (fun a b c -> Inst.Add (a, b, c)));
+      (2, rrr (fun a b c -> Inst.Sub (a, b, c)));
+      (1, rrr (fun a b c -> Inst.Mul (a, b, c)));
+      (1, rrr (fun a b c -> Inst.Div (a, b, c)));
+      (1, rrr (fun a b c -> Inst.Rem (a, b, c)));
+      (1, rrr (fun a b c -> Inst.And (a, b, c)));
+      (1, rrr (fun a b c -> Inst.Or (a, b, c)));
+      (1, rrr (fun a b c -> Inst.Xor (a, b, c)));
+      (1, rrr (fun a b c -> Inst.Nor (a, b, c)));
+      (1, rrr (fun a b c -> Inst.Slt (a, b, c)));
+      (1, rrr (fun a b c -> Inst.Sltu (a, b, c)));
+      (1, rrr (fun a b c -> Inst.Sllv (a, b, c)));
+      (1, rrr (fun a b c -> Inst.Srlv (a, b, c)));
+      (1, rrr (fun a b c -> Inst.Srav (a, b, c)));
+      (1, no_zero_sll);
+      (1, map3 (fun a b c -> Inst.Srl (a, b, c)) reg reg shamt);
+      (1, map3 (fun a b c -> Inst.Sra (a, b, c)) reg reg shamt);
+      (2, map3 (fun a b c -> Inst.Addi (a, b, c)) reg reg simm);
+      (1, map3 (fun a b c -> Inst.Slti (a, b, c)) reg reg simm);
+      (1, map3 (fun a b c -> Inst.Sltiu (a, b, c)) reg reg simm);
+      (1, map3 (fun a b c -> Inst.Andi (a, b, c)) reg reg uimm);
+      (1, map3 (fun a b c -> Inst.Ori (a, b, c)) reg reg uimm);
+      (1, map3 (fun a b c -> Inst.Xori (a, b, c)) reg reg uimm);
+      (1, map2 (fun a b -> Inst.Lui (a, b)) reg uimm);
+      (2, map3 (fun a b c -> Inst.Lw (a, b, c)) reg reg simm);
+      (1, map3 (fun a b c -> Inst.Lb (a, b, c)) reg reg simm);
+      (1, map3 (fun a b c -> Inst.Lbu (a, b, c)) reg reg simm);
+      (2, map3 (fun a b c -> Inst.Sw (a, b, c)) reg reg simm);
+      (1, map3 (fun a b c -> Inst.Sb (a, b, c)) reg reg simm);
+      (2, map3 (fun a b c -> Inst.Beq (a, b, c)) reg reg simm);
+      (2, map3 (fun a b c -> Inst.Bne (a, b, c)) reg reg simm);
+      (1, map3 (fun a b c -> Inst.Blt (a, b, c)) reg reg simm);
+      (1, map3 (fun a b c -> Inst.Bge (a, b, c)) reg reg simm);
+      (1, map3 (fun a b c -> Inst.Bltu (a, b, c)) reg reg simm);
+      (1, map3 (fun a b c -> Inst.Bgeu (a, b, c)) reg reg simm);
+      (1, map (fun t -> Inst.J t) target);
+      (1, map (fun t -> Inst.Jal t) target);
+      (1, map (fun r -> Inst.Jr r) reg);
+      (1, map2 (fun a b -> Inst.Jalr (a, b)) reg reg);
+      (1, return Inst.Syscall);
+      (1, map (fun k -> Inst.Trap k) uimm);
+      (1, return Inst.Halt);
+    ]
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:2000 ~name:"decode (encode i) = i"
+    (QCheck.make ~print:Inst.to_string arbitrary_inst)
+    (fun i -> Decode.inst (Encode.inst i) = i)
+
+let arbitrary_noncontrol_inst : Inst.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  (* registers that have unambiguous canonical names; avoids $zero-write
+     normalisation concerns in the textual path *)
+  let reg = int_range 2 25 in
+  let simm = int_range (-32768) 32767 in
+  let uimm = int_bound 65535 in
+  let shamt = int_bound 31 in
+  oneof
+    [
+      map3 (fun a b c -> Inst.Add (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Inst.Sub (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Inst.Mul (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Inst.Nor (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Inst.Sltu (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Inst.Sllv (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Inst.Sll (a, b, c)) reg reg shamt;
+      map3 (fun a b c -> Inst.Sra (a, b, c)) reg reg shamt;
+      map3 (fun a b c -> Inst.Addi (a, b, c)) reg reg simm;
+      map3 (fun a b c -> Inst.Sltiu (a, b, c)) reg reg simm;
+      map3 (fun a b c -> Inst.Xori (a, b, c)) reg reg uimm;
+      map2 (fun a b -> Inst.Lui (a, b)) reg uimm;
+      map3 (fun a b c -> Inst.Lw (a, b, c)) reg reg simm;
+      map3 (fun a b c -> Inst.Sb (a, b, c)) reg reg simm;
+    ]
+
+let prop_text_roundtrip =
+  (* pretty-print an instruction, feed the text through the assembler,
+     and compare binary encodings: Inst.pp and the assembler agree *)
+  QCheck.Test.make ~count:500 ~name:"assembler parses what Inst.pp prints"
+    (QCheck.make ~print:Inst.to_string arbitrary_noncontrol_inst)
+    (fun i ->
+      let src = Printf.sprintf "main: %s\n halt" (Inst.to_string i) in
+      let p = Assembler.assemble_string src in
+      match Program.text_words p with
+      | (_, w) :: _ -> w = Encode.inst i
+      | [] -> false)
+
+let prop_word_roundtrip =
+  QCheck.Test.make ~count:5000 ~name:"encode (decode w) = w"
+    QCheck.(map Word.of_int int)
+    (fun w -> Encode.inst (Decode.inst w) = w)
+
+let test_encode_rejects () =
+  let raises i =
+    match Encode.inst i with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check bool "imm too big" true (raises (Inst.Addi (1, 2, 40000)));
+  check bool "imm too small" true (raises (Inst.Addi (1, 2, -40000)));
+  check bool "uimm negative" true (raises (Inst.Ori (1, 2, -1)));
+  check bool "bad shamt" true (raises (Inst.Sll (1, 2, 32)));
+  check bool "bad reg" true (raises (Inst.Add (32, 0, 0)));
+  check bool "bad target" true (raises (Inst.J (1 lsl 26)))
+
+let test_decode_canonical () =
+  (* Non-canonical encodings (garbage in must-be-zero fields) decode to
+     Illegal rather than aliasing an instruction. *)
+  let w = Encode.inst (Inst.Jr 5) lor (3 lsl 11) in
+  (match Decode.inst w with
+  | Inst.Illegal _ -> ()
+  | i -> Alcotest.failf "expected Illegal, got %s" (Inst.to_string i));
+  check bool "nop is zero" true (Encode.inst Inst.Nop = 0);
+  check bool "zero decodes to nop" true (Decode.inst 0 = Inst.Nop)
+
+(* ------------------------------------------------------------------ *)
+(* Inst classification *)
+
+let test_inst_classify () =
+  check bool "beq is control" true (Inst.is_control (Inst.Beq (0, 0, 0)));
+  check bool "beq is branch" true (Inst.is_branch (Inst.Beq (0, 0, 0)));
+  check bool "jr is control" true (Inst.is_control (Inst.Jr 31));
+  check bool "jr is not branch" false (Inst.is_branch (Inst.Jr 31));
+  check bool "add not control" false (Inst.is_control (Inst.Add (1, 2, 3)));
+  check bool "trap not control" false (Inst.is_control (Inst.Trap 0));
+  check bool "halt is control" true (Inst.is_control Inst.Halt)
+
+let test_inst_uses_reserved () =
+  check bool "uses k0" true (Inst.uses_reserved (Inst.Add (Reg.k0, 2, 3)));
+  check bool "reads at" true (Inst.uses_reserved (Inst.Jr Reg.at));
+  check bool "clean" false (Inst.uses_reserved (Inst.Add (8, 9, 10)));
+  check bool "jal writes ra only" false (Inst.uses_reserved (Inst.Jal 0))
+
+let test_branch_offset () =
+  check (Alcotest.option int) "offset" (Some 7)
+    (Inst.branch_offset (Inst.Bne (1, 2, 7)));
+  check (Alcotest.option int) "none" None (Inst.branch_offset Inst.Nop);
+  check bool "with_branch_offset" true
+    (Inst.with_branch_offset (Inst.Beq (1, 2, 0)) 5 = Inst.Beq (1, 2, 5))
+
+(* ------------------------------------------------------------------ *)
+(* Builder *)
+
+let test_builder_basic () =
+  let b = Builder.create () in
+  let start = Builder.here ~name:"start" b in
+  Builder.li b Reg.t0 5;
+  Builder.li b Reg.t1 0x12345678;
+  Builder.halt b;
+  let p = Builder.assemble b ~entry:start in
+  check int "entry" Program.default_text_base p.Program.entry;
+  check (Alcotest.option int) "symbol" (Some Program.default_text_base)
+    (Program.symbol p "start");
+  (* li 5 = 1 inst; li 0x12345678 = 2; halt = 1 *)
+  check int "text words" 4 (List.length (Program.text_words p))
+
+let test_builder_branches () =
+  let b = Builder.create () in
+  let start = Builder.here b in
+  let loop = Builder.fresh_label b in
+  Builder.li b Reg.t0 3;
+  Builder.place b loop;
+  Builder.emit b (Inst.Addi (Reg.t0, Reg.t0, -1));
+  Builder.bne b Reg.t0 Reg.zero loop;
+  Builder.halt b;
+  let p = Builder.assemble b ~entry:start in
+  let words = Program.text_words p in
+  (* the bne is the 3rd instruction: offset must be -2 words *)
+  let _, w = List.nth words 2 in
+  (match Decode.inst w with
+  | Inst.Bne (_, _, off) -> check int "backward offset" (-2) off
+  | i -> Alcotest.failf "expected bne, got %s" (Inst.to_string i))
+
+let test_builder_data () =
+  let b = Builder.create () in
+  let start = Builder.here b in
+  let tbl = Builder.dlabel ~name:"tbl" b in
+  Builder.words b [ 10; 20; 30 ];
+  Builder.align b 8;
+  let str = Builder.dlabel b in
+  Builder.asciiz b "hi";
+  Builder.la b Reg.t0 tbl;
+  Builder.la b Reg.t1 str;
+  Builder.halt b;
+  let p = Builder.assemble b ~entry:start in
+  check (Alcotest.option int) "tbl addr" (Some Program.default_data_base)
+    (Program.symbol p "tbl");
+  check int "segments" 2 (List.length p.Program.segments)
+
+let test_builder_errors () =
+  let raises f =
+    match f () with exception Builder.Error _ -> true | _ -> false
+  in
+  check bool "reserved reg rejected" true
+    (raises (fun () ->
+         let b = Builder.create () in
+         Builder.emit b (Inst.Add (Reg.k0, 0, 0))));
+  check bool "unplaced label" true
+    (raises (fun () ->
+         let b = Builder.create () in
+         let start = Builder.here b in
+         let l = Builder.fresh_label b in
+         Builder.j b l;
+         Builder.assemble b ~entry:start));
+  check bool "double placement" true
+    (raises (fun () ->
+         let b = Builder.create () in
+         let l = Builder.here b in
+         Builder.place b l))
+
+(* ------------------------------------------------------------------ *)
+(* Assembler *)
+
+let asm = Assembler.assemble_string
+
+let test_asm_basic () =
+  let p =
+    asm
+      {|
+# a tiny program
+main:
+        li   $t0, 42
+        move $a0, $t0
+        li   $v0, 1
+        syscall
+        halt
+|}
+  in
+  check int "entry is main" Program.default_text_base p.Program.entry;
+  check int "5 instructions" 5 (List.length (Program.text_words p))
+
+let test_asm_mem_and_branches () =
+  let p =
+    asm
+      {|
+        .data
+vec:    .word 1, 2, 3, 4
+        .text
+main:   la   $t0, vec
+        lw   $t1, 4($t0)
+        beqz $t1, done
+        addi $t1, $t1, 1
+done:   halt
+|}
+  in
+  (match Program.symbol p "vec" with
+  | Some a -> check int "vec at data base" Program.default_data_base a
+  | None -> Alcotest.fail "vec symbol missing");
+  check bool "has two segments" true (List.length p.Program.segments = 2)
+
+let test_asm_pseudos () =
+  let p =
+    asm
+      {|
+main:   li $s0, 100000
+        not $t0, $s0
+        neg $t1, $s0
+        push $t0
+        pop $t1
+        call f
+        b out
+f:      ret
+out:    halt
+|}
+  in
+  check bool "assembled" true (Program.size_bytes p > 0)
+
+let test_asm_errors () =
+  let fails src =
+    match asm src with exception Assembler.Error _ -> true | _ -> false
+  in
+  check bool "bad mnemonic" true (fails "main: frobnicate $t0");
+  check bool "bad register" true (fails "main: add $t0, $t9, $zz");
+  check bool "missing label" true (fails "main: j nowhere");
+  check bool "instr in data" true (fails ".data\nmain: add $t0, $t0, $t0");
+  check bool "reserved register" true (fails "main: add $k0, $t0, $t0")
+
+let test_asm_char_and_string () =
+  let p =
+    asm
+      {|
+        .data
+msg:    .asciiz "ab\n"
+        .text
+main:   li $a0, 'x'
+        li $v0, 2
+        syscall
+        halt
+|}
+  in
+  check bool "ok" true (Program.size_bytes p > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Disasm *)
+
+let test_disasm_roundtrip_text () =
+  let b = Builder.create () in
+  let start = Builder.here b in
+  let l = Builder.fresh_label b in
+  Builder.li b Reg.t0 7;
+  Builder.place b l;
+  Builder.beq b Reg.t0 Reg.zero l;
+  Builder.j b start;
+  Builder.halt b;
+  let p = Builder.assemble b ~entry:start in
+  let listing = Disasm.listing p in
+  check bool "mentions beq target" true
+    (contains listing "beq $t0, $zero, 0x1004");
+  check bool "mentions j target" true
+    (contains listing "j 0x1000")
+
+(* ------------------------------------------------------------------ *)
+(* Image *)
+
+let sample_program () =
+  let b = Builder.create () in
+  let start = Builder.here ~name:"main" b in
+  let tbl = Builder.dlabel ~name:"tbl" b in
+  Builder.words b [ 1; 2; 3 ];
+  Builder.asciiz b "xy";
+  Builder.li b Reg.t0 42;
+  Builder.la b Reg.t1 tbl;
+  Builder.halt b;
+  Builder.assemble b ~entry:start
+
+let test_image_roundtrip () =
+  let p = sample_program () in
+  let p' = Image.of_string (Image.to_string p) in
+  check int "entry" p.Program.entry p'.Program.entry;
+  check int "segments" (List.length p.Program.segments)
+    (List.length p'.Program.segments);
+  List.iter2
+    (fun (a : Program.segment) (b : Program.segment) ->
+      check int "base" a.Program.base b.Program.base;
+      check bool "bytes identical" true (Bytes.equal a.Program.data b.Program.data))
+    p.Program.segments p'.Program.segments;
+  check (Alcotest.option int) "symbol survives" (Program.symbol p "tbl")
+    (Program.symbol p' "tbl")
+
+let test_image_odd_length_segment () =
+  (* the "xyz " string makes the data segment a non-multiple of 4 *)
+  let p = sample_program () in
+  let data_seg = List.nth p.Program.segments 1 in
+  check bool "odd-sized data segment in fixture" true
+    (Bytes.length data_seg.Program.data mod 4 <> 0);
+  let p' = Image.of_string (Image.to_string p) in
+  let data_seg' = List.nth p'.Program.segments 1 in
+  check int "length preserved" (Bytes.length data_seg.Program.data)
+    (Bytes.length data_seg'.Program.data)
+
+let test_image_rejects_garbage () =
+  let bad s =
+    match Image.of_string s with exception Image.Error _ -> true | _ -> false
+  in
+  check bool "wrong magic" true (bad "elf nope\n");
+  check bool "missing entry" true (bad "via-image v1\nsegment 0x1000\nbytes 4\n00000000\n");
+  check bool "junk line" true (bad "via-image v1\nentry 0x1000\nwhat is this\n")
+
+let test_image_runs_identically () =
+  let p = sample_program () in
+  let p' = Image.of_string (Image.to_string p) in
+  let run prog =
+    let m = Sdt_machine.Loader.load prog in
+    Sdt_machine.Machine.run m;
+    (Sdt_machine.Machine.output m, m.Sdt_machine.Machine.checksum)
+  in
+  check bool "identical execution" true (run p = run p')
+
+let prop_image_words =
+  QCheck.Test.make ~count:100 ~name:"image: arbitrary word payload roundtrips"
+    QCheck.(list_of_size Gen.(int_range 0 64) (map Word.of_int int))
+    (fun words ->
+      let b = Builder.create () in
+      let start = Builder.here ~name:"main" b in
+      Builder.halt b;
+      let _ = Builder.dlabel b in
+      Builder.words b words;
+      let p = Builder.assemble b ~entry:start in
+      let p' = Image.of_string (Image.to_string p) in
+      List.for_all2
+        (fun (a : Program.segment) (b : Program.segment) ->
+          Bytes.equal a.Program.data b.Program.data)
+        p.Program.segments p'.Program.segments)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sdt_isa"
+    [
+      ( "word",
+        [
+          Alcotest.test_case "wraparound" `Quick test_word_wrap;
+          Alcotest.test_case "signedness" `Quick test_word_signed;
+          Alcotest.test_case "division" `Quick test_word_div;
+          Alcotest.test_case "shifts" `Quick test_word_shift;
+        ] );
+      ("reg", [ Alcotest.test_case "names" `Quick test_reg_names ]);
+      ( "encode-decode",
+        [
+          qt prop_roundtrip;
+          qt prop_word_roundtrip;
+          qt prop_text_roundtrip;
+          Alcotest.test_case "rejects bad operands" `Quick test_encode_rejects;
+          Alcotest.test_case "canonical decodings" `Quick test_decode_canonical;
+        ] );
+      ( "inst",
+        [
+          Alcotest.test_case "classification" `Quick test_inst_classify;
+          Alcotest.test_case "reserved registers" `Quick test_inst_uses_reserved;
+          Alcotest.test_case "branch offsets" `Quick test_branch_offset;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "basic" `Quick test_builder_basic;
+          Alcotest.test_case "branches" `Quick test_builder_branches;
+          Alcotest.test_case "data" `Quick test_builder_data;
+          Alcotest.test_case "errors" `Quick test_builder_errors;
+        ] );
+      ( "assembler",
+        [
+          Alcotest.test_case "basic" `Quick test_asm_basic;
+          Alcotest.test_case "memory and branches" `Quick test_asm_mem_and_branches;
+          Alcotest.test_case "pseudos" `Quick test_asm_pseudos;
+          Alcotest.test_case "errors" `Quick test_asm_errors;
+          Alcotest.test_case "chars and strings" `Quick test_asm_char_and_string;
+        ] );
+      ( "disasm",
+        [ Alcotest.test_case "listing" `Quick test_disasm_roundtrip_text ] );
+      ( "image",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_image_roundtrip;
+          Alcotest.test_case "odd-length segments" `Quick
+            test_image_odd_length_segment;
+          Alcotest.test_case "rejects garbage" `Quick test_image_rejects_garbage;
+          Alcotest.test_case "loads identically" `Quick
+            test_image_runs_identically;
+          qt prop_image_words;
+        ] );
+    ]

@@ -1,0 +1,436 @@
+(* Tests for the sdt_machine library: memory, syscalls, and the
+   fetch-decode-execute core. *)
+
+module Word = Sdt_isa.Word
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+module Encode = Sdt_isa.Encode
+module Builder = Sdt_isa.Builder
+module Assembler = Sdt_isa.Assembler
+module Arch = Sdt_march.Arch
+module Timing = Sdt_march.Timing
+module Memory = Sdt_machine.Memory
+module Machine = Sdt_machine.Machine
+module Syscall = Sdt_machine.Syscall
+module Loader = Sdt_machine.Loader
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Memory *)
+
+let test_memory_words () =
+  let m = Memory.create ~size_bytes:4096 in
+  Memory.store_word m 0x100 0xDEAD_BEEF;
+  check int "load back" 0xDEAD_BEEF (Memory.load_word m 0x100);
+  check int "little endian byte 0" 0xEF (Memory.load_byte_u m 0x100);
+  check int "little endian byte 3" 0xDE (Memory.load_byte_u m 0x103);
+  Memory.store_byte m 0x100 0x01;
+  check int "byte store visible in word" 0xDEAD_BE01 (Memory.load_word m 0x100)
+
+let test_memory_faults () =
+  let m = Memory.create ~size_bytes:4096 in
+  let faults f = match f () with exception Memory.Fault _ -> true | _ -> false in
+  check bool "misaligned load" true (faults (fun () -> Memory.load_word m 2));
+  check bool "oob load" true (faults (fun () -> Memory.load_word m 4096));
+  check bool "negative" true (faults (fun () -> Memory.load_byte_u m (-1)));
+  check bool "oob store" true (faults (fun () -> Memory.store_word m 4094 0))
+
+let test_memory_decode_cache_invalidation () =
+  let m = Memory.create ~size_bytes:4096 in
+  Memory.store_word m 0x200 (Encode.inst (Inst.Addi (Reg.t0, Reg.zero, 7)));
+  (match Memory.fetch m 0x200 with
+  | Inst.Addi (_, _, 7) -> ()
+  | i -> Alcotest.failf "bad fetch: %s" (Inst.to_string i));
+  (* patch the word — the stale decoding must be dropped *)
+  Memory.store_word m 0x200 (Encode.inst (Inst.Addi (Reg.t0, Reg.zero, 9)));
+  (match Memory.fetch m 0x200 with
+  | Inst.Addi (_, _, 9) -> ()
+  | i -> Alcotest.failf "stale decode cache: %s" (Inst.to_string i));
+  (* byte stores must invalidate too *)
+  Memory.store_byte m 0x200 0xFF;
+  (match Memory.fetch m 0x200 with
+  | Inst.Addi (_, _, 9) -> Alcotest.fail "stale decode after byte store"
+  | _ -> ())
+
+let test_memory_read_string () =
+  let m = Memory.create ~size_bytes:4096 in
+  String.iteri (fun i c -> Memory.store_byte m (0x300 + i) (Char.code c)) "via\000";
+  check string "read" "via" (Memory.read_string m 0x300)
+
+(* ------------------------------------------------------------------ *)
+(* Syscall *)
+
+let test_checksum_mix () =
+  let a = Syscall.mix_checksum 0 42 in
+  let b = Syscall.mix_checksum a 43 in
+  check bool "mix moves" true (a <> 0 && b <> a);
+  check bool "32-bit" true (b >= 0 && b <= Word.mask)
+
+(* ------------------------------------------------------------------ *)
+(* Machine *)
+
+let run_asm ?timing src =
+  let p = Assembler.assemble_string src in
+  let m = Loader.load ?timing p in
+  Machine.run ~max_steps:2_000_000 m;
+  m
+
+let test_factorial_real () =
+  let m =
+    run_asm
+      {|
+main:   li   $t9, 2
+        li   $a0, 10
+        jal  fact
+        move $a0, $v0
+        li   $v0, 1
+        syscall
+        li   $a0, 10
+        li   $v0, 2
+        syscall
+        halt
+
+# v0 = fact(a0)
+fact:   blt  $a0, $t9, fbase
+        push $ra
+        push $a0
+        addi $a0, $a0, -1
+        jal  fact
+        pop  $a0
+        pop  $ra
+        mul  $v0, $v0, $a0
+        ret
+fbase:  li   $v0, 1
+        ret
+|}
+  in
+  check string "10! printed" "3628800\n" (Machine.output m);
+  check (Alcotest.option int) "exit" (Some 0) (Machine.exit_code m)
+
+let test_loop_and_memory () =
+  let m =
+    run_asm
+      {|
+        .data
+acc:    .word 0
+        .text
+main:   la   $s0, acc
+        li   $t0, 0          # i
+        li   $t1, 100
+loop:   lw   $t2, 0($s0)
+        add  $t2, $t2, $t0
+        sw   $t2, 0($s0)
+        addi $t0, $t0, 1
+        blt  $t0, $t1, loop
+        lw   $a0, 0($s0)
+        li   $v0, 1
+        syscall
+        halt
+|}
+  in
+  check string "sum 0..99" "4950" (Machine.output m)
+
+let test_syscalls () =
+  let m =
+    run_asm
+      {|
+        .data
+msg:    .asciiz "ok\n"
+        .text
+main:   la   $a0, msg
+        li   $v0, 3
+        syscall
+        li   $a0, -7
+        li   $v0, 1
+        syscall
+        li   $a0, 1234
+        li   $v0, 4
+        syscall
+        li   $a0, 3
+        li   $v0, 5
+        syscall
+        halt
+|}
+  in
+  check string "output" "ok\n-7" (Machine.output m);
+  check (Alcotest.option int) "exit code" (Some 3) (Machine.exit_code m);
+  check int "checksum" (Syscall.mix_checksum 0 1234) m.Machine.checksum
+
+let test_indirect_branches_counted () =
+  let m =
+    run_asm
+      {|
+main:   la   $t0, f
+        jalr $t0             # indirect call
+        la   $t1, g
+        jr   $t1             # indirect jump
+g:      halt
+f:      ret                  # return
+|}
+  in
+  check int "icalls" 1 m.Machine.c.Machine.icalls;
+  check int "returns" 1 m.Machine.c.Machine.returns;
+  check int "ijumps" 1 m.Machine.c.Machine.ijumps;
+  check int "ib total" 3 (Machine.ib_dynamic_count m)
+
+let test_zero_register () =
+  let m =
+    run_asm
+      {|
+main:   li   $t0, 5
+        add  $zero, $t0, $t0   # write to $zero is discarded
+        move $a0, $zero
+        li   $v0, 1
+        syscall
+        halt
+|}
+  in
+  check string "zero stays zero" "0" (Machine.output m)
+
+let test_illegal_raises () =
+  let p = Assembler.assemble_string "main: halt" in
+  let m = Loader.load p in
+  (* overwrite the halt with a word that does not decode *)
+  Memory.store_word m.Machine.mem p.Sdt_isa.Program.entry 0xFFFF_FFFF;
+  check bool "illegal raises" true
+    (match Machine.run m with exception Machine.Error _ -> true | _ -> false)
+
+let test_trap_requires_handler () =
+  let b = Builder.create () in
+  let start = Builder.here b in
+  Builder.emit b (Inst.Trap 3);
+  Builder.halt b;
+  let p = Builder.assemble b ~entry:start in
+  let m = Loader.load p in
+  check bool "unhandled trap raises" true
+    (match Machine.run m with exception Machine.Error _ -> true | _ -> false)
+
+let test_trap_handler_must_set_pc () =
+  let b = Builder.create () in
+  let start = Builder.here b in
+  Builder.emit b (Inst.Trap 3);
+  Builder.halt b;
+  let p = Builder.assemble b ~entry:start in
+  let m = Loader.load p in
+  Machine.set_trap_handler m (fun _ ~code:_ ~trap_pc:_ -> () (* forgets pc *));
+  check bool "poisoned pc faults" true
+    (match Machine.run m with
+    | exception Memory.Fault _ -> true
+    | _ -> false)
+
+let test_trap_handler_resumes () =
+  let b = Builder.create () in
+  let start = Builder.here b in
+  Builder.emit b (Inst.Trap 7);
+  let after = Builder.fresh_label b in
+  Builder.place b after;
+  Builder.emit b (Inst.Add (Reg.a0, Reg.t5, Reg.zero));
+  Builder.emit b (Inst.Addi (Reg.v0, Reg.zero, 1));
+  Builder.syscall b;
+  Builder.halt b;
+  let p = Builder.assemble b ~entry:start in
+  let m = Loader.load p in
+  Machine.set_trap_handler m (fun m ~code ~trap_pc ->
+      Machine.set_reg m Reg.t5 (code * 10);
+      m.Machine.pc <- trap_pc + 4);
+  Machine.run m;
+  check string "handler ran and resumed" "70" (Machine.output m)
+
+let test_step_limit () =
+  let m' = Assembler.assemble_string "main: j main" in
+  let m = Loader.load m' in
+  check bool "step limit raises" true
+    (match Machine.run ~max_steps:1000 m with
+    | exception Machine.Error _ -> true
+    | _ -> false)
+
+let test_native_timing_sane () =
+  let timing = Timing.create Arch.arch_a in
+  let m =
+    run_asm ~timing
+      {|
+main:   li   $t0, 0
+        li   $t1, 10000
+loop:   addi $t0, $t0, 1
+        blt  $t0, $t1, loop
+        halt
+|}
+  in
+  let instrs = m.Machine.c.Machine.instructions in
+  let cycles = Timing.cycles timing in
+  check bool "cycles >= instructions" true (cycles >= instrs);
+  (* a predictable tight loop should be close to 1 cycle/instruction *)
+  check bool "CPI < 2" true (cycles < 2 * instrs)
+
+let test_word_ops_semantics () =
+  let m =
+    run_asm
+      {|
+main:   li   $t0, -8
+        li   $t1, 3
+        div  $t2, $t0, $t1     # -2
+        rem  $t3, $t0, $t1     # -2
+        mul  $t4, $t0, $t1     # -24
+        sra  $t5, $t0, 1       # -4
+        srl  $t6, $t0, 28      # 15
+        add  $a0, $t2, $t3
+        add  $a0, $a0, $t4
+        add  $a0, $a0, $t5
+        add  $a0, $a0, $t6
+        li   $v0, 1
+        syscall
+        halt
+|}
+  in
+  check string "signed arithmetic" (string_of_int (-2 - 2 - 24 - 4 + 15))
+    (Machine.output m)
+
+let test_unsigned_branches () =
+  let m =
+    run_asm
+      {|
+main:   li   $t0, -1          # 0xFFFFFFFF: huge unsigned
+        li   $t1, 1
+        li   $a0, 0
+        bltu $t0, $t1, bad    # unsigned: not taken
+        addi $a0, $a0, 1
+        bgeu $t0, $t1, good   # unsigned: taken
+bad:    li   $a0, 99
+good:   li   $v0, 1
+        syscall
+        halt
+|}
+  in
+  check string "unsigned compare semantics" "1" (Machine.output m)
+
+let test_byte_sign_extension () =
+  let m =
+    run_asm
+      {|
+        .data
+buf:    .byte 0x80, 0x7F
+        .text
+main:   la   $t0, buf
+        lb   $t1, 0($t0)      # sign-extends to -128
+        lbu  $t2, 0($t0)      # zero-extends to 128
+        lb   $t3, 1($t0)      # 127 either way
+        add  $a0, $t1, $t2    # -128 + 128 = 0
+        add  $a0, $a0, $t3
+        li   $v0, 1
+        syscall
+        halt
+|}
+  in
+  check string "lb/lbu semantics" "127" (Machine.output m)
+
+let test_sb_truncates () =
+  let m =
+    run_asm
+      {|
+        .data
+buf:    .word 0
+        .text
+main:   la   $t0, buf
+        li   $t1, 0x1FF       # store truncates to 0xFF
+        sb   $t1, 0($t0)
+        lbu  $a0, 0($t0)
+        li   $v0, 1
+        syscall
+        halt
+|}
+  in
+  check string "sb truncates to a byte" "255" (Machine.output m)
+
+let test_jalr_rd_equals_rs () =
+  (* jalr t0, t0: the target must be read before rd is written *)
+  let m =
+    run_asm
+      {|
+main:   la   $t0, f
+        jalr $t0, $t0
+        halt                  # unreachable: f exits
+f:      li   $a0, 7
+        li   $v0, 1
+        syscall
+        li   $a0, 0
+        li   $v0, 5
+        syscall
+|}
+  in
+  check string "target read before link write" "7" (Machine.output m)
+
+let test_unknown_syscall () =
+  let p = Assembler.assemble_string "main: li $v0, 99
+ syscall
+ halt" in
+  let m = Loader.load p in
+  check bool "unknown syscall raises" true
+    (match Machine.run m with
+    | exception Syscall.Unknown 99 -> true
+    | _ -> false)
+
+let test_step_after_exit_is_noop () =
+  let p = Assembler.assemble_string "main: halt" in
+  let m = Loader.load p in
+  Machine.run m;
+  let before = m.Machine.c.Machine.instructions in
+  Machine.step m;
+  Machine.step m;
+  check int "no instructions after exit" before m.Machine.c.Machine.instructions
+
+let test_jump_region_semantics () =
+  (* J targets are word indices within the 256MiB region of pc+4 *)
+  let b = Builder.create () in
+  let start = Builder.here b in
+  let l = Builder.fresh_label b in
+  Builder.j b l;
+  Builder.halt b;  (* skipped *)
+  Builder.place b l;
+  Builder.emit b (Inst.Addi (Reg.a0, Reg.zero, 5));
+  Builder.emit b (Inst.Addi (Reg.v0, Reg.zero, 1));
+  Builder.syscall b;
+  Builder.halt b;
+  let p = Builder.assemble b ~entry:start in
+  let m = Loader.load p in
+  Machine.run m;
+  check string "jump lands past halt" "5" (Machine.output m)
+
+let () =
+  Alcotest.run "sdt_machine"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "words and bytes" `Quick test_memory_words;
+          Alcotest.test_case "faults" `Quick test_memory_faults;
+          Alcotest.test_case "decode cache invalidation" `Quick
+            test_memory_decode_cache_invalidation;
+          Alcotest.test_case "strings" `Quick test_memory_read_string;
+        ] );
+      ("syscall", [ Alcotest.test_case "checksum mix" `Quick test_checksum_mix ]);
+      ( "machine",
+        [
+          Alcotest.test_case "factorial" `Quick test_factorial_real;
+          Alcotest.test_case "loop and memory" `Quick test_loop_and_memory;
+          Alcotest.test_case "syscalls" `Quick test_syscalls;
+          Alcotest.test_case "ib counters" `Quick test_indirect_branches_counted;
+          Alcotest.test_case "zero register" `Quick test_zero_register;
+          Alcotest.test_case "illegal instruction" `Quick test_illegal_raises;
+          Alcotest.test_case "unhandled trap" `Quick test_trap_requires_handler;
+          Alcotest.test_case "trap must set pc" `Quick test_trap_handler_must_set_pc;
+          Alcotest.test_case "trap resume" `Quick test_trap_handler_resumes;
+          Alcotest.test_case "step limit" `Quick test_step_limit;
+          Alcotest.test_case "native timing" `Quick test_native_timing_sane;
+          Alcotest.test_case "signed ops" `Quick test_word_ops_semantics;
+          Alcotest.test_case "unsigned branches" `Quick test_unsigned_branches;
+          Alcotest.test_case "byte sign extension" `Quick test_byte_sign_extension;
+          Alcotest.test_case "sb truncation" `Quick test_sb_truncates;
+          Alcotest.test_case "jalr rd=rs" `Quick test_jalr_rd_equals_rs;
+          Alcotest.test_case "unknown syscall" `Quick test_unknown_syscall;
+          Alcotest.test_case "step after exit" `Quick test_step_after_exit_is_noop;
+          Alcotest.test_case "jump region" `Quick test_jump_region_semantics;
+        ] );
+    ]

@@ -1,0 +1,173 @@
+(* Independent reference implementations: compute, in plain OCaml, the
+   checksum two of the workloads must produce, and compare against the
+   simulated machine. This validates that the guest programs compute
+   what their descriptions claim — a much stronger statement than
+   determinism. The reference code deliberately shares nothing with the
+   builders except the published algorithm. *)
+
+module Word = Sdt_isa.Word
+module Machine = Sdt_machine.Machine
+module Loader = Sdt_machine.Loader
+module Syscall = Sdt_machine.Syscall
+module Suite = Sdt_workloads.Suite
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+(* the guest LCG, bit-exactly *)
+let lcg seed =
+  let seed = Word.add (Word.mul seed 1103515245) 12345 in
+  (seed, (seed lsr 16) land 0x7FFF)
+
+let machine_checksum name size =
+  let e = Option.get (Suite.find name) in
+  let m = Loader.load (e.Suite.build ~size) in
+  Machine.run ~max_steps:100_000_000 m;
+  m.Machine.checksum
+
+(* ------------------------------------------------------------------ *)
+(* gzip: RLE over a 4-symbol buffer, then LZ77 hash-chain matching *)
+
+let gzip_reference ~size =
+  let n = max 64 size in
+  let seed = ref 42 in
+  let src =
+    Array.init n (fun _ ->
+        let s, bits = lcg !seed in
+        seed := s;
+        (bits lsr 3) land 3)
+  in
+  let dst = Buffer.create (2 * n) in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.(!i) in
+    let run = ref 1 in
+    while
+      !i + !run < n
+      && src.(!i + !run) = c
+      && !run < 255
+    do
+      incr run
+    done;
+    Buffer.add_char dst (Char.chr c);
+    Buffer.add_char dst (Char.chr !run);
+    i := !i + !run
+  done;
+  let acc = ref 0 in
+  let out = Buffer.contents dst in
+  String.iter (fun ch -> acc := Word.add (Word.mul !acc 31) (Char.code ch)) out;
+  let chk = Syscall.mix_checksum 0 !acc in
+  let chk = Syscall.mix_checksum chk (String.length out) in
+  (* LZ77 pass: 64-bucket head table over 3-byte windows, matches capped
+     at 16 bytes, total match length folded in *)
+  let heads = Array.make 64 0 in
+  let byte p = Char.code out.[p] in
+  let total = ref 0 in
+  let len_out = String.length out in
+  let p = ref 0 in
+  while !p < len_out - 3 do
+    let h = (byte !p lxor (byte (!p + 1) lsl 2) lxor (byte (!p + 2) lsl 4)) land 63 in
+    let prev = heads.(h) in
+    heads.(h) <- !p + 1;
+    if prev <> 0 then begin
+      let prev = prev - 1 in
+      let len = ref 0 in
+      while
+        !len < 16
+        && !p + !len < len_out
+        && byte (!p + !len) = byte (prev + !len)
+      do
+        incr len
+      done;
+      total := !total + !len
+    end;
+    incr p
+  done;
+  Syscall.mix_checksum chk !total
+
+let test_gzip_reference () =
+  List.iter
+    (fun size ->
+      check int
+        (Printf.sprintf "gzip checksum at size %d" size)
+        (gzip_reference ~size)
+        (machine_checksum "gzip" size))
+    [ 100; 800; 3_000 ]
+
+(* ------------------------------------------------------------------ *)
+(* bzip2: counting sort + move-to-front over a 16-symbol buffer *)
+
+let bzip2_reference ~size =
+  let alphabet = 16 in
+  let n = max 64 size in
+  let seed = ref (Word.of_int (size + 3)) in
+  let src =
+    Array.init n (fun _ ->
+        let s, bits = lcg !seed in
+        seed := s;
+        bits land (alphabet - 1))
+  in
+  (* stable counting sort *)
+  let freq = Array.make alphabet 0 in
+  Array.iter (fun b -> freq.(b) <- freq.(b) + 1) src;
+  let starts = Array.make alphabet 0 in
+  let total = ref 0 in
+  for sym = 0 to alphabet - 1 do
+    starts.(sym) <- !total;
+    total := !total + freq.(sym)
+  done;
+  let sorted = Array.make n 0 in
+  Array.iter
+    (fun b ->
+      sorted.(starts.(b)) <- b;
+      starts.(b) <- starts.(b) + 1)
+    src;
+  (* move-to-front *)
+  let mtf = Array.init alphabet (fun i -> i) in
+  let acc = ref 0 in
+  Array.iter
+    (fun sym ->
+      let idx = ref 0 in
+      while mtf.(!idx) <> sym do
+        incr idx
+      done;
+      for j = !idx downto 1 do
+        mtf.(j) <- mtf.(j - 1)
+      done;
+      mtf.(0) <- sym;
+      acc := Word.add (Word.mul !acc 33) !idx)
+    sorted;
+  Syscall.mix_checksum 0 !acc
+
+let test_bzip2_reference () =
+  List.iter
+    (fun size ->
+      check int
+        (Printf.sprintf "bzip2 checksum at size %d" size)
+        (bzip2_reference ~size)
+        (machine_checksum "bzip2" size))
+    [ 100; 1_500; 4_000 ]
+
+let prop_gzip_any_size =
+  QCheck.Test.make ~count:20 ~name:"gzip reference matches at random sizes"
+    QCheck.(int_range 64 1_500)
+    (fun size -> gzip_reference ~size = machine_checksum "gzip" size)
+
+let prop_bzip2_any_size =
+  QCheck.Test.make ~count:15 ~name:"bzip2 reference matches at random sizes"
+    QCheck.(int_range 64 2_000)
+    (fun size -> bzip2_reference ~size = machine_checksum "bzip2" size)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sdt_workload_refs"
+    [
+      ( "references",
+        [
+          Alcotest.test_case "gzip = reference RLE+LZ" `Quick test_gzip_reference;
+          Alcotest.test_case "bzip2 = reference sort+MTF" `Quick
+            test_bzip2_reference;
+          qt prop_gzip_any_size;
+          qt prop_bzip2_any_size;
+        ] );
+    ]

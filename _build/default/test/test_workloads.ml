@@ -1,0 +1,307 @@
+(* Tests for the workload suite: determinism, IB profiles, and the
+   central oracle — every workload runs identically natively and under
+   the SDT, for representative configurations; plus a qcheck property
+   over randomly parameterised synthetic programs. *)
+
+module Machine = Sdt_machine.Machine
+module Loader = Sdt_machine.Loader
+module Arch = Sdt_march.Arch
+module Config = Sdt_core.Config
+module Runtime = Sdt_core.Runtime
+module Suite = Sdt_workloads.Suite
+module Synthetic = Sdt_workloads.Synthetic
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let native program =
+  let m = Loader.load program in
+  Machine.run ~max_steps:50_000_000 m;
+  m
+
+let sdt ~cfg ~arch program =
+  let rt = Runtime.create ~cfg ~arch program in
+  Runtime.run ~max_steps:200_000_000 rt;
+  Runtime.machine rt
+
+let test_determinism () =
+  List.iter
+    (fun e ->
+      let p1 = Suite.program e `Test and p2 = Suite.program e `Test in
+      let m1 = native p1 and m2 = native p2 in
+      check int
+        (e.Suite.name ^ " checksum stable")
+        m1.Machine.checksum m2.Machine.checksum;
+      check string (e.Suite.name ^ " output stable") (Machine.output m1)
+        (Machine.output m2))
+    Suite.all
+
+let test_all_exit_cleanly () =
+  List.iter
+    (fun e ->
+      let m = native (Suite.program e `Test) in
+      check (Alcotest.option int) (e.Suite.name ^ " exits 0") (Some 0)
+        (Machine.exit_code m);
+      check bool (e.Suite.name ^ " nonzero checksum") true
+        (m.Machine.checksum <> 0))
+    Suite.all
+
+let test_ib_profiles () =
+  (* the suite must span the paper's IB density spectrum *)
+  let density e =
+    let m = native (Suite.program e `Test) in
+    1000.0
+    *. float_of_int (Machine.ib_dynamic_count m)
+    /. float_of_int m.Machine.c.Machine.instructions
+  in
+  let get name = density (Option.get (Suite.find name)) in
+  check bool "mcf nearly IB-free" true (get "mcf" < 1.0);
+  check bool "bzip2 nearly IB-free" true (get "bzip2" < 1.0);
+  check bool "perlbmk IB-heavy" true (get "perlbmk" > 50.0);
+  check bool "eon IB-heavy" true (get "eon" > 50.0);
+  check bool "vortex IB-heavy" true (get "vortex" > 50.0);
+  check bool "gzip moderate" true
+    (let d = get "gzip" in
+     d > 1.0 && d < 50.0);
+  check bool "art IB-free (FP)" true (get "art" = 0.0);
+  check bool "equake IB-free (FP)" true (get "equake" = 0.0)
+
+(* Golden checksums at test size: any change to a workload's computation
+   (as opposed to pure refactoring) shows up here and must be a
+   conscious decision — the benchmark numbers in EXPERIMENTS.md are only
+   comparable across runs if the workloads are frozen. *)
+let golden_checksums =
+  [
+    ("gzip", 0xf551a546);
+    ("vpr", 0x66c63615);
+    ("gcc", 0xace33bd6);
+    ("mcf", 0x03a49606);
+    ("crafty", 0x11001ac3);
+    ("parser", 0x80e07d90);
+    ("eon", 0x3c5d4610);
+    ("perlbmk", 0xbd863549);
+    ("gap", 0x7ac4a992);
+    ("vortex", 0x79f7e7a5);
+    ("bzip2", 0x57ffe628);
+    ("twolf", 0xcf1e5a51);
+    ("art", 0x961d1143);
+    ("equake", 0x222d2d05);
+  ]
+
+let test_golden_checksums () =
+  List.iter
+    (fun (name, expected) ->
+      let e = Option.get (Suite.find name) in
+      let m = native (Suite.program e `Test) in
+      check int (name ^ " golden checksum") expected m.Machine.checksum)
+    golden_checksums
+
+let test_instrumentation_matches_ground_truth () =
+  (* the emitted memop counters must agree with the simulator's own
+     counters on every workload *)
+  List.iter
+    (fun e ->
+      let p = Suite.program e `Test in
+      let m = Loader.load p in
+      Machine.run ~max_steps:50_000_000 m;
+      let truth = m.Machine.c.Machine.loads + m.Machine.c.Machine.stores in
+      let cfg = { Sdt_core.Config.default with count_memops = true } in
+      let rt = Sdt_core.Runtime.create ~cfg ~arch:Arch.arch_a p in
+      Sdt_core.Runtime.run ~max_steps:200_000_000 rt;
+      check int
+        (e.Suite.name ^ " memop count")
+        truth
+        (Sdt_core.Runtime.instrumented_memops rt))
+    Suite.all
+
+let test_profile_totals_match () =
+  List.iter
+    (fun name ->
+      let e = Option.get (Suite.find name) in
+      let p = Suite.program e `Test in
+      let m = Loader.load p in
+      Machine.run ~max_steps:50_000_000 m;
+      let truth = Machine.ib_dynamic_count m in
+      let cfg =
+        {
+          Sdt_core.Config.default with
+          profile_ib_sites = true;
+          returns = Sdt_core.Config.As_ib;
+        }
+      in
+      let rt = Sdt_core.Runtime.create ~cfg ~arch:Arch.arch_a p in
+      Sdt_core.Runtime.run ~max_steps:200_000_000 rt;
+      let total =
+        List.fold_left
+          (fun acc (_, n) -> acc + n)
+          0
+          (Sdt_core.Runtime.ib_site_profile rt)
+      in
+      check int (name ^ " profile total") truth total)
+    [ "gcc"; "eon"; "perlbmk"; "vortex" ]
+
+let find_shipped name =
+  (* the test binary may run from the workspace root (dune exec) or from
+     the build's test directory (dune runtest) *)
+  let candidates =
+    [
+      Filename.concat "examples/asm" name;
+      Filename.concat "../examples/asm" name;
+      Filename.concat "../../../examples/asm" name;
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.failf "cannot locate shipped example %s" name
+
+let test_example_sources_assemble_and_run () =
+  List.iter
+    (fun name ->
+      let p = Sdt_isa.Assembler.assemble_file (find_shipped name) in
+      let nm = native p in
+      let sm = sdt ~cfg:Sdt_core.Config.default ~arch:Arch.arch_a p in
+      check string (name ^ " equivalent") (Machine.output nm)
+        (Machine.output sm))
+    [ "fib.via"; "switch.via" ]
+
+let representative_configs =
+  [
+    ("baseline", Config.baseline);
+    ("default", Config.default);
+    ( "sieve",
+      { Config.default with mech = Config.Sieve Config.default_sieve } );
+    ( "ibtc+fast-returns",
+      { Config.default with returns = Config.Fast_return } );
+    ( "shadow+pred",
+      {
+        Config.default with
+        returns = Config.Shadow_stack { depth = 256 };
+        pred_depth = 2;
+      } );
+  ]
+
+let workload_equivalence_cases =
+  List.concat_map
+    (fun e ->
+      List.map
+        (fun (cname, cfg) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s under %s" e.Suite.name cname)
+            `Quick
+            (fun () ->
+              let p = Suite.program e `Test in
+              let nm = native p in
+              let arch =
+                (* alternate architectures for variety *)
+                if String.length e.Suite.name mod 2 = 0 then Arch.arch_a
+                else Arch.arch_b
+              in
+              let sm = sdt ~cfg ~arch p in
+              check string "output" (Machine.output nm) (Machine.output sm);
+              check int "checksum" nm.Machine.checksum sm.Machine.checksum;
+              check (Alcotest.option int) "exit code" (Machine.exit_code nm)
+                (Machine.exit_code sm)))
+        representative_configs)
+    Suite.all
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic generator *)
+
+let test_synthetic_terminates () =
+  let p = Synthetic.build Synthetic.default in
+  let m = native p in
+  check (Alcotest.option int) "exits" (Some 0) (Machine.exit_code m)
+
+let test_synthetic_scales_ibs () =
+  let count params =
+    let m = native (Synthetic.build params) in
+    Machine.ib_dynamic_count m
+  in
+  let base = { Synthetic.default with iters = 200 } in
+  let few = count { base with ib_sites = 1 } in
+  let many = count { base with ib_sites = 8 } in
+  check bool "more sites, more IBs" true (many > 2 * few)
+
+let synthetic_params_gen =
+  QCheck.Gen.(
+    map
+      (fun (sites, (targets, (fns, (depth, seed)))) ->
+        {
+          Synthetic.ib_sites = sites;
+          targets;
+          fns;
+          recursion_depth = depth;
+          iters = 60;
+          seed;
+        })
+      (pair (int_range 1 8)
+         (pair (int_range 2 24)
+            (pair (int_range 0 6) (pair (int_range 0 5) (int_bound 9999))))))
+
+let synthetic_configs =
+  [
+    Config.baseline;
+    Config.default;
+    { Config.default with mech = Config.Sieve { buckets = 64; insert_at_head = true } };
+    { Config.default with
+      mech = Config.Ibtc { Config.default_ibtc with entries = 16 };
+      returns = Config.Shadow_stack { depth = 16 };
+      pred_depth = 1;
+    };
+    { Config.default with returns = Config.Fast_return };
+  ]
+
+let prop_synthetic_equivalence =
+  QCheck.Test.make ~count:25
+    ~name:"random synthetic programs: native = SDT (all mechanisms)"
+    (QCheck.make
+       ~print:(fun p ->
+         Printf.sprintf "{sites=%d; targets=%d; fns=%d; depth=%d; seed=%d}"
+           p.Synthetic.ib_sites p.Synthetic.targets p.Synthetic.fns
+           p.Synthetic.recursion_depth p.Synthetic.seed)
+       synthetic_params_gen)
+    (fun params ->
+      let p = Synthetic.build params in
+      let nm = native p in
+      List.for_all
+        (fun cfg ->
+          List.for_all
+            (fun arch ->
+              let sm = sdt ~cfg ~arch p in
+              Machine.output nm = Machine.output sm
+              && nm.Machine.checksum = sm.Machine.checksum)
+            [ Arch.arch_a; Arch.arch_b ])
+        synthetic_configs)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sdt_workloads"
+    [
+      ( "suite",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "clean exits" `Quick test_all_exit_cleanly;
+          Alcotest.test_case "IB density spectrum" `Quick test_ib_profiles;
+          Alcotest.test_case "golden checksums" `Quick test_golden_checksums;
+        ] );
+      ("equivalence", workload_equivalence_cases);
+      ( "instrumentation",
+        [
+          Alcotest.test_case "memop counts" `Quick
+            test_instrumentation_matches_ground_truth;
+          Alcotest.test_case "IB profiles" `Quick test_profile_totals_match;
+        ] );
+      ( "shipped assembly",
+        [
+          Alcotest.test_case "examples assemble and run" `Quick
+            test_example_sources_assemble_and_run;
+        ] );
+      ( "synthetic",
+        [
+          Alcotest.test_case "terminates" `Quick test_synthetic_terminates;
+          Alcotest.test_case "IB scaling" `Quick test_synthetic_scales_ibs;
+          qt prop_synthetic_equivalence;
+        ] );
+    ]
