@@ -1,0 +1,22 @@
+# Convenience targets; everything real lives in dune.
+
+.PHONY: all build test bench-smoke check clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# a fast end-to-end pass: full build, test suite, and one benchmark
+# harness run at smoke size with machine-readable output
+bench-smoke:
+	dune exec bench/main.exe -- --size test --only T1,F2 --no-bechamel \
+	  --json _build/bench-smoke
+
+check: build test bench-smoke
+
+clean:
+	dune clean

@@ -6,45 +6,96 @@
      dune exec bench/main.exe                 -- all experiments, ref size
      dune exec bench/main.exe -- --size test  -- fast smoke sizes
      dune exec bench/main.exe -- --only F2,F8 -- a subset
+     dune exec bench/main.exe -- --json out/  -- machine-readable results
      dune exec bench/main.exe -- --no-bechamel
 *)
 
 module Experiments = Sdt_harness.Experiments
 module Table = Sdt_harness.Table
 module Run = Sdt_harness.Run
+module Jsonw = Sdt_observe.Jsonw
+
+type options = {
+  mutable size : Experiments.size;
+  mutable only : string list option;
+  mutable bechamel : bool;
+  mutable csv_dir : string option;
+  mutable json_dir : string option;
+}
+
+(* one row per option: flag, value placeholder ("" = boolean), doc,
+   handler — the usage string and the dispatch loop both derive from
+   this table *)
+let specs (o : options) =
+  [
+    ( "--size",
+      "test|ref",
+      "workload size (default ref)",
+      fun v ->
+        o.size <-
+          (match v with
+          | "test" -> `Test
+          | "ref" -> `Ref
+          | other ->
+              Printf.eprintf "--size: expected test or ref, got %S\n" other;
+              exit 2) );
+    ( "--only",
+      "IDS",
+      "comma-separated experiment ids (e.g. T1,F2)",
+      fun v -> o.only <- Some (String.split_on_char ',' v) );
+    ( "--csv",
+      "DIR",
+      "write each table as CSV into DIR",
+      fun v -> o.csv_dir <- Some v );
+    ( "--json",
+      "DIR",
+      "write one BENCH_<id>.json per experiment into DIR",
+      fun v -> o.json_dir <- Some v );
+    ( "--no-bechamel",
+      "",
+      "skip the Bechamel wall-time measurements",
+      fun _ -> o.bechamel <- false );
+  ]
+
+let usage specs =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "usage: bench [options]\n";
+  List.iter
+    (fun (flag, value, doc, _) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-22s %s\n"
+           (if value = "" then flag else flag ^ " " ^ value)
+           doc))
+    specs;
+  Buffer.contents b
 
 let parse_args () =
-  let size = ref `Ref in
-  let only = ref None in
-  let bechamel = ref true in
-  let csv_dir = ref None in
+  let o =
+    { size = `Ref; only = None; bechamel = true; csv_dir = None; json_dir = None }
+  in
+  let specs = specs o in
   let rec go = function
     | [] -> ()
-    | "--size" :: "test" :: rest ->
-        size := `Test;
-        go rest
-    | "--size" :: "ref" :: rest ->
-        size := `Ref;
-        go rest
-    | "--only" :: ids :: rest ->
-        only := Some (String.split_on_char ',' ids);
-        go rest
-    | "--no-bechamel" :: rest ->
-        bechamel := false;
-        go rest
-    | "--csv" :: dir :: rest ->
-        csv_dir := Some dir;
-        go rest
-    | arg :: _ ->
-        Printf.eprintf
-          "unknown argument %S\n\
-           usage: bench [--size test|ref] [--only T1,F2,...] [--csv DIR] \
-           [--no-bechamel]\n"
-          arg;
-        exit 2
+    | arg :: rest -> (
+        match List.find_opt (fun (flag, _, _, _) -> flag = arg) specs with
+        | Some (_, "", _, handle) ->
+            handle "";
+            go rest
+        | Some (flag, value, _, handle) -> (
+            match rest with
+            | v :: rest ->
+                handle v;
+                go rest
+            | [] ->
+                Printf.eprintf "%s needs a %s value\n%s" flag value
+                  (usage specs);
+                exit 2)
+        | None ->
+            Printf.eprintf "unknown argument %S\n%s" arg (usage specs);
+            exit 2)
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!size, !only, !bechamel, !csv_dir)
+  o
 
 let selected only =
   match only with
@@ -55,18 +106,46 @@ let selected only =
           match Experiments.find (String.trim id) with
           | Some e -> Some e
           | None ->
-              Printf.eprintf "unknown experiment id %S\n" id;
+              Printf.eprintf "unknown experiment id %S; valid ids: %s\n" id
+                (String.concat ", "
+                   (List.map
+                      (fun (e : Experiments.experiment) -> e.Experiments.id)
+                      Experiments.experiments));
               exit 2)
         ids
 
-let run_experiments size csv_dir exps =
-  Option.iter
-    (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
-    csv_dir;
+let table_json (t : Table.t) =
+  Jsonw.Obj
+    [
+      ("title", Jsonw.Str t.Table.title);
+      ("note", Jsonw.Str t.Table.note);
+      ("headers", Jsonw.List (List.map (fun h -> Jsonw.Str h) t.Table.headers));
+      ( "rows",
+        Jsonw.List
+          (List.map
+             (fun r -> Jsonw.List (List.map (fun c -> Jsonw.Str c) r))
+             t.Table.rows) );
+    ]
+
+let experiment_json (e : Experiments.experiment) size seconds tables =
+  Jsonw.Obj
+    [
+      ("id", Jsonw.Str e.Experiments.id);
+      ("title", Jsonw.Str e.Experiments.title);
+      ("size", Jsonw.Str (match size with `Test -> "test" | `Ref -> "ref"));
+      ("seconds", Jsonw.Float seconds);
+      ("tables", Jsonw.List (List.map table_json tables));
+    ]
+
+let run_experiments size csv_dir json_dir exps =
+  let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755 in
+  Option.iter ensure_dir csv_dir;
+  Option.iter ensure_dir json_dir;
   List.iter
     (fun (e : Experiments.experiment) ->
       let t0 = Sys.time () in
       let tables = e.Experiments.run size in
+      let seconds = Sys.time () -. t0 in
       List.iter Table.print tables;
       Option.iter
         (fun dir ->
@@ -81,8 +160,17 @@ let run_experiments size csv_dir exps =
                   Out_channel.output_string oc (Table.to_csv t)))
             tables)
         csv_dir;
+      Option.iter
+        (fun dir ->
+          let path =
+            Filename.concat dir (Printf.sprintf "BENCH_%s.json" e.Experiments.id)
+          in
+          Out_channel.with_open_text path (fun oc ->
+              Jsonw.to_channel oc (experiment_json e size seconds tables);
+              output_char oc '\n'))
+        json_dir;
       Printf.printf "[%s: %s — %.1fs]\n\n%!" e.Experiments.id
-        e.Experiments.title (Sys.time () -. t0))
+        e.Experiments.title seconds)
     exps
 
 (* One Bechamel test per experiment: each measures one end-to-end
@@ -130,11 +218,11 @@ let run_bechamel exps =
   print_newline ()
 
 let () =
-  let size, only, bechamel, csv_dir = parse_args () in
-  let exps = selected only in
+  let o = parse_args () in
+  let exps = selected o.only in
   Printf.printf
     "SDT indirect-branch mechanism evaluation (%s size, %d experiments)\n\n%!"
-    (match size with `Test -> "test" | `Ref -> "ref")
+    (match o.size with `Test -> "test" | `Ref -> "ref")
     (List.length exps);
-  run_experiments size csv_dir exps;
-  if bechamel then run_bechamel exps
+  run_experiments o.size o.csv_dir o.json_dir exps;
+  if o.bechamel then run_bechamel exps

@@ -10,8 +10,30 @@ module Config = Sdt_core.Config
 module Stats = Sdt_core.Stats
 module Runtime = Sdt_core.Runtime
 module Suite = Sdt_workloads.Suite
+module Observer = Sdt_observe.Observer
+module Trace = Sdt_observe.Trace
+module Metrics = Sdt_observe.Metrics
+module Profile = Sdt_observe.Profile
+module Jsonw = Sdt_observe.Jsonw
 
 open Cmdliner
+
+let nearest_symbol symbols pc =
+  List.fold_left
+    (fun best (n, a) ->
+      if a <= pc then
+        match best with
+        | Some (_, ba) when ba >= a -> best
+        | _ -> Some (n, a)
+      else best)
+    None symbols
+
+let with_out_file path f =
+  match open_out path with
+  | oc -> Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+  | exception Sys_error msg ->
+      Printf.eprintf "cannot write %s: %s\n" path msg;
+      exit 1
 
 let load_program file workload size =
   match (file, workload) with
@@ -60,9 +82,62 @@ let returns_of returns =
       Printf.eprintf "unknown return policy %S\n" other;
       exit 2
 
+(* the end-of-run profiling report: overhead decomposition, hottest
+   fragments, per-site IB telemetry *)
+let print_profile prof symbols total_cycles =
+  let attributed = Profile.attributed_cycles prof in
+  Printf.printf "\n--- profile: cycle breakdown ---\n";
+  Printf.printf "attributed cycles: %d of %d\n" attributed total_cycles;
+  let app_cycles =
+    List.fold_left
+      (fun acc { Profile.cycles; _ } -> acc + cycles)
+      0 (Profile.hot_fragments prof)
+  in
+  let pct c =
+    if attributed = 0 then 0.0
+    else 100.0 *. float_of_int c /. float_of_int attributed
+  in
+  Printf.printf "  %-28s %12d  %5.1f%%\n" "application blocks" app_cycles
+    (pct app_cycles);
+  List.iter
+    (fun (name, cycles) ->
+      Printf.printf "  %-28s %12d  %5.1f%%\n" name cycles (pct cycles))
+    (Profile.service_breakdown prof);
+  Printf.printf "--- hottest fragments ---\n";
+  List.iteri
+    (fun i { Profile.app_pc; cycles; insts } ->
+      if i < 10 then
+        Printf.printf "  %08x %-20s %12d cycles %10d insts\n" app_pc
+          (match nearest_symbol symbols app_pc with
+          | Some (n, a) -> Printf.sprintf "%s+0x%x" n (app_pc - a)
+          | None -> "?")
+          cycles insts)
+    (Profile.hot_fragments prof);
+  let sites = Profile.ib_sites prof in
+  if sites <> [] then begin
+    Printf.printf "--- indirect-branch sites ---\n";
+    List.iteri
+      (fun i { Profile.site_pc; executions; distinct_targets; entropy_bits } ->
+        if i < 10 then
+          Printf.printf "  %-28s %10d execs %6d targets %6.2f bits\n"
+            (if site_pc < 0 then "(pooled: shared routines)"
+             else
+               Printf.sprintf "%08x %s" site_pc
+                 (match nearest_symbol symbols site_pc with
+                 | Some (n, a) -> Printf.sprintf "%s+0x%x" n (site_pc - a)
+                 | None -> "?"))
+            executions distinct_targets entropy_bits)
+      sites
+  end
+
 let run file workload size_name native arch_name mech ibtc_entries
     sieve_buckets inline miss_policy returns pred no_link traces ways
-    profile_ib shepherd show_stats trace_steps dump_frags max_steps =
+    profile_ib shepherd show_stats trace_steps dump_frags max_steps trace_file
+    metrics_file profile sample_interval =
+  if sample_interval <= 0 then begin
+    prerr_endline "--sample-interval must be positive";
+    exit 2
+  end;
   let size = if size_name = "ref" then `Ref else `Test in
   let program = load_program file workload size in
   let arch =
@@ -91,6 +166,10 @@ let run file workload size_name native arch_name mech ibtc_entries
     end
   in
   if native then begin
+    if trace_file <> None || metrics_file <> None || profile then
+      prerr_endline
+        "note: --trace/--metrics/--profile observe the translator; ignored \
+         under --native";
     let m = Loader.load ~timing program in
     traced m;
     Machine.run ~max_steps m;
@@ -117,7 +196,19 @@ let run file workload size_name native arch_name mech ibtc_entries
         shepherd;
       }
     in
-    let rt = Runtime.create ~cfg ~arch ~timing program in
+    let tracer = Option.map (fun _ -> Trace.create ()) trace_file in
+    let metrics = Option.map (fun _ -> Metrics.create ()) metrics_file in
+    let prof = if profile then Some (Profile.create ()) else None in
+    let observer =
+      if tracer = None && metrics = None && prof = None then None
+      else
+        Some
+          (Observer.create
+             ~clock:(fun () -> Timing.cycles timing)
+             ?trace:tracer ?metrics ?profile:prof
+             ~sample_interval ())
+    in
+    let rt = Runtime.create ~cfg ~arch ~timing ?observer program in
     (* with --trace, translate the entry block first (a zero-step run
        raises the step-limit error after doing exactly that), then
        single-step from the fragment cache *)
@@ -143,16 +234,7 @@ let run file workload size_name native arch_name mech ibtc_entries
     if dump_frags then begin
       let frags = Runtime.fragments rt in
       let symbols = program.Sdt_isa.Program.symbols in
-      let nearest pc =
-        List.fold_left
-          (fun best (n, a) ->
-            if a <= pc then
-              match best with
-              | Some (_, ba) when ba >= a -> best
-              | _ -> Some (n, a)
-            else best)
-          None symbols
-      in
+      let nearest pc = nearest_symbol symbols pc in
       print_endline "--- fragment map (emission order) ---";
       let ends =
         List.tl (List.map snd frags) @ [ 0x0040_0000 + Runtime.code_bytes rt ]
@@ -177,16 +259,7 @@ let run file workload size_name native arch_name mech ibtc_entries
     end;
     if profile_ib then begin
       let symbols = program.Sdt_isa.Program.symbols in
-      let nearest pc =
-        List.fold_left
-          (fun best (n, a) ->
-            if a <= pc then
-              match best with
-              | Some (_, ba) when ba >= a -> best
-              | _ -> Some (n, a)
-            else best)
-          None symbols
-      in
+      let nearest pc = nearest_symbol symbols pc in
       print_endline "--- hottest indirect-branch sites ---";
       List.iteri
         (fun i (pc, count) ->
@@ -198,6 +271,28 @@ let run file workload size_name native arch_name mech ibtc_entries
               count)
         (Runtime.ib_site_profile rt)
     end;
+    (match (trace_file, tracer) with
+    | Some path, Some tr ->
+        with_out_file path (fun oc -> Trace.write_chrome oc tr);
+        Printf.eprintf "trace: %d events to %s (%d dropped)\n"
+          (Trace.recorded tr) path (Trace.dropped tr)
+    | _ -> ());
+    (match (metrics_file, metrics) with
+    | Some path, Some m ->
+        if Filename.check_suffix path ".json" then
+          with_out_file path (fun oc ->
+              Jsonw.to_channel oc (Metrics.to_json m);
+              output_char oc '\n')
+        else with_out_file path (fun oc -> output_string oc (Metrics.to_csv m));
+        Printf.eprintf "metrics: %d samples x %d series to %s\n"
+          (Metrics.samples m)
+          (List.length (Metrics.columns m))
+          path
+    | _ -> ());
+    Option.iter
+      (fun p ->
+        print_profile p program.Sdt_isa.Program.symbols (Timing.cycles timing))
+      prof;
     0
   end
 
@@ -270,7 +365,7 @@ let shepherd =
        ~doc:"Enforce a control-flow policy: transfers may only enter the text segment.")
 
 let trace_steps =
-  Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N"
+  Arg.(value & opt int 0 & info [ "trace-steps" ] ~docv:"N"
        ~doc:"Single-step the first N instructions, printing a disassembly trace to stderr.")
 
 let dump_frags =
@@ -284,6 +379,22 @@ let max_steps =
   Arg.(value & opt int 2_000_000_000 & info [ "max-steps" ] ~docv:"N"
        ~doc:"Step budget before aborting.")
 
+let trace_file =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+       ~doc:"Write a Chrome trace_event JSON of runtime events (translations, links, IB misses) to FILE; view in Perfetto or chrome://tracing.")
+
+let metrics_file =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+       ~doc:"Sample metrics periodically and write the time series to FILE: CSV, or JSON when FILE ends in .json.")
+
+let profile =
+  Arg.(value & flag & info [ "profile" ]
+       ~doc:"Attribute cycles to fragments and service code; print the overhead breakdown, hottest fragments, and per-site IB telemetry.")
+
+let sample_interval =
+  Arg.(value & opt int 10_000 & info [ "sample-interval" ] ~docv:"N"
+       ~doc:"Simulated cycles between metric samples.")
+
 let cmd =
   let doc = "run VIA programs natively or under the software dynamic translator" in
   Cmd.v
@@ -292,6 +403,7 @@ let cmd =
       const run $ file $ workload $ size_name $ native $ arch_name $ mech
       $ ibtc_entries $ sieve_buckets $ inline $ miss_policy $ returns $ pred
       $ no_link $ traces $ ways $ profile_ib $ shepherd $ show_stats
-      $ trace_steps $ dump_frags $ max_steps)
+      $ trace_steps $ dump_frags $ max_steps $ trace_file $ metrics_file
+      $ profile $ sample_interval)
 
 let () = exit (Cmd.eval' cmd)

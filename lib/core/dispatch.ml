@@ -5,19 +5,21 @@ module Memory = Sdt_machine.Memory
 
 let emit_routine (env : Env.t) =
   let entry = Emitter.here env.Env.em in
-  Context.emit_save env;
-  let restore = ref 0 in
-  Env.emit_trap env ~code:Env.trap_dispatch (fun m ~trap_pc:_ ->
-      env.Env.stats.Stats.dispatch_entries <-
-        env.Env.stats.Stats.dispatch_entries + 1;
-      let target = Machine.reg m Reg.k0 in
-      let frag = env.Env.ensure_translated target in
-      Memory.store_word m.Machine.mem env.Env.layout.Layout.result_slot frag;
-      Env.charge env
-        (env.Env.arch.Arch.trap_cycles + env.Env.arch.Arch.lookup_cycles);
-      m.Machine.pc <- !restore);
-  restore := Emitter.here env.Env.em;
-  Context.emit_restore_and_jump env ~tail:Env.Tail_jr;
+  Env.observing_emit env "dispatch routine" (fun () ->
+      Context.emit_save env;
+      let restore = ref 0 in
+      Env.emit_trap env ~code:Env.trap_dispatch (fun m ~trap_pc:_ ->
+          env.Env.stats.Stats.dispatch_entries <-
+            env.Env.stats.Stats.dispatch_entries + 1;
+          let target = Machine.reg m Reg.k0 in
+          Env.observe env (Sdt_observe.Event.Dispatch_entry { target });
+          let frag = env.Env.ensure_translated target in
+          Memory.store_word m.Machine.mem env.Env.layout.Layout.result_slot frag;
+          Env.charge env
+            (env.Env.arch.Arch.trap_cycles + env.Env.arch.Arch.lookup_cycles);
+          m.Machine.pc <- !restore);
+      restore := Emitter.here env.Env.em;
+      Context.emit_restore_and_jump env ~tail:Env.Tail_jr);
   entry
 
 let emit_site (env : Env.t) ~tail ~routine = Env.emit_goto_routine env ~tail routine

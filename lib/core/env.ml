@@ -24,6 +24,7 @@ type t = {
   mutable generation : int;
   mutable flush : unit -> unit;
   mutable ib_site_counters : (int * int) list;
+  mutable obs : Sdt_observe.Observer.t option;
 }
 
 let trap_link = 1
@@ -61,12 +62,42 @@ let create ~cfg ~arch ~machine ~em ~layout =
     generation = 0;
     flush = (fun () -> failwith "Env: runtime not wired");
     ib_site_counters = [];
+    obs = None;
   }
 
 let charge t n =
   match t.machine.Machine.timing with
   | None -> ()
   | Some tm -> Timing.add_runtime tm n
+
+(* Observability hooks: single [None] test when no observer is attached.
+   Observation is host-side only — none of these charge cycles, emit
+   code, or touch simulated memory. *)
+
+let observe t kind =
+  match t.obs with
+  | None -> ()
+  | Some o -> Sdt_observe.Observer.event o kind
+
+let observe_region t ~lo ~hi kind =
+  match t.obs with
+  | None -> ()
+  | Some o -> Sdt_observe.Observer.region o ~lo ~hi kind
+
+let observe_entry t ~pc kind =
+  match t.obs with
+  | None -> ()
+  | Some o -> Sdt_observe.Observer.entry_trigger o ~pc kind
+
+(* register [emit body] as a service sub-region named [name] *)
+let observing_emit t name emit =
+  match t.obs with
+  | None -> emit ()
+  | Some o ->
+      let lo = Emitter.here t.em in
+      emit ();
+      Sdt_observe.Observer.region o ~lo ~hi:(Emitter.here t.em)
+        (Sdt_observe.Profile.Service name)
 
 let register_trap_at t addr h = Hashtbl.replace t.traps addr h
 

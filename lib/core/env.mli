@@ -62,6 +62,10 @@ type t = {
       (** (application PC of the IB, counter address) for every site
           instrumented under {!Config.t.profile_ib_sites}; cleared on
           flush (sites are retranslated) *)
+  mutable obs : Sdt_observe.Observer.t option;
+      (** the attached observability layer, if any; set by {!Runtime}
+          before any code is emitted. [None] (the default) must cost
+          nothing beyond one test per hook. *)
 }
 
 (** Trap codes, for diagnostics only (dispatch is by site address). *)
@@ -86,6 +90,27 @@ val create :
 
 val charge : t -> int -> unit
 (** Charge runtime-service cycles (no-op when untimed). *)
+
+(** {1 Observability hooks}
+
+    All are single-[match] no-ops when no observer is attached, and are
+    host-side only when one is: they never charge simulated cycles,
+    emit code, or write simulated memory, so observed and unobserved
+    runs are cycle-identical. *)
+
+val observe : t -> Sdt_observe.Event.kind -> unit
+(** Record a runtime event. *)
+
+val observe_region : t -> lo:int -> hi:int -> Sdt_observe.Profile.region_kind -> unit
+(** Register an emitted code range for cycle attribution. *)
+
+val observe_entry : t -> pc:int -> Sdt_observe.Event.kind -> unit
+(** Synthesize an event whenever execution reaches [pc] (for emitted
+    fallback paths that never trap). *)
+
+val observing_emit : t -> string -> (unit -> unit) -> unit
+(** [observing_emit t name emit] runs [emit ()] and registers the range
+    it emitted as a service sub-region called [name]. *)
 
 val emit_trap : t -> code:int -> handler -> unit
 (** Emit a [Trap code] at the current point and register its handler. *)

@@ -110,6 +110,7 @@ let emit_probe t env ~base ~entries ~tail =
           let stats = env.Env.stats in
           stats.Stats.ibtc_misses_fast <- stats.Stats.ibtc_misses_fast + 1;
           let target = Machine.reg m Reg.k0 in
+          Env.observe env (Sdt_observe.Event.Ibtc_miss { target; fast = true });
           let known = Hashtbl.mem env.Env.frags target in
           let frag = env.Env.ensure_translated target in
           Env.charge env
@@ -140,6 +141,10 @@ let emit_probe t env ~base ~entries ~tail =
             let stats = env.Env.stats in
             stats.Stats.ibtc_misses_full <- stats.Stats.ibtc_misses_full + 1;
             let target = Machine.reg m Reg.k0 in
+            Env.observe env
+              (Sdt_observe.Event.Ibtc_miss { target; fast = false });
+            Env.observe env
+              (Sdt_observe.Event.Context_switch { routine = "ibtc-full-miss" });
             let frag = env.Env.ensure_translated target in
             Env.charge env
               (env.Env.arch.Arch.trap_cycles + env.Env.arch.Arch.lookup_cycles);
@@ -175,12 +180,16 @@ let emit_probe t env ~base ~entries ~tail =
 let emit_full_miss_routine t env =
   (* shared-table full-miss routine: full context switch, fill, resume *)
   let entry = Emitter.here env.Env.em in
+  let lo = entry in
   Context.emit_save env;
   let restore = ref 0 in
   Env.emit_trap env ~code:Env.trap_ibtc_full (fun m ~trap_pc:_ ->
       let stats = env.Env.stats in
       stats.Stats.ibtc_misses_full <- stats.Stats.ibtc_misses_full + 1;
       let target = Machine.reg m Reg.k0 in
+      Env.observe env (Sdt_observe.Event.Ibtc_miss { target; fast = false });
+      Env.observe env
+        (Sdt_observe.Event.Context_switch { routine = "ibtc-full-miss" });
       let frag = env.Env.ensure_translated target in
       fill_entry t env ~base:t.shared_base ~cfg:t.cfg
         ~entries:t.cfg.Config.entries ~target ~frag;
@@ -190,12 +199,15 @@ let emit_full_miss_routine t env =
       m.Machine.pc <- !restore);
   restore := Emitter.here env.Env.em;
   Context.emit_restore_and_jump env ~tail:Env.Tail_jr;
+  Env.observe_region env ~lo ~hi:(Emitter.here env.Env.em)
+    (Sdt_observe.Profile.Service "ibtc miss routine");
   t.full_miss_routine <- entry
 
 let emit_lookup_routine t env =
   let entry = Emitter.here env.Env.em in
-  emit_probe t env ~base:t.shared_base ~entries:t.cfg.Config.entries
-    ~tail:Env.Tail_jr;
+  Env.observing_emit env "ibtc lookup routine" (fun () ->
+      emit_probe t env ~base:t.shared_base ~entries:t.cfg.Config.entries
+        ~tail:Env.Tail_jr);
   t.lookup_routine <- entry
 
 let emit_routines t env =
@@ -252,3 +264,24 @@ let on_flush t env =
 let table_bytes t =
   if t.cfg.Config.shared then 8 * t.cfg.Config.entries
   else 8 * t.cfg.Config.per_site_entries * List.length t.site_tables
+
+let occupancy t env =
+  let mem = env.Env.machine.Machine.mem in
+  let count_table base entries =
+    let filled = ref 0 in
+    for i = 0 to entries - 1 do
+      if Memory.load_word mem (base + (8 * i)) <> empty_tag then incr filled
+    done;
+    !filled
+  in
+  let filled, entries =
+    if t.cfg.Config.shared then
+      (count_table t.shared_base t.cfg.Config.entries, t.cfg.Config.entries)
+    else
+      List.fold_left
+        (fun (f, n) base ->
+          ( f + count_table base t.cfg.Config.per_site_entries,
+            n + t.cfg.Config.per_site_entries ))
+        (0, 0) t.site_tables
+  in
+  if entries = 0 then 0.0 else float_of_int filled /. float_of_int entries

@@ -44,3 +44,9 @@ val on_flush : t -> Env.t -> unit
 
 val table_bytes : t -> int
 (** Total simulated memory the tables occupy (for reports). *)
+
+val occupancy : t -> Env.t -> float
+(** Fraction of entries holding a live translation, in [0..1] — scans
+    the table(s), so intended for periodic metrics sampling, not per
+    instruction. 0.0 when no table exists yet (per-site mode before the
+    first site). *)

@@ -23,6 +23,9 @@ let emit_default_routine t env =
   let entry = Emitter.here env.Env.em in
   Emitter.emit env.Env.em (Inst.Add (Reg.k0, Reg.ra, Reg.zero));
   Emitter.jump_abs env.Env.em `J env.Env.mech_routine;
+  Env.observe_region env ~lo:entry ~hi:(Emitter.here env.Env.em)
+    (Sdt_observe.Profile.Service "retcache default");
+  Env.observe_entry env ~pc:entry Sdt_observe.Event.Retcache_fallback;
   t.default_routine <- entry
 
 let create env ~entries =
@@ -33,10 +36,11 @@ let create env ~entries =
   t
 
 let emit_call_site t env ~app_ret ~re =
-  let em = env.Env.em in
-  Emitter.li32_label em Reg.at re;
-  Emitter.li32 em Reg.k1 (slot_addr t app_ret);
-  Emitter.emit em (Inst.Sw (Reg.at, Reg.k1, 0))
+  Env.observing_emit env "retcache call site" (fun () ->
+      let em = env.Env.em in
+      Emitter.li32_label em Reg.at re;
+      Emitter.li32 em Reg.k1 (slot_addr t app_ret);
+      Emitter.emit em (Inst.Sw (Reg.at, Reg.k1, 0)))
 
 let emit_return_entry _t env ~app_ret ~re =
   let em = env.Env.em in
@@ -45,19 +49,24 @@ let emit_return_entry _t env ~app_ret ~re =
   let lok = Emitter.fresh em in
   Emitter.branch_to em (Inst.Beq (Reg.at, Reg.ra, 0)) lok;
   (* mismatch: collision or irregular flow — IB mechanism fallback *)
+  let miss_pc = Emitter.here em in
   Emitter.emit em (Inst.Add (Reg.k0, Reg.ra, Reg.zero));
   Emitter.jump_abs em `J env.Env.mech_routine;
+  Env.observe_region env ~lo:miss_pc ~hi:(Emitter.here em)
+    (Sdt_observe.Profile.Service "retcache fallback");
+  Env.observe_entry env ~pc:miss_pc Sdt_observe.Event.Retcache_fallback;
   Emitter.place em lok
 
 let emit_return_site t env =
-  let em = env.Env.em in
-  Emitter.emit em (Inst.Srl (Reg.at, Reg.ra, 2));
-  Emitter.emit em (Inst.Andi (Reg.at, Reg.at, t.entries - 1));
-  Emitter.emit em (Inst.Sll (Reg.at, Reg.at, 2));
-  Emitter.li32 em Reg.k1 t.base;
-  Emitter.emit em (Inst.Add (Reg.k1, Reg.k1, Reg.at));
-  Emitter.emit em (Inst.Lw (Reg.k1, Reg.k1, 0));
-  Emitter.emit em (Inst.Jr Reg.k1)
+  Env.observing_emit env "retcache return site" (fun () ->
+      let em = env.Env.em in
+      Emitter.emit em (Inst.Srl (Reg.at, Reg.ra, 2));
+      Emitter.emit em (Inst.Andi (Reg.at, Reg.at, t.entries - 1));
+      Emitter.emit em (Inst.Sll (Reg.at, Reg.at, 2));
+      Emitter.li32 em Reg.k1 t.base;
+      Emitter.emit em (Inst.Add (Reg.k1, Reg.k1, Reg.at));
+      Emitter.emit em (Inst.Lw (Reg.k1, Reg.k1, 0));
+      Emitter.emit em (Inst.Jr Reg.k1))
 
 let on_flush t env =
   emit_default_routine t env;

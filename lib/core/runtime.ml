@@ -4,6 +4,8 @@ module Machine = Sdt_machine.Machine
 module Memory = Sdt_machine.Memory
 module Loader = Sdt_machine.Loader
 module Program = Sdt_isa.Program
+module Observer = Sdt_observe.Observer
+module Metrics = Sdt_observe.Metrics
 
 exception Error of string
 
@@ -92,6 +94,10 @@ let flush_env t () =
        increase code_capacity";
   env.Env.stats.Stats.flushes <- env.Env.stats.Stats.flushes + 1;
   env.Env.generation <- env.Env.generation + 1;
+  Env.observe env (Sdt_observe.Event.Flush { generation = env.Env.generation });
+  (* every emitted address is now invalid: drop the region map and entry
+     triggers before the shared routines re-register themselves *)
+  Option.iter Observer.on_flush env.Env.obs;
   Hashtbl.reset env.Env.frags;
   Hashtbl.reset env.Env.traps;
   env.Env.ib_site_counters <- [];
@@ -120,7 +126,86 @@ let ensure t app_pc =
       Env.charge env (n * env.Env.arch.Arch.translate_per_inst);
       frag)
 
-let create ~cfg ~arch ?timing (program : Program.t) =
+(* The standard metric sources. Sources are polled only at sample time,
+   so the occupancy scans cost nothing between samples. *)
+let register_metrics t obs ~timing =
+  match Observer.metrics obs with
+  | None -> ()
+  | Some m ->
+      let env = t.env in
+      let stats = env.Env.stats in
+      let machine = env.Env.machine in
+      List.iter
+        (fun (name, _) ->
+          Metrics.int_source m ("stats." ^ name) (fun () ->
+              List.assoc name (Stats.to_assoc stats)))
+        (Stats.to_assoc stats);
+      Metrics.int_source m "instructions" (fun () ->
+          machine.Machine.c.Machine.instructions);
+      Metrics.int_source m "ib_dynamic" (fun () ->
+          Machine.ib_dynamic_count machine);
+      Metrics.int_source m "fragments" (fun () ->
+          Hashtbl.length env.Env.frags);
+      Metrics.int_source m "code_bytes" (fun () ->
+          Emitter.used_bytes env.Env.em);
+      let code_capacity =
+        env.Env.layout.Layout.code_limit - env.Env.layout.Layout.code_base
+      in
+      Metrics.float_source m "code_occupancy" (fun () ->
+          float_of_int (Emitter.used_bytes env.Env.em)
+          /. float_of_int (max 1 code_capacity));
+      (match timing with
+      | None -> ()
+      | Some tm ->
+          Metrics.int_source m "runtime_cycles" (fun () ->
+              Timing.runtime_cycles tm);
+          Metrics.int_source m "icache_misses" (fun () ->
+              Timing.icache_misses tm);
+          Metrics.int_source m "dcache_misses" (fun () ->
+              Timing.dcache_misses tm);
+          Metrics.int_source m "cond_mispredicts" (fun () ->
+              Timing.cond_mispredicts tm);
+          Metrics.int_source m "indirect_mispredicts" (fun () ->
+              Timing.indirect_mispredicts tm);
+          Metrics.int_source m "ras_mispredicts" (fun () ->
+              Timing.ras_mispredicts tm));
+      match t.mech with
+      | M_dispatch -> ()
+      | M_ibtc i ->
+          Metrics.float_source m "ibtc_occupancy" (fun () ->
+              Ibtc.occupancy i env);
+          (* cumulative, and approximate: the denominator counts every
+             executed indirect transfer, including ones a return policy
+             or prediction slot absorbed before the IBTC probe *)
+          Metrics.float_source m "ibtc_hit_rate" (fun () ->
+              let misses =
+                stats.Stats.ibtc_misses_full + stats.Stats.ibtc_misses_fast
+              in
+              let ibs = Machine.ib_dynamic_count machine in
+              if ibs = 0 then 0.0
+              else 1.0 -. (float_of_int misses /. float_of_int ibs))
+      | M_sieve s ->
+          Metrics.int_source m "sieve_stubs" (fun () -> Sieve.stub_count s);
+          Metrics.int_source m "sieve_max_chain" (fun () -> Sieve.max_chain s);
+          Metrics.float_source m "sieve_avg_chain" (fun () -> Sieve.avg_chain s)
+
+let install_probes obs ~timing =
+  match timing with
+  | None -> ()
+  | Some tm ->
+      Timing.set_probe tm
+        (Some
+           (fun ~pc ev ~cycles ->
+             Observer.step obs ~pc ~cycles;
+             match ev with
+             | Timing.Icall { pc; target; _ }
+             | Timing.Ijump { pc; target }
+             | Timing.Return { pc; target } ->
+                 Observer.ib_transfer obs ~pc ~target
+             | _ -> ()));
+      Timing.set_runtime_probe tm (Some (fun n -> Observer.runtime_cycles obs n))
+
+let create ~cfg ~arch ?timing ?observer (program : Program.t) =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error msg -> error "invalid configuration: %s" msg);
@@ -135,6 +220,8 @@ let create ~cfg ~arch ?timing (program : Program.t) =
       ~limit:layout.Layout.code_limit
   in
   let env = Env.create ~cfg ~arch ~machine ~em ~layout in
+  (* before any code is emitted, so shared-routine regions register *)
+  env.Env.obs <- observer;
   let text_lo, text_hi =
     match
       List.find_opt
@@ -163,15 +250,25 @@ let create ~cfg ~arch ?timing (program : Program.t) =
       match Hashtbl.find_opt env.Env.traps trap_pc with
       | Some h -> h m ~trap_pc
       | None -> error "stray trap %d at %#x" code trap_pc);
+  (match observer with
+  | None -> ()
+  | Some obs ->
+      register_metrics t obs ~timing;
+      install_probes obs ~timing);
   t
 
 let run ?max_steps t =
-  (try
-     let entry_frag = ensure t t.entry in
-     t.env.Env.machine.Machine.pc <- entry_frag
-   with Translate.Unsupported msg -> error "unsupported application: %s" msg);
-  try Machine.run ?max_steps t.env.Env.machine
-  with Translate.Unsupported msg -> error "unsupported application: %s" msg
+  let go () =
+    (try
+       let entry_frag = ensure t t.entry in
+       t.env.Env.machine.Machine.pc <- entry_frag
+     with Translate.Unsupported msg -> error "unsupported application: %s" msg);
+    try Machine.run ?max_steps t.env.Env.machine
+    with Translate.Unsupported msg -> error "unsupported application: %s" msg
+  in
+  match t.env.Env.obs with
+  | None -> go ()
+  | Some obs -> Fun.protect ~finally:(fun () -> Observer.finish obs) go
 
 let machine t = t.env.Env.machine
 let stats t = t.env.Env.stats

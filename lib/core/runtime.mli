@@ -21,9 +21,23 @@ exception Policy_violation of { target : int }
 type t
 
 val create :
-  cfg:Config.t -> arch:Arch.t -> ?timing:Timing.t -> Program.t -> t
+  cfg:Config.t ->
+  arch:Arch.t ->
+  ?timing:Timing.t ->
+  ?observer:Sdt_observe.Observer.t ->
+  Program.t ->
+  t
 (** Load the program, emit the shared routines, and install the trap
     handler. The machine is not started yet.
+
+    When an [observer] is attached it is wired before any code is
+    emitted: translator hooks report events and code regions to it, the
+    standard metric sources (stats counters, fragment/code occupancy,
+    timing counters, mechanism gauges such as IBTC occupancy and hit
+    rate) are registered with its metrics layer, and — if [timing] is
+    also given — the cycle accountant's probes feed it per-instruction
+    attribution. Observation is host-side only: an observed run is
+    cycle-for-cycle identical to an unobserved one.
     @raise Error on an invalid configuration. *)
 
 val run : ?max_steps:int -> t -> unit

@@ -16,24 +16,26 @@ let create env ~depth =
   t
 
 let emit_call_site t env ~app_ret ~re =
-  let em = env.Env.em in
-  let lskip = Emitter.fresh em in
-  Emitter.li32 em Reg.k1 env.Env.layout.Layout.shadow_ptr_slot;
-  Emitter.emit em (Inst.Lw (Reg.at, Reg.k1, 0));
-  (* overflow: leave the stack full; the unmatched return will fall
-     back through the IB mechanism *)
-  Emitter.li32 em Reg.k0 t.limit;
-  Emitter.branch_to em (Inst.Bgeu (Reg.at, Reg.k0, 0)) lskip;
-  Emitter.li32 em Reg.k0 app_ret;
-  Emitter.emit em (Inst.Sw (Reg.k0, Reg.at, 0));
-  Emitter.li32_label em Reg.k0 re;
-  Emitter.emit em (Inst.Sw (Reg.k0, Reg.at, 4));
-  Emitter.emit em (Inst.Addi (Reg.at, Reg.at, 8));
-  Emitter.emit em (Inst.Sw (Reg.at, Reg.k1, 0));
-  Emitter.place em lskip
+  Env.observing_emit env "shadow-stack call site" (fun () ->
+      let em = env.Env.em in
+      let lskip = Emitter.fresh em in
+      Emitter.li32 em Reg.k1 env.Env.layout.Layout.shadow_ptr_slot;
+      Emitter.emit em (Inst.Lw (Reg.at, Reg.k1, 0));
+      (* overflow: leave the stack full; the unmatched return will fall
+         back through the IB mechanism *)
+      Emitter.li32 em Reg.k0 t.limit;
+      Emitter.branch_to em (Inst.Bgeu (Reg.at, Reg.k0, 0)) lskip;
+      Emitter.li32 em Reg.k0 app_ret;
+      Emitter.emit em (Inst.Sw (Reg.k0, Reg.at, 0));
+      Emitter.li32_label em Reg.k0 re;
+      Emitter.emit em (Inst.Sw (Reg.k0, Reg.at, 4));
+      Emitter.emit em (Inst.Addi (Reg.at, Reg.at, 8));
+      Emitter.emit em (Inst.Sw (Reg.at, Reg.k1, 0));
+      Emitter.place em lskip)
 
 let emit_return_site t env =
   let em = env.Env.em in
+  let entry = Emitter.here em in
   let lmiss = Emitter.fresh em in
   Emitter.li32 em Reg.k1 env.Env.layout.Layout.shadow_ptr_slot;
   Emitter.emit em (Inst.Lw (Reg.at, Reg.k1, 0));
@@ -47,7 +49,11 @@ let emit_return_site t env =
   Emitter.emit em (Inst.Lw (Reg.k1, Reg.at, 4));
   Emitter.emit em (Inst.Jr Reg.k1);
   Emitter.place em lmiss;
+  let miss_pc = Emitter.here em in
   Emitter.emit em (Inst.Add (Reg.k0, Reg.ra, Reg.zero));
-  Emitter.jump_abs em `J env.Env.mech_routine
+  Emitter.jump_abs em `J env.Env.mech_routine;
+  Env.observe_region env ~lo:entry ~hi:(Emitter.here em)
+    (Sdt_observe.Profile.Service "shadow-stack return site");
+  Env.observe_entry env ~pc:miss_pc Sdt_observe.Event.Shadow_fallback
 
 let on_flush t env = reset_ptr t env

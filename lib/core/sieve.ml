@@ -43,6 +43,8 @@ let emit_stub t env ~target ~frag ~next =
   Emitter.jump_abs em `J next;
   Env.emit_spill_epilogue env;
   Emitter.jump_abs em `J frag;
+  Env.observe_region env ~lo:entry ~hi:(Emitter.here em)
+    (Sdt_observe.Profile.Service "sieve chain");
   ignore t;
   (entry, jnext_at)
 
@@ -55,6 +57,9 @@ let emit_miss_routine t env =
       let stats = env.Env.stats in
       stats.Stats.sieve_misses <- stats.Stats.sieve_misses + 1;
       let target = Machine.reg m Reg.k0 in
+      Env.observe env (Sdt_observe.Event.Sieve_miss { target });
+      Env.observe env
+        (Sdt_observe.Event.Context_switch { routine = "sieve-miss" });
       let mem = m.Machine.mem in
       (* Translating the target or emitting the stub can overflow the
          code region; a flush resets chains and buckets, after which the
@@ -94,6 +99,8 @@ let emit_miss_routine t env =
       let stub_jnext, frag, idx, len = attempt () in
       Hashtbl.replace t.chains idx (len + 1, stub_jnext);
       stats.Stats.sieve_stubs <- stats.Stats.sieve_stubs + 1;
+      Env.observe env
+        (Sdt_observe.Event.Sieve_stub_inserted { target; chain_len = len + 1 });
       Memory.store_word mem env.Env.layout.Layout.result_slot frag;
       Env.charge env
         (env.Env.arch.Arch.trap_cycles + env.Env.arch.Arch.lookup_cycles
@@ -101,6 +108,8 @@ let emit_miss_routine t env =
       m.Machine.pc <- !restore);
   restore := Emitter.here em;
   Context.emit_restore_and_jump env ~tail:Env.Tail_jr;
+  Env.observe_region env ~lo:entry ~hi:(Emitter.here em)
+    (Sdt_observe.Profile.Service "sieve miss routine");
   t.miss_routine <- entry
 
 let emit_body t env ~tail =
@@ -116,7 +125,8 @@ let emit_body t env ~tail =
 
 let emit_dispatch_routine t env =
   let entry = Emitter.here env.Env.em in
-  emit_body t env ~tail:Env.Tail_jr;
+  Env.observing_emit env "sieve dispatch routine" (fun () ->
+      emit_body t env ~tail:Env.Tail_jr);
   t.dispatch_routine <- entry
 
 let emit_routines t env =

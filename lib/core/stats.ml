@@ -56,14 +56,32 @@ let total_ib_misses t =
   t.dispatch_entries + t.ibtc_misses_full + t.ibtc_misses_fast + t.sieve_misses
   + t.retcache_fallbacks + t.shadow_fallbacks
 
+(* the one canonical machine-readable form; pp and the metrics exporter
+   both derive from it, so adding a counter here is the whole job *)
+let to_assoc t =
+  [
+    ("blocks_translated", t.blocks_translated);
+    ("insts_translated", t.insts_translated);
+    ("links", t.links);
+    ("dispatch_entries", t.dispatch_entries);
+    ("ibtc_misses_full", t.ibtc_misses_full);
+    ("ibtc_misses_fast", t.ibtc_misses_fast);
+    ("ibtc_tables", t.ibtc_tables);
+    ("sieve_misses", t.sieve_misses);
+    ("sieve_stubs", t.sieve_stubs);
+    ("retcache_fallbacks", t.retcache_fallbacks);
+    ("shadow_fallbacks", t.shadow_fallbacks);
+    ("pred_fills", t.pred_fills);
+    ("pred_exhausted_sites", t.pred_exhausted_sites);
+    ("flushes", t.flushes);
+    ("ib_sites", t.ib_sites);
+  ]
+
 let pp ppf t =
-  Format.fprintf ppf
-    "@[<v>blocks translated: %d@,app insts translated: %d@,links patched: \
-     %d@,dispatch entries: %d@,ibtc misses (full/fast): %d/%d@,ibtc tables: \
-     %d@,sieve misses: %d@,sieve stubs: %d@,retcache fallbacks: %d@,shadow \
-     fallbacks: %d@,pred fills: %d@,pred exhausted sites: %d@,flushes: \
-     %d@,static IB sites: %d@]"
-    t.blocks_translated t.insts_translated t.links t.dispatch_entries
-    t.ibtc_misses_full t.ibtc_misses_fast t.ibtc_tables t.sieve_misses
-    t.sieve_stubs t.retcache_fallbacks t.shadow_fallbacks t.pred_fills
-    t.pred_exhausted_sites t.flushes t.ib_sites
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "%s: %d" name v)
+    (to_assoc t);
+  Format.fprintf ppf "@]"

@@ -29,5 +29,11 @@ val reset : t -> unit
 val total_ib_misses : t -> int
 (** Dispatch entries + IBTC misses + sieve misses + return fallbacks. *)
 
+val to_assoc : t -> (string * int) list
+(** Every counter as [(name, value)], in declaration order — the one
+    canonical machine-readable form; {!pp} and the metrics exporters
+    derive from it. *)
+
 val pp : Format.formatter -> t -> unit
-(** Multi-line human-readable dump. *)
+(** Multi-line human-readable dump (one [name: value] line per
+    {!to_assoc} entry). *)

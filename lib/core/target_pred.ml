@@ -57,6 +57,8 @@ let emit_site (env : Env.t) ~depth ~(tail : Env.tail) ?cont () =
         let stats = env.Env.stats in
         let resume = ref frag in
         if site.filled < Array.length site.slots then begin
+          Env.observe env
+            (Sdt_observe.Event.Pred_fill { target; slot = site.filled });
           let s = site.slots.(site.filled) in
           let w = Word.of_int target in
           Emitter.patch em s.hi_at (Inst.Lui (Reg.at, Word.hi16 w));

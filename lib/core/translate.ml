@@ -33,6 +33,8 @@ let emit_exit_stub (env : Env.t) app_target =
           (env.Env.arch.Arch.trap_cycles + env.Env.arch.Arch.lookup_cycles);
         if env.Env.generation = gen then begin
           env.Env.stats.Stats.links <- env.Env.stats.Stats.links + 1;
+          Env.observe env
+            (Sdt_observe.Event.Link_patched { app_target; frag });
           Emitter.patch em stub_at (Inst.J ((frag lsr 2) land 0x3FF_FFFF))
         end;
         m.Machine.pc <- frag)
@@ -72,11 +74,20 @@ let emit_site_counter (env : Env.t) ~site_pc =
 (* The IB mechanism with optional inline prediction in front. *)
 let emit_mech ?(pred = false) ?cont (env : Env.t) ~site_pc ~tail =
   env.Env.stats.Stats.ib_sites <- env.Env.stats.Stats.ib_sites + 1;
-  if env.Env.cfg.Config.profile_ib_sites then emit_site_counter env ~site_pc;
+  if env.Env.cfg.Config.profile_ib_sites then
+    Env.observing_emit env "site counter" (fun () ->
+        emit_site_counter env ~site_pc);
   if pred && env.Env.cfg.Config.pred_depth > 0 then
-    Target_pred.emit_site env ~depth:env.Env.cfg.Config.pred_depth ~tail ?cont
-      ();
-  env.Env.emit_ib env ~tail
+    Env.observing_emit env "pred slots" (fun () ->
+        Target_pred.emit_site env ~depth:env.Env.cfg.Config.pred_depth ~tail
+          ?cont ());
+  let mech_name =
+    match env.Env.cfg.Config.mech with
+    | Config.Dispatch -> "dispatch call"
+    | Config.Ibtc _ -> "ibtc probe"
+    | Config.Sieve _ -> "sieve probe"
+  in
+  Env.observing_emit env mech_name (fun () -> env.Env.emit_ib env ~tail)
 
 let translate_direct_call (env : Env.t) ~ret ~callee ~app_ret =
   let em = env.Env.em in
@@ -113,6 +124,8 @@ let translate_direct_call (env : Env.t) ~ret ~callee ~app_ret =
             (env.Env.arch.Arch.trap_cycles + env.Env.arch.Arch.lookup_cycles);
           if env.Env.generation = gen then begin
             env.Env.stats.Stats.links <- env.Env.stats.Stats.links + 1;
+            Env.observe env
+              (Sdt_observe.Event.Link_patched { app_target = callee; frag });
             Emitter.patch em jal_at (Inst.Jal ((frag lsr 2) land 0x3FF_FFFF))
           end;
           m.Machine.pc <- frag)
@@ -174,6 +187,7 @@ let block (env : Env.t) ~ret app_pc =
       Hashtbl.replace env.Env.frags app_pc frag;
       let stats = env.Env.stats in
       stats.Stats.blocks_translated <- stats.Stats.blocks_translated + 1;
+      let insts_before = stats.Stats.insts_translated in
       let count_inst () =
         stats.Stats.insts_translated <- stats.Stats.insts_translated + 1
       in
@@ -266,4 +280,13 @@ let block (env : Env.t) ~ret app_pc =
           Emitter.place em l;
           emit_exit_stub env target)
         (List.rev !deferred);
+      Env.observe_region env ~lo:frag ~hi:(Emitter.here em)
+        (Sdt_observe.Profile.App app_pc);
+      Env.observe env
+        (Sdt_observe.Event.Block_translated
+           {
+             app_pc;
+             frag;
+             insts = stats.Stats.insts_translated - insts_before;
+           });
       frag

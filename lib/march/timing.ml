@@ -23,6 +23,11 @@ type t = {
   ras : Branch_pred.Ras.t option;
   mutable cycles : int;
   mutable runtime_cycles : int;
+  (* observability taps: read-only witnesses of charging; they never
+     charge cycles themselves, so an installed probe cannot change the
+     simulated cycle count *)
+  mutable probe : (pc:int -> event -> cycles:int -> unit) option;
+  mutable runtime_probe : (int -> unit) option;
 }
 
 let create (arch : Arch.t) =
@@ -39,6 +44,8 @@ let create (arch : Arch.t) =
        else None);
     cycles = 0;
     runtime_cycles = 0;
+    probe = None;
+    runtime_probe = None;
   }
 
 let arch t = t.arch
@@ -65,7 +72,7 @@ let indirect t ~pc ~target =
 let ras_push t next =
   match t.ras with None -> () | Some r -> Branch_pred.Ras.push r next
 
-let instr t ~pc ev =
+let instr_charge t ~pc ev =
   (match t.icache with
   | None -> ()
   | Some c -> if not (Cache.access c pc) then charge t (Cache.config c).miss_penalty);
@@ -106,9 +113,21 @@ let instr t ~pc ev =
   | Trap_op -> charge t a.branch_cycles
   | Halt_op -> charge t a.alu_cycles
 
+let instr t ~pc ev =
+  match t.probe with
+  | None -> instr_charge t ~pc ev
+  | Some f ->
+      let before = t.cycles in
+      instr_charge t ~pc ev;
+      f ~pc ev ~cycles:(t.cycles - before)
+
+let set_probe t f = t.probe <- f
+let set_runtime_probe t f = t.runtime_probe <- f
+
 let add_runtime t n =
   t.cycles <- t.cycles + n;
-  t.runtime_cycles <- t.runtime_cycles + n
+  t.runtime_cycles <- t.runtime_cycles + n;
+  match t.runtime_probe with None -> () | Some f -> f n
 
 let cycles t = t.cycles
 let runtime_cycles t = t.runtime_cycles

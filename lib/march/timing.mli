@@ -33,6 +33,15 @@ val instr : t -> pc:int -> event -> unit
 (** Account one executed instruction at [pc]: instruction fetch, base
     cost, and any penalty its event implies. *)
 
+val set_probe : t -> (pc:int -> event -> cycles:int -> unit) option -> unit
+(** Install (or remove) a per-instruction witness, called after each
+    {!instr} with the cycles that instruction was charged (base +
+    penalties). The probe observes charging; it cannot alter it — the
+    observability layer's attribution feed. *)
+
+val set_runtime_probe : t -> (int -> unit) option -> unit
+(** Likewise for {!add_runtime} charges. *)
+
 val add_runtime : t -> int -> unit
 (** Charge [n] cycles of SDT runtime service time. *)
 

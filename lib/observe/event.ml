@@ -1,0 +1,61 @@
+type kind =
+  | Block_translated of { app_pc : int; frag : int; insts : int }
+  | Link_patched of { app_target : int; frag : int }
+  | Dispatch_entry of { target : int }
+  | Ibtc_miss of { target : int; fast : bool }
+  | Sieve_miss of { target : int }
+  | Sieve_stub_inserted of { target : int; chain_len : int }
+  | Retcache_fallback
+  | Shadow_fallback
+  | Pred_fill of { target : int; slot : int }
+  | Flush of { generation : int }
+  | Context_switch of { routine : string }
+  | Sample
+
+type t = { cycle : int; kind : kind }
+
+let name = function
+  | Block_translated _ -> "block_translated"
+  | Link_patched _ -> "link_patched"
+  | Dispatch_entry _ -> "dispatch_entry"
+  | Ibtc_miss { fast = true; _ } -> "ibtc_miss_fast"
+  | Ibtc_miss { fast = false; _ } -> "ibtc_miss_full"
+  | Sieve_miss _ -> "sieve_miss"
+  | Sieve_stub_inserted _ -> "sieve_stub_inserted"
+  | Retcache_fallback -> "retcache_fallback"
+  | Shadow_fallback -> "shadow_fallback"
+  | Pred_fill _ -> "pred_fill"
+  | Flush _ -> "flush"
+  | Context_switch _ -> "context_switch"
+  | Sample -> "sample"
+
+let hex i = Jsonw.Str (Printf.sprintf "0x%x" i)
+
+let args = function
+  | Block_translated { app_pc; frag; insts } ->
+      [ ("app_pc", hex app_pc); ("frag", hex frag); ("insts", Jsonw.Int insts) ]
+  | Link_patched { app_target; frag } ->
+      [ ("app_target", hex app_target); ("frag", hex frag) ]
+  | Dispatch_entry { target } -> [ ("target", hex target) ]
+  | Ibtc_miss { target; _ } -> [ ("target", hex target) ]
+  | Sieve_miss { target } -> [ ("target", hex target) ]
+  | Sieve_stub_inserted { target; chain_len } ->
+      [ ("target", hex target); ("chain_len", Jsonw.Int chain_len) ]
+  | Retcache_fallback | Shadow_fallback | Sample -> []
+  | Pred_fill { target; slot } ->
+      [ ("target", hex target); ("slot", Jsonw.Int slot) ]
+  | Flush { generation } -> [ ("generation", Jsonw.Int generation) ]
+  | Context_switch { routine } -> [ ("routine", Jsonw.Str routine) ]
+
+let pp ppf t =
+  Format.fprintf ppf "%12d  %-20s" t.cycle (name t.kind);
+  List.iter
+    (fun (k, v) ->
+      let s =
+        match v with
+        | Jsonw.Str s -> s
+        | Jsonw.Int i -> string_of_int i
+        | v -> Jsonw.to_string v
+      in
+      Format.fprintf ppf " %s=%s" k s)
+    (args t.kind)

@@ -1,0 +1,48 @@
+(** The typed runtime-event taxonomy.
+
+    One constructor per thing the SDT runtime does that the aggregate
+    counters ({!Sdt_core.Stats}) can only total: each occurrence is
+    timestamped in simulated cycles by the tracer, so the *when* (IBTC
+    warm-up, flush storms, sieve chain growth) becomes visible.
+
+    Events carry only integers and strings — this library knows nothing
+    about the translator's types, which keeps the dependency direction
+    observer -> nothing. *)
+
+type kind =
+  | Block_translated of { app_pc : int; frag : int; insts : int }
+      (** a basic block entered the fragment cache *)
+  | Link_patched of { app_target : int; frag : int }
+      (** a direct-branch exit stub was patched fragment-to-fragment *)
+  | Dispatch_entry of { target : int }
+      (** baseline full context switch into the translator *)
+  | Ibtc_miss of { target : int; fast : bool }
+      (** IBTC probe miss; [fast] is the fast-reload policy *)
+  | Sieve_miss of { target : int }
+  | Sieve_stub_inserted of { target : int; chain_len : int }
+      (** a new sieve stub; [chain_len] is its bucket's length after
+          insertion *)
+  | Retcache_fallback
+      (** a return-cache entry mismatched and fell back to the IB
+          mechanism (detected by execution monitoring, not a trap) *)
+  | Shadow_fallback
+      (** shadow-stack mismatch/underflow fallback, likewise *)
+  | Pred_fill of { target : int; slot : int }
+      (** an inline target-prediction slot was burned *)
+  | Flush of { generation : int }
+      (** the fragment cache was flushed *)
+  | Context_switch of { routine : string }
+      (** a full register save/restore through a named shared routine *)
+  | Sample
+      (** a periodic metrics sample was taken *)
+
+type t = { cycle : int; kind : kind }
+
+val name : kind -> string
+(** Short stable identifier, e.g. ["ibtc_miss"]. *)
+
+val args : kind -> (string * Jsonw.t) list
+(** The payload, as Chrome-trace [args]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One text-timeline line: cycle, name, payload. *)

@@ -1,0 +1,87 @@
+type t = {
+  name : string;
+  bounds : int array;     (* strictly increasing inclusive upper bounds *)
+  counts : int array;     (* length bounds + 1; last is overflow *)
+  mutable count : int;
+  mutable sum : int;
+  mutable max_value : int;
+}
+
+let default_bounds = [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 ]
+
+let create ?(bounds = default_bounds) name =
+  if bounds = [] then invalid_arg "Histo.create: empty bounds";
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  if not (increasing bounds) then
+    invalid_arg "Histo.create: bounds must be strictly increasing";
+  let bounds = Array.of_list bounds in
+  {
+    name;
+    bounds;
+    counts = Array.make (Array.length bounds + 1) 0;
+    count = 0;
+    sum = 0;
+    max_value = 0;
+  }
+
+let name t = t.name
+
+(* first bucket whose bound is >= v, by binary search *)
+let bucket_index t v =
+  let n = Array.length t.bounds in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.bounds.(mid) >= v then hi := mid else lo := mid + 1
+  done;
+  !lo (* = n when v exceeds every bound: the overflow bucket *)
+
+let observe t v =
+  t.counts.(bucket_index t v) <- t.counts.(bucket_index t v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v > t.max_value then t.max_value <- v
+
+let count t = t.count
+let sum t = t.sum
+let max_value t = t.max_value
+let mean t = if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
+
+let buckets t =
+  List.init
+    (Array.length t.counts)
+    (fun i ->
+      let bound = if i < Array.length t.bounds then Some t.bounds.(i) else None in
+      (bound, t.counts.(i)))
+
+let to_json t =
+  Jsonw.Obj
+    [
+      ("name", Jsonw.Str t.name);
+      ("count", Jsonw.Int t.count);
+      ("sum", Jsonw.Int t.sum);
+      ("max", Jsonw.Int t.max_value);
+      ("mean", Jsonw.Float (mean t));
+      ( "buckets",
+        Jsonw.List
+          (List.map
+             (fun (bound, c) ->
+               Jsonw.Obj
+                 [
+                   ( "le",
+                     match bound with
+                     | Some b -> Jsonw.Int b
+                     | None -> Jsonw.Str "inf" );
+                   ("count", Jsonw.Int c);
+                 ])
+             (buckets t)) );
+    ]
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.count <- 0;
+  t.sum <- 0;
+  t.max_value <- 0

@@ -1,0 +1,34 @@
+(** Integer-valued histograms with fixed bucket boundaries.
+
+    A sample [v] lands in the first bucket whose upper bound is
+    [>= v]; values above every bound land in the overflow bucket.
+    Boundaries are inclusive upper bounds, so [bounds = [1; 2; 4]]
+    buckets samples as [v <= 1], [1 < v <= 2], [2 < v <= 4], [v > 4]. *)
+
+type t
+
+val create : ?bounds:int list -> string -> t
+(** [bounds] must be strictly increasing; the default is the powers of
+    two [1; 2; 4; ...; 4096].
+    @raise Invalid_argument on empty or non-increasing bounds. *)
+
+val name : t -> string
+
+val observe : t -> int -> unit
+
+val count : t -> int
+(** Number of samples observed. *)
+
+val sum : t -> int
+val max_value : t -> int
+(** Largest sample observed; 0 before any sample. *)
+
+val mean : t -> float
+(** 0.0 before any sample. *)
+
+val buckets : t -> (int option * int) list
+(** [(upper bound, count)] per bucket, in order; [None] is the overflow
+    bucket. Includes empty buckets. *)
+
+val to_json : t -> Jsonw.t
+val reset : t -> unit

@@ -1,0 +1,22 @@
+(** A hand-rolled, zero-dependency JSON writer.
+
+    Just enough JSON to export traces, metrics and benchmark results in
+    formats other tools (Perfetto, spreadsheets, plotters) can read.
+    Output is compact (no insignificant whitespace); strings are escaped
+    per RFC 8259; non-finite floats are emitted as [null] (JSON has no
+    representation for them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+
+val to_channel : out_channel -> t -> unit
+(** Writes the document followed by a newline. *)

@@ -1,0 +1,89 @@
+type source = { name : string; poll : unit -> float; integral : bool }
+
+type t = {
+  mutable sources : source list;  (* reversed registration order *)
+  mutable histos : Histo.t list;  (* reversed registration order *)
+  mutable rows : (int * float array) list;  (* newest first *)
+  mutable last_cycle : int;
+}
+
+let create () = { sources = []; histos = []; rows = []; last_cycle = -1 }
+
+let register t name poll integral =
+  if List.exists (fun s -> s.name = name) t.sources then
+    invalid_arg (Printf.sprintf "Metrics: duplicate source %S" name);
+  t.sources <- { name; poll; integral } :: t.sources
+
+let int_source t name poll =
+  register t name (fun () -> float_of_int (poll ())) true
+
+let float_source t name poll = register t name poll false
+
+let histogram t h =
+  t.histos <- h :: t.histos;
+  h
+
+let find_histogram t name =
+  List.find_opt (fun h -> Histo.name h = name) t.histos
+
+let sample t ~cycle =
+  if cycle <> t.last_cycle then begin
+    let srcs = List.rev t.sources in
+    let row = Array.of_list (List.map (fun s -> s.poll ()) srcs) in
+    t.rows <- (cycle, row) :: t.rows;
+    t.last_cycle <- cycle
+  end
+
+let samples t = List.length t.rows
+let columns t = List.rev_map (fun s -> s.name) t.sources
+let rows t = List.rev_map (fun (c, row) -> (c, Array.to_list row)) t.rows
+
+let cell integral v =
+  if integral && Float.is_integer v then string_of_int (int_of_float v)
+  else Printf.sprintf "%.6g" v
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  let srcs = List.rev t.sources in
+  Buffer.add_string buf "cycle";
+  List.iter
+    (fun s ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf s.name)
+    srcs;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (cycle, row) ->
+      Buffer.add_string buf (string_of_int cycle);
+      List.iteri
+        (fun i s ->
+          Buffer.add_char buf ',';
+          Buffer.add_string buf (cell s.integral row.(i)))
+        srcs;
+      Buffer.add_char buf '\n')
+    (List.rev t.rows);
+  Buffer.contents buf
+
+let to_json t =
+  let srcs = List.rev t.sources in
+  let series =
+    ( "cycle",
+      Jsonw.List (List.rev_map (fun (c, _) -> Jsonw.Int c) t.rows) )
+    :: List.mapi
+         (fun i s ->
+           let vals =
+             List.rev_map
+               (fun (_, row) ->
+                 if s.integral && Float.is_integer row.(i) then
+                   Jsonw.Int (int_of_float row.(i))
+                 else Jsonw.Float row.(i))
+               t.rows
+           in
+           (s.name, Jsonw.List vals))
+         srcs
+  in
+  Jsonw.Obj
+    [
+      ("series", Jsonw.Obj series);
+      ("histograms", Jsonw.List (List.rev_map Histo.to_json t.histos));
+    ]

@@ -1,0 +1,43 @@
+(** The metrics registry: named polled sources sampled into a time
+    series, plus accumulating histograms.
+
+    Sources are closures polled at sample time (cheap counters read a
+    mutable field; expensive gauges like table-occupancy scans run only
+    once per interval). The sampler records one row per call — the
+    observer drives it every [sample_interval] simulated cycles — so the
+    export is a time series: IBTC occupancy and hit rate over time,
+    fragment-cache fill, miss totals as they accumulate.
+
+    Exports: CSV (one [cycle] column plus one column per source, rows in
+    time order) and a JSON document that also carries the histograms. *)
+
+type t
+
+val create : unit -> t
+
+val int_source : t -> string -> (unit -> int) -> unit
+(** Register a counter-like source. Column order is registration order.
+    @raise Invalid_argument on duplicate name. *)
+
+val float_source : t -> string -> (unit -> float) -> unit
+(** Register a gauge-like source. *)
+
+val histogram : t -> Histo.t -> Histo.t
+(** Register a histogram for export; returns it for convenience. *)
+
+val find_histogram : t -> string -> Histo.t option
+
+val sample : t -> cycle:int -> unit
+(** Poll every source and append one row. Rows at a cycle already
+    sampled are skipped (the run's final forced sample would otherwise
+    duplicate the last periodic one). *)
+
+val samples : t -> int
+val columns : t -> string list
+(** Without the leading [cycle] column. *)
+
+val rows : t -> (int * float list) list
+(** [(cycle, values)] in time order; values follow {!columns}. *)
+
+val to_csv : t -> string
+val to_json : t -> Jsonw.t

@@ -1,0 +1,96 @@
+type t = {
+  clock : unit -> int;
+  trace : Trace.t option;
+  metrics : Metrics.t option;
+  profile : Profile.t option;
+  sample_interval : int;
+  mutable next_sample : int;
+  triggers : (int, Event.kind) Hashtbl.t;
+  sieve_chain : Histo.t option;
+  block_size : Histo.t option;
+}
+
+let sieve_chain_histogram = "sieve_chain_len"
+let block_size_histogram = "block_insts"
+
+let create ~clock ?trace ?metrics ?profile ?(sample_interval = 10_000) () =
+  if sample_interval <= 0 then
+    invalid_arg "Observer.create: sample_interval must be positive";
+  let reg name bounds =
+    Option.map (fun m -> Metrics.histogram m (Histo.create ~bounds name)) metrics
+  in
+  {
+    clock;
+    trace;
+    metrics;
+    profile;
+    sample_interval;
+    next_sample = sample_interval;
+    triggers = Hashtbl.create 64;
+    sieve_chain = reg sieve_chain_histogram [ 1; 2; 3; 4; 6; 8; 12; 16; 24; 32 ];
+    block_size = reg block_size_histogram [ 1; 2; 4; 8; 16; 32; 64; 128 ];
+  }
+
+let trace t = t.trace
+let metrics t = t.metrics
+let profile t = t.profile
+
+let wants_step_feed t =
+  t.profile <> None || t.metrics <> None || Hashtbl.length t.triggers > 0
+
+let record_kind t kind =
+  (match t.trace with
+  | None -> ()
+  | Some tr -> Trace.record tr ~cycle:(t.clock ()) kind);
+  match kind with
+  | Event.Sieve_stub_inserted { chain_len; _ } ->
+      Option.iter (fun h -> Histo.observe h chain_len) t.sieve_chain
+  | Event.Block_translated { insts; _ } ->
+      Option.iter (fun h -> Histo.observe h insts) t.block_size
+  | _ -> ()
+
+let event t kind = record_kind t kind
+
+let region t ~lo ~hi kind =
+  match t.profile with
+  | None -> ()
+  | Some p -> Profile.add_region p ~lo ~hi kind
+
+let entry_trigger t ~pc kind = Hashtbl.replace t.triggers pc kind
+
+let on_flush t =
+  Hashtbl.reset t.triggers;
+  Option.iter Profile.clear_regions t.profile
+
+let step t ~pc ~cycles =
+  (match t.profile with
+  | None -> ()
+  | Some p -> Profile.attribute p ~pc ~cycles);
+  (if Hashtbl.length t.triggers > 0 then
+     match Hashtbl.find_opt t.triggers pc with
+     | Some kind -> record_kind t kind
+     | None -> ());
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+      let now = t.clock () in
+      if now >= t.next_sample then begin
+        Metrics.sample m ~cycle:now;
+        record_kind t Event.Sample;
+        t.next_sample <- now + t.sample_interval
+      end
+
+let ib_transfer t ~pc ~target =
+  match t.profile with
+  | None -> ()
+  | Some p -> Profile.ib_transfer p ~pc ~target
+
+let runtime_cycles t n =
+  match t.profile with
+  | None -> ()
+  | Some p -> if n > 0 then Profile.attribute_runtime p n
+
+let finish t =
+  match t.metrics with
+  | None -> ()
+  | Some m -> Metrics.sample m ~cycle:(t.clock ())

@@ -1,0 +1,71 @@
+(** The observability facade the runtime talks to.
+
+    One observer bundles the three layers — {!Trace} (event ring),
+    {!Metrics} (sampled time series), {!Profile} (cycle attribution) —
+    behind a single handle the translator threads through its hooks.
+    Every layer is optional; a hook on a disabled layer is a single
+    [match] on [None]. Nothing here ever charges simulated cycles or
+    writes simulated memory: observation must not perturb the
+    simulation (a property test enforces bit-identical runs).
+
+    The per-instruction feed ({!step}, {!ib_transfer}) is driven by the
+    cycle accountant's probe, installed by the runtime only when an
+    observer is attached, so unobserved runs pay nothing at all. *)
+
+type t
+
+val create :
+  clock:(unit -> int) ->
+  ?trace:Trace.t ->
+  ?metrics:Metrics.t ->
+  ?profile:Profile.t ->
+  ?sample_interval:int ->
+  unit ->
+  t
+(** [clock] reads the current simulated cycle count. [sample_interval]
+    (default 10000 cycles) paces metric sampling. *)
+
+val trace : t -> Trace.t option
+val metrics : t -> Metrics.t option
+val profile : t -> Profile.t option
+
+val wants_step_feed : t -> bool
+(** Whether the per-instruction feed is needed (profiling, sampling, or
+    entry triggers) — callers can skip installing the probe otherwise. *)
+
+val event : t -> Event.kind -> unit
+(** Record a runtime event at the current clock. Also feeds the standard
+    event-derived histograms (sieve chain length at insertion, block
+    size in instructions) when metrics are enabled. *)
+
+val region : t -> lo:int -> hi:int -> Profile.region_kind -> unit
+(** Register an emitted code range for attribution (no-op without a
+    profile layer). *)
+
+val entry_trigger : t -> pc:int -> Event.kind -> unit
+(** Synthesize [kind] whenever execution reaches [pc] — how pure
+    emitted-code paths (return-cache and shadow-stack fallbacks, which
+    never trap) become visible without perturbing them. *)
+
+val on_flush : t -> unit
+(** A fragment-cache flush invalidated all emitted addresses: clears the
+    region map and entry triggers. Accumulated attribution survives. *)
+
+val step : t -> pc:int -> cycles:int -> unit
+(** Per executed instruction: attribute [cycles] at [pc], fire entry
+    triggers, take a periodic metrics sample when the interval elapsed. *)
+
+val ib_transfer : t -> pc:int -> target:int -> unit
+(** An indirect transfer executed in emitted code. *)
+
+val runtime_cycles : t -> int -> unit
+(** Translator service cycles charged host-side (trap handlers,
+    translation): attributed to the ["runtime"] service bucket. *)
+
+val finish : t -> unit
+(** Take a final metrics sample at the current clock. *)
+
+(** {1 Standard event-derived histogram names} *)
+
+val sieve_chain_histogram : string
+val block_size_histogram : string

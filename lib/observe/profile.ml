@@ -1,0 +1,231 @@
+type region_kind = App of int | Service of string
+
+type region = { lo : int; hi : int; kind : region_kind }
+
+type bucket = { mutable b_cycles : int; mutable b_insts : int }
+
+type t = {
+  mutable regions : region array;
+  mutable n_regions : int;
+  mutable sorted : bool;
+  app : (int, bucket) Hashtbl.t;  (* app block pc -> cycles *)
+  service : (string, bucket) Hashtbl.t;
+  (* per-site target multisets: app site block pc -> (app target pc -> count) *)
+  sites : (int, (int, int) Hashtbl.t) Hashtbl.t;
+  (* memoised pc -> region lookups; invalidated with the region map *)
+  lookup_cache : (int, region option) Hashtbl.t;
+}
+
+let create () =
+  {
+    regions = [||];
+    n_regions = 0;
+    sorted = true;
+    app = Hashtbl.create 1024;
+    service = Hashtbl.create 16;
+    sites = Hashtbl.create 256;
+    lookup_cache = Hashtbl.create 4096;
+  }
+
+let add_region t ~lo ~hi kind =
+  if hi > lo then begin
+    if t.n_regions = Array.length t.regions then begin
+      let cap = max 64 (2 * t.n_regions) in
+      let bigger = Array.make cap { lo = 0; hi = 0; kind = Service "" } in
+      Array.blit t.regions 0 bigger 0 t.n_regions;
+      t.regions <- bigger
+    end;
+    t.regions.(t.n_regions) <- { lo; hi; kind };
+    t.n_regions <- t.n_regions + 1;
+    t.sorted <- false;
+    Hashtbl.reset t.lookup_cache
+  end
+
+let clear_regions t =
+  t.n_regions <- 0;
+  t.sorted <- true;
+  Hashtbl.reset t.lookup_cache
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.regions 0 t.n_regions in
+    (* sort by lo ascending; ties (a sub-range starting where its parent
+       starts) put the wider range first so the narrower wins the
+       innermost-match backward scan *)
+    Array.sort
+      (fun a b -> if a.lo <> b.lo then compare a.lo b.lo else compare b.hi a.hi)
+      live;
+    Array.blit live 0 t.regions 0 t.n_regions;
+    t.sorted <- true
+  end
+
+(* innermost region containing pc: binary-search the last region with
+   lo <= pc, then walk backwards to the first that also covers pc (the
+   walk is short — nesting is one fragment deep) *)
+let find_region t pc =
+  ensure_sorted t;
+  let lo = ref 0 and hi = ref t.n_regions in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.regions.(mid).lo <= pc then lo := mid + 1 else hi := mid
+  done;
+  let rec back i =
+    if i < 0 then None
+    else
+      let r = t.regions.(i) in
+      if r.lo <= pc && pc < r.hi then Some r else back (i - 1)
+  in
+  back (!lo - 1)
+
+let find_region_cached t pc =
+  match Hashtbl.find_opt t.lookup_cache pc with
+  | Some r -> r
+  | None ->
+      let r = find_region t pc in
+      Hashtbl.replace t.lookup_cache pc r;
+      r
+
+let bucket_of_app t pc =
+  match Hashtbl.find_opt t.app pc with
+  | Some b -> b
+  | None ->
+      let b = { b_cycles = 0; b_insts = 0 } in
+      Hashtbl.replace t.app pc b;
+      b
+
+let bucket_of_service t name =
+  match Hashtbl.find_opt t.service name with
+  | Some b -> b
+  | None ->
+      let b = { b_cycles = 0; b_insts = 0 } in
+      Hashtbl.replace t.service name b;
+      b
+
+let unmapped = "(unmapped)"
+
+let attribute t ~pc ~cycles =
+  let b =
+    match find_region_cached t pc with
+    | Some { kind = App app_pc; _ } -> bucket_of_app t app_pc
+    | Some { kind = Service name; _ } -> bucket_of_service t name
+    | None -> bucket_of_service t unmapped
+  in
+  b.b_cycles <- b.b_cycles + cycles;
+  b.b_insts <- b.b_insts + 1
+
+let attribute_runtime t n =
+  let b = bucket_of_service t "runtime" in
+  b.b_cycles <- b.b_cycles + n
+
+let pooled_site = -1
+
+let ib_transfer t ~pc ~target =
+  let site =
+    match find_region_cached t pc with
+    | Some { kind = App app_pc; _ } -> app_pc
+    | Some { kind = Service _; _ } | None -> pooled_site
+  in
+  let target_key =
+    match find_region_cached t target with
+    | Some { kind = App app_pc; _ } -> app_pc
+    | Some { kind = Service _; _ } | None -> target
+  in
+  let targets =
+    match Hashtbl.find_opt t.sites site with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 8 in
+        Hashtbl.replace t.sites site h;
+        h
+  in
+  Hashtbl.replace targets target_key
+    (1 + Option.value (Hashtbl.find_opt targets target_key) ~default:0)
+
+type frag_row = { app_pc : int; cycles : int; insts : int }
+
+let hot_fragments t =
+  Hashtbl.fold
+    (fun app_pc b acc ->
+      { app_pc; cycles = b.b_cycles; insts = b.b_insts } :: acc)
+    t.app []
+  |> List.sort (fun a b ->
+         if a.cycles <> b.cycles then compare b.cycles a.cycles
+         else compare a.app_pc b.app_pc)
+
+let service_breakdown t =
+  Hashtbl.fold (fun name b acc -> (name, b.b_cycles) :: acc) t.service []
+  |> List.sort (fun (na, a) (nb, b) ->
+         if a <> b then compare b a else compare na nb)
+
+let attributed_cycles t =
+  let f _ b acc = acc + b.b_cycles in
+  Hashtbl.fold f t.app (Hashtbl.fold f t.service 0)
+
+type site_row = {
+  site_pc : int;
+  executions : int;
+  distinct_targets : int;
+  entropy_bits : float;
+}
+
+let entropy counts total =
+  if total = 0 then 0.0
+  else
+    List.fold_left
+      (fun acc c ->
+        if c = 0 then acc
+        else
+          let p = float_of_int c /. float_of_int total in
+          acc -. (p *. (Float.log p /. Float.log 2.0)))
+      0.0 counts
+
+let ib_sites t =
+  Hashtbl.fold
+    (fun site targets acc ->
+      if site = pooled_site then acc
+      else
+        let counts = Hashtbl.fold (fun _ c l -> c :: l) targets [] in
+        let executions = List.fold_left ( + ) 0 counts in
+        {
+          site_pc = site;
+          executions;
+          distinct_targets = List.length counts;
+          entropy_bits = entropy counts executions;
+        }
+        :: acc)
+    t.sites []
+  |> List.sort (fun a b ->
+         if a.executions <> b.executions then compare b.executions a.executions
+         else compare a.site_pc b.site_pc)
+
+let to_json t =
+  let hex i = Jsonw.Str (Printf.sprintf "0x%x" i) in
+  Jsonw.Obj
+    [
+      ( "fragments",
+        Jsonw.List
+          (List.map
+             (fun r ->
+               Jsonw.Obj
+                 [
+                   ("app_pc", hex r.app_pc);
+                   ("cycles", Jsonw.Int r.cycles);
+                   ("insts", Jsonw.Int r.insts);
+                 ])
+             (hot_fragments t)) );
+      ( "services",
+        Jsonw.Obj
+          (List.map (fun (n, c) -> (n, Jsonw.Int c)) (service_breakdown t)) );
+      ( "ib_sites",
+        Jsonw.List
+          (List.map
+             (fun s ->
+               Jsonw.Obj
+                 [
+                   ("site_pc", hex s.site_pc);
+                   ("executions", Jsonw.Int s.executions);
+                   ("distinct_targets", Jsonw.Int s.distinct_targets);
+                   ("entropy_bits", Jsonw.Float s.entropy_bits);
+                 ])
+             (ib_sites t)) );
+    ]

@@ -1,0 +1,73 @@
+(** Per-fragment cycle attribution.
+
+    The runtime registers every emitted code range as a {e region} —
+    either an application basic block (keyed by its application PC) or a
+    named service range (dispatch routine, IBTC probe, sieve stub,
+    return-cache handling…). The observer then attributes every executed
+    instruction's cycles, by emitted PC, to the owning region. Because
+    service code emitted {e inside} a fragment is registered as a
+    sub-range, the single end-of-run [slowdown] number decomposes into
+    application work, per-mechanism overhead, and translator service
+    time ([runtime] cycles reported by the cycle accountant).
+
+    Regions may nest (a probe inside a fragment); lookup picks the
+    innermost range containing the PC. A fragment-cache flush calls
+    {!clear_regions}: attribution already accumulated survives (it is
+    keyed by application PC / service name, not by address), only the
+    address map is rebuilt as code is re-emitted.
+
+    The profiler also classifies indirect transfers observed in emitted
+    code: {!ib_transfer} maps both the branch PC and its target back to
+    application blocks, accumulating per-site target counts from which
+    {!ib_sites} computes target entropy — the per-site telemetry a
+    mechanism chooser or a CFI monitor starts from. *)
+
+type region_kind =
+  | App of int  (** application basic block, keyed by application PC *)
+  | Service of string  (** named mechanism/translator code *)
+
+type t
+
+val create : unit -> t
+
+val add_region : t -> lo:int -> hi:int -> region_kind -> unit
+(** [lo] inclusive, [hi] exclusive. Empty ranges are ignored. *)
+
+val clear_regions : t -> unit
+
+val attribute : t -> pc:int -> cycles:int -> unit
+(** Charge [cycles] (and one executed instruction) to the innermost
+    region containing [pc]; unattributable PCs go to the ["(unmapped)"]
+    service bucket. *)
+
+val attribute_runtime : t -> int -> unit
+(** Charge host-side translator service cycles to the ["runtime"]
+    service bucket (no executed instruction). *)
+
+val ib_transfer : t -> pc:int -> target:int -> unit
+(** Record one executed indirect transfer for per-site target counts.
+    Only transfers whose branch PC maps to an application block are
+    per-site data; the rest (shared-routine tails) are pooled. *)
+
+type frag_row = { app_pc : int; cycles : int; insts : int }
+
+val hot_fragments : t -> frag_row list
+(** Application blocks by descending attributed cycles. *)
+
+val service_breakdown : t -> (string * int) list
+(** Service buckets by descending attributed cycles. *)
+
+val attributed_cycles : t -> int
+(** Total cycles attributed so far (app + service). *)
+
+type site_row = {
+  site_pc : int;  (** application PC of the block containing the IB *)
+  executions : int;
+  distinct_targets : int;
+  entropy_bits : float;
+}
+
+val ib_sites : t -> site_row list
+(** Per-site indirect-branch telemetry, by descending executions. *)
+
+val to_json : t -> Jsonw.t

@@ -1,0 +1,44 @@
+type 'a t = {
+  cap : int;
+  mutable buf : 'a array;  (* empty until the first push *)
+  mutable head : int;      (* index of the oldest element *)
+  mutable len : int;
+  mutable pushed : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { cap = capacity; buf = [||]; head = 0; len = 0; pushed = 0 }
+
+let capacity t = t.cap
+let length t = t.len
+let pushed t = t.pushed
+let dropped t = t.pushed - t.len
+
+let push t x =
+  if Array.length t.buf = 0 then t.buf <- Array.make t.cap x;
+  if t.len < t.cap then begin
+    t.buf.((t.head + t.len) mod t.cap) <- x;
+    t.len <- t.len + 1
+  end
+  else begin
+    t.buf.(t.head) <- x;
+    t.head <- (t.head + 1) mod t.cap
+  end;
+  t.pushed <- t.pushed + 1
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.buf.((t.head + i) mod t.cap)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc
+
+let clear t =
+  t.buf <- [||];
+  t.head <- 0;
+  t.len <- 0;
+  t.pushed <- 0

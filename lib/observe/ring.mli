@@ -1,0 +1,31 @@
+(** A fixed-capacity ring buffer.
+
+    The tracer's backing store: pushing beyond capacity silently evicts
+    the oldest element, so a bounded amount of host memory holds the
+    most recent window of a run of any length. The number of evicted
+    elements is reported so exports can say what was dropped. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val pushed : 'a t -> int
+(** Total number of pushes ever performed. *)
+
+val dropped : 'a t -> int
+(** [pushed - length]: elements evicted by wraparound. *)
+
+val push : 'a t -> 'a -> unit
+
+val to_list : 'a t -> 'a list
+(** Oldest first. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first. *)
+
+val clear : 'a t -> unit
+(** Empties the buffer and zeroes the push/drop accounting. *)

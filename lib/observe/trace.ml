@@ -1,0 +1,85 @@
+type t = { ring : Event.t Ring.t }
+
+let create ?(capacity = 65536) () = { ring = Ring.create ~capacity }
+
+let record t ~cycle kind = Ring.push t.ring { Event.cycle; kind }
+
+let events t = Ring.to_list t.ring
+let recorded t = Ring.pushed t.ring
+let dropped t = Ring.dropped t.ring
+
+(* Group related event kinds onto a few named tracks so the Perfetto
+   view reads as lanes: translation, linking, IB misses, returns,
+   structural events. *)
+let track kind =
+  match kind with
+  | Event.Block_translated _ | Event.Flush _ -> (1, "translation")
+  | Event.Link_patched _ | Event.Pred_fill _ -> (2, "linking/prediction")
+  | Event.Dispatch_entry _ | Event.Ibtc_miss _ | Event.Sieve_miss _
+  | Event.Sieve_stub_inserted _ | Event.Context_switch _ ->
+      (3, "IB misses")
+  | Event.Retcache_fallback | Event.Shadow_fallback -> (4, "returns")
+  | Event.Sample -> (5, "sampling")
+
+let to_chrome t =
+  let metadata =
+    List.concat_map
+      (fun (tid, tname) ->
+        [
+          Jsonw.Obj
+            [
+              ("name", Jsonw.Str "thread_name");
+              ("ph", Jsonw.Str "M");
+              ("pid", Jsonw.Int 1);
+              ("tid", Jsonw.Int tid);
+              ("args", Jsonw.Obj [ ("name", Jsonw.Str tname) ]);
+            ];
+        ])
+      [
+        (1, "translation");
+        (2, "linking/prediction");
+        (3, "IB misses");
+        (4, "returns");
+        (5, "sampling");
+      ]
+  in
+  let ev (e : Event.t) =
+    let tid, _ = track e.Event.kind in
+    Jsonw.Obj
+      [
+        ("name", Jsonw.Str (Event.name e.Event.kind));
+        ("ph", Jsonw.Str "i");
+        ("s", Jsonw.Str "t");
+        ("ts", Jsonw.Int e.Event.cycle);
+        ("pid", Jsonw.Int 1);
+        ("tid", Jsonw.Int tid);
+        ("args", Jsonw.Obj (Event.args e.Event.kind));
+      ]
+  in
+  Jsonw.Obj
+    [
+      ("traceEvents", Jsonw.List (metadata @ List.map ev (events t)));
+      ("displayTimeUnit", Jsonw.Str "ms");
+      ( "otherData",
+        Jsonw.Obj
+          [
+            ("clock", Jsonw.Str "simulated cycles (1 cycle = 1 us)");
+            ("recorded", Jsonw.Int (recorded t));
+            ("dropped", Jsonw.Int (dropped t));
+          ] );
+    ]
+
+let write_chrome oc t = Jsonw.to_channel oc (to_chrome t)
+
+let pp_timeline ppf t =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "cycle         event@,";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Event.pp ppf e)
+    (events t);
+  if dropped t > 0 then
+    Format.fprintf ppf "@,(%d earlier events dropped by ring wraparound)"
+      (dropped t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,33 @@
+(** The event tracer: a ring buffer of timestamped {!Event.t}s.
+
+    Recording is host-side only — it never charges simulated cycles,
+    emits code, or touches simulated memory, so a traced run is
+    cycle-identical to an untraced one (enforced by a property test).
+
+    Export formats:
+    - {!write_chrome}: Chrome [trace_event] JSON, loadable in Perfetto
+      ({:https://ui.perfetto.dev}) or [chrome://tracing]. One simulated
+      cycle is mapped to one microsecond of trace time; every event is
+      an instant event on one of a few category tracks.
+    - {!pp_timeline}: a compact text timeline for terminals. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 65536 events. *)
+
+val record : t -> cycle:int -> Event.kind -> unit
+
+val events : t -> Event.t list
+(** The retained window, oldest first (cycle-ordered: recording is
+    monotone in simulated time). *)
+
+val recorded : t -> int
+(** Total events ever recorded. *)
+
+val dropped : t -> int
+(** Events evicted by ring wraparound. *)
+
+val to_chrome : t -> Jsonw.t
+val write_chrome : out_channel -> t -> unit
+val pp_timeline : Format.formatter -> t -> unit

@@ -1,0 +1,495 @@
+(* Tests for the sdt_observe library and its wiring into the runtime:
+   ring-buffer and histogram mechanics, JSON writer correctness, the
+   Chrome trace export (well-formed, cycle-ordered), and — the property
+   the whole design rests on — that attaching an observer changes
+   nothing about the simulated run. *)
+
+module Arch = Sdt_march.Arch
+module Timing = Sdt_march.Timing
+module Machine = Sdt_machine.Machine
+module Config = Sdt_core.Config
+module Runtime = Sdt_core.Runtime
+module Suite = Sdt_workloads.Suite
+module Ring = Sdt_observe.Ring
+module Histo = Sdt_observe.Histo
+module Jsonw = Sdt_observe.Jsonw
+module Event = Sdt_observe.Event
+module Trace = Sdt_observe.Trace
+module Metrics = Sdt_observe.Metrics
+module Profile = Sdt_observe.Profile
+module Observer = Sdt_observe.Observer
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Ring *)
+
+let test_ring_basic () =
+  let r = Ring.create ~capacity:4 in
+  check int "empty length" 0 (Ring.length r);
+  Ring.push r 1;
+  Ring.push r 2;
+  check (Alcotest.list int) "in order" [ 1; 2 ] (Ring.to_list r);
+  check int "pushed" 2 (Ring.pushed r);
+  check int "dropped" 0 (Ring.dropped r)
+
+let test_ring_wraparound () =
+  let r = Ring.create ~capacity:4 in
+  for i = 1 to 10 do
+    Ring.push r i
+  done;
+  check int "length capped" 4 (Ring.length r);
+  check int "pushed counts all" 10 (Ring.pushed r);
+  check int "dropped = pushed - kept" 6 (Ring.dropped r);
+  check (Alcotest.list int) "keeps newest, oldest first" [ 7; 8; 9; 10 ]
+    (Ring.to_list r);
+  Ring.clear r;
+  check int "clear empties" 0 (Ring.length r);
+  Ring.push r 42;
+  check (Alcotest.list int) "usable after clear" [ 42 ] (Ring.to_list r)
+
+(* ------------------------------------------------------------------ *)
+(* Histo *)
+
+let test_histo_bucketing () =
+  let h = Histo.create ~bounds:[ 1; 2; 4; 8 ] "probe" in
+  List.iter (Histo.observe h) [ 0; 1; 2; 3; 4; 5; 8; 9; 100 ];
+  (* inclusive upper bounds: <=1, <=2, <=4, <=8, overflow *)
+  check (Alcotest.list int) "per-bucket counts" [ 2; 1; 2; 2; 2 ]
+    (List.map snd (Histo.buckets h));
+  check int "count" 9 (Histo.count h);
+  check int "sum" 132 (Histo.sum h);
+  check int "max" 100 (Histo.max_value h);
+  check bool "mean" true (abs_float (Histo.mean h -. (132.0 /. 9.0)) < 1e-9);
+  Histo.reset h;
+  check int "reset zeroes count" 0 (Histo.count h)
+
+let test_histo_bounds_sorted () =
+  Alcotest.check_raises "unsorted bounds rejected"
+    (Invalid_argument "Histo.create: bounds must be strictly increasing")
+    (fun () -> ignore (Histo.create ~bounds:[ 4; 2 ] "bad"))
+
+(* ------------------------------------------------------------------ *)
+(* Jsonw *)
+
+let test_jsonw_escaping () =
+  let s v = Jsonw.to_string v in
+  check string "plain" {|"abc"|} (s (Jsonw.Str "abc"));
+  check string "quote and backslash" {|"a\"b\\c"|} (s (Jsonw.Str "a\"b\\c"));
+  check string "control chars" {|"a\nb\tc\u0001"|}
+    (s (Jsonw.Str "a\nb\tc\001"));
+  check string "ints" "[0,-5,42]"
+    (s (Jsonw.List [ Jsonw.Int 0; Jsonw.Int (-5); Jsonw.Int 42 ]));
+  check string "integral float keeps point" "1.0" (s (Jsonw.Float 1.0));
+  check string "nan becomes null" "null" (s (Jsonw.Float Float.nan));
+  check string "inf becomes null" "null" (s (Jsonw.Float Float.infinity));
+  check string "nested"
+    {|{"a":[true,false,null],"b":{"c":1}}|}
+    (s
+       (Jsonw.Obj
+          [
+            ("a", Jsonw.List [ Jsonw.Bool true; Jsonw.Bool false; Jsonw.Null ]);
+            ("b", Jsonw.Obj [ ("c", Jsonw.Int 1) ]);
+          ]))
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON well-formedness checker (recursive descent), so the
+   golden test validates the hand-rolled writer with an independent
+   reader rather than trusting the writer's own output. *)
+
+exception Bad_json of string
+
+let parse_json (s : string) =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_lit lit =
+    String.iter expect lit
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some (('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') as c) ->
+              advance ();
+              Buffer.add_char b c;
+              go ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "raw control char in string"
+      | Some c ->
+          advance ();
+          Buffer.add_char b c;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let digits () =
+      let saw = ref false in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+            saw := true;
+            advance ();
+            go ()
+        | _ -> ()
+      in
+      go ();
+      if not !saw then fail "expected digit"
+    in
+    if peek () = Some '-' then advance ();
+    digits ();
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ());
+    `Num (String.sub s start (!pos - start))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          `Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or }"
+          in
+          `Obj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          `List []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected , or ]"
+          in
+          `List (elements [])
+        end
+    | Some '"' -> `Str (parse_string ())
+    | Some 't' ->
+        parse_lit "true";
+        `Bool true
+    | Some 'f' ->
+        parse_lit "false";
+        `Bool false
+    | Some 'n' ->
+        parse_lit "null";
+        `Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | _ -> fail "unexpected character"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let test_parser_accepts_writer () =
+  (* round-trip spot check of the checker itself *)
+  (match parse_json {| {"a":[1,-2.5,1e3,"x\n"],"b":null} |} with
+  | `Obj _ -> ()
+  | _ -> Alcotest.fail "parse shape");
+  match parse_json "{}x" with
+  | _ -> Alcotest.fail "accepted trailing garbage"
+  | exception Bad_json _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Running workloads with and without an observer *)
+
+let arch = Option.get (Arch.by_name "archA")
+
+let run_with cfg program ~observe =
+  let timing = Timing.create arch in
+  let tracer = Trace.create () in
+  let metrics = Metrics.create () in
+  let profile = Profile.create () in
+  let observer =
+    if observe then
+      Some
+        (Observer.create
+           ~clock:(fun () -> Timing.cycles timing)
+           ~trace:tracer ~metrics ~profile ~sample_interval:500 ())
+    else None
+  in
+  let rt = Runtime.create ~cfg ~arch ~timing ?observer program in
+  Runtime.run rt;
+  let m = Runtime.machine rt in
+  ( (Timing.cycles timing, Machine.output m, m.Machine.checksum),
+    (tracer, metrics, profile) )
+
+let configs =
+  [
+    ("dispatch", Config.baseline);
+    ("ibtc", Config.default);
+    ( "ibtc-full-persite",
+      {
+        Config.default with
+        mech =
+          Ibtc
+            {
+              Config.default_ibtc with
+              shared = false;
+              miss = Config.Full_switch;
+            };
+        returns = Config.As_ib;
+      } );
+    ( "sieve-shadow",
+      {
+        Config.default with
+        mech = Sieve { buckets = 512; insert_at_head = true };
+        returns = Config.Shadow_stack { depth = 64 };
+        pred_depth = 2;
+      } );
+  ]
+
+let test_observer_effect_free () =
+  let e = Option.get (Suite.find "perlbmk") in
+  let program = Suite.program e `Test in
+  List.iter
+    (fun (name, cfg) ->
+      let plain, _ = run_with cfg program ~observe:false in
+      let observed, _ = run_with cfg program ~observe:true in
+      let cycles (c, _, _) = c
+      and out (_, o, _) = o
+      and sum (_, _, s) = s in
+      check int (name ^ " cycles identical") (cycles plain) (cycles observed);
+      check string (name ^ " output identical") (out plain) (out observed);
+      check int (name ^ " checksum identical") (sum plain) (sum observed))
+    configs
+
+(* the same property, across random configurations and workloads *)
+let qcheck_observer_effect_free =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* wl = oneofl [ "gzip"; "parser"; "perlbmk"; "vortex" ] in
+      let* mech =
+        oneofl
+          [
+            Config.Dispatch;
+            Config.Ibtc Config.default_ibtc;
+            Config.Ibtc
+              {
+                Config.default_ibtc with
+                entries = 256;
+                miss = Config.Full_switch;
+                inline_lookup = false;
+              };
+            Config.Ibtc { Config.default_ibtc with shared = false };
+            Config.Sieve { buckets = 256; insert_at_head = true };
+            Config.Sieve { buckets = 1024; insert_at_head = false };
+          ]
+      in
+      let* returns =
+        oneofl
+          [
+            Config.As_ib;
+            Config.Return_cache { entries = 1024 };
+            Config.Shadow_stack { depth = 256 };
+          ]
+      in
+      let* pred_depth = oneofl [ 0; 1; 2 ] in
+      let* link_direct = bool in
+      return (wl, mech, returns, pred_depth, link_direct))
+  in
+  let arb =
+    make
+      ~print:(fun (wl, mech, returns, pred, link) ->
+        Printf.sprintf "%s/%s/pred=%d/link=%b" wl
+          (Config.describe
+             { Config.default with mech; returns; pred_depth = pred })
+          pred link)
+      gen
+  in
+  QCheck.Test.make ~count:25 ~name:"observer never perturbs the simulation" arb
+    (fun (wl, mech, returns, pred_depth, link_direct) ->
+      let cfg =
+        { Config.default with mech; returns; pred_depth; link_direct }
+      in
+      let e = Option.get (Suite.find wl) in
+      let program = Suite.program e `Test in
+      let plain, _ = run_with cfg program ~observe:false in
+      let observed, _ = run_with cfg program ~observe:true in
+      plain = observed)
+
+(* ------------------------------------------------------------------ *)
+(* The Chrome trace export: independently parseable, cycle-ordered *)
+
+let test_chrome_trace_golden () =
+  let e = Option.get (Suite.find "perlbmk") in
+  let program = Suite.program e `Test in
+  let _, (tracer, metrics, profile) =
+    run_with Config.default program ~observe:true
+  in
+  check bool "events recorded" true (Trace.recorded tracer > 0);
+  let json = Jsonw.to_string (Trace.to_chrome tracer) in
+  let parsed = parse_json json in
+  let events =
+    match parsed with
+    | `Obj fields -> (
+        match List.assoc_opt "traceEvents" fields with
+        | Some (`List evs) -> evs
+        | _ -> Alcotest.fail "traceEvents missing or not a list")
+    | _ -> Alcotest.fail "top level not an object"
+  in
+  check bool "has events" true (List.length events > 0);
+  (* instant events carry nondecreasing ts; metadata events don't *)
+  let last = ref (-1.0) in
+  List.iter
+    (fun ev ->
+      match ev with
+      | `Obj fields -> (
+          (match List.assoc_opt "ph" fields with
+          | Some (`Str "i") -> (
+              (match List.assoc_opt "ts" fields with
+              | Some (`Num ts) ->
+                  let ts = float_of_string ts in
+                  check bool "ts nondecreasing" true (ts >= !last);
+                  last := ts
+              | _ -> Alcotest.fail "instant event without numeric ts");
+              match List.assoc_opt "name" fields with
+              | Some (`Str _) -> ()
+              | _ -> Alcotest.fail "instant event without name")
+          | Some (`Str "M") -> ()
+          | _ -> Alcotest.fail "unexpected phase");
+          match List.assoc_opt "pid" fields with
+          | Some (`Num _) -> ()
+          | _ -> Alcotest.fail "event without pid")
+      | _ -> Alcotest.fail "event not an object")
+    events;
+  check bool "some instant events seen" true (!last >= 0.0);
+  (* the other exports parse too *)
+  (match parse_json (Jsonw.to_string (Metrics.to_json metrics)) with
+  | `Obj _ -> ()
+  | _ -> Alcotest.fail "metrics json shape");
+  (match parse_json (Jsonw.to_string (Profile.to_json profile)) with
+  | `Obj _ -> ()
+  | _ -> Alcotest.fail "profile json shape");
+  check bool "metrics sampled" true (Metrics.samples metrics > 0);
+  check bool "csv non-empty" true
+    (String.length (Metrics.to_csv metrics)
+    > String.length (String.concat "," (Metrics.columns metrics)));
+  check bool "cycles attributed" true (Profile.attributed_cycles profile > 0);
+  check bool "hot fragments found" true (Profile.hot_fragments profile <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Observer plumbing details *)
+
+let test_metrics_duplicate_rejected () =
+  let m = Metrics.create () in
+  Metrics.int_source m "x" (fun () -> 0);
+  Alcotest.check_raises "duplicate source name"
+    (Invalid_argument "Metrics: duplicate source \"x\"") (fun () ->
+      Metrics.int_source m "x" (fun () -> 1))
+
+let test_trace_ring_drops_oldest () =
+  let tr = Trace.create ~capacity:8 () in
+  for i = 1 to 20 do
+    Trace.record tr ~cycle:i (Event.Dispatch_entry { target = i })
+  done;
+  check int "recorded" 20 (Trace.recorded tr);
+  check int "dropped" 12 (Trace.dropped tr);
+  match Trace.events tr with
+  | { Event.cycle = 13; _ } :: _ -> ()
+  | { Event.cycle = c; _ } :: _ ->
+      Alcotest.failf "oldest retained cycle %d, expected 13" c
+  | [] -> Alcotest.fail "no events retained"
+
+let () =
+  Alcotest.run "sdt_observe"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "ring basics" `Quick test_ring_basic;
+          Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "histogram bucketing" `Quick test_histo_bucketing;
+          Alcotest.test_case "histogram bounds checked" `Quick
+            test_histo_bounds_sorted;
+          Alcotest.test_case "json escaping" `Quick test_jsonw_escaping;
+          Alcotest.test_case "json checker sanity" `Quick
+            test_parser_accepts_writer;
+          Alcotest.test_case "duplicate metric rejected" `Quick
+            test_metrics_duplicate_rejected;
+          Alcotest.test_case "trace ring drops oldest" `Quick
+            test_trace_ring_drops_oldest;
+        ] );
+      ( "zero observer effect",
+        [
+          Alcotest.test_case "fixed configs" `Quick test_observer_effect_free;
+          QCheck_alcotest.to_alcotest qcheck_observer_effect_free;
+        ] );
+      ( "exports",
+        [
+          Alcotest.test_case "chrome trace golden" `Quick
+            test_chrome_trace_golden;
+        ] );
+    ]
