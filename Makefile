@@ -1,6 +1,6 @@
 # Convenience targets; everything real lives in dune.
 
-.PHONY: all build test bench-smoke check clean
+.PHONY: all build test bench-smoke bench-par-smoke bench-json perf check clean
 
 all: build
 
@@ -16,7 +16,25 @@ bench-smoke:
 	dune exec bench/main.exe -- --size test --only T1,F2 --no-bechamel \
 	  --json _build/bench-smoke
 
-check: build test bench-smoke
+# the same smoke through the worker pool: exercises domain spawning,
+# the single-flight memo under contention, and the jobs-independence
+# of the emitted tables
+bench-par-smoke:
+	dune exec bench/main.exe -- --size test --only F2 --jobs 4 --no-bechamel
+
+# record the full-grid benchmark as machine-readable BENCH_*.json
+# (per-experiment wall-clock seconds, jobs, cells, simulated vs cached);
+# committed baselines live in bench/baselines/
+bench-json:
+	dune exec bench/main.exe -- --size test --no-bechamel \
+	  --json bench/baselines
+
+# time the full grid serial vs parallel vs warm-cache and print the
+# ratios (see `--perf` in bench/main.ml)
+perf:
+	dune exec bench/main.exe -- --size test --no-bechamel --perf --jobs 0
+
+check: build test bench-smoke bench-par-smoke
 
 clean:
 	dune clean

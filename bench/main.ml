@@ -2,17 +2,27 @@
    paper's evaluation (see DESIGN.md's experiment index) and registers
    one Bechamel test per experiment measuring the harness itself.
 
+   Each experiment declares its measurement grid as data; the harness
+   fans the not-yet-cached cells out over a Domain worker pool
+   (--jobs N), then assembles the tables from the result memo — output
+   is byte-identical for every N. With --cache DIR, simulated cells
+   also persist to disk and later invocations skip them.
+
    Usage:
      dune exec bench/main.exe                 -- all experiments, ref size
      dune exec bench/main.exe -- --size test  -- fast smoke sizes
      dune exec bench/main.exe -- --only F2,F8 -- a subset
+     dune exec bench/main.exe -- --jobs 4     -- parallel evaluation
+     dune exec bench/main.exe -- --cache DIR  -- on-disk result cache
      dune exec bench/main.exe -- --json out/  -- machine-readable results
+     dune exec bench/main.exe -- --perf       -- serial/parallel/warm timing
      dune exec bench/main.exe -- --no-bechamel
 *)
 
 module Experiments = Sdt_harness.Experiments
 module Table = Sdt_harness.Table
 module Run = Sdt_harness.Run
+module Pool = Sdt_par.Pool
 module Jsonw = Sdt_observe.Jsonw
 
 type options = {
@@ -21,6 +31,9 @@ type options = {
   mutable bechamel : bool;
   mutable csv_dir : string option;
   mutable json_dir : string option;
+  mutable jobs : int;
+  mutable cache_dir : string option;
+  mutable perf : bool;
 }
 
 (* one row per option: flag, value placeholder ("" = boolean), doc,
@@ -51,6 +64,30 @@ let specs (o : options) =
       "DIR",
       "write one BENCH_<id>.json per experiment into DIR",
       fun v -> o.json_dir <- Some v );
+    ( "--jobs",
+      "N",
+      "worker domains for grid evaluation (0 = all cores; default 1; \
+       clamped to the core count — oversubscribing domains on a \
+       CPU-bound simulation only adds GC synchronisation)",
+      fun v ->
+        match int_of_string_opt v with
+        | Some n when n >= 0 ->
+            let cores = Pool.default_jobs () in
+            if n > cores then
+              Printf.eprintf "[--jobs %d clamped to %d core%s]\n%!" n cores
+                (if cores = 1 then "" else "s");
+            o.jobs <- (if n = 0 then cores else min n cores)
+        | _ ->
+            Printf.eprintf "--jobs: expected a non-negative integer, got %S\n" v;
+            exit 2 );
+    ( "--cache",
+      "DIR",
+      "persist simulation results to DIR and reuse them across runs",
+      fun v -> o.cache_dir <- Some v );
+    ( "--perf",
+      "",
+      "time the selected grid serial vs parallel vs warm-cache, then exit",
+      fun _ -> o.perf <- true );
     ( "--no-bechamel",
       "",
       "skip the Bechamel wall-time measurements",
@@ -71,7 +108,16 @@ let usage specs =
 
 let parse_args () =
   let o =
-    { size = `Ref; only = None; bechamel = true; csv_dir = None; json_dir = None }
+    {
+      size = `Ref;
+      only = None;
+      bechamel = true;
+      csv_dir = None;
+      json_dir = None;
+      jobs = 1;
+      cache_dir = None;
+      perf = false;
+    }
   in
   let specs = specs o in
   let rec go = function
@@ -127,25 +173,55 @@ let table_json (t : Table.t) =
              t.Table.rows) );
     ]
 
-let experiment_json (e : Experiments.experiment) size seconds tables =
+type cell_report = {
+  r_cells : int;  (** unique grid cells *)
+  r_simulated : int;  (** cells actually simulated this experiment *)
+  r_cache_hits : int;  (** cells served from memory or disk *)
+}
+
+let experiment_json (e : Experiments.experiment) size ~jobs seconds
+    (r : cell_report) tables =
   Jsonw.Obj
     [
       ("id", Jsonw.Str e.Experiments.id);
       ("title", Jsonw.Str e.Experiments.title);
       ("size", Jsonw.Str (match size with `Test -> "test" | `Ref -> "ref"));
+      ("jobs", Jsonw.Int jobs);
       ("seconds", Jsonw.Float seconds);
+      ("cells", Jsonw.Int r.r_cells);
+      ("simulated", Jsonw.Int r.r_simulated);
+      ("cache_hits", Jsonw.Int r.r_cache_hits);
       ("tables", Jsonw.List (List.map table_json tables));
     ]
 
-let run_experiments size csv_dir json_dir exps =
+let now = Unix.gettimeofday
+
+(* Evaluate the grid through the pool, then assemble the tables (all
+   cache lookups by construction). A cell is a "cache hit" when the
+   memo already held it — from an earlier experiment in this run, or
+   from the on-disk cache of a previous one. *)
+let run_one pool size (e : Experiments.experiment) =
+  let s0 = (Run.cache_stats ()).Run.simulated in
+  let t0 = now () in
+  let cells = Experiments.evaluate ~pool size e in
+  let tables = e.Experiments.run size in
+  let seconds = now () -. t0 in
+  let simulated = (Run.cache_stats ()).Run.simulated - s0 in
+  ( tables,
+    seconds,
+    { r_cells = cells; r_simulated = simulated; r_cache_hits = cells - simulated }
+  )
+
+let run_experiments pool size csv_dir json_dir exps =
   let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755 in
   Option.iter ensure_dir csv_dir;
   Option.iter ensure_dir json_dir;
+  let total_cells = ref 0 and total_sim = ref 0 and t_start = now () in
   List.iter
     (fun (e : Experiments.experiment) ->
-      let t0 = Sys.time () in
-      let tables = e.Experiments.run size in
-      let seconds = Sys.time () -. t0 in
+      let tables, seconds, r = run_one pool size e in
+      total_cells := !total_cells + r.r_cells;
+      total_sim := !total_sim + r.r_simulated;
       List.iter Table.print tables;
       Option.iter
         (fun dir ->
@@ -166,12 +242,52 @@ let run_experiments size csv_dir json_dir exps =
             Filename.concat dir (Printf.sprintf "BENCH_%s.json" e.Experiments.id)
           in
           Out_channel.with_open_text path (fun oc ->
-              Jsonw.to_channel oc (experiment_json e size seconds tables);
+              Jsonw.to_channel oc
+                (experiment_json e size ~jobs:(Pool.jobs pool) seconds r tables);
               output_char oc '\n'))
         json_dir;
-      Printf.printf "[%s: %s — %.1fs]\n\n%!" e.Experiments.id
-        e.Experiments.title seconds)
-    exps
+      Printf.printf "[%s: %s — %.1fs, %d cells: %d simulated, %d cached]\n\n%!"
+        e.Experiments.id e.Experiments.title seconds r.r_cells r.r_simulated
+        r.r_cache_hits)
+    exps;
+  Printf.printf
+    "== grid total: %.1fs wall, %d jobs, %d cells, %d simulated, %d served \
+     from cache ==\n\n%!"
+    (now () -. t_start) (Pool.jobs pool) !total_cells !total_sim
+    (!total_cells - !total_sim)
+
+(* --perf: three passes over the selected grid — cold serial, cold
+   parallel, warm — and the ratios the ROADMAP cares about. The disk
+   cache is left out so each cold pass really simulates. *)
+let run_perf size jobs exps =
+  Run.set_cache_dir None;
+  let pass label pool =
+    Run.clear_cache ();
+    let t0 = now () in
+    List.iter
+      (fun e ->
+        ignore (Experiments.evaluate ?pool size e);
+        ignore (e.Experiments.run size))
+      exps;
+    let dt = now () -. t0 in
+    Printf.printf "  %-28s %8.2fs\n%!" label dt;
+    dt
+  in
+  Printf.printf "== perf: %d experiments, %s size ==\n%!" (List.length exps)
+    (match size with `Test -> "test" | `Ref -> "ref");
+  let serial = pass "serial (--jobs 1)" None in
+  let parallel =
+    Pool.with_pool ~jobs (fun p ->
+        pass (Printf.sprintf "parallel (--jobs %d)" jobs) (Some p))
+  in
+  (* warm: do NOT clear the cache — every cell is a memo hit *)
+  let t0 = now () in
+  List.iter (fun e -> ignore (e.Experiments.run size)) exps;
+  let warm = now () -. t0 in
+  Printf.printf "  %-28s %8.2fs\n" "warm cache (render only)" warm;
+  Printf.printf "  serial/parallel ratio: %.2fx\n" (serial /. parallel);
+  Printf.printf "  serial/warm ratio:     %.0fx\n%!"
+    (serial /. Float.max warm 1e-6)
 
 (* One Bechamel test per experiment: each measures one end-to-end
    evaluation of that experiment at the smoke size (the experiments are
@@ -220,9 +336,18 @@ let run_bechamel exps =
 let () =
   let o = parse_args () in
   let exps = selected o.only in
-  Printf.printf
-    "SDT indirect-branch mechanism evaluation (%s size, %d experiments)\n\n%!"
-    (match o.size with `Test -> "test" | `Ref -> "ref")
-    (List.length exps);
-  run_experiments o.size o.csv_dir o.json_dir exps;
-  if o.bechamel then run_bechamel exps
+  if o.perf then run_perf o.size (max 2 o.jobs) exps
+  else begin
+    Run.set_cache_dir o.cache_dir;
+    Printf.printf
+      "SDT indirect-branch mechanism evaluation (%s size, %d experiments, %d \
+       jobs%s)\n\n%!"
+      (match o.size with `Test -> "test" | `Ref -> "ref")
+      (List.length exps) o.jobs
+      (match o.cache_dir with
+      | None -> ""
+      | Some d -> Printf.sprintf ", cache %s" d);
+    Pool.with_pool ~jobs:o.jobs (fun pool ->
+        run_experiments pool o.size o.csv_dir o.json_dir exps);
+    if o.bechamel then run_bechamel exps
+  end

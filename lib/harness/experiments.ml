@@ -2,10 +2,23 @@ module Arch = Sdt_march.Arch
 module Config = Sdt_core.Config
 module Stats = Sdt_core.Stats
 module Suite = Sdt_workloads.Suite
+module Fingerprint = Sdt_par.Fingerprint
+module Pool = Sdt_par.Pool
 
 type size = [ `Test | `Ref ]
 
-type experiment = { id : string; title : string; run : size -> Table.t list }
+type cell = {
+  cell_entry : Suite.entry;
+  cell_arch : Arch.t;
+  cell_cfg : Config.t option;  (** [None] = the native run *)
+}
+
+type experiment = {
+  id : string;
+  title : string;
+  grid : cell list;
+  run : size -> Table.t list;
+}
 
 let key e (size : size) =
   e.Suite.name ^ match size with `Test -> ":test" | `Ref -> ":ref"
@@ -17,6 +30,59 @@ let native ?(arch = Arch.arch_a) e size =
 
 let sdt ?(arch = Arch.arch_a) ~cfg e size =
   Run.sdt ~arch ~cfg ~key:(key e size) (build e size)
+
+(* Every experiment measures (suite × its configs × its arches), plus
+   the native run each SDT cell normalises against. *)
+let grid_of ?(arches = [ Arch.arch_a ]) cfgs =
+  List.concat_map
+    (fun e ->
+      List.concat_map
+        (fun arch ->
+          { cell_entry = e; cell_arch = arch; cell_cfg = None }
+          :: List.map
+               (fun cfg ->
+                 { cell_entry = e; cell_arch = arch; cell_cfg = Some cfg })
+               cfgs)
+        arches)
+    Suite.all
+
+let cell_fingerprint c size =
+  Fingerprint.cell
+    ~key:(key c.cell_entry size)
+    ~arch:c.cell_arch ~cfg:c.cell_cfg
+
+let evaluate ?pool size e =
+  let seen = Hashtbl.create 256 in
+  let fresh c =
+    let fp = cell_fingerprint c size in
+    if Hashtbl.mem seen fp then false
+    else begin
+      Hashtbl.add seen fp ();
+      true
+    end
+  in
+  let cells = List.filter fresh e.grid in
+  (* natives first: an SDT cell's thunk starts by looking up its native
+     counterpart, and pre-seeding keeps workers simulating instead of
+     blocking on the single-flight lock *)
+  let natives, sdts =
+    List.partition (fun c -> c.cell_cfg = None) cells
+  in
+  let eval c =
+    match c.cell_cfg with
+    | None -> ignore (native ~arch:c.cell_arch c.cell_entry size)
+    | Some cfg -> ignore (sdt ~arch:c.cell_arch ~cfg c.cell_entry size)
+  in
+  let batch = function
+    | [] -> ()
+    | cells -> (
+        match pool with
+        | None -> List.iter eval cells
+        | Some p -> Pool.iter p eval (Array.of_list cells))
+  in
+  batch natives;
+  batch sdts;
+  List.length cells
 
 let app_ibs (n : Run.native) = n.Run.n_ijumps + n.Run.n_icalls + n.Run.n_returns
 
@@ -102,6 +168,8 @@ let table_ib_characteristics size =
 (* ------------------------------------------------------------------ *)
 (* F1 *)
 
+let f1_cfgs = [ Config.baseline ]
+
 let fig_baseline_overhead size =
   let rows =
     List.map
@@ -137,6 +205,7 @@ let fig_baseline_overhead size =
 (* F2 *)
 
 let ibtc_sizes = [ 16; 64; 256; 1024; 4096; 65536 ]
+let f2_cfgs = List.map (fun entries -> ibtc ~entries ()) ibtc_sizes
 
 let fig_ibtc_size_sweep size =
   let measure e entries = sdt ~cfg:(ibtc ~entries ()) e size in
@@ -186,15 +255,16 @@ let fig_ibtc_size_sweep size =
 (* ------------------------------------------------------------------ *)
 (* F3 *)
 
+let f3_cfgs =
+  [
+    ("shared-4096", ibtc ~entries:4096 ());
+    ("per-branch-16", ibtc ~shared:false ~per_site:16 ());
+    ("per-branch-64", ibtc ~shared:false ~per_site:64 ());
+    ("per-branch-256", ibtc ~shared:false ~per_site:256 ());
+  ]
+
 let fig_ibtc_sharing size =
-  let cfgs =
-    [
-      ("shared-4096", ibtc ~entries:4096 ());
-      ("per-branch-16", ibtc ~shared:false ~per_site:16 ());
-      ("per-branch-64", ibtc ~shared:false ~per_site:64 ());
-      ("per-branch-256", ibtc ~shared:false ~per_site:256 ());
-    ]
-  in
+  let cfgs = f3_cfgs in
   let rows =
     List.map
       (fun e ->
@@ -224,15 +294,16 @@ let fig_ibtc_sharing size =
 (* ------------------------------------------------------------------ *)
 (* F4 *)
 
+let f4_cfgs =
+  [
+    ("64/full", ibtc ~entries:64 ~miss:Config.Full_switch ());
+    ("64/fast", ibtc ~entries:64 ~miss:Config.Fast_reload ());
+    ("1024/full", ibtc ~entries:1024 ~miss:Config.Full_switch ());
+    ("1024/fast", ibtc ~entries:1024 ~miss:Config.Fast_reload ());
+  ]
+
 let fig_ibtc_miss_policy size =
-  let cfgs =
-    [
-      ("64/full", ibtc ~entries:64 ~miss:Config.Full_switch ());
-      ("64/fast", ibtc ~entries:64 ~miss:Config.Fast_reload ());
-      ("1024/full", ibtc ~entries:1024 ~miss:Config.Full_switch ());
-      ("1024/fast", ibtc ~entries:1024 ~miss:Config.Fast_reload ());
-    ]
-  in
+  let cfgs = f4_cfgs in
   let rows =
     List.map
       (fun e ->
@@ -264,6 +335,7 @@ let fig_ibtc_miss_policy size =
 (* F5 *)
 
 let sieve_sizes = [ 16; 64; 256; 1024; 4096; 65536 ]
+let f5_cfgs = List.map (fun buckets -> sieve ~buckets ()) sieve_sizes
 
 let fig_sieve_sweep size =
   let measure e buckets = sdt ~cfg:(sieve ~buckets ()) e size in
@@ -317,6 +389,8 @@ let return_cfgs =
     ("fast", Config.Fast_return);
   ]
 
+let f6_cfgs = List.map (fun (_, returns) -> ibtc ~returns ()) return_cfgs
+
 let fig_return_handling size =
   let rows =
     List.map
@@ -353,9 +427,16 @@ let fig_return_handling size =
 (* ------------------------------------------------------------------ *)
 (* F7 *)
 
+let f7_depths = [ 0; 1; 2; 4 ]
+
+let f7_cfg d =
+  ibtc ~returns:(Config.Return_cache { entries = 4096 }) ~pred:d ()
+
+let f7_cfgs = List.map f7_cfg f7_depths
+
 let fig_target_prediction size =
-  let depths = [ 0; 1; 2; 4 ] in
-  let cfg d = ibtc ~returns:(Config.Return_cache { entries = 4096 }) ~pred:d () in
+  let depths = f7_depths in
+  let cfg = f7_cfg in
   let rows =
     List.map
       (fun e ->
@@ -400,8 +481,10 @@ let cross_arch_cfgs =
     ("sieve+fastret", sieve ~returns:Config.Fast_return ());
   ]
 
+let cross_arches = [ Arch.arch_a; Arch.arch_b; Arch.arch_c ]
+
 let fig_cross_arch size =
-  let arches = [ Arch.arch_a; Arch.arch_b; Arch.arch_c ] in
+  let arches = cross_arches in
   let gms =
     List.map
       (fun (name, cfg) ->
@@ -489,13 +572,14 @@ let fig_best_config size =
 (* ------------------------------------------------------------------ *)
 (* Ablations *)
 
+let a1_cfgs =
+  [
+    ("linked", ibtc ());
+    ("unlinked", { (ibtc ()) with Config.link_direct = false });
+  ]
+
 let fig_ablation_linking size =
-  let cfgs =
-    [
-      ("linked", ibtc ());
-      ("unlinked", { (ibtc ()) with Config.link_direct = false });
-    ]
-  in
+  let cfgs = a1_cfgs in
   let rows =
     List.map
       (fun e ->
@@ -522,13 +606,14 @@ let fig_ablation_linking size =
       (rows @ [ gm ]);
   ]
 
+let a2_cfgs =
+  [
+    ("shift-mask", ibtc ~entries:1024 ~hash:Config.Shift_mask ());
+    ("multiplicative", ibtc ~entries:1024 ~hash:Config.Multiplicative ());
+  ]
+
 let fig_ablation_hash size =
-  let cfgs =
-    [
-      ("shift-mask", ibtc ~entries:1024 ~hash:Config.Shift_mask ());
-      ("multiplicative", ibtc ~entries:1024 ~hash:Config.Multiplicative ());
-    ]
-  in
+  let cfgs = a2_cfgs in
   let rows =
     List.map
       (fun e ->
@@ -558,10 +643,14 @@ let fig_ablation_hash size =
       rows;
   ]
 
+let a3_cfgs =
+  [
+    ("head", sieve ~buckets:64 ~head:true ());
+    ("tail", sieve ~buckets:64 ~head:false ());
+  ]
+
 let fig_ablation_sieve_order size =
-  let cfgs =
-    [ ("head", sieve ~buckets:64 ~head:true ()); ("tail", sieve ~buckets:64 ~head:false ()) ]
-  in
+  let cfgs = a3_cfgs in
   let rows =
     List.map
       (fun e ->
@@ -587,17 +676,18 @@ let fig_ablation_sieve_order size =
       rows;
   ]
 
+let a4_cfgs =
+  [
+    ("blocks", ibtc ~returns:(Config.Return_cache { entries = 4096 }) ());
+    ( "traces",
+      {
+        (ibtc ~returns:(Config.Return_cache { entries = 4096 }) ()) with
+        Config.follow_direct_jumps = true;
+      } );
+  ]
+
 let fig_ablation_traces size =
-  let cfgs =
-    [
-      ("blocks", ibtc ~returns:(Config.Return_cache { entries = 4096 }) ());
-      ( "traces",
-        {
-          (ibtc ~returns:(Config.Return_cache { entries = 4096 }) ()) with
-          Config.follow_direct_jumps = true;
-        } );
-    ]
-  in
+  let cfgs = a4_cfgs in
   let rows =
     List.map
       (fun e ->
@@ -637,15 +727,16 @@ let fig_ablation_traces size =
       (rows @ [ gm ]);
   ]
 
+let a5_cfgs =
+  [
+    ("64/1way", ibtc ~entries:64 ~ways:1 ());
+    ("64/2way", ibtc ~entries:64 ~ways:2 ());
+    ("256/1way", ibtc ~entries:256 ~ways:1 ());
+    ("256/2way", ibtc ~entries:256 ~ways:2 ());
+  ]
+
 let fig_ablation_assoc size =
-  let cfgs =
-    [
-      ("64/1way", ibtc ~entries:64 ~ways:1 ());
-      ("64/2way", ibtc ~entries:64 ~ways:2 ());
-      ("256/1way", ibtc ~entries:256 ~ways:1 ());
-      ("256/2way", ibtc ~entries:256 ~ways:2 ());
-    ]
-  in
+  let cfgs = a5_cfgs in
   let rows =
     List.map
       (fun e ->
@@ -676,23 +767,101 @@ let fig_ablation_assoc size =
       rows;
   ]
 
+let cross_arch_grid =
+  grid_of ~arches:cross_arches (List.map snd cross_arch_cfgs)
+
 let experiments =
   [
-    { id = "T1"; title = "IB characteristics"; run = table_ib_characteristics };
-    { id = "F1"; title = "baseline overhead"; run = fig_baseline_overhead };
-    { id = "F2"; title = "IBTC size sweep"; run = fig_ibtc_size_sweep };
-    { id = "F3"; title = "IBTC sharing"; run = fig_ibtc_sharing };
-    { id = "F4"; title = "IBTC miss policy"; run = fig_ibtc_miss_policy };
-    { id = "F5"; title = "sieve sweep"; run = fig_sieve_sweep };
-    { id = "F6"; title = "return handling"; run = fig_return_handling };
-    { id = "F7"; title = "target prediction"; run = fig_target_prediction };
-    { id = "F8"; title = "cross-architecture"; run = fig_cross_arch };
-    { id = "F9"; title = "best configuration"; run = fig_best_config };
-    { id = "A1"; title = "linking ablation"; run = fig_ablation_linking };
-    { id = "A2"; title = "hash ablation"; run = fig_ablation_hash };
-    { id = "A3"; title = "sieve order ablation"; run = fig_ablation_sieve_order };
-    { id = "A4"; title = "superblock traces"; run = fig_ablation_traces };
-    { id = "A5"; title = "IBTC associativity"; run = fig_ablation_assoc };
+    {
+      id = "T1";
+      title = "IB characteristics";
+      grid = grid_of [];
+      run = table_ib_characteristics;
+    };
+    {
+      id = "F1";
+      title = "baseline overhead";
+      grid = grid_of f1_cfgs;
+      run = fig_baseline_overhead;
+    };
+    {
+      id = "F2";
+      title = "IBTC size sweep";
+      grid = grid_of f2_cfgs;
+      run = fig_ibtc_size_sweep;
+    };
+    {
+      id = "F3";
+      title = "IBTC sharing";
+      grid = grid_of (List.map snd f3_cfgs);
+      run = fig_ibtc_sharing;
+    };
+    {
+      id = "F4";
+      title = "IBTC miss policy";
+      grid = grid_of (List.map snd f4_cfgs);
+      run = fig_ibtc_miss_policy;
+    };
+    {
+      id = "F5";
+      title = "sieve sweep";
+      grid = grid_of f5_cfgs;
+      run = fig_sieve_sweep;
+    };
+    {
+      id = "F6";
+      title = "return handling";
+      grid = grid_of f6_cfgs;
+      run = fig_return_handling;
+    };
+    {
+      id = "F7";
+      title = "target prediction";
+      grid = grid_of f7_cfgs;
+      run = fig_target_prediction;
+    };
+    {
+      id = "F8";
+      title = "cross-architecture";
+      grid = cross_arch_grid;
+      run = fig_cross_arch;
+    };
+    {
+      id = "F9";
+      title = "best configuration";
+      grid = cross_arch_grid;
+      run = fig_best_config;
+    };
+    {
+      id = "A1";
+      title = "linking ablation";
+      grid = grid_of (List.map snd a1_cfgs);
+      run = fig_ablation_linking;
+    };
+    {
+      id = "A2";
+      title = "hash ablation";
+      grid = grid_of (List.map snd a2_cfgs);
+      run = fig_ablation_hash;
+    };
+    {
+      id = "A3";
+      title = "sieve order ablation";
+      grid = grid_of (List.map snd a3_cfgs);
+      run = fig_ablation_sieve_order;
+    };
+    {
+      id = "A4";
+      title = "superblock traces";
+      grid = grid_of (List.map snd a4_cfgs);
+      run = fig_ablation_traces;
+    };
+    {
+      id = "A5";
+      title = "IBTC associativity";
+      grid = grid_of (List.map snd a5_cfgs);
+      run = fig_ablation_assoc;
+    };
   ]
 
 let find id =

@@ -12,11 +12,33 @@ type size = [ `Test | `Ref ]
 (** [`Ref] is the calibrated benchmark size; [`Test] is a fast smoke
     size used by the test suite. *)
 
-type experiment = {
-  id : string;  (** "T1", "F1" … "F9", "A1" … "A3" *)
-  title : string;
-  run : size -> Table.t list;
+type cell = {
+  cell_entry : Sdt_workloads.Suite.entry;
+  cell_arch : Sdt_march.Arch.t;
+  cell_cfg : Sdt_core.Config.t option;  (** [None] = the native run *)
 }
+(** One point of an experiment's measurement grid: workload ×
+    architecture × configuration. *)
+
+type experiment = {
+  id : string;  (** "T1", "F1" … "F9", "A1" … "A5" *)
+  title : string;
+  grid : cell list;
+      (** the full measurement grid, declared as data so a worker pool
+          can evaluate it ahead of rendering; covers every cell [run]
+          will ask for *)
+  run : size -> Table.t list;
+      (** assembles the tables; with the grid pre-evaluated this is
+          pure cache lookups and deterministic rendering *)
+}
+
+val evaluate : ?pool:Sdt_par.Pool.t -> size -> experiment -> int
+(** Simulate every not-yet-cached cell of the experiment's grid —
+    through [pool] when given, serially otherwise — and return the
+    number of {e unique} cells in the grid. Because results land in
+    {!Run}'s memo keyed by canonical fingerprints, table assembly after
+    [evaluate] is identical for every [jobs] count: the pool only
+    decides who simulates, never what is reported. *)
 
 val table_ib_characteristics : size -> Table.t list
 (** T1: dynamic indirect-branch characteristics of the suite. *)

@@ -6,6 +6,9 @@ module Loader = Sdt_machine.Loader
 module Config = Sdt_core.Config
 module Stats = Sdt_core.Stats
 module Runtime = Sdt_core.Runtime
+module Fingerprint = Sdt_par.Fingerprint
+module Memo = Sdt_par.Memo
+module Jsonw = Sdt_observe.Jsonw
 
 type native = {
   n_instrs : int;
@@ -36,57 +39,233 @@ type sdt = {
 exception Mismatch of string
 
 let max_steps = ref 2_000_000_000
-let cache : (string * string, native) Hashtbl.t = Hashtbl.create 64
 
-let clear_cache () = Hashtbl.reset cache
+(* ------------------------------------------------------------------ *)
+(* JSON codecs for the on-disk cache. Floats are stored as hexadecimal
+   float literals ("%h"), which round-trip bit-exactly — a warm cache
+   must reproduce a cold run to the byte, and a decimal detour would
+   turn table cells that sit on a rounding boundary into coin flips. *)
+
+let json_float f = Jsonw.Str (Printf.sprintf "%h" f)
+
+let float_of_json = function
+  | Jsonw.Str s -> float_of_string_opt s
+  | Jsonw.Float f -> Some f
+  | Jsonw.Int i -> Some (float_of_int i)
+  | _ -> None
+
+let int_of_json = function Jsonw.Int i -> Some i | _ -> None
+let str_of_json = function Jsonw.Str s -> Some s | _ -> None
+
+let native_to_json n =
+  Jsonw.Obj
+    [
+      ("instrs", Jsonw.Int n.n_instrs);
+      ("cycles", Jsonw.Int n.n_cycles);
+      ("ijumps", Jsonw.Int n.n_ijumps);
+      ("icalls", Jsonw.Int n.n_icalls);
+      ("returns", Jsonw.Int n.n_returns);
+      ("cond", Jsonw.Int n.n_cond);
+      ("output", Jsonw.Str n.n_output);
+      ("checksum", Jsonw.Int n.n_checksum);
+    ]
+
+let native_of_json doc =
+  let ( let* ) = Option.bind in
+  let field k conv = Option.bind (Jsonw.member k doc) conv in
+  let* n_instrs = field "instrs" int_of_json in
+  let* n_cycles = field "cycles" int_of_json in
+  let* n_ijumps = field "ijumps" int_of_json in
+  let* n_icalls = field "icalls" int_of_json in
+  let* n_returns = field "returns" int_of_json in
+  let* n_cond = field "cond" int_of_json in
+  let* n_output = field "output" str_of_json in
+  let* n_checksum = field "checksum" int_of_json in
+  Some
+    {
+      n_instrs;
+      n_cycles;
+      n_ijumps;
+      n_icalls;
+      n_returns;
+      n_cond;
+      n_output;
+      n_checksum;
+    }
+
+let stats_to_json (s : Stats.t) =
+  Jsonw.Obj (List.map (fun (k, v) -> (k, Jsonw.Int v)) (Stats.to_assoc s))
+
+let stats_of_json doc =
+  match doc with
+  | Jsonw.Obj _ ->
+      let s = Stats.create () in
+      let g k =
+        match Jsonw.member k doc with Some (Jsonw.Int v) -> v | _ -> 0
+      in
+      s.Stats.blocks_translated <- g "blocks_translated";
+      s.Stats.insts_translated <- g "insts_translated";
+      s.Stats.links <- g "links";
+      s.Stats.dispatch_entries <- g "dispatch_entries";
+      s.Stats.ibtc_misses_full <- g "ibtc_misses_full";
+      s.Stats.ibtc_misses_fast <- g "ibtc_misses_fast";
+      s.Stats.ibtc_tables <- g "ibtc_tables";
+      s.Stats.sieve_misses <- g "sieve_misses";
+      s.Stats.sieve_stubs <- g "sieve_stubs";
+      s.Stats.retcache_fallbacks <- g "retcache_fallbacks";
+      s.Stats.shadow_fallbacks <- g "shadow_fallbacks";
+      s.Stats.pred_fills <- g "pred_fills";
+      s.Stats.pred_exhausted_sites <- g "pred_exhausted_sites";
+      s.Stats.flushes <- g "flushes";
+      s.Stats.ib_sites <- g "ib_sites";
+      Some s
+  | _ -> None
+
+let sdt_to_json s =
+  Jsonw.Obj
+    [
+      ("cycles", Jsonw.Int s.s_cycles);
+      ("instrs", Jsonw.Int s.s_instrs);
+      ("runtime_cycles", Jsonw.Int s.s_runtime_cycles);
+      ("icache_misses", Jsonw.Int s.s_icache_misses);
+      ("dcache_misses", Jsonw.Int s.s_dcache_misses);
+      ("cond_misp", Jsonw.Int s.s_cond_misp);
+      ("ind_misp", Jsonw.Int s.s_ind_misp);
+      ("ras_misp", Jsonw.Int s.s_ras_misp);
+      ("code_bytes", Jsonw.Int s.s_code_bytes);
+      ("stats", stats_to_json s.s_stats);
+      ( "mech",
+        Jsonw.List
+          (List.map
+             (fun (k, v) -> Jsonw.List [ Jsonw.Str k; json_float v ])
+             s.s_mech) );
+      ("slowdown", json_float s.slowdown);
+    ]
+
+let sdt_of_json doc =
+  let ( let* ) = Option.bind in
+  let field k conv = Option.bind (Jsonw.member k doc) conv in
+  let* s_cycles = field "cycles" int_of_json in
+  let* s_instrs = field "instrs" int_of_json in
+  let* s_runtime_cycles = field "runtime_cycles" int_of_json in
+  let* s_icache_misses = field "icache_misses" int_of_json in
+  let* s_dcache_misses = field "dcache_misses" int_of_json in
+  let* s_cond_misp = field "cond_misp" int_of_json in
+  let* s_ind_misp = field "ind_misp" int_of_json in
+  let* s_ras_misp = field "ras_misp" int_of_json in
+  let* s_code_bytes = field "code_bytes" int_of_json in
+  let* s_stats = field "stats" stats_of_json in
+  let* mech_items =
+    match Jsonw.member "mech" doc with Some (Jsonw.List l) -> Some l | _ -> None
+  in
+  let* s_mech =
+    List.fold_right
+      (fun item acc ->
+        let* acc = acc in
+        match item with
+        | Jsonw.List [ Jsonw.Str k; v ] ->
+            let* f = float_of_json v in
+            Some ((k, f) :: acc)
+        | _ -> None)
+      mech_items (Some [])
+  in
+  let* slowdown = field "slowdown" float_of_json in
+  Some
+    {
+      s_cycles;
+      s_instrs;
+      s_runtime_cycles;
+      s_icache_misses;
+      s_dcache_misses;
+      s_cond_misp;
+      s_ind_misp;
+      s_ras_misp;
+      s_code_bytes;
+      s_stats;
+      s_mech;
+      slowdown;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* The two memo levels. Keys are full-parameter fingerprints: the old
+   cache keyed native runs on [arch.name] alone, so two architectures
+   sharing a name but differing in, say, cache geometry silently
+   returned each other's results. *)
+
+let native_memo : native Memo.t =
+  Memo.create ~namespace:"native" ~to_json:native_to_json
+    ~of_json:native_of_json ()
+
+let sdt_memo : sdt Memo.t =
+  Memo.create ~namespace:"sdt" ~to_json:sdt_to_json ~of_json:sdt_of_json ()
+
+let clear_cache () =
+  Memo.clear native_memo;
+  Memo.clear sdt_memo
+
+let set_cache_dir dir =
+  Memo.set_dir native_memo dir;
+  Memo.set_dir sdt_memo dir
+
+type cache_stats = { hits : int; disk_hits : int; simulated : int }
+
+let cache_stats () =
+  {
+    hits = Memo.hits native_memo + Memo.hits sdt_memo;
+    disk_hits = Memo.disk_hits native_memo + Memo.disk_hits sdt_memo;
+    simulated = Memo.misses native_memo + Memo.misses sdt_memo;
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let native ~arch ~key build =
-  let ck = (key, arch.Arch.name) in
-  match Hashtbl.find_opt cache ck with
-  | Some n -> n
-  | None ->
+  Memo.find native_memo
+    (Fingerprint.cell ~key ~arch ~cfg:None)
+    (fun () ->
       let timing = Timing.create arch in
       let m = Loader.load ~timing (build ()) in
       Machine.run ~max_steps:!max_steps m;
       let c = m.Machine.c in
-      let n =
-        {
-          n_instrs = c.Machine.instructions;
-          n_cycles = Timing.cycles timing;
-          n_ijumps = c.Machine.ijumps;
-          n_icalls = c.Machine.icalls;
-          n_returns = c.Machine.returns;
-          n_cond = c.Machine.cond_branches;
-          n_output = Machine.output m;
-          n_checksum = m.Machine.checksum;
-        }
-      in
-      Hashtbl.replace cache ck n;
-      n
+      {
+        n_instrs = c.Machine.instructions;
+        n_cycles = Timing.cycles timing;
+        n_ijumps = c.Machine.ijumps;
+        n_icalls = c.Machine.icalls;
+        n_returns = c.Machine.returns;
+        n_cond = c.Machine.cond_branches;
+        n_output = Machine.output m;
+        n_checksum = m.Machine.checksum;
+      })
 
 let sdt ~arch ~cfg ~key build =
   let nat = native ~arch ~key build in
-  let timing = Timing.create arch in
-  let rt = Runtime.create ~cfg ~arch ~timing (build ()) in
-  Runtime.run ~max_steps:!max_steps rt;
-  let m = Runtime.machine rt in
-  if Machine.output m <> nat.n_output || m.Machine.checksum <> nat.n_checksum
-  then
-    raise
-      (Mismatch
-         (Printf.sprintf "%s under %s on %s diverged from native" key
-            (Config.describe cfg) arch.Arch.name));
-  {
-    s_cycles = Timing.cycles timing;
-    s_instrs = m.Machine.c.Machine.instructions;
-    s_runtime_cycles = Timing.runtime_cycles timing;
-    s_icache_misses = Timing.icache_misses timing;
-    s_dcache_misses = Timing.dcache_misses timing;
-    s_cond_misp = Timing.cond_mispredicts timing;
-    s_ind_misp = Timing.indirect_mispredicts timing;
-    s_ras_misp = Timing.ras_mispredicts timing;
-    s_code_bytes = Runtime.code_bytes rt;
-    s_stats = Runtime.stats rt;
-    s_mech = Runtime.mech_stats rt;
-    slowdown = float_of_int (Timing.cycles timing) /. float_of_int nat.n_cycles;
-  }
+  Memo.find sdt_memo
+    (Fingerprint.cell ~key ~arch ~cfg:(Some cfg))
+    (fun () ->
+      let timing = Timing.create arch in
+      let rt = Runtime.create ~cfg ~arch ~timing (build ()) in
+      Runtime.run ~max_steps:!max_steps rt;
+      let m = Runtime.machine rt in
+      if
+        Machine.output m <> nat.n_output
+        || m.Machine.checksum <> nat.n_checksum
+      then
+        raise
+          (Mismatch
+             (Printf.sprintf "%s under %s on %s diverged from native" key
+                (Config.describe cfg) arch.Arch.name));
+      {
+        s_cycles = Timing.cycles timing;
+        s_instrs = m.Machine.c.Machine.instructions;
+        s_runtime_cycles = Timing.runtime_cycles timing;
+        s_icache_misses = Timing.icache_misses timing;
+        s_dcache_misses = Timing.dcache_misses timing;
+        s_cond_misp = Timing.cond_mispredicts timing;
+        s_ind_misp = Timing.indirect_mispredicts timing;
+        s_ras_misp = Timing.ras_mispredicts timing;
+        s_code_bytes = Runtime.code_bytes rt;
+        s_stats = Runtime.stats rt;
+        s_mech = Runtime.mech_stats rt;
+        slowdown =
+          float_of_int (Timing.cycles timing) /. float_of_int nat.n_cycles;
+      })

@@ -2,9 +2,13 @@
     cycle accountant, collect everything the experiments report, and
     verify translated correctness against the native run.
 
-    Native runs are memoised per (program identity is by build, so
-    callers pass a [key]) — every SDT measurement needs its native
-    counterpart for normalisation. *)
+    Both native and SDT results are memoised on canonical
+    {!Sdt_par.Fingerprint} cell keys (workload key × full architecture
+    parameters × full configuration), in a domain-safe single-flight
+    cache — the same cell recurring across experiments (or across
+    [bench] invocations, with {!set_cache_dir}) is simulated once.
+    Program identity is by build, so callers pass a [key] naming the
+    workload and size. *)
 
 module Arch = Sdt_march.Arch
 module Program = Sdt_isa.Program
@@ -42,14 +46,32 @@ exception Mismatch of string
     harness refuses to report numbers for wrong executions. *)
 
 val native : arch:Arch.t -> key:string -> (unit -> Program.t) -> native
-(** Memoised on [(key, arch.name)]. *)
+(** Memoised on the full (key, arch-parameters) fingerprint — two
+    arches that merely share a [name] cannot alias. *)
 
 val sdt :
   arch:Arch.t -> cfg:Config.t -> key:string -> (unit -> Program.t) -> sdt
-(** Runs natively first (memoised), then translated; checks output and
-    checksum; computes [slowdown]. @raise Mismatch on divergence. *)
+(** Runs natively first (memoised), then translated (also memoised);
+    checks output and checksum; computes [slowdown].
+    @raise Mismatch on divergence (first evaluation only — a cached
+    cell already passed). *)
 
 val clear_cache : unit -> unit
+(** Drop both in-memory memo levels and their counters. Disk entries
+    (if {!set_cache_dir} is active) survive. *)
+
+val set_cache_dir : string option -> unit
+(** Attach an on-disk result cache: one JSON file per simulated cell,
+    so repeated bench invocations skip unchanged cells entirely. *)
+
+type cache_stats = {
+  hits : int;  (** cells served from memory *)
+  disk_hits : int;  (** cells served from the disk cache *)
+  simulated : int;  (** cells actually simulated *)
+}
+
+val cache_stats : unit -> cache_stats
+(** Counters since the last {!clear_cache}, both memo levels summed. *)
 
 val max_steps : int ref
 (** Step budget per run (default 2 * 10^9). *)

@@ -45,7 +45,9 @@ let create ?timing ~mem_size () =
     pc = 0;
     timing;
     status = Running;
-    out = Buffer.create 256;
+    (* pre-sized: workloads print whole result lines; 256 bytes forced
+       several doublings (and copies) on every run *)
+    out = Buffer.create 4096;
     checksum = 0;
     c =
       {
@@ -88,223 +90,265 @@ let do_syscall t =
   in
   Syscall.perform env
 
+(* Module-level so the per-step timing calls allocate no closures; the
+   [None] branch makes an untimed machine (tests, tools) cost one
+   compare per instruction. *)
+let[@inline] ev_alu tm pc =
+  match tm with None -> () | Some x -> Timing.alu x ~pc
+
+let[@inline] ev_mul tm pc =
+  match tm with None -> () | Some x -> Timing.mul x ~pc
+
+let[@inline] ev_div tm pc =
+  match tm with None -> () | Some x -> Timing.div x ~pc
+
+let[@inline] ev_load tm pc addr =
+  match tm with None -> () | Some x -> Timing.load x ~pc ~addr
+
+let[@inline] ev_store tm pc addr =
+  match tm with None -> () | Some x -> Timing.store x ~pc ~addr
+
+let[@inline] ev_cond tm pc taken =
+  match tm with None -> () | Some x -> Timing.cond x ~pc ~taken
+
+let[@inline] ev_jump tm pc =
+  match tm with None -> () | Some x -> Timing.jump x ~pc
+
+let[@inline] ev_call tm pc next =
+  match tm with None -> () | Some x -> Timing.call x ~pc ~next
+
+let[@inline] ev_icall tm pc target next =
+  match tm with None -> () | Some x -> Timing.icall x ~pc ~target ~next
+
+let[@inline] ev_ijump tm pc target =
+  match tm with None -> () | Some x -> Timing.ijump x ~pc ~target
+
+let[@inline] ev_return tm pc target =
+  match tm with None -> () | Some x -> Timing.return x ~pc ~target
+
+let[@inline] ev_syscall tm pc =
+  match tm with None -> () | Some x -> Timing.syscall_op x ~pc
+
+let[@inline] ev_trap tm pc =
+  match tm with None -> () | Some x -> Timing.trap_op x ~pc
+
+let[@inline] ev_halt tm pc =
+  match tm with None -> () | Some x -> Timing.halt_op x ~pc
+
 let step t =
   match t.status with
   | Exited _ -> ()
-  | Running ->
+  | Running -> (
       let pc = t.pc in
       let i = Memory.fetch t.mem pc in
       let c = t.c in
       c.instructions <- c.instructions + 1;
       let next = pc + 4 in
+      let tm = t.timing in
       let rget r = if r = 0 then 0 else Array.unsafe_get t.regs r in
-      let rset r v = if r <> 0 then Array.unsafe_set t.regs r (v land Word.mask) in
-      let ev : Timing.event =
-        match i with
-        | Inst.Nop ->
-            t.pc <- next;
-            Timing.Alu
-        | Inst.Add (rd, rs, rt) ->
-            rset rd (Word.add (rget rs) (rget rt));
-            t.pc <- next;
-            Timing.Alu
-        | Inst.Sub (rd, rs, rt) ->
-            rset rd (Word.sub (rget rs) (rget rt));
-            t.pc <- next;
-            Timing.Alu
-        | Inst.Mul (rd, rs, rt) ->
-            rset rd (Word.mul (rget rs) (rget rt));
-            t.pc <- next;
-            Timing.Mul_op
-        | Inst.Div (rd, rs, rt) ->
-            rset rd (Word.sdiv (rget rs) (rget rt));
-            t.pc <- next;
-            Timing.Div_op
-        | Inst.Rem (rd, rs, rt) ->
-            rset rd (Word.srem (rget rs) (rget rt));
-            t.pc <- next;
-            Timing.Div_op
-        | Inst.And (rd, rs, rt) ->
-            rset rd (Word.logand (rget rs) (rget rt));
-            t.pc <- next;
-            Timing.Alu
-        | Inst.Or (rd, rs, rt) ->
-            rset rd (Word.logor (rget rs) (rget rt));
-            t.pc <- next;
-            Timing.Alu
-        | Inst.Xor (rd, rs, rt) ->
-            rset rd (Word.logxor (rget rs) (rget rt));
-            t.pc <- next;
-            Timing.Alu
-        | Inst.Nor (rd, rs, rt) ->
-            rset rd (Word.lognot (Word.logor (rget rs) (rget rt)));
-            t.pc <- next;
-            Timing.Alu
-        | Inst.Slt (rd, rs, rt) ->
-            rset rd (if Word.lt_s (rget rs) (rget rt) then 1 else 0);
-            t.pc <- next;
-            Timing.Alu
-        | Inst.Sltu (rd, rs, rt) ->
-            rset rd (if Word.lt_u (rget rs) (rget rt) then 1 else 0);
-            t.pc <- next;
-            Timing.Alu
-        | Inst.Sllv (rd, rt, rs) ->
-            rset rd (Word.shl (rget rt) (rget rs));
-            t.pc <- next;
-            Timing.Alu
-        | Inst.Srlv (rd, rt, rs) ->
-            rset rd (Word.shr_l (rget rt) (rget rs));
-            t.pc <- next;
-            Timing.Alu
-        | Inst.Srav (rd, rt, rs) ->
-            rset rd (Word.shr_a (rget rt) (rget rs));
-            t.pc <- next;
-            Timing.Alu
-        | Inst.Sll (rd, rt, sh) ->
-            rset rd (Word.shl (rget rt) sh);
-            t.pc <- next;
-            Timing.Alu
-        | Inst.Srl (rd, rt, sh) ->
-            rset rd (Word.shr_l (rget rt) sh);
-            t.pc <- next;
-            Timing.Alu
-        | Inst.Sra (rd, rt, sh) ->
-            rset rd (Word.shr_a (rget rt) sh);
-            t.pc <- next;
-            Timing.Alu
-        | Inst.Addi (rt, rs, imm) ->
-            rset rt (Word.add (rget rs) (Word.of_signed imm));
-            t.pc <- next;
-            Timing.Alu
-        | Inst.Slti (rt, rs, imm) ->
-            rset rt (if Word.lt_s (rget rs) (Word.of_signed imm) then 1 else 0);
-            t.pc <- next;
-            Timing.Alu
-        | Inst.Sltiu (rt, rs, imm) ->
-            rset rt (if Word.lt_u (rget rs) (Word.of_signed imm) then 1 else 0);
-            t.pc <- next;
-            Timing.Alu
-        | Inst.Andi (rt, rs, imm) ->
-            rset rt (Word.logand (rget rs) imm);
-            t.pc <- next;
-            Timing.Alu
-        | Inst.Ori (rt, rs, imm) ->
-            rset rt (Word.logor (rget rs) imm);
-            t.pc <- next;
-            Timing.Alu
-        | Inst.Xori (rt, rs, imm) ->
-            rset rt (Word.logxor (rget rs) imm);
-            t.pc <- next;
-            Timing.Alu
-        | Inst.Lui (rt, imm) ->
-            rset rt (imm lsl 16);
-            t.pc <- next;
-            Timing.Alu
-        | Inst.Lw (rt, rs, off) ->
-            let addr = Word.add (rget rs) (Word.of_signed off) in
-            rset rt (Memory.load_word t.mem addr);
-            c.loads <- c.loads + 1;
-            t.pc <- next;
-            Timing.Load addr
-        | Inst.Lb (rt, rs, off) ->
-            let addr = Word.add (rget rs) (Word.of_signed off) in
-            rset rt (Memory.load_byte_s t.mem addr);
-            c.loads <- c.loads + 1;
-            t.pc <- next;
-            Timing.Load addr
-        | Inst.Lbu (rt, rs, off) ->
-            let addr = Word.add (rget rs) (Word.of_signed off) in
-            rset rt (Memory.load_byte_u t.mem addr);
-            c.loads <- c.loads + 1;
-            t.pc <- next;
-            Timing.Load addr
-        | Inst.Sw (rt, rs, off) ->
-            let addr = Word.add (rget rs) (Word.of_signed off) in
-            Memory.store_word t.mem addr (rget rt);
-            c.stores <- c.stores + 1;
-            t.pc <- next;
-            Timing.Store addr
-        | Inst.Sb (rt, rs, off) ->
-            let addr = Word.add (rget rs) (Word.of_signed off) in
-            Memory.store_byte t.mem addr (rget rt);
-            c.stores <- c.stores + 1;
-            t.pc <- next;
-            Timing.Store addr
-        | Inst.Beq (rs, rt, off) ->
-            let taken = rget rs = rget rt in
-            c.cond_branches <- c.cond_branches + 1;
-            t.pc <- (if taken then next + (off * 4) else next);
-            Timing.Cond { pc; taken }
-        | Inst.Bne (rs, rt, off) ->
-            let taken = rget rs <> rget rt in
-            c.cond_branches <- c.cond_branches + 1;
-            t.pc <- (if taken then next + (off * 4) else next);
-            Timing.Cond { pc; taken }
-        | Inst.Blt (rs, rt, off) ->
-            let taken = Word.lt_s (rget rs) (rget rt) in
-            c.cond_branches <- c.cond_branches + 1;
-            t.pc <- (if taken then next + (off * 4) else next);
-            Timing.Cond { pc; taken }
-        | Inst.Bge (rs, rt, off) ->
-            let taken = not (Word.lt_s (rget rs) (rget rt)) in
-            c.cond_branches <- c.cond_branches + 1;
-            t.pc <- (if taken then next + (off * 4) else next);
-            Timing.Cond { pc; taken }
-        | Inst.Bltu (rs, rt, off) ->
-            let taken = Word.lt_u (rget rs) (rget rt) in
-            c.cond_branches <- c.cond_branches + 1;
-            t.pc <- (if taken then next + (off * 4) else next);
-            Timing.Cond { pc; taken }
-        | Inst.Bgeu (rs, rt, off) ->
-            let taken = not (Word.lt_u (rget rs) (rget rt)) in
-            c.cond_branches <- c.cond_branches + 1;
-            t.pc <- (if taken then next + (off * 4) else next);
-            Timing.Cond { pc; taken }
-        | Inst.J target ->
-            c.jumps <- c.jumps + 1;
-            t.pc <- (next land 0xF000_0000) lor (target lsl 2);
-            Timing.Jump
-        | Inst.Jal target ->
-            c.calls <- c.calls + 1;
-            rset Reg.ra next;
-            t.pc <- (next land 0xF000_0000) lor (target lsl 2);
-            Timing.Call { next }
-        | Inst.Jr rs ->
-            let target = rget rs in
-            t.pc <- target;
-            if rs = Reg.ra then begin
-              c.returns <- c.returns + 1;
-              Timing.Return { pc; target }
-            end
-            else begin
-              c.ijumps <- c.ijumps + 1;
-              Timing.Ijump { pc; target }
-            end
-        | Inst.Jalr (rd, rs) ->
-            let target = rget rs in
-            c.icalls <- c.icalls + 1;
-            rset rd next;
-            t.pc <- target;
-            Timing.Icall { pc; target; next }
-        | Inst.Syscall ->
-            do_syscall t;
-            t.pc <- next;
-            Timing.Syscall_op
-        | Inst.Trap code ->
-            c.traps <- c.traps + 1;
-            t.pc <- poison_pc;
-            t.trap_handler t ~code ~trap_pc:pc;
-            Timing.Trap_op
-        | Inst.Halt ->
-            t.status <- Exited 0;
-            Timing.Halt_op
-        | Inst.Illegal w ->
-            raise
-              (Error (Printf.sprintf "illegal instruction %#x at %#x" w pc))
+      let rset r v =
+        if r <> 0 then Array.unsafe_set t.regs r (v land Word.mask)
       in
-      (match t.timing with
-      | None -> ()
-      | Some tm -> Timing.instr tm ~pc ev)
+      match i with
+      | Inst.Nop ->
+          t.pc <- next;
+          ev_alu tm pc
+      | Inst.Add (rd, rs, rt) ->
+          rset rd (Word.add (rget rs) (rget rt));
+          t.pc <- next;
+          ev_alu tm pc
+      | Inst.Sub (rd, rs, rt) ->
+          rset rd (Word.sub (rget rs) (rget rt));
+          t.pc <- next;
+          ev_alu tm pc
+      | Inst.Mul (rd, rs, rt) ->
+          rset rd (Word.mul (rget rs) (rget rt));
+          t.pc <- next;
+          ev_mul tm pc
+      | Inst.Div (rd, rs, rt) ->
+          rset rd (Word.sdiv (rget rs) (rget rt));
+          t.pc <- next;
+          ev_div tm pc
+      | Inst.Rem (rd, rs, rt) ->
+          rset rd (Word.srem (rget rs) (rget rt));
+          t.pc <- next;
+          ev_div tm pc
+      | Inst.And (rd, rs, rt) ->
+          rset rd (Word.logand (rget rs) (rget rt));
+          t.pc <- next;
+          ev_alu tm pc
+      | Inst.Or (rd, rs, rt) ->
+          rset rd (Word.logor (rget rs) (rget rt));
+          t.pc <- next;
+          ev_alu tm pc
+      | Inst.Xor (rd, rs, rt) ->
+          rset rd (Word.logxor (rget rs) (rget rt));
+          t.pc <- next;
+          ev_alu tm pc
+      | Inst.Nor (rd, rs, rt) ->
+          rset rd (Word.lognot (Word.logor (rget rs) (rget rt)));
+          t.pc <- next;
+          ev_alu tm pc
+      | Inst.Slt (rd, rs, rt) ->
+          rset rd (if Word.lt_s (rget rs) (rget rt) then 1 else 0);
+          t.pc <- next;
+          ev_alu tm pc
+      | Inst.Sltu (rd, rs, rt) ->
+          rset rd (if Word.lt_u (rget rs) (rget rt) then 1 else 0);
+          t.pc <- next;
+          ev_alu tm pc
+      | Inst.Sllv (rd, rt, rs) ->
+          rset rd (Word.shl (rget rt) (rget rs));
+          t.pc <- next;
+          ev_alu tm pc
+      | Inst.Srlv (rd, rt, rs) ->
+          rset rd (Word.shr_l (rget rt) (rget rs));
+          t.pc <- next;
+          ev_alu tm pc
+      | Inst.Srav (rd, rt, rs) ->
+          rset rd (Word.shr_a (rget rt) (rget rs));
+          t.pc <- next;
+          ev_alu tm pc
+      | Inst.Sll (rd, rt, sh) ->
+          rset rd (Word.shl (rget rt) sh);
+          t.pc <- next;
+          ev_alu tm pc
+      | Inst.Srl (rd, rt, sh) ->
+          rset rd (Word.shr_l (rget rt) sh);
+          t.pc <- next;
+          ev_alu tm pc
+      | Inst.Sra (rd, rt, sh) ->
+          rset rd (Word.shr_a (rget rt) sh);
+          t.pc <- next;
+          ev_alu tm pc
+      | Inst.Addi (rt, rs, imm) ->
+          rset rt (Word.add (rget rs) (Word.of_signed imm));
+          t.pc <- next;
+          ev_alu tm pc
+      | Inst.Slti (rt, rs, imm) ->
+          rset rt (if Word.lt_s (rget rs) (Word.of_signed imm) then 1 else 0);
+          t.pc <- next;
+          ev_alu tm pc
+      | Inst.Sltiu (rt, rs, imm) ->
+          rset rt (if Word.lt_u (rget rs) (Word.of_signed imm) then 1 else 0);
+          t.pc <- next;
+          ev_alu tm pc
+      | Inst.Andi (rt, rs, imm) ->
+          rset rt (Word.logand (rget rs) imm);
+          t.pc <- next;
+          ev_alu tm pc
+      | Inst.Ori (rt, rs, imm) ->
+          rset rt (Word.logor (rget rs) imm);
+          t.pc <- next;
+          ev_alu tm pc
+      | Inst.Xori (rt, rs, imm) ->
+          rset rt (Word.logxor (rget rs) imm);
+          t.pc <- next;
+          ev_alu tm pc
+      | Inst.Lui (rt, imm) ->
+          rset rt (imm lsl 16);
+          t.pc <- next;
+          ev_alu tm pc
+      | Inst.Lw (rt, rs, off) ->
+          let addr = Word.add (rget rs) (Word.of_signed off) in
+          rset rt (Memory.load_word t.mem addr);
+          c.loads <- c.loads + 1;
+          t.pc <- next;
+          ev_load tm pc addr
+      | Inst.Lb (rt, rs, off) ->
+          let addr = Word.add (rget rs) (Word.of_signed off) in
+          rset rt (Memory.load_byte_s t.mem addr);
+          c.loads <- c.loads + 1;
+          t.pc <- next;
+          ev_load tm pc addr
+      | Inst.Lbu (rt, rs, off) ->
+          let addr = Word.add (rget rs) (Word.of_signed off) in
+          rset rt (Memory.load_byte_u t.mem addr);
+          c.loads <- c.loads + 1;
+          t.pc <- next;
+          ev_load tm pc addr
+      | Inst.Sw (rt, rs, off) ->
+          let addr = Word.add (rget rs) (Word.of_signed off) in
+          Memory.store_word t.mem addr (rget rt);
+          c.stores <- c.stores + 1;
+          t.pc <- next;
+          ev_store tm pc addr
+      | Inst.Sb (rt, rs, off) ->
+          let addr = Word.add (rget rs) (Word.of_signed off) in
+          Memory.store_byte t.mem addr (rget rt);
+          c.stores <- c.stores + 1;
+          t.pc <- next;
+          ev_store tm pc addr
+      | Inst.Beq (rs, rt, off) ->
+          let taken = rget rs = rget rt in
+          c.cond_branches <- c.cond_branches + 1;
+          t.pc <- (if taken then next + (off * 4) else next);
+          ev_cond tm pc taken
+      | Inst.Bne (rs, rt, off) ->
+          let taken = rget rs <> rget rt in
+          c.cond_branches <- c.cond_branches + 1;
+          t.pc <- (if taken then next + (off * 4) else next);
+          ev_cond tm pc taken
+      | Inst.Blt (rs, rt, off) ->
+          let taken = Word.lt_s (rget rs) (rget rt) in
+          c.cond_branches <- c.cond_branches + 1;
+          t.pc <- (if taken then next + (off * 4) else next);
+          ev_cond tm pc taken
+      | Inst.Bge (rs, rt, off) ->
+          let taken = not (Word.lt_s (rget rs) (rget rt)) in
+          c.cond_branches <- c.cond_branches + 1;
+          t.pc <- (if taken then next + (off * 4) else next);
+          ev_cond tm pc taken
+      | Inst.Bltu (rs, rt, off) ->
+          let taken = Word.lt_u (rget rs) (rget rt) in
+          c.cond_branches <- c.cond_branches + 1;
+          t.pc <- (if taken then next + (off * 4) else next);
+          ev_cond tm pc taken
+      | Inst.Bgeu (rs, rt, off) ->
+          let taken = not (Word.lt_u (rget rs) (rget rt)) in
+          c.cond_branches <- c.cond_branches + 1;
+          t.pc <- (if taken then next + (off * 4) else next);
+          ev_cond tm pc taken
+      | Inst.J target ->
+          c.jumps <- c.jumps + 1;
+          t.pc <- (next land 0xF000_0000) lor (target lsl 2);
+          ev_jump tm pc
+      | Inst.Jal target ->
+          c.calls <- c.calls + 1;
+          rset Reg.ra next;
+          t.pc <- (next land 0xF000_0000) lor (target lsl 2);
+          ev_call tm pc next
+      | Inst.Jr rs ->
+          let target = rget rs in
+          t.pc <- target;
+          if rs = Reg.ra then begin
+            c.returns <- c.returns + 1;
+            ev_return tm pc target
+          end
+          else begin
+            c.ijumps <- c.ijumps + 1;
+            ev_ijump tm pc target
+          end
+      | Inst.Jalr (rd, rs) ->
+          let target = rget rs in
+          c.icalls <- c.icalls + 1;
+          rset rd next;
+          t.pc <- target;
+          ev_icall tm pc target next
+      | Inst.Syscall ->
+          do_syscall t;
+          t.pc <- next;
+          ev_syscall tm pc
+      | Inst.Trap code ->
+          c.traps <- c.traps + 1;
+          t.pc <- poison_pc;
+          t.trap_handler t ~code ~trap_pc:pc;
+          ev_trap tm pc
+      | Inst.Halt ->
+          t.status <- Exited 0;
+          ev_halt tm pc
+      | Inst.Illegal w ->
+          raise (Error (Printf.sprintf "illegal instruction %#x at %#x" w pc)))
 
 let run ?(max_steps = 1_000_000_000) t =
   let steps = ref 0 in

@@ -67,11 +67,16 @@ let fetch t addr =
   end
 
 let read_string t addr =
-  let buf = Buffer.create 16 in
+  let buf = Buffer.create 64 in
   let rec go a =
     let c = load_byte_u t a in
     if c <> 0 then begin
-      Buffer.add_char buf (Char.chr c);
+      (* strings handed to the host (syscall puts) are ASCII by
+         contract; a high byte means the guest passed a garbage
+         pointer — fault like any other bad access instead of leaking
+         binary data into the output stream *)
+      if c >= 0x80 then fault a "string";
+      Buffer.add_char buf (Char.unsafe_chr c);
       go (a + 1)
     end
   in

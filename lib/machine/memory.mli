@@ -35,7 +35,9 @@ val fetch : t -> int -> Inst.t
 (** Decode the instruction word at an address, with caching. *)
 
 val read_string : t -> int -> string
-(** Read a NUL-terminated string. *)
+(** Read a NUL-terminated ASCII string.
+    @raise Fault (kind ["string"]) on a byte [>= 0x80] — a garbage
+    pointer, not text — as well as on running off the end of memory. *)
 
 val write_bytes : t -> int -> bytes -> unit
 (** Bulk copy (used by the loader); invalidates affected decode-cache

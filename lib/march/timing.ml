@@ -72,10 +72,13 @@ let indirect t ~pc ~target =
 let ras_push t next =
   match t.ras with None -> () | Some r -> Branch_pred.Ras.push r next
 
-let instr_charge t ~pc ev =
-  (match t.icache with
+let fetch_penalty t pc =
+  match t.icache with
   | None -> ()
-  | Some c -> if not (Cache.access c pc) then charge t (Cache.config c).miss_penalty);
+  | Some c -> if not (Cache.access c pc) then charge t (Cache.config c).miss_penalty
+
+let instr_charge t ~pc ev =
+  fetch_penalty t pc;
   let a = t.arch in
   match ev with
   | Alu -> charge t a.alu_cycles
@@ -120,6 +123,132 @@ let instr t ~pc ev =
       let before = t.cycles in
       instr_charge t ~pc ev;
       f ~pc ev ~cycles:(t.cycles - before)
+
+(* ------------------------------------------------------------------ *)
+(* Zero-allocation fast paths.
+
+   The interpreter executes billions of steps per benchmark grid, and
+   the carrier events for loads, stores, branches and indirect
+   transfers are boxed. These entry points charge exactly what
+   [instr t ~pc ev] would for the corresponding event but take the
+   fields as plain arguments, so the no-probe hot path allocates
+   nothing. With a probe installed they fall back to the generic path
+   (building the event once) so attribution still sees real events —
+   the charged cycles are identical either way. *)
+
+let alu t ~pc =
+  match t.probe with
+  | Some _ -> instr t ~pc Alu
+  | None ->
+      fetch_penalty t pc;
+      charge t t.arch.alu_cycles
+
+let mul t ~pc =
+  match t.probe with
+  | Some _ -> instr t ~pc Mul_op
+  | None ->
+      fetch_penalty t pc;
+      charge t t.arch.mul_cycles
+
+let div t ~pc =
+  match t.probe with
+  | Some _ -> instr t ~pc Div_op
+  | None ->
+      fetch_penalty t pc;
+      charge t t.arch.div_cycles
+
+let load t ~pc ~addr =
+  match t.probe with
+  | Some _ -> instr t ~pc (Load addr)
+  | None ->
+      fetch_penalty t pc;
+      charge t t.arch.mem_cycles;
+      dcache_access t addr
+
+let store t ~pc ~addr =
+  match t.probe with
+  | Some _ -> instr t ~pc (Store addr)
+  | None ->
+      fetch_penalty t pc;
+      charge t t.arch.mem_cycles;
+      dcache_access t addr
+
+let cond t ~pc ~taken =
+  match t.probe with
+  | Some _ -> instr t ~pc (Cond { pc; taken })
+  | None -> (
+      fetch_penalty t pc;
+      charge t t.arch.branch_cycles;
+      match t.cond with
+      | None -> ()
+      | Some p ->
+          if not (Branch_pred.Cond.predict_and_update p ~pc ~taken) then
+            charge t t.arch.cond_mispredict)
+
+let jump t ~pc =
+  match t.probe with
+  | Some _ -> instr t ~pc Jump
+  | None ->
+      fetch_penalty t pc;
+      charge t t.arch.branch_cycles
+
+let call t ~pc ~next =
+  match t.probe with
+  | Some _ -> instr t ~pc (Call { next })
+  | None ->
+      fetch_penalty t pc;
+      charge t t.arch.branch_cycles;
+      ras_push t next
+
+let icall t ~pc ~target ~next =
+  match t.probe with
+  | Some _ -> instr t ~pc (Icall { pc; target; next })
+  | None ->
+      fetch_penalty t pc;
+      charge t t.arch.branch_cycles;
+      indirect t ~pc ~target;
+      ras_push t next
+
+let ijump t ~pc ~target =
+  match t.probe with
+  | Some _ -> instr t ~pc (Ijump { pc; target })
+  | None ->
+      fetch_penalty t pc;
+      charge t t.arch.branch_cycles;
+      indirect t ~pc ~target
+
+let return t ~pc ~target =
+  match t.probe with
+  | Some _ -> instr t ~pc (Return { pc; target })
+  | None -> (
+      fetch_penalty t pc;
+      charge t t.arch.branch_cycles;
+      match t.ras with
+      | None -> indirect t ~pc ~target
+      | Some r ->
+          if not (Branch_pred.Ras.pop_predict r ~target) then
+            charge t t.arch.ras_mispredict)
+
+let syscall_op t ~pc =
+  match t.probe with
+  | Some _ -> instr t ~pc Syscall_op
+  | None ->
+      fetch_penalty t pc;
+      charge t t.arch.syscall_cycles
+
+let trap_op t ~pc =
+  match t.probe with
+  | Some _ -> instr t ~pc Trap_op
+  | None ->
+      fetch_penalty t pc;
+      charge t t.arch.branch_cycles
+
+let halt_op t ~pc =
+  match t.probe with
+  | Some _ -> instr t ~pc Halt_op
+  | None ->
+      fetch_penalty t pc;
+      charge t t.arch.alu_cycles
 
 let set_probe t f = t.probe <- f
 let set_runtime_probe t f = t.runtime_probe <- f

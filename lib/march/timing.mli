@@ -33,6 +33,30 @@ val instr : t -> pc:int -> event -> unit
 (** Account one executed instruction at [pc]: instruction fetch, base
     cost, and any penalty its event implies. *)
 
+(** {1 Zero-allocation fast paths}
+
+    One entry point per event shape, taking the event's fields as
+    plain arguments. Each charges exactly what {!instr} would for the
+    corresponding event, but the no-probe path constructs nothing —
+    the interpreter's per-step cost is pure arithmetic. With a probe
+    installed they delegate to {!instr} (building the event once) so
+    attribution is unchanged. *)
+
+val alu : t -> pc:int -> unit
+val mul : t -> pc:int -> unit
+val div : t -> pc:int -> unit
+val load : t -> pc:int -> addr:int -> unit
+val store : t -> pc:int -> addr:int -> unit
+val cond : t -> pc:int -> taken:bool -> unit
+val jump : t -> pc:int -> unit
+val call : t -> pc:int -> next:int -> unit
+val icall : t -> pc:int -> target:int -> next:int -> unit
+val ijump : t -> pc:int -> target:int -> unit
+val return : t -> pc:int -> target:int -> unit
+val syscall_op : t -> pc:int -> unit
+val trap_op : t -> pc:int -> unit
+val halt_op : t -> pc:int -> unit
+
 val set_probe : t -> (pc:int -> event -> cycles:int -> unit) option -> unit
 (** Install (or remove) a per-instruction witness, called after each
     {!instr} with the cycles that instruction was charged (base +

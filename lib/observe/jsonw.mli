@@ -20,3 +20,12 @@ val to_string : t -> string
 
 val to_channel : out_channel -> t -> unit
 (** Writes the document followed by a newline. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document (the inverse of {!to_string}, for
+    readers of our own output such as the benchmark result cache).
+    Numbers containing ['.'], ['e'] or ['E'] parse as [Float], others
+    as [Int]; [\uXXXX] escapes decode to UTF-8. *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] looks up [k]; [None] on other constructors. *)

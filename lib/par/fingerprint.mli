@@ -1,0 +1,31 @@
+(** Canonical fingerprints for experiment cells.
+
+    A cell is (workload key, architecture, optional SDT configuration);
+    [None] for the configuration means the native (untranslated) run.
+    The fingerprint is a readable canonical string covering {e every}
+    parameter that can influence the simulation — all [Arch.t] fields
+    including the cache geometries, and all [Config.t] fields — so two
+    architectures that merely share a [name], or two configurations
+    whose differences [Config.describe] elides (spill mode, block
+    limit, code capacity), can never alias in a result cache.
+
+    [digest] is the MD5 hex of the canonical string: a fixed-width key
+    safe to use as a file name for the on-disk cache. *)
+
+module Arch = Sdt_march.Arch
+module Config = Sdt_core.Config
+
+val arch : Arch.t -> string
+(** Every field of the architecture model, in declaration order. *)
+
+val config : Config.t -> string
+(** Every field of the SDT configuration, in declaration order. *)
+
+val cell : key:string -> arch:Arch.t -> cfg:Config.t option -> string
+(** Canonical cell string, e.g.
+    ["v1|gzip:test|arch{...}|cfg{...}"] (or [|native] when [cfg] is
+    [None]). The leading version tag invalidates on-disk caches if the
+    fingerprint scheme ever changes. *)
+
+val digest : string -> string
+(** MD5 hex of a canonical string. *)

@@ -1,0 +1,142 @@
+(* The pool keeps at most one batch in flight. A batch is published as
+   a closure [task] plus a claim cursor [next]; workers (and the caller
+   of [map]) repeatedly lock, claim the next unclaimed index, unlock,
+   and run the task outside the lock. The last finisher broadcasts
+   [batch_done]. All result slots are distinct, and every write to a
+   slot happens-before the caller's read of it (both bracketed by the
+   pool mutex), so no further synchronisation is needed. *)
+
+type t = {
+  jobs : int;
+  m : Mutex.t;
+  work_available : Condition.t;
+  batch_done : Condition.t;
+  mutable task : (int -> unit) option;
+  mutable len : int;
+  mutable next : int;
+  mutable completed : int;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+let jobs t = t.jobs
+
+(* Runs with the mutex held; returns with it held. *)
+let finish_one t =
+  t.completed <- t.completed + 1;
+  if t.completed = t.len then begin
+    t.task <- None;
+    Condition.broadcast t.batch_done
+  end
+
+let worker t =
+  Mutex.lock t.m;
+  let rec loop () =
+    if t.stopping then Mutex.unlock t.m
+    else
+      match t.task with
+      | Some f when t.next < t.len ->
+          let i = t.next in
+          t.next <- t.next + 1;
+          Mutex.unlock t.m;
+          f i;
+          Mutex.lock t.m;
+          finish_one t;
+          loop ()
+      | _ ->
+          Condition.wait t.work_available t.m;
+          loop ()
+  in
+  loop ()
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      m = Mutex.create ();
+      work_available = Condition.create ();
+      batch_done = Condition.create ();
+      task = None;
+      len = 0;
+      next = 0;
+      completed = 0;
+      stopping = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stopping <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Tasks never let exceptions escape into a worker domain: each slot
+   records a result-or-exception, and [map] re-raises the exception of
+   the lowest failing index after the batch drains — the same one a
+   serial run would have hit first. *)
+let map t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if t.jobs <= 1 || n = 1 then Array.map f arr
+  else begin
+    let slots = Array.make n None in
+    let body i =
+      let r =
+        match f arr.(i) with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      slots.(i) <- Some r
+    in
+    Mutex.lock t.m;
+    if t.task <> None then begin
+      Mutex.unlock t.m;
+      invalid_arg "Pool.map: pool is not reentrant"
+    end;
+    t.len <- n;
+    t.next <- 0;
+    t.completed <- 0;
+    t.task <- Some body;
+    Condition.broadcast t.work_available;
+    (* the caller works the batch too, then waits out stragglers *)
+    let rec help () =
+      if t.next < t.len then begin
+        let i = t.next in
+        t.next <- t.next + 1;
+        Mutex.unlock t.m;
+        body i;
+        Mutex.lock t.m;
+        finish_one t;
+        help ()
+      end
+      else if t.completed < t.len then begin
+        Condition.wait t.batch_done t.m;
+        help ()
+      end
+    in
+    help ();
+    Mutex.unlock t.m;
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (Ok _) | None -> ())
+      slots;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error _) | None -> assert false)
+      slots
+  end
+
+let iter t f arr = ignore (map t f arr)

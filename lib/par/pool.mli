@@ -1,0 +1,36 @@
+(** A deterministic, work-stealing-free worker pool over OCaml domains.
+
+    A pool owns [jobs - 1] worker domains (none when [jobs <= 1]); the
+    caller of {!map} participates as the remaining worker. Batches are
+    arrays of independent tasks; workers claim indices from a shared
+    cursor under a mutex, so scheduling is dynamic but every result
+    lands in its own slot — output order never depends on timing.
+
+    Determinism contract: for a pure task function [f],
+    [map pool f arr] returns exactly [Array.map f arr], for every
+    [jobs]. If several tasks raise, the exception of the {e
+    lowest-indexed} failing task is re-raised (again independent of
+    scheduling). Tasks must not themselves call into the same pool. *)
+
+type t
+
+val create : jobs:int -> t
+(** [jobs] is the total worker count including the calling domain;
+    values [<= 1] mean strictly serial execution (no domains are
+    spawned, tasks run in the caller — byte-identical to a plain
+    [Array.map] by construction). *)
+
+val jobs : t -> int
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the container's usable
+    core count. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+val iter : t -> ('a -> unit) -> 'a array -> unit
+
+val shutdown : t -> unit
+(** Join the worker domains. The pool must be idle. Idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exception). *)

@@ -9,6 +9,7 @@ module Run = Sdt_harness.Run
 module Summary = Sdt_harness.Summary
 module Table = Sdt_harness.Table
 module Experiments = Sdt_harness.Experiments
+module Pool = Sdt_par.Pool
 
 let check = Alcotest.check
 let bool = Alcotest.bool
@@ -132,6 +133,139 @@ let test_mismatch_detected () =
     | _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel evaluation and caching *)
+
+(* a generator of arbitrary-but-valid SDT configurations, for the
+   determinism property: whatever the mechanism, the jobs count must
+   not change any reported number *)
+let config_gen =
+  let open QCheck.Gen in
+  let pow2 lo hi = map (fun e -> 1 lsl e) (int_range lo hi) in
+  let ibtc_gen =
+    let* entries = pow2 5 12 in
+    let* ways = oneofl [ 1; 2 ] in
+    let* shared = bool in
+    let* per_site_entries = pow2 2 5 in
+    let* miss = oneofl [ Config.Full_switch; Config.Fast_reload ] in
+    let* hash = oneofl [ Config.Shift_mask; Config.Multiplicative ] in
+    let* inline_lookup = bool in
+    return
+      (Config.Ibtc
+         { Config.entries; ways; shared; per_site_entries; miss; hash;
+           inline_lookup })
+  in
+  let sieve_gen =
+    let* buckets = pow2 5 12 in
+    let* insert_at_head = bool in
+    return (Config.Sieve { Config.buckets; insert_at_head })
+  in
+  let* mech = oneof [ return Config.Dispatch; ibtc_gen; sieve_gen ] in
+  let* returns =
+    oneof
+      [
+        return Config.As_ib;
+        map (fun e -> Config.Return_cache { entries = 1 lsl e }) (int_range 4 10);
+        map (fun d -> Config.Shadow_stack { depth = d }) (int_range 4 64);
+        return Config.Fast_return;
+      ]
+  in
+  let* pred_depth = int_range 0 4 in
+  let* link_direct = bool in
+  let cfg =
+    { Config.default with Config.mech; returns; pred_depth; link_direct }
+  in
+  (* keep only mechanism/return combinations the translator accepts *)
+  return
+    (match Config.validate cfg with
+    | Ok () -> cfg
+    | Error _ -> { cfg with Config.returns = Config.As_ib })
+
+let sdt_results cfg jobs =
+  (* evaluate two workloads through a pool of the given width, then
+     read every result back out of the cache *)
+  let entries = List.map entry [ "gzip"; "mcf" ] in
+  Run.clear_cache ();
+  Pool.with_pool ~jobs (fun pool ->
+      Pool.iter pool
+        (fun e ->
+          ignore
+            (Run.sdt ~arch:Arch.arch_a ~cfg ~key:e.Suite.name (fun () ->
+                 Suite.program e `Test)))
+        (Array.of_list entries));
+  List.map
+    (fun e ->
+      Run.sdt ~arch:Arch.arch_a ~cfg ~key:e.Suite.name (fun () ->
+          Suite.program e `Test))
+    entries
+
+let prop_jobs_invariant =
+  QCheck.Test.make ~count:6
+    ~name:"random config: jobs in {1,2,4} give identical results"
+    (QCheck.make config_gen ~print:Config.describe)
+    (fun cfg ->
+      let serial = sdt_results cfg 1 in
+      List.for_all (fun jobs -> sdt_results cfg jobs = serial) [ 2; 4 ])
+
+let render_all tables = String.concat "\n" (List.map Table.render tables)
+
+let test_tables_jobs_invariant () =
+  let e = Option.get (Experiments.find "F3") in
+  let render jobs =
+    Run.clear_cache ();
+    Pool.with_pool ~jobs (fun pool ->
+        ignore (Experiments.evaluate ~pool `Test e));
+    render_all (e.Experiments.run `Test)
+  in
+  let serial = render 1 in
+  List.iter
+    (fun jobs ->
+      check Alcotest.string
+        (Printf.sprintf "jobs=%d tables byte-identical" jobs)
+        serial (render jobs))
+    [ 2; 4 ]
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sdt_harness_test.%d.%.0f" (Unix.getpid ())
+         (Unix.gettimeofday () *. 1e6))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then (
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir))
+    (fun () -> f dir)
+
+let test_warm_disk_cache_reproduces_cold () =
+  let e = Option.get (Experiments.find "F3") in
+  with_temp_dir (fun dir ->
+      Fun.protect
+        ~finally:(fun () ->
+          Run.set_cache_dir None;
+          Run.clear_cache ())
+        (fun () ->
+          Run.set_cache_dir (Some dir);
+          Run.clear_cache ();
+          ignore (Experiments.evaluate `Test e);
+          let cold = render_all (e.Experiments.run `Test) in
+          let st = Run.cache_stats () in
+          check bool "cold run simulated something" true (st.Run.simulated > 0);
+          (* drop the in-memory level; the disk level must now carry
+             the whole experiment and reproduce it byte for byte *)
+          Run.clear_cache ();
+          ignore (Experiments.evaluate `Test e);
+          let warm = render_all (e.Experiments.run `Test) in
+          let st = Run.cache_stats () in
+          check int "warm run simulated nothing" 0 st.Run.simulated;
+          check bool "served from disk" true (st.Run.disk_hits > 0);
+          check Alcotest.string "warm reproduces cold byte-identically" cold
+            warm))
+
+(* ------------------------------------------------------------------ *)
 (* Experiments *)
 
 let test_registry () =
@@ -148,7 +282,15 @@ let experiment_cases =
         `Slow
         (fun () ->
           Run.clear_cache ();
+          (* the declared grid must cover every cell the renderer asks
+             for: after [evaluate], [run] is pure cache lookups *)
+          let cells = Experiments.evaluate `Test e in
+          check bool "grid non-empty" true (cells > 0);
+          let simulated_by_grid = (Run.cache_stats ()).Run.simulated in
           let tables = e.Experiments.run `Test in
+          check int "grid covers the renderer"
+            simulated_by_grid
+            (Run.cache_stats ()).Run.simulated;
           check bool "at least one table" true (List.length tables >= 1);
           List.iter
             (fun t ->
@@ -192,6 +334,14 @@ let () =
           Alcotest.test_case "native memoised" `Quick test_native_memoised;
           Alcotest.test_case "sdt results sane" `Quick test_sdt_result_sane;
           Alcotest.test_case "divergence detected" `Quick test_mismatch_detected;
+        ] );
+      ( "parallel",
+        [
+          qt prop_jobs_invariant;
+          Alcotest.test_case "tables invariant under jobs" `Slow
+            test_tables_jobs_invariant;
+          Alcotest.test_case "warm disk cache reproduces cold" `Slow
+            test_warm_disk_cache_reproduces_cold;
         ] );
       ( "experiments",
         Alcotest.test_case "registry" `Quick test_registry

@@ -59,7 +59,16 @@ let test_memory_decode_cache_invalidation () =
 let test_memory_read_string () =
   let m = Memory.create ~size_bytes:4096 in
   String.iteri (fun i c -> Memory.store_byte m (0x300 + i) (Char.code c)) "via\000";
-  check string "read" "via" (Memory.read_string m 0x300)
+  check string "read" "via" (Memory.read_string m 0x300);
+  (* strings are ASCII by contract: a byte >= 0x80 is not silently
+     passed through but faulted, like any other malformed access *)
+  Memory.store_byte m 0x400 (Char.code 'a');
+  Memory.store_byte m 0x401 0x80;
+  Memory.store_byte m 0x402 0x00;
+  check bool "high byte faults" true
+    (match Memory.read_string m 0x400 with
+    | exception Memory.Fault _ -> true
+    | _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Syscall *)
