@@ -1,6 +1,6 @@
 # Convenience targets; everything real lives in dune.
 
-.PHONY: all build test bench-smoke bench-par-smoke bench-json perf check clean
+.PHONY: all build test bench-smoke bench-par-smoke bench-json perf perf-block check clean
 
 all: build
 
@@ -33,6 +33,11 @@ bench-json:
 # ratios (see `--perf` in bench/main.ml)
 perf:
 	dune exec bench/main.exe -- --size test --no-bechamel --perf --jobs 0
+
+# time the full grid per-step vs block-interpreter and print the
+# step/block wall-clock ratio (both passes cold, serial)
+perf-block:
+	dune exec bench/main.exe -- --size test --no-bechamel --perf-block
 
 check: build test bench-smoke bench-par-smoke
 

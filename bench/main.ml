@@ -34,6 +34,8 @@ type options = {
   mutable jobs : int;
   mutable cache_dir : string option;
   mutable perf : bool;
+  mutable perf_block : bool;
+  mutable exec_mode : [ `Step | `Block ];
 }
 
 (* one row per option: flag, value placeholder ("" = boolean), doc,
@@ -88,6 +90,24 @@ let specs (o : options) =
       "",
       "time the selected grid serial vs parallel vs warm-cache, then exit",
       fun _ -> o.perf <- true );
+    ( "--perf-block",
+      "",
+      "time the selected grid serial in step vs block interpreter mode, \
+       then exit",
+      fun _ -> o.perf_block <- true );
+    ( "--exec-mode",
+      "step|block",
+      "interpreter loop for simulated cells (default block; results are \
+       bit-identical either way)",
+      fun v ->
+        o.exec_mode <-
+          (match v with
+          | "step" -> `Step
+          | "block" -> `Block
+          | other ->
+              Printf.eprintf "--exec-mode: expected step or block, got %S\n"
+                other;
+              exit 2) );
     ( "--no-bechamel",
       "",
       "skip the Bechamel wall-time measurements",
@@ -117,6 +137,8 @@ let parse_args () =
       jobs = 1;
       cache_dir = None;
       perf = false;
+      perf_block = false;
+      exec_mode = `Block;
     }
   in
   let specs = specs o in
@@ -177,6 +199,8 @@ type cell_report = {
   r_cells : int;  (** unique grid cells *)
   r_simulated : int;  (** cells actually simulated this experiment *)
   r_cache_hits : int;  (** cells served from memory or disk *)
+  r_instructions : int;  (** guest instructions the simulated cells ran *)
+  r_mips : float;  (** r_instructions / wall seconds, in millions *)
 }
 
 let experiment_json (e : Experiments.experiment) size ~jobs seconds
@@ -191,6 +215,8 @@ let experiment_json (e : Experiments.experiment) size ~jobs seconds
       ("cells", Jsonw.Int r.r_cells);
       ("simulated", Jsonw.Int r.r_simulated);
       ("cache_hits", Jsonw.Int r.r_cache_hits);
+      ("instructions", Jsonw.Int r.r_instructions);
+      ("mips", Jsonw.Float r.r_mips);
       ("tables", Jsonw.List (List.map table_json tables));
     ]
 
@@ -202,15 +228,22 @@ let now = Unix.gettimeofday
    from the on-disk cache of a previous one. *)
 let run_one pool size (e : Experiments.experiment) =
   let s0 = (Run.cache_stats ()).Run.simulated in
+  let i0 = Run.simulated_instructions () in
   let t0 = now () in
   let cells = Experiments.evaluate ~pool size e in
   let tables = e.Experiments.run size in
   let seconds = now () -. t0 in
   let simulated = (Run.cache_stats ()).Run.simulated - s0 in
+  let instructions = Run.simulated_instructions () - i0 in
   ( tables,
     seconds,
-    { r_cells = cells; r_simulated = simulated; r_cache_hits = cells - simulated }
-  )
+    {
+      r_cells = cells;
+      r_simulated = simulated;
+      r_cache_hits = cells - simulated;
+      r_instructions = instructions;
+      r_mips = float_of_int instructions /. Float.max seconds 1e-9 /. 1e6;
+    } )
 
 let run_experiments pool size csv_dir json_dir exps =
   let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755 in
@@ -246,9 +279,14 @@ let run_experiments pool size csv_dir json_dir exps =
                 (experiment_json e size ~jobs:(Pool.jobs pool) seconds r tables);
               output_char oc '\n'))
         json_dir;
-      Printf.printf "[%s: %s — %.1fs, %d cells: %d simulated, %d cached]\n\n%!"
+      Printf.printf
+        "[%s: %s — %.1fs, %d cells: %d simulated, %d cached, %d Minstrs, %.1f \
+         MIPS]\n\n\
+         %!"
         e.Experiments.id e.Experiments.title seconds r.r_cells r.r_simulated
-        r.r_cache_hits)
+        r.r_cache_hits
+        (r.r_instructions / 1_000_000)
+        r.r_mips)
     exps;
   Printf.printf
     "== grid total: %.1fs wall, %d jobs, %d cells, %d simulated, %d served \
@@ -263,6 +301,7 @@ let run_perf size jobs exps =
   Run.set_cache_dir None;
   let pass label pool =
     Run.clear_cache ();
+    let i0 = Run.simulated_instructions () in
     let t0 = now () in
     List.iter
       (fun e ->
@@ -270,7 +309,9 @@ let run_perf size jobs exps =
         ignore (e.Experiments.run size))
       exps;
     let dt = now () -. t0 in
-    Printf.printf "  %-28s %8.2fs\n%!" label dt;
+    let mi = float_of_int (Run.simulated_instructions () - i0) /. 1e6 in
+    Printf.printf "  %-28s %8.2fs  %7.0f Minstrs  %6.1f MIPS\n%!" label dt mi
+      (mi /. Float.max dt 1e-9);
     dt
   in
   Printf.printf "== perf: %d experiments, %s size ==\n%!" (List.length exps)
@@ -288,6 +329,35 @@ let run_perf size jobs exps =
   Printf.printf "  serial/parallel ratio: %.2fx\n" (serial /. parallel);
   Printf.printf "  serial/warm ratio:     %.0fx\n%!"
     (serial /. Float.max warm 1e-6)
+
+(* --perf-block: the same cold serial grid twice, once per interpreter
+   loop. The measured tables are bit-identical (enforced by the test
+   suite); the ratio is the host-side speedup of block mode. *)
+let run_perf_block size exps =
+  Run.set_cache_dir None;
+  let pass label mode =
+    Run.set_exec_mode mode;
+    Run.clear_cache ();
+    let i0 = Run.simulated_instructions () in
+    let t0 = now () in
+    List.iter
+      (fun e ->
+        ignore (Experiments.evaluate size e);
+        ignore (e.Experiments.run size))
+      exps;
+    let dt = now () -. t0 in
+    let mi = float_of_int (Run.simulated_instructions () - i0) /. 1e6 in
+    Printf.printf "  %-28s %8.2fs  %7.0f Minstrs  %6.1f MIPS\n%!" label dt mi
+      (mi /. Float.max dt 1e-9);
+    dt
+  in
+  Printf.printf "== perf-block: %d experiments, %s size, serial ==\n%!"
+    (List.length exps)
+    (match size with `Test -> "test" | `Ref -> "ref");
+  let step = pass "per-step interpreter" `Step in
+  let block = pass "block interpreter" `Block in
+  Run.set_exec_mode `Block;
+  Printf.printf "  step/block speedup: %.2fx\n%!" (step /. block)
 
 (* One Bechamel test per experiment: each measures one end-to-end
    evaluation of that experiment at the smoke size (the experiments are
@@ -336,7 +406,9 @@ let run_bechamel exps =
 let () =
   let o = parse_args () in
   let exps = selected o.only in
-  if o.perf then run_perf o.size (max 2 o.jobs) exps
+  Run.set_exec_mode o.exec_mode;
+  if o.perf_block then run_perf_block o.size exps
+  else if o.perf then run_perf o.size (max 2 o.jobs) exps
   else begin
     Run.set_cache_dir o.cache_dir;
     Printf.printf

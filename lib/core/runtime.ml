@@ -257,13 +257,16 @@ let create ~cfg ~arch ?timing ?observer (program : Program.t) =
       install_probes obs ~timing);
   t
 
-let run ?max_steps t =
+let run ?max_steps ?(mode = `Block) t =
   let go () =
     (try
        let entry_frag = ensure t t.entry in
        t.env.Env.machine.Machine.pc <- entry_frag
      with Translate.Unsupported msg -> error "unsupported application: %s" msg);
-    try Machine.run ?max_steps t.env.Env.machine
+    try
+      (match mode with
+      | `Step -> Machine.run ?max_steps t.env.Env.machine
+      | `Block -> Machine.run_blocks ?max_steps t.env.Env.machine)
     with Translate.Unsupported msg -> error "unsupported application: %s" msg
   in
   match t.env.Env.obs with

@@ -40,8 +40,12 @@ val create :
     cycle-for-cycle identical to an unobserved one.
     @raise Error on an invalid configuration. *)
 
-val run : ?max_steps:int -> t -> unit
-(** Translate the entry block and run to exit.
+val run : ?max_steps:int -> ?mode:[ `Step | `Block ] -> t -> unit
+(** Translate the entry block and run to exit. [mode] picks the
+    interpreter loop: [`Block] (the default) executes through the
+    decoded basic-block cache ({!Machine.run_blocks}), [`Step] the
+    classic per-instruction loop — both produce bit-identical measured
+    results; block mode is simply faster host-side.
     @raise Machine.Error on step-limit overrun;
     @raise Error on translator failures (unsupported application code,
     fragment-cache overflow under fast returns). *)

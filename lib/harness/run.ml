@@ -40,6 +40,19 @@ exception Mismatch of string
 
 let max_steps = ref 2_000_000_000
 
+(* Block mode is a pure host-side speedup (bit-identical measured
+   results, enforced by the differential tests), so it is the default;
+   [`Step] remains selectable for A/B timing (bench --perf-block) and
+   debugging. *)
+let exec_mode : [ `Step | `Block ] ref = ref `Block
+let set_exec_mode m = exec_mode := m
+
+(* Instructions actually simulated (cache misses only — memoized cells
+   add nothing), accumulated across pool domains; feeds the bench
+   MIPS figures. *)
+let sim_instrs = Atomic.make 0
+let simulated_instructions () = Atomic.get sim_instrs
+
 (* ------------------------------------------------------------------ *)
 (* JSON codecs for the on-disk cache. Floats are stored as hexadecimal
    float literals ("%h"), which round-trip bit-exactly — a warm cache
@@ -224,7 +237,10 @@ let native ~arch ~key build =
     (fun () ->
       let timing = Timing.create arch in
       let m = Loader.load ~timing (build ()) in
-      Machine.run ~max_steps:!max_steps m;
+      (match !exec_mode with
+      | `Step -> Machine.run ~max_steps:!max_steps m
+      | `Block -> Machine.run_blocks ~max_steps:!max_steps m);
+      ignore (Atomic.fetch_and_add sim_instrs m.Machine.c.Machine.instructions);
       let c = m.Machine.c in
       {
         n_instrs = c.Machine.instructions;
@@ -244,8 +260,9 @@ let sdt ~arch ~cfg ~key build =
     (fun () ->
       let timing = Timing.create arch in
       let rt = Runtime.create ~cfg ~arch ~timing (build ()) in
-      Runtime.run ~max_steps:!max_steps rt;
+      Runtime.run ~max_steps:!max_steps ~mode:!exec_mode rt;
       let m = Runtime.machine rt in
+      ignore (Atomic.fetch_and_add sim_instrs m.Machine.c.Machine.instructions);
       if
         Machine.output m <> nat.n_output
         || m.Machine.checksum <> nat.n_checksum

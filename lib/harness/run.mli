@@ -75,3 +75,15 @@ val cache_stats : unit -> cache_stats
 
 val max_steps : int ref
 (** Step budget per run (default 2 * 10^9). *)
+
+val set_exec_mode : [ `Step | `Block ] -> unit
+(** Interpreter loop used for simulated cells: [`Block] (default)
+    executes through the decoded basic-block cache, [`Step] the classic
+    per-instruction loop. Both produce bit-identical measured results;
+    the switch exists for A/B host-time comparison ([bench
+    --perf-block]) and debugging. *)
+
+val simulated_instructions : unit -> int
+(** Guest instructions executed by actually-simulated runs (memoized
+    cells add nothing) since process start; accumulated atomically
+    across pool domains. Feeds the bench MIPS report. *)

@@ -1,0 +1,99 @@
+module Inst = Sdt_isa.Inst
+
+(* A decoded basic block: the straight-line run of instructions
+   starting at [start], ending at the first control transfer, syscall,
+   trap, halt, or illegal word (or at [max_len] / the end of memory).
+   [gen] is the memory code generation the decoding is valid for. *)
+type t = {
+  mutable start : int;
+  mutable instrs : Inst.t array; (* length >= 1; only the last element
+                                    may transfer control or change the
+                                    machine status *)
+  mutable gen : int;
+}
+
+(* Direct-mapped by start PC: a lookup is one array read and two
+   compares, which matters because the average block is only a few
+   instructions long — a hashtable probe per block transition costs
+   more than the per-instruction work the block mode saves. Collisions
+   simply re-decode into the slot; decoding is cheap (the words are in
+   the memory decode cache). *)
+let slot_bits = 14
+let slots = 1 lsl slot_bits
+let slot_mask = slots - 1
+
+type cache = {
+  mem : Memory.t;
+  tbl : t option array; (* indexed by (start lsr 2) land slot_mask *)
+  mutable decodes : int;
+  mutable invalidations : int;
+}
+
+(* Long enough that typical blocks (a handful of instructions up to a
+   fragment body) decode in one piece, short enough that an abandoned
+   decode after self-modification stays cheap. *)
+let max_len = 64
+
+let create mem = { mem; tbl = Array.make slots None; decodes = 0; invalidations = 0 }
+
+let decodes c = c.decodes
+let invalidations c = c.invalidations
+
+(* Anything that can redirect the PC, change machine status, or run a
+   handler ends a block; everything before it is straight-line. *)
+let ends_block = function
+  | Inst.Beq _ | Inst.Bne _ | Inst.Blt _ | Inst.Bge _ | Inst.Bltu _
+  | Inst.Bgeu _ | Inst.J _ | Inst.Jal _ | Inst.Jr _ | Inst.Jalr _
+  | Inst.Syscall | Inst.Trap _ | Inst.Halt | Inst.Illegal _ ->
+      true
+  | Inst.Nop | Inst.Add _ | Inst.Sub _ | Inst.Mul _ | Inst.Div _ | Inst.Rem _
+  | Inst.And _ | Inst.Or _ | Inst.Xor _ | Inst.Nor _ | Inst.Slt _
+  | Inst.Sltu _ | Inst.Sllv _ | Inst.Srlv _ | Inst.Srav _ | Inst.Sll _
+  | Inst.Srl _ | Inst.Sra _ | Inst.Addi _ | Inst.Slti _ | Inst.Sltiu _
+  | Inst.Andi _ | Inst.Ori _ | Inst.Xori _ | Inst.Lui _ | Inst.Lw _
+  | Inst.Lb _ | Inst.Lbu _ | Inst.Sw _ | Inst.Sb _ ->
+      false
+
+(* Decode the block starting at [start]. The first fetch faults exactly
+   like the per-step path would; past that, the scan stops cleanly at
+   the end of memory so a missing terminator faults only when execution
+   actually reaches the out-of-range PC (in the machine state the
+   per-step path would fault with). *)
+let decode_instrs mem start =
+  let first = Memory.fetch mem start in
+  if ends_block first then [| first |]
+  else begin
+    let buf = Array.make max_len first in
+    let size = Memory.size mem in
+    let n = ref 1 in
+    let stop = ref false in
+    while (not !stop) && !n < max_len && start + (4 * !n) + 4 <= size do
+      let i = Memory.fetch mem (start + (4 * !n)) in
+      buf.(!n) <- i;
+      incr n;
+      if ends_block i then stop := true
+    done;
+    Array.sub buf 0 !n
+  end
+
+(* Decoding goes through {!Memory.fetch}, so every word the block spans
+   ends up with a live decode-cache entry — which is exactly what makes
+   a later store into any of them bump {!Memory.code_gen}. *)
+let decode c start =
+  c.decodes <- c.decodes + 1;
+  decode_instrs c.mem start
+
+let find c pc =
+  let slot = (pc lsr 2) land slot_mask in
+  match Array.unsafe_get c.tbl slot with
+  | Some b when b.start = pc ->
+      if b.gen <> Memory.code_gen c.mem then begin
+        c.invalidations <- c.invalidations + 1;
+        b.instrs <- decode c pc;
+        b.gen <- Memory.code_gen c.mem
+      end;
+      b
+  | _ ->
+      let b = { start = pc; instrs = decode c pc; gen = Memory.code_gen c.mem } in
+      Array.unsafe_set c.tbl slot (Some b);
+      b

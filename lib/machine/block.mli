@@ -1,0 +1,40 @@
+(** Decoded basic blocks for the block-mode interpreter.
+
+    A block is the straight-line run of instructions starting at a PC,
+    decoded once from {!Memory} and cached by start address; the
+    machine re-executes it with no per-instruction fetch or status
+    check ({!Machine.run_blocks}). Blocks end at any control transfer,
+    syscall, trap, halt, or illegal word.
+
+    Correctness under self-modifying code: Memory bumps its
+    {!Memory.code_gen} whenever a store lands in a word covered by a
+    live block (the SDT emits fragments into simulated memory and the
+    linker patches already-executed words), and {!find} re-decodes a
+    block whose recorded generation is stale before handing it out.
+    Mid-block stores into covered code are handled by the executor,
+    which rechecks the generation after every instruction it runs. *)
+
+module Inst = Sdt_isa.Inst
+
+type t = {
+  mutable start : int;
+  mutable instrs : Inst.t array;
+      (** at least one instruction; only the last may transfer control,
+          change status, or invoke a handler *)
+  mutable gen : int;  (** {!Memory.code_gen} the decoding is valid for *)
+}
+
+type cache
+
+val create : Memory.t -> cache
+
+val find : cache -> int -> t
+(** The block starting at a PC: cached, freshly decoded, or re-decoded
+    if its generation went stale. Faults like {!Memory.fetch} when the
+    PC is misaligned or out of range. *)
+
+val decodes : cache -> int
+(** Blocks decoded (including re-decodes). *)
+
+val invalidations : cache -> int
+(** Re-decodes forced by a code-generation bump. *)

@@ -135,220 +135,236 @@ let[@inline] ev_trap tm pc =
 let[@inline] ev_halt tm pc =
   match tm with None -> () | Some x -> Timing.halt_op x ~pc
 
+(* Register file accessors at module level: defining them inside the
+   execution loop allocated two closures per executed instruction. *)
+let[@inline] rget regs r = if r = 0 then 0 else Array.unsafe_get regs r
+
+let[@inline] rset regs r v =
+  if r <> 0 then Array.unsafe_set regs r (v land Word.mask)
+
+(* Execute one already-fetched, already-counted instruction at [pc].
+   Shared by the per-step path ({!step}) and the block executor; every
+   arm assigns [t.pc] itself so fall-through and transfers look the
+   same to both callers. *)
+let exec t tm i pc =
+  let next = pc + 4 in
+  let regs = t.regs in
+  let c = t.c in
+  match i with
+  | Inst.Nop ->
+      t.pc <- next;
+      ev_alu tm pc
+  | Inst.Add (rd, rs, rt) ->
+      rset regs rd (Word.add (rget regs rs) (rget regs rt));
+      t.pc <- next;
+      ev_alu tm pc
+  | Inst.Sub (rd, rs, rt) ->
+      rset regs rd (Word.sub (rget regs rs) (rget regs rt));
+      t.pc <- next;
+      ev_alu tm pc
+  | Inst.Mul (rd, rs, rt) ->
+      rset regs rd (Word.mul (rget regs rs) (rget regs rt));
+      t.pc <- next;
+      ev_mul tm pc
+  | Inst.Div (rd, rs, rt) ->
+      rset regs rd (Word.sdiv (rget regs rs) (rget regs rt));
+      t.pc <- next;
+      ev_div tm pc
+  | Inst.Rem (rd, rs, rt) ->
+      rset regs rd (Word.srem (rget regs rs) (rget regs rt));
+      t.pc <- next;
+      ev_div tm pc
+  | Inst.And (rd, rs, rt) ->
+      rset regs rd (Word.logand (rget regs rs) (rget regs rt));
+      t.pc <- next;
+      ev_alu tm pc
+  | Inst.Or (rd, rs, rt) ->
+      rset regs rd (Word.logor (rget regs rs) (rget regs rt));
+      t.pc <- next;
+      ev_alu tm pc
+  | Inst.Xor (rd, rs, rt) ->
+      rset regs rd (Word.logxor (rget regs rs) (rget regs rt));
+      t.pc <- next;
+      ev_alu tm pc
+  | Inst.Nor (rd, rs, rt) ->
+      rset regs rd (Word.lognot (Word.logor (rget regs rs) (rget regs rt)));
+      t.pc <- next;
+      ev_alu tm pc
+  | Inst.Slt (rd, rs, rt) ->
+      rset regs rd (if Word.lt_s (rget regs rs) (rget regs rt) then 1 else 0);
+      t.pc <- next;
+      ev_alu tm pc
+  | Inst.Sltu (rd, rs, rt) ->
+      rset regs rd (if Word.lt_u (rget regs rs) (rget regs rt) then 1 else 0);
+      t.pc <- next;
+      ev_alu tm pc
+  | Inst.Sllv (rd, rt, rs) ->
+      rset regs rd (Word.shl (rget regs rt) (rget regs rs));
+      t.pc <- next;
+      ev_alu tm pc
+  | Inst.Srlv (rd, rt, rs) ->
+      rset regs rd (Word.shr_l (rget regs rt) (rget regs rs));
+      t.pc <- next;
+      ev_alu tm pc
+  | Inst.Srav (rd, rt, rs) ->
+      rset regs rd (Word.shr_a (rget regs rt) (rget regs rs));
+      t.pc <- next;
+      ev_alu tm pc
+  | Inst.Sll (rd, rt, sh) ->
+      rset regs rd (Word.shl (rget regs rt) sh);
+      t.pc <- next;
+      ev_alu tm pc
+  | Inst.Srl (rd, rt, sh) ->
+      rset regs rd (Word.shr_l (rget regs rt) sh);
+      t.pc <- next;
+      ev_alu tm pc
+  | Inst.Sra (rd, rt, sh) ->
+      rset regs rd (Word.shr_a (rget regs rt) sh);
+      t.pc <- next;
+      ev_alu tm pc
+  | Inst.Addi (rt, rs, imm) ->
+      rset regs rt (Word.add (rget regs rs) (Word.of_signed imm));
+      t.pc <- next;
+      ev_alu tm pc
+  | Inst.Slti (rt, rs, imm) ->
+      rset regs rt
+        (if Word.lt_s (rget regs rs) (Word.of_signed imm) then 1 else 0);
+      t.pc <- next;
+      ev_alu tm pc
+  | Inst.Sltiu (rt, rs, imm) ->
+      rset regs rt
+        (if Word.lt_u (rget regs rs) (Word.of_signed imm) then 1 else 0);
+      t.pc <- next;
+      ev_alu tm pc
+  | Inst.Andi (rt, rs, imm) ->
+      rset regs rt (Word.logand (rget regs rs) imm);
+      t.pc <- next;
+      ev_alu tm pc
+  | Inst.Ori (rt, rs, imm) ->
+      rset regs rt (Word.logor (rget regs rs) imm);
+      t.pc <- next;
+      ev_alu tm pc
+  | Inst.Xori (rt, rs, imm) ->
+      rset regs rt (Word.logxor (rget regs rs) imm);
+      t.pc <- next;
+      ev_alu tm pc
+  | Inst.Lui (rt, imm) ->
+      rset regs rt (imm lsl 16);
+      t.pc <- next;
+      ev_alu tm pc
+  | Inst.Lw (rt, rs, off) ->
+      let addr = Word.add (rget regs rs) (Word.of_signed off) in
+      rset regs rt (Memory.load_word t.mem addr);
+      c.loads <- c.loads + 1;
+      t.pc <- next;
+      ev_load tm pc addr
+  | Inst.Lb (rt, rs, off) ->
+      let addr = Word.add (rget regs rs) (Word.of_signed off) in
+      rset regs rt (Memory.load_byte_s t.mem addr);
+      c.loads <- c.loads + 1;
+      t.pc <- next;
+      ev_load tm pc addr
+  | Inst.Lbu (rt, rs, off) ->
+      let addr = Word.add (rget regs rs) (Word.of_signed off) in
+      rset regs rt (Memory.load_byte_u t.mem addr);
+      c.loads <- c.loads + 1;
+      t.pc <- next;
+      ev_load tm pc addr
+  | Inst.Sw (rt, rs, off) ->
+      let addr = Word.add (rget regs rs) (Word.of_signed off) in
+      Memory.store_word t.mem addr (rget regs rt);
+      c.stores <- c.stores + 1;
+      t.pc <- next;
+      ev_store tm pc addr
+  | Inst.Sb (rt, rs, off) ->
+      let addr = Word.add (rget regs rs) (Word.of_signed off) in
+      Memory.store_byte t.mem addr (rget regs rt);
+      c.stores <- c.stores + 1;
+      t.pc <- next;
+      ev_store tm pc addr
+  | Inst.Beq (rs, rt, off) ->
+      let taken = rget regs rs = rget regs rt in
+      c.cond_branches <- c.cond_branches + 1;
+      t.pc <- (if taken then next + (off * 4) else next);
+      ev_cond tm pc taken
+  | Inst.Bne (rs, rt, off) ->
+      let taken = rget regs rs <> rget regs rt in
+      c.cond_branches <- c.cond_branches + 1;
+      t.pc <- (if taken then next + (off * 4) else next);
+      ev_cond tm pc taken
+  | Inst.Blt (rs, rt, off) ->
+      let taken = Word.lt_s (rget regs rs) (rget regs rt) in
+      c.cond_branches <- c.cond_branches + 1;
+      t.pc <- (if taken then next + (off * 4) else next);
+      ev_cond tm pc taken
+  | Inst.Bge (rs, rt, off) ->
+      let taken = not (Word.lt_s (rget regs rs) (rget regs rt)) in
+      c.cond_branches <- c.cond_branches + 1;
+      t.pc <- (if taken then next + (off * 4) else next);
+      ev_cond tm pc taken
+  | Inst.Bltu (rs, rt, off) ->
+      let taken = Word.lt_u (rget regs rs) (rget regs rt) in
+      c.cond_branches <- c.cond_branches + 1;
+      t.pc <- (if taken then next + (off * 4) else next);
+      ev_cond tm pc taken
+  | Inst.Bgeu (rs, rt, off) ->
+      let taken = not (Word.lt_u (rget regs rs) (rget regs rt)) in
+      c.cond_branches <- c.cond_branches + 1;
+      t.pc <- (if taken then next + (off * 4) else next);
+      ev_cond tm pc taken
+  | Inst.J target ->
+      c.jumps <- c.jumps + 1;
+      t.pc <- (next land 0xF000_0000) lor (target lsl 2);
+      ev_jump tm pc
+  | Inst.Jal target ->
+      c.calls <- c.calls + 1;
+      rset regs Reg.ra next;
+      t.pc <- (next land 0xF000_0000) lor (target lsl 2);
+      ev_call tm pc next
+  | Inst.Jr rs ->
+      let target = rget regs rs in
+      t.pc <- target;
+      if rs = Reg.ra then begin
+        c.returns <- c.returns + 1;
+        ev_return tm pc target
+      end
+      else begin
+        c.ijumps <- c.ijumps + 1;
+        ev_ijump tm pc target
+      end
+  | Inst.Jalr (rd, rs) ->
+      let target = rget regs rs in
+      c.icalls <- c.icalls + 1;
+      rset regs rd next;
+      t.pc <- target;
+      ev_icall tm pc target next
+  | Inst.Syscall ->
+      do_syscall t;
+      t.pc <- next;
+      ev_syscall tm pc
+  | Inst.Trap code ->
+      (* the trap op is charged before the handler runs, so traces show
+         the trap instruction ahead of the translator's service cycles
+         it triggers (the handler charges only runtime cycles, so the
+         totals are order-independent) *)
+      c.traps <- c.traps + 1;
+      ev_trap tm pc;
+      t.pc <- poison_pc;
+      t.trap_handler t ~code ~trap_pc:pc
+  | Inst.Halt ->
+      t.status <- Exited 0;
+      ev_halt tm pc
+  | Inst.Illegal w ->
+      raise (Error (Printf.sprintf "illegal instruction %#x at %#x" w pc))
+
 let step t =
   match t.status with
   | Exited _ -> ()
-  | Running -> (
+  | Running ->
       let pc = t.pc in
       let i = Memory.fetch t.mem pc in
-      let c = t.c in
-      c.instructions <- c.instructions + 1;
-      let next = pc + 4 in
-      let tm = t.timing in
-      let rget r = if r = 0 then 0 else Array.unsafe_get t.regs r in
-      let rset r v =
-        if r <> 0 then Array.unsafe_set t.regs r (v land Word.mask)
-      in
-      match i with
-      | Inst.Nop ->
-          t.pc <- next;
-          ev_alu tm pc
-      | Inst.Add (rd, rs, rt) ->
-          rset rd (Word.add (rget rs) (rget rt));
-          t.pc <- next;
-          ev_alu tm pc
-      | Inst.Sub (rd, rs, rt) ->
-          rset rd (Word.sub (rget rs) (rget rt));
-          t.pc <- next;
-          ev_alu tm pc
-      | Inst.Mul (rd, rs, rt) ->
-          rset rd (Word.mul (rget rs) (rget rt));
-          t.pc <- next;
-          ev_mul tm pc
-      | Inst.Div (rd, rs, rt) ->
-          rset rd (Word.sdiv (rget rs) (rget rt));
-          t.pc <- next;
-          ev_div tm pc
-      | Inst.Rem (rd, rs, rt) ->
-          rset rd (Word.srem (rget rs) (rget rt));
-          t.pc <- next;
-          ev_div tm pc
-      | Inst.And (rd, rs, rt) ->
-          rset rd (Word.logand (rget rs) (rget rt));
-          t.pc <- next;
-          ev_alu tm pc
-      | Inst.Or (rd, rs, rt) ->
-          rset rd (Word.logor (rget rs) (rget rt));
-          t.pc <- next;
-          ev_alu tm pc
-      | Inst.Xor (rd, rs, rt) ->
-          rset rd (Word.logxor (rget rs) (rget rt));
-          t.pc <- next;
-          ev_alu tm pc
-      | Inst.Nor (rd, rs, rt) ->
-          rset rd (Word.lognot (Word.logor (rget rs) (rget rt)));
-          t.pc <- next;
-          ev_alu tm pc
-      | Inst.Slt (rd, rs, rt) ->
-          rset rd (if Word.lt_s (rget rs) (rget rt) then 1 else 0);
-          t.pc <- next;
-          ev_alu tm pc
-      | Inst.Sltu (rd, rs, rt) ->
-          rset rd (if Word.lt_u (rget rs) (rget rt) then 1 else 0);
-          t.pc <- next;
-          ev_alu tm pc
-      | Inst.Sllv (rd, rt, rs) ->
-          rset rd (Word.shl (rget rt) (rget rs));
-          t.pc <- next;
-          ev_alu tm pc
-      | Inst.Srlv (rd, rt, rs) ->
-          rset rd (Word.shr_l (rget rt) (rget rs));
-          t.pc <- next;
-          ev_alu tm pc
-      | Inst.Srav (rd, rt, rs) ->
-          rset rd (Word.shr_a (rget rt) (rget rs));
-          t.pc <- next;
-          ev_alu tm pc
-      | Inst.Sll (rd, rt, sh) ->
-          rset rd (Word.shl (rget rt) sh);
-          t.pc <- next;
-          ev_alu tm pc
-      | Inst.Srl (rd, rt, sh) ->
-          rset rd (Word.shr_l (rget rt) sh);
-          t.pc <- next;
-          ev_alu tm pc
-      | Inst.Sra (rd, rt, sh) ->
-          rset rd (Word.shr_a (rget rt) sh);
-          t.pc <- next;
-          ev_alu tm pc
-      | Inst.Addi (rt, rs, imm) ->
-          rset rt (Word.add (rget rs) (Word.of_signed imm));
-          t.pc <- next;
-          ev_alu tm pc
-      | Inst.Slti (rt, rs, imm) ->
-          rset rt (if Word.lt_s (rget rs) (Word.of_signed imm) then 1 else 0);
-          t.pc <- next;
-          ev_alu tm pc
-      | Inst.Sltiu (rt, rs, imm) ->
-          rset rt (if Word.lt_u (rget rs) (Word.of_signed imm) then 1 else 0);
-          t.pc <- next;
-          ev_alu tm pc
-      | Inst.Andi (rt, rs, imm) ->
-          rset rt (Word.logand (rget rs) imm);
-          t.pc <- next;
-          ev_alu tm pc
-      | Inst.Ori (rt, rs, imm) ->
-          rset rt (Word.logor (rget rs) imm);
-          t.pc <- next;
-          ev_alu tm pc
-      | Inst.Xori (rt, rs, imm) ->
-          rset rt (Word.logxor (rget rs) imm);
-          t.pc <- next;
-          ev_alu tm pc
-      | Inst.Lui (rt, imm) ->
-          rset rt (imm lsl 16);
-          t.pc <- next;
-          ev_alu tm pc
-      | Inst.Lw (rt, rs, off) ->
-          let addr = Word.add (rget rs) (Word.of_signed off) in
-          rset rt (Memory.load_word t.mem addr);
-          c.loads <- c.loads + 1;
-          t.pc <- next;
-          ev_load tm pc addr
-      | Inst.Lb (rt, rs, off) ->
-          let addr = Word.add (rget rs) (Word.of_signed off) in
-          rset rt (Memory.load_byte_s t.mem addr);
-          c.loads <- c.loads + 1;
-          t.pc <- next;
-          ev_load tm pc addr
-      | Inst.Lbu (rt, rs, off) ->
-          let addr = Word.add (rget rs) (Word.of_signed off) in
-          rset rt (Memory.load_byte_u t.mem addr);
-          c.loads <- c.loads + 1;
-          t.pc <- next;
-          ev_load tm pc addr
-      | Inst.Sw (rt, rs, off) ->
-          let addr = Word.add (rget rs) (Word.of_signed off) in
-          Memory.store_word t.mem addr (rget rt);
-          c.stores <- c.stores + 1;
-          t.pc <- next;
-          ev_store tm pc addr
-      | Inst.Sb (rt, rs, off) ->
-          let addr = Word.add (rget rs) (Word.of_signed off) in
-          Memory.store_byte t.mem addr (rget rt);
-          c.stores <- c.stores + 1;
-          t.pc <- next;
-          ev_store tm pc addr
-      | Inst.Beq (rs, rt, off) ->
-          let taken = rget rs = rget rt in
-          c.cond_branches <- c.cond_branches + 1;
-          t.pc <- (if taken then next + (off * 4) else next);
-          ev_cond tm pc taken
-      | Inst.Bne (rs, rt, off) ->
-          let taken = rget rs <> rget rt in
-          c.cond_branches <- c.cond_branches + 1;
-          t.pc <- (if taken then next + (off * 4) else next);
-          ev_cond tm pc taken
-      | Inst.Blt (rs, rt, off) ->
-          let taken = Word.lt_s (rget rs) (rget rt) in
-          c.cond_branches <- c.cond_branches + 1;
-          t.pc <- (if taken then next + (off * 4) else next);
-          ev_cond tm pc taken
-      | Inst.Bge (rs, rt, off) ->
-          let taken = not (Word.lt_s (rget rs) (rget rt)) in
-          c.cond_branches <- c.cond_branches + 1;
-          t.pc <- (if taken then next + (off * 4) else next);
-          ev_cond tm pc taken
-      | Inst.Bltu (rs, rt, off) ->
-          let taken = Word.lt_u (rget rs) (rget rt) in
-          c.cond_branches <- c.cond_branches + 1;
-          t.pc <- (if taken then next + (off * 4) else next);
-          ev_cond tm pc taken
-      | Inst.Bgeu (rs, rt, off) ->
-          let taken = not (Word.lt_u (rget rs) (rget rt)) in
-          c.cond_branches <- c.cond_branches + 1;
-          t.pc <- (if taken then next + (off * 4) else next);
-          ev_cond tm pc taken
-      | Inst.J target ->
-          c.jumps <- c.jumps + 1;
-          t.pc <- (next land 0xF000_0000) lor (target lsl 2);
-          ev_jump tm pc
-      | Inst.Jal target ->
-          c.calls <- c.calls + 1;
-          rset Reg.ra next;
-          t.pc <- (next land 0xF000_0000) lor (target lsl 2);
-          ev_call tm pc next
-      | Inst.Jr rs ->
-          let target = rget rs in
-          t.pc <- target;
-          if rs = Reg.ra then begin
-            c.returns <- c.returns + 1;
-            ev_return tm pc target
-          end
-          else begin
-            c.ijumps <- c.ijumps + 1;
-            ev_ijump tm pc target
-          end
-      | Inst.Jalr (rd, rs) ->
-          let target = rget rs in
-          c.icalls <- c.icalls + 1;
-          rset rd next;
-          t.pc <- target;
-          ev_icall tm pc target next
-      | Inst.Syscall ->
-          do_syscall t;
-          t.pc <- next;
-          ev_syscall tm pc
-      | Inst.Trap code ->
-          c.traps <- c.traps + 1;
-          t.pc <- poison_pc;
-          t.trap_handler t ~code ~trap_pc:pc;
-          ev_trap tm pc
-      | Inst.Halt ->
-          t.status <- Exited 0;
-          ev_halt tm pc
-      | Inst.Illegal w ->
-          raise (Error (Printf.sprintf "illegal instruction %#x at %#x" w pc)))
+      t.c.instructions <- t.c.instructions + 1;
+      exec t t.timing i pc
 
 let run ?(max_steps = 1_000_000_000) t =
   let steps = ref 0 in
@@ -360,6 +376,63 @@ let run ?(max_steps = 1_000_000_000) t =
   | Running ->
       raise (Error (Printf.sprintf "step limit (%d) exceeded at pc=%#x" max_steps t.pc))
   | Exited _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Block mode: execute a decoded block with no per-instruction fetch or
+   status check. Only the final instruction of a block can transfer
+   control, change status, or trap, so the body needs no checks beyond
+   the self-modification guard. Returns the number of instructions
+   executed (= block length unless the block patched live code under
+   its own feet). *)
+
+let exec_block t (b : Block.t) =
+  let instrs = b.Block.instrs in
+  let n = Array.length instrs in
+  let c = t.c in
+  (* counters accumulate per block; loads/stores/branch kinds are
+     attributed by the arms in [exec] as on the per-step path *)
+  c.instructions <- c.instructions + n;
+  let tm = t.timing in
+  let gen = b.Block.gen in
+  let mem = t.mem in
+  let i = ref 0 in
+  let pc = ref b.Block.start in
+  let live = ref true in
+  while !live && !i < n do
+    exec t tm (Array.unsafe_get instrs !i) !pc;
+    incr i;
+    pc := !pc + 4;
+    (* a store into covered code invalidated some live block — possibly
+       the remainder of this very array — so stop and let the outer
+       loop re-decode from the (already assigned) continuation PC *)
+    if Memory.code_gen mem <> gen then begin
+      c.instructions <- c.instructions - (n - !i);
+      live := false
+    end
+  done;
+  !i
+
+let run_blocks ?(max_steps = 1_000_000_000) t =
+  (* an installed probe expects per-instruction metric sampling
+     granularity; keep the observer's view on the per-step path *)
+  let probed =
+    match t.timing with Some tm -> Timing.has_probe tm | None -> false
+  in
+  if probed then run ~max_steps t
+  else begin
+    let cache = Block.create t.mem in
+    let steps = ref 0 in
+    while t.status == Running && !steps < max_steps do
+      let b = Block.find cache t.pc in
+      steps := !steps + exec_block t b
+    done;
+    match t.status with
+    | Running ->
+        raise
+          (Error
+             (Printf.sprintf "step limit (%d) exceeded at pc=%#x" max_steps t.pc))
+    | Exited _ -> ()
+  end
 
 let output t = Buffer.contents t.out
 let exit_code t = match t.status with Running -> None | Exited c -> Some c

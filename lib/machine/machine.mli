@@ -64,6 +64,17 @@ val run : ?max_steps:int -> t -> unit
     elapses first — the deterministic workloads always terminate, so
     hitting the limit indicates a translation bug. *)
 
+val run_blocks : ?max_steps:int -> t -> unit
+(** Like {!run}, but through the decoded basic-block cache ({!Block}):
+    straight-line runs decode once and re-execute with no
+    per-instruction fetch or status check. Every measured quantity —
+    cycles, counters, cache misses, predictor outcomes, output,
+    checksum — is bit-identical to {!run}; self-modifying code is
+    handled by re-decoding blocks whose words were overwritten (see
+    {!Memory.code_gen}). Falls back to {!run} when an observability
+    probe is installed on the timing model, since a probe samples
+    per-instruction state that block execution batches. *)
+
 val output : t -> string
 (** Everything printed so far. *)
 

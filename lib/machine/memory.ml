@@ -9,18 +9,57 @@ exception Fault of { addr : int; kind : string }
    [0 <= w < 2^32], so the sentinel cannot collide with a real decoding. *)
 let not_cached = Inst.Illegal (-1)
 
+(* The decode cache is chunked and lazily allocated: a flat array of
+   one [Inst.t] per word costs 8 bytes per 4 memory bytes up front
+   (tens of megabytes per machine, written at creation and scanned by
+   every major GC), yet only the few dozen kilobytes that hold code are
+   ever fetched. Chunks are [chunk_words] entries; [no_chunk] (the
+   shared empty array) marks a chunk no fetch has touched. *)
+let chunk_bits = 10
+let chunk_words = 1 lsl chunk_bits
+let chunk_mask = chunk_words - 1
+let no_chunk : Inst.t array = [||]
+
 type t = {
   bytes : Bytes.t;
-  decoded : Inst.t array; (* indexed by word number *)
+  decoded : Inst.t array array; (* indexed by word number lsr chunk_bits *)
+  (* Block-cache invalidation feed: bumped whenever a store overwrites
+     a word whose decoding is currently cached. Every word a decoded
+     block spans has a live decode-cache entry (block decoding goes
+     through {!fetch}), so any store into code some block covers bumps
+     the generation and the block cache lazily re-decodes — stores to
+     never-fetched words (ordinary data, or the SDT emitting a fresh
+     fragment) leave it untouched. *)
+  mutable code_gen : int;
 }
 
 let fault addr kind = raise (Fault { addr; kind })
 
 let create ~size_bytes =
   let size = (size_bytes + 3) land lnot 3 in
-  { bytes = Bytes.make size '\000'; decoded = Array.make (size / 4) not_cached }
+  let nchunks = ((size / 4) + chunk_mask) lsr chunk_bits in
+  {
+    bytes = Bytes.make size '\000';
+    decoded = Array.make nchunks no_chunk;
+    code_gen = 1;
+  }
 
 let size t = Bytes.length t.bytes
+let code_gen t = t.code_gen
+
+(* Invalidate the cached decoding of word [widx] after a store; if
+   there was one, some decoded block may span this word, so bump the
+   generation. A store to a word in a never-fetched chunk (ordinary
+   data) costs one array read. *)
+let[@inline] note_store t widx =
+  let ch = Array.unsafe_get t.decoded (widx lsr chunk_bits) in
+  if ch != no_chunk then begin
+    let i = widx land chunk_mask in
+    if Array.unsafe_get ch i != not_cached then begin
+      Array.unsafe_set ch i not_cached;
+      t.code_gen <- t.code_gen + 1
+    end
+  end
 
 let check_word t addr kind =
   if addr land 3 <> 0 then fault addr "align";
@@ -39,7 +78,7 @@ let store_word t addr w =
   Bytes.unsafe_set t.bytes (addr + 1) (Char.unsafe_chr ((w lsr 8) land 0xFF));
   Bytes.unsafe_set t.bytes (addr + 2) (Char.unsafe_chr ((w lsr 16) land 0xFF));
   Bytes.unsafe_set t.bytes (addr + 3) (Char.unsafe_chr ((w lsr 24) land 0xFF));
-  Array.unsafe_set t.decoded (addr lsr 2) not_cached
+  note_store t (addr lsr 2)
 
 let check_byte t addr kind =
   if addr < 0 || addr >= Bytes.length t.bytes then fault addr kind
@@ -53,16 +92,25 @@ let load_byte_s t addr = Word.sext8 (load_byte_u t addr)
 let store_byte t addr v =
   check_byte t addr "store";
   Bytes.unsafe_set t.bytes addr (Char.unsafe_chr (v land 0xFF));
-  Array.unsafe_set t.decoded (addr lsr 2) not_cached
+  note_store t (addr lsr 2)
 
 let fetch t addr =
   check_word t addr "fetch";
   let idx = addr lsr 2 in
-  let cached = Array.unsafe_get t.decoded idx in
+  let ch = Array.unsafe_get t.decoded (idx lsr chunk_bits) in
+  let ch =
+    if ch != no_chunk then ch
+    else begin
+      let fresh = Array.make chunk_words not_cached in
+      Array.unsafe_set t.decoded (idx lsr chunk_bits) fresh;
+      fresh
+    end
+  in
+  let cached = Array.unsafe_get ch (idx land chunk_mask) in
   if cached != not_cached then cached
   else begin
     let i = Decode.inst (load_word t addr) in
-    Array.unsafe_set t.decoded idx i;
+    Array.unsafe_set ch (idx land chunk_mask) i;
     i
   end
 
@@ -87,7 +135,8 @@ let write_bytes t addr b =
   let n = Bytes.length b in
   if addr < 0 || addr + n > Bytes.length t.bytes then fault addr "store";
   Bytes.blit b 0 t.bytes addr n;
+  let nwords = Bytes.length t.bytes / 4 in
   let first = addr lsr 2 and last = (addr + n + 3) lsr 2 in
-  for i = first to min (last - 1) (Array.length t.decoded - 1) do
-    t.decoded.(i) <- not_cached
+  for i = first to min (last - 1) (nwords - 1) do
+    note_store t i
   done

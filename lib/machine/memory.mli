@@ -42,3 +42,19 @@ val read_string : t -> int -> string
 val write_bytes : t -> int -> bytes -> unit
 (** Bulk copy (used by the loader); invalidates affected decode-cache
     entries. *)
+
+(** {1 Block-cache invalidation feed}
+
+    The block interpreter ({!Block}) decodes straight-line runs of
+    instructions once and re-executes them, which is only sound if a
+    store into decoded code is noticed before the stale block runs
+    again — the SDT both writes fragments into this memory and patches
+    already-executed words in place (exit-stub linking, sieve stub
+    insertion). Any store that overwrites a word whose decoding is
+    currently cached (every word a decoded block spans is) bumps
+    {!code_gen}; blocks compare their decode-time generation against it
+    before executing. *)
+
+val code_gen : t -> int
+(** Current code generation. Monotonic; bumped by any store into a
+    word with a live cached decoding. *)

@@ -41,6 +41,7 @@ let create cfg =
   }
 
 let config t = t.cfg
+let line_index t addr = addr lsr t.line_shift
 
 let access t addr =
   let line = addr lsr t.line_shift in

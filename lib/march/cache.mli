@@ -22,6 +22,11 @@ val create : config -> t
 
 val config : t -> config
 
+val line_index : t -> int -> int
+(** The global line number containing [addr] ([addr / line_bytes]):
+    two addresses with the same line index always share a cache line.
+    Used by the timing layer's same-line fetch fast path. *)
+
 val access : t -> int -> bool
 (** [access t addr] touches the line containing [addr] and returns
     [true] on hit. Misses allocate (for stores too: write-allocate). *)

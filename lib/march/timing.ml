@@ -23,6 +23,12 @@ type t = {
   ras : Branch_pred.Ras.t option;
   mutable cycles : int;
   mutable runtime_cycles : int;
+  (* line number of the most recent icache access, -1 if none: a fetch
+     from the same line is a guaranteed hit whose LRU update is
+     idempotent (the way is already MRU in its set and the clock only
+     orders accesses within a set), so it can skip the set-associative
+     probe entirely without changing miss counts or charged cycles *)
+  mutable iline : int;
   (* observability taps: read-only witnesses of charging; they never
      charge cycles themselves, so an installed probe cannot change the
      simulated cycle count *)
@@ -44,6 +50,7 @@ let create (arch : Arch.t) =
        else None);
     cycles = 0;
     runtime_cycles = 0;
+    iline = -1;
     probe = None;
     runtime_probe = None;
   }
@@ -75,7 +82,13 @@ let ras_push t next =
 let fetch_penalty t pc =
   match t.icache with
   | None -> ()
-  | Some c -> if not (Cache.access c pc) then charge t (Cache.config c).miss_penalty
+  | Some c ->
+      let line = Cache.line_index c pc in
+      if line <> t.iline then begin
+        t.iline <- line;
+        if not (Cache.access c pc) then
+          charge t (Cache.config c).miss_penalty
+      end
 
 let instr_charge t ~pc ev =
   fetch_penalty t pc;
@@ -251,6 +264,7 @@ let halt_op t ~pc =
       charge t t.arch.alu_cycles
 
 let set_probe t f = t.probe <- f
+let has_probe t = t.probe <> None
 let set_runtime_probe t f = t.runtime_probe <- f
 
 let add_runtime t n =
@@ -279,4 +293,5 @@ let reset t =
   Branch_pred.Btb.reset t.btb;
   Option.iter Branch_pred.Ras.reset t.ras;
   t.cycles <- 0;
-  t.runtime_cycles <- 0
+  t.runtime_cycles <- 0;
+  t.iline <- -1

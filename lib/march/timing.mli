@@ -66,6 +66,11 @@ val set_probe : t -> (pc:int -> event -> cycles:int -> unit) option -> unit
 val set_runtime_probe : t -> (int -> unit) option -> unit
 (** Likewise for {!add_runtime} charges. *)
 
+val has_probe : t -> bool
+(** Whether a per-instruction probe is installed. The block interpreter
+    uses this to fall back to the per-step path, whose metric sampling
+    granularity observers rely on. *)
+
 val add_runtime : t -> int -> unit
 (** Charge [n] cycles of SDT runtime service time. *)
 

@@ -1,0 +1,366 @@
+(* Tests for the decoded basic-block interpreter: bit-exactness of
+   block mode against the per-step path (native and under every SDT
+   mechanism), and correctness under self-modifying code — the block
+   cache must notice guest stores and host [write_bytes] patches into
+   decoded code and re-decode before the stale block runs again. *)
+
+module Word = Sdt_isa.Word
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+module Encode = Sdt_isa.Encode
+module Builder = Sdt_isa.Builder
+module Arch = Sdt_march.Arch
+module Timing = Sdt_march.Timing
+module Memory = Sdt_machine.Memory
+module Machine = Sdt_machine.Machine
+module Loader = Sdt_machine.Loader
+module Config = Sdt_core.Config
+module Stats = Sdt_core.Stats
+module Runtime = Sdt_core.Runtime
+module Suite = Sdt_workloads.Suite
+module Synthetic = Sdt_workloads.Synthetic
+
+let check = Alcotest.check
+let int = Alcotest.int
+let string = Alcotest.string
+
+(* Everything the harness reports for a run; two runs are equivalent
+   exactly when these records are equal. *)
+type fingerprint = {
+  cycles : int;
+  runtime_cycles : int;
+  instructions : int;
+  output : string;
+  checksum : int;
+  icache_misses : int;
+  dcache_misses : int;
+  cond_misp : int;
+  ind_misp : int;
+  ras_misp : int;
+  stats : (string * int) list;
+}
+
+let fingerprint ~timing ~stats m =
+  {
+    cycles = Timing.cycles timing;
+    runtime_cycles = Timing.runtime_cycles timing;
+    instructions = m.Machine.c.Machine.instructions;
+    output = Machine.output m;
+    checksum = m.Machine.checksum;
+    icache_misses = Timing.icache_misses timing;
+    dcache_misses = Timing.dcache_misses timing;
+    cond_misp = Timing.cond_mispredicts timing;
+    ind_misp = Timing.indirect_mispredicts timing;
+    ras_misp = Timing.ras_mispredicts timing;
+    stats;
+  }
+
+let native_fingerprint arch program mode =
+  let timing = Timing.create arch in
+  let m = Loader.load ~timing program in
+  (match mode with
+  | `Step -> Machine.run m
+  | `Block -> Machine.run_blocks m);
+  fingerprint ~timing ~stats:[] m
+
+let sdt_fingerprint arch cfg program mode =
+  let timing = Timing.create arch in
+  let rt = Runtime.create ~cfg ~arch ~timing program in
+  Runtime.run ~mode rt;
+  fingerprint ~timing ~stats:(Stats.to_assoc (Runtime.stats rt))
+    (Runtime.machine rt)
+
+let pp_fingerprint fp =
+  Printf.sprintf
+    "cycles=%d runtime=%d instrs=%d checksum=%d ic=%d dc=%d cond=%d ind=%d \
+     ras=%d out=%S"
+    fp.cycles fp.runtime_cycles fp.instructions fp.checksum fp.icache_misses
+    fp.dcache_misses fp.cond_misp fp.ind_misp fp.ras_misp fp.output
+
+let check_equivalent label step block =
+  if step <> block then
+    Alcotest.failf "%s diverged:\n  step:  %s\n  block: %s" label
+      (pp_fingerprint step) (pp_fingerprint block)
+
+(* ------------------------------------------------------------------ *)
+(* Native equivalence: all 14 workloads x archA/archB *)
+
+let test_native_equivalence () =
+  List.iter
+    (fun (e : Suite.entry) ->
+      let program = Suite.program e `Test in
+      List.iter
+        (fun arch ->
+          check_equivalent
+            (Printf.sprintf "native %s on %s" e.Suite.name arch.Arch.name)
+            (native_fingerprint arch program `Step)
+            (native_fingerprint arch program `Block))
+        [ Arch.arch_a; Arch.arch_b ])
+    Suite.all
+
+(* ------------------------------------------------------------------ *)
+(* SDT equivalence: all 14 workloads x archA/archB x every mechanism *)
+
+let mech_configs =
+  [
+    ("dispatch", Config.baseline);
+    ("ibtc-shared", Config.default);
+    ( "ibtc-per-branch",
+      {
+        Config.default with
+        mech =
+          Ibtc
+            {
+              Config.default_ibtc with
+              shared = false;
+              miss = Config.Full_switch;
+            };
+        returns = Config.As_ib;
+      } );
+    ( "sieve",
+      {
+        Config.default with
+        mech = Sieve { buckets = 512; insert_at_head = true };
+        returns = Config.Shadow_stack { depth = 64 };
+      } );
+  ]
+
+let test_sdt_equivalence () =
+  List.iter
+    (fun (e : Suite.entry) ->
+      let program = Suite.program e `Test in
+      List.iter
+        (fun arch ->
+          List.iter
+            (fun (mech_name, cfg) ->
+              check_equivalent
+                (Printf.sprintf "sdt %s/%s on %s" e.Suite.name mech_name
+                   arch.Arch.name)
+                (sdt_fingerprint arch cfg program `Step)
+                (sdt_fingerprint arch cfg program `Block))
+            mech_configs)
+        [ Arch.arch_a; Arch.arch_b ])
+    Suite.all
+
+(* ------------------------------------------------------------------ *)
+(* Self-modifying code: a guest store that patches an instruction
+   *later in the currently-executing block*. The straight-line run from
+   [main] decodes as one block containing the original [addi $a0,5];
+   the [sw] overwrites that word before execution reaches it, so the
+   executor must abandon the stale decoding mid-block. *)
+
+let smc_program () =
+  let b = Builder.create () in
+  let start = Builder.here b in
+  let target = Builder.fresh_label b in
+  Builder.li b Reg.t1 (Encode.inst (Inst.Addi (Reg.a0, Reg.zero, 9)));
+  Builder.la b Reg.t2 target;
+  Builder.emit b (Inst.Sw (Reg.t1, Reg.t2, 0));
+  Builder.place b target;
+  Builder.emit b (Inst.Addi (Reg.a0, Reg.zero, 5));
+  Builder.li b Reg.v0 1;
+  Builder.syscall b;
+  Builder.halt b;
+  Builder.assemble b ~entry:start
+
+let test_smc_store_word () =
+  List.iter
+    (fun mode ->
+      let m = Loader.load (smc_program ()) in
+      (match mode with
+      | `Step -> Machine.run m
+      | `Block -> Machine.run_blocks m);
+      check string
+        (Printf.sprintf "patched instruction executed (%s)"
+           (match mode with `Step -> "step" | `Block -> "block"))
+        "9" (Machine.output m))
+    [ `Step; `Block ];
+  (* and the two modes agree on every counter, not just the output *)
+  let program = smc_program () in
+  check_equivalent "smc store_word"
+    (native_fingerprint Arch.arch_a program `Step)
+    (native_fingerprint Arch.arch_a program `Block)
+
+(* Host-side patching, linker-style: a trap handler overwrites an
+   *already executed* instruction via [Memory.write_bytes] (the same
+   entry point the SDT loader and emitter patching go through). The
+   loop body runs once with the original word, is patched by the host
+   between iterations, and must show the new code on re-entry. *)
+
+let smc_write_bytes_program () =
+  let b = Builder.create () in
+  let start = Builder.here b in
+  let target = Builder.fresh_label b in
+  let done_ = Builder.fresh_label b in
+  Builder.li b Reg.t3 2;
+  let loop = Builder.here b in
+  Builder.place b target;
+  Builder.emit b (Inst.Addi (Reg.a0, Reg.zero, 5));
+  Builder.li b Reg.v0 1;
+  Builder.syscall b;
+  Builder.emit b (Inst.Trap 1);
+  Builder.emit b (Inst.Addi (Reg.t3, Reg.t3, -1));
+  Builder.bne b Reg.t3 Reg.zero loop;
+  Builder.place b done_;
+  Builder.halt b;
+  (Builder.assemble b ~entry:start, target)
+
+let test_smc_write_bytes () =
+  List.iter
+    (fun mode ->
+      let program, _ = smc_write_bytes_program () in
+      (* the patch target is the first loop instruction: find it by
+         scanning for the original encoding in the text segment *)
+      let original = Encode.inst (Inst.Addi (Reg.a0, Reg.zero, 5)) in
+      let replacement = Encode.inst (Inst.Addi (Reg.a0, Reg.zero, 9)) in
+      let m = Loader.load program in
+      let patch_addr = ref (-1) in
+      let a = ref 0 in
+      while !patch_addr < 0 do
+        if Memory.load_word m.Machine.mem !a = original then patch_addr := !a;
+        a := !a + 4
+      done;
+      let patched = ref false in
+      Machine.set_trap_handler m (fun m ~code:_ ~trap_pc ->
+          if not !patched then begin
+            patched := true;
+            let bytes = Bytes.create 4 in
+            Bytes.set_int32_le bytes 0 (Int32.of_int replacement);
+            Memory.write_bytes m.Machine.mem !patch_addr bytes
+          end;
+          m.Machine.pc <- trap_pc + 4);
+      (match mode with
+      | `Step -> Machine.run m
+      | `Block -> Machine.run_blocks m);
+      check string
+        (Printf.sprintf "host patch visible on re-entry (%s)"
+           (match mode with `Step -> "step" | `Block -> "block"))
+        "59" (Machine.output m))
+    [ `Step; `Block ]
+
+(* The SDT's own self-modification — fragment emission and exit-stub
+   linking through [Memory.store_word] — exercised end to end: a
+   translated run in block mode, where the translator keeps patching
+   code the block cache has already decoded and executed. *)
+
+let test_smc_translator_patching () =
+  let e = Option.get (Suite.find "perlbmk") in
+  let program = Suite.program e `Test in
+  List.iter
+    (fun (mech_name, cfg) ->
+      check_equivalent ("translator patching under " ^ mech_name)
+        (sdt_fingerprint Arch.arch_a cfg program `Step)
+        (sdt_fingerprint Arch.arch_a cfg program `Block))
+    mech_configs
+
+(* ------------------------------------------------------------------ *)
+(* qcheck differential: random synthetic programs x mechanisms x
+   arches; block mode must be bit-identical to step mode on every
+   measured quantity. *)
+
+let qcheck_block_equivalence =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* ib_sites = 1 -- 6 in
+      let* targets = 2 -- 16 in
+      let* fns = 0 -- 4 in
+      let* recursion_depth = 0 -- 4 in
+      let* iters = 20 -- 120 in
+      let* seed = 0 -- 1000 in
+      let* arch = oneofl [ Arch.arch_a; Arch.arch_b; Arch.arch_c ] in
+      let* mech =
+        oneofl
+          [
+            Config.Dispatch;
+            Config.Ibtc Config.default_ibtc;
+            Config.Ibtc { Config.default_ibtc with shared = false };
+            Config.Sieve { buckets = 256; insert_at_head = true };
+          ]
+      in
+      let* returns =
+        oneofl
+          [
+            Config.As_ib;
+            Config.Return_cache { entries = 1024 };
+            Config.Shadow_stack { depth = 256 };
+          ]
+      in
+      let* pred_depth = oneofl [ 0; 1; 2 ] in
+      return
+        ( { Synthetic.ib_sites; targets; fns; recursion_depth; iters; seed },
+          arch,
+          mech,
+          returns,
+          pred_depth ))
+  in
+  let arb =
+    make
+      ~print:(fun (p, arch, mech, returns, pred) ->
+        Printf.sprintf "sites=%d targets=%d fns=%d rec=%d iters=%d seed=%d \
+                        arch=%s %s pred=%d"
+          p.Synthetic.ib_sites p.Synthetic.targets p.Synthetic.fns
+          p.Synthetic.recursion_depth p.Synthetic.iters p.Synthetic.seed
+          arch.Arch.name
+          (Config.describe { Config.default with mech; returns })
+          pred)
+      gen
+  in
+  QCheck.Test.make ~count:40
+    ~name:"block mode bit-identical to step mode (random programs)" arb
+    (fun (params, arch, mech, returns, pred_depth) ->
+      let cfg = { Config.default with mech; returns; pred_depth } in
+      let program = Synthetic.build params in
+      let native_ok =
+        native_fingerprint arch program `Step
+        = native_fingerprint arch program `Block
+      in
+      let sdt_ok =
+        sdt_fingerprint arch cfg program `Step
+        = sdt_fingerprint arch cfg program `Block
+      in
+      native_ok && sdt_ok)
+
+(* ------------------------------------------------------------------ *)
+(* Observer fallback: with a probe installed, run_blocks must take the
+   per-step path (metrics sampling polls per-instruction state), and
+   the run still matches an unprobed block run on every total. *)
+
+let test_probe_falls_back () =
+  let e = Option.get (Suite.find "gzip") in
+  let program = Suite.program e `Test in
+  let arch = Arch.arch_a in
+  let timing = Timing.create arch in
+  let m = Loader.load ~timing program in
+  let events = ref 0 in
+  Timing.set_probe timing (Some (fun ~pc:_ _ ~cycles:_ -> incr events));
+  Machine.run_blocks m;
+  let probed = fingerprint ~timing ~stats:[] m in
+  check int "probe saw every instruction" probed.instructions !events;
+  let plain = native_fingerprint arch program `Block in
+  check_equivalent "probed run matches unprobed totals" plain probed
+
+let () =
+  Alcotest.run "sdt_block"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "native: 14 workloads x 2 arches" `Quick
+            test_native_equivalence;
+          Alcotest.test_case "sdt: workloads x arches x mechanisms" `Quick
+            test_sdt_equivalence;
+          QCheck_alcotest.to_alcotest qcheck_block_equivalence;
+        ] );
+      ( "self-modifying code",
+        [
+          Alcotest.test_case "guest store_word patches own block" `Quick
+            test_smc_store_word;
+          Alcotest.test_case "host write_bytes patches executed code" `Quick
+            test_smc_write_bytes;
+          Alcotest.test_case "translator patching, all mechanisms" `Quick
+            test_smc_translator_patching;
+        ] );
+      ( "observer",
+        [ Alcotest.test_case "probe falls back to step path" `Quick
+            test_probe_falls_back ] );
+    ]

@@ -290,6 +290,38 @@ let test_icache_charged_per_fetch () =
   Timing.instr t ~pc:4096 Timing.Alu;
   check int "two icache misses" 2 (Timing.icache_misses t)
 
+(* The same-line MRU fast path in {!Timing.fetch_penalty} skips the
+   cache model when consecutive fetches share an icache line. It must be
+   invisible: misses and cycles identical to charging every fetch
+   through {!Cache.access}. The reference below IS that naive protocol,
+   run on a fresh cache over the same pc stream. (Skipping a same-line
+   repeat cannot change LRU state — the line is already most recent.) *)
+let prop_icache_mru_bitexact =
+  QCheck.Test.make ~count:200
+    ~name:"timing: same-line fetch fast path is bit-exact"
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 48)
+        (pair (int_bound 0xFFFF) (int_range 1 12)))
+    (fun runs ->
+      (* straight-line runs of adjacent words, like real fetch streams *)
+      let pcs =
+        List.concat_map
+          (fun (start, len) -> List.init len (fun i -> (start + i) * 4))
+          runs
+      in
+      let arch = Arch.arch_a in
+      let t = Timing.create arch in
+      List.iter (fun pc -> Timing.alu t ~pc) pcs;
+      let cfg = Option.get arch.Arch.icache in
+      let c = Cache.create cfg in
+      let misses = ref 0 in
+      List.iter (fun pc -> if not (Cache.access c pc) then incr misses) pcs;
+      Timing.icache_misses t = !misses
+      && Timing.cycles t
+         = (List.length pcs * arch.Arch.alu_cycles)
+           + (!misses * cfg.Cache.miss_penalty))
+
 let prop_cache_miss_then_hit =
   QCheck.Test.make ~count:200 ~name:"cache: immediate re-access always hits"
     QCheck.(int_bound 0xFFFFF)
@@ -341,6 +373,7 @@ let () =
           Alcotest.test_case "reset" `Quick test_timing_reset;
           Alcotest.test_case "icache per fetch" `Quick
             test_icache_charged_per_fetch;
+          qt prop_icache_mru_bitexact;
           Alcotest.test_case "fixed indirect cost" `Quick test_timing_indirect_fixed;
           Alcotest.test_case "btb learns" `Quick test_timing_btb_learns;
           Alcotest.test_case "ras pairs calls" `Quick test_timing_ras;

@@ -4,9 +4,12 @@
    the whole design rests on — that attaching an observer changes
    nothing about the simulated run. *)
 
+module Builder = Sdt_isa.Builder
+module Inst = Sdt_isa.Inst
 module Arch = Sdt_march.Arch
 module Timing = Sdt_march.Timing
 module Machine = Sdt_machine.Machine
+module Loader = Sdt_machine.Loader
 module Config = Sdt_core.Config
 module Runtime = Sdt_core.Runtime
 module Suite = Sdt_workloads.Suite
@@ -451,6 +454,37 @@ let test_metrics_duplicate_rejected () =
     (Invalid_argument "Metrics: duplicate source \"x\"") (fun () ->
       Metrics.int_source m "x" (fun () -> 1))
 
+(* Trap attribution order: the trap instruction's own charge ([Trap_op])
+   must reach the probes before anything the handler charges via
+   {!Timing.add_runtime} — attribution reads "the application paid for
+   the trap, then the runtime paid for its service", never the other
+   way around. *)
+let test_trap_event_order () =
+  let b = Builder.create () in
+  let start = Builder.here b in
+  Builder.emit b (Inst.Trap 7);
+  Builder.halt b;
+  let p = Builder.assemble b ~entry:start in
+  let timing = Timing.create Arch.arch_a in
+  let m = Loader.load ~timing p in
+  let log = ref [] in
+  Timing.set_probe timing
+    (Some
+       (fun ~pc:_ ev ~cycles:_ ->
+         match ev with
+         | Timing.Trap_op -> log := "trap" :: !log
+         | _ -> log := "instr" :: !log));
+  Timing.set_runtime_probe timing (Some (fun _ -> log := "runtime" :: !log));
+  Machine.set_trap_handler m (fun m ~code:_ ~trap_pc ->
+      Timing.add_runtime timing 25;
+      m.Machine.pc <- trap_pc + 4);
+  Machine.run m;
+  match List.rev !log with
+  | "trap" :: "runtime" :: _ -> ()
+  | l ->
+      Alcotest.failf "trap charged after its handler: [%s]"
+        (String.concat "; " l)
+
 let test_trace_ring_drops_oldest () =
   let tr = Trace.create ~capacity:8 () in
   for i = 1 to 20 do
@@ -481,6 +515,8 @@ let () =
             test_metrics_duplicate_rejected;
           Alcotest.test_case "trace ring drops oldest" `Quick
             test_trace_ring_drops_oldest;
+          Alcotest.test_case "trap charged before handler" `Quick
+            test_trap_event_order;
         ] );
       ( "zero observer effect",
         [
