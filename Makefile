@@ -1,6 +1,6 @@
 # Convenience targets; everything real lives in dune.
 
-.PHONY: all build test bench-smoke bench-par-smoke bench-json perf perf-block check clean
+.PHONY: all build test bench-smoke bench-par-smoke bench-json perf perf-exec perf-exec-smoke perf-chain check clean
 
 all: build
 
@@ -34,12 +34,25 @@ bench-json:
 perf:
 	dune exec bench/main.exe -- --size test --no-bechamel --perf --jobs 0
 
-# time the full grid per-step vs block-interpreter and print the
-# step/block wall-clock ratio (both passes cold, serial)
-perf-block:
-	dune exec bench/main.exe -- --size test --no-bechamel --perf-block
+# time the full grid once per interpreter loop (per-step, block
+# without chaining, chained blocks) and print every pairwise
+# wall-clock ratio plus the chained speedup over the committed
+# bench/baselines/ seconds (all passes cold, serial)
+perf-exec:
+	dune exec bench/main.exe -- --size test --no-bechamel \
+	  --perf-exec step,block-nochain,block
 
-check: build test bench-smoke bench-par-smoke
+# just the chained pass and its ratio against the committed baselines
+perf-chain:
+	dune exec bench/main.exe -- --size test --no-bechamel --perf-exec block
+
+# dry-run form of the exec matrix (one small experiment) so `check`
+# exercises the mode plumbing without the full grid cost
+perf-exec-smoke:
+	dune exec bench/main.exe -- --size test --only T1 --no-bechamel \
+	  --perf-exec step,block-nochain,block
+
+check: build test bench-smoke bench-par-smoke perf-exec-smoke
 
 clean:
 	dune clean

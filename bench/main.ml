@@ -34,9 +34,20 @@ type options = {
   mutable jobs : int;
   mutable cache_dir : string option;
   mutable perf : bool;
-  mutable perf_block : bool;
-  mutable exec_mode : [ `Step | `Block ];
+  mutable perf_exec : string option;
+  mutable exec_mode : [ `Step | `Block | `Block_nochain ];
 }
+
+let mode_of_string = function
+  | "step" -> Some `Step
+  | "block" -> Some `Block
+  | "block-nochain" -> Some `Block_nochain
+  | _ -> None
+
+let mode_label = function
+  | `Step -> "per-step interpreter"
+  | `Block -> "chained block interpreter"
+  | `Block_nochain -> "block interpreter (no chain)"
 
 (* one row per option: flag, value placeholder ("" = boolean), doc,
    handler — the usage string and the dispatch loop both derive from
@@ -90,23 +101,25 @@ let specs (o : options) =
       "",
       "time the selected grid serial vs parallel vs warm-cache, then exit",
       fun _ -> o.perf <- true );
-    ( "--perf-block",
-      "",
-      "time the selected grid serial in step vs block interpreter mode, \
-       then exit",
-      fun _ -> o.perf_block <- true );
+    ( "--perf-exec",
+      "MODES",
+      "time the selected grid cold-serial once per comma-separated \
+       interpreter mode (step|block|block-nochain), report the speedup \
+       matrix and the ratio against the committed bench/baselines, then \
+       exit",
+      fun v -> o.perf_exec <- Some v );
     ( "--exec-mode",
-      "step|block",
+      "step|block|block-nochain",
       "interpreter loop for simulated cells (default block; results are \
-       bit-identical either way)",
+       bit-identical in every mode)",
       fun v ->
         o.exec_mode <-
-          (match v with
-          | "step" -> `Step
-          | "block" -> `Block
-          | other ->
-              Printf.eprintf "--exec-mode: expected step or block, got %S\n"
-                other;
+          (match mode_of_string v with
+          | Some m -> m
+          | None ->
+              Printf.eprintf
+                "--exec-mode: expected step, block or block-nochain, got %S\n"
+                v;
               exit 2) );
     ( "--no-bechamel",
       "",
@@ -137,7 +150,7 @@ let parse_args () =
       jobs = 1;
       cache_dir = None;
       perf = false;
-      perf_block = false;
+      perf_exec = None;
       exec_mode = `Block;
     }
   in
@@ -201,6 +214,10 @@ type cell_report = {
   r_cache_hits : int;  (** cells served from memory or disk *)
   r_instructions : int;  (** guest instructions the simulated cells ran *)
   r_mips : float;  (** r_instructions / wall seconds, in millions *)
+  r_block_decodes : int;  (** blocks compiled by the simulated cells *)
+  r_block_invalidations : int;  (** recompiles forced by SMC *)
+  r_chain_hits : int;  (** block transitions served by a chain link *)
+  r_chain_severs : int;  (** chain links dropped as stale *)
 }
 
 let experiment_json (e : Experiments.experiment) size ~jobs seconds
@@ -217,6 +234,10 @@ let experiment_json (e : Experiments.experiment) size ~jobs seconds
       ("cache_hits", Jsonw.Int r.r_cache_hits);
       ("instructions", Jsonw.Int r.r_instructions);
       ("mips", Jsonw.Float r.r_mips);
+      ("block_decodes", Jsonw.Int r.r_block_decodes);
+      ("block_invalidations", Jsonw.Int r.r_block_invalidations);
+      ("chain_hits", Jsonw.Int r.r_chain_hits);
+      ("chain_severs", Jsonw.Int r.r_chain_severs);
       ("tables", Jsonw.List (List.map table_json tables));
     ]
 
@@ -229,12 +250,14 @@ let now = Unix.gettimeofday
 let run_one pool size (e : Experiments.experiment) =
   let s0 = (Run.cache_stats ()).Run.simulated in
   let i0 = Run.simulated_instructions () in
+  let b0 = Run.block_cache_stats () in
   let t0 = now () in
   let cells = Experiments.evaluate ~pool size e in
   let tables = e.Experiments.run size in
   let seconds = now () -. t0 in
   let simulated = (Run.cache_stats ()).Run.simulated - s0 in
   let instructions = Run.simulated_instructions () - i0 in
+  let b1 = Run.block_cache_stats () in
   ( tables,
     seconds,
     {
@@ -243,6 +266,10 @@ let run_one pool size (e : Experiments.experiment) =
       r_cache_hits = cells - simulated;
       r_instructions = instructions;
       r_mips = float_of_int instructions /. Float.max seconds 1e-9 /. 1e6;
+      r_block_decodes = b1.Run.decodes - b0.Run.decodes;
+      r_block_invalidations = b1.Run.invalidations - b0.Run.invalidations;
+      r_chain_hits = b1.Run.chain_hits - b0.Run.chain_hits;
+      r_chain_severs = b1.Run.chain_severs - b0.Run.chain_severs;
     } )
 
 let run_experiments pool size csv_dir json_dir exps =
@@ -328,36 +355,90 @@ let run_perf size jobs exps =
   Printf.printf "  %-28s %8.2fs\n" "warm cache (render only)" warm;
   Printf.printf "  serial/parallel ratio: %.2fx\n" (serial /. parallel);
   Printf.printf "  serial/warm ratio:     %.0fx\n%!"
-    (serial /. Float.max warm 1e-6)
+    (serial /. Float.max warm 1e-6);
+  let b = Run.block_cache_stats () in
+  Printf.printf
+    "  block cache: %d decodes, %d invalidations, %d chain hits, %d chain \
+     severs\n%!"
+    b.Run.decodes b.Run.invalidations b.Run.chain_hits b.Run.chain_severs
 
-(* --perf-block: the same cold serial grid twice, once per interpreter
-   loop. The measured tables are bit-identical (enforced by the test
-   suite); the ratio is the host-side speedup of block mode. *)
-let run_perf_block size exps =
+(* The committed baseline wall time for an experiment selection: the
+   sum of the "seconds" fields of bench/baselines/BENCH_<id>.json, if
+   every selected experiment has one. Those files are regenerated (and
+   committed) by `make bench-json` on the same grid --perf-exec times,
+   so the ratio is this tree versus the tree that committed them. *)
+let baseline_seconds exps =
+  let dir = Filename.concat "bench" "baselines" in
+  List.fold_left
+    (fun acc (e : Experiments.experiment) ->
+      match acc with
+      | None -> None
+      | Some total -> (
+          let path =
+            Filename.concat dir
+              (Printf.sprintf "BENCH_%s.json" e.Experiments.id)
+          in
+          if not (Sys.file_exists path) then None
+          else
+            match
+              Jsonw.of_string
+                (In_channel.with_open_text path In_channel.input_all)
+            with
+            | Ok doc -> (
+                match Jsonw.member "seconds" doc with
+                | Some (Jsonw.Float s) -> Some (total +. s)
+                | Some (Jsonw.Int s) -> Some (total +. float_of_int s)
+                | _ -> None)
+            | Error _ -> None))
+    (Some 0.) exps
+
+(* --perf-exec: the same cold serial grid once per interpreter mode.
+   The measured tables are bit-identical in every mode (enforced by the
+   test suite); the ratios are the host-side speedups, and the chained
+   pass is additionally compared against the committed baselines (the
+   `make perf-chain` acceptance number). *)
+let run_perf_exec size modes exps =
   Run.set_cache_dir None;
-  let pass label mode =
+  let pass mode =
     Run.set_exec_mode mode;
     Run.clear_cache ();
     let i0 = Run.simulated_instructions () in
     let t0 = now () in
     List.iter
-      (fun e ->
+      (fun (e : Experiments.experiment) ->
         ignore (Experiments.evaluate size e);
         ignore (e.Experiments.run size))
       exps;
     let dt = now () -. t0 in
     let mi = float_of_int (Run.simulated_instructions () - i0) /. 1e6 in
-    Printf.printf "  %-28s %8.2fs  %7.0f Minstrs  %6.1f MIPS\n%!" label dt mi
+    Printf.printf "  %-28s %8.2fs  %7.0f Minstrs  %6.1f MIPS\n%!"
+      (mode_label mode) dt mi
       (mi /. Float.max dt 1e-9);
-    dt
+    (mode, dt)
   in
-  Printf.printf "== perf-block: %d experiments, %s size, serial ==\n%!"
+  Printf.printf "== perf-exec: %d experiments, %s size, serial ==\n%!"
     (List.length exps)
     (match size with `Test -> "test" | `Ref -> "ref");
-  let step = pass "per-step interpreter" `Step in
-  let block = pass "block interpreter" `Block in
+  let times = List.map pass modes in
   Run.set_exec_mode `Block;
-  Printf.printf "  step/block speedup: %.2fx\n%!" (step /. block)
+  let time_of m = List.assoc_opt m times in
+  let ratio label a b =
+    match (time_of a, time_of b) with
+    | Some ta, Some tb -> Printf.printf "  %s %.2fx\n%!" label (ta /. tb)
+    | _ -> ()
+  in
+  ratio "step/chained speedup:       " `Step `Block;
+  ratio "step/nochain speedup:       " `Step `Block_nochain;
+  ratio "nochain/chained speedup:    " `Block_nochain `Block;
+  match (time_of `Block, baseline_seconds exps) with
+  | Some chained, Some base ->
+      Printf.printf "  committed-baseline/chained: %.2fx  (%.2fs baseline)\n%!"
+        (base /. chained) base
+  | Some _, None ->
+      Printf.printf
+        "  committed-baseline/chained: n/a (no bench/baselines entry for \
+         every selected experiment)\n%!"
+  | None, _ -> ()
 
 (* One Bechamel test per experiment: each measures one end-to-end
    evaluation of that experiment at the smoke size (the experiments are
@@ -404,11 +485,36 @@ let run_bechamel exps =
   print_newline ()
 
 let () =
+  (* A grid run churns through hundreds of machines, each allocating
+     megabytes of block closures and decode chunks that die with the
+     cell: the default 256k-word minor heap forces constant minor
+     collections and promotions. 8M words (64 MB) lets a cell's
+     short-lived garbage die young — measured ~10% off the cold-serial
+     full grid on the reference container; set before any domain
+     spawns so workers inherit it. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024 };
   let o = parse_args () in
   let exps = selected o.only in
   Run.set_exec_mode o.exec_mode;
-  if o.perf_block then run_perf_block o.size exps
-  else if o.perf then run_perf o.size (max 2 o.jobs) exps
+  (match o.perf_exec with
+  | Some spec ->
+      let modes =
+        List.map
+          (fun s ->
+            match mode_of_string (String.trim s) with
+            | Some m -> m
+            | None ->
+                Printf.eprintf
+                  "--perf-exec: expected step, block or block-nochain, got \
+                   %S\n"
+                  s;
+                exit 2)
+          (String.split_on_char ',' spec)
+      in
+      run_perf_exec o.size modes exps;
+      exit 0
+  | None -> ());
+  if o.perf then run_perf o.size (max 2 o.jobs) exps
   else begin
     Run.set_cache_dir o.cache_dir;
     Printf.printf

@@ -130,14 +130,36 @@ let print_profile prof symbols total_cycles =
       sites
   end
 
+(* block-cache activity (compiled blocks, SMC recompiles, chain-link
+   hits/severs); only the block modes have any *)
+let print_block_stats m =
+  match Machine.block_stats m with
+  | None -> ()
+  | Some s ->
+      Printf.printf
+        "block cache:  %d decodes, %d invalidations, %d chain hits, %d chain \
+         severs\n"
+        s.Sdt_machine.Block.st_decodes s.Sdt_machine.Block.st_invalidations
+        s.Sdt_machine.Block.st_chain_hits s.Sdt_machine.Block.st_chain_severs
+
 let run file workload size_name native arch_name mech ibtc_entries
     sieve_buckets inline miss_policy returns pred no_link traces ways
     profile_ib shepherd show_stats trace_steps dump_frags max_steps trace_file
-    metrics_file profile sample_interval =
+    metrics_file profile sample_interval exec_mode_name =
   if sample_interval <= 0 then begin
     prerr_endline "--sample-interval must be positive";
     exit 2
   end;
+  let exec_mode =
+    match exec_mode_name with
+    | "step" -> `Step
+    | "block" -> `Block
+    | "block-nochain" -> `Block_nochain
+    | other ->
+        Printf.eprintf
+          "unknown exec mode %S (step, block, block-nochain)\n" other;
+        exit 2
+  in
   let size = if size_name = "ref" then `Ref else `Test in
   let program = load_program file workload size in
   let arch =
@@ -172,12 +194,16 @@ let run file workload size_name native arch_name mech ibtc_entries
          under --native";
     let m = Loader.load ~timing program in
     traced m;
-    Machine.run ~max_steps m;
+    (match exec_mode with
+    | `Step -> Machine.run ~max_steps m
+    | `Block -> Machine.run_blocks ~max_steps m
+    | `Block_nochain -> Machine.run_blocks ~chain:false ~max_steps m);
     print_string (Machine.output m);
     Printf.printf "\n--- native on %s ---\n" arch.Arch.name;
     Printf.printf "instructions: %d\n" m.Machine.c.Machine.instructions;
     Printf.printf "cycles:       %d\n" (Timing.cycles timing);
     Printf.printf "indirect branches: %d\n" (Machine.ib_dynamic_count m);
+    print_block_stats m;
     Printf.printf "checksum:     0x%08x\n" m.Machine.checksum;
     Printf.printf "exit code:    %s\n"
       (match Machine.exit_code m with Some c -> string_of_int c | None -> "-");
@@ -216,7 +242,7 @@ let run file workload size_name native arch_name mech ibtc_entries
       try Runtime.run ~max_steps:0 rt with Machine.Error _ -> ());
     (try
        traced (Runtime.machine rt);
-       Runtime.run ~max_steps rt
+       Runtime.run ~max_steps ~mode:exec_mode rt
      with Runtime.Policy_violation { target } ->
        Printf.printf "POLICY VIOLATION: control transfer to %#x blocked\n"
          target);
@@ -227,6 +253,7 @@ let run file workload size_name native arch_name mech ibtc_entries
     Printf.printf "cycles:        %d\n" (Timing.cycles timing);
     Printf.printf "runtime cycles: %d\n" (Timing.runtime_cycles timing);
     Printf.printf "code bytes:    %d\n" (Runtime.code_bytes rt);
+    print_block_stats m;
     Printf.printf "checksum:      0x%08x\n" m.Machine.checksum;
     Printf.printf "exit code:     %s\n"
       (match Machine.exit_code m with Some c -> string_of_int c | None -> "-");
@@ -395,6 +422,10 @@ let sample_interval =
   Arg.(value & opt int 10_000 & info [ "sample-interval" ] ~docv:"N"
        ~doc:"Simulated cycles between metric samples.")
 
+let exec_mode_name =
+  Arg.(value & opt string "block" & info [ "exec-mode" ] ~docv:"MODE"
+       ~doc:"Interpreter loop: block (chained, default), block-nochain or step. Measured results are bit-identical in every mode.")
+
 let cmd =
   let doc = "run VIA programs natively or under the software dynamic translator" in
   Cmd.v
@@ -404,6 +435,6 @@ let cmd =
       $ ibtc_entries $ sieve_buckets $ inline $ miss_policy $ returns $ pred
       $ no_link $ traces $ ways $ profile_ib $ shepherd $ show_stats
       $ trace_steps $ dump_frags $ max_steps $ trace_file $ metrics_file
-      $ profile $ sample_interval)
+      $ profile $ sample_interval $ exec_mode_name)
 
 let () = exit (Cmd.eval' cmd)

@@ -266,7 +266,9 @@ let run ?max_steps ?(mode = `Block) t =
     try
       (match mode with
       | `Step -> Machine.run ?max_steps t.env.Env.machine
-      | `Block -> Machine.run_blocks ?max_steps t.env.Env.machine)
+      | `Block -> Machine.run_blocks ?max_steps t.env.Env.machine
+      | `Block_nochain ->
+          Machine.run_blocks ?max_steps ~chain:false t.env.Env.machine)
     with Translate.Unsupported msg -> error "unsupported application: %s" msg
   in
   match t.env.Env.obs with

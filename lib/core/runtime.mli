@@ -40,12 +40,16 @@ val create :
     cycle-for-cycle identical to an unobserved one.
     @raise Error on an invalid configuration. *)
 
-val run : ?max_steps:int -> ?mode:[ `Step | `Block ] -> t -> unit
+val run :
+  ?max_steps:int -> ?mode:[ `Step | `Block | `Block_nochain ] -> t -> unit
 (** Translate the entry block and run to exit. [mode] picks the
     interpreter loop: [`Block] (the default) executes through the
-    decoded basic-block cache ({!Machine.run_blocks}), [`Step] the
-    classic per-instruction loop — both produce bit-identical measured
-    results; block mode is simply faster host-side.
+    compiled basic-block cache with direct block chaining
+    ({!Machine.run_blocks}), [`Block_nochain] the same without chain
+    links (every transition re-probes the cache — the differential
+    mode), [`Step] the classic per-instruction loop — all three produce
+    bit-identical measured results; block modes are simply faster
+    host-side.
     @raise Machine.Error on step-limit overrun;
     @raise Error on translator failures (unsupported application code,
     fragment-cache overflow under fast returns). *)

@@ -40,12 +40,64 @@ exception Mismatch of string
 
 let max_steps = ref 2_000_000_000
 
-(* Block mode is a pure host-side speedup (bit-identical measured
-   results, enforced by the differential tests), so it is the default;
-   [`Step] remains selectable for A/B timing (bench --perf-block) and
-   debugging. *)
-let exec_mode : [ `Step | `Block ] ref = ref `Block
+(* Block modes are a pure host-side speedup (bit-identical measured
+   results, enforced by the differential tests), so chained block mode
+   is the default; [`Block_nochain] isolates chaining for A/B timing
+   (bench --perf-exec) and differential testing, [`Step] remains the
+   reference loop. SDT_EXEC_MODE overrides the default from the
+   environment so the whole test suite can be re-run under another
+   mode without touching callers (the CI matrix does). *)
+let exec_mode : [ `Step | `Block | `Block_nochain ] ref =
+  ref
+    (match Sys.getenv_opt "SDT_EXEC_MODE" with
+    | Some "step" -> `Step
+    | Some "block-nochain" -> `Block_nochain
+    | Some _ | None -> `Block)
+
 let set_exec_mode m = exec_mode := m
+
+let run_machine ~max_steps m =
+  match !exec_mode with
+  | `Step -> Machine.run ~max_steps m
+  | `Block -> Machine.run_blocks ~max_steps m
+  | `Block_nochain -> Machine.run_blocks ~chain:false ~max_steps m
+
+(* Block-cache statistics accumulated across every simulated machine
+   (memoized cells add nothing, as with {!sim_instrs}), native and SDT
+   alike; feeds the bench JSON counters and --perf reporting. *)
+let bc_decodes = Atomic.make 0
+let bc_invalidations = Atomic.make 0
+let bc_chain_hits = Atomic.make 0
+let bc_chain_severs = Atomic.make 0
+
+type block_cache_stats = {
+  decodes : int;
+  invalidations : int;
+  chain_hits : int;
+  chain_severs : int;
+}
+
+let note_block_stats m =
+  match Machine.block_stats m with
+  | None -> ()
+  | Some s ->
+      ignore (Atomic.fetch_and_add bc_decodes s.Sdt_machine.Block.st_decodes);
+      ignore
+        (Atomic.fetch_and_add bc_invalidations
+           s.Sdt_machine.Block.st_invalidations);
+      ignore
+        (Atomic.fetch_and_add bc_chain_hits s.Sdt_machine.Block.st_chain_hits);
+      ignore
+        (Atomic.fetch_and_add bc_chain_severs
+           s.Sdt_machine.Block.st_chain_severs)
+
+let block_cache_stats () =
+  {
+    decodes = Atomic.get bc_decodes;
+    invalidations = Atomic.get bc_invalidations;
+    chain_hits = Atomic.get bc_chain_hits;
+    chain_severs = Atomic.get bc_chain_severs;
+  }
 
 (* Instructions actually simulated (cache misses only — memoized cells
    add nothing), accumulated across pool domains; feeds the bench
@@ -237,10 +289,9 @@ let native ~arch ~key build =
     (fun () ->
       let timing = Timing.create arch in
       let m = Loader.load ~timing (build ()) in
-      (match !exec_mode with
-      | `Step -> Machine.run ~max_steps:!max_steps m
-      | `Block -> Machine.run_blocks ~max_steps:!max_steps m);
+      run_machine ~max_steps:!max_steps m;
       ignore (Atomic.fetch_and_add sim_instrs m.Machine.c.Machine.instructions);
+      note_block_stats m;
       let c = m.Machine.c in
       {
         n_instrs = c.Machine.instructions;
@@ -263,6 +314,7 @@ let sdt ~arch ~cfg ~key build =
       Runtime.run ~max_steps:!max_steps ~mode:!exec_mode rt;
       let m = Runtime.machine rt in
       ignore (Atomic.fetch_and_add sim_instrs m.Machine.c.Machine.instructions);
+      note_block_stats m;
       if
         Machine.output m <> nat.n_output
         || m.Machine.checksum <> nat.n_checksum

@@ -76,14 +76,32 @@ val cache_stats : unit -> cache_stats
 val max_steps : int ref
 (** Step budget per run (default 2 * 10^9). *)
 
-val set_exec_mode : [ `Step | `Block ] -> unit
+val set_exec_mode : [ `Step | `Block | `Block_nochain ] -> unit
 (** Interpreter loop used for simulated cells: [`Block] (default)
-    executes through the decoded basic-block cache, [`Step] the classic
-    per-instruction loop. Both produce bit-identical measured results;
-    the switch exists for A/B host-time comparison ([bench
-    --perf-block]) and debugging. *)
+    executes through the compiled basic-block cache with direct block
+    chaining, [`Block_nochain] the same without chain links (every
+    transition re-probes the cache), [`Step] the classic
+    per-instruction loop. All three produce bit-identical measured
+    results; the switch exists for A/B host-time comparison ([bench
+    --perf-exec]) and differential testing. The default can also be
+    overridden with the [SDT_EXEC_MODE] environment variable
+    ([step] | [block] | [block-nochain]), which the CI matrix uses to
+    re-run the whole suite per mode. *)
 
 val simulated_instructions : unit -> int
 (** Guest instructions executed by actually-simulated runs (memoized
     cells add nothing) since process start; accumulated atomically
     across pool domains. Feeds the bench MIPS report. *)
+
+type block_cache_stats = {
+  decodes : int;  (** blocks compiled, including recompilations *)
+  invalidations : int;  (** recompilations forced by a generation bump *)
+  chain_hits : int;  (** transitions served by a valid chain link *)
+  chain_severs : int;  (** links found stale and dropped *)
+}
+
+val block_cache_stats : unit -> block_cache_stats
+(** Block-cache activity summed over every actually-simulated machine
+    (native and SDT; memoized cells add nothing) since process start,
+    accumulated atomically across pool domains. All zero under
+    [`Step]. *)

@@ -1,40 +1,153 @@
-(** Decoded basic blocks for the block-mode interpreter.
+(** Closure-compiled basic blocks with direct block chaining.
 
     A block is the straight-line run of instructions starting at a PC,
-    decoded once from {!Memory} and cached by start address; the
-    machine re-executes it with no per-instruction fetch or status
-    check ({!Machine.run_blocks}). Blocks end at any control transfer,
-    syscall, trap, halt, or illegal word.
+    {e compiled} once into a threaded chain of pre-specialized
+    closures — register indices, immediates, per-shape timing charges,
+    and provably redundant instruction-fetch probes all resolved at
+    compile time, each closure tail-calling its compiled successor —
+    and cached by start address. The machine re-executes it with no
+    per-instruction decode, match dispatch, status check, or loop
+    bookkeeping ({!Machine.run_blocks}). Blocks end at any control
+    transfer, syscall, trap, halt, or illegal word.
 
-    Correctness under self-modifying code: Memory bumps its
+    Each terminator carries {e chain links}: cached successor blocks
+    (one for a direct jump/call or fall-through, a taken/fall-through
+    pair for conditional branches, a 2-entry MRU inline cache for
+    indirect transfers), so hot transitions go block-to-block on a
+    single generation compare instead of re-probing the cache — the
+    host-side mirror of the fragment linking the paper's SDT performs
+    in simulated memory.
+
+    Correctness under self-modifying code: Memory bumps
     {!Memory.code_gen} whenever a store lands in a word covered by a
-    live block (the SDT emits fragments into simulated memory and the
-    linker patches already-executed words), and {!find} re-decodes a
-    block whose recorded generation is stale before handing it out.
-    Mid-block stores into covered code are handled by the executor,
-    which rechecks the generation after every instruction it runs. *)
+    live decoding (the SDT emits fragments into simulated memory and
+    the linker patches already-executed words), and both {!find} and
+    every link-follow validate a block's recorded generation before
+    running it — a stale generation recompiles (in {!find}) or severs
+    the link and falls back to {!find}. Mid-block stores into covered
+    code are caught by the store closures themselves, which record the
+    abort point ({!aborted_ops}) and drop the rest of the chain so the
+    executor aborts the block. *)
 
 module Inst = Sdt_isa.Inst
 
 type t = {
-  mutable start : int;
-  mutable instrs : Inst.t array;
-      (** at least one instruction; only the last may transfer control,
-          change status, or invoke a handler *)
-  mutable gen : int;  (** {!Memory.code_gen} the decoding is valid for *)
+  start : int;  (** immutable: links may outlive table residency *)
+  mutable gen : int;  (** {!Memory.code_gen} the compilation is valid for *)
+  mutable n_instrs : int;
+      (** instructions the full block executes (body + real terminator) *)
+  mutable body : unit -> unit;
+      (** every instruction but the terminator, compiled as a threaded
+          chain: one call runs the whole body, each closure tail-calls
+          the next. If a store invalidated live decoded code the chain
+          stops early and {!aborted_ops} reports where. *)
+  mutable term : term;
+  mutable static_cycles : int;
+      (** sum of every compile-time-constant base cost in the block
+          (ALU/mul/div/mem/branch cycles, body and terminator): the
+          executor charges it with one [Timing.charge] at block entry —
+          cycle totals are order-independent sums, so the batching is
+          bit-exact. [T_stop] terminators contribute nothing (they
+          charge through [Machine.exec]); 0 on untimed machines. *)
+  mutable cyc_prefix : int array;
+      (** [cyc_prefix.(k)] = static cycles of the first [k] body ops: a
+          mid-block store abort that executed [k] ops backs out the
+          over-charge [static_cycles - cyc_prefix.(k)] *)
+}
+
+and term =
+  | T_static of static_link
+      (** [j]/[jal] (or the synthetic fall-through of a block cut at the
+          length limit): one compile-time target *)
+  | T_cond of cond_link  (** conditional branch *)
+  | T_indirect of ind_link  (** [jr]/[jalr]: target known only at run time *)
+  | T_stop of Inst.t
+      (** syscall, trap, halt, illegal — executed by the machine, which
+          owns status, output, and the trap handler *)
+
+and static_link = {
+  s_exec : unit -> unit;  (** the terminator's effects (counters, timing) *)
+  s_target : int;
+  mutable s_link : t option;
+}
+
+and cond_link = {
+  c_exec : unit -> bool;  (** effects; returns whether the branch is taken *)
+  c_taken : int;
+  c_fall : int;
+  mutable c_tlink : t option;
+  mutable c_flink : t option;
+}
+
+and ind_link = {
+  i_exec : unit -> int;  (** effects; returns the target PC *)
+  mutable i_pc0 : int;  (** MRU target PC, [-1] if empty *)
+  mutable i_l0 : t option;
+  mutable i_pc1 : int;
+  mutable i_l1 : t option;
 }
 
 type cache
 
-val create : Memory.t -> cache
+val slots : int
+(** Number of direct-mapped cache slots; start PCs [4 * slots] bytes
+    apart collide into the same slot. *)
+
+val create :
+  regs:int array ->
+  counters:Counters.t ->
+  ?timing:Sdt_march.Timing.t ->
+  ?chain:bool ->
+  Memory.t ->
+  cache
+(** A block cache compiling against the given machine state. The
+    register file, counters, and timing model are captured inside the
+    compiled closures, so a cache serves exactly one machine. [chain]
+    (default [true]) controls whether successor links are installed;
+    with it off every transition re-probes via {!find} — the
+    differential-testing mode. *)
+
+val chained : cache -> bool
+
+val aborted_ops : cache -> int
+(** [-1] if the last executed body chain ran to completion; otherwise
+    the number of body ops that executed before a store invalidated
+    live decoded code and stopped the chain. The executor must
+    {!clear_abort} after handling it. *)
+
+val clear_abort : cache -> unit
 
 val find : cache -> int -> t
-(** The block starting at a PC: cached, freshly decoded, or re-decoded
-    if its generation went stale. Faults like {!Memory.fetch} when the
-    PC is misaligned or out of range. *)
+(** The block starting at a PC: cached, freshly compiled, or recompiled
+    in place if its generation went stale. Faults like {!Memory.fetch}
+    when the PC is misaligned or out of range. *)
+
+val follow_static : cache -> static_link -> t
+(** The successor block through a link: the cached block if its
+    generation is current (a {e chain hit}), otherwise sever and
+    re-probe via {!find}, re-linking the result. *)
+
+val follow_cond : cache -> cond_link -> bool -> t
+(** Taken/fall-through successor of a conditional branch. *)
+
+val follow_indirect : cache -> ind_link -> int -> t
+(** Successor of an indirect transfer through the 2-entry inline cache,
+    keyed on the target PC with MRU promotion. *)
+
+(** {1 Statistics} *)
 
 val decodes : cache -> int
-(** Blocks decoded (including re-decodes). *)
+(** Blocks compiled (including recompilations). *)
 
 val invalidations : cache -> int
-(** Re-decodes forced by a code-generation bump. *)
+(** Recompilations forced by a code-generation bump. *)
+
+type stats = {
+  st_decodes : int;
+  st_invalidations : int;
+  st_chain_hits : int;  (** transitions served by a valid chain link *)
+  st_chain_severs : int;
+      (** links found stale (generation bumped) and dropped *)
+}
+
+val stats : cache -> stats

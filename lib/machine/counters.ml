@@ -1,0 +1,34 @@
+(* Dynamic instruction-mix counters. A standalone module (rather than a
+   record inside [Machine]) so the block compiler ({!Block}) can capture
+   the record in its pre-specialized closures without depending on the
+   whole machine — [Machine] re-exports the type, so existing
+   [m.Machine.c.Machine.instructions] accesses are unchanged. *)
+
+type t = {
+  mutable instructions : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable cond_branches : int;
+  mutable jumps : int;
+  mutable calls : int;
+  mutable icalls : int;
+  mutable ijumps : int;
+  mutable returns : int;
+  mutable syscalls : int;
+  mutable traps : int;
+}
+
+let create () =
+  {
+    instructions = 0;
+    loads = 0;
+    stores = 0;
+    cond_branches = 0;
+    jumps = 0;
+    calls = 0;
+    icalls = 0;
+    ijumps = 0;
+    returns = 0;
+    syscalls = 0;
+    traps = 0;
+  }

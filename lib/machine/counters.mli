@@ -1,0 +1,20 @@
+(** Dynamic instruction-mix counters, shared between the per-step
+    executor and the block compiler's closures. {!Machine} re-exports
+    this type as [Machine.counters]; see there for field semantics. *)
+
+type t = {
+  mutable instructions : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable cond_branches : int;
+  mutable jumps : int;
+  mutable calls : int;     (** direct [jal] *)
+  mutable icalls : int;    (** [jalr] *)
+  mutable ijumps : int;    (** [jr rs], [rs <> $ra] *)
+  mutable returns : int;   (** [jr $ra] *)
+  mutable syscalls : int;
+  mutable traps : int;
+}
+
+val create : unit -> t
+(** All-zero counters. *)

@@ -5,7 +5,7 @@ module Timing = Sdt_march.Timing
 
 exception Error of string
 
-type counters = {
+type counters = Counters.t = {
   mutable instructions : int;
   mutable loads : int;
   mutable stores : int;
@@ -31,6 +31,7 @@ type t = {
   mutable checksum : int;
   c : counters;
   mutable trap_handler : t -> code:int -> trap_pc:int -> unit;
+  mutable bcache : Block.cache option;
 }
 
 let no_handler _ ~code ~trap_pc =
@@ -49,21 +50,9 @@ let create ?timing ~mem_size () =
        several doublings (and copies) on every run *)
     out = Buffer.create 4096;
     checksum = 0;
-    c =
-      {
-        instructions = 0;
-        loads = 0;
-        stores = 0;
-        cond_branches = 0;
-        jumps = 0;
-        calls = 0;
-        icalls = 0;
-        ijumps = 0;
-        returns = 0;
-        syscalls = 0;
-        traps = 0;
-      };
+    c = Counters.create ();
     trap_handler = no_handler;
+    bcache = None;
   }
 
 let set_trap_handler t h = t.trap_handler <- h
@@ -378,41 +367,19 @@ let run ?(max_steps = 1_000_000_000) t =
   | Exited _ -> ()
 
 (* ------------------------------------------------------------------ *)
-(* Block mode: execute a decoded block with no per-instruction fetch or
-   status check. Only the final instruction of a block can transfer
-   control, change status, or trap, so the body needs no checks beyond
-   the self-modification guard. Returns the number of instructions
-   executed (= block length unless the block patched live code under
-   its own feet). *)
+(* Block mode: execute compiled blocks ({!Block}) and follow chain
+   links between them. The body of a block is ONE closure call — the
+   compiled ops are threaded, each tail-calling the next — and a store
+   that invalidated live decoded code (possibly the remainder of this
+   very block) stops the chain and records the abort point in the
+   cache, in which case the block aborts at the continuation PC with
+   the over-counted instructions backed out. Terminators either carry
+   chain links (followed without re-probing the cache while the
+   successor's generation is current) or are [T_stop] instructions
+   executed by [exec], which owns status, output, and the trap
+   handler. *)
 
-let exec_block t (b : Block.t) =
-  let instrs = b.Block.instrs in
-  let n = Array.length instrs in
-  let c = t.c in
-  (* counters accumulate per block; loads/stores/branch kinds are
-     attributed by the arms in [exec] as on the per-step path *)
-  c.instructions <- c.instructions + n;
-  let tm = t.timing in
-  let gen = b.Block.gen in
-  let mem = t.mem in
-  let i = ref 0 in
-  let pc = ref b.Block.start in
-  let live = ref true in
-  while !live && !i < n do
-    exec t tm (Array.unsafe_get instrs !i) !pc;
-    incr i;
-    pc := !pc + 4;
-    (* a store into covered code invalidated some live block — possibly
-       the remainder of this very array — so stop and let the outer
-       loop re-decode from the (already assigned) continuation PC *)
-    if Memory.code_gen mem <> gen then begin
-      c.instructions <- c.instructions - (n - !i);
-      live := false
-    end
-  done;
-  !i
-
-let run_blocks ?(max_steps = 1_000_000_000) t =
+let run_blocks ?(max_steps = 1_000_000_000) ?(chain = true) t =
   (* an installed probe expects per-instruction metric sampling
      granularity; keep the observer's view on the per-step path *)
   let probed =
@@ -420,11 +387,80 @@ let run_blocks ?(max_steps = 1_000_000_000) t =
   in
   if probed then run ~max_steps t
   else begin
-    let cache = Block.create t.mem in
+    let cache =
+      match t.bcache with
+      | Some c when Block.chained c = chain -> c
+      | _ ->
+          let c =
+            Block.create ~regs:t.regs ~counters:t.c ?timing:t.timing ~chain
+              t.mem
+          in
+          t.bcache <- Some c;
+          c
+    in
+    let c = t.c in
+    let tmo = t.timing in
+    (* [chain_loop] walks the chain; anything that needs a fresh probe
+       from [t.pc] (a [T_stop], a mid-block abort, the step limit)
+       returns the accumulated step count and re-enters through the
+       outer loop's [find]. Tail recursion with plain int accumulators:
+       the hot path allocates nothing. *)
+    let rec chain_loop blk steps =
+      let ni = blk.Block.n_instrs in
+      (* counters and compile-time-constant cycle costs accumulate per
+         block; loads/stores/branch kinds and the state-dependent
+         penalties are attributed inside the compiled closures as on
+         the per-step path *)
+      c.instructions <- c.instructions + ni;
+      (match tmo with
+      | Some tm -> Timing.charge tm blk.Block.static_cycles
+      | None -> ());
+      blk.Block.body ();
+      let aborted = Block.aborted_ops cache in
+      if aborted >= 0 then begin
+        Block.clear_abort cache;
+        (* a store under the block's own feet: back out the not-yet
+           executed instructions (count and batched cycles) and
+           re-probe from the continuation *)
+        c.instructions <- c.instructions - (ni - aborted);
+        (match tmo with
+        | Some tm ->
+            Timing.charge tm
+              (Array.unsafe_get blk.Block.cyc_prefix aborted
+              - blk.Block.static_cycles)
+        | None -> ());
+        t.pc <- blk.Block.start + (4 * aborted);
+        steps + aborted
+      end
+      else begin
+        let steps = steps + ni in
+        match blk.Block.term with
+        | Block.T_static s ->
+            s.Block.s_exec ();
+            t.pc <- s.Block.s_target;
+            if steps < max_steps then
+              chain_loop (Block.follow_static cache s) steps
+            else steps
+        | Block.T_cond cd ->
+            let taken = cd.Block.c_exec () in
+            t.pc <- (if taken then cd.Block.c_taken else cd.Block.c_fall);
+            if steps < max_steps then
+              chain_loop (Block.follow_cond cache cd taken) steps
+            else steps
+        | Block.T_indirect ind ->
+            let target = ind.Block.i_exec () in
+            t.pc <- target;
+            if steps < max_steps then
+              chain_loop (Block.follow_indirect cache ind target) steps
+            else steps
+        | Block.T_stop i ->
+            exec t tmo i (blk.Block.start + (4 * (ni - 1)));
+            steps
+      end
+    in
     let steps = ref 0 in
     while t.status == Running && !steps < max_steps do
-      let b = Block.find cache t.pc in
-      steps := !steps + exec_block t b
+      steps := chain_loop (Block.find cache t.pc) !steps
     done;
     match t.status with
     | Running ->
@@ -433,6 +469,8 @@ let run_blocks ?(max_steps = 1_000_000_000) t =
              (Printf.sprintf "step limit (%d) exceeded at pc=%#x" max_steps t.pc))
     | Exited _ -> ()
   end
+
+let block_stats t = Option.map Block.stats t.bcache
 
 let output t = Buffer.contents t.out
 let exit_code t = match t.status with Running -> None | Exited c -> Some c

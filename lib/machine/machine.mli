@@ -17,7 +17,7 @@ module Timing = Sdt_march.Timing
 
 exception Error of string
 
-type counters = {
+type counters = Counters.t = {
   mutable instructions : int;
   mutable loads : int;
   mutable stores : int;
@@ -30,6 +30,8 @@ type counters = {
   mutable syscalls : int;
   mutable traps : int;
 }
+(** Re-export of {!Counters.t}: the block compiler captures the record
+    in its closures without depending on the machine. *)
 
 type status = Running | Exited of int
 
@@ -43,6 +45,10 @@ type t = {
   mutable checksum : int;
   c : counters;
   mutable trap_handler : t -> code:int -> trap_pc:int -> unit;
+  mutable bcache : Block.cache option;
+      (** the block interpreter's compiled-block cache, created on the
+          first {!run_blocks} call and persistent for the machine's
+          lifetime *)
 }
 
 val create : ?timing:Timing.t -> mem_size:int -> unit -> t
@@ -64,16 +70,24 @@ val run : ?max_steps:int -> t -> unit
     elapses first — the deterministic workloads always terminate, so
     hitting the limit indicates a translation bug. *)
 
-val run_blocks : ?max_steps:int -> t -> unit
-(** Like {!run}, but through the decoded basic-block cache ({!Block}):
-    straight-line runs decode once and re-execute with no
-    per-instruction fetch or status check. Every measured quantity —
-    cycles, counters, cache misses, predictor outcomes, output,
-    checksum — is bit-identical to {!run}; self-modifying code is
-    handled by re-decoding blocks whose words were overwritten (see
-    {!Memory.code_gen}). Falls back to {!run} when an observability
-    probe is installed on the timing model, since a probe samples
-    per-instruction state that block execution batches. *)
+val run_blocks : ?max_steps:int -> ?chain:bool -> t -> unit
+(** Like {!run}, but through the compiled basic-block cache ({!Block}):
+    straight-line runs compile once into pre-specialized closures and
+    re-execute with no per-instruction decode, dispatch, or status
+    check, and block terminators chain directly to their cached
+    successors so hot transitions skip the cache probe. Every measured
+    quantity — cycles, counters, cache misses, predictor outcomes,
+    output, checksum — is bit-identical to {!run}; self-modifying code
+    is handled by recompiling blocks whose words were overwritten and
+    severing every chain link forged under the old generation (see
+    {!Memory.code_gen}). [chain:false] disables link installation so
+    every transition re-probes — the differential-testing mode. Falls
+    back to {!run} when an observability probe is installed on the
+    timing model, since a probe samples per-instruction state that
+    block execution batches. *)
+
+val block_stats : t -> Block.stats option
+(** Block-cache statistics, if {!run_blocks} has run on this machine. *)
 
 val output : t -> string
 (** Everything printed so far. *)

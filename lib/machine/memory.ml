@@ -30,7 +30,7 @@ type t = {
      the generation and the block cache lazily re-decodes — stores to
      never-fetched words (ordinary data, or the SDT emitting a fresh
      fragment) leave it untouched. *)
-  mutable code_gen : int;
+  code_gen : int ref;
 }
 
 let fault addr kind = raise (Fault { addr; kind })
@@ -41,11 +41,16 @@ let create ~size_bytes =
   {
     bytes = Bytes.make size '\000';
     decoded = Array.make nchunks no_chunk;
-    code_gen = 1;
+    code_gen = ref 1;
   }
 
 let size t = Bytes.length t.bytes
-let code_gen t = t.code_gen
+let code_gen t = !(t.code_gen)
+
+(* The generation lives in a shared cell so the block compiler's store
+   guards and chain-link validations read it with one dereference
+   instead of a cross-module accessor call per check. *)
+let code_gen_ref t = t.code_gen
 
 (* Invalidate the cached decoding of word [widx] after a store; if
    there was one, some decoded block may span this word, so bump the
@@ -57,7 +62,7 @@ let[@inline] note_store t widx =
     let i = widx land chunk_mask in
     if Array.unsafe_get ch i != not_cached then begin
       Array.unsafe_set ch i not_cached;
-      t.code_gen <- t.code_gen + 1
+      incr t.code_gen
     end
   end
 
@@ -65,19 +70,28 @@ let check_word t addr kind =
   if addr land 3 <> 0 then fault addr "align";
   if addr < 0 || addr + 4 > Bytes.length t.bytes then fault addr kind
 
+(* Guest memory is little-endian; move aligned words with one 32-bit
+   access (bounds already established by [check_word]) instead of four
+   byte moves. The unsafe 32-bit primitives read/write native order,
+   so byte-swap on a big-endian host. Each branch below is a
+   straight-line chain of int32 primitives: the compiler keeps the
+   intermediate int32 unboxed, which an [if]-join of int32 values
+   would defeat — loads and stores are the hottest ops in the system,
+   and a boxed int32 per access would churn the minor heap. *)
+external get32u : bytes -> int -> int32 = "%caml_bytes_get32u"
+external set32u : bytes -> int -> int32 -> unit = "%caml_bytes_set32u"
+external swap32 : int32 -> int32 = "%bswap_int32"
+
 let load_word t addr =
   check_word t addr "load";
-  Char.code (Bytes.unsafe_get t.bytes addr)
-  lor (Char.code (Bytes.unsafe_get t.bytes (addr + 1)) lsl 8)
-  lor (Char.code (Bytes.unsafe_get t.bytes (addr + 2)) lsl 16)
-  lor (Char.code (Bytes.unsafe_get t.bytes (addr + 3)) lsl 24)
+  if Sys.big_endian then
+    Int32.to_int (swap32 (get32u t.bytes addr)) land 0xFFFF_FFFF
+  else Int32.to_int (get32u t.bytes addr) land 0xFFFF_FFFF
 
 let store_word t addr w =
   check_word t addr "store";
-  Bytes.unsafe_set t.bytes addr (Char.unsafe_chr (w land 0xFF));
-  Bytes.unsafe_set t.bytes (addr + 1) (Char.unsafe_chr ((w lsr 8) land 0xFF));
-  Bytes.unsafe_set t.bytes (addr + 2) (Char.unsafe_chr ((w lsr 16) land 0xFF));
-  Bytes.unsafe_set t.bytes (addr + 3) (Char.unsafe_chr ((w lsr 24) land 0xFF));
+  if Sys.big_endian then set32u t.bytes addr (swap32 (Int32.of_int w))
+  else set32u t.bytes addr (Int32.of_int w);
   note_store t (addr lsr 2)
 
 let check_byte t addr kind =

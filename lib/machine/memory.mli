@@ -58,3 +58,10 @@ val write_bytes : t -> int -> bytes -> unit
 val code_gen : t -> int
 (** Current code generation. Monotonic; bumped by any store into a
     word with a live cached decoding. *)
+
+val code_gen_ref : t -> int ref
+(** The generation's underlying cell, shared for the lifetime of the
+    memory. The block compiler captures it in store-guard closures and
+    chain-link validation so the hot path pays one dereference per
+    check. Callers must treat it as read-only — only {!Memory}'s own
+    stores bump it, which is what severs stale block-chain links. *)

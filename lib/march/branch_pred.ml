@@ -65,10 +65,13 @@ module Btb = struct
     end
     else begin
       let idx = (pc lsr 2) land t.mask in
-      let hit = t.pcs.(idx) = pc && t.targets.(idx) = target in
+      (* idx <= mask < Array.length by construction *)
+      let hit =
+        Array.unsafe_get t.pcs idx = pc && Array.unsafe_get t.targets idx = target
+      in
       if not hit then t.mispredicts <- t.mispredicts + 1;
-      t.pcs.(idx) <- pc;
-      t.targets.(idx) <- target;
+      Array.unsafe_set t.pcs idx pc;
+      Array.unsafe_set t.targets idx target;
       hit
     end
 
@@ -96,9 +99,12 @@ module Ras = struct
     if depth <= 0 then invalid_arg "Ras.create: depth must be positive";
     { depth; stack = Array.make depth (-1); top = 0; count = 0; mispredicts = 0; lookups = 0 }
 
+  (* top stays in [0, depth) across push/pop, so stack accesses are
+     in-bounds by construction *)
   let push t addr =
-    t.stack.(t.top) <- addr;
-    t.top <- (t.top + 1) mod t.depth;
+    Array.unsafe_set t.stack t.top addr;
+    let top = t.top + 1 in
+    t.top <- (if top = t.depth then 0 else top);
     if t.count < t.depth then t.count <- t.count + 1
 
   let pop_predict t ~target =
@@ -108,9 +114,9 @@ module Ras = struct
       false
     end
     else begin
-      t.top <- (t.top + t.depth - 1) mod t.depth;
+      t.top <- (if t.top = 0 then t.depth - 1 else t.top - 1);
       t.count <- t.count - 1;
-      let hit = t.stack.(t.top) = target in
+      let hit = Array.unsafe_get t.stack t.top = target in
       if not hit then t.mispredicts <- t.mispredicts + 1;
       hit
     end

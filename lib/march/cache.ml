@@ -43,31 +43,42 @@ let create cfg =
 let config t = t.cfg
 let line_index t addr = addr lsr t.line_shift
 
+(* Allocation-free: this runs once per simulated load/store (dcache)
+   and per fetched line (icache), so the probe returns a way index
+   instead of an option and the indices stay in [0, sets*assoc) by
+   construction (unsafe accesses). *)
 let access t addr =
   let line = addr lsr t.line_shift in
   let set = line land (t.sets - 1) in
-  let base = set * t.cfg.assoc in
+  let assoc = t.cfg.assoc in
+  let base = set * assoc in
   t.clock <- t.clock + 1;
+  let tags = t.tags and stamps = t.stamps in
   let rec probe i =
-    if i = t.cfg.assoc then None
-    else if t.tags.(base + i) = line then Some i
+    if i = assoc then -1
+    else if Array.unsafe_get tags (base + i) = line then i
     else probe (i + 1)
   in
-  match probe 0 with
-  | Some i ->
-      t.hits <- t.hits + 1;
-      t.stamps.(base + i) <- t.clock;
-      true
-  | None ->
-      t.misses <- t.misses + 1;
-      (* evict LRU way *)
-      let victim = ref 0 in
-      for i = 1 to t.cfg.assoc - 1 do
-        if t.stamps.(base + i) < t.stamps.(base + !victim) then victim := i
-      done;
-      t.tags.(base + !victim) <- line;
-      t.stamps.(base + !victim) <- t.clock;
-      false
+  let way = probe 0 in
+  if way >= 0 then begin
+    t.hits <- t.hits + 1;
+    Array.unsafe_set stamps (base + way) t.clock;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* evict LRU way *)
+    let victim = ref 0 in
+    for i = 1 to assoc - 1 do
+      if
+        Array.unsafe_get stamps (base + i)
+        < Array.unsafe_get stamps (base + !victim)
+      then victim := i
+    done;
+    Array.unsafe_set tags (base + !victim) line;
+    Array.unsafe_set stamps (base + !victim) t.clock;
+    false
+  end
 
 let hits t = t.hits
 let misses t = t.misses

@@ -138,6 +138,91 @@ let instr t ~pc ev =
       f ~pc ev ~cycles:(t.cycles - before)
 
 (* ------------------------------------------------------------------ *)
+(* No-probe charge kernels.
+
+   Each kernel charges everything [instr_charge] would for its event
+   shape EXCEPT the instruction fetch, which the caller issues
+   separately via [fetch_np]. This split is what the block compiler
+   ({!Block}) builds on: it resolves at compile time both the probe
+   check (blocks run only when no probe is installed — [run_blocks]
+   falls back to the per-step path otherwise) and, via {!same_line},
+   whether the fetch is a provable no-op, so a compiled closure calls
+   exactly the charges that can have an effect. *)
+
+let[@inline] fetch_np t ~pc = fetch_penalty t pc
+
+let[@inline] mem_np t ~addr =
+  charge t t.arch.mem_cycles;
+  dcache_access t addr
+
+let[@inline] cond_np t ~pc ~taken =
+  charge t t.arch.branch_cycles;
+  match t.cond with
+  | None -> ()
+  | Some p ->
+      if not (Branch_pred.Cond.predict_and_update p ~pc ~taken) then
+        charge t t.arch.cond_mispredict
+
+let[@inline] jump_np t = charge t t.arch.branch_cycles
+
+let[@inline] call_np t ~next =
+  charge t t.arch.branch_cycles;
+  ras_push t next
+
+let[@inline] icall_np t ~pc ~target ~next =
+  charge t t.arch.branch_cycles;
+  indirect t ~pc ~target;
+  ras_push t next
+
+let[@inline] ijump_np t ~pc ~target =
+  charge t t.arch.branch_cycles;
+  indirect t ~pc ~target
+
+let[@inline] return_np t ~pc ~target =
+  charge t t.arch.branch_cycles;
+  match t.ras with
+  | None -> indirect t ~pc ~target
+  | Some r ->
+      if not (Branch_pred.Ras.pop_predict r ~target) then
+        charge t t.arch.ras_mispredict
+
+(* Pred-only kernels: the state-dependent remainder of an event once
+   its compile-time-constant base cost has been hoisted into the
+   block's batched static charge ({!Block} charges the sum of every
+   base cost in the block with ONE [charge] call at block entry).
+   Cycle totals are order-independent sums, so hoisting pure constant
+   charges is bit-exact as long as these stateful probes still run in
+   program order — which they do, from inside the compiled closures. *)
+
+let[@inline] dcache_np t ~addr = dcache_access t addr
+
+let[@inline] cond_pred_np t ~pc ~taken =
+  match t.cond with
+  | None -> ()
+  | Some p ->
+      if not (Branch_pred.Cond.predict_and_update p ~pc ~taken) then
+        charge t t.arch.cond_mispredict
+
+let[@inline] ras_push_np t ~next = ras_push t next
+let[@inline] ipred_np t ~pc ~target = indirect t ~pc ~target
+
+let[@inline] icall_pred_np t ~pc ~target ~next =
+  indirect t ~pc ~target;
+  ras_push t next
+
+let[@inline] return_pred_np t ~pc ~target =
+  match t.ras with
+  | None -> indirect t ~pc ~target
+  | Some r ->
+      if not (Branch_pred.Ras.pop_predict r ~target) then
+        charge t t.arch.ras_mispredict
+
+let same_line t a b =
+  match t.icache with
+  | None -> true (* fetch_penalty is a no-op without an icache *)
+  | Some c -> Cache.line_index c a = Cache.line_index c b
+
+(* ------------------------------------------------------------------ *)
 (* Zero-allocation fast paths.
 
    The interpreter executes billions of steps per benchmark grid, and
@@ -175,72 +260,56 @@ let load t ~pc ~addr =
   | Some _ -> instr t ~pc (Load addr)
   | None ->
       fetch_penalty t pc;
-      charge t t.arch.mem_cycles;
-      dcache_access t addr
+      mem_np t ~addr
 
 let store t ~pc ~addr =
   match t.probe with
   | Some _ -> instr t ~pc (Store addr)
   | None ->
       fetch_penalty t pc;
-      charge t t.arch.mem_cycles;
-      dcache_access t addr
+      mem_np t ~addr
 
 let cond t ~pc ~taken =
   match t.probe with
   | Some _ -> instr t ~pc (Cond { pc; taken })
-  | None -> (
+  | None ->
       fetch_penalty t pc;
-      charge t t.arch.branch_cycles;
-      match t.cond with
-      | None -> ()
-      | Some p ->
-          if not (Branch_pred.Cond.predict_and_update p ~pc ~taken) then
-            charge t t.arch.cond_mispredict)
+      cond_np t ~pc ~taken
 
 let jump t ~pc =
   match t.probe with
   | Some _ -> instr t ~pc Jump
   | None ->
       fetch_penalty t pc;
-      charge t t.arch.branch_cycles
+      jump_np t
 
 let call t ~pc ~next =
   match t.probe with
   | Some _ -> instr t ~pc (Call { next })
   | None ->
       fetch_penalty t pc;
-      charge t t.arch.branch_cycles;
-      ras_push t next
+      call_np t ~next
 
 let icall t ~pc ~target ~next =
   match t.probe with
   | Some _ -> instr t ~pc (Icall { pc; target; next })
   | None ->
       fetch_penalty t pc;
-      charge t t.arch.branch_cycles;
-      indirect t ~pc ~target;
-      ras_push t next
+      icall_np t ~pc ~target ~next
 
 let ijump t ~pc ~target =
   match t.probe with
   | Some _ -> instr t ~pc (Ijump { pc; target })
   | None ->
       fetch_penalty t pc;
-      charge t t.arch.branch_cycles;
-      indirect t ~pc ~target
+      ijump_np t ~pc ~target
 
 let return t ~pc ~target =
   match t.probe with
   | Some _ -> instr t ~pc (Return { pc; target })
-  | None -> (
+  | None ->
       fetch_penalty t pc;
-      charge t t.arch.branch_cycles;
-      match t.ras with
-      | None -> indirect t ~pc ~target
-      | Some r ->
-          if not (Branch_pred.Ras.pop_predict r ~target) then
-            charge t t.arch.ras_mispredict)
+      return_np t ~pc ~target
 
 let syscall_op t ~pc =
   match t.probe with

@@ -57,6 +57,53 @@ val syscall_op : t -> pc:int -> unit
 val trap_op : t -> pc:int -> unit
 val halt_op : t -> pc:int -> unit
 
+(** {1 Pred-only charge kernels}
+
+    Entry points for the block compiler ({!Block}), which resolves the
+    probe check at compile time: [run_blocks] only executes compiled
+    closures when no probe is installed, so the closures can call these
+    kernels directly. The compiler hoists every compile-time-constant
+    base cost (ALU/mul/div/mem/branch cycles) of a block into one
+    batched {!charge} at block entry — cycle totals are
+    order-independent sums, so this is bit-exact — leaving only the
+    state-dependent probes below to run in program order from inside
+    the closures. Kernels whose microarchitectural structure is absent
+    on the given {!Arch.t} (no icache, no dcache, no conditional
+    predictor, no RAS) are provable no-ops, and the compiler omits the
+    calls altogether. *)
+
+val charge : t -> int -> unit
+(** Charge [n] cycles, no penalties. *)
+
+val fetch_np : t -> pc:int -> unit
+(** The instruction-fetch penalty alone (icache probe with same-line
+    short cut). *)
+
+val dcache_np : t -> addr:int -> unit
+(** The dcache probe alone (the [mem_cycles] base cost is batched). *)
+
+val cond_pred_np : t -> pc:int -> taken:bool -> unit
+(** Conditional-predictor update and mispredict penalty alone. *)
+
+val ras_push_np : t -> next:int -> unit
+(** RAS push for a direct call ([jal]); never charges. *)
+
+val ipred_np : t -> pc:int -> target:int -> unit
+(** Indirect-target prediction (BTB update + mispredict, or the fixed
+    dispatch cost without a BTB) for [jr rs], rs ≠ ra. *)
+
+val icall_pred_np : t -> pc:int -> target:int -> next:int -> unit
+(** {!ipred_np} plus the RAS push, for [jalr]. *)
+
+val return_pred_np : t -> pc:int -> target:int -> unit
+(** RAS pop-predict (falling back to {!ipred_np} without a RAS) for
+    [jr ra]. *)
+
+val same_line : t -> int -> int -> bool
+(** Whether two addresses provably share an icache line (always true
+    with no icache, where the fetch penalty is a no-op). Used by the
+    block compiler to omit {!fetch_np} calls that cannot charge. *)
+
 val set_probe : t -> (pc:int -> event -> cycles:int -> unit) option -> unit
 (** Install (or remove) a per-instruction witness, called after each
     {!instr} with the cycles that instruction was charged (base +

@@ -13,6 +13,7 @@ module Arch = Sdt_march.Arch
 module Timing = Sdt_march.Timing
 module Memory = Sdt_machine.Memory
 module Machine = Sdt_machine.Machine
+module Block = Sdt_machine.Block
 module Loader = Sdt_machine.Loader
 module Config = Sdt_core.Config
 module Stats = Sdt_core.Stats
@@ -55,12 +56,18 @@ let fingerprint ~timing ~stats m =
     stats;
   }
 
+let mode_name = function
+  | `Step -> "step"
+  | `Block -> "block"
+  | `Block_nochain -> "block-nochain"
+
 let native_fingerprint arch program mode =
   let timing = Timing.create arch in
   let m = Loader.load ~timing program in
   (match mode with
   | `Step -> Machine.run m
-  | `Block -> Machine.run_blocks m);
+  | `Block -> Machine.run_blocks m
+  | `Block_nochain -> Machine.run_blocks ~chain:false m);
   fingerprint ~timing ~stats:[] m
 
 let sdt_fingerprint arch cfg program mode =
@@ -82,6 +89,19 @@ let check_equivalent label step block =
     Alcotest.failf "%s diverged:\n  step:  %s\n  block: %s" label
       (pp_fingerprint step) (pp_fingerprint block)
 
+(* Three-way: per-step execution is the semantic reference; both block
+   modes (chained, the default, and with links disabled) must be
+   bit-identical to it. *)
+let check_three_way label fp_of_mode =
+  let step = fp_of_mode `Step in
+  List.iter
+    (fun mode ->
+      let fp = fp_of_mode mode in
+      if step <> fp then
+        Alcotest.failf "%s diverged:\n  step: %s\n  %s: %s" label
+          (pp_fingerprint step) (mode_name mode) (pp_fingerprint fp))
+    [ `Block; `Block_nochain ]
+
 (* ------------------------------------------------------------------ *)
 (* Native equivalence: all 14 workloads x archA/archB *)
 
@@ -91,10 +111,9 @@ let test_native_equivalence () =
       let program = Suite.program e `Test in
       List.iter
         (fun arch ->
-          check_equivalent
+          check_three_way
             (Printf.sprintf "native %s on %s" e.Suite.name arch.Arch.name)
-            (native_fingerprint arch program `Step)
-            (native_fingerprint arch program `Block))
+            (native_fingerprint arch program))
         [ Arch.arch_a; Arch.arch_b ])
     Suite.all
 
@@ -133,11 +152,10 @@ let test_sdt_equivalence () =
         (fun arch ->
           List.iter
             (fun (mech_name, cfg) ->
-              check_equivalent
+              check_three_way
                 (Printf.sprintf "sdt %s/%s on %s" e.Suite.name mech_name
                    arch.Arch.name)
-                (sdt_fingerprint arch cfg program `Step)
-                (sdt_fingerprint arch cfg program `Block))
+                (sdt_fingerprint arch cfg program))
             mech_configs)
         [ Arch.arch_a; Arch.arch_b ])
     Suite.all
@@ -169,17 +187,15 @@ let test_smc_store_word () =
       let m = Loader.load (smc_program ()) in
       (match mode with
       | `Step -> Machine.run m
-      | `Block -> Machine.run_blocks m);
+      | `Block -> Machine.run_blocks m
+      | `Block_nochain -> Machine.run_blocks ~chain:false m);
       check string
-        (Printf.sprintf "patched instruction executed (%s)"
-           (match mode with `Step -> "step" | `Block -> "block"))
+        (Printf.sprintf "patched instruction executed (%s)" (mode_name mode))
         "9" (Machine.output m))
-    [ `Step; `Block ];
-  (* and the two modes agree on every counter, not just the output *)
+    [ `Step; `Block; `Block_nochain ];
+  (* and the modes agree on every counter, not just the output *)
   let program = smc_program () in
-  check_equivalent "smc store_word"
-    (native_fingerprint Arch.arch_a program `Step)
-    (native_fingerprint Arch.arch_a program `Block)
+  check_three_way "smc store_word" (native_fingerprint Arch.arch_a program)
 
 (* Host-side patching, linker-style: a trap handler overwrites an
    *already executed* instruction via [Memory.write_bytes] (the same
@@ -231,12 +247,12 @@ let test_smc_write_bytes () =
           m.Machine.pc <- trap_pc + 4);
       (match mode with
       | `Step -> Machine.run m
-      | `Block -> Machine.run_blocks m);
+      | `Block -> Machine.run_blocks m
+      | `Block_nochain -> Machine.run_blocks ~chain:false m);
       check string
-        (Printf.sprintf "host patch visible on re-entry (%s)"
-           (match mode with `Step -> "step" | `Block -> "block"))
+        (Printf.sprintf "host patch visible on re-entry (%s)" (mode_name mode))
         "59" (Machine.output m))
-    [ `Step; `Block ]
+    [ `Step; `Block; `Block_nochain ]
 
 (* The SDT's own self-modification — fragment emission and exit-stub
    linking through [Memory.store_word] — exercised end to end: a
@@ -248,9 +264,9 @@ let test_smc_translator_patching () =
   let program = Suite.program e `Test in
   List.iter
     (fun (mech_name, cfg) ->
-      check_equivalent ("translator patching under " ^ mech_name)
-        (sdt_fingerprint Arch.arch_a cfg program `Step)
-        (sdt_fingerprint Arch.arch_a cfg program `Block))
+      check_three_way
+        ("translator patching under " ^ mech_name)
+        (sdt_fingerprint Arch.arch_a cfg program))
     mech_configs
 
 (* ------------------------------------------------------------------ *)
@@ -307,19 +323,142 @@ let qcheck_block_equivalence =
       gen
   in
   QCheck.Test.make ~count:40
-    ~name:"block mode bit-identical to step mode (random programs)" arb
+    ~name:"step vs block vs chained bit-identical (random programs)" arb
     (fun (params, arch, mech, returns, pred_depth) ->
       let cfg = { Config.default with mech; returns; pred_depth } in
       let program = Synthetic.build params in
-      let native_ok =
-        native_fingerprint arch program `Step
-        = native_fingerprint arch program `Block
+      let native_step = native_fingerprint arch program `Step in
+      let sdt_step = sdt_fingerprint arch cfg program `Step in
+      List.for_all
+        (fun mode ->
+          native_step = native_fingerprint arch program mode
+          && sdt_step = sdt_fingerprint arch cfg program mode)
+        [ `Block; `Block_nochain ])
+
+(* SMC variant: the guest toggles an instruction inside its own hot
+   loop every iteration (XOR with the difference of two encodings), so
+   every pass both aborts the current block mid-body (the store
+   patches ahead of itself) and bumps the generation under the loop's
+   already-forged back-edge link — chain severing on every iteration.
+   All three modes must agree, and the output must prove the patches
+   actually executed (alternating +2/+1). *)
+
+let smc_toggle_program iters =
+  let enc_a = Encode.inst (Inst.Addi (Reg.a0, Reg.a0, 1)) in
+  let enc_b = Encode.inst (Inst.Addi (Reg.a0, Reg.a0, 2)) in
+  let b = Builder.create () in
+  let start = Builder.here b in
+  let site = Builder.fresh_label b in
+  let loop_head = Builder.fresh_label b in
+  Builder.li b Reg.t1 (enc_a lxor enc_b) (* toggle mask *);
+  Builder.la b Reg.t2 site;
+  Builder.li b Reg.t5 iters;
+  Builder.place b loop_head;
+  (* patch the site before control reaches it, two instructions on *)
+  Builder.emit b (Inst.Lw (Reg.t6, Reg.t2, 0));
+  Builder.emit b (Inst.Xor (Reg.t6, Reg.t6, Reg.t1));
+  Builder.emit b (Inst.Sw (Reg.t6, Reg.t2, 0));
+  Builder.place b site;
+  Builder.emit b (Inst.Addi (Reg.a0, Reg.a0, 1));
+  Builder.emit b (Inst.Addi (Reg.t5, Reg.t5, -1));
+  Builder.bne b Reg.t5 Reg.zero loop_head;
+  Builder.li b Reg.v0 1;
+  Builder.syscall b;
+  Builder.halt b;
+  Builder.assemble b ~entry:start
+
+let qcheck_smc_chain_severing =
+  let open QCheck in
+  let arb =
+    make
+      ~print:(fun (iters, arch) ->
+        Printf.sprintf "iters=%d arch=%s" iters arch.Arch.name)
+      Gen.(
+        let* iters = 1 -- 60 in
+        let* arch = oneofl [ Arch.arch_a; Arch.arch_b; Arch.arch_c ] in
+        return (iters, arch))
+  in
+  QCheck.Test.make ~count:30
+    ~name:"mid-run code patching severs chains bit-exactly" arb
+    (fun (iters, arch) ->
+      let program = smc_toggle_program iters in
+      (* iteration i executes +2 when the toggle flipped A->B (odd i) *)
+      let expected =
+        let sum = ref 0 in
+        for i = 1 to iters do
+          sum := !sum + (if i land 1 = 1 then 2 else 1)
+        done;
+        string_of_int !sum
       in
-      let sdt_ok =
-        sdt_fingerprint arch cfg program `Step
-        = sdt_fingerprint arch cfg program `Block
-      in
-      native_ok && sdt_ok)
+      let step = native_fingerprint arch program `Step in
+      step.output = expected
+      && List.for_all
+           (fun mode -> step = native_fingerprint arch program mode)
+           [ `Block; `Block_nochain ])
+
+(* ------------------------------------------------------------------ *)
+(* Direct-mapped collision regression: two hot call targets whose
+   start PCs alias the same block-cache slot (4 * Block.slots bytes
+   apart). Each call evicts the other's block from the table, but
+   chained links keep the evicted ("ghost") block reachable — the
+   generation never changes, so decodes stay bounded no matter how hot
+   the aliasing pair gets. With chaining disabled every transition
+   re-probes the thrashing slot and re-decodes both blocks once per
+   iteration. *)
+
+let collision_iters = 200
+
+let collision_program () =
+  let b = Builder.create () in
+  let start = Builder.here b in
+  let f1 = Builder.fresh_label b in
+  let f2 = Builder.fresh_label b in
+  let loop_head = Builder.fresh_label b in
+  Builder.li b Reg.t5 collision_iters;
+  Builder.place b loop_head;
+  Builder.jal b f1;
+  Builder.la b Reg.t0 f2;
+  Builder.jalr b Reg.t0;
+  Builder.emit b (Inst.Addi (Reg.t5, Reg.t5, -1));
+  Builder.bne b Reg.t5 Reg.zero loop_head;
+  Builder.li b Reg.v0 1;
+  Builder.syscall b;
+  Builder.halt b;
+  let f1_addr = Builder.text_pos b in
+  Builder.place b f1;
+  Builder.emit b (Inst.Addi (Reg.a0, Reg.a0, 1));
+  Builder.ret b;
+  (* pad so f2's start PC maps to the same direct-mapped slot as f1 *)
+  while Builder.text_pos b < f1_addr + (4 * Block.slots) do
+    Builder.nop b
+  done;
+  Builder.place b f2;
+  Builder.emit b (Inst.Addi (Reg.a0, Reg.a0, 2));
+  Builder.ret b;
+  Builder.assemble b ~entry:start
+
+let decode_count program ~chain =
+  let m = Loader.load program in
+  Machine.run_blocks ~chain m;
+  check string "collision output" (string_of_int (3 * collision_iters))
+    (Machine.output m);
+  match Machine.block_stats m with
+  | Some s -> s.Block.st_decodes
+  | None -> Alcotest.fail "block cache missing after run_blocks"
+
+let test_collision_decode_ceiling () =
+  let program = collision_program () in
+  let chained = decode_count program ~chain:true in
+  let nochain = decode_count program ~chain:false in
+  if chained > 20 then
+    Alcotest.failf "chained decodes not bounded: %d (ceiling 20)" chained;
+  if nochain < 2 * collision_iters then
+    Alcotest.failf
+      "expected the nochain control to thrash (>= %d decodes), got %d — is \
+       the slot aliasing still real?"
+      (2 * collision_iters) nochain;
+  (* and the aliasing pair stays bit-exact in every mode *)
+  check_three_way "collision program" (native_fingerprint Arch.arch_a program)
 
 (* ------------------------------------------------------------------ *)
 (* Observer fallback: with a probe installed, run_blocks must take the
@@ -359,6 +498,12 @@ let () =
             test_smc_write_bytes;
           Alcotest.test_case "translator patching, all mechanisms" `Quick
             test_smc_translator_patching;
+          QCheck_alcotest.to_alcotest qcheck_smc_chain_severing;
+        ] );
+      ( "chaining",
+        [
+          Alcotest.test_case "slot collision: bounded decodes via links"
+            `Quick test_collision_decode_ceiling;
         ] );
       ( "observer",
         [ Alcotest.test_case "probe falls back to step path" `Quick
