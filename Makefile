@@ -1,6 +1,6 @@
 # Convenience targets; everything real lives in dune.
 
-.PHONY: all build test bench-smoke bench-par-smoke bench-json perf perf-exec perf-exec-smoke perf-chain check clean
+.PHONY: all build test bench-smoke bench-par-smoke bench-json perf perf-exec perf-exec-smoke perf-chain perf-check perf-check-smoke check clean
 
 all: build
 
@@ -52,7 +52,24 @@ perf-exec-smoke:
 	dune exec bench/main.exe -- --size test --only T1 --no-bechamel \
 	  --perf-exec step,block-nochain,block
 
-check: build test bench-smoke bench-par-smoke perf-exec-smoke
+# the statistical regression gate: re-time the full grid (cold,
+# serial, best-of-N) against bench/baselines, append one row to
+# bench/trajectory.jsonl, exit non-zero on regression. PERF_MODE
+# selects the interpreter; PERF_TOLERANCE the relative threshold
+# (CI shares hardware, so its caller passes a generous one).
+PERF_MODE ?= block
+PERF_TOLERANCE ?= 1.5
+perf-check:
+	dune exec bench/main.exe -- --size test --check-perf \
+	  --exec-mode $(PERF_MODE) --perf-tolerance $(PERF_TOLERANCE)
+
+# the gate on two small experiments only — for CI smoke and `check`
+perf-check-smoke:
+	dune exec bench/main.exe -- --size test --only T1,F2 --check-perf \
+	  --exec-mode $(PERF_MODE) --perf-tolerance $(PERF_TOLERANCE) \
+	  --trajectory _build/trajectory-smoke.jsonl
+
+check: build test bench-smoke bench-par-smoke perf-exec-smoke perf-check-smoke
 
 clean:
 	dune clean

@@ -22,7 +22,10 @@
 module Experiments = Sdt_harness.Experiments
 module Table = Sdt_harness.Table
 module Run = Sdt_harness.Run
+module Meta = Sdt_harness.Meta
+module Perfgate = Sdt_harness.Perfgate
 module Pool = Sdt_par.Pool
+module Telemetry = Sdt_par.Telemetry
 module Jsonw = Sdt_observe.Jsonw
 
 type options = {
@@ -36,6 +39,12 @@ type options = {
   mutable perf : bool;
   mutable perf_exec : string option;
   mutable exec_mode : [ `Step | `Block | `Block_nochain ];
+  mutable telemetry : string option;
+  mutable check_perf : bool;
+  mutable best_of : int;
+  mutable tolerance : float;
+  mutable baseline_dir : string;
+  mutable trajectory : string;
 }
 
 let mode_of_string = function
@@ -43,6 +52,11 @@ let mode_of_string = function
   | "block" -> Some `Block
   | "block-nochain" -> Some `Block_nochain
   | _ -> None
+
+let mode_name = function
+  | `Step -> "step"
+  | `Block -> "block"
+  | `Block_nochain -> "block-nochain"
 
 let mode_label = function
   | `Step -> "per-step interpreter"
@@ -125,6 +139,49 @@ let specs (o : options) =
       "",
       "skip the Bechamel wall-time measurements",
       fun _ -> o.bechamel <- false );
+    ( "--telemetry",
+      "DIR",
+      "record harness telemetry and write DIR/trace.json (Chrome \
+       trace_event, one track per worker domain), DIR/METRICS.json and \
+       DIR/RUN_META.json on exit",
+      fun v -> o.telemetry <- Some v );
+    ( "--check-perf",
+      "",
+      "re-time the selected grid (cold, serial, best-of-N) against \
+       bench/baselines, append a row to bench/trajectory.jsonl, and \
+       exit non-zero on regression",
+      fun _ -> o.check_perf <- true );
+    ( "--best-of",
+      "N",
+      "repetitions per experiment for --check-perf; the minimum is \
+       kept (default 3)",
+      fun v ->
+        match int_of_string_opt v with
+        | Some n when n >= 1 -> o.best_of <- n
+        | _ ->
+            Printf.eprintf "--best-of: expected a positive integer, got %S\n" v;
+            exit 2 );
+    ( "--perf-tolerance",
+      "F",
+      "relative threshold for --check-perf: regress iff measured > \
+       baseline * F + 0.05s (default 1.5)",
+      fun v ->
+        match float_of_string_opt v with
+        | Some f when f > 0.0 -> o.tolerance <- f
+        | _ ->
+            Printf.eprintf
+              "--perf-tolerance: expected a positive float, got %S\n" v;
+            exit 2 );
+    ( "--baseline-dir",
+      "DIR",
+      "where --check-perf reads BENCH_<id>.json baselines (default \
+       bench/baselines)",
+      fun v -> o.baseline_dir <- v );
+    ( "--trajectory",
+      "FILE",
+      "where --check-perf appends its JSONL row (default \
+       bench/trajectory.jsonl)",
+      fun v -> o.trajectory <- v );
   ]
 
 let usage specs =
@@ -152,6 +209,12 @@ let parse_args () =
       perf = false;
       perf_exec = None;
       exec_mode = `Block;
+      telemetry = None;
+      check_perf = false;
+      best_of = 3;
+      tolerance = 1.5;
+      baseline_dir = Filename.concat "bench" "baselines";
+      trajectory = Filename.concat "bench" "trajectory.jsonl";
     }
   in
   let specs = specs o in
@@ -440,6 +503,97 @@ let run_perf_exec size modes exps =
          every selected experiment)\n%!"
   | None, _ -> ()
 
+(* --check-perf: the statistical regression gate (see Perfgate). Cold,
+   serial, best-of-N per experiment so one noisy repetition can't fail
+   the gate; verdicts against --baseline-dir; one provenance-stamped
+   row appended to --trajectory; exit 1 naming the offenders. *)
+let run_check_perf (o : options) exps =
+  Run.set_cache_dir None;
+  let size_str = match o.size with `Test -> "test" | `Ref -> "ref" in
+  Printf.printf
+    "== perf-check: %d experiments, %s size, %s, best of %d, tolerance %.2fx \
+     ==\n%!"
+    (List.length exps) size_str (mode_label o.exec_mode) o.best_of o.tolerance;
+  (* Measure the way the baselines were recorded: one cold pass over
+     the selection with the in-run memo shared across experiments
+     (F8/F9 share a grid — clearing between experiments would time F9
+     against a baseline that served every cell from cache). Best-of-N
+     is then taken per experiment across whole passes. *)
+  let pass () =
+    Run.clear_cache ();
+    List.map
+      (fun (e : Experiments.experiment) ->
+        let t0 = now () in
+        ignore (Experiments.evaluate o.size e);
+        ignore (e.Experiments.run o.size);
+        (e.Experiments.id, now () -. t0))
+      exps
+  in
+  let passes = List.init o.best_of (fun _ -> pass ()) in
+  let measured =
+    List.map
+      (fun (e : Experiments.experiment) ->
+        let id = e.Experiments.id in
+        (id, Perfgate.best_of (List.map (List.assoc id) passes)))
+      exps
+  in
+  let verdicts =
+    Perfgate.check ~tolerance:o.tolerance
+      ~baseline:(Perfgate.load_baseline ~dir:o.baseline_dir)
+      measured
+  in
+  List.iter (fun v -> Format.printf "%a@." Perfgate.pp_verdict v) verdicts;
+  let meta =
+    Meta.to_json ~jobs:1 ~exec_mode:(mode_name o.exec_mode) ~cache:"cold"
+      ~extra:
+        [ ("size", Jsonw.Str size_str); ("best_of", Jsonw.Int o.best_of) ]
+      ()
+  in
+  Perfgate.append_trajectory ~file:o.trajectory
+    (Perfgate.trajectory_row ~meta ~tolerance:o.tolerance verdicts);
+  Printf.printf "  [trajectory row appended to %s]\n%!" o.trajectory;
+  match Perfgate.regressions verdicts with
+  | [] -> Printf.printf "  perf-check: ok\n%!"
+  | rs ->
+      Printf.printf "  perf-check: REGRESSED: %s\n%!"
+        (String.concat ", "
+           (List.map (fun v -> v.Perfgate.v_id) rs));
+      exit 1
+
+let rec mkdir_p dir =
+  if dir <> "" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+(* --telemetry DIR: install the global sink before any work and dump
+   the trace on exit. Registered with at_exit so the files land even
+   when --check-perf exits non-zero. *)
+let dump_telemetry (o : options) dir sink =
+  mkdir_p dir;
+  Out_channel.with_open_text (Filename.concat dir "trace.json") (fun oc ->
+      Telemetry.write_chrome oc sink);
+  Out_channel.with_open_text (Filename.concat dir "METRICS.json") (fun oc ->
+      Jsonw.to_channel oc (Telemetry.metrics_json sink);
+      output_char oc '\n');
+  Out_channel.with_open_text (Filename.concat dir "RUN_META.json") (fun oc ->
+      Jsonw.to_channel oc
+        (Meta.to_json ~jobs:o.jobs ~exec_mode:(mode_name o.exec_mode)
+           ~cache:
+             (match o.cache_dir with
+             | None -> "memory"
+             | Some d -> "disk:" ^ d)
+           ~extra:
+             [
+               ( "size",
+                 Jsonw.Str (match o.size with `Test -> "test" | `Ref -> "ref")
+               );
+               ("trace_events", Jsonw.Int (Telemetry.events sink));
+             ]
+           ());
+      output_char oc '\n');
+  Printf.printf "[telemetry: %d events -> %s]\n%!" (Telemetry.events sink) dir
+
 (* One Bechamel test per experiment: each measures one end-to-end
    evaluation of that experiment at the smoke size (the experiments are
    deterministic simulations, so wall time per evaluation is the
@@ -496,6 +650,16 @@ let () =
   let o = parse_args () in
   let exps = selected o.only in
   Run.set_exec_mode o.exec_mode;
+  (match o.telemetry with
+  | Some dir ->
+      let sink = Telemetry.create () in
+      Telemetry.install sink;
+      at_exit (fun () -> dump_telemetry o dir sink)
+  | None -> ());
+  if o.check_perf then begin
+    run_check_perf o exps;
+    exit 0
+  end;
   (match o.perf_exec with
   | Some spec ->
       let modes =

@@ -35,6 +35,54 @@ let with_out_file path f =
       Printf.eprintf "cannot write %s: %s\n" path msg;
       exit 1
 
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+(* --introspect: dump the block interpreter's chain graph and per-site
+   inline-cache counters, plus (under a sieve) the bucket-chain
+   histogram from the runtime. *)
+let write_introspect dir sieve m =
+  match Machine.block_cache m with
+  | None ->
+      prerr_endline
+        "note: --introspect needs a block exec mode (and no per-step \
+         observer); no block cache was live, nothing dumped"
+  | Some cache ->
+      mkdir_p dir;
+      with_out_file (Filename.concat dir "chain.dot") (fun oc ->
+          output_string oc (Sdt_machine.Introspect.chain_dot cache));
+      let doc =
+        match (Sdt_machine.Introspect.to_json cache, sieve) with
+        | Jsonw.Obj kvs, buckets when buckets <> [] ->
+            let h =
+              Sdt_observe.Histo.create
+                ~bounds:[ 1; 2; 4; 8; 16; 32 ]
+                "sieve_bucket_chain"
+            in
+            List.iter (Sdt_observe.Histo.observe h) buckets;
+            Jsonw.Obj
+              (kvs @ [ ("sieve_buckets", Sdt_observe.Histo.to_json h) ])
+        | doc, _ -> doc
+      in
+      with_out_file (Filename.concat dir "introspect.json") (fun oc ->
+          Jsonw.to_channel oc doc);
+      Printf.eprintf "introspect: chain.dot and introspect.json in %s\n" dir
+
+let block_stats_json m =
+  match Machine.block_stats m with
+  | None -> Jsonw.Null
+  | Some s ->
+      Jsonw.Obj
+        [
+          ("decodes", Jsonw.Int s.Sdt_machine.Block.st_decodes);
+          ("invalidations", Jsonw.Int s.Sdt_machine.Block.st_invalidations);
+          ("chain_hits", Jsonw.Int s.Sdt_machine.Block.st_chain_hits);
+          ("chain_severs", Jsonw.Int s.Sdt_machine.Block.st_chain_severs);
+        ]
+
 let load_program file workload size =
   match (file, workload) with
   | Some path, None ->
@@ -145,7 +193,8 @@ let print_block_stats m =
 let run file workload size_name native arch_name mech ibtc_entries
     sieve_buckets inline miss_policy returns pred no_link traces ways
     profile_ib shepherd show_stats trace_steps dump_frags max_steps trace_file
-    metrics_file profile sample_interval exec_mode_name =
+    metrics_file profile sample_interval exec_mode_name introspect_dir
+    stats_json =
   if sample_interval <= 0 then begin
     prerr_endline "--sample-interval must be positive";
     exit 2
@@ -193,6 +242,7 @@ let run file workload size_name native arch_name mech ibtc_entries
         "note: --trace/--metrics/--profile observe the translator; ignored \
          under --native";
     let m = Loader.load ~timing program in
+    if introspect_dir <> None then Machine.set_block_introspect m true;
     traced m;
     (match exec_mode with
     | `Step -> Machine.run ~max_steps m
@@ -207,6 +257,29 @@ let run file workload size_name native arch_name mech ibtc_entries
     Printf.printf "checksum:     0x%08x\n" m.Machine.checksum;
     Printf.printf "exit code:    %s\n"
       (match Machine.exit_code m with Some c -> string_of_int c | None -> "-");
+    Option.iter (fun dir -> write_introspect dir [] m) introspect_dir;
+    Option.iter
+      (fun path ->
+        with_out_file path (fun oc ->
+            Jsonw.to_channel oc
+              (Jsonw.Obj
+                 [
+                   ("config", Jsonw.Str "native");
+                   ("arch", Jsonw.Str arch.Arch.name);
+                   ("exec_mode", Jsonw.Str exec_mode_name);
+                   ("instructions", Jsonw.Int m.Machine.c.Machine.instructions);
+                   ("cycles", Jsonw.Int (Timing.cycles timing));
+                   ( "indirect_branches",
+                     Jsonw.Int (Machine.ib_dynamic_count m) );
+                   ( "checksum",
+                     Jsonw.Str (Printf.sprintf "0x%08x" m.Machine.checksum) );
+                   ( "exit_code",
+                     match Machine.exit_code m with
+                     | Some c -> Jsonw.Int c
+                     | None -> Jsonw.Null );
+                   ("block_cache", block_stats_json m);
+                 ])))
+      stats_json;
     0
   end
   else begin
@@ -235,6 +308,8 @@ let run file workload size_name native arch_name mech ibtc_entries
              ~sample_interval ())
     in
     let rt = Runtime.create ~cfg ~arch ~timing ?observer program in
+    if introspect_dir <> None then
+      Machine.set_block_introspect (Runtime.machine rt) true;
     (* with --trace, translate the entry block first (a zero-step run
        raises the step-limit error after doing exactly that), then
        single-step from the fragment cache *)
@@ -320,6 +395,41 @@ let run file workload size_name native arch_name mech ibtc_entries
       (fun p ->
         print_profile p program.Sdt_isa.Program.symbols (Timing.cycles timing))
       prof;
+    Option.iter
+      (fun dir -> write_introspect dir (Runtime.sieve_buckets rt) m)
+      introspect_dir;
+    Option.iter
+      (fun path ->
+        with_out_file path (fun oc ->
+            Jsonw.to_channel oc
+              (Jsonw.Obj
+                 [
+                   ("config", Jsonw.Str (Config.describe cfg));
+                   ("arch", Jsonw.Str arch.Arch.name);
+                   ("exec_mode", Jsonw.Str exec_mode_name);
+                   ("instructions", Jsonw.Int m.Machine.c.Machine.instructions);
+                   ("cycles", Jsonw.Int (Timing.cycles timing));
+                   ("runtime_cycles", Jsonw.Int (Timing.runtime_cycles timing));
+                   ("code_bytes", Jsonw.Int (Runtime.code_bytes rt));
+                   ( "checksum",
+                     Jsonw.Str (Printf.sprintf "0x%08x" m.Machine.checksum) );
+                   ( "exit_code",
+                     match Machine.exit_code m with
+                     | Some c -> Jsonw.Int c
+                     | None -> Jsonw.Null );
+                   ( "stats",
+                     Jsonw.Obj
+                       (List.map
+                          (fun (k, v) -> (k, Jsonw.Int v))
+                          (Stats.to_assoc (Runtime.stats rt))) );
+                   ("block_cache", block_stats_json m);
+                   ( "mech",
+                     Jsonw.Obj
+                       (List.map
+                          (fun (k, v) -> (k, Jsonw.Float v))
+                          (Runtime.mech_stats rt)) );
+                 ])))
+      stats_json;
     0
   end
 
@@ -426,6 +536,14 @@ let exec_mode_name =
   Arg.(value & opt string "block" & info [ "exec-mode" ] ~docv:"MODE"
        ~doc:"Interpreter loop: block (chained, default), block-nochain or step. Measured results are bit-identical in every mode.")
 
+let introspect_dir =
+  Arg.(value & opt (some string) None & info [ "introspect" ] ~docv:"DIR"
+       ~doc:"After the run, dump the block interpreter's live chain graph (chain.dot, Graphviz) and a JSON report (introspect.json) with block-length/chain-depth histograms, per-IB-site inline-cache hit/miss/entropy counters, and (under a sieve) the bucket-chain histogram, into DIR. Needs a block exec mode.")
+
+let stats_json =
+  Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
+       ~doc:"Write the run's counters (the --stats block, machine totals, block-cache and mechanism stats) as JSON to FILE.")
+
 let cmd =
   let doc = "run VIA programs natively or under the software dynamic translator" in
   Cmd.v
@@ -435,6 +553,7 @@ let cmd =
       $ ibtc_entries $ sieve_buckets $ inline $ miss_policy $ returns $ pred
       $ no_link $ traces $ ways $ profile_ib $ shepherd $ show_stats
       $ trace_steps $ dump_frags $ max_steps $ trace_file $ metrics_file
-      $ profile $ sample_interval $ exec_mode_name)
+      $ profile $ sample_interval $ exec_mode_name $ introspect_dir
+      $ stats_json)
 
 let () = exit (Cmd.eval' cmd)

@@ -295,6 +295,11 @@ let mech_stats t =
         ("sieve_avg_chain", Sieve.avg_chain s);
       ]
 
+let sieve_buckets t =
+  match t.mech with
+  | M_sieve s -> Sieve.chain_lengths s
+  | M_dispatch | M_ibtc _ -> []
+
 let ib_site_profile t =
   let mem = t.env.Env.machine.Machine.mem in
   (* overlapping basic blocks can translate the same application IB more

@@ -68,6 +68,10 @@ val fragments : t -> (int * int) list
 val mech_stats : t -> (string * float) list
 (** Mechanism-specific extras for reports (e.g. sieve chain lengths). *)
 
+val sieve_buckets : t -> int list
+(** Occupied sieve-bucket chain lengths (sorted ascending); [[]] for
+    non-sieve mechanisms — feeds the introspection histogram. *)
+
 val instrumented_memops : t -> int
 (** Value of the instrumentation counter
     ({!Config.t.count_memops}). *)

@@ -162,3 +162,7 @@ let max_chain t = Hashtbl.fold (fun _ (len, _) acc -> max acc len) t.chains 0
 let avg_chain t =
   let n = Hashtbl.length t.chains in
   if n = 0 then 0.0 else float_of_int (stub_count t) /. float_of_int n
+
+let chain_lengths t =
+  Hashtbl.fold (fun _ (len, _) acc -> len :: acc) t.chains []
+  |> List.sort compare

@@ -34,3 +34,7 @@ val on_flush : t -> Env.t -> unit
 val stub_count : t -> int
 val max_chain : t -> int
 val avg_chain : t -> float
+
+val chain_lengths : t -> int list
+(** Stub-chain length of every occupied bucket, sorted ascending —
+    the sieve-bucket histogram's raw samples. *)

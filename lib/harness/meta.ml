@@ -1,0 +1,63 @@
+module Jsonw = Sdt_observe.Jsonw
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> Some (String.trim s)
+  | exception Sys_error _ -> None
+
+(* Walk up from the cwd to find .git, then resolve HEAD by hand: HEAD
+   is either a bare sha (detached) or "ref: refs/heads/...", whose ref
+   file (or packed-refs line) holds the sha. *)
+let rec find_git_dir dir =
+  let cand = Filename.concat dir ".git" in
+  if Sys.file_exists cand && Sys.is_directory cand then Some cand
+  else
+    let parent = Filename.dirname dir in
+    if parent = dir then None else find_git_dir parent
+
+let sha_of_ref git_dir ref_name =
+  match read_file (Filename.concat git_dir ref_name) with
+  | Some sha -> Some sha
+  | None -> (
+      (* ref may only exist in packed-refs *)
+      match read_file (Filename.concat git_dir "packed-refs") with
+      | None -> None
+      | Some packed ->
+          String.split_on_char '\n' packed
+          |> List.find_map (fun line ->
+                 match String.index_opt line ' ' with
+                 | Some i when String.sub line (i + 1) (String.length line - i - 1) = ref_name
+                   ->
+                     Some (String.sub line 0 i)
+                 | _ -> None))
+
+let git_sha () =
+  match find_git_dir (Sys.getcwd ()) with
+  | None -> None
+  | Some git_dir -> (
+      match read_file (Filename.concat git_dir "HEAD") with
+      | None -> None
+      | Some head ->
+          let prefix = "ref: " in
+          if String.length head > String.length prefix
+             && String.sub head 0 (String.length prefix) = prefix
+          then
+            sha_of_ref git_dir
+              (String.sub head (String.length prefix)
+                 (String.length head - String.length prefix))
+          else Some head)
+
+let hostname () = try Unix.gethostname () with Unix.Unix_error _ -> "unknown"
+
+let to_json ~jobs ~exec_mode ~cache ?(extra = []) () =
+  Jsonw.Obj
+    ([
+       ( "git_sha",
+         match git_sha () with Some s -> Jsonw.Str s | None -> Jsonw.Null );
+       ("host", Jsonw.Str (hostname ()));
+       ("jobs", Jsonw.Int jobs);
+       ("exec_mode", Jsonw.Str exec_mode);
+       ("cache", Jsonw.Str cache);
+       ("unix_time", Jsonw.Int (int_of_float (Unix.time ())));
+     ]
+    @ extra)

@@ -1,0 +1,24 @@
+(** Run provenance: the [RUN_META.json] record written next to every
+    telemetry dump and embedded in each [bench/trajectory.jsonl] row.
+
+    A perf number without its provenance (which commit, which host,
+    how many workers, warm or cold cache, which execution mode) can't
+    be compared to anything; this record pins all of it. *)
+
+val git_sha : unit -> string option
+(** The checked-out commit, read directly from [.git/HEAD] (and the
+    ref file it points to) — no subprocess. [None] outside a git
+    checkout or on an unreadable ref. *)
+
+val hostname : unit -> string
+
+val to_json :
+  jobs:int ->
+  exec_mode:string ->
+  cache:string ->
+  ?extra:(string * Sdt_observe.Jsonw.t) list ->
+  unit ->
+  Sdt_observe.Jsonw.t
+(** The provenance object: [git_sha] (or [null]), [host], [jobs],
+    [exec_mode], [cache] (e.g. ["cold"] / ["warm"] / ["disabled"]),
+    [unix_time] (whole seconds), plus any [extra] fields. *)

@@ -283,10 +283,19 @@ let cache_stats () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Per-cell wall-time spans: each actually-simulated cell (memo misses
+   only) is one Chrome-trace span on its worker's track, tagged with
+   the cell key and fingerprint so a slow track segment in Perfetto
+   resolves directly to a grid cell and its cache entry. *)
+let cell_span kind ~key fp f =
+  Sdt_par.Telemetry.span ~cat:"harness" ~name:("cell." ^ kind)
+    ~args:[ ("key", key); ("fingerprint", Fingerprint.digest fp) ]
+    f
+
 let native ~arch ~key build =
-  Memo.find native_memo
-    (Fingerprint.cell ~key ~arch ~cfg:None)
-    (fun () ->
+  let fp = Fingerprint.cell ~key ~arch ~cfg:None in
+  Memo.find native_memo fp (fun () ->
+      cell_span "native" ~key fp @@ fun () ->
       let timing = Timing.create arch in
       let m = Loader.load ~timing (build ()) in
       run_machine ~max_steps:!max_steps m;
@@ -306,9 +315,9 @@ let native ~arch ~key build =
 
 let sdt ~arch ~cfg ~key build =
   let nat = native ~arch ~key build in
-  Memo.find sdt_memo
-    (Fingerprint.cell ~key ~arch ~cfg:(Some cfg))
-    (fun () ->
+  let fp = Fingerprint.cell ~key ~arch ~cfg:(Some cfg) in
+  Memo.find sdt_memo fp (fun () ->
+      cell_span "sdt" ~key fp @@ fun () ->
       let timing = Timing.create arch in
       let rt = Runtime.create ~cfg ~arch ~timing (build ()) in
       Runtime.run ~max_steps:!max_steps ~mode:!exec_mode rt;

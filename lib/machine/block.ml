@@ -86,6 +86,19 @@ and ind_link = {
   mutable i_l0 : t option;
   mutable i_pc1 : int;
   mutable i_l1 : t option;
+  i_site : isite option;
+      (* per-IB-site introspection counters; [None] unless the cache
+         was created with [~introspect:true], so the only disabled-mode
+         cost on an indirect transition is this null test *)
+}
+
+(* One record per indirect-branch site (terminator PC), shared by every
+   recompilation of its block so counts survive SMC refreshes. *)
+and isite = {
+  is_pc : int;
+  mutable is_hits : int; (* inline cache held the target (either slot) *)
+  mutable is_misses : int;
+  is_targets : (int, int) Hashtbl.t; (* target PC -> times taken *)
 }
 
 (* Direct-mapped by start PC: a lookup is one array read and two
@@ -106,6 +119,8 @@ type cache = {
   tm : Timing.t option;
   gen : int ref; (* {!Memory.code_gen_ref}: shared with the store guards *)
   chain : bool;
+  introspect : bool;
+  isites : (int, isite) Hashtbl.t; (* IB site pc -> counters *)
   tbl : t option array; (* indexed by (start lsr 2) land slot_mask *)
   (* mid-block abort rendezvous: -1 normally; an aborting store closure
      writes the count of body ops that ran (its own compile-time index
@@ -131,7 +146,7 @@ type stats = {
    compilation after self-modification stays cheap. *)
 let max_len = 64
 
-let create ~regs ~counters ?timing ?(chain = true) mem =
+let create ~regs ~counters ?timing ?(chain = true) ?(introspect = false) mem =
   {
     mem;
     regs;
@@ -139,6 +154,8 @@ let create ~regs ~counters ?timing ?(chain = true) mem =
     tm = timing;
     gen = Memory.code_gen_ref mem;
     chain;
+    introspect;
+    isites = Hashtbl.create (if introspect then 64 else 1);
     tbl = Array.make slots None;
     abort = -1;
     decodes = 0;
@@ -150,6 +167,31 @@ let create ~regs ~counters ?timing ?(chain = true) mem =
 let decodes c = c.decodes
 let invalidations c = c.invalidations
 let chained c = c.chain
+let introspected c = c.introspect
+let generation c = !(c.gen)
+
+let resident c =
+  Array.fold_right
+    (fun slot acc -> match slot with Some b -> b :: acc | None -> acc)
+    c.tbl []
+
+let ind_sites c =
+  Hashtbl.fold (fun _ s acc -> s :: acc) c.isites []
+  |> List.sort (fun a b -> compare a.is_pc b.is_pc)
+
+let site_targets s =
+  Hashtbl.fold (fun pc n acc -> (pc, n) :: acc) s.is_targets []
+  |> List.sort compare
+
+let isite_for c pc =
+  match Hashtbl.find_opt c.isites pc with
+  | Some s -> s
+  | None ->
+      let s =
+        { is_pc = pc; is_hits = 0; is_misses = 0; is_targets = Hashtbl.create 8 }
+      in
+      Hashtbl.add c.isites pc s;
+      s
 let[@inline] aborted_ops c = c.abort
 let[@inline] clear_abort c = c.abort <- -1
 
@@ -622,7 +664,16 @@ let compile_term cache ~pc ~nf i =
       }
   in
   let indirect exec =
-    T_indirect { i_exec = exec; i_pc0 = -1; i_l0 = None; i_pc1 = -1; i_l1 = None }
+    let site = if cache.introspect then Some (isite_for cache pc) else None in
+    T_indirect
+      {
+        i_exec = exec;
+        i_pc0 = -1;
+        i_l0 = None;
+        i_pc1 = -1;
+        i_l1 = None;
+        i_site = site;
+      }
   in
   match i with
   | Inst.Beq (rs, rt, off) -> cond (fun a b -> a = b) rs rt off
@@ -883,6 +934,14 @@ let follow_cond cache (cd : cond_link) taken =
    IBTC entry: slot 0 is the most recent target, slot 1 the runner-up,
    a miss demotes 0 into 1. *)
 let follow_indirect cache (ind : ind_link) target =
+  (match ind.i_site with
+  | None -> ()
+  | Some s ->
+      if ind.i_pc0 = target || ind.i_pc1 = target then
+        s.is_hits <- s.is_hits + 1
+      else s.is_misses <- s.is_misses + 1;
+      Hashtbl.replace s.is_targets target
+        (1 + Option.value ~default:0 (Hashtbl.find_opt s.is_targets target)));
   if ind.i_pc0 = target then
     match ind.i_l0 with
     | Some b when b.gen = !(cache.gen) ->

@@ -85,6 +85,16 @@ and ind_link = {
   mutable i_l0 : t option;
   mutable i_pc1 : int;
   mutable i_l1 : t option;
+  i_site : isite option;
+      (** per-IB-site counters; populated only under [~introspect:true] *)
+}
+
+and isite = {
+  is_pc : int;  (** the indirect terminator's PC *)
+  mutable is_hits : int;
+      (** transitions whose target was in the 2-entry inline cache *)
+  mutable is_misses : int;
+  is_targets : (int, int) Hashtbl.t;  (** target PC -> times taken *)
 }
 
 type cache
@@ -98,6 +108,7 @@ val create :
   counters:Counters.t ->
   ?timing:Sdt_march.Timing.t ->
   ?chain:bool ->
+  ?introspect:bool ->
   Memory.t ->
   cache
 (** A block cache compiling against the given machine state. The
@@ -105,9 +116,19 @@ val create :
     compiled closures, so a cache serves exactly one machine. [chain]
     (default [true]) controls whether successor links are installed;
     with it off every transition re-probes via {!find} — the
-    differential-testing mode. *)
+    differential-testing mode. [introspect] (default [false]) attaches
+    an {!isite} record to every compiled indirect terminator so
+    per-IB-site inline-cache hits/misses and the target multiset are
+    counted — host-side only (simulated results are bit-identical),
+    with the disabled-mode cost of one null test per indirect
+    transition. *)
 
 val chained : cache -> bool
+val introspected : cache -> bool
+
+val generation : cache -> int
+(** The current code generation ({!Memory.code_gen}): a block or link
+    whose recorded generation differs is stale. *)
 
 val aborted_ops : cache -> int
 (** [-1] if the last executed body chain ran to completion; otherwise
@@ -151,3 +172,17 @@ type stats = {
 }
 
 val stats : cache -> stats
+
+(** {1 Introspection} — meaningful under [~introspect:true] *)
+
+val resident : cache -> t list
+(** Every block currently resident in the direct-mapped table, in slot
+    order (blocks evicted by a colliding PC but still reachable through
+    chain links are not included). *)
+
+val ind_sites : cache -> isite list
+(** Every indirect-branch site counted so far, by ascending PC; [[]]
+    when introspection is off. *)
+
+val site_targets : isite -> (int * int) list
+(** The site's target multiset as [(target, times taken)], sorted. *)

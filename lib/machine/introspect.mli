@@ -1,0 +1,47 @@
+(** Block-cache introspection: dump the live chain graph and its shape.
+
+    Everything here reads a {!Block.cache} after (or between) runs and
+    produces host-side reports — nothing perturbs the simulation:
+
+    - the {e chain graph}: resident blocks as nodes, installed chain
+      links as edges (direct, taken/fall-through, inline-cache MRU
+      slots), as Graphviz DOT ({!chain_dot}) and JSON ({!to_json});
+    - {e shape histograms}: block lengths in instructions and chain
+      depths (longest acyclic link path from each block);
+    - {e per-IB-site counters} ({!Block.ind_sites}, collected under
+      [~introspect:true]): inline-cache hits/misses plus the target
+      multiset and its Shannon entropy, computed by
+      {!Sdt_observe.Profile.entropy_bits} so the figures are
+      definitionally identical to the observer's entropy profile —
+      the promotion/demotion signal for adaptive per-site IB-mechanism
+      selection (ROADMAP). *)
+
+module Jsonw = Sdt_observe.Jsonw
+module Histo = Sdt_observe.Histo
+
+val links : Block.t -> (string * Block.t) list
+(** The block's installed outgoing chain links as [(kind, successor)],
+    kind one of ["static"], ["taken"], ["fall"], ["mru0"], ["mru1"].
+    Uninstalled links are omitted. *)
+
+val chain_depths : Block.cache -> (Block.t * int) list
+(** For every resident block, the length (in blocks) of the longest
+    path of {e current-generation} links out of it; cycles are cut at
+    the first revisit, so a self-loop has depth 1. *)
+
+val block_length_histo : Block.cache -> Histo.t
+(** Resident block lengths in instructions (bounds 1..64). *)
+
+val chain_depth_histo : Block.cache -> Histo.t
+
+val chain_dot : Block.cache -> string
+(** The chain graph as Graphviz DOT: one box per resident block
+    (labelled with start PC and length), one edge per installed link
+    (labelled with its kind; stale-generation links dashed). Linked
+    blocks evicted from the table ("ghosts") appear dotted. *)
+
+val to_json : Block.cache -> Jsonw.t
+(** The full dump: cache stats, generation, per-block records with
+    links and chain depth, both shape histograms
+    ({!Histo.to_json}, including p50/p90/p99 from
+    {!Histo.percentile}), and per-IB-site counters with entropy. *)

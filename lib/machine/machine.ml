@@ -32,6 +32,7 @@ type t = {
   c : counters;
   mutable trap_handler : t -> code:int -> trap_pc:int -> unit;
   mutable bcache : Block.cache option;
+  mutable binspect : bool;
 }
 
 let no_handler _ ~code ~trap_pc =
@@ -53,9 +54,17 @@ let create ?timing ~mem_size () =
     c = Counters.create ();
     trap_handler = no_handler;
     bcache = None;
+    binspect = false;
   }
 
 let set_trap_handler t h = t.trap_handler <- h
+
+(* Request per-IB-site introspection from the next block cache. Must be
+   set before the first [run_blocks] call to cover the whole run: a
+   live cache with the wrong flag is rebuilt (losing its compiled
+   blocks), which is correct but wasteful mid-run. *)
+let set_block_introspect t on = t.binspect <- on
+let block_cache t = t.bcache
 let reg t r = if r = 0 then 0 else t.regs.(r)
 
 let set_reg t r v = if r <> 0 then t.regs.(r) <- v land Word.mask
@@ -389,11 +398,13 @@ let run_blocks ?(max_steps = 1_000_000_000) ?(chain = true) t =
   else begin
     let cache =
       match t.bcache with
-      | Some c when Block.chained c = chain -> c
+      | Some c
+        when Block.chained c = chain && Block.introspected c = t.binspect ->
+          c
       | _ ->
           let c =
             Block.create ~regs:t.regs ~counters:t.c ?timing:t.timing ~chain
-              t.mem
+              ~introspect:t.binspect t.mem
           in
           t.bcache <- Some c;
           c

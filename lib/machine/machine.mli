@@ -49,6 +49,9 @@ type t = {
       (** the block interpreter's compiled-block cache, created on the
           first {!run_blocks} call and persistent for the machine's
           lifetime *)
+  mutable binspect : bool;
+      (** whether the next-created block cache counts per-IB-site
+          inline-cache traffic; see {!set_block_introspect} *)
 }
 
 val create : ?timing:Timing.t -> mem_size:int -> unit -> t
@@ -88,6 +91,16 @@ val run_blocks : ?max_steps:int -> ?chain:bool -> t -> unit
 
 val block_stats : t -> Block.stats option
 (** Block-cache statistics, if {!run_blocks} has run on this machine. *)
+
+val set_block_introspect : t -> bool -> unit
+(** Request per-IB-site introspection ({!Block.ind_sites}) from the
+    block cache. Set it {e before} the first {!run_blocks} call: a live
+    cache whose flag disagrees is rebuilt from scratch, which is
+    correct (simulated results are unaffected either way) but discards
+    its compiled blocks. *)
+
+val block_cache : t -> Block.cache option
+(** The live block cache, for {!Introspect} dumps. *)
 
 val output : t -> string
 (** Everything printed so far. *)

@@ -50,6 +50,42 @@ let sum t = t.sum
 let max_value t = t.max_value
 let mean t = if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
 
+(* Bucket-interpolated percentile. The target rank p/100 * count is
+   located in the cumulative bucket counts, then interpolated linearly
+   inside the owning bucket between its lower edge (the previous bound,
+   or 0 for the first bucket) and its upper edge (its bound, or the
+   observed maximum for the overflow bucket — the only upper edge the
+   overflow bucket has). *)
+let percentile t p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Histo.percentile: p outside [0,100]";
+  if t.count = 0 then 0.0
+  else begin
+    let target = p /. 100.0 *. float_of_int t.count in
+    let nb = Array.length t.counts in
+    let i = ref 0 and cum = ref 0 in
+    while
+      !i < nb - 1 && float_of_int (!cum + t.counts.(!i)) < target
+    do
+      cum := !cum + t.counts.(!i);
+      incr i
+    done;
+    let lower = if !i = 0 then 0.0 else float_of_int t.bounds.(!i - 1) in
+    let upper =
+      if !i < Array.length t.bounds then float_of_int t.bounds.(!i)
+      else float_of_int t.max_value
+    in
+    let in_bucket = t.counts.(!i) in
+    let v =
+      if in_bucket = 0 then upper
+      else
+        lower
+        +. (target -. float_of_int !cum)
+           /. float_of_int in_bucket
+           *. (upper -. lower)
+    in
+    Float.min (Float.max v 0.0) (float_of_int t.max_value)
+  end
+
 let buckets t =
   List.init
     (Array.length t.counts)

@@ -24,11 +24,25 @@ val max_value : t -> int
 (** Largest sample observed; 0 before any sample. *)
 
 val mean : t -> float
-(** 0.0 before any sample. *)
+(** Exact mean of all observed samples, [sum / count] — computed from
+    the tracked sum, not the buckets, so overflow-bucket samples
+    contribute their true values. 0.0 before any sample. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] estimates the [p]-th percentile ([0 <= p <= 100])
+    by locating the target rank in the cumulative bucket counts and
+    interpolating linearly inside the owning bucket. The first bucket's
+    lower edge is 0; the overflow bucket has no bound, so its upper
+    edge is {!max_value} (exact, since the maximum is tracked
+    per-sample). The result is clamped to [[0, max_value]] and is 0.0
+    before any sample.
+    @raise Invalid_argument when [p] is outside [[0, 100]]. *)
 
 val buckets : t -> (int option * int) list
-(** [(upper bound, count)] per bucket, in order; [None] is the overflow
-    bucket. Includes empty buckets. *)
+(** [(upper bound, count)] per bucket, in order, including empty
+    buckets. The final bucket is always the overflow bucket: its bound
+    is [None] (it counts every sample above the largest configured
+    bound) and it is present even when no sample has overflowed. *)
 
 val to_json : t -> Jsonw.t
 val reset : t -> unit

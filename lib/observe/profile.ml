@@ -179,6 +179,8 @@ let entropy counts total =
           acc -. (p *. (Float.log p /. Float.log 2.0)))
       0.0 counts
 
+let entropy_bits counts = entropy counts (List.fold_left ( + ) 0 counts)
+
 let ib_sites t =
   Hashtbl.fold
     (fun site targets acc ->

@@ -70,4 +70,11 @@ type site_row = {
 val ib_sites : t -> site_row list
 (** Per-site indirect-branch telemetry, by descending executions. *)
 
+val entropy_bits : int list -> float
+(** Shannon entropy (bits) of a target multiset given as per-target
+    counts — the same computation behind {!site_row.entropy_bits},
+    exported so other telemetry (block-cache introspection) reports
+    definitionally identical entropy values. 0.0 on an empty or
+    all-zero multiset. *)
+
 val to_json : t -> Jsonw.t

@@ -1,0 +1,126 @@
+type counter = { c_id : string; mutable c_value : int }
+
+type instrument =
+  | Counter of counter
+  | Gauge of (unit -> float) ref
+  | Histogram of Histo.t
+
+type t = {
+  tbl : (string, instrument) Hashtbl.t;
+  mutable order : string list; (* registration order, reversed *)
+}
+
+let create () = { tbl = Hashtbl.create 64; order = [] }
+
+let quote_label v =
+  let b = Buffer.create (String.length v + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char b '\\';
+      Buffer.add_char b c)
+    v;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let identity ?(labels = []) name =
+  match labels with
+  | [] -> name
+  | _ ->
+      let sorted =
+        List.sort (fun (a, _) (b, _) -> compare a b) labels
+      in
+      Printf.sprintf "%s{%s}" name
+        (String.concat ","
+           (List.map (fun (k, v) -> k ^ "=" ^ quote_label v) sorted))
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let wrong_kind id want have =
+  invalid_arg
+    (Printf.sprintf "Registry: %S is a %s, requested as a %s" id
+       (kind_name have) want)
+
+let register t id ins =
+  Hashtbl.replace t.tbl id ins;
+  t.order <- id :: t.order
+
+let counter t ?labels name =
+  let id = identity ?labels name in
+  match Hashtbl.find_opt t.tbl id with
+  | Some (Counter c) -> c
+  | Some other -> wrong_kind id "counter" other
+  | None ->
+      let c = { c_id = id; c_value = 0 } in
+      register t id (Counter c);
+      c
+
+let incr c = c.c_value <- c.c_value + 1
+
+let add c n =
+  if n < 0 then
+    invalid_arg
+      (Printf.sprintf "Registry: counter %S is monotone (add %d)" c.c_id n);
+  c.c_value <- c.c_value + n
+
+let value c = c.c_value
+
+let gauge t ?labels name poll =
+  let id = identity ?labels name in
+  match Hashtbl.find_opt t.tbl id with
+  | Some (Gauge g) -> g := poll
+  | Some other -> wrong_kind id "gauge" other
+  | None -> register t id (Gauge (ref poll))
+
+let histogram t ?labels ?bounds name =
+  let id = identity ?labels name in
+  match Hashtbl.find_opt t.tbl id with
+  | Some (Histogram h) -> h
+  | Some other -> wrong_kind id "histogram" other
+  | None ->
+      let h = Histo.create ?bounds id in
+      register t id (Histogram h);
+      h
+
+let size t = Hashtbl.length t.tbl
+
+let fold_ordered t f =
+  List.fold_left
+    (fun acc id ->
+      match Hashtbl.find_opt t.tbl id with
+      | Some ins -> f acc id ins
+      | None -> acc)
+    []
+    (List.rev t.order)
+  |> List.rev
+
+let counters t =
+  fold_ordered t (fun acc id ins ->
+      match ins with Counter c -> (id, c.c_value) :: acc | _ -> acc)
+
+let to_json t =
+  let counters =
+    fold_ordered t (fun acc id ins ->
+        match ins with
+        | Counter c -> (id, Jsonw.Int c.c_value) :: acc
+        | _ -> acc)
+  in
+  let gauges =
+    fold_ordered t (fun acc id ins ->
+        match ins with
+        | Gauge g -> (id, Jsonw.Float (!g ())) :: acc
+        | _ -> acc)
+  in
+  let histos =
+    fold_ordered t (fun acc _ ins ->
+        match ins with Histogram h -> Histo.to_json h :: acc | _ -> acc)
+  in
+  Jsonw.Obj
+    [
+      ("counters", Jsonw.Obj counters);
+      ("gauges", Jsonw.Obj gauges);
+      ("histograms", Jsonw.List histos);
+    ]

@@ -1,0 +1,78 @@
+(** The labeled metric registry — observability v2's shared substrate.
+
+    Where {!Metrics} samples a fixed set of polled sources into a time
+    series, a registry is a {e namespace} of named, optionally labeled
+    instruments that arbitrary layers (worker pool, result memo,
+    harness, introspection dumps) create on demand and snapshot once:
+
+    - {e counters}: monotone integer totals bumped at event sites;
+    - {e gauges}: closures polled only at snapshot time;
+    - {e histograms}: {!Histo.t} values registered for export.
+
+    An instrument is identified by its name plus a canonical label set
+    ([name{k="v",...}] with keys sorted), so the same logical metric can
+    fan out per worker, per memo namespace, per experiment — the
+    labeled-dimension shape the adaptive-selection roadmap item needs
+    for per-site series. Asking twice for the same identity returns the
+    {e same} instrument (counters accumulate across callers); asking
+    for the same identity as a different instrument kind is an error.
+
+    Zero observer effect: a registry is pure host-side state — creating
+    or bumping instruments never charges simulated cycles or touches
+    simulated memory, and the layers that feed one only do so when a
+    registry was explicitly attached (disabled = the hook is one match
+    on [None]). The qcheck property in [test_observe]/[test_par]
+    enforces bit-identical simulations with and without a live
+    registry.
+
+    Not domain-safe by itself: share a registry across domains only
+    under external synchronisation (the {!Sdt_par} telemetry sink wraps
+    one in its own mutex). *)
+
+type t
+
+type counter
+
+val create : unit -> t
+
+val counter : t -> ?labels:(string * string) list -> string -> counter
+(** The counter for this identity, created at 0 on first request.
+    @raise Invalid_argument if the identity names a gauge or
+    histogram. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+(** @raise Invalid_argument on negative [n] — counters are monotone. *)
+
+val value : counter -> int
+
+val gauge : t -> ?labels:(string * string) list -> string -> (unit -> float) -> unit
+(** Register a gauge polled at snapshot time. Re-registering the same
+    identity replaces the closure (the caller owns the freshest view).
+    @raise Invalid_argument if the identity names a counter or
+    histogram. *)
+
+val histogram :
+  t -> ?labels:(string * string) list -> ?bounds:int list -> string -> Histo.t
+(** The histogram for this identity, created with [bounds] (default
+    {!Histo.create}'s) on first request; [bounds] is ignored when the
+    histogram already exists.
+    @raise Invalid_argument if the identity names a counter or gauge. *)
+
+val identity : ?labels:(string * string) list -> string -> string
+(** The canonical rendering [name{k="v",...}] (label keys sorted; no
+    braces when the label set is empty) used as the instrument key and
+    in exports. *)
+
+val size : t -> int
+(** Number of registered instruments. *)
+
+val counters : t -> (string * int) list
+(** Every counter as [(identity, value)], in registration order. *)
+
+val to_json : t -> Jsonw.t
+(** Snapshot: [{"counters": {identity: value},
+    "gauges": {identity: polled value},
+    "histograms": [Histo.to_json...]}], each section in registration
+    order. *)

@@ -13,6 +13,7 @@ type 'a t = {
   mutable hits : int;
   mutable disk_hits : int;
   mutable misses : int;
+  mutable waits : int;
 }
 
 let create ~namespace ~to_json ~of_json () =
@@ -27,6 +28,7 @@ let create ~namespace ~to_json ~of_json () =
     hits = 0;
     disk_hits = 0;
     misses = 0;
+    waits = 0;
   }
 
 let rec mkdir_p dir =
@@ -47,11 +49,13 @@ let clear t =
   t.hits <- 0;
   t.disk_hits <- 0;
   t.misses <- 0;
+  t.waits <- 0;
   Mutex.unlock t.m
 
 let hits t = t.hits
 let disk_hits t = t.disk_hits
 let misses t = t.misses
+let waits t = t.waits
 
 let path t dir key =
   Filename.concat dir
@@ -94,25 +98,50 @@ let disk_store t key v =
       with Sys_error _ -> (try Sys.remove tmp with Sys_error _ -> ()))
 
 let find t key compute =
+  let t_find = Telemetry.start () in
+  let ns = [ ("namespace", t.namespace) ] in
+  let fin outcome =
+    Telemetry.finish ~cat:"memo" ~name:"find"
+      ~args:(("outcome", outcome) :: ns)
+      t_find
+  in
   Mutex.lock t.m;
-  let rec get () =
+  let rec get ~waited () =
     match Hashtbl.find_opt t.tbl key with
     | Some (Ready v) ->
         t.hits <- t.hits + 1;
         Mutex.unlock t.m;
+        if waited then begin
+          Telemetry.count ~labels:ns "memo.waits" 1;
+          Telemetry.observe ~labels:ns "memo.wait_us"
+            (Telemetry.elapsed_us t_find);
+          fin "wait"
+        end
+        else begin
+          Telemetry.count ~labels:ns "memo.hits" 1;
+          fin "hit"
+        end;
         v
     | Some Pending ->
+        if not waited then t.waits <- t.waits + 1;
         Condition.wait t.c t.m;
-        get ()
+        get ~waited:true ()
     | None -> (
         Hashtbl.replace t.tbl key Pending;
         Mutex.unlock t.m;
         let outcome =
+          let t_load = Telemetry.start () in
           match disk_load t key with
-          | Some v -> Ok (v, true)
+          | Some v ->
+              Telemetry.observe ~labels:ns "memo.load_us"
+                (Telemetry.elapsed_us t_load);
+              Ok (v, true)
           | None -> (
+              let t_comp = Telemetry.start () in
               match compute () with
               | v ->
+                  Telemetry.observe ~labels:ns "memo.compute_us"
+                    (Telemetry.elapsed_us t_comp);
                   disk_store t key v;
                   Ok (v, false)
               | exception e -> Error (e, Printexc.get_raw_backtrace ()))
@@ -127,7 +156,14 @@ let find t key compute =
         Condition.broadcast t.c;
         Mutex.unlock t.m;
         match outcome with
-        | Ok (v, _) -> v
-        | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+        | Ok (v, from_disk) ->
+            Telemetry.count ~labels:ns
+              (if from_disk then "memo.disk_hits" else "memo.misses")
+              1;
+            fin (if from_disk then "disk" else "compute");
+            v
+        | Error (e, bt) ->
+            fin "error";
+            Printexc.raise_with_backtrace e bt)
   in
-  get ()
+  get ~waited:false ()

@@ -49,3 +49,7 @@ val hits : 'a t -> int
 val disk_hits : 'a t -> int
 val misses : 'a t -> int
 (** Values actually computed. *)
+
+val waits : 'a t -> int
+(** Lookups that blocked on another domain's in-flight computation
+    (each such lookup also counts as a {!hits} once it resumes). *)

@@ -39,13 +39,17 @@ let worker t =
       | Some f when t.next < t.len ->
           let i = t.next in
           t.next <- t.next + 1;
+          let depth = t.len - t.next in
           Mutex.unlock t.m;
+          Telemetry.sample ~name:"pool.queue_depth" depth;
           f i;
           Mutex.lock t.m;
           finish_one t;
           loop ()
       | _ ->
+          let idle = Telemetry.start () in
           Condition.wait t.work_available t.m;
+          Telemetry.finish ~cat:"pool" ~name:"idle" idle;
           loop ()
   in
   loop ()
@@ -66,7 +70,12 @@ let create ~jobs =
       domains = [];
     }
   in
-  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  Telemetry.set_worker 0;
+  t.domains <-
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () ->
+            Telemetry.set_worker (i + 1);
+            worker t));
   t
 
 let shutdown t =
@@ -85,20 +94,27 @@ let with_pool ~jobs f =
    records a result-or-exception, and [map] re-raises the exception of
    the lowest failing index after the batch drains — the same one a
    serial run would have hit first. *)
+let task_span i f =
+  Telemetry.span ~cat:"pool" ~name:"task"
+    ~args:[ ("index", string_of_int i) ]
+    f
+
 let map t f arr =
   let n = Array.length arr in
   if n = 0 then [||]
-  else if t.jobs <= 1 || n = 1 then Array.map f arr
+  else if t.jobs <= 1 || n = 1 then
+    Array.mapi (fun i x -> task_span i (fun () -> f x)) arr
   else begin
     let slots = Array.make n None in
     let body i =
       let r =
-        match f arr.(i) with
+        match task_span i (fun () -> f arr.(i)) with
         | v -> Ok v
         | exception e -> Error (e, Printexc.get_raw_backtrace ())
       in
       slots.(i) <- Some r
     in
+    let batch = Telemetry.start () in
     Mutex.lock t.m;
     if t.task <> None then begin
       Mutex.unlock t.m;
@@ -114,7 +130,9 @@ let map t f arr =
       if t.next < t.len then begin
         let i = t.next in
         t.next <- t.next + 1;
+        let depth = t.len - t.next in
         Mutex.unlock t.m;
+        Telemetry.sample ~name:"pool.queue_depth" depth;
         body i;
         Mutex.lock t.m;
         finish_one t;
@@ -127,6 +145,9 @@ let map t f arr =
     in
     help ();
     Mutex.unlock t.m;
+    Telemetry.finish ~cat:"pool" ~name:"batch"
+      ~args:[ ("tasks", string_of_int n) ]
+      batch;
     Array.iter
       (function
         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt

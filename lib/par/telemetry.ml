@@ -1,0 +1,181 @@
+module Registry = Sdt_observe.Registry
+module Jsonw = Sdt_observe.Jsonw
+
+type ev =
+  | Span of {
+      name : string;
+      cat : string;
+      ts : float; (* absolute µs *)
+      dur : float;
+      tid : int;
+      args : (string * string) list;
+    }
+  | Count of { name : string; ts : float; value : int }
+
+type t = {
+  m : Mutex.t;
+  reg : Registry.t;
+  mutable evs : ev list; (* newest first *)
+  mutable n_evs : int;
+  t0 : float; (* absolute µs at creation; trace timestamps are rebased *)
+  pid : int;
+}
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let create () =
+  {
+    m = Mutex.create ();
+    reg = Registry.create ();
+    evs = [];
+    n_evs = 0;
+    t0 = now_us ();
+    pid = Unix.getpid ();
+  }
+
+let current : t option Atomic.t = Atomic.make None
+let install t = Atomic.set current (Some t)
+let uninstall () = Atomic.set current None
+let active () = Atomic.get current
+let registry t = t.reg
+
+let worker_key = Domain.DLS.new_key (fun () -> 0)
+let set_worker i = Domain.DLS.set worker_key i
+let worker_id () = Domain.DLS.get worker_key
+
+let record t ev =
+  Mutex.lock t.m;
+  t.evs <- ev :: t.evs;
+  t.n_evs <- t.n_evs + 1;
+  Mutex.unlock t.m
+
+let start () = match Atomic.get current with None -> 0. | Some _ -> now_us ()
+
+let elapsed_us t0 =
+  if t0 > 0. && Atomic.get current <> None then
+    int_of_float (now_us () -. t0)
+  else 0
+
+let finish ~cat ~name ?(args = []) t0 =
+  match Atomic.get current with
+  | Some t when t0 > 0. ->
+      (* t0 = 0. means [start] ran before the sink was installed *)
+      let dur = now_us () -. t0 in
+      record t (Span { name; cat; ts = t0; dur; tid = worker_id (); args })
+  | _ -> ()
+
+let span ~cat ~name ?args f =
+  match Atomic.get current with
+  | None -> f ()
+  | Some _ ->
+      let t0 = now_us () in
+      Fun.protect ~finally:(fun () -> finish ~cat ~name ?args t0) f
+
+let sample ~name value =
+  match Atomic.get current with
+  | None -> ()
+  | Some t -> record t (Count { name; ts = now_us (); value })
+
+let count ?labels name n =
+  match Atomic.get current with
+  | None -> ()
+  | Some t ->
+      Mutex.lock t.m;
+      Registry.add (Registry.counter t.reg ?labels name) n;
+      Mutex.unlock t.m
+
+let us_bounds =
+  [ 10; 100; 1_000; 10_000; 100_000; 1_000_000; 10_000_000 ]
+
+let observe ?labels ?(bounds = us_bounds) name v =
+  match Atomic.get current with
+  | None -> ()
+  | Some t ->
+      Mutex.lock t.m;
+      Sdt_observe.Histo.observe (Registry.histogram t.reg ?labels ~bounds name) v;
+      Mutex.unlock t.m
+
+let events t =
+  Mutex.lock t.m;
+  let n = t.n_evs in
+  Mutex.unlock t.m;
+  n
+
+let to_chrome t =
+  Mutex.lock t.m;
+  let evs = List.rev t.evs in
+  Mutex.unlock t.m;
+  let tids = Hashtbl.create 8 in
+  let ev_json = function
+    | Span { name; cat; ts; dur; tid; args } ->
+        Hashtbl.replace tids tid ();
+        Jsonw.Obj
+          ([
+             ("name", Jsonw.Str name);
+             ("cat", Jsonw.Str cat);
+             ("ph", Jsonw.Str "X");
+             ("ts", Jsonw.Float (ts -. t.t0));
+             ("dur", Jsonw.Float dur);
+             ("pid", Jsonw.Int t.pid);
+             ("tid", Jsonw.Int tid);
+           ]
+          @
+          match args with
+          | [] -> []
+          | kvs ->
+              [
+                ( "args",
+                  Jsonw.Obj (List.map (fun (k, v) -> (k, Jsonw.Str v)) kvs) );
+              ])
+    | Count { name; ts; value } ->
+        Jsonw.Obj
+          [
+            ("name", Jsonw.Str name);
+            ("ph", Jsonw.Str "C");
+            ("ts", Jsonw.Float (ts -. t.t0));
+            ("pid", Jsonw.Int t.pid);
+            ("tid", Jsonw.Int 0);
+            ("args", Jsonw.Obj [ ("value", Jsonw.Int value) ]);
+          ]
+  in
+  let body = List.map ev_json evs in
+  let meta =
+    Jsonw.Obj
+      [
+        ("name", Jsonw.Str "process_name");
+        ("ph", Jsonw.Str "M");
+        ("pid", Jsonw.Int t.pid);
+        ("args", Jsonw.Obj [ ("name", Jsonw.Str "sdt harness") ]);
+      ]
+    :: (Hashtbl.fold (fun tid () acc -> tid :: acc) tids []
+       |> List.sort compare
+       |> List.map (fun tid ->
+              Jsonw.Obj
+                [
+                  ("name", Jsonw.Str "thread_name");
+                  ("ph", Jsonw.Str "M");
+                  ("pid", Jsonw.Int t.pid);
+                  ("tid", Jsonw.Int tid);
+                  ("args",
+                   Jsonw.Obj
+                     [
+                       ( "name",
+                         Jsonw.Str
+                           (if tid = 0 then "worker 0 (caller)"
+                            else Printf.sprintf "worker %d" tid) );
+                     ]);
+                ]))
+  in
+  Jsonw.Obj
+    [
+      ("traceEvents", Jsonw.List (meta @ body));
+      ("displayTimeUnit", Jsonw.Str "ms");
+    ]
+
+let write_chrome oc t = Jsonw.to_channel oc (to_chrome t)
+
+let metrics_json t =
+  Mutex.lock t.m;
+  let j = Registry.to_json t.reg in
+  Mutex.unlock t.m;
+  j

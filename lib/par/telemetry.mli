@@ -1,0 +1,89 @@
+(** Harness telemetry: a globally installable wall-clock sink.
+
+    Where {!Sdt_observe} traces the {e simulated} machine in simulated
+    cycles, this module traces the {e machinery around it} — worker
+    domains, the result memo, harness cells — in wall-clock
+    microseconds, as Chrome [trace_event] spans (one track per worker
+    domain) plus a {!Sdt_observe.Registry} of counters and latency
+    histograms.
+
+    The sink is a process-global [t option] in an [Atomic]: call sites
+    in {!Pool}, {!Memo} and the harness are permanently compiled in,
+    but when nothing is installed every hook is a single atomic load
+    and a match on [None] — no timestamps are taken, nothing
+    allocates, and (because all of this is host-side wall-clock state)
+    the simulation itself is bit-identical either way. The qcheck
+    property in [test_par] enforces that.
+
+    Worker identity rides on [Domain.DLS]: {!Pool} names the calling
+    domain worker 0 and its spawned domains 1..jobs-1, so spans land
+    on one Perfetto track per domain. Domains that never set an index
+    report 0. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, empty sink. Creation does not install it. *)
+
+val install : t -> unit
+(** Make [t] the process-global sink fed by all hooks. *)
+
+val uninstall : unit -> unit
+val active : unit -> t option
+
+val registry : t -> Sdt_observe.Registry.t
+(** The sink's metric registry. Lock-protected internally — use
+    {!count} / {!observe} rather than mutating it from other domains. *)
+
+(** {1 Worker identity} *)
+
+val set_worker : int -> unit
+(** Bind the calling domain's track index (stored in [Domain.DLS]). *)
+
+val worker_id : unit -> int
+
+(** {1 Emission hooks} — all are no-ops when no sink is installed. *)
+
+val start : unit -> float
+(** Begin timing a span: the current wall clock in µs, or [0.] when
+    disabled (in which case the matching {!finish} is dropped). *)
+
+val elapsed_us : float -> int
+(** Whole µs since a {!start} stamp; 0 when disabled (or when the
+    stamp was taken while disabled). *)
+
+val finish : cat:string -> name:string -> ?args:(string * string) list -> float -> unit
+(** [finish ~cat ~name t0] emits a complete ("X") span from [t0] to
+    now on the calling domain's track. *)
+
+val span : cat:string -> name:string -> ?args:(string * string) list -> (unit -> 'a) -> 'a
+(** [span ~cat ~name f] runs [f] inside a complete span (emitted even
+    when [f] raises); just [f ()] when disabled. *)
+
+val sample : name:string -> int -> unit
+(** Emit a Chrome counter ("C") event, e.g. instantaneous queue
+    depth. *)
+
+val count : ?labels:(string * string) list -> string -> int -> unit
+(** Bump a registry counter by [n]. *)
+
+val observe : ?labels:(string * string) list -> ?bounds:int list -> string -> int -> unit
+(** Record a sample in a registry histogram (µs for latencies). *)
+
+val us_bounds : int list
+(** Latency-histogram bounds in µs: decades from 10 µs to 10 s. *)
+
+(** {1 Export} *)
+
+val events : t -> int
+(** Number of trace events recorded so far. *)
+
+val to_chrome : t -> Sdt_observe.Jsonw.t
+(** Chrome [trace_event] JSON: all spans and counter samples
+    (timestamps rebased to sink creation), plus thread-name metadata
+    for every worker track seen. *)
+
+val write_chrome : out_channel -> t -> unit
+
+val metrics_json : t -> Sdt_observe.Jsonw.t
+(** Snapshot of the sink's registry ({!Sdt_observe.Registry.to_json}). *)

@@ -9,6 +9,8 @@ module Inst = Sdt_isa.Inst
 module Arch = Sdt_march.Arch
 module Timing = Sdt_march.Timing
 module Machine = Sdt_machine.Machine
+module Block = Sdt_machine.Block
+module Introspect = Sdt_machine.Introspect
 module Loader = Sdt_machine.Loader
 module Config = Sdt_core.Config
 module Runtime = Sdt_core.Runtime
@@ -21,6 +23,8 @@ module Trace = Sdt_observe.Trace
 module Metrics = Sdt_observe.Metrics
 module Profile = Sdt_observe.Profile
 module Observer = Sdt_observe.Observer
+module Registry = Sdt_observe.Registry
+module Telemetry = Sdt_par.Telemetry
 
 let check = Alcotest.check
 let int = Alcotest.int
@@ -54,6 +58,21 @@ let test_ring_wraparound () =
   Ring.push r 42;
   check (Alcotest.list int) "usable after clear" [ 42 ] (Ring.to_list r)
 
+(* a ring filled to exactly its capacity must keep everything: the
+   boundary where head = tail again and an off-by-one would either
+   drop the first element or report a phantom drop *)
+let test_ring_exact_capacity () =
+  let r = Ring.create ~capacity:4 in
+  for i = 1 to 4 do
+    Ring.push r i
+  done;
+  check int "full length" 4 (Ring.length r);
+  check int "nothing dropped" 0 (Ring.dropped r);
+  check (Alcotest.list int) "all kept in order" [ 1; 2; 3; 4 ] (Ring.to_list r);
+  Ring.push r 5;
+  check int "one past capacity drops one" 1 (Ring.dropped r);
+  check (Alcotest.list int) "oldest went first" [ 2; 3; 4; 5 ] (Ring.to_list r)
+
 (* ------------------------------------------------------------------ *)
 (* Histo *)
 
@@ -74,6 +93,39 @@ let test_histo_bounds_sorted () =
   Alcotest.check_raises "unsorted bounds rejected"
     (Invalid_argument "Histo.create: bounds must be strictly increasing")
     (fun () -> ignore (Histo.create ~bounds:[ 4; 2 ] "bad"))
+
+let test_histo_percentile () =
+  let feq msg want got =
+    check bool (Printf.sprintf "%s (want %g, got %g)" msg want got) true
+      (abs_float (want -. got) < 1e-9)
+  in
+  let h = Histo.create ~bounds:[ 10; 20; 30 ] "p" in
+  feq "empty is 0" 0.0 (Histo.percentile h 50.0);
+  (* one sample per bucket: targets land mid-bucket by linear
+     interpolation against the bucket edges *)
+  List.iter (Histo.observe h) [ 5; 15; 25 ];
+  feq "p50 mid second bucket" 15.0 (Histo.percentile h 50.0);
+  (* interpolation would reach the bucket edge 30, but no observed
+     sample exceeded 25, so the estimate clamps to the tracked max *)
+  feq "p100 clamps to observed max" 25.0 (Histo.percentile h 100.0);
+  (* ten samples in the first bucket: p50 interpolates to its middle *)
+  let u = Histo.create ~bounds:[ 10; 20 ] "u" in
+  for _ = 1 to 10 do
+    Histo.observe u 7
+  done;
+  feq "uniform first bucket p50" 5.0 (Histo.percentile u 50.0);
+  feq "uniform first bucket p90 clamps to observed max" 7.0
+    (Histo.percentile u 90.0);
+  (* overflow bucket: upper edge is the tracked max, not infinity *)
+  let o = Histo.create ~bounds:[ 10 ] "o" in
+  List.iter (Histo.observe o) [ 50; 100 ];
+  feq "overflow p100 clamps to max" 100.0 (Histo.percentile o 100.0);
+  check bool "overflow p50 between last bound and max" true
+    (let v = Histo.percentile o 50.0 in
+     v >= 10.0 && v <= 100.0);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Histo.percentile: p outside [0,100]") (fun () ->
+      ignore (Histo.percentile h 101.0))
 
 (* ------------------------------------------------------------------ *)
 (* Jsonw *)
@@ -266,11 +318,61 @@ let test_parser_accepts_writer () =
   | exception Bad_json _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let test_registry_instruments () =
+  let r = Registry.create () in
+  check string "identity canonicalises label order"
+    (Registry.identity ~labels:[ ("b", "2"); ("a", "1") ] "m")
+    (Registry.identity ~labels:[ ("a", "1"); ("b", "2") ] "m");
+  check string "identity shape" {|m{a="1",b="2"}|}
+    (Registry.identity ~labels:[ ("b", "2"); ("a", "1") ] "m");
+  check string "no labels, no braces" "m" (Registry.identity "m");
+  (* same identity -> same counter, whatever the label order *)
+  let c1 = Registry.counter r ~labels:[ ("w", "0"); ("q", "x") ] "hits" in
+  let c2 = Registry.counter r ~labels:[ ("q", "x"); ("w", "0") ] "hits" in
+  Registry.incr c1;
+  Registry.add c2 4;
+  check int "counters accumulate across requests" 5 (Registry.value c1);
+  (match Registry.add c1 (-1) with
+  | () -> Alcotest.fail "negative add accepted"
+  | exception Invalid_argument _ -> ());
+  Registry.incr (Registry.counter r "zz");
+  (* cross-kind identity collisions are errors *)
+  (match Registry.gauge r "zz" (fun () -> 0.0) with
+  | () -> Alcotest.fail "gauge over counter accepted"
+  | exception Invalid_argument _ -> ());
+  (match Registry.histogram r "zz" with
+  | _ -> Alcotest.fail "histogram over counter accepted"
+  | exception Invalid_argument _ -> ());
+  (* gauges re-register; histograms keep their first identity *)
+  Registry.gauge r "g" (fun () -> 1.0);
+  Registry.gauge r "g" (fun () -> 2.0);
+  let h1 = Registry.histogram r ~bounds:[ 1; 2 ] "h" in
+  let h2 = Registry.histogram r ~bounds:[ 100; 200 ] "h" in
+  check bool "histogram identity shared" true (h1 == h2);
+  check
+    (Alcotest.list (Alcotest.pair string int))
+    "counters in registration order"
+    [ ({|hits{q="x",w="0"}|}, 5); ("zz", 1) ]
+    (Registry.counters r);
+  check int "size counts all kinds" 4 (Registry.size r);
+  (* snapshot parses and polls the freshest gauge *)
+  match parse_json (Jsonw.to_string (Registry.to_json r)) with
+  | `Obj fields -> (
+      match List.assoc_opt "gauges" fields with
+      | Some (`Obj [ ("g", `Num v) ]) ->
+          check bool "gauge re-registration wins" true
+            (float_of_string v = 2.0)
+      | _ -> Alcotest.fail "gauges section shape")
+  | _ -> Alcotest.fail "registry json shape"
+
+(* ------------------------------------------------------------------ *)
 (* Running workloads with and without an observer *)
 
 let arch = Option.get (Arch.by_name "archA")
 
-let run_with cfg program ~observe =
+let run_with ?(sample_interval = 500) cfg program ~observe =
   let timing = Timing.create arch in
   let tracer = Trace.create () in
   let metrics = Metrics.create () in
@@ -280,7 +382,7 @@ let run_with cfg program ~observe =
       Some
         (Observer.create
            ~clock:(fun () -> Timing.cycles timing)
-           ~trace:tracer ~metrics ~profile ~sample_interval:500 ())
+           ~trace:tracer ~metrics ~profile ~sample_interval ())
     else None
   in
   let rt = Runtime.create ~cfg ~arch ~timing ?observer program in
@@ -329,6 +431,40 @@ let test_observer_effect_free () =
       check int (name ^ " checksum identical") (sum plain) (sum observed))
     configs
 
+(* an interval longer than the whole run: the periodic sampler never
+   fires, but the end-of-run forced sample still lands exactly once *)
+let test_metrics_interval_exceeds_run () =
+  let e = Option.get (Suite.find "perlbmk") in
+  let program = Suite.program e `Test in
+  let _, (_, metrics, _) =
+    run_with ~sample_interval:max_int Config.default program ~observe:true
+  in
+  check int "exactly the forced final sample" 1 (Metrics.samples metrics);
+  match Metrics.rows metrics with
+  | [ (cycle, _) ] -> check bool "sampled at a real cycle" true (cycle > 0)
+  | rows -> Alcotest.failf "expected one row, got %d" (List.length rows)
+
+(* the observability-v2 layers on top of the observer — a live
+   telemetry sink (with its registry) and block-cache introspection —
+   must be just as invisible to the simulation as the observer is *)
+let run_instrumented cfg program =
+  let sink = Telemetry.create () in
+  Telemetry.install sink;
+  Fun.protect
+    ~finally:(fun () -> Telemetry.uninstall ())
+    (fun () ->
+      Telemetry.span ~cat:"test" ~name:"run" @@ fun () ->
+      Telemetry.count "test.runs" 1;
+      (* no observer, so the block path actually runs (a timing probe
+         would fall back to the step loop) and introspection attaches
+         its per-IB-site counters *)
+      let timing = Timing.create arch in
+      let rt = Runtime.create ~cfg ~arch ~timing program in
+      Machine.set_block_introspect (Runtime.machine rt) true;
+      Runtime.run rt;
+      let m = Runtime.machine rt in
+      (Timing.cycles timing, Machine.output m, m.Machine.checksum))
+
 (* the same property, across random configurations and workloads *)
 let qcheck_observer_effect_free =
   let open QCheck in
@@ -373,7 +509,9 @@ let qcheck_observer_effect_free =
           pred link)
       gen
   in
-  QCheck.Test.make ~count:25 ~name:"observer never perturbs the simulation" arb
+  QCheck.Test.make ~count:25
+    ~name:"observer, telemetry and introspection never perturb the simulation"
+    arb
     (fun (wl, mech, returns, pred_depth, link_direct) ->
       let cfg =
         { Config.default with mech; returns; pred_depth; link_direct }
@@ -382,7 +520,8 @@ let qcheck_observer_effect_free =
       let program = Suite.program e `Test in
       let plain, _ = run_with cfg program ~observe:false in
       let observed, _ = run_with cfg program ~observe:true in
-      plain = observed)
+      let instrumented = run_instrumented cfg program in
+      plain = observed && plain = instrumented)
 
 (* ------------------------------------------------------------------ *)
 (* The Chrome trace export: independently parseable, cycle-ordered *)
@@ -445,6 +584,62 @@ let test_chrome_trace_golden () =
   check bool "hot fragments found" true (Profile.hot_fragments profile <> [])
 
 (* ------------------------------------------------------------------ *)
+(* Block-cache introspection: the per-IB-site counters must balance,
+   and their entropy must be the same figure the observer's profile
+   would report for the same target multiset — both call
+   Profile.entropy_bits, checked here against an independent Shannon
+   computation. *)
+
+let test_introspect_entropy_matches_profile () =
+  let e = Option.get (Suite.find "perlbmk") in
+  let program = Suite.program e `Test in
+  let timing = Timing.create arch in
+  let m = Loader.load ~timing program in
+  Machine.set_block_introspect m true;
+  Machine.run_blocks m;
+  let c =
+    match Machine.block_cache m with
+    | Some c -> c
+    | None -> Alcotest.fail "no block cache after run_blocks"
+  in
+  let sites = Block.ind_sites c in
+  check bool "sites collected" true (sites <> []);
+  List.iter
+    (fun (s : Block.isite) ->
+      let counts = List.map snd (Block.site_targets s) in
+      let execs = List.fold_left ( + ) 0 counts in
+      check int
+        (Printf.sprintf "0x%x: hits+misses = executions" s.Block.is_pc)
+        execs
+        (s.Block.is_hits + s.Block.is_misses);
+      let total = float_of_int execs in
+      let independent =
+        List.fold_left
+          (fun acc n ->
+            if n = 0 then acc
+            else
+              let p = float_of_int n /. total in
+              acc -. (p *. (log p /. log 2.0)))
+          0.0 counts
+      in
+      check bool
+        (Printf.sprintf "0x%x: entropy is the profile's figure" s.Block.is_pc)
+        true
+        (abs_float (independent -. Profile.entropy_bits counts) < 1e-9))
+    sites;
+  (* the full dump parses, carries every site, and the DOT export has
+     a node per resident block *)
+  (match parse_json (Jsonw.to_string (Introspect.to_json c)) with
+  | `Obj fields -> (
+      match List.assoc_opt "ind_sites" fields with
+      | Some (`List l) ->
+          check int "all sites exported" (List.length sites) (List.length l)
+      | _ -> Alcotest.fail "ind_sites missing")
+  | _ -> Alcotest.fail "introspect json shape");
+  let dot = Introspect.chain_dot c in
+  check bool "dot header" true (String.length dot > 0 && String.sub dot 0 7 = "digraph")
+
+(* ------------------------------------------------------------------ *)
 (* Observer plumbing details *)
 
 let test_metrics_duplicate_rejected () =
@@ -505,9 +700,17 @@ let () =
         [
           Alcotest.test_case "ring basics" `Quick test_ring_basic;
           Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "ring exact capacity" `Quick
+            test_ring_exact_capacity;
           Alcotest.test_case "histogram bucketing" `Quick test_histo_bucketing;
           Alcotest.test_case "histogram bounds checked" `Quick
             test_histo_bounds_sorted;
+          Alcotest.test_case "histogram percentiles" `Quick
+            test_histo_percentile;
+          Alcotest.test_case "registry instruments" `Quick
+            test_registry_instruments;
+          Alcotest.test_case "metrics interval exceeds run" `Quick
+            test_metrics_interval_exceeds_run;
           Alcotest.test_case "json escaping" `Quick test_jsonw_escaping;
           Alcotest.test_case "json checker sanity" `Quick
             test_parser_accepts_writer;
@@ -527,5 +730,10 @@ let () =
         [
           Alcotest.test_case "chrome trace golden" `Quick
             test_chrome_trace_golden;
+        ] );
+      ( "introspection",
+        [
+          Alcotest.test_case "entropy matches the profile" `Quick
+            test_introspect_entropy_matches_profile;
         ] );
     ]

@@ -6,6 +6,8 @@
 module Pool = Sdt_par.Pool
 module Fingerprint = Sdt_par.Fingerprint
 module Memo = Sdt_par.Memo
+module Telemetry = Sdt_par.Telemetry
+module Registry = Sdt_observe.Registry
 module Jsonw = Sdt_observe.Jsonw
 module Arch = Sdt_march.Arch
 module Config = Sdt_core.Config
@@ -277,6 +279,117 @@ let test_memo_disk_rejects_key_mismatch () =
         (Memo.find m other (fun () -> 9));
       check int "no disk hit" 0 (Memo.disk_hits m))
 
+(* a lookup that lands while the compute is in flight must block (the
+   single-flight guarantee), be counted as a wait, and resume with the
+   computed value *)
+let test_memo_wait_counted () =
+  let m = int_memo "w" in
+  let started = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Memo.find m "k" (fun () ->
+            Atomic.set started true;
+            let rec spin n = if n > 0 then spin (n - 1) in
+            spin 30_000_000;
+            3))
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  check int "waiter sees the computed value" 3
+    (Memo.find m "k" (fun () -> Alcotest.fail "second compute"));
+  check int "wait counted" 1 (Memo.waits m);
+  check int "computing domain's own result" 3 (Domain.join d);
+  check int "waiter also counts as a hit" 1 (Memo.hits m)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else String.sub haystack i nn = needle || go (i + 1)
+  in
+  go 0
+
+let with_sink f =
+  let sink = Telemetry.create () in
+  Telemetry.install sink;
+  Fun.protect ~finally:(fun () -> Telemetry.uninstall ()) (fun () -> f sink)
+
+let test_telemetry_disabled_noop () =
+  Telemetry.uninstall ();
+  check bool "no sink" true (Telemetry.active () = None);
+  check bool "start is 0" true (Telemetry.start () = 0.);
+  check int "elapsed is 0" 0 (Telemetry.elapsed_us (Telemetry.start ()));
+  (* every hook must be callable with nothing installed *)
+  Telemetry.finish ~cat:"c" ~name:"n" (Telemetry.start ());
+  Telemetry.sample ~name:"q" 3;
+  Telemetry.count "c" 1;
+  Telemetry.observe "h" 5;
+  check int "span passes the value through" 9
+    (Telemetry.span ~cat:"c" ~name:"n" (fun () -> 9))
+
+let test_telemetry_records () =
+  with_sink (fun sink ->
+      Telemetry.span ~cat:"t" ~name:"outer" (fun () ->
+          Telemetry.count ~labels:[ ("k", "v") ] "t.events" 2;
+          Telemetry.observe ~bounds:Telemetry.us_bounds "t.lat_us" 42;
+          Telemetry.sample ~name:"t.depth" 1);
+      check bool "trace events recorded" true (Telemetry.events sink >= 2);
+      let chrome = Jsonw.to_string (Telemetry.to_chrome sink) in
+      check bool "span exported" true (contains chrome {|"outer"|});
+      check bool "counter sample exported" true (contains chrome "t.depth");
+      check bool "worker track metadata" true (contains chrome "thread_name");
+      let counters = Registry.counters (Telemetry.registry sink) in
+      check bool "registry counter with labels" true
+        (List.assoc_opt {|t.events{k="v"}|} counters = Some 2);
+      check bool "metrics snapshot exports" true
+        (contains (Jsonw.to_string (Telemetry.metrics_json sink)) "t.lat_us"))
+
+let test_telemetry_span_survives_raise () =
+  with_sink (fun sink ->
+      (match Telemetry.span ~cat:"t" ~name:"boom" (fun () -> failwith "x") with
+      | _ -> Alcotest.fail "expected the exception through"
+      | exception Failure _ -> ());
+      check bool "span still recorded" true (Telemetry.events sink >= 1);
+      check bool "span named" true
+        (contains (Jsonw.to_string (Telemetry.to_chrome sink)) {|"boom"|}))
+
+(* the pool and memo hooks end-to-end: results are unchanged by a live
+   sink, and the sink sees task/batch spans, queue-depth samples, and
+   the memo's hit/miss accounting *)
+let test_telemetry_pool_and_memo_instrumented () =
+  let expected = Array.init 16 (fun i -> i mod 4) in
+  with_sink (fun sink ->
+      let m = int_memo "tele" in
+      Pool.with_pool ~jobs:2 (fun pool ->
+          let got =
+            Pool.map pool
+              (fun i -> Memo.find m (string_of_int (i mod 4)) (fun () -> i mod 4))
+              (Array.init 16 (fun i -> i))
+          in
+          check bool "results unchanged under telemetry" true (got = expected));
+      let counters = Registry.counters (Telemetry.registry sink) in
+      let total prefix =
+        List.fold_left
+          (fun acc (id, v) ->
+            if
+              String.length id >= String.length prefix
+              && String.sub id 0 (String.length prefix) = prefix
+            then acc + v
+            else acc)
+          0 counters
+      in
+      check int "memo misses counted" 4 (total "memo.misses");
+      check int "memo hits (incl. resumed waiters) counted" 12
+        (total "memo.hits" + total "memo.waits");
+      let chrome = Jsonw.to_string (Telemetry.to_chrome sink) in
+      check bool "task spans" true (contains chrome {|"task"|});
+      check bool "batch span" true (contains chrome {|"batch"|});
+      check bool "queue depth sampled" true (contains chrome "pool.queue_depth"))
+
 let () =
   Alcotest.run "sdt_par"
     [
@@ -316,5 +429,17 @@ let () =
             test_memo_disk_rejects_garbage;
           Alcotest.test_case "disk rejects key mismatch" `Quick
             test_memo_disk_rejects_key_mismatch;
+          Alcotest.test_case "wait counted" `Quick test_memo_wait_counted;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "disabled hooks no-op" `Quick
+            test_telemetry_disabled_noop;
+          Alcotest.test_case "records spans and metrics" `Quick
+            test_telemetry_records;
+          Alcotest.test_case "span survives a raise" `Quick
+            test_telemetry_span_survives_raise;
+          Alcotest.test_case "pool and memo instrumented" `Quick
+            test_telemetry_pool_and_memo_instrumented;
         ] );
     ]
