@@ -38,7 +38,7 @@ type options = {
   mutable cache_dir : string option;
   mutable perf : bool;
   mutable perf_exec : string option;
-  mutable exec_mode : [ `Step | `Block | `Block_nochain ];
+  mutable exec_mode : [ `Step | `Block | `Block_nochain | `Trace ];
   mutable telemetry : string option;
   mutable check_perf : bool;
   mutable best_of : int;
@@ -51,17 +51,20 @@ let mode_of_string = function
   | "step" -> Some `Step
   | "block" -> Some `Block
   | "block-nochain" -> Some `Block_nochain
+  | "trace" -> Some `Trace
   | _ -> None
 
 let mode_name = function
   | `Step -> "step"
   | `Block -> "block"
   | `Block_nochain -> "block-nochain"
+  | `Trace -> "trace"
 
 let mode_label = function
   | `Step -> "per-step interpreter"
   | `Block -> "chained block interpreter"
   | `Block_nochain -> "block interpreter (no chain)"
+  | `Trace -> "trace/superblock interpreter"
 
 (* one row per option: flag, value placeholder ("" = boolean), doc,
    handler — the usage string and the dispatch loop both derive from
@@ -118,12 +121,12 @@ let specs (o : options) =
     ( "--perf-exec",
       "MODES",
       "time the selected grid cold-serial once per comma-separated \
-       interpreter mode (step|block|block-nochain), report the speedup \
-       matrix and the ratio against the committed bench/baselines, then \
-       exit",
+       interpreter mode (step|block|block-nochain|trace), report the \
+       speedup matrix and the ratio against the committed \
+       bench/baselines, then exit",
       fun v -> o.perf_exec <- Some v );
     ( "--exec-mode",
-      "step|block|block-nochain",
+      "step|block|block-nochain|trace",
       "interpreter loop for simulated cells (default block; results are \
        bit-identical in every mode)",
       fun v ->
@@ -132,7 +135,8 @@ let specs (o : options) =
           | Some m -> m
           | None ->
               Printf.eprintf
-                "--exec-mode: expected step, block or block-nochain, got %S\n"
+                "--exec-mode: expected step, block, block-nochain or trace, \
+                 got %S\n"
                 v;
               exit 2) );
     ( "--no-bechamel",
@@ -281,6 +285,10 @@ type cell_report = {
   r_block_invalidations : int;  (** recompiles forced by SMC *)
   r_chain_hits : int;  (** block transitions served by a chain link *)
   r_chain_severs : int;  (** chain links dropped as stale *)
+  r_trace_compiles : int;  (** superblocks formed (trace mode only) *)
+  r_trace_entries : int;  (** dispatches that entered a valid trace *)
+  r_side_exits : int;  (** trace guard divergences *)
+  r_trace_severs : int;  (** traces dropped by a generation bump *)
 }
 
 let experiment_json (e : Experiments.experiment) size ~jobs seconds
@@ -301,6 +309,10 @@ let experiment_json (e : Experiments.experiment) size ~jobs seconds
       ("block_invalidations", Jsonw.Int r.r_block_invalidations);
       ("chain_hits", Jsonw.Int r.r_chain_hits);
       ("chain_severs", Jsonw.Int r.r_chain_severs);
+      ("trace_compiles", Jsonw.Int r.r_trace_compiles);
+      ("trace_entries", Jsonw.Int r.r_trace_entries);
+      ("side_exits", Jsonw.Int r.r_side_exits);
+      ("trace_severs", Jsonw.Int r.r_trace_severs);
       ("tables", Jsonw.List (List.map table_json tables));
     ]
 
@@ -333,6 +345,10 @@ let run_one pool size (e : Experiments.experiment) =
       r_block_invalidations = b1.Run.invalidations - b0.Run.invalidations;
       r_chain_hits = b1.Run.chain_hits - b0.Run.chain_hits;
       r_chain_severs = b1.Run.chain_severs - b0.Run.chain_severs;
+      r_trace_compiles = b1.Run.trace_compiles - b0.Run.trace_compiles;
+      r_trace_entries = b1.Run.trace_entries - b0.Run.trace_entries;
+      r_side_exits = b1.Run.side_exits - b0.Run.side_exits;
+      r_trace_severs = b1.Run.trace_severs - b0.Run.trace_severs;
     } )
 
 let run_experiments pool size csv_dir json_dir exps =
@@ -423,7 +439,12 @@ let run_perf size jobs exps =
   Printf.printf
     "  block cache: %d decodes, %d invalidations, %d chain hits, %d chain \
      severs\n%!"
-    b.Run.decodes b.Run.invalidations b.Run.chain_hits b.Run.chain_severs
+    b.Run.decodes b.Run.invalidations b.Run.chain_hits b.Run.chain_severs;
+  if b.Run.trace_compiles > 0 then
+    Printf.printf
+      "  trace tier: %d compiles, %d entries, %d side exits, %d severs\n%!"
+      b.Run.trace_compiles b.Run.trace_entries b.Run.side_exits
+      b.Run.trace_severs
 
 (* The committed baseline wall time for an experiment selection: the
    sum of the "seconds" fields of bench/baselines/BENCH_<id>.json, if
@@ -493,15 +514,22 @@ let run_perf_exec size modes exps =
   ratio "step/chained speedup:       " `Step `Block;
   ratio "step/nochain speedup:       " `Step `Block_nochain;
   ratio "nochain/chained speedup:    " `Block_nochain `Block;
-  match (time_of `Block, baseline_seconds exps) with
-  | Some chained, Some base ->
-      Printf.printf "  committed-baseline/chained: %.2fx  (%.2fs baseline)\n%!"
-        (base /. chained) base
-  | Some _, None ->
-      Printf.printf
-        "  committed-baseline/chained: n/a (no bench/baselines entry for \
-         every selected experiment)\n%!"
-  | None, _ -> ()
+  ratio "step/trace speedup:         " `Step `Trace;
+  ratio "chained/trace speedup:      " `Block `Trace;
+  let against_baseline label mode =
+    match (time_of mode, baseline_seconds exps) with
+    | Some dt, Some base ->
+        Printf.printf "  %s %.2fx  (%.2fs baseline)\n%!" label (base /. dt)
+          base
+    | Some _, None ->
+        Printf.printf
+          "  %s n/a (no bench/baselines entry for every selected \
+           experiment)\n%!"
+          label
+    | None, _ -> ()
+  in
+  against_baseline "committed-baseline/chained:" `Block;
+  against_baseline "committed-baseline/trace:  " `Trace
 
 (* --check-perf: the statistical regression gate (see Perfgate). Cold,
    serial, best-of-N per experiment so one noisy repetition can't fail
@@ -669,8 +697,8 @@ let () =
             | Some m -> m
             | None ->
                 Printf.eprintf
-                  "--perf-exec: expected step, block or block-nochain, got \
-                   %S\n"
+                  "--perf-exec: expected step, block, block-nochain or \
+                   trace, got %S\n"
                   s;
                 exit 2)
           (String.split_on_char ',' spec)

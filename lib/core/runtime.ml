@@ -268,7 +268,8 @@ let run ?max_steps ?(mode = `Block) t =
       | `Step -> Machine.run ?max_steps t.env.Env.machine
       | `Block -> Machine.run_blocks ?max_steps t.env.Env.machine
       | `Block_nochain ->
-          Machine.run_blocks ?max_steps ~chain:false t.env.Env.machine)
+          Machine.run_blocks ?max_steps ~chain:false t.env.Env.machine
+      | `Trace -> Machine.run_blocks ?max_steps ~trace:true t.env.Env.machine)
     with Translate.Unsupported msg -> error "unsupported application: %s" msg
   in
   match t.env.Env.obs with

@@ -41,15 +41,20 @@ val create :
     @raise Error on an invalid configuration. *)
 
 val run :
-  ?max_steps:int -> ?mode:[ `Step | `Block | `Block_nochain ] -> t -> unit
+  ?max_steps:int ->
+  ?mode:[ `Step | `Block | `Block_nochain | `Trace ] ->
+  t ->
+  unit
 (** Translate the entry block and run to exit. [mode] picks the
     interpreter loop: [`Block] (the default) executes through the
     compiled basic-block cache with direct block chaining
     ({!Machine.run_blocks}), [`Block_nochain] the same without chain
     links (every transition re-probes the cache — the differential
-    mode), [`Step] the classic per-instruction loop — all three produce
-    bit-identical measured results; block modes are simply faster
-    host-side.
+    mode), [`Trace] the block cache plus the hot-trace superblock tier
+    (hot predicted paths spliced into single closure chains with biased
+    side-exit stubs), [`Step] the classic per-instruction loop — all
+    four produce bit-identical measured results; block and trace modes
+    are simply faster host-side.
     @raise Machine.Error on step-limit overrun;
     @raise Error on translator failures (unsupported application code,
     fragment-cache overflow under fast returns). *)

@@ -47,11 +47,12 @@ let max_steps = ref 2_000_000_000
    reference loop. SDT_EXEC_MODE overrides the default from the
    environment so the whole test suite can be re-run under another
    mode without touching callers (the CI matrix does). *)
-let exec_mode : [ `Step | `Block | `Block_nochain ] ref =
+let exec_mode : [ `Step | `Block | `Block_nochain | `Trace ] ref =
   ref
     (match Sys.getenv_opt "SDT_EXEC_MODE" with
     | Some "step" -> `Step
     | Some "block-nochain" -> `Block_nochain
+    | Some "trace" -> `Trace
     | Some _ | None -> `Block)
 
 let set_exec_mode m = exec_mode := m
@@ -61,6 +62,7 @@ let run_machine ~max_steps m =
   | `Step -> Machine.run ~max_steps m
   | `Block -> Machine.run_blocks ~max_steps m
   | `Block_nochain -> Machine.run_blocks ~chain:false ~max_steps m
+  | `Trace -> Machine.run_blocks ~trace:true ~max_steps m
 
 (* Block-cache statistics accumulated across every simulated machine
    (memoized cells add nothing, as with {!sim_instrs}), native and SDT
@@ -69,12 +71,20 @@ let bc_decodes = Atomic.make 0
 let bc_invalidations = Atomic.make 0
 let bc_chain_hits = Atomic.make 0
 let bc_chain_severs = Atomic.make 0
+let bc_trace_compiles = Atomic.make 0
+let bc_trace_entries = Atomic.make 0
+let bc_side_exits = Atomic.make 0
+let bc_trace_severs = Atomic.make 0
 
 type block_cache_stats = {
   decodes : int;
   invalidations : int;
   chain_hits : int;
   chain_severs : int;
+  trace_compiles : int;
+  trace_entries : int;
+  side_exits : int;
+  trace_severs : int;
 }
 
 let note_block_stats m =
@@ -89,7 +99,18 @@ let note_block_stats m =
         (Atomic.fetch_and_add bc_chain_hits s.Sdt_machine.Block.st_chain_hits);
       ignore
         (Atomic.fetch_and_add bc_chain_severs
-           s.Sdt_machine.Block.st_chain_severs)
+           s.Sdt_machine.Block.st_chain_severs);
+      ignore
+        (Atomic.fetch_and_add bc_trace_compiles
+           s.Sdt_machine.Block.st_trace_compiles);
+      ignore
+        (Atomic.fetch_and_add bc_trace_entries
+           s.Sdt_machine.Block.st_trace_entries);
+      ignore
+        (Atomic.fetch_and_add bc_side_exits s.Sdt_machine.Block.st_side_exits);
+      ignore
+        (Atomic.fetch_and_add bc_trace_severs
+           s.Sdt_machine.Block.st_trace_severs)
 
 let block_cache_stats () =
   {
@@ -97,6 +118,10 @@ let block_cache_stats () =
     invalidations = Atomic.get bc_invalidations;
     chain_hits = Atomic.get bc_chain_hits;
     chain_severs = Atomic.get bc_chain_severs;
+    trace_compiles = Atomic.get bc_trace_compiles;
+    trace_entries = Atomic.get bc_trace_entries;
+    side_exits = Atomic.get bc_side_exits;
+    trace_severs = Atomic.get bc_trace_severs;
   }
 
 (* Instructions actually simulated (cache misses only — memoized cells

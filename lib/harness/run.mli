@@ -76,17 +76,18 @@ val cache_stats : unit -> cache_stats
 val max_steps : int ref
 (** Step budget per run (default 2 * 10^9). *)
 
-val set_exec_mode : [ `Step | `Block | `Block_nochain ] -> unit
+val set_exec_mode : [ `Step | `Block | `Block_nochain | `Trace ] -> unit
 (** Interpreter loop used for simulated cells: [`Block] (default)
     executes through the compiled basic-block cache with direct block
     chaining, [`Block_nochain] the same without chain links (every
-    transition re-probes the cache), [`Step] the classic
-    per-instruction loop. All three produce bit-identical measured
-    results; the switch exists for A/B host-time comparison ([bench
-    --perf-exec]) and differential testing. The default can also be
-    overridden with the [SDT_EXEC_MODE] environment variable
-    ([step] | [block] | [block-nochain]), which the CI matrix uses to
-    re-run the whole suite per mode. *)
+    transition re-probes the cache), [`Trace] the block cache plus the
+    hot-trace superblock tier, [`Step] the classic per-instruction
+    loop. All four produce bit-identical measured results; the switch
+    exists for A/B host-time comparison ([bench --perf-exec]) and
+    differential testing. The default can also be overridden with the
+    [SDT_EXEC_MODE] environment variable
+    ([step] | [block] | [block-nochain] | [trace]), which the CI matrix
+    uses to re-run the whole suite per mode. *)
 
 val simulated_instructions : unit -> int
 (** Guest instructions executed by actually-simulated runs (memoized
@@ -98,10 +99,15 @@ type block_cache_stats = {
   invalidations : int;  (** recompilations forced by a generation bump *)
   chain_hits : int;  (** transitions served by a valid chain link *)
   chain_severs : int;  (** links found stale and dropped *)
+  trace_compiles : int;  (** superblocks formed *)
+  trace_entries : int;  (** dispatches that entered a valid trace *)
+  side_exits : int;  (** trace guard divergences *)
+  trace_severs : int;  (** traces dropped by a generation bump *)
 }
 
 val block_cache_stats : unit -> block_cache_stats
 (** Block-cache activity summed over every actually-simulated machine
     (native and SDT; memoized cells add nothing) since process start,
     accumulated atomically across pool domains. All zero under
-    [`Step]. *)
+    [`Step]; the trace-tier counters are nonzero only under
+    [`Trace]. *)

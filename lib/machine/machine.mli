@@ -73,7 +73,7 @@ val run : ?max_steps:int -> t -> unit
     elapses first — the deterministic workloads always terminate, so
     hitting the limit indicates a translation bug. *)
 
-val run_blocks : ?max_steps:int -> ?chain:bool -> t -> unit
+val run_blocks : ?max_steps:int -> ?chain:bool -> ?trace:bool -> t -> unit
 (** Like {!run}, but through the compiled basic-block cache ({!Block}):
     straight-line runs compile once into pre-specialized closures and
     re-execute with no per-instruction decode, dispatch, or status
@@ -84,10 +84,16 @@ val run_blocks : ?max_steps:int -> ?chain:bool -> t -> unit
     is handled by recompiling blocks whose words were overwritten and
     severing every chain link forged under the old generation (see
     {!Memory.code_gen}). [chain:false] disables link installation so
-    every transition re-probes — the differential-testing mode. Falls
-    back to {!run} when an observability probe is installed on the
-    timing model, since a probe samples per-instruction state that
-    block execution batches. *)
+    every transition re-probes — the differential-testing mode.
+    [trace:true] (which implies chaining) adds the superblock tier:
+    blocks dispatched {!Block.hot_threshold} times have their predicted
+    path spliced into a single threaded closure chain with biased
+    conditionals and monomorphic indirects guarded by side-exit stubs
+    and the whole path's static cycles charged once per entry
+    ({!Block.hot_trace}) — still bit-identical on every measured
+    quantity. Falls back to {!run} when an observability probe is
+    installed on the timing model, since a probe samples
+    per-instruction state that block execution batches. *)
 
 val block_stats : t -> Block.stats option
 (** Block-cache statistics, if {!run_blocks} has run on this machine. *)

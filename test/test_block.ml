@@ -60,14 +60,19 @@ let mode_name = function
   | `Step -> "step"
   | `Block -> "block"
   | `Block_nochain -> "block-nochain"
+  | `Trace -> "trace"
+
+let run_native mode m =
+  match mode with
+  | `Step -> Machine.run m
+  | `Block -> Machine.run_blocks m
+  | `Block_nochain -> Machine.run_blocks ~chain:false m
+  | `Trace -> Machine.run_blocks ~trace:true m
 
 let native_fingerprint arch program mode =
   let timing = Timing.create arch in
   let m = Loader.load ~timing program in
-  (match mode with
-  | `Step -> Machine.run m
-  | `Block -> Machine.run_blocks m
-  | `Block_nochain -> Machine.run_blocks ~chain:false m);
+  run_native mode m;
   fingerprint ~timing ~stats:[] m
 
 let sdt_fingerprint arch cfg program mode =
@@ -89,10 +94,10 @@ let check_equivalent label step block =
     Alcotest.failf "%s diverged:\n  step:  %s\n  block: %s" label
       (pp_fingerprint step) (pp_fingerprint block)
 
-(* Three-way: per-step execution is the semantic reference; both block
-   modes (chained, the default, and with links disabled) must be
-   bit-identical to it. *)
-let check_three_way label fp_of_mode =
+(* Four-way: per-step execution is the semantic reference; both block
+   modes (chained, the default, and with links disabled) and the
+   trace/superblock mode must be bit-identical to it. *)
+let check_four_way label fp_of_mode =
   let step = fp_of_mode `Step in
   List.iter
     (fun mode ->
@@ -100,7 +105,7 @@ let check_three_way label fp_of_mode =
       if step <> fp then
         Alcotest.failf "%s diverged:\n  step: %s\n  %s: %s" label
           (pp_fingerprint step) (mode_name mode) (pp_fingerprint fp))
-    [ `Block; `Block_nochain ]
+    [ `Block; `Block_nochain; `Trace ]
 
 (* ------------------------------------------------------------------ *)
 (* Native equivalence: all 14 workloads x archA/archB *)
@@ -111,7 +116,7 @@ let test_native_equivalence () =
       let program = Suite.program e `Test in
       List.iter
         (fun arch ->
-          check_three_way
+          check_four_way
             (Printf.sprintf "native %s on %s" e.Suite.name arch.Arch.name)
             (native_fingerprint arch program))
         [ Arch.arch_a; Arch.arch_b ])
@@ -152,7 +157,7 @@ let test_sdt_equivalence () =
         (fun arch ->
           List.iter
             (fun (mech_name, cfg) ->
-              check_three_way
+              check_four_way
                 (Printf.sprintf "sdt %s/%s on %s" e.Suite.name mech_name
                    arch.Arch.name)
                 (sdt_fingerprint arch cfg program))
@@ -185,17 +190,14 @@ let test_smc_store_word () =
   List.iter
     (fun mode ->
       let m = Loader.load (smc_program ()) in
-      (match mode with
-      | `Step -> Machine.run m
-      | `Block -> Machine.run_blocks m
-      | `Block_nochain -> Machine.run_blocks ~chain:false m);
+      run_native mode m;
       check string
         (Printf.sprintf "patched instruction executed (%s)" (mode_name mode))
         "9" (Machine.output m))
-    [ `Step; `Block; `Block_nochain ];
+    [ `Step; `Block; `Block_nochain; `Trace ];
   (* and the modes agree on every counter, not just the output *)
   let program = smc_program () in
-  check_three_way "smc store_word" (native_fingerprint Arch.arch_a program)
+  check_four_way "smc store_word" (native_fingerprint Arch.arch_a program)
 
 (* Host-side patching, linker-style: a trap handler overwrites an
    *already executed* instruction via [Memory.write_bytes] (the same
@@ -245,14 +247,11 @@ let test_smc_write_bytes () =
             Memory.write_bytes m.Machine.mem !patch_addr bytes
           end;
           m.Machine.pc <- trap_pc + 4);
-      (match mode with
-      | `Step -> Machine.run m
-      | `Block -> Machine.run_blocks m
-      | `Block_nochain -> Machine.run_blocks ~chain:false m);
+      run_native mode m;
       check string
         (Printf.sprintf "host patch visible on re-entry (%s)" (mode_name mode))
         "59" (Machine.output m))
-    [ `Step; `Block; `Block_nochain ]
+    [ `Step; `Block; `Block_nochain; `Trace ]
 
 (* The SDT's own self-modification — fragment emission and exit-stub
    linking through [Memory.store_word] — exercised end to end: a
@@ -264,7 +263,7 @@ let test_smc_translator_patching () =
   let program = Suite.program e `Test in
   List.iter
     (fun (mech_name, cfg) ->
-      check_three_way
+      check_four_way
         ("translator patching under " ^ mech_name)
         (sdt_fingerprint Arch.arch_a cfg program))
     mech_configs
@@ -333,7 +332,7 @@ let qcheck_block_equivalence =
         (fun mode ->
           native_step = native_fingerprint arch program mode
           && sdt_step = sdt_fingerprint arch cfg program mode)
-        [ `Block; `Block_nochain ])
+        [ `Block; `Block_nochain; `Trace ])
 
 (* SMC variant: the guest toggles an instruction inside its own hot
    loop every iteration (XOR with the difference of two encodings), so
@@ -394,7 +393,126 @@ let qcheck_smc_chain_severing =
       step.output = expected
       && List.for_all
            (fun mode -> step = native_fingerprint arch program mode)
-           [ `Block; `Block_nochain ])
+           [ `Block; `Block_nochain; `Trace ])
+
+(* ------------------------------------------------------------------ *)
+(* Trace tier: a hot loop with a biased conditional must form a
+   superblock whose cold side is a side-exit stub, and taking that stub
+   must rejoin the normal block cache with every counter identical to
+   the step-mode run. The loop takes the branch 15 of every 16
+   iterations, comfortably past the 7/8 bias threshold, and falls
+   through (the cold +100 arm) on the remaining 8. *)
+
+let biased_cond_iters = 128
+
+let biased_cond_program () =
+  let b = Builder.create () in
+  let start = Builder.here b in
+  let loop_head = Builder.fresh_label b in
+  let join = Builder.fresh_label b in
+  Builder.li b Reg.t5 biased_cond_iters;
+  Builder.place b loop_head;
+  Builder.emit b (Inst.Addi (Reg.a0, Reg.a0, 1));
+  Builder.emit b (Inst.Andi (Reg.t6, Reg.t5, 15));
+  Builder.bne b Reg.t6 Reg.zero join;
+  Builder.emit b (Inst.Addi (Reg.a0, Reg.a0, 100)) (* cold arm *);
+  Builder.place b join;
+  Builder.emit b (Inst.Addi (Reg.t5, Reg.t5, -1));
+  Builder.bne b Reg.t5 Reg.zero loop_head;
+  Builder.li b Reg.v0 1;
+  Builder.syscall b;
+  Builder.halt b;
+  Builder.assemble b ~entry:start
+
+let trace_stats program =
+  let m = Loader.load program in
+  Machine.run_blocks ~trace:true m;
+  match Machine.block_stats m with
+  | Some s -> s
+  | None -> Alcotest.fail "block cache missing after trace run"
+
+let test_trace_side_exit_rejoins () =
+  let program = biased_cond_program () in
+  (* 128 iterations of +1 plus the cold +100 arm on the 8 multiples of
+     16 between 128 and 1 *)
+  let expected = string_of_int (biased_cond_iters + (8 * 100)) in
+  let m = Loader.load program in
+  Machine.run_blocks ~trace:true m;
+  check string "biased-cond output under trace" expected (Machine.output m);
+  let s = trace_stats program in
+  if s.Block.st_trace_compiles < 1 then
+    Alcotest.failf "hot loop never formed a trace (compiles=%d)"
+      s.Block.st_trace_compiles;
+  if s.Block.st_side_exits < 1 then
+    Alcotest.failf "cold arm never took a side exit (side_exits=%d)"
+      s.Block.st_side_exits;
+  (* and the side-exit path is bit-exact against every other mode *)
+  check_four_way "biased-cond program" (native_fingerprint Arch.arch_a program)
+
+(* Mid-trace SMC: the loop is split into two blocks by a never-taken
+   branch; block 1 computes a store target that is a dead scratch word
+   on every iteration except the trigger one, where it points at the
+   first instruction of block 2 — live decoded code *inside the running
+   trace*. The store must abort the trace between segments, back out
+   the batched cycles exactly, sever the trace, and let it re-form over
+   the patched code (63 iterations remain past the trigger, more than
+   the 32-dispatch heat threshold). *)
+
+let smc_mid_trace_program ~iters ~trigger =
+  let b = Builder.create () in
+  let start = Builder.here b in
+  let site = Builder.fresh_label b in
+  let loop_head = Builder.fresh_label b in
+  let scratch = Builder.fresh_label b in
+  Builder.li b Reg.t5 iters;
+  Builder.li b Reg.t3 trigger;
+  Builder.li b Reg.t9 (Encode.inst (Inst.Addi (Reg.a0, Reg.a0, 2)));
+  Builder.la b Reg.t7 site;
+  Builder.la b Reg.t8 scratch;
+  Builder.emit b (Inst.Sub (Reg.t4, Reg.t7, Reg.t8)) (* site - scratch *);
+  Builder.place b loop_head;
+  Builder.emit b (Inst.Xor (Reg.t6, Reg.t5, Reg.t3));
+  Builder.emit b (Inst.Sltiu (Reg.t6, Reg.t6, 1)) (* t5 = trigger? *);
+  Builder.emit b (Inst.Mul (Reg.t7, Reg.t6, Reg.t4));
+  Builder.emit b (Inst.Add (Reg.t2, Reg.t8, Reg.t7)) (* scratch or site *);
+  Builder.emit b (Inst.Sw (Reg.t9, Reg.t2, 0));
+  (* never taken: forces a block boundary so the store above and the
+     patch site below live in different trace segments *)
+  Builder.bne b Reg.zero Reg.zero loop_head;
+  Builder.place b site;
+  Builder.emit b (Inst.Addi (Reg.a0, Reg.a0, 1));
+  Builder.emit b (Inst.Addi (Reg.t5, Reg.t5, -1));
+  Builder.bne b Reg.t5 Reg.zero loop_head;
+  Builder.li b Reg.v0 1;
+  Builder.syscall b;
+  Builder.halt b;
+  (* dead scratch word past the halt: stored to every non-trigger
+     iteration, never fetched, so those stores cannot bump the code
+     generation *)
+  Builder.place b scratch;
+  Builder.nop b;
+  Builder.assemble b ~entry:start
+
+let test_trace_smc_abort () =
+  let iters = 128 and trigger = 64 in
+  let program = smc_mid_trace_program ~iters ~trigger in
+  (* +1 per iteration until the patch lands (t5 = 128..65), +2 after it
+     — the trigger iteration itself already executes the patched word *)
+  let expected = string_of_int (iters + trigger) in
+  let m = Loader.load program in
+  Machine.run_blocks ~trace:true m;
+  check string "mid-trace SMC output under trace" expected (Machine.output m);
+  let s = trace_stats program in
+  if s.Block.st_trace_compiles < 2 then
+    Alcotest.failf "trace did not re-form after the sever (compiles=%d)"
+      s.Block.st_trace_compiles;
+  if s.Block.st_trace_severs < 1 then
+    Alcotest.failf "patch did not sever the trace (severs=%d)"
+      s.Block.st_trace_severs;
+  if s.Block.st_trace_aborts < 1 then
+    Alcotest.failf "patch did not abort mid-trace (aborts=%d)"
+      s.Block.st_trace_aborts;
+  check_four_way "mid-trace SMC program" (native_fingerprint Arch.arch_a program)
 
 (* ------------------------------------------------------------------ *)
 (* Direct-mapped collision regression: two hot call targets whose
@@ -458,7 +576,7 @@ let test_collision_decode_ceiling () =
        the slot aliasing still real?"
       (2 * collision_iters) nochain;
   (* and the aliasing pair stays bit-exact in every mode *)
-  check_three_way "collision program" (native_fingerprint Arch.arch_a program)
+  check_four_way "collision program" (native_fingerprint Arch.arch_a program)
 
 (* ------------------------------------------------------------------ *)
 (* Observer fallback: with a probe installed, run_blocks must take the
@@ -504,6 +622,13 @@ let () =
         [
           Alcotest.test_case "slot collision: bounded decodes via links"
             `Quick test_collision_decode_ceiling;
+        ] );
+      ( "traces",
+        [
+          Alcotest.test_case "biased cond: side exit rejoins bit-exactly"
+            `Quick test_trace_side_exit_rejoins;
+          Alcotest.test_case "mid-trace SMC aborts, severs, re-forms" `Quick
+            test_trace_smc_abort;
         ] );
       ( "observer",
         [ Alcotest.test_case "probe falls back to step path" `Quick
