@@ -1,6 +1,6 @@
 # Convenience targets; everything real lives in dune.
 
-.PHONY: all build test bench-smoke bench-par-smoke bench-json perf perf-exec perf-exec-smoke perf-chain perf-trace perf-check perf-check-smoke check clean
+.PHONY: all build test bench-smoke bench-par-smoke bench-json perf perf-exec perf-exec-smoke perf-chain perf-trace perf-adapt perf-check perf-check-smoke check clean
 
 all: build
 
@@ -55,6 +55,17 @@ perf-trace:
 perf-exec-smoke:
 	dune exec bench/main.exe -- --size test --only T1 --no-bechamel \
 	  --perf-exec step,block-nochain,block,trace
+
+# the adaptive-selection experiment: the regression gate on F10 (run
+# behind F8/F9 so the in-run memo mirrors the full-grid baseline
+# conditions — the three share the static-mechanism cells) plus the
+# F10 perf report, whose adaptive-IB line prints the
+# promotion/demotion/re-patch totals for the pass
+perf-adapt:
+	dune exec bench/main.exe -- --size test --only F8,F9,F10 --check-perf \
+	  --exec-mode $(PERF_MODE) --perf-tolerance $(PERF_TOLERANCE) \
+	  --trajectory _build/trajectory-adapt.jsonl
+	dune exec bench/main.exe -- --size test --only F10 --no-bechamel --perf
 
 # the statistical regression gate: re-time the full grid (cold,
 # serial, best-of-N) against bench/baselines, append one row to

@@ -289,6 +289,9 @@ type cell_report = {
   r_trace_entries : int;  (** dispatches that entered a valid trace *)
   r_side_exits : int;  (** trace guard divergences *)
   r_trace_severs : int;  (** traces dropped by a generation bump *)
+  r_adapt_promotions : int;  (** adaptive tier promotions taken *)
+  r_adapt_demotions : int;  (** adaptive tier demotions taken *)
+  r_adapt_repatches : int;  (** adaptive exit transfers re-patched *)
 }
 
 let experiment_json (e : Experiments.experiment) size ~jobs seconds
@@ -313,6 +316,9 @@ let experiment_json (e : Experiments.experiment) size ~jobs seconds
       ("trace_entries", Jsonw.Int r.r_trace_entries);
       ("side_exits", Jsonw.Int r.r_side_exits);
       ("trace_severs", Jsonw.Int r.r_trace_severs);
+      ("adapt_promotions", Jsonw.Int r.r_adapt_promotions);
+      ("adapt_demotions", Jsonw.Int r.r_adapt_demotions);
+      ("adapt_repatches", Jsonw.Int r.r_adapt_repatches);
       ("tables", Jsonw.List (List.map table_json tables));
     ]
 
@@ -326,6 +332,7 @@ let run_one pool size (e : Experiments.experiment) =
   let s0 = (Run.cache_stats ()).Run.simulated in
   let i0 = Run.simulated_instructions () in
   let b0 = Run.block_cache_stats () in
+  let a0 = Run.adapt_stats () in
   let t0 = now () in
   let cells = Experiments.evaluate ~pool size e in
   let tables = e.Experiments.run size in
@@ -333,6 +340,7 @@ let run_one pool size (e : Experiments.experiment) =
   let simulated = (Run.cache_stats ()).Run.simulated - s0 in
   let instructions = Run.simulated_instructions () - i0 in
   let b1 = Run.block_cache_stats () in
+  let a1 = Run.adapt_stats () in
   ( tables,
     seconds,
     {
@@ -349,6 +357,9 @@ let run_one pool size (e : Experiments.experiment) =
       r_trace_entries = b1.Run.trace_entries - b0.Run.trace_entries;
       r_side_exits = b1.Run.side_exits - b0.Run.side_exits;
       r_trace_severs = b1.Run.trace_severs - b0.Run.trace_severs;
+      r_adapt_promotions = a1.Run.promotions - a0.Run.promotions;
+      r_adapt_demotions = a1.Run.demotions - a0.Run.demotions;
+      r_adapt_repatches = a1.Run.repatches - a0.Run.repatches;
     } )
 
 let run_experiments pool size csv_dir json_dir exps =
@@ -444,7 +455,12 @@ let run_perf size jobs exps =
     Printf.printf
       "  trace tier: %d compiles, %d entries, %d side exits, %d severs\n%!"
       b.Run.trace_compiles b.Run.trace_entries b.Run.side_exits
-      b.Run.trace_severs
+      b.Run.trace_severs;
+  let a = Run.adapt_stats () in
+  if a.Run.promotions + a.Run.demotions + a.Run.repatches > 0 then
+    Printf.printf
+      "  adaptive IB: %d promotions, %d demotions, %d repatches\n%!"
+      a.Run.promotions a.Run.demotions a.Run.repatches
 
 (* The committed baseline wall time for an experiment selection: the
    sum of the "seconds" fields of bench/baselines/BENCH_<id>.json, if
@@ -617,6 +633,9 @@ let dump_telemetry (o : options) dir sink =
                  Jsonw.Str (match o.size with `Test -> "test" | `Ref -> "ref")
                );
                ("trace_events", Jsonw.Int (Telemetry.events sink));
+               ( "ib_mechanisms",
+                 let swept, a = Experiments.ib_mech_sweep () in
+                 Meta.ib_mechanisms_json ~swept a );
              ]
            ());
       output_char oc '\n');

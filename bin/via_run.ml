@@ -44,7 +44,7 @@ let rec mkdir_p dir =
 (* --introspect: dump the block interpreter's chain graph and per-site
    inline-cache counters, plus (under a sieve) the bucket-chain
    histogram from the runtime. *)
-let write_introspect dir sieve m =
+let write_introspect ?site_mech dir sieve m =
   match Machine.block_cache m with
   | None ->
       prerr_endline
@@ -53,9 +53,9 @@ let write_introspect dir sieve m =
   | Some cache ->
       mkdir_p dir;
       with_out_file (Filename.concat dir "chain.dot") (fun oc ->
-          output_string oc (Sdt_machine.Introspect.chain_dot cache));
+          output_string oc (Sdt_machine.Introspect.chain_dot ?site_mech cache));
       let doc =
-        match (Sdt_machine.Introspect.to_json cache, sieve) with
+        match (Sdt_machine.Introspect.to_json ?site_mech cache, sieve) with
         | Jsonw.Obj kvs, buckets when buckets <> [] ->
             let h =
               Sdt_observe.Histo.create
@@ -121,6 +121,7 @@ let mechanism_of mech ibtc_entries sieve_buckets inline miss_policy ways =
       Config.Ibtc
         { Config.default_ibtc with shared = false; per_site_entries = ibtc_entries }
   | "sieve" -> Config.Sieve { buckets = sieve_buckets; insert_at_head = true }
+  | "adaptive" -> Config.Adaptive Config.default_adaptive
   | other ->
       Printf.eprintf "unknown mechanism %S\n" other;
       exit 2
@@ -411,8 +412,28 @@ let run file workload size_name native arch_name mech ibtc_entries
       (fun p ->
         print_profile p program.Sdt_isa.Program.symbols (Timing.cycles timing))
       prof;
+    (* under the adaptive mechanism, attribute introspected IB-site
+       addresses (fragment-cache pcs) to their owning adaptive site so
+       the reports carry each site's current tier, transition history
+       and re-patch count; static mechanisms have nothing to attribute
+       — their sites never change hands *)
+    let site_mech =
+      match cfg.Config.mech with
+      | Config.Adaptive _ ->
+          Some
+            (fun addr ->
+              Option.map
+                (fun (si : Sdt_core.Adapt.site_info) ->
+                  {
+                    Sdt_machine.Introspect.sm_mech = si.Sdt_core.Adapt.si_tier;
+                    sm_transitions = si.Sdt_core.Adapt.si_transitions;
+                    sm_repatches = si.Sdt_core.Adapt.si_repatches;
+                  })
+                (Runtime.adapt_site_at rt addr))
+      | _ -> None
+    in
     Option.iter
-      (fun dir -> write_introspect dir (Runtime.sieve_buckets rt) m)
+      (fun dir -> write_introspect ?site_mech dir (Runtime.sieve_buckets rt) m)
       introspect_dir;
     Option.iter
       (fun path ->
@@ -471,7 +492,8 @@ let arch_name =
 
 let mech =
   Arg.(value & opt string "ibtc" & info [ "mech"; "m" ] ~docv:"MECH"
-       ~doc:"IB mechanism: dispatch, ibtc, ibtc-per-branch or sieve.")
+       ~doc:"IB mechanism: dispatch, ibtc, ibtc-per-branch, sieve or \
+             adaptive (per-site online selection).")
 
 let ibtc_entries =
   Arg.(value & opt int 4096 & info [ "ibtc-entries" ] ~docv:"N"

@@ -1,0 +1,68 @@
+(** Adaptive per-site IB mechanism selection.
+
+    Every indirect-branch site starts as a monomorphic inline cache and
+    is promoted at runtime along the lattice
+
+    {v inline cache -> per-site IBTC -> per-site sieve -> full dispatch v}
+
+    driven by counters maintained on the (already trapping) miss paths,
+    so steady-state hit paths pay nothing for the bookkeeping. A tier
+    change emits a fresh tier body and re-patches the site's emitted
+    exit transfers — a fixed-shape [j] or [li32]+[jalr] — through
+    simulated memory, so the host block cache's SMC chain-sever protocol
+    retires stale chains exactly as for fragment linking.
+
+    Per-generation artifacts (tier bodies, occurrence transfers,
+    per-site sieves) die with each fragment-cache flush, but the
+    per-site state machine — current tier, cumulative counters,
+    transition history — survives: a retranslated site re-enters at the
+    tier it had earned instead of resetting to the bottom of the
+    lattice. *)
+
+type t
+
+type tier = Ic | Site_ibtc | Site_sieve | Full_dispatch
+
+val tier_name : tier -> string
+(** ["inline-cache"], ["ibtc"], ["sieve"], ["dispatch"]. *)
+
+(** Introspection snapshot of one site (see {!sites}). *)
+type site_info = {
+  si_pc : int;  (** application PC of the IB instruction *)
+  si_tier : string;  (** current tier, as {!tier_name} *)
+  si_transitions : (string * int) list;
+      (** (tier entered, adaptive event clock), oldest first; the first
+          entry is the initial inline-cache tier at clock 0 *)
+  si_repatches : int;  (** occurrence transfers re-patched, cumulative *)
+  si_body : (int * int) option;
+      (** current-generation tier body range [\[lo, hi)], if emitted *)
+  si_occs : int list;  (** current-generation occurrence addresses *)
+}
+
+val create : Env.t -> Config.adaptive -> t
+(** Set up the adaptive state and its per-site IBTC substrate (which
+    emits its shared miss routines, so this belongs with the other
+    shared-routine emission). *)
+
+val emit_site : t -> Env.t -> site_pc:int -> tail:Env.tail -> unit
+(** Emit the site's handling at the current point, with the target
+    already in [$k0]: a re-patchable transfer to the site's tier body,
+    plus the body itself if this generation does not have one yet. *)
+
+val on_flush : t -> Env.t -> unit
+(** After a fragment-cache flush: re-emit the IBTC substrate's shared
+    routines and discard every site's per-generation artifacts; tiers,
+    cumulative counters and transition histories are kept. *)
+
+val sites : t -> Env.t -> site_info list
+(** Snapshot of every adaptive site, sorted by application PC. *)
+
+val site_at : t -> Env.t -> int -> site_info option
+(** The site owning a fragment-cache address — inside its current tier
+    body or one of its occurrence transfers — if any. *)
+
+val mech_stats : t -> (string * float) list
+(** Mechanism gauges for reports: total sites and per-tier counts. *)
+
+val clock : t -> int
+(** The adaptive event clock (total miss/dispatch events observed). *)

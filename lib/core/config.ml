@@ -12,7 +12,20 @@ type ibtc = {
 }
 
 type sieve = { buckets : int; insert_at_head : bool }
-type mechanism = Dispatch | Ibtc of ibtc | Sieve of sieve
+
+type adaptive = {
+  ic_rebinds : int;
+  poly_entropy_bits : float;
+  site_ibtc_entries : int;
+  ibtc_promote_misses : int;
+  site_sieve_buckets : int;
+  sieve_promote_chain : int;
+  demote_window : int;
+  mono_share_pct : int;
+  mega_new_pct : int;
+}
+
+type mechanism = Dispatch | Ibtc of ibtc | Sieve of sieve | Adaptive of adaptive
 
 type return_policy =
   | As_ib
@@ -48,6 +61,19 @@ let default_ibtc =
   }
 
 let default_sieve = { buckets = 4096; insert_at_head = true }
+
+let default_adaptive =
+  {
+    ic_rebinds = 16;
+    poly_entropy_bits = 3.0;
+    site_ibtc_entries = 4096;
+    ibtc_promote_misses = 16;
+    site_sieve_buckets = 4096;
+    sieve_promote_chain = 24;
+    demote_window = 4096;
+    mono_share_pct = 90;
+    mega_new_pct = 80;
+  }
 
 let default =
   {
@@ -108,6 +134,45 @@ let validate t =
         ensure
           (s.buckets >= 4 && s.buckets <= 1 lsl 16)
           "sieve buckets must be in [4, 65536] (16-bit mask immediates)"
+    | Adaptive a ->
+        let* () = ensure (a.ic_rebinds >= 0) "adaptive ic_rebinds must be >= 0" in
+        let* () =
+          ensure (a.poly_entropy_bits >= 0.0)
+            "adaptive poly_entropy_bits must be >= 0"
+        in
+        let* () =
+          ensure
+            (is_pow2 a.site_ibtc_entries
+            && a.site_ibtc_entries >= 4
+            && a.site_ibtc_entries <= 1 lsl 16)
+            "adaptive site_ibtc_entries must be a power of two in [4, 65536]"
+        in
+        let* () =
+          ensure
+            (is_pow2 a.site_sieve_buckets
+            && a.site_sieve_buckets >= 4
+            && a.site_sieve_buckets <= 1 lsl 16)
+            "adaptive site_sieve_buckets must be a power of two in [4, 65536]"
+        in
+        let* () =
+          ensure (a.ibtc_promote_misses > 0)
+            "adaptive ibtc_promote_misses must be positive"
+        in
+        let* () =
+          ensure (a.sieve_promote_chain > 0)
+            "adaptive sieve_promote_chain must be positive"
+        in
+        let* () =
+          ensure (a.demote_window > 0) "adaptive demote_window must be positive"
+        in
+        let* () =
+          ensure
+            (a.mono_share_pct >= 50 && a.mono_share_pct <= 100)
+            "adaptive mono_share_pct must be in [50, 100]"
+        in
+        ensure
+          (a.mega_new_pct >= 1 && a.mega_new_pct <= 100)
+          "adaptive mega_new_pct must be in [1, 100]"
   in
   let* () =
     match t.returns with
@@ -143,6 +208,12 @@ let describe t =
     | Sieve s ->
         Printf.sprintf "sieve(%d,%s)" s.buckets
           (if s.insert_at_head then "head" else "tail")
+    | Adaptive a ->
+        Printf.sprintf
+          "adaptive(ic:%d,e:%g,mega:%d%%,ibtc:%d/%d,sieve:%d/%d,w:%d/%d%%)"
+          a.ic_rebinds a.poly_entropy_bits a.mega_new_pct a.site_ibtc_entries
+          a.ibtc_promote_misses a.site_sieve_buckets a.sieve_promote_chain
+          a.demote_window a.mono_share_pct
   in
   let ret =
     match t.returns with

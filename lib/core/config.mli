@@ -42,10 +42,59 @@ type sieve = {
           appended at the tail — ablation A3 *)
 }
 
+type adaptive = {
+  ic_rebinds : int;
+      (** monomorphic inline-cache rebinds tolerated before the site
+          promotes out of the IC tier. This is also the census budget
+          for the sieve-vs-IBTC call on sieve-favored hosts; where the
+          host never favors the sieve only a quarter of it is spent
+          (mono/poly separation needs far fewer samples) *)
+  poly_entropy_bits : float;
+      (** target entropy (bits, over the IC tier's observed miss
+          targets) at or above which a site counts as genuinely
+          polymorphic — the precondition for choosing the sieve tier
+          on a sieve-favored host *)
+  site_ibtc_entries : int;
+      (** per-site IBTC table size {e cap}; power of two. The initial
+          table is sized from the IC census: 16x the distinct targets
+          seen, with a d-scaled floor (64 entries for sites with at most
+          3 targets, 256 above that) and clamped to the cap; it grows 4x
+          under conflict-miss pressure up to the cap *)
+  ibtc_promote_misses : int;
+      (** repeat (conflict) misses tolerated per per-site IBTC table
+          size step; exceeding it grows the table 4x, or — at the cap,
+          on a sieve-favored host, for a non-megamorphic site — promotes
+          to the sieve tier *)
+  site_sieve_buckets : int;  (** per-site sieve buckets; power of two *)
+  sieve_promote_chain : int;
+      (** max sieve bucket-chain length that triggers promotion to full
+          dispatch *)
+  demote_window : int;
+      (** adaptive miss/dispatch events between demotion scans of
+          full-dispatch sites *)
+  mono_share_pct : int;
+      (** dominant-target share (percent of the window) at or above
+          which a full-dispatch site demotes back to the IC tier *)
+  mega_new_pct : int;
+      (** new-target rate (percent of IC-census misses that introduced a
+          previously unseen target) at or above which a site counts as
+          megamorphic-growing and is pinned to the IBTC tier: sieve
+          insertions are full context switches, so a target set still
+          growing this fast would eat the sieve's hit-path advantage *)
+}
+(** Thresholds driving the {!Adaptive} mechanism's per-site promotion
+    lattice: inline cache -> per-site IBTC -> per-site sieve -> full
+    dispatch (and demotion back to the inline cache). *)
+
 type mechanism =
   | Dispatch  (** baseline: every IB context-switches into the translator *)
   | Ibtc of ibtc
   | Sieve of sieve
+  | Adaptive of adaptive
+      (** per-site online mechanism selection: every IB site starts as a
+          monomorphic inline cache and is promoted/demoted along the
+          lattice at runtime by re-patching its exit transfer, driven by
+          counters maintained on the (already-trapping) miss paths *)
 
 type return_policy =
   | As_ib  (** returns go through the IB mechanism like any other IB *)
@@ -114,6 +163,12 @@ val default_ibtc : ibtc
 
 val default_sieve : sieve
 (** 4096 buckets, head insertion. *)
+
+val default_adaptive : adaptive
+(** 16-rebind IC census, 3.0-bit polymorphic cutover, 80% megamorphic
+    new-target rate, per-site IBTC capped at 4096 entries growing after
+    16 conflict misses, 4096-bucket per-site sieve promoting at chain
+    length 24, 4096-event demotion window at 90% monomorphy. *)
 
 val default : t
 (** The sensible configuration: shared inline IBTC with fast reload,

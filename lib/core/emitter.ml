@@ -16,7 +16,7 @@ type label_state = Placed of int | Pending of fixup list
 type t = {
   mem : Memory.t;
   base : int;
-  limit : int;
+  mutable limit : int;
   mutable cursor : int;
   labels : (int, label_state) Hashtbl.t;
   mutable next_label : int;
@@ -62,6 +62,11 @@ let li32 t rd v =
   let w = Word.of_int v in
   emit t (Inst.Lui (rd, Word.hi16 w));
   emit t (Inst.Ori (rd, rd, Word.lo16 w))
+
+let patch_li32 t addr rd v =
+  let w = Word.of_int v in
+  patch t addr (Inst.Lui (rd, Word.hi16 w));
+  patch t (addr + 4) (Inst.Ori (rd, rd, Word.lo16 w))
 
 let encode_jump op target =
   if target land 3 <> 0 then invalid_arg "Emitter: unaligned jump target";
@@ -137,3 +142,22 @@ let li32_label t rd l =
       patch t at_lo (Inst.Ori (rd, rd, Word.lo16 (Word.of_int target))))
 
 let unresolved t = t.unresolved
+
+(* Re-emit into an already-emitted region — a patchable slot. [f] runs
+   with the cursor moved to [at] and the limit lowered to [limit]; both
+   are restored afterwards, even on exception. Emission past [limit]
+   raises [Code_full], exactly like exhausting the code region, so slot
+   writers share the caller's normal overflow handling. The stores flow
+   through the same simulated memory as [patch] — self-modifying code
+   as far as any host-side decoded-block cache is concerned. *)
+let emit_in t ~at ~limit f =
+  if at < t.base || at land 3 <> 0 || limit > t.cursor || at >= limit then
+    invalid_arg "Emitter.emit_in";
+  let saved_cursor = t.cursor and saved_limit = t.limit in
+  t.cursor <- at;
+  t.limit <- limit;
+  Fun.protect
+    ~finally:(fun () ->
+      t.cursor <- saved_cursor;
+      t.limit <- saved_limit)
+    f

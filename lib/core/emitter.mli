@@ -42,6 +42,10 @@ val li32 : t -> Sdt_isa.Reg.t -> int -> unit
 (** Materialise a 32-bit constant as a fixed-shape [lui]+[ori] pair
     (always 2 words, so the immediates can be re-patched later). *)
 
+val patch_li32 : t -> int -> Sdt_isa.Reg.t -> int -> unit
+(** Re-patch a {!li32} pair emitted at the given address with a new
+    constant (adaptive exit-stub re-specialisation). *)
+
 val jump_abs : t -> [ `J | `Jal ] -> int -> unit
 (** Emit a direct jump to a known absolute address. *)
 
@@ -67,3 +71,13 @@ val li32_label : t -> Sdt_isa.Reg.t -> label -> unit
 val unresolved : t -> int
 (** Count of pending forward references (must be 0 at the end of every
     emission sequence; checked by tests). *)
+
+val emit_in : t -> at:int -> limit:int -> (unit -> 'a) -> 'a
+(** Re-emit into an already-emitted region — a patchable slot. [f] runs
+    with the cursor moved to [at] and the emission limit lowered to
+    [limit] (both restored afterwards, even on exception); emitting past
+    [limit] raises {!Code_full} exactly like exhausting the code region.
+    The stores go through the same simulated memory as {!patch}, so any
+    host-side decoded-block cache sees ordinary self-modifying code.
+    @raise Invalid_argument if [at, limit) is not a word-aligned
+    sub-range of the already-emitted region. *)

@@ -20,7 +20,7 @@ type t = {
   mutable ensure_translated : int -> int;
   mutable translator_entry : int;
   mutable mech_routine : int;
-  mutable emit_ib : t -> tail:tail -> unit;
+  mutable emit_ib : t -> site_pc:int -> tail:tail -> unit;
   mutable generation : int;
   mutable flush : unit -> unit;
   mutable ib_site_counters : (int * int) list;
@@ -34,6 +34,7 @@ let trap_ibtc_fast = 4
 let trap_sieve = 5
 let trap_pred = 6
 let trap_link_call = 7
+let trap_adapt = 8
 
 let create ~cfg ~arch ~machine ~em ~layout =
   (match Config.validate cfg with
@@ -58,7 +59,7 @@ let create ~cfg ~arch ~machine ~em ~layout =
     ensure_translated = (fun _ -> failwith "Env: runtime not wired");
     translator_entry = 0;
     mech_routine = 0;
-    emit_ib = (fun _ ~tail:_ -> failwith "Env: runtime not wired");
+    emit_ib = (fun _ ~site_pc:_ ~tail:_ -> failwith "Env: runtime not wired");
     generation = 0;
     flush = (fun () -> failwith "Env: runtime not wired");
     ib_site_counters = [];

@@ -45,9 +45,12 @@ type t = {
       (** shared IB-mechanism routine: enter with the application target
           in [$k0]; ends with [jr $k1]; used as the fallback of the
           return mechanisms and of exhausted prediction sites *)
-  mutable emit_ib : t -> tail:tail -> unit;
+  mutable emit_ib : t -> site_pc:int -> tail:tail -> unit;
       (** emit the configured mechanism's IB handling at the current
-          emission point, assuming [$k0] already holds the target *)
+          emission point, assuming [$k0] already holds the target.
+          [site_pc] is the application PC of the IB instruction; static
+          mechanisms (other than per-branch IBTC) ignore it, the
+          adaptive mechanism keys its per-site state on it *)
   mutable generation : int;
       (** incremented on every fragment-cache flush. Trap handlers that
           cached code addresses (resume points, patch sites) compare the
@@ -77,6 +80,7 @@ val trap_ibtc_fast : int
 val trap_sieve : int
 val trap_pred : int
 val trap_link_call : int
+val trap_adapt : int
 
 val create :
   cfg:Config.t ->

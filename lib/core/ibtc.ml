@@ -10,7 +10,9 @@ let empty_tag = 0xFFFF_FFFF
 type t = {
   cfg : Config.ibtc;
   shared_base : int;  (* 0 when per-site *)
-  mutable site_tables : int list;  (* bases of per-site tables, for flush *)
+  mutable site_tables : (int * int) list;
+      (* (base, entries) of per-site tables — sizes can differ per site
+         (the adaptive mechanism sizes them from its census) *)
   mutable full_miss_routine : int;
   mutable lookup_routine : int;
   (* victim-way choice for 2-way tables: round-robin per (table, set),
@@ -76,7 +78,7 @@ let fill_entry t env ~base ~cfg ~entries ~target ~frag =
    Every path funnels into one final transfer instruction: under
    [Tail_jalr_ra] the transfer must be the last word of the sequence,
    because the callee's return lands on the word after it. *)
-let emit_probe t env ~base ~entries ~tail =
+let emit_probe ?on_miss t env ~base ~entries ~tail =
   let em = env.Env.em in
   let cfg = t.cfg in
   let sets = sets_of cfg ~entries in
@@ -117,15 +119,19 @@ let emit_probe t env ~base ~entries ~tail =
             (if known then env.Env.arch.Arch.fast_miss_cycles
              else
                env.Env.arch.Arch.trap_cycles + env.Env.arch.Arch.lookup_cycles);
-          if env.Env.generation <> gen then
-            (* this site was flushed away while translating the target;
-               transfer directly to the fresh fragment *)
-            m.Machine.pc <- frag
-          else begin
+          if env.Env.generation = gen then begin
             fill_entry t env ~base ~cfg ~entries ~target ~frag;
-            Machine.set_reg m Reg.k1 frag;
-            m.Machine.pc <- !resume
-          end)
+            Machine.set_reg m Reg.k1 frag
+          end;
+          (* the miss hook (adaptive promotion) may emit code and can
+             itself force a flush; re-check the generation after it *)
+          (match on_miss with Some f -> f ~target | None -> ());
+          if env.Env.generation <> gen then
+            (* this site was flushed away (while translating the target,
+               or by the miss hook); the register file was never
+               clobbered, so transfer directly to the fresh fragment *)
+            m.Machine.pc <- env.Env.ensure_translated target
+          else m.Machine.pc <- !resume)
   | Config.Full_switch ->
       if cfg.shared && tail = Env.Tail_jr then
         (* the shared routine both refills and transfers *)
@@ -148,17 +154,18 @@ let emit_probe t env ~base ~entries ~tail =
             let frag = env.Env.ensure_translated target in
             Env.charge env
               (env.Env.arch.Arch.trap_cycles + env.Env.arch.Arch.lookup_cycles);
+            if env.Env.generation = gen then begin
+              fill_entry t env ~base ~cfg ~entries ~target ~frag;
+              Memory.store_word m.Machine.mem env.Env.layout.Layout.result_slot
+                frag
+            end;
+            (match on_miss with Some f -> f ~target | None -> ());
             if env.Env.generation <> gen then
               (* the site (and its saved-context restore path) was
                  flushed; the register file was never clobbered, so
                  jumping straight to the fragment is safe *)
-              m.Machine.pc <- frag
-            else begin
-              fill_entry t env ~base ~cfg ~entries ~target ~frag;
-              Memory.store_word m.Machine.mem env.Env.layout.Layout.result_slot
-                frag;
-              m.Machine.pc <- !restore
-            end);
+              m.Machine.pc <- env.Env.ensure_translated target
+            else m.Machine.pc <- !restore);
         restore := Emitter.here em;
         Context.emit_restore_no_jump env;
         Emitter.jump_to em `J lresume
@@ -237,19 +244,36 @@ let routine t =
     invalid_arg "Ibtc.routine: per-site IBTC has no shared routine";
   t.lookup_routine
 
-let emit_site t env ~tail =
+let emit_site ?on_miss ?entries ?(seed = []) ?base t env ~tail =
   if t.cfg.Config.shared then begin
-    if t.cfg.Config.inline_lookup then
-      emit_probe t env ~base:t.shared_base ~entries:t.cfg.Config.entries ~tail
-    else Env.emit_goto_routine env ~tail t.lookup_routine
+    (if t.cfg.Config.inline_lookup then
+       emit_probe ?on_miss t env ~base:t.shared_base
+         ~entries:t.cfg.Config.entries ~tail
+     else Env.emit_goto_routine env ~tail t.lookup_routine);
+    t.shared_base
   end
   else begin
-    (* per-branch table: allocate one for this site *)
-    let entries = t.cfg.Config.per_site_entries in
-    let base = alloc_table env entries in
-    t.site_tables <- base :: t.site_tables;
-    env.Env.stats.Stats.ibtc_tables <- env.Env.stats.Stats.ibtc_tables + 1;
-    emit_probe t env ~base ~entries ~tail
+    let entries = Option.value entries ~default:t.cfg.Config.per_site_entries in
+    let base =
+      match base with
+      | Some b -> b (* another probe copy over an existing site table *)
+      | None ->
+          (* per-branch table: allocate one for this site *)
+          let b = alloc_table env entries in
+          t.site_tables <- (b, entries) :: t.site_tables;
+          env.Env.stats.Stats.ibtc_tables <- env.Env.stats.Stats.ibtc_tables + 1;
+          (* warm handoff: pre-fill already-translated targets so the
+             site does not re-miss on what it has already learned. No
+             service charge — the learning was paid for, miss by miss,
+             by whoever gathered the seed list *)
+          List.iter
+            (fun (target, frag) ->
+              fill_entry t env ~base:b ~cfg:t.cfg ~entries ~target ~frag)
+            seed;
+          b
+    in
+    emit_probe ?on_miss t env ~base ~entries ~tail;
+    base
   end
 
 let on_flush t env =
@@ -263,7 +287,7 @@ let on_flush t env =
 
 let table_bytes t =
   if t.cfg.Config.shared then 8 * t.cfg.Config.entries
-  else 8 * t.cfg.Config.per_site_entries * List.length t.site_tables
+  else List.fold_left (fun acc (_, entries) -> acc + (8 * entries)) 0 t.site_tables
 
 let occupancy t env =
   let mem = env.Env.machine.Machine.mem in
@@ -279,9 +303,8 @@ let occupancy t env =
       (count_table t.shared_base t.cfg.Config.entries, t.cfg.Config.entries)
     else
       List.fold_left
-        (fun (f, n) base ->
-          ( f + count_table base t.cfg.Config.per_site_entries,
-            n + t.cfg.Config.per_site_entries ))
+        (fun (f, n) (base, entries) ->
+          (f + count_table base entries, n + entries))
         (0, 0) t.site_tables
   in
   if entries = 0 then 0.0 else float_of_int filled /. float_of_int entries

@@ -31,9 +31,28 @@ val routine : t -> int
 (** Entry of the shared lookup routine (target in [$k0], ends
     [jr $k1]). *)
 
-val emit_site : t -> Env.t -> tail:Env.tail -> unit
-(** Emit this mechanism's handling at the current point: the inline
-    probe when [inline_lookup], otherwise a transfer to {!routine}. *)
+val emit_site :
+  ?on_miss:(target:int -> unit) ->
+  ?entries:int ->
+  ?seed:(int * int) list ->
+  ?base:int ->
+  t ->
+  Env.t ->
+  tail:Env.tail ->
+  int
+(** Emit this mechanism's handling at the current point and return the
+    base address of the table it probes: the inline probe when
+    [inline_lookup], otherwise a transfer to {!routine}. [on_miss]
+    (honoured on the inline miss paths; used by the adaptive mechanism
+    for promotion decisions) runs host-side after each table refill; it
+    may emit code or even force a fragment-cache flush — the handler
+    re-checks the generation after it. In per-site mode, [entries]
+    overrides the configured table size for this site, [seed] pre-fills
+    a freshly allocated table with already-learned [(target, fragment)]
+    pairs (the adaptive mechanism's warm handoff), and [base] re-uses an
+    existing site table instead of allocating — probe copies of one site
+    in several fragments share their learned state. All three are
+    ignored for a shared table. *)
 
 val on_flush : t -> Env.t -> unit
 (** After a fragment-cache flush: re-emit the shared routines into the

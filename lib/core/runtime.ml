@@ -11,7 +11,11 @@ exception Error of string
 
 let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
-type mech_instance = M_dispatch | M_ibtc of Ibtc.t | M_sieve of Sieve.t
+type mech_instance =
+  | M_dispatch
+  | M_ibtc of Ibtc.t
+  | M_sieve of Sieve.t
+  | M_adapt of Adapt.t
 
 type t = {
   env : Env.t;
@@ -30,7 +34,8 @@ exception Policy_violation of { target : int }
 let wire_mech_dispatch env =
   env.Env.mech_routine <- env.Env.translator_entry;
   env.Env.emit_ib <-
-    (fun env ~tail -> Env.emit_goto_routine env ~tail env.Env.translator_entry)
+    (fun env ~site_pc:_ ~tail ->
+      Env.emit_goto_routine env ~tail env.Env.translator_entry)
 
 let setup_shared t =
   let env = t.env in
@@ -44,12 +49,22 @@ let setup_shared t =
       t.mech <- M_ibtc i;
       env.Env.mech_routine <-
         (if icfg.Config.shared then Ibtc.routine i else env.Env.translator_entry);
-      env.Env.emit_ib <- (fun env ~tail -> Ibtc.emit_site i env ~tail)
+      env.Env.emit_ib <-
+        (fun env ~site_pc:_ ~tail -> ignore (Ibtc.emit_site i env ~tail))
   | Config.Sieve scfg ->
       let s = Sieve.create env scfg in
       t.mech <- M_sieve s;
       env.Env.mech_routine <- Sieve.routine s;
-      env.Env.emit_ib <- (fun env ~tail -> Sieve.emit_site s env ~tail));
+      env.Env.emit_ib <-
+        (fun env ~site_pc:_ ~tail -> Sieve.emit_site s env ~tail)
+  | Config.Adaptive acfg ->
+      let a = Adapt.create env acfg in
+      t.mech <- M_adapt a;
+      (* return-policy and exhausted-prediction fallbacks go through the
+         full dispatch routine: they are not per-site misses *)
+      env.Env.mech_routine <- env.Env.translator_entry;
+      env.Env.emit_ib <-
+        (fun env ~site_pc ~tail -> Adapt.emit_site a env ~site_pc ~tail));
   t.ret <-
     (match env.Env.cfg.Config.returns with
     | Config.As_ib -> Translate.Plan_as_ib
@@ -75,11 +90,15 @@ let reemit_shared t =
       env.Env.mech_routine <-
         (match env.Env.cfg.Config.mech with
         | Config.Ibtc { shared = true; _ } -> Ibtc.routine i
-        | Config.Ibtc _ | Config.Dispatch | Config.Sieve _ ->
+        | Config.Ibtc _ | Config.Dispatch | Config.Sieve _
+        | Config.Adaptive _ ->
             env.Env.translator_entry)
   | M_sieve s ->
       Sieve.on_flush s env;
-      env.Env.mech_routine <- Sieve.routine s);
+      env.Env.mech_routine <- Sieve.routine s
+  | M_adapt a ->
+      Adapt.on_flush a env;
+      env.Env.mech_routine <- env.Env.translator_entry);
   match t.ret with
   | Translate.Plan_retcache rc -> Retcache.on_flush rc t.env
   | Translate.Plan_shadow sh -> Shadow_stack.on_flush sh t.env
@@ -188,6 +207,13 @@ let register_metrics t obs ~timing =
           Metrics.int_source m "sieve_stubs" (fun () -> Sieve.stub_count s);
           Metrics.int_source m "sieve_max_chain" (fun () -> Sieve.max_chain s);
           Metrics.float_source m "sieve_avg_chain" (fun () -> Sieve.avg_chain s)
+      | M_adapt a ->
+          Metrics.int_source m "adapt_clock" (fun () -> Adapt.clock a);
+          List.iter
+            (fun (name, _) ->
+              Metrics.float_source m name (fun () ->
+                  List.assoc name (Adapt.mech_stats a)))
+            (Adapt.mech_stats a)
 
 let install_probes obs ~timing =
   match timing with
@@ -295,11 +321,22 @@ let mech_stats t =
         ("sieve_max_chain", float_of_int (Sieve.max_chain s));
         ("sieve_avg_chain", Sieve.avg_chain s);
       ]
+  | M_adapt a -> Adapt.mech_stats a
 
 let sieve_buckets t =
   match t.mech with
   | M_sieve s -> Sieve.chain_lengths s
-  | M_dispatch | M_ibtc _ -> []
+  | M_dispatch | M_ibtc _ | M_adapt _ -> []
+
+let adapt_sites t =
+  match t.mech with
+  | M_adapt a -> Adapt.sites a t.env
+  | M_dispatch | M_ibtc _ | M_sieve _ -> []
+
+let adapt_site_at t addr =
+  match t.mech with
+  | M_adapt a -> Adapt.site_at a t.env addr
+  | M_dispatch | M_ibtc _ | M_sieve _ -> None
 
 let ib_site_profile t =
   let mem = t.env.Env.machine.Machine.mem in

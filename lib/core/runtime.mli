@@ -77,6 +77,14 @@ val sieve_buckets : t -> int list
 (** Occupied sieve-bucket chain lengths (sorted ascending); [[]] for
     non-sieve mechanisms — feeds the introspection histogram. *)
 
+val adapt_sites : t -> Adapt.site_info list
+(** Per-site adaptive snapshots (tier, transition history, re-patch
+    counts), sorted by application PC; [[]] for static mechanisms. *)
+
+val adapt_site_at : t -> int -> Adapt.site_info option
+(** The adaptive site owning a fragment-cache address (its current tier
+    body or one of its occurrence transfers), if any. *)
+
 val instrumented_memops : t -> int
 (** Value of the instrumentation counter
     ({!Config.t.count_memops}). *)

@@ -16,9 +16,17 @@
 
 type t
 
-val create : Env.t -> Config.sieve -> t
+val create :
+  ?transient:bool -> ?on_miss:(target:int -> unit) -> Env.t -> Config.sieve -> t
 (** Allocate and initialise the bucket table and emit the miss routine
-    and the shared dispatch routine. *)
+    and the shared dispatch routine. [transient] marks a per-site
+    instance owned by the adaptive mechanism: it is discarded on flush
+    (never re-emitted), so its miss handler transfers straight to the
+    translated fragment instead of resuming into its own stale code
+    whenever a flush intervenes. [on_miss] runs host-side after every
+    successful stub insertion (the adaptive mechanism's promotion
+    trigger); it may emit code or force a flush — the handler re-checks
+    the generation after it. *)
 
 val routine : t -> int
 (** Shared dispatch routine (target in [$k0], ends with the bucket-table
@@ -26,6 +34,14 @@ val routine : t -> int
 
 val emit_site : t -> Env.t -> tail:Env.tail -> unit
 (** Emit the inline hash + bucket-table jump. *)
+
+val seed : t -> Env.t -> target:int -> frag:int -> unit
+(** Pre-insert a stub for an already-translated target host-side (the
+    adaptive mechanism's warm handoff): same stub emission, linking,
+    accounting, and emission charge as a miss-driven insertion, minus
+    the context switch and lookup the miss routine pays.
+    @raise Emitter.Code_full when the code region is exhausted; the
+    caller owns flush handling. *)
 
 val on_flush : t -> Env.t -> unit
 (** Re-emit routines after a flush and point every bucket back at the

@@ -14,6 +14,9 @@ type t = {
   mutable pred_exhausted_sites : int;
   mutable flushes : int;
   mutable ib_sites : int;
+  mutable adapt_promotions : int;
+  mutable adapt_demotions : int;
+  mutable adapt_repatches : int;
 }
 
 let create () =
@@ -33,6 +36,9 @@ let create () =
     pred_exhausted_sites = 0;
     flushes = 0;
     ib_sites = 0;
+    adapt_promotions = 0;
+    adapt_demotions = 0;
+    adapt_repatches = 0;
   }
 
 let reset t =
@@ -50,7 +56,10 @@ let reset t =
   t.pred_fills <- 0;
   t.pred_exhausted_sites <- 0;
   t.flushes <- 0;
-  t.ib_sites <- 0
+  t.ib_sites <- 0;
+  t.adapt_promotions <- 0;
+  t.adapt_demotions <- 0;
+  t.adapt_repatches <- 0
 
 let total_ib_misses t =
   t.dispatch_entries + t.ibtc_misses_full + t.ibtc_misses_fast + t.sieve_misses
@@ -75,6 +84,9 @@ let to_assoc t =
     ("pred_exhausted_sites", t.pred_exhausted_sites);
     ("flushes", t.flushes);
     ("ib_sites", t.ib_sites);
+    ("adapt_promotions", t.adapt_promotions);
+    ("adapt_demotions", t.adapt_demotions);
+    ("adapt_repatches", t.adapt_repatches);
   ]
 
 let pp ppf t =

@@ -21,6 +21,9 @@ type t = {
   mutable pred_exhausted_sites : int;
   mutable flushes : int;
   mutable ib_sites : int;          (** static indirect-branch sites translated *)
+  mutable adapt_promotions : int;  (** adaptive sites promoted up the lattice *)
+  mutable adapt_demotions : int;   (** adaptive sites demoted back to the IC *)
+  mutable adapt_repatches : int;   (** site occurrences re-patched to a new tier *)
 }
 
 val create : unit -> t

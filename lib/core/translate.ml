@@ -86,8 +86,10 @@ let emit_mech ?(pred = false) ?cont (env : Env.t) ~site_pc ~tail =
     | Config.Dispatch -> "dispatch call"
     | Config.Ibtc _ -> "ibtc probe"
     | Config.Sieve _ -> "sieve probe"
+    | Config.Adaptive _ -> "adaptive site"
   in
-  Env.observing_emit env mech_name (fun () -> env.Env.emit_ib env ~tail)
+  Env.observing_emit env mech_name (fun () ->
+      env.Env.emit_ib env ~site_pc ~tail)
 
 let translate_direct_call (env : Env.t) ~ret ~callee ~app_ret =
   let em = env.Env.em in

@@ -570,6 +570,116 @@ let fig_best_config size =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* F10 *)
+
+let adaptive_cfg ?(returns = Config.Return_cache { entries = 4096 }) () =
+  {
+    Config.default with
+    mech = Config.Adaptive Config.default_adaptive;
+    returns;
+  }
+
+(* the static field adaptive competes against: every mechanism at its
+   best fixed configuration, all over the same return cache so the
+   comparison isolates IB-site handling *)
+let f10_static =
+  let rc = Config.Return_cache { entries = 4096 } in
+  [
+    ("dispatch", { Config.baseline with Config.returns = rc });
+    ("ibtc-4096", ibtc ~returns:rc ());
+    ("per-branch-64", ibtc ~shared:false ~per_site:64 ~returns:rc ());
+    ("sieve-4096", sieve ~returns:rc ());
+  ]
+
+let f10_cfgs = List.map snd f10_static @ [ adaptive_cfg () ]
+
+let ib_mech_sweep () =
+  let a =
+    match (adaptive_cfg ()).Config.mech with
+    | Config.Adaptive a -> a
+    | _ -> Config.default_adaptive
+  in
+  (List.map fst f10_static @ [ "adaptive" ], a)
+
+let fig_adaptive size =
+  let arch_table arch =
+    let rows =
+      List.map
+        (fun e ->
+          let statics =
+            List.map
+              (fun (name, cfg) -> (name, (sdt ~arch ~cfg e size).Run.slowdown))
+              f10_static
+          in
+          let a = (sdt ~arch ~cfg:(adaptive_cfg ()) e size).Run.slowdown in
+          let bn, bs =
+            List.fold_left
+              (fun (bn, bs) (n, s) -> if s < bs then (n, s) else (bn, bs))
+              ("", infinity) statics
+          in
+          (e.Suite.name :: List.map (fun (_, s) -> Summary.f2 s) statics)
+          @ [ Summary.f2 a; bn; Summary.f2 (100.0 *. ((a -. bs) /. bs)) ])
+        Suite.all
+    in
+    let gm cfg =
+      Summary.geomean
+        (List.map (fun e -> (sdt ~arch ~cfg e size).Run.slowdown) Suite.all)
+    in
+    let gmrow =
+      ("geomean" :: List.map (fun (_, cfg) -> Summary.f2 (gm cfg)) f10_static)
+      @ [ Summary.f2 (gm (adaptive_cfg ())); ""; "" ]
+    in
+    Table.make
+      ~title:
+        (Printf.sprintf
+           "F10 (%s): adaptive per-site selection vs static mechanisms"
+           arch.Arch.name)
+      ~note:
+        "Slowdown vs native; every column uses the same 4096-entry return \
+         cache. \"d-best%\" is the adaptive column's distance from the \
+         best static mechanism for that benchmark (negative = adaptive \
+         wins outright). Adaptive carries no per-workload tuning."
+      ~headers:
+        (("benchmark" :: List.map fst f10_static)
+        @ [ "adaptive"; "best static"; "d-best%" ])
+      (rows @ [ gmrow ])
+  in
+  let dyn =
+    let rows =
+      List.map
+        (fun e ->
+          let s = sdt ~arch:Arch.arch_a ~cfg:(adaptive_cfg ()) e size in
+          let st = s.Run.s_stats in
+          let get k =
+            int_of_float
+              (Option.value (List.assoc_opt k s.Run.s_mech) ~default:0.0)
+          in
+          [
+            e.Suite.name;
+            string_of_int (get "adapt_sites");
+            string_of_int st.Stats.adapt_promotions;
+            string_of_int st.Stats.adapt_demotions;
+            string_of_int st.Stats.adapt_repatches;
+            Printf.sprintf "%d/%d/%d/%d" (get "adapt_tier_ic")
+              (get "adapt_tier_ibtc") (get "adapt_tier_sieve")
+              (get "adapt_tier_dispatch");
+          ])
+        Suite.all
+    in
+    Table.make ~title:"F10d: adaptive site dynamics (archA)"
+      ~note:
+        "Per-benchmark transition activity: how many IB sites the \
+         adaptive mechanism tracked, how many tier transitions it took \
+         (counted on miss paths only), how many emitted exit transfers \
+         were re-patched, and the final tier mix \
+         (IC/IBTC/sieve/dispatch)."
+      ~headers:
+        [ "benchmark"; "sites"; "promo"; "demo"; "repatch"; "final tiers" ]
+      rows
+  in
+  List.map arch_table cross_arches @ [ dyn ]
+
+(* ------------------------------------------------------------------ *)
 (* Ablations *)
 
 let a1_cfgs =
@@ -831,6 +941,12 @@ let experiments =
       title = "best configuration";
       grid = cross_arch_grid;
       run = fig_best_config;
+    };
+    {
+      id = "F10";
+      title = "adaptive IB selection";
+      grid = grid_of ~arches:cross_arches f10_cfgs;
+      run = fig_adaptive;
     };
     {
       id = "A1";

@@ -21,7 +21,7 @@ type cell = {
     architecture × configuration. *)
 
 type experiment = {
-  id : string;  (** "T1", "F1" … "F9", "A1" … "A5" *)
+  id : string;  (** "T1", "F1" … "F10", "A1" … "A5" *)
   title : string;
   grid : cell list;
       (** the full measurement grid, declared as data so a worker pool
@@ -70,6 +70,10 @@ val fig_cross_arch : size -> Table.t list
 val fig_best_config : size -> Table.t list
 (** F9: best configuration per benchmark per architecture. *)
 
+val fig_adaptive : size -> Table.t list
+(** F10: adaptive per-site IB mechanism selection vs every static
+    mechanism, per architecture, plus site-transition dynamics. *)
+
 val fig_ablation_linking : size -> Table.t list
 (** A1: direct-branch linking on/off. *)
 
@@ -84,6 +88,11 @@ val fig_ablation_traces : size -> Table.t list
 
 val fig_ablation_assoc : size -> Table.t list
 (** A5: IBTC associativity (direct-mapped vs 2-way) on small tables. *)
+
+val ib_mech_sweep : unit -> string list * Sdt_core.Config.adaptive
+(** The IB-mechanism field F10 sweeps (column labels, adaptive last)
+    and the adaptive thresholds it runs with — recorded into
+    [RUN_META.json] via {!Meta.ib_mechanisms_json}. *)
 
 val experiments : experiment list
 (** All of the above, in presentation order. *)

@@ -49,6 +49,29 @@ let git_sha () =
 
 let hostname () = try Unix.gethostname () with Unix.Unix_error _ -> "unknown"
 
+(* The IB-mechanism sweep and the adaptive mechanism's thresholds are
+   part of a run's provenance: two runs whose numbers differ because a
+   promotion threshold moved must be distinguishable from the record
+   alone, without digging the config out of source history. *)
+let ib_mechanisms_json ~swept (a : Sdt_core.Config.adaptive) =
+  Jsonw.Obj
+    [
+      ("swept", Jsonw.List (List.map (fun m -> Jsonw.Str m) swept));
+      ( "adaptive_thresholds",
+        Jsonw.Obj
+          [
+            ("ic_rebinds", Jsonw.Int a.Sdt_core.Config.ic_rebinds);
+            ("poly_entropy_bits", Jsonw.Float a.Sdt_core.Config.poly_entropy_bits);
+            ("site_ibtc_entries", Jsonw.Int a.Sdt_core.Config.site_ibtc_entries);
+            ("ibtc_promote_misses", Jsonw.Int a.Sdt_core.Config.ibtc_promote_misses);
+            ("site_sieve_buckets", Jsonw.Int a.Sdt_core.Config.site_sieve_buckets);
+            ("sieve_promote_chain", Jsonw.Int a.Sdt_core.Config.sieve_promote_chain);
+            ("demote_window", Jsonw.Int a.Sdt_core.Config.demote_window);
+            ("mono_share_pct", Jsonw.Int a.Sdt_core.Config.mono_share_pct);
+            ("mega_new_pct", Jsonw.Int a.Sdt_core.Config.mega_new_pct);
+          ] );
+    ]
+
 let to_json ~jobs ~exec_mode ~cache ?(extra = []) () =
   Jsonw.Obj
     ([

@@ -12,6 +12,14 @@ val git_sha : unit -> string option
 
 val hostname : unit -> string
 
+val ib_mechanisms_json :
+  swept:string list -> Sdt_core.Config.adaptive -> Sdt_observe.Jsonw.t
+(** The IB-mechanism sweep recorded as provenance: the mechanism column
+    labels the run compared ([swept], adaptive last) and every adaptive
+    promotion/demotion threshold in force. Two runs whose numbers differ
+    because a threshold moved stay distinguishable from the record
+    alone. *)
+
 val to_json :
   jobs:int ->
   exec_mode:string ->

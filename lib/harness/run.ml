@@ -124,6 +124,27 @@ let block_cache_stats () =
     trace_severs = Atomic.get bc_trace_severs;
   }
 
+(* Adaptive-mechanism transition activity, accumulated the same way as
+   the block-cache counters (actually-simulated cells only); feeds the
+   bench JSON counters and --perf reporting. *)
+let ad_promotions = Atomic.make 0
+let ad_demotions = Atomic.make 0
+let ad_repatches = Atomic.make 0
+
+type adapt_stats = { promotions : int; demotions : int; repatches : int }
+
+let note_adapt_stats (s : Stats.t) =
+  ignore (Atomic.fetch_and_add ad_promotions s.Stats.adapt_promotions);
+  ignore (Atomic.fetch_and_add ad_demotions s.Stats.adapt_demotions);
+  ignore (Atomic.fetch_and_add ad_repatches s.Stats.adapt_repatches)
+
+let adapt_stats () =
+  {
+    promotions = Atomic.get ad_promotions;
+    demotions = Atomic.get ad_demotions;
+    repatches = Atomic.get ad_repatches;
+  }
+
 (* Instructions actually simulated (cache misses only — memoized cells
    add nothing), accumulated across pool domains; feeds the bench
    MIPS figures. *)
@@ -208,6 +229,9 @@ let stats_of_json doc =
       s.Stats.pred_exhausted_sites <- g "pred_exhausted_sites";
       s.Stats.flushes <- g "flushes";
       s.Stats.ib_sites <- g "ib_sites";
+      s.Stats.adapt_promotions <- g "adapt_promotions";
+      s.Stats.adapt_demotions <- g "adapt_demotions";
+      s.Stats.adapt_repatches <- g "adapt_repatches";
       Some s
   | _ -> None
 
@@ -349,6 +373,7 @@ let sdt ~arch ~cfg ~key build =
       let m = Runtime.machine rt in
       ignore (Atomic.fetch_and_add sim_instrs m.Machine.c.Machine.instructions);
       note_block_stats m;
+      note_adapt_stats (Runtime.stats rt);
       if
         Machine.output m <> nat.n_output
         || m.Machine.checksum <> nat.n_checksum

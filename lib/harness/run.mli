@@ -105,6 +105,18 @@ type block_cache_stats = {
   trace_severs : int;  (** traces dropped by a generation bump *)
 }
 
+type adapt_stats = {
+  promotions : int;  (** adaptive tier promotions taken *)
+  demotions : int;  (** adaptive tier demotions taken *)
+  repatches : int;  (** emitted exit transfers re-patched *)
+}
+
+val adapt_stats : unit -> adapt_stats
+(** Adaptive-mechanism transition activity summed over every
+    actually-simulated SDT cell (memoized cells add nothing) since
+    process start, accumulated atomically across pool domains. All
+    zero unless some cell ran {!Sdt_core.Config.Adaptive}. *)
+
 val block_cache_stats : unit -> block_cache_stats
 (** Block-cache activity summed over every actually-simulated machine
     (native and SDT; memoized cells add nothing) since process start,

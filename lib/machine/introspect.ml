@@ -83,7 +83,25 @@ let trace_members cache =
 
 let hex pc = Printf.sprintf "0x%x" pc
 
-let chain_dot cache =
+(* What the translator layer knows about an IB site's handling, passed
+   in as a neutral callback keyed by code address: this library watches
+   executed code and cannot (and must not) depend on the SDT core that
+   emitted it. *)
+type site_mech = {
+  sm_mech : string;  (** the mechanism currently handling the site *)
+  sm_transitions : (string * int) list;
+      (** (mechanism, adaptive event clock), oldest first *)
+  sm_repatches : int;  (** emitted transfers re-patched so far *)
+}
+
+(* the site pc a resident block's indirect terminator introspects as,
+   when it has one *)
+let block_site_pc (b : Block.t) =
+  match b.Block.term with
+  | Block.T_indirect { Block.i_site = Some s; _ } -> Some s.Block.is_pc
+  | _ -> None
+
+let chain_dot ?(site_mech = fun _ -> None) cache =
   let gen = Block.generation cache in
   let resident = Block.resident cache in
   let is_resident = Hashtbl.create 256 in
@@ -101,19 +119,34 @@ let chain_dot cache =
   let ghosts = Hashtbl.create 16 in
   List.iter
     (fun (b : Block.t) ->
+      let mech = Option.bind (block_site_pc b) site_mech in
       let trace_mark =
         if Hashtbl.mem heads b.Block.start then
           " peripheries=2 style=bold color=blue"
         else if Hashtbl.mem members b.Block.start then " style=bold color=blue"
-        else ""
+        else
+          (* a re-patched IB site: its exit transfer has been rewritten
+             since emission (adaptive tier change) *)
+          match mech with
+          | Some sm when sm.sm_repatches > 0 -> " style=bold color=orangered"
+          | _ -> ""
+      in
+      let mech_label =
+        match mech with
+        | None -> ""
+        | Some sm ->
+            Printf.sprintf "\\n[%s%s]" sm.sm_mech
+              (if sm.sm_repatches > 0 then
+                 Printf.sprintf ", re-patched x%d" sm.sm_repatches
+               else "")
       in
       Buffer.add_string buf
-        (Printf.sprintf "  \"%s\" [label=\"%s\\n%d instrs%s\"%s];\n"
+        (Printf.sprintf "  \"%s\" [label=\"%s\\n%d instrs%s%s\"%s];\n"
            (hex b.Block.start) (hex b.Block.start) b.Block.n_instrs
            (if Hashtbl.mem heads b.Block.start then " (trace head)"
             else if Hashtbl.mem members b.Block.start then " (in trace)"
             else "")
-           trace_mark);
+           mech_label trace_mark);
       List.iter
         (fun (kind, (s : Block.t)) ->
           if not (Hashtbl.mem is_resident s.Block.start) then
@@ -145,28 +178,45 @@ let histo_json h =
           ])
   | other -> other
 
-let site_json (s : Block.isite) =
+let site_json ?(site_mech = fun _ -> None) (s : Block.isite) =
   let targets = Block.site_targets s in
   let counts = List.map snd targets in
   let executions = List.fold_left ( + ) 0 counts in
+  let mech_fields =
+    match site_mech s.Block.is_pc with
+    | None -> []
+    | Some sm ->
+        [
+          ("mechanism", Jsonw.Str sm.sm_mech);
+          ( "transitions",
+            Jsonw.List
+              (List.map
+                 (fun (tier, at) ->
+                   Jsonw.Obj
+                     [ ("mechanism", Jsonw.Str tier); ("at", Jsonw.Int at) ])
+                 sm.sm_transitions) );
+          ("repatches", Jsonw.Int sm.sm_repatches);
+        ]
+  in
   Jsonw.Obj
-    [
-      ("pc", Jsonw.Str (hex s.Block.is_pc));
-      ("hits", Jsonw.Int s.Block.is_hits);
-      ("misses", Jsonw.Int s.Block.is_misses);
-      ("executions", Jsonw.Int executions);
-      ("distinct_targets", Jsonw.Int (List.length targets));
-      ("entropy_bits", Jsonw.Float (Profile.entropy_bits counts));
-      ( "targets",
-        Jsonw.List
-          (List.map
-             (fun (pc, n) ->
-               Jsonw.Obj
-                 [ ("target", Jsonw.Str (hex pc)); ("count", Jsonw.Int n) ])
-             targets) );
-    ]
+    ([
+       ("pc", Jsonw.Str (hex s.Block.is_pc));
+       ("hits", Jsonw.Int s.Block.is_hits);
+       ("misses", Jsonw.Int s.Block.is_misses);
+       ("executions", Jsonw.Int executions);
+       ("distinct_targets", Jsonw.Int (List.length targets));
+       ("entropy_bits", Jsonw.Float (Profile.entropy_bits counts));
+       ( "targets",
+         Jsonw.List
+           (List.map
+              (fun (pc, n) ->
+                Jsonw.Obj
+                  [ ("target", Jsonw.Str (hex pc)); ("count", Jsonw.Int n) ])
+              targets) );
+     ]
+    @ mech_fields)
 
-let to_json cache =
+let to_json ?site_mech cache =
   let st = Block.stats cache in
   let depths = chain_depths cache in
   let depth_of = Hashtbl.create 256 in
@@ -251,5 +301,7 @@ let to_json cache =
                  ])
              traces) );
       ("blocks", Jsonw.List (List.map block_json (Block.resident cache)));
-      ("ind_sites", Jsonw.List (List.map site_json (Block.ind_sites cache)));
+      ( "ind_sites",
+        Jsonw.List
+          (List.map (site_json ?site_mech) (Block.ind_sites cache)) );
     ]

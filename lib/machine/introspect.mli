@@ -48,17 +48,37 @@ val trace_members : Block.cache -> (int, unit) Hashtbl.t
     superblock runs these inline, so they no longer dispatch on the
     hot path. *)
 
-val chain_dot : Block.cache -> string
+type site_mech = {
+  sm_mech : string;  (** the mechanism currently handling the site *)
+  sm_transitions : (string * int) list;
+      (** (mechanism, adaptive event clock), oldest first; empty for a
+          site whose mechanism was fixed at translation time *)
+  sm_repatches : int;  (** emitted transfers re-patched so far *)
+}
+(** What the layer that {e emitted} the code knows about an IB site's
+    handling. This library only watches executed code, so the
+    information arrives through a neutral [site_mech] callback keyed by
+    code address (the introspected site pc) — typically
+    [Sdt_core.Runtime.adapt_site_at] under the adaptive mechanism, or a
+    constant for a static one. The callback returning [None] for every
+    address reproduces the old reports exactly. *)
+
+val chain_dot : ?site_mech:(int -> site_mech option) -> Block.cache -> string
 (** The chain graph as Graphviz DOT: one box per resident block
     (labelled with start PC and length), one edge per installed link
     (labelled with its kind; stale-generation links dashed). Linked
     blocks evicted from the table ("ghosts") appear dotted;
-    trace-subsumed blocks are bold blue, trace heads double-bordered. *)
+    trace-subsumed blocks are bold blue, trace heads double-bordered.
+    With [site_mech], blocks ending in an introspected IB site carry
+    the site's current mechanism in their label, and sites whose exit
+    transfer has been re-patched since emission are bold orange-red. *)
 
-val to_json : Block.cache -> Jsonw.t
+val to_json : ?site_mech:(int -> site_mech option) -> Block.cache -> Jsonw.t
 (** The full dump: cache stats (including the trace tier), generation,
     per-block records with links, chain depth and trace membership,
     the shape histograms — block length, chain depth, trace length,
     side-exit rate — ({!Histo.to_json}, including p50/p90/p99 from
     {!Histo.percentile}), per-trace records (head, members, entries,
-    side exits, staleness), and per-IB-site counters with entropy. *)
+    side exits, staleness), and per-IB-site counters with entropy.
+    With [site_mech], each site row additionally names its current
+    mechanism, its transition history, and its re-patch count. *)

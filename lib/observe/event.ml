@@ -10,6 +10,7 @@ type kind =
   | Pred_fill of { target : int; slot : int }
   | Flush of { generation : int }
   | Context_switch of { routine : string }
+  | Adapt_transition of { site_pc : int; tier : string; promotion : bool }
   | Sample
 
 type t = { cycle : int; kind : kind }
@@ -27,6 +28,8 @@ let name = function
   | Pred_fill _ -> "pred_fill"
   | Flush _ -> "flush"
   | Context_switch _ -> "context_switch"
+  | Adapt_transition { promotion = true; _ } -> "adapt_promotion"
+  | Adapt_transition { promotion = false; _ } -> "adapt_demotion"
   | Sample -> "sample"
 
 let hex i = Jsonw.Str (Printf.sprintf "0x%x" i)
@@ -46,6 +49,8 @@ let args = function
       [ ("target", hex target); ("slot", Jsonw.Int slot) ]
   | Flush { generation } -> [ ("generation", Jsonw.Int generation) ]
   | Context_switch { routine } -> [ ("routine", Jsonw.Str routine) ]
+  | Adapt_transition { site_pc; tier; _ } ->
+      [ ("site_pc", hex site_pc); ("tier", Jsonw.Str tier) ]
 
 let pp ppf t =
   Format.fprintf ppf "%12d  %-20s" t.cycle (name t.kind);

@@ -33,6 +33,9 @@ type kind =
       (** the fragment cache was flushed *)
   | Context_switch of { routine : string }
       (** a full register save/restore through a named shared routine *)
+  | Adapt_transition of { site_pc : int; tier : string; promotion : bool }
+      (** an adaptive IB site changed mechanism tier: promoted up the
+          lattice ([promotion]) or demoted back to the inline cache *)
   | Sample
       (** a periodic metrics sample was taken *)
 

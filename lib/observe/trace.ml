@@ -19,6 +19,7 @@ let track kind =
   | Event.Sieve_stub_inserted _ | Event.Context_switch _ ->
       (3, "IB misses")
   | Event.Retcache_fallback | Event.Shadow_fallback -> (4, "returns")
+  | Event.Adapt_transition _ -> (2, "linking/prediction")
   | Event.Sample -> (5, "sampling")
 
 let to_chrome t =

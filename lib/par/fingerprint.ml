@@ -35,6 +35,11 @@ let mechanism = function
         i.inline_lookup
   | Config.Sieve s ->
       Printf.sprintf "sieve{b=%d;head=%b}" s.Config.buckets s.insert_at_head
+  | Config.Adaptive a ->
+      Printf.sprintf "adapt{ic=%d;e=%g;mega=%d;ibtc=%d/%d;sieve=%d/%d;w=%d;mono=%d}"
+        a.Config.ic_rebinds a.poly_entropy_bits a.mega_new_pct
+        a.site_ibtc_entries a.ibtc_promote_misses a.site_sieve_buckets
+        a.sieve_promote_chain a.demote_window a.mono_share_pct
 
 let returns = function
   | Config.As_ib -> "as-ib"

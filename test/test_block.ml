@@ -147,6 +147,8 @@ let mech_configs =
         mech = Sieve { buckets = 512; insert_at_head = true };
         returns = Config.Shadow_stack { depth = 64 };
       } );
+    ( "adaptive",
+      { Config.default with mech = Config.Adaptive Config.default_adaptive } );
   ]
 
 let test_sdt_equivalence () =
@@ -291,6 +293,7 @@ let qcheck_block_equivalence =
             Config.Ibtc Config.default_ibtc;
             Config.Ibtc { Config.default_ibtc with shared = false };
             Config.Sieve { buckets = 256; insert_at_head = true };
+            Config.Adaptive Config.default_adaptive;
           ]
       in
       let* returns =
@@ -333,6 +336,110 @@ let qcheck_block_equivalence =
           native_step = native_fingerprint arch program mode
           && sdt_step = sdt_fingerprint arch cfg program mode)
         [ `Block; `Block_nochain; `Trace ])
+
+(* qcheck differential for the adaptive IB mechanism: over random
+   synthetic programs x arch x return policy, a run under Adaptive must
+   be output-bit-exact against every static mechanism and against
+   native — same program output (the syscall stream), same memory
+   checksum, same exit code, same final application register file.
+   Only timing and the translated instruction stream may differ. The
+   adaptive thresholds are set low so test-sized programs actually
+   take tier transitions mid-run rather than comparing a permanent
+   inline cache. *)
+let qcheck_adaptive_differential =
+  let open QCheck in
+  let eager =
+    Config.Adaptive
+      {
+        Config.default_adaptive with
+        ic_rebinds = 1;
+        poly_entropy_bits = 1.0;
+        site_ibtc_entries = 16;
+        ibtc_promote_misses = 2;
+        site_sieve_buckets = 8;
+        sieve_promote_chain = 2;
+        demote_window = 64;
+      }
+  in
+  let statics =
+    [
+      Config.Dispatch;
+      Config.Ibtc Config.default_ibtc;
+      Config.Ibtc { Config.default_ibtc with shared = false };
+      Config.Sieve { buckets = 256; insert_at_head = true };
+    ]
+  in
+  (* the translator-reserved registers ($at, $k0, $k1) are scratch for
+     whichever mechanism ran last; every other register is application
+     state and must agree *)
+  let reserved = [ Reg.at; Reg.k0; Reg.k1 ] in
+  let observable arch cfg program =
+    let timing = Timing.create arch in
+    let rt = Runtime.create ~cfg ~arch ~timing program in
+    Runtime.run ~mode:`Block rt;
+    let m = Runtime.machine rt in
+    ( Machine.output m,
+      m.Machine.checksum,
+      Machine.exit_code m,
+      List.init 32 (fun r ->
+          if List.mem r reserved then 0 else Machine.reg m r) )
+  in
+  let native_observable arch program =
+    let timing = Timing.create arch in
+    let m = Loader.load ~timing program in
+    Machine.run_blocks m;
+    ( Machine.output m,
+      m.Machine.checksum,
+      Machine.exit_code m,
+      List.init 32 (fun r ->
+          if List.mem r reserved then 0 else Machine.reg m r) )
+  in
+  let gen =
+    Gen.(
+      let* ib_sites = 1 -- 6 in
+      let* targets = 2 -- 16 in
+      let* fns = 0 -- 4 in
+      let* recursion_depth = 0 -- 4 in
+      let* iters = 20 -- 120 in
+      let* seed = 0 -- 1000 in
+      let* arch = oneofl [ Arch.arch_a; Arch.arch_b; Arch.arch_c ] in
+      let* returns =
+        oneofl
+          [
+            Config.As_ib;
+            Config.Return_cache { entries = 1024 };
+            Config.Shadow_stack { depth = 256 };
+          ]
+      in
+      return
+        ({ Synthetic.ib_sites; targets; fns; recursion_depth; iters; seed },
+         arch,
+         returns))
+  in
+  let arb =
+    make
+      ~print:(fun (p, arch, returns) ->
+        Printf.sprintf
+          "sites=%d targets=%d fns=%d rec=%d iters=%d seed=%d arch=%s %s"
+          p.Synthetic.ib_sites p.Synthetic.targets p.Synthetic.fns
+          p.Synthetic.recursion_depth p.Synthetic.iters p.Synthetic.seed
+          arch.Arch.name
+          (Config.describe { Config.default with returns }))
+      gen
+  in
+  QCheck.Test.make ~count:30
+    ~name:"adaptive output-bit-exact vs every static mechanism" arb
+    (fun (params, arch, returns) ->
+      let program = Synthetic.build params in
+      let adaptive =
+        observable arch { Config.default with mech = eager; returns } program
+      in
+      adaptive = native_observable arch program
+      && List.for_all
+           (fun mech ->
+             observable arch { Config.default with mech; returns } program
+             = adaptive)
+           statics)
 
 (* SMC variant: the guest toggles an instruction inside its own hot
    loop every iteration (XOR with the difference of two encodings), so
@@ -607,6 +714,7 @@ let () =
           Alcotest.test_case "sdt: workloads x arches x mechanisms" `Quick
             test_sdt_equivalence;
           QCheck_alcotest.to_alcotest qcheck_block_equivalence;
+          QCheck_alcotest.to_alcotest qcheck_adaptive_differential;
         ] );
       ( "self-modifying code",
         [

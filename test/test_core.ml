@@ -19,6 +19,7 @@ module Layout = Sdt_core.Layout
 module Emitter = Sdt_core.Emitter
 module Stats = Sdt_core.Stats
 module Runtime = Sdt_core.Runtime
+module Adapt = Sdt_core.Adapt
 
 let check = Alcotest.check
 let int = Alcotest.int
@@ -303,6 +304,22 @@ let all_mechs : (string * Config.mechanism) list =
     ( "sieve-tail",
       Config.Sieve { Config.default_sieve with insert_at_head = false } );
     ("sieve-tiny", Config.Sieve { Config.buckets = 4; insert_at_head = true });
+    ("adaptive", Config.Adaptive Config.default_adaptive);
+    (* thresholds low enough that the torture program walks the whole
+       lattice — promotions, table growth and demotion scans all fire
+       within a test-sized run *)
+    ( "adaptive-eager",
+      Config.Adaptive
+        {
+          Config.default_adaptive with
+          ic_rebinds = 1;
+          poly_entropy_bits = 1.0;
+          site_ibtc_entries = 16;
+          ibtc_promote_misses = 2;
+          site_sieve_buckets = 8;
+          sieve_promote_chain = 2;
+          demote_window = 64;
+        } );
   ]
 
 let all_returns : (string * Config.return_policy) list =
@@ -451,6 +468,53 @@ let test_flush_pressure () =
           Config.Shadow_stack { depth = 64 } ])
     [ ("ibtc", Config.Ibtc Config.default_ibtc);
       ("sieve", Config.Sieve Config.default_sieve) ]
+
+(* Adaptive state must survive fragment-cache flushes: only the emitted
+   tier bodies die with the code region — the per-site state machine
+   (tier, counters, transition history) is host-side and persists, so a
+   promoted site re-enters at its earned tier when its fragment is
+   retranslated instead of silently resetting to the bottom of the
+   lattice. Every flush also exercises the SMC path: the re-emitted
+   bodies and re-patched transfers go through simulated memory, where
+   the block cache's chain-sever protocol retires stale decodings. *)
+let test_adaptive_flush_survival () =
+  let acfg =
+    {
+      Config.default_adaptive with
+      ic_rebinds = 1;
+      ibtc_promote_misses = 2;
+      site_ibtc_entries = 16;
+    }
+  in
+  let cfg =
+    { Config.default with mech = Config.Adaptive acfg; code_capacity = 0x400 }
+  in
+  let program = Lazy.force torture_program in
+  let native = run_native program in
+  let sdt, rt = run_sdt ~cfg program in
+  check string "output under flush pressure" native.out sdt.out;
+  check int "checksum under flush pressure" native.chk sdt.chk;
+  let stats = Runtime.stats rt in
+  check bool "flushed at least once" true (stats.Stats.flushes > 0);
+  check bool "promoted at least once" true (stats.Stats.adapt_promotions > 0);
+  let promoted =
+    List.filter
+      (fun s -> s.Adapt.si_tier <> "inline-cache")
+      (Runtime.adapt_sites rt)
+  in
+  check bool "a promoted site survives the flushes" true (promoted <> []);
+  List.iter
+    (fun s ->
+      (* the history is cumulative across generations: it must still
+         start at the bottom of the lattice and retain the promotion
+         that predates the flushes — losing the record would recreate
+         it with a fresh single-entry history at tier inline-cache *)
+      match s.Adapt.si_transitions with
+      | ("inline-cache", 0) :: rest ->
+          check bool "history retains the promotion" true
+            (List.exists (fun (tier, _) -> tier = s.Adapt.si_tier) rest)
+      | _ -> Alcotest.fail "transition history lost across flush")
+    promoted
 
 let test_fast_return_flush_rejected () =
   let cfg =
@@ -784,6 +848,8 @@ let () =
             test_instrumentation_counts;
           Alcotest.test_case "IB site profiling" `Quick test_ib_site_profile;
           Alcotest.test_case "flush pressure" `Quick test_flush_pressure;
+          Alcotest.test_case "adaptive survives flushes" `Quick
+            test_adaptive_flush_survival;
           Alcotest.test_case "fast-return flush rejected" `Quick
             test_fast_return_flush_rejected;
           Alcotest.test_case "explicit flush" `Quick test_explicit_flush;
