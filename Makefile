@@ -1,6 +1,6 @@
 # Convenience targets; everything real lives in dune.
 
-.PHONY: all build test bench-smoke bench-par-smoke bench-json perf perf-exec perf-exec-smoke perf-chain perf-trace perf-adapt perf-check perf-check-smoke check clean
+.PHONY: all build test bench-smoke bench-par-smoke bench-json perf perf-exec perf-exec-smoke perf-chain perf-trace perf-adapt perf-serve perf-check perf-check-smoke check clean
 
 all: build
 
@@ -66,6 +66,15 @@ perf-adapt:
 	  --exec-mode $(PERF_MODE) --perf-tolerance $(PERF_TOLERANCE) \
 	  --trajectory _build/trajectory-adapt.jsonl
 	dune exec bench/main.exe -- --size test --only F10 --no-bechamel --perf
+
+# the multi-tenant serving experiment: the regression gate on F11
+# plus the F11 perf report, whose serving line prints the
+# jobs/dedup/eviction/flush totals for the pass
+perf-serve:
+	dune exec bench/main.exe -- --size test --only F11 --check-perf \
+	  --exec-mode $(PERF_MODE) --perf-tolerance $(PERF_TOLERANCE) \
+	  --trajectory _build/trajectory-serve.jsonl
+	dune exec bench/main.exe -- --size test --only F11 --no-bechamel --perf
 
 # the statistical regression gate: re-time the full grid (cold,
 # serial, best-of-N) against bench/baselines, append one row to

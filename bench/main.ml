@@ -292,6 +292,10 @@ type cell_report = {
   r_adapt_promotions : int;  (** adaptive tier promotions taken *)
   r_adapt_demotions : int;  (** adaptive tier demotions taken *)
   r_adapt_repatches : int;  (** adaptive exit transfers re-patched *)
+  r_serve_jobs : int;  (** guest jobs completed by service runs *)
+  r_serve_dedup_hits : int;  (** translations served as cross-tenant copies *)
+  r_serve_evictions : int;  (** shared-store entries evicted *)
+  r_serve_flushes : int;  (** tenant fragment-cache flushes *)
 }
 
 let experiment_json (e : Experiments.experiment) size ~jobs seconds
@@ -319,6 +323,10 @@ let experiment_json (e : Experiments.experiment) size ~jobs seconds
       ("adapt_promotions", Jsonw.Int r.r_adapt_promotions);
       ("adapt_demotions", Jsonw.Int r.r_adapt_demotions);
       ("adapt_repatches", Jsonw.Int r.r_adapt_repatches);
+      ("serve_jobs", Jsonw.Int r.r_serve_jobs);
+      ("serve_dedup_hits", Jsonw.Int r.r_serve_dedup_hits);
+      ("serve_evictions", Jsonw.Int r.r_serve_evictions);
+      ("serve_flushes", Jsonw.Int r.r_serve_flushes);
       ("tables", Jsonw.List (List.map table_json tables));
     ]
 
@@ -333,6 +341,7 @@ let run_one pool size (e : Experiments.experiment) =
   let i0 = Run.simulated_instructions () in
   let b0 = Run.block_cache_stats () in
   let a0 = Run.adapt_stats () in
+  let v0 = Run.serve_stats () in
   let t0 = now () in
   let cells = Experiments.evaluate ~pool size e in
   let tables = e.Experiments.run size in
@@ -341,6 +350,7 @@ let run_one pool size (e : Experiments.experiment) =
   let instructions = Run.simulated_instructions () - i0 in
   let b1 = Run.block_cache_stats () in
   let a1 = Run.adapt_stats () in
+  let v1 = Run.serve_stats () in
   ( tables,
     seconds,
     {
@@ -360,6 +370,10 @@ let run_one pool size (e : Experiments.experiment) =
       r_adapt_promotions = a1.Run.promotions - a0.Run.promotions;
       r_adapt_demotions = a1.Run.demotions - a0.Run.demotions;
       r_adapt_repatches = a1.Run.repatches - a0.Run.repatches;
+      r_serve_jobs = v1.Run.jobs_served - v0.Run.jobs_served;
+      r_serve_dedup_hits = v1.Run.dedup_hits - v0.Run.dedup_hits;
+      r_serve_evictions = v1.Run.evictions - v0.Run.evictions;
+      r_serve_flushes = v1.Run.service_flushes - v0.Run.service_flushes;
     } )
 
 let run_experiments pool size csv_dir json_dir exps =
@@ -460,7 +474,12 @@ let run_perf size jobs exps =
   if a.Run.promotions + a.Run.demotions + a.Run.repatches > 0 then
     Printf.printf
       "  adaptive IB: %d promotions, %d demotions, %d repatches\n%!"
-      a.Run.promotions a.Run.demotions a.Run.repatches
+      a.Run.promotions a.Run.demotions a.Run.repatches;
+  let v = Run.serve_stats () in
+  if v.Run.jobs_served > 0 then
+    Printf.printf
+      "  serving: %d jobs, %d dedup hits, %d evictions, %d flushes\n%!"
+      v.Run.jobs_served v.Run.dedup_hits v.Run.evictions v.Run.service_flushes
 
 (* The committed baseline wall time for an experiment selection: the
    sum of the "seconds" fields of bench/baselines/BENCH_<id>.json, if

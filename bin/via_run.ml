@@ -10,6 +10,9 @@ module Config = Sdt_core.Config
 module Stats = Sdt_core.Stats
 module Runtime = Sdt_core.Runtime
 module Suite = Sdt_workloads.Suite
+module Serve = Sdt_serve.Serve
+module Store = Sdt_serve.Store
+module Registry = Sdt_observe.Registry
 module Observer = Sdt_observe.Observer
 module Trace = Sdt_observe.Trace
 module Metrics = Sdt_observe.Metrics
@@ -205,11 +208,208 @@ let print_block_stats m =
           s.Sdt_machine.Block.st_trace_severs
           s.Sdt_machine.Block.st_trace_aborts
 
+(* --serve "NAME=PROG[xJOBS],...": one tenant per element. PROG is a
+   suite workload (sized by --size, or explicitly with @N) or
+   micro:SEED, a generated IB microbenchmark. *)
+let parse_tenant size s =
+  let fail msg =
+    Printf.eprintf "--serve: %s in %S\n" msg s;
+    exit 2
+  in
+  let name, prog =
+    match String.index_opt s '=' with
+    | Some i when i > 0 ->
+        ( String.sub s 0 i,
+          String.sub s (i + 1) (String.length s - i - 1) )
+    | _ -> fail "expected NAME=PROG"
+  in
+  let prog, jobs =
+    match String.rindex_opt prog 'x' with
+    | Some i
+      when i < String.length prog - 1
+           && String.for_all
+                (fun c -> c >= '0' && c <= '9')
+                (String.sub prog (i + 1) (String.length prog - i - 1)) ->
+        ( String.sub prog 0 i,
+          int_of_string (String.sub prog (i + 1) (String.length prog - i - 1))
+        )
+    | _ -> (prog, 1)
+  in
+  let pspec =
+    if String.length prog > 6 && String.sub prog 0 6 = "micro:" then
+      match int_of_string_opt (String.sub prog 6 (String.length prog - 6)) with
+      | Some seed ->
+          Serve.Micro
+            {
+              Sdt_workloads.Synthetic.ib_sites = 4;
+              targets = 8;
+              fns = 2;
+              recursion_depth = 1;
+              iters = 600;
+              seed;
+            }
+      | None -> fail "micro: needs an integer seed"
+    else
+      let wl, sz =
+        match String.index_opt prog '@' with
+        | Some i -> (
+            ( String.sub prog 0 i,
+              match
+                int_of_string_opt
+                  (String.sub prog (i + 1) (String.length prog - i - 1))
+              with
+              | Some n when n > 0 -> Some n
+              | _ -> fail "@SIZE must be a positive integer" ))
+        | None -> (prog, None)
+      in
+      match Suite.find wl with
+      | None ->
+          fail
+            (Printf.sprintf "unknown workload %S (available: %s)" wl
+               (String.concat ", " Suite.names))
+      | Some e ->
+          let sz =
+            match sz with
+            | Some n -> n
+            | None -> (
+                match size with
+                | `Test -> e.Suite.test_size
+                | `Ref -> e.Suite.ref_size)
+          in
+          Serve.Workload { wl; size = sz }
+  in
+  Serve.tenant ~jobs name pspec
+
+let serve_report_json (spec : Serve.spec) exec_mode_name (r : Serve.report) =
+  let tenant_json (t : Serve.tenant_line) =
+    Jsonw.Obj
+      [
+        ("name", Jsonw.Str t.Serve.tl_name);
+        ("jobs", Jsonw.Int t.Serve.tl_jobs);
+        ( "checksum",
+          Jsonw.Str (Printf.sprintf "0x%08x" t.Serve.tl_checksum) );
+        ("mean_latency", Jsonw.Float t.Serve.tl_mean_latency);
+        ("p99_latency", Jsonw.Float t.Serve.tl_p99);
+        ("dedup_hits", Jsonw.Int t.Serve.tl_dedup_hits);
+        ("flush_marks", Jsonw.Int t.Serve.tl_flush_marks);
+      ]
+  in
+  Jsonw.Obj
+    [
+      ("config", Jsonw.Str (Serve.describe spec));
+      ("exec_mode", Jsonw.Str exec_mode_name);
+      ("jobs", Jsonw.Int r.Serve.rp_jobs);
+      ("epochs", Jsonw.Int r.Serve.rp_epochs);
+      ("makespan_cycles", Jsonw.Int r.Serve.rp_makespan);
+      ("instructions", Jsonw.Int r.Serve.rp_instrs);
+      ("cycles", Jsonw.Int r.Serve.rp_cycles);
+      ("throughput_jobs_per_gcyc", Jsonw.Float r.Serve.rp_throughput);
+      ("aggregate_mips", Jsonw.Float r.Serve.rp_agg_mips);
+      ("latency_p50", Jsonw.Float r.Serve.rp_p50);
+      ("latency_p90", Jsonw.Float r.Serve.rp_p90);
+      ("latency_p99", Jsonw.Float r.Serve.rp_p99);
+      ("dedup_hits", Jsonw.Int r.Serve.rp_dedup_hits);
+      ("dedup_insts", Jsonw.Int r.Serve.rp_dedup_insts);
+      ("flush_marks", Jsonw.Int r.Serve.rp_flush_marks);
+      ("flushes", Jsonw.Int r.Serve.rp_flushes);
+      ("store_peak_bytes", Jsonw.Int r.Serve.rp_store_peak);
+      ("store_final_bytes", Jsonw.Int r.Serve.rp_store_final);
+      ("evictions", Jsonw.Int r.Serve.rp_evictions);
+      ("evicted_bytes", Jsonw.Int r.Serve.rp_evicted_bytes);
+      ("rejects", Jsonw.Int r.Serve.rp_rejects);
+      ("checksum", Jsonw.Str (Printf.sprintf "0x%08x" r.Serve.rp_checksum));
+      ("tenants", Jsonw.List (List.map tenant_json r.Serve.rp_tenants));
+    ]
+
+let run_serve tenants size arch cfg exec_mode exec_mode_name policy_name bound
+    budget no_dedup quantum servers schedule_name show_stats stats_json =
+  let tenant_specs =
+    List.map (parse_tenant size) (String.split_on_char ',' tenants)
+  in
+  let policy =
+    match Store.policy_of_name policy_name with
+    | Some p -> p
+    | None ->
+        Printf.eprintf "--policy: expected flush-all, fifo or gen, got %S\n"
+          policy_name;
+        exit 2
+  in
+  let schedule =
+    match String.split_on_char ':' schedule_name with
+    | [ "closed" ] -> Serve.Closed
+    | [ "open"; p ] -> (
+        match int_of_string_opt p with
+        | Some period when period > 0 -> Serve.Open_loop { period }
+        | _ ->
+            prerr_endline "--schedule open:PERIOD needs a positive period";
+            exit 2)
+    | _ ->
+        Printf.eprintf
+          "--schedule: expected closed or open:PERIOD, got %S\n" schedule_name;
+        exit 2
+  in
+  let spec =
+    try
+      Serve.spec ~arch ~cfg ~policy ~bound ~budget ~dedup:(not no_dedup)
+        ~quantum ~servers ~schedule tenant_specs
+    with Serve.Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  let result =
+    try Serve.run ~mode:exec_mode spec
+    with Serve.Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+  in
+  let r = Serve.report_of_result result in
+  Printf.printf "--- serve: %s ---\n" (Serve.describe spec);
+  Printf.printf "jobs:          %d in %d epochs, makespan %d cycles\n"
+    r.Serve.rp_jobs r.Serve.rp_epochs r.Serve.rp_makespan;
+  Printf.printf "throughput:    %.1f jobs/Gcyc, %.1f aggregate MIPS\n"
+    r.Serve.rp_throughput r.Serve.rp_agg_mips;
+  Printf.printf "latency:       p50 %.0f  p90 %.0f  p99 %.0f cycles\n"
+    r.Serve.rp_p50 r.Serve.rp_p90 r.Serve.rp_p99;
+  Printf.printf "dedup:         %d hits (%d insts served by copy)\n"
+    r.Serve.rp_dedup_hits r.Serve.rp_dedup_insts;
+  Printf.printf
+    "store:         %d bytes peak, %d final; %d evictions (%d bytes), %d \
+     rejects\n"
+    r.Serve.rp_store_peak r.Serve.rp_store_final r.Serve.rp_evictions
+    r.Serve.rp_evicted_bytes r.Serve.rp_rejects;
+  Printf.printf "invalidation:  %d flush marks, %d cache flushes\n"
+    r.Serve.rp_flush_marks r.Serve.rp_flushes;
+  Printf.printf "checksum:      0x%08x\n" r.Serve.rp_checksum;
+  print_endline "per tenant:";
+  List.iter
+    (fun (t : Serve.tenant_line) ->
+      Printf.printf
+        "  %-12s %3d jobs  cks 0x%08x  mean %10.0f  p99 %10.0f  %d hits  %d \
+         marks\n"
+        t.Serve.tl_name t.Serve.tl_jobs t.Serve.tl_checksum
+        t.Serve.tl_mean_latency t.Serve.tl_p99 t.Serve.tl_dedup_hits
+        t.Serve.tl_flush_marks)
+    r.Serve.rp_tenants;
+  if show_stats then begin
+    print_endline "--- registry counters ---";
+    List.iter
+      (fun (id, v) -> Printf.printf "  %-40s %d\n" id v)
+      (Registry.counters result.Serve.res_registry)
+  end;
+  Option.iter
+    (fun path ->
+      with_out_file path (fun oc ->
+          Jsonw.to_channel oc (serve_report_json spec exec_mode_name r);
+          output_char oc '\n'))
+    stats_json;
+  0
+
 let run file workload size_name native arch_name mech ibtc_entries
     sieve_buckets inline miss_policy returns pred no_link traces ways
     profile_ib shepherd show_stats trace_steps dump_frags max_steps trace_file
     metrics_file profile sample_interval exec_mode_name introspect_dir
-    stats_json =
+    stats_json serve_tenants serve_policy serve_bound serve_budget no_dedup
+    serve_quantum serve_servers serve_schedule =
   if sample_interval <= 0 then begin
     prerr_endline "--sample-interval must be positive";
     exit 2
@@ -226,7 +426,6 @@ let run file workload size_name native arch_name mech ibtc_entries
         exit 2
   in
   let size = if size_name = "ref" then `Ref else `Test in
-  let program = load_program file workload size in
   let arch =
     match Arch.by_name arch_name with
     | Some a -> a
@@ -235,6 +434,25 @@ let run file workload size_name native arch_name mech ibtc_entries
           arch_name;
         exit 2
   in
+  match serve_tenants with
+  | Some tenants ->
+      let cfg =
+        {
+          Config.default with
+          mech =
+            mechanism_of mech ibtc_entries sieve_buckets inline miss_policy
+              ways;
+          returns = returns_of returns;
+          pred_depth = pred;
+          link_direct = not no_link;
+          follow_direct_jumps = traces;
+        }
+      in
+      run_serve tenants size arch cfg exec_mode exec_mode_name serve_policy
+        serve_bound serve_budget no_dedup serve_quantum serve_servers
+        serve_schedule show_stats stats_json
+  | None ->
+  let program = load_program file workload size in
   let timing = Timing.create arch in
   let traced m =
     (* single-step the first N instructions, printing a disassembly
@@ -580,7 +798,50 @@ let introspect_dir =
 
 let stats_json =
   Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
-       ~doc:"Write the run's counters (the --stats block, machine totals, block-cache and mechanism stats) as JSON to FILE.")
+       ~doc:"Write the run's counters (the --stats block, machine totals, block-cache and mechanism stats) as JSON to FILE. In serve mode, the service report instead.")
+
+let serve_tenants =
+  Arg.(value & opt (some string) None & info [ "serve" ] ~docv:"TENANTS"
+       ~doc:"Multi-tenant serve mode: run a comma-separated tenant list \
+             against one shared bounded fragment store instead of a single \
+             program. Each tenant is NAME=PROG[xJOBS] where PROG is a suite \
+             workload (sized by --size, or explicitly as WL@N) or \
+             micro:SEED, a generated IB microbenchmark; xJOBS submits a \
+             stream of JOBS jobs (default 1). Example: \
+             --serve a=gzip,b=gzip,m=micro:1x3 --policy fifo --bound 4096.")
+
+let serve_policy =
+  Arg.(value & opt string "fifo" & info [ "policy" ] ~docv:"POLICY"
+       ~doc:"Serve mode: shared-store eviction policy on overflow — \
+             flush-all, fifo or gen (generational).")
+
+let serve_bound =
+  Arg.(value & opt int 0 & info [ "bound" ] ~docv:"BYTES"
+       ~doc:"Serve mode: shared fragment-store byte bound (0 = unbounded).")
+
+let serve_budget =
+  Arg.(value & opt int 0 & info [ "budget" ] ~docv:"BYTES"
+       ~doc:"Serve mode: per-tenant published-byte budget (0 = none).")
+
+let no_dedup =
+  Arg.(value & flag & info [ "no-dedup" ]
+       ~doc:"Serve mode: disable content-keyed cross-tenant fragment dedup \
+             (every tenant pays full translation cost and its own store \
+             copy).")
+
+let serve_quantum =
+  Arg.(value & opt int 50_000 & info [ "quantum" ] ~docv:"CYCLES"
+       ~doc:"Serve mode: cycles of service per job per epoch.")
+
+let serve_servers =
+  Arg.(value & opt int 2 & info [ "servers" ] ~docv:"N"
+       ~doc:"Serve mode: concurrent service slots.")
+
+let serve_schedule =
+  Arg.(value & opt string "closed" & info [ "schedule" ] ~docv:"SCHED"
+       ~doc:"Serve mode: arrival schedule — closed (each tenant keeps one \
+             job in flight) or open:PERIOD (one arrival every PERIOD \
+             cycles, round-robin).")
 
 let cmd =
   let doc = "run VIA programs natively or under the software dynamic translator" in
@@ -592,6 +853,7 @@ let cmd =
       $ no_link $ traces $ ways $ profile_ib $ shepherd $ show_stats
       $ trace_steps $ dump_frags $ max_steps $ trace_file $ metrics_file
       $ profile $ sample_interval $ exec_mode_name $ introspect_dir
-      $ stats_json)
+      $ stats_json $ serve_tenants $ serve_policy $ serve_bound $ serve_budget
+      $ no_dedup $ serve_quantum $ serve_servers $ serve_schedule)
 
 let () = exit (Cmd.eval' cmd)

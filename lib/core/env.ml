@@ -7,6 +7,12 @@ module Machine = Sdt_machine.Machine
 type tail = Tail_jr | Tail_jalr_ra
 type handler = Machine.t -> trap_pc:int -> unit
 
+type service = {
+  mutable sv_flush_pending : bool;
+  sv_charge : app_pc:int -> insts:int -> bytes:int -> int;
+  sv_flushed : unit -> unit;
+}
+
 type t = {
   cfg : Config.t;
   arch : Arch.t;
@@ -25,6 +31,7 @@ type t = {
   mutable flush : unit -> unit;
   mutable ib_site_counters : (int * int) list;
   mutable obs : Sdt_observe.Observer.t option;
+  mutable service : service option;
 }
 
 let trap_link = 1
@@ -64,6 +71,7 @@ let create ~cfg ~arch ~machine ~em ~layout =
     flush = (fun () -> failwith "Env: runtime not wired");
     ib_site_counters = [];
     obs = None;
+    service = None;
   }
 
 let charge t n =

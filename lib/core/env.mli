@@ -24,6 +24,31 @@ type tail = Tail_jr | Tail_jalr_ra
 
 type handler = Machine.t -> trap_pc:int -> unit
 
+type service = {
+  mutable sv_flush_pending : bool;
+      (** set by the serving layer when a shared-store eviction
+          invalidated this tenant; {!Runtime} applies the flush at the
+          next translation-lookup boundary (the only point where every
+          cached code address is re-derivable) and clears the flag via
+          [sv_flushed]. *)
+  sv_charge : app_pc:int -> insts:int -> bytes:int -> int;
+      (** translation-cost policy: given a freshly translated block
+          (application PC, decoded instruction count, emitted bytes),
+          return the runtime cycles to charge. The serving layer uses
+          this to key fragments by content and substitute a copy cost
+          when an identical fragment already exists in the shared
+          store; without a service the charge is
+          [insts * arch.translate_per_inst]. *)
+  sv_flushed : unit -> unit;
+      (** notification that this tenant's fragment cache was flushed
+          (any cause: service mark, capacity overflow); the serving
+          layer drops the tenant's share links and pending
+          publications. *)
+}
+(** Hooks a multi-tenant serving layer installs on a tenant's
+    environment. [None] (the default) must cost nothing beyond one
+    match per translation. *)
+
 type t = {
   cfg : Config.t;
   arch : Arch.t;
@@ -69,6 +94,9 @@ type t = {
       (** the attached observability layer, if any; set by {!Runtime}
           before any code is emitted. [None] (the default) must cost
           nothing beyond one test per hook. *)
+  mutable service : service option;
+      (** the attached serving layer, if any (set by [Sdt_serve]
+          between [Runtime.create] and the first run). *)
 }
 
 (** Trap codes, for diagnostics only (dispatch is by site address). *)

@@ -27,6 +27,7 @@ type t = {
      targets must be word-aligned addresses inside it *)
   text_lo : int;
   text_hi : int;
+  mutable started : bool;
 }
 
 exception Policy_violation of { target : int }
@@ -121,10 +122,21 @@ let flush_env t () =
   Hashtbl.reset env.Env.traps;
   env.Env.ib_site_counters <- [];
   Emitter.reset ~force:true env.Env.em;
-  reemit_shared t
+  reemit_shared t;
+  match env.Env.service with
+  | Some s -> s.Env.sv_flushed ()
+  | None -> ()
 
 let ensure t app_pc =
   let env = t.env in
+  (* a serving-layer invalidation (shared-store eviction hit one of this
+     tenant's fragments) is applied lazily, here: translation lookups
+     are the one boundary every cached code address passes through, so
+     flushing now reuses the ordinary overflow path and the caller
+     transparently receives a fresh-generation fragment *)
+  (match env.Env.service with
+  | Some s when s.Env.sv_flush_pending -> env.Env.flush ()
+  | Some _ | None -> ());
   if
     env.Env.cfg.Config.shepherd
     && (app_pc < t.text_lo || app_pc >= t.text_hi || app_pc land 3 <> 0)
@@ -133,16 +145,22 @@ let ensure t app_pc =
   | Some frag -> frag
   | None -> (
       let before = env.Env.stats.Stats.insts_translated in
+      let before_bytes = ref (Emitter.used_bytes env.Env.em) in
       let frag =
         try Translate.block env ~ret:t.ret app_pc
         with Emitter.Code_full -> (
           env.Env.flush ();
+          before_bytes := Emitter.used_bytes env.Env.em;
           try Translate.block env ~ret:t.ret app_pc
           with Emitter.Code_full ->
             error "a single block overflows the whole code region")
       in
       let n = env.Env.stats.Stats.insts_translated - before in
-      Env.charge env (n * env.Env.arch.Arch.translate_per_inst);
+      (match env.Env.service with
+      | None -> Env.charge env (n * env.Env.arch.Arch.translate_per_inst)
+      | Some s ->
+          let bytes = Emitter.used_bytes env.Env.em - !before_bytes in
+          Env.charge env (s.Env.sv_charge ~app_pc ~insts:n ~bytes));
       frag)
 
 (* The standard metric sources. Sources are polled only at sample time,
@@ -267,6 +285,7 @@ let create ~cfg ~arch ?timing ?observer (program : Program.t) =
       entry = program.Program.entry;
       text_lo;
       text_hi;
+      started = false;
     }
   in
   setup_shared t;
@@ -283,24 +302,48 @@ let create ~cfg ~arch ?timing ?observer (program : Program.t) =
       install_probes obs ~timing);
   t
 
-let run ?max_steps ?(mode = `Block) t =
-  let go () =
+let start t =
+  if not t.started then (
     (try
        let entry_frag = ensure t t.entry in
        t.env.Env.machine.Machine.pc <- entry_frag
      with Translate.Unsupported msg -> error "unsupported application: %s" msg);
-    try
-      (match mode with
-      | `Step -> Machine.run ?max_steps t.env.Env.machine
-      | `Block -> Machine.run_blocks ?max_steps t.env.Env.machine
-      | `Block_nochain ->
-          Machine.run_blocks ?max_steps ~chain:false t.env.Env.machine
-      | `Trace -> Machine.run_blocks ?max_steps ~trace:true t.env.Env.machine)
+    t.started <- true)
+
+let step_machine ?max_steps ~mode m =
+  match mode with
+  | `Step -> Machine.run ?max_steps m
+  | `Block -> Machine.run_blocks ?max_steps m
+  | `Block_nochain -> Machine.run_blocks ?max_steps ~chain:false m
+  | `Trace -> Machine.run_blocks ?max_steps ~trace:true m
+
+let run ?max_steps ?(mode = `Block) t =
+  let go () =
+    start t;
+    try step_machine ?max_steps ~mode t.env.Env.machine
     with Translate.Unsupported msg -> error "unsupported application: %s" msg
   in
   match t.env.Env.obs with
   | None -> go ()
   | Some obs -> Fun.protect ~finally:(fun () -> Observer.finish obs) go
+
+let advance ?max_steps ?(mode = `Block) t =
+  start t;
+  let m = t.env.Env.machine in
+  let before = m.Machine.c.Machine.instructions in
+  (try step_machine ?max_steps ~mode m with
+  | Machine.Error _
+    when Machine.exit_code m = None
+         && m.Machine.c.Machine.instructions > before ->
+      (* the step budget elapsed mid-run: machine state is intact and
+         resumable. A Machine.Error with no forward progress is a real
+         fault (e.g. an illegal instruction as the very next step) and
+         propagates. *)
+      ()
+  | Translate.Unsupported msg -> error "unsupported application: %s" msg);
+  match Machine.exit_code m with
+  | Some code -> `Exited code
+  | None -> `Running
 
 let machine t = t.env.Env.machine
 let stats t = t.env.Env.stats

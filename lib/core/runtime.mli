@@ -59,6 +59,25 @@ val run :
     @raise Error on translator failures (unsupported application code,
     fragment-cache overflow under fast returns). *)
 
+val start : t -> unit
+(** Translate the entry block and point the machine's PC at it, once;
+    subsequent calls are no-ops. {!run} and {!advance} call it
+    implicitly. Unlike re-running {!run}, a started runtime's machine
+    keeps its position across calls — the serving layer depends on
+    this for quantum-sliced execution. *)
+
+val advance :
+  ?max_steps:int ->
+  ?mode:[ `Step | `Block | `Block_nochain | `Trace ] ->
+  t ->
+  [ `Exited of int | `Running ]
+(** Resumable slice of {!run}: execute at most [max_steps] further
+    instructions and report whether the application exited. A
+    step-budget overrun is absorbed (machine state stays valid and a
+    later [advance] continues where this one stopped); a
+    [Machine.Error] raised with {e no} forward progress is a genuine
+    fault and propagates, as do translator failures. *)
+
 val machine : t -> Machine.t
 val stats : t -> Stats.t
 val env : t -> Env.t

@@ -17,6 +17,8 @@ type t = {
   mutable adapt_promotions : int;
   mutable adapt_demotions : int;
   mutable adapt_repatches : int;
+  mutable dedup_hits : int;
+  mutable service_evictions : int;
 }
 
 let create () =
@@ -39,6 +41,8 @@ let create () =
     adapt_promotions = 0;
     adapt_demotions = 0;
     adapt_repatches = 0;
+    dedup_hits = 0;
+    service_evictions = 0;
   }
 
 let reset t =
@@ -59,7 +63,9 @@ let reset t =
   t.ib_sites <- 0;
   t.adapt_promotions <- 0;
   t.adapt_demotions <- 0;
-  t.adapt_repatches <- 0
+  t.adapt_repatches <- 0;
+  t.dedup_hits <- 0;
+  t.service_evictions <- 0
 
 let total_ib_misses t =
   t.dispatch_entries + t.ibtc_misses_full + t.ibtc_misses_fast + t.sieve_misses
@@ -87,6 +93,8 @@ let to_assoc t =
     ("adapt_promotions", t.adapt_promotions);
     ("adapt_demotions", t.adapt_demotions);
     ("adapt_repatches", t.adapt_repatches);
+    ("dedup_hits", t.dedup_hits);
+    ("service_evictions", t.service_evictions);
   ]
 
 let pp ppf t =

@@ -24,6 +24,8 @@ type t = {
   mutable adapt_promotions : int;  (** adaptive sites promoted up the lattice *)
   mutable adapt_demotions : int;   (** adaptive sites demoted back to the IC *)
   mutable adapt_repatches : int;   (** site occurrences re-patched to a new tier *)
+  mutable dedup_hits : int;        (** fragments satisfied from a shared service store *)
+  mutable service_evictions : int; (** times a serving layer invalidated this tenant *)
 }
 
 val create : unit -> t

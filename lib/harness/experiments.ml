@@ -2,8 +2,11 @@ module Arch = Sdt_march.Arch
 module Config = Sdt_core.Config
 module Stats = Sdt_core.Stats
 module Suite = Sdt_workloads.Suite
+module Synthetic = Sdt_workloads.Synthetic
 module Fingerprint = Sdt_par.Fingerprint
 module Pool = Sdt_par.Pool
+module Serve = Sdt_serve.Serve
+module Store = Sdt_serve.Store
 
 type size = [ `Test | `Ref ]
 
@@ -17,8 +20,12 @@ type experiment = {
   id : string;
   title : string;
   grid : cell list;
+  serves : size -> Serve.spec list;
   run : size -> Table.t list;
 }
+
+(* every single-run experiment; only F11 declares service specs *)
+let no_serves (_ : size) : Serve.spec list = []
 
 let key e (size : size) =
   e.Suite.name ^ match size with `Test -> ":test" | `Ref -> ":ref"
@@ -82,7 +89,27 @@ let evaluate ?pool size e =
   in
   batch natives;
   batch sdts;
-  List.length cells
+  (* service runs last: their memo is single-flight like the cells',
+     and the engine itself stays serial (the pool is not reentrant) —
+     parallelism comes from independent specs *)
+  let serve_seen = Hashtbl.create 32 in
+  let specs =
+    List.filter
+      (fun s ->
+        let fp = Serve.fingerprint s in
+        if Hashtbl.mem serve_seen fp then false
+        else begin
+          Hashtbl.add serve_seen fp ();
+          true
+        end)
+      (e.serves size)
+  in
+  (match (specs, pool) with
+  | [], _ -> ()
+  | specs, None -> List.iter (fun s -> ignore (Run.serve s)) specs
+  | specs, Some p ->
+      Pool.iter p (fun s -> ignore (Run.serve s)) (Array.of_list specs));
+  List.length cells + List.length specs
 
 let app_ibs (n : Run.native) = n.Run.n_ijumps + n.Run.n_icalls + n.Run.n_returns
 
@@ -880,102 +907,415 @@ let fig_ablation_assoc size =
 let cross_arch_grid =
   grid_of ~arches:cross_arches (List.map snd cross_arch_cfgs)
 
+(* ------------------------------------------------------------------ *)
+(* F11: multi-tenant serving *)
+
+(* the serving deployment configuration: shared IBTC + return cache.
+   Fast returns are excluded by construction — a bounded shared store
+   cannot invalidate fragments whose addresses escaped into
+   application state ({!Serve.spec} rejects the combination). *)
+let f11_cfg = ibtc ~returns:(Config.Return_cache { entries = 4096 }) ()
+
+let f11_micro seed =
+  Serve.Micro
+    {
+      Synthetic.ib_sites = 4;
+      targets = 8;
+      fns = 2;
+      recursion_depth = 1;
+      iters = 600;
+      seed;
+    }
+
+let f11_wl name size =
+  let e = Option.get (Suite.find name) in
+  Serve.Workload
+    {
+      wl = name;
+      size = (match size with `Test -> e.Suite.test_size | `Ref -> e.Suite.ref_size);
+    }
+
+let f11_quantum = 20_000
+let f11_servers = 3
+
+(* the standing mix: five suite tenants (gzip twice — an identical
+   binary pair) plus three IB microbenchmark tenants (m1 twice);
+   cross-tenant dedup has something to find, and the store holds a
+   multi-workload footprint *)
+let f11_mix size =
+  [
+    Serve.tenant "gzip-a" (f11_wl "gzip" size);
+    Serve.tenant "gzip-b" (f11_wl "gzip" size);
+    Serve.tenant "gcc" (f11_wl "gcc" size);
+    Serve.tenant "perlbmk" (f11_wl "perlbmk" size);
+    Serve.tenant "vortex" (f11_wl "vortex" size);
+    Serve.tenant "m1-a" (f11_micro 1);
+    Serve.tenant "m1-b" (f11_micro 1);
+    Serve.tenant "m2" (f11_micro 2);
+  ]
+
+(* bounds calibrated against the measured unique footprint of the mix
+   (~9.2 KB at test size, ~9.5 KB at ref): tight ≈ 40% forces steady
+   churn, loose ≈ 75% forces occasional eviction *)
+let f11_bounds size =
+  match size with `Test -> (3700, 6900) | `Ref -> (3800, 7100)
+
+let f11_grid_spec ?policy ?bound ?(dedup = true) size =
+  Serve.spec ~cfg:f11_cfg ~quantum:f11_quantum ~servers:f11_servers ?policy
+    ?bound ~dedup (f11_mix size)
+
+let f11_policies =
+  [ Store.Flush_all; Store.Fifo; Store.Generational ]
+
+let f11_grid_specs size =
+  let tight, loose = f11_bounds size in
+  (f11_grid_spec size :: f11_grid_spec ~dedup:false size
+  :: List.concat_map
+       (fun p ->
+         [
+           f11_grid_spec ~policy:p ~bound:tight size;
+           f11_grid_spec ~policy:p ~bound:loose size;
+         ])
+       f11_policies)
+
+(* the churn schedule: short jobs, repeated — translation cost stays a
+   large fraction of every job, so eviction policy shows up in
+   throughput and tail latency rather than vanishing into execution
+   time. Job sizes are fixed; `Ref turns the arrival stream over more
+   times. *)
+let f11_churn_mix size =
+  let jobs = match size with `Test -> 2 | `Ref -> 6 in
+  [
+    Serve.tenant ~jobs "gzip-a" (Serve.Workload { wl = "gzip"; size = 800 });
+    Serve.tenant ~jobs "gzip-b" (Serve.Workload { wl = "gzip"; size = 800 });
+    Serve.tenant ~jobs "perlbmk" (Serve.Workload { wl = "perlbmk"; size = 2400 });
+    Serve.tenant ~jobs "parser" (Serve.Workload { wl = "parser"; size = 6000 });
+    Serve.tenant ~jobs "m1-a" (f11_micro 1);
+    Serve.tenant ~jobs "m1-b" (f11_micro 1);
+    Serve.tenant ~jobs "m2" (f11_micro 2);
+    Serve.tenant ~jobs "m3" (f11_micro 3);
+  ]
+
+(* ~40% of the churn mix's 5.1 KB unique footprint *)
+let f11_churn_bound = 2048
+
+let f11_churn_spec ~policy ~schedule size =
+  Serve.spec ~cfg:f11_cfg ~quantum:10_000 ~servers:f11_servers ~policy
+    ~bound:f11_churn_bound ~schedule (f11_churn_mix size)
+
+let f11_schedules =
+  [ ("closed", Serve.Closed); ("open", Serve.Open_loop { period = 15_000 }) ]
+
+let f11_churn_specs size =
+  List.concat_map
+    (fun p ->
+      List.map
+        (fun (_, sched) -> f11_churn_spec ~policy:p ~schedule:sched size)
+        f11_schedules)
+    f11_policies
+
+(* tenant scaling: N copies of the same binary, dedup on/off *)
+let f11_scale_counts = [ 1; 2; 4; 6; 8 ]
+
+let f11_scale_spec ~n ~dedup size =
+  Serve.spec ~cfg:f11_cfg ~quantum:f11_quantum ~servers:f11_servers ~dedup
+    (List.init n (fun i ->
+         Serve.tenant (Printf.sprintf "t%d" i) (f11_wl "gzip" size)))
+
+let f11_scale_specs size =
+  List.concat_map
+    (fun n ->
+      [ f11_scale_spec ~n ~dedup:true size; f11_scale_spec ~n ~dedup:false size ])
+    f11_scale_counts
+
+(* IB mechanism × cache pressure, adaptive included; all over the same
+   return cache so the comparison isolates IB-site handling *)
+let f11_mechs =
+  let rc = Config.Return_cache { entries = 4096 } in
+  [
+    ("dispatch", { Config.baseline with Config.returns = rc });
+    ("ibtc", f11_cfg);
+    ("ibtc+pred2", ibtc ~returns:rc ~pred:2 ());
+    ("sieve", sieve ~returns:rc ());
+    ("adaptive", adaptive_cfg ());
+  ]
+
+let f11_mech_spec ~cfg ?policy ?bound size =
+  Serve.spec ~cfg ~quantum:f11_quantum ~servers:f11_servers ?policy ?bound
+    (f11_mix size)
+
+let f11_mech_specs size =
+  let tight, _ = f11_bounds size in
+  List.concat_map
+    (fun (_, cfg) ->
+      [
+        f11_mech_spec ~cfg size;
+        f11_mech_spec ~cfg ~policy:Store.Fifo ~bound:tight size;
+      ])
+    f11_mechs
+
+let f11_serves size =
+  f11_grid_specs size @ f11_churn_specs size @ f11_scale_specs size
+  @ f11_mech_specs size
+
+let kb b = Summary.f1 (float_of_int b /. 1024.0)
+let kcyc c = Summary.f1 (c /. 1000.0)
+
+let fig_serving size =
+  let report spec = Run.serve spec in
+  let tight, loose = f11_bounds size in
+  let policy_rows =
+    let row label spec =
+      let r = report spec in
+      [
+        label;
+        Summary.f1 r.Serve.rp_throughput;
+        Summary.f1 r.Serve.rp_agg_mips;
+        kcyc r.Serve.rp_p50;
+        kcyc r.Serve.rp_p99;
+        string_of_int r.Serve.rp_dedup_hits;
+        string_of_int r.Serve.rp_evictions;
+        string_of_int r.Serve.rp_flushes;
+        kb r.Serve.rp_store_peak;
+        kb r.Serve.rp_store_final;
+      ]
+    in
+    (row "unbounded" (f11_grid_spec size)
+    :: row "unbounded/no-dedup" (f11_grid_spec ~dedup:false size)
+    :: List.concat_map
+         (fun p ->
+           let pn = Store.policy_name p in
+           [
+             row
+               (Printf.sprintf "%s/%dK tight" pn (tight / 1024))
+               (f11_grid_spec ~policy:p ~bound:tight size);
+             row
+               (Printf.sprintf "%s/%dK loose" pn (loose / 1024))
+               (f11_grid_spec ~policy:p ~bound:loose size);
+           ])
+         f11_policies)
+  in
+  let churn_rows =
+    List.concat_map
+      (fun p ->
+        List.map
+          (fun (sn, sched) ->
+            let r = report (f11_churn_spec ~policy:p ~schedule:sched size) in
+            [
+              Store.policy_name p ^ "/" ^ sn;
+              Summary.f1 r.Serve.rp_throughput;
+              kcyc r.Serve.rp_p50;
+              kcyc r.Serve.rp_p99;
+              string_of_int r.Serve.rp_dedup_hits;
+              string_of_int r.Serve.rp_evictions;
+              string_of_int r.Serve.rp_flush_marks;
+              string_of_int r.Serve.rp_flushes;
+            ])
+          f11_schedules)
+      f11_policies
+  in
+  let scale_rows =
+    List.map
+      (fun n ->
+        let d = report (f11_scale_spec ~n ~dedup:true size) in
+        let i = report (f11_scale_spec ~n ~dedup:false size) in
+        [
+          string_of_int n;
+          kb d.Serve.rp_store_final;
+          kb i.Serve.rp_store_final;
+          string_of_int d.Serve.rp_dedup_hits;
+          Summary.f1 d.Serve.rp_throughput;
+          Summary.f1 i.Serve.rp_throughput;
+          Summary.f1 d.Serve.rp_agg_mips;
+          Summary.f1 i.Serve.rp_agg_mips;
+        ])
+      f11_scale_counts
+  in
+  let mech_rows =
+    List.map
+      (fun (mn, cfg) ->
+        let u = report (f11_mech_spec ~cfg size) in
+        let b =
+          report (f11_mech_spec ~cfg ~policy:Store.Fifo ~bound:tight size)
+        in
+        [
+          mn;
+          Summary.f1 u.Serve.rp_throughput;
+          kcyc u.Serve.rp_p99;
+          Summary.f1 b.Serve.rp_throughput;
+          kcyc b.Serve.rp_p99;
+          string_of_int b.Serve.rp_dedup_hits;
+          string_of_int b.Serve.rp_evictions;
+        ])
+      f11_mechs
+  in
+  [
+    Table.make
+      ~title:"F11a: shared-store eviction policy × cache bound (closed loop)"
+      ~note:
+        "Eight-tenant mix (five suite workloads — gzip twice — plus three \
+         IB micros, m1 twice) over a shared IBTC + return cache. \
+         Throughput is jobs per giga-cycle of virtual service time; \
+         latencies are job p50/p99 in kilocycles. Per-tenant guest \
+         checksums are bit-identical across every row (and to isolated \
+         runs) — the store only re-prices translation, never execution."
+      ~headers:
+        [ "store"; "jobs/Gcyc"; "MIPS"; "p50k"; "p99k"; "hits"; "evict";
+          "flush"; "peakKB"; "KB" ]
+      policy_rows;
+    Table.make ~title:"F11b: eviction policy under churn (tight bound)"
+      ~note:
+        "Short repeated jobs, closed loop vs an open-loop arrival stream \
+         (one arrival per 15k cycles, round-robin). Flush-all turns every \
+         overflow into a service-wide invalidation storm; FIFO and \
+         generational eviction beat it on both jobs/Gcyc and p99 — \
+         retranslation after an eviction is also where cross-tenant dedup \
+         hits pay off (copy cost, not translate cost)."
+      ~headers:
+        [ "policy/sched"; "jobs/Gcyc"; "p50k"; "p99k"; "hits"; "evict";
+          "marks"; "flush" ]
+      churn_rows;
+    Table.make ~title:"F11c: tenant scaling — cross-tenant dedup"
+      ~note:
+        "N tenants running the identical gzip binary, dedup on vs off \
+         (unbounded store). Dedup keeps the unique footprint flat while \
+         the no-dedup store grows linearly; throughput gains come from \
+         translation served at copy cost."
+      ~headers:
+        [ "tenants"; "KB dedup"; "KB isolated"; "hits"; "jobs/G dedup";
+          "jobs/G isolated"; "MIPS dedup"; "MIPS isolated" ]
+      scale_rows;
+    Table.make ~title:"F11d: IB mechanism × cache pressure (fifo, tight bound)"
+      ~note:
+        "The standing mix under each IB mechanism (same 4096-entry return \
+         cache; fast returns are rejected for bounded stores by \
+         construction). Mechanism choice dominates throughput; the bounded \
+         store costs every mechanism a similar churn tax."
+      ~headers:
+        [ "mechanism"; "jobs/G unbounded"; "p99k"; "jobs/G tight"; "p99k";
+          "hits"; "evict" ]
+      mech_rows;
+  ]
+
 let experiments =
   [
     {
       id = "T1";
       title = "IB characteristics";
       grid = grid_of [];
+      serves = no_serves;
       run = table_ib_characteristics;
     };
     {
       id = "F1";
       title = "baseline overhead";
       grid = grid_of f1_cfgs;
+      serves = no_serves;
       run = fig_baseline_overhead;
     };
     {
       id = "F2";
       title = "IBTC size sweep";
       grid = grid_of f2_cfgs;
+      serves = no_serves;
       run = fig_ibtc_size_sweep;
     };
     {
       id = "F3";
       title = "IBTC sharing";
       grid = grid_of (List.map snd f3_cfgs);
+      serves = no_serves;
       run = fig_ibtc_sharing;
     };
     {
       id = "F4";
       title = "IBTC miss policy";
       grid = grid_of (List.map snd f4_cfgs);
+      serves = no_serves;
       run = fig_ibtc_miss_policy;
     };
     {
       id = "F5";
       title = "sieve sweep";
       grid = grid_of f5_cfgs;
+      serves = no_serves;
       run = fig_sieve_sweep;
     };
     {
       id = "F6";
       title = "return handling";
       grid = grid_of f6_cfgs;
+      serves = no_serves;
       run = fig_return_handling;
     };
     {
       id = "F7";
       title = "target prediction";
       grid = grid_of f7_cfgs;
+      serves = no_serves;
       run = fig_target_prediction;
     };
     {
       id = "F8";
       title = "cross-architecture";
       grid = cross_arch_grid;
+      serves = no_serves;
       run = fig_cross_arch;
     };
     {
       id = "F9";
       title = "best configuration";
       grid = cross_arch_grid;
+      serves = no_serves;
       run = fig_best_config;
     };
     {
       id = "F10";
       title = "adaptive IB selection";
       grid = grid_of ~arches:cross_arches f10_cfgs;
+      serves = no_serves;
       run = fig_adaptive;
+    };
+    {
+      id = "F11";
+      title = "multi-tenant serving";
+      grid = grid_of [];
+      serves = f11_serves;
+      run = fig_serving;
     };
     {
       id = "A1";
       title = "linking ablation";
       grid = grid_of (List.map snd a1_cfgs);
+      serves = no_serves;
       run = fig_ablation_linking;
     };
     {
       id = "A2";
       title = "hash ablation";
       grid = grid_of (List.map snd a2_cfgs);
+      serves = no_serves;
       run = fig_ablation_hash;
     };
     {
       id = "A3";
       title = "sieve order ablation";
       grid = grid_of (List.map snd a3_cfgs);
+      serves = no_serves;
       run = fig_ablation_sieve_order;
     };
     {
       id = "A4";
       title = "superblock traces";
       grid = grid_of (List.map snd a4_cfgs);
+      serves = no_serves;
       run = fig_ablation_traces;
     };
     {
       id = "A5";
       title = "IBTC associativity";
       grid = grid_of (List.map snd a5_cfgs);
+      serves = no_serves;
       run = fig_ablation_assoc;
     };
   ]

@@ -27,6 +27,10 @@ type experiment = {
       (** the full measurement grid, declared as data so a worker pool
           can evaluate it ahead of rendering; covers every cell [run]
           will ask for *)
+  serves : size -> Sdt_serve.Serve.spec list;
+      (** multi-tenant service runs the experiment needs ({!Run.serve}
+          cells), declared like [grid] so [evaluate] can pre-warm them
+          on the pool; empty for every single-run experiment *)
   run : size -> Table.t list;
       (** assembles the tables; with the grid pre-evaluated this is
           pure cache lookups and deterministic rendering *)
@@ -88,6 +92,12 @@ val fig_ablation_traces : size -> Table.t list
 
 val fig_ablation_assoc : size -> Table.t list
 (** A5: IBTC associativity (direct-mapped vs 2-way) on small tables. *)
+
+val fig_serving : size -> Table.t list
+(** F11: multi-tenant serving — eviction policy × cache bound,
+    churn schedules (closed vs open-loop), cross-tenant dedup scaling,
+    and IB mechanism × cache pressure, over the shared bounded
+    fragment store. *)
 
 val ib_mech_sweep : unit -> string list * Sdt_core.Config.adaptive
 (** The IB-mechanism field F10 sweeps (column labels, adaptive last)

@@ -9,6 +9,7 @@ module Runtime = Sdt_core.Runtime
 module Fingerprint = Sdt_par.Fingerprint
 module Memo = Sdt_par.Memo
 module Jsonw = Sdt_observe.Jsonw
+module Serve = Sdt_serve.Serve
 
 type native = {
   n_instrs : int;
@@ -151,6 +152,35 @@ let adapt_stats () =
 let sim_instrs = Atomic.make 0
 let simulated_instructions () = Atomic.get sim_instrs
 
+(* Serving-layer activity, accumulated over actually-simulated service
+   runs the same way as the block-cache counters; feeds the bench JSON
+   counters and --perf reporting. *)
+let sv_jobs = Atomic.make 0
+let sv_dedup_hits = Atomic.make 0
+let sv_evictions = Atomic.make 0
+let sv_flushes = Atomic.make 0
+
+type serve_stats = {
+  jobs_served : int;
+  dedup_hits : int;
+  evictions : int;
+  service_flushes : int;
+}
+
+let note_serve_stats (r : Serve.report) =
+  ignore (Atomic.fetch_and_add sv_jobs r.Serve.rp_jobs);
+  ignore (Atomic.fetch_and_add sv_dedup_hits r.Serve.rp_dedup_hits);
+  ignore (Atomic.fetch_and_add sv_evictions r.Serve.rp_evictions);
+  ignore (Atomic.fetch_and_add sv_flushes r.Serve.rp_flushes)
+
+let serve_stats () =
+  {
+    jobs_served = Atomic.get sv_jobs;
+    dedup_hits = Atomic.get sv_dedup_hits;
+    evictions = Atomic.get sv_evictions;
+    service_flushes = Atomic.get sv_flushes;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* JSON codecs for the on-disk cache. Floats are stored as hexadecimal
    float literals ("%h"), which round-trip bit-exactly — a warm cache
@@ -232,6 +262,8 @@ let stats_of_json doc =
       s.Stats.adapt_promotions <- g "adapt_promotions";
       s.Stats.adapt_demotions <- g "adapt_demotions";
       s.Stats.adapt_repatches <- g "adapt_repatches";
+      s.Stats.dedup_hits <- g "dedup_hits";
+      s.Stats.service_evictions <- g "service_evictions";
       Some s
   | _ -> None
 
@@ -300,6 +332,126 @@ let sdt_of_json doc =
       slowdown;
     }
 
+let tenant_line_to_json (t : Serve.tenant_line) =
+  Jsonw.Obj
+    [
+      ("name", Jsonw.Str t.Serve.tl_name);
+      ("jobs", Jsonw.Int t.Serve.tl_jobs);
+      ("checksum", Jsonw.Int t.Serve.tl_checksum);
+      ("mean_latency", json_float t.Serve.tl_mean_latency);
+      ("p99", json_float t.Serve.tl_p99);
+      ("dedup_hits", Jsonw.Int t.Serve.tl_dedup_hits);
+      ("flush_marks", Jsonw.Int t.Serve.tl_flush_marks);
+    ]
+
+let tenant_line_of_json doc =
+  let ( let* ) = Option.bind in
+  let field k conv = Option.bind (Jsonw.member k doc) conv in
+  let* tl_name = field "name" str_of_json in
+  let* tl_jobs = field "jobs" int_of_json in
+  let* tl_checksum = field "checksum" int_of_json in
+  let* tl_mean_latency = field "mean_latency" float_of_json in
+  let* tl_p99 = field "p99" float_of_json in
+  let* tl_dedup_hits = field "dedup_hits" int_of_json in
+  let* tl_flush_marks = field "flush_marks" int_of_json in
+  Some
+    {
+      Serve.tl_name;
+      tl_jobs;
+      tl_checksum;
+      tl_mean_latency;
+      tl_p99;
+      tl_dedup_hits;
+      tl_flush_marks;
+    }
+
+let serve_to_json (r : Serve.report) =
+  Jsonw.Obj
+    [
+      ("jobs", Jsonw.Int r.Serve.rp_jobs);
+      ("epochs", Jsonw.Int r.Serve.rp_epochs);
+      ("makespan", Jsonw.Int r.Serve.rp_makespan);
+      ("instrs", Jsonw.Int r.Serve.rp_instrs);
+      ("cycles", Jsonw.Int r.Serve.rp_cycles);
+      ("throughput", json_float r.Serve.rp_throughput);
+      ("agg_mips", json_float r.Serve.rp_agg_mips);
+      ("p50", json_float r.Serve.rp_p50);
+      ("p90", json_float r.Serve.rp_p90);
+      ("p99", json_float r.Serve.rp_p99);
+      ("dedup_hits", Jsonw.Int r.Serve.rp_dedup_hits);
+      ("dedup_insts", Jsonw.Int r.Serve.rp_dedup_insts);
+      ("flush_marks", Jsonw.Int r.Serve.rp_flush_marks);
+      ("flushes", Jsonw.Int r.Serve.rp_flushes);
+      ("store_peak", Jsonw.Int r.Serve.rp_store_peak);
+      ("store_final", Jsonw.Int r.Serve.rp_store_final);
+      ("evictions", Jsonw.Int r.Serve.rp_evictions);
+      ("evicted_bytes", Jsonw.Int r.Serve.rp_evicted_bytes);
+      ("rejects", Jsonw.Int r.Serve.rp_rejects);
+      ("checksum", Jsonw.Int r.Serve.rp_checksum);
+      ("tenants", Jsonw.List (List.map tenant_line_to_json r.Serve.rp_tenants));
+    ]
+
+let serve_of_json doc =
+  let ( let* ) = Option.bind in
+  let field k conv = Option.bind (Jsonw.member k doc) conv in
+  let* rp_jobs = field "jobs" int_of_json in
+  let* rp_epochs = field "epochs" int_of_json in
+  let* rp_makespan = field "makespan" int_of_json in
+  let* rp_instrs = field "instrs" int_of_json in
+  let* rp_cycles = field "cycles" int_of_json in
+  let* rp_throughput = field "throughput" float_of_json in
+  let* rp_agg_mips = field "agg_mips" float_of_json in
+  let* rp_p50 = field "p50" float_of_json in
+  let* rp_p90 = field "p90" float_of_json in
+  let* rp_p99 = field "p99" float_of_json in
+  let* rp_dedup_hits = field "dedup_hits" int_of_json in
+  let* rp_dedup_insts = field "dedup_insts" int_of_json in
+  let* rp_flush_marks = field "flush_marks" int_of_json in
+  let* rp_flushes = field "flushes" int_of_json in
+  let* rp_store_peak = field "store_peak" int_of_json in
+  let* rp_store_final = field "store_final" int_of_json in
+  let* rp_evictions = field "evictions" int_of_json in
+  let* rp_evicted_bytes = field "evicted_bytes" int_of_json in
+  let* rp_rejects = field "rejects" int_of_json in
+  let* rp_checksum = field "checksum" int_of_json in
+  let* items =
+    match Jsonw.member "tenants" doc with
+    | Some (Jsonw.List l) -> Some l
+    | _ -> None
+  in
+  let* rp_tenants =
+    List.fold_right
+      (fun item acc ->
+        let* acc = acc in
+        let* t = tenant_line_of_json item in
+        Some (t :: acc))
+      items (Some [])
+  in
+  Some
+    {
+      Serve.rp_jobs;
+      rp_epochs;
+      rp_makespan;
+      rp_instrs;
+      rp_cycles;
+      rp_throughput;
+      rp_agg_mips;
+      rp_p50;
+      rp_p90;
+      rp_p99;
+      rp_dedup_hits;
+      rp_dedup_insts;
+      rp_flush_marks;
+      rp_flushes;
+      rp_store_peak;
+      rp_store_final;
+      rp_evictions;
+      rp_evicted_bytes;
+      rp_rejects;
+      rp_checksum;
+      rp_tenants;
+    }
+
 (* ------------------------------------------------------------------ *)
 (* The two memo levels. Keys are full-parameter fingerprints: the old
    cache keyed native runs on [arch.name] alone, so two architectures
@@ -313,21 +465,30 @@ let native_memo : native Memo.t =
 let sdt_memo : sdt Memo.t =
   Memo.create ~namespace:"sdt" ~to_json:sdt_to_json ~of_json:sdt_of_json ()
 
+let serve_memo : Serve.report Memo.t =
+  Memo.create ~namespace:"serve" ~to_json:serve_to_json ~of_json:serve_of_json
+    ()
+
 let clear_cache () =
   Memo.clear native_memo;
-  Memo.clear sdt_memo
+  Memo.clear sdt_memo;
+  Memo.clear serve_memo
 
 let set_cache_dir dir =
   Memo.set_dir native_memo dir;
-  Memo.set_dir sdt_memo dir
+  Memo.set_dir sdt_memo dir;
+  Memo.set_dir serve_memo dir
 
 type cache_stats = { hits : int; disk_hits : int; simulated : int }
 
 let cache_stats () =
   {
-    hits = Memo.hits native_memo + Memo.hits sdt_memo;
-    disk_hits = Memo.disk_hits native_memo + Memo.disk_hits sdt_memo;
-    simulated = Memo.misses native_memo + Memo.misses sdt_memo;
+    hits = Memo.hits native_memo + Memo.hits sdt_memo + Memo.hits serve_memo;
+    disk_hits =
+      Memo.disk_hits native_memo + Memo.disk_hits sdt_memo
+      + Memo.disk_hits serve_memo;
+    simulated =
+      Memo.misses native_memo + Memo.misses sdt_memo + Memo.misses serve_memo;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -397,3 +558,27 @@ let sdt ~arch ~cfg ~key build =
         slowdown =
           float_of_int (Timing.cycles timing) /. float_of_int nat.n_cycles;
       })
+
+(* Service runs are memoised like cells, with one twist: the epoch
+   micro-schedule (and hence completion ticks and store churn) depends
+   on the interpreter loop — block modes overshoot cycle targets to
+   block boundaries — so the exec mode is part of the key. Only the
+   guest checksums are mode-invariant. The pool is deliberately NOT
+   threaded into [Serve.run] here: the harness parallelises across
+   serve specs on the pool, and {!Sdt_par.Pool} is not reentrant. *)
+let mode_tag () =
+  match !exec_mode with
+  | `Step -> "step"
+  | `Block -> "block"
+  | `Block_nochain -> "block-nochain"
+  | `Trace -> "trace"
+
+let serve spec =
+  let fp = Serve.fingerprint spec ^ "|mode=" ^ mode_tag () in
+  Memo.find serve_memo fp (fun () ->
+      cell_span "serve" ~key:(Serve.describe spec) fp @@ fun () ->
+      let res = Serve.run ~mode:!exec_mode spec in
+      ignore (Atomic.fetch_and_add sim_instrs res.Serve.res_instrs);
+      let r = Serve.report_of_result res in
+      note_serve_stats r;
+      r)

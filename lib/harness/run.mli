@@ -14,6 +14,7 @@ module Arch = Sdt_march.Arch
 module Program = Sdt_isa.Program
 module Config = Sdt_core.Config
 module Stats = Sdt_core.Stats
+module Serve = Sdt_serve.Serve
 
 type native = {
   n_instrs : int;
@@ -55,6 +56,18 @@ val sdt :
     checks output and checksum; computes [slowdown].
     @raise Mismatch on divergence (first evaluation only — a cached
     cell already passed). *)
+
+val serve : Serve.spec -> Serve.report
+(** Run a multi-tenant service spec ({!Sdt_serve.Serve.run}) and
+    reduce it to its compact report, memoised on
+    {!Sdt_serve.Serve.fingerprint} {e plus the exec mode}: unlike
+    single-run cells, a service's epoch micro-schedule (completion
+    ticks, store churn) legitimately depends on the interpreter loop —
+    block modes overshoot cycle targets to block boundaries — so modes
+    may not share entries (only the guest checksums are
+    mode-invariant). Always runs the service engine serially; the
+    harness parallelises across {e specs} on the worker pool instead
+    (the pool is not reentrant). *)
 
 val clear_cache : unit -> unit
 (** Drop both in-memory memo levels and their counters. Disk entries
@@ -123,3 +136,15 @@ val block_cache_stats : unit -> block_cache_stats
     accumulated atomically across pool domains. All zero under
     [`Step]; the trace-tier counters are nonzero only under
     [`Trace]. *)
+
+type serve_stats = {
+  jobs_served : int;  (** guest jobs completed by service runs *)
+  dedup_hits : int;  (** translations served as cross-tenant copies *)
+  evictions : int;  (** shared-store entries evicted *)
+  service_flushes : int;  (** tenant fragment-cache flushes *)
+}
+
+val serve_stats : unit -> serve_stats
+(** Serving-layer activity summed over every actually-simulated service
+    run (memoized runs add nothing) since process start, accumulated
+    atomically across pool domains. All zero unless {!serve} ran. *)

@@ -154,3 +154,28 @@ let write_bytes t addr b =
   for i = first to min (last - 1) (nwords - 1) do
     note_store t i
   done
+
+(* FNV-1a over a word range, folded into OCaml's 63-bit int space.
+   Host-side identity for ranges of simulated memory: the serving
+   layer keys shared-store fragments on the emitted code's digest so
+   cross-tenant dedup can require bit-identical fragments instead of
+   trusting the guest-content key alone. Collisions at that scale are
+   negligible, and a false "hit" is additionally guarded by length. *)
+let digest_range t ~lo ~len =
+  if lo < 0 || len < 0 || lo + len > Bytes.length t.bytes then
+    fault lo "digest";
+  let prime = 0x100000001B3 in
+  let h = ref 0x4CB2F29CE484222 in
+  let words = len lsr 2 in
+  for i = 0 to words - 1 do
+    let w =
+      if Sys.big_endian then
+        Int32.to_int (swap32 (get32u t.bytes (lo + (i * 4)))) land 0xFFFF_FFFF
+      else Int32.to_int (get32u t.bytes (lo + (i * 4))) land 0xFFFF_FFFF
+    in
+    h := (!h lxor w) * prime land max_int
+  done;
+  for i = words * 4 to len - 1 do
+    h := (!h lxor Char.code (Bytes.get t.bytes (lo + i))) * prime land max_int
+  done;
+  !h

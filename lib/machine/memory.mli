@@ -65,3 +65,11 @@ val code_gen_ref : t -> int ref
     chain-link validation so the hot path pays one dereference per
     check. Callers must treat it as read-only — only {!Memory}'s own
     stores bump it, which is what severs stale block-chain links. *)
+
+val digest_range : t -> lo:int -> len:int -> int
+(** FNV-1a digest (folded to a non-negative OCaml [int]) of [len]
+    bytes starting at [lo] — a host-side content key over simulated
+    memory. The multi-tenant serving layer uses it to key shared-store
+    fragments on their emitted bytes, making cross-tenant dedup
+    require bit-identical code.
+    @raise Fault (kind ["digest"]) when the range is out of bounds. *)

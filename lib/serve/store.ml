@@ -1,0 +1,226 @@
+type policy = Flush_all | Fifo | Generational
+
+let policy_name = function
+  | Flush_all -> "flush-all"
+  | Fifo -> "fifo"
+  | Generational -> "gen"
+
+let policy_of_name = function
+  | "flush-all" | "flush_all" | "flushall" -> Some Flush_all
+  | "fifo" -> Some Fifo
+  | "gen" | "generational" -> Some Generational
+  | _ -> None
+
+type entry = {
+  e_key : string;
+  e_bytes : int;
+  e_insts : int;
+  e_tenant : int;
+  e_seq : int;
+  e_gen : int;
+  e_digest : int;
+}
+
+type t = {
+  t_policy : policy;
+  t_bound : int;
+  t_budget : int;
+  tbl : (string, entry) Hashtbl.t;
+  by_seq : (int, string) Hashtbl.t;
+  (* lowest sequence number that may still be live: FIFO eviction and
+     the per-tenant scans start here and skip holes *)
+  mutable head_seq : int;
+  mutable next_seq : int;
+  mutable gen : int;
+  mutable head_gen : int;
+  gens : (int, string list ref) Hashtbl.t;
+  tenants : (int, int) Hashtbl.t;  (* tenant -> live bytes *)
+  mutable occupancy : int;
+  mutable peak : int;
+  mutable inserts : int;
+  mutable evictions : int;
+  mutable evicted_bytes : int;
+  mutable rejects : int;
+}
+
+let create ?(policy = Fifo) ?(bound = 0) ?(budget = 0) () =
+  if bound < 0 || budget < 0 then
+    invalid_arg "Store.create: negative bound or budget";
+  {
+    t_policy = policy;
+    t_bound = bound;
+    t_budget = budget;
+    tbl = Hashtbl.create 1024;
+    by_seq = Hashtbl.create 1024;
+    head_seq = 0;
+    next_seq = 0;
+    gen = 0;
+    head_gen = 0;
+    gens = Hashtbl.create 64;
+    tenants = Hashtbl.create 16;
+    occupancy = 0;
+    peak = 0;
+    inserts = 0;
+    evictions = 0;
+    evicted_bytes = 0;
+    rejects = 0;
+  }
+
+let policy t = t.t_policy
+let probe t key = Hashtbl.find_opt t.tbl key
+let occupancy t = t.occupancy
+let peak t = t.peak
+let entries t = Hashtbl.length t.tbl
+let bound t = t.t_bound
+
+let tenant_bytes t tn =
+  Option.value (Hashtbl.find_opt t.tenants tn) ~default:0
+
+let inserts t = t.inserts
+let evictions t = t.evictions
+let evicted_bytes t = t.evicted_bytes
+let rejects t = t.rejects
+
+let evict t e =
+  Hashtbl.remove t.tbl e.e_key;
+  Hashtbl.remove t.by_seq e.e_seq;
+  Hashtbl.replace t.tenants e.e_tenant (tenant_bytes t e.e_tenant - e.e_bytes);
+  t.occupancy <- t.occupancy - e.e_bytes;
+  t.evictions <- t.evictions + 1;
+  t.evicted_bytes <- t.evicted_bytes + e.e_bytes
+
+(* advance past evicted holes, then evict the oldest live entry *)
+let pop_oldest t =
+  let rec go () =
+    if t.head_seq >= t.next_seq then None
+    else
+      match Hashtbl.find_opt t.by_seq t.head_seq with
+      | None ->
+          t.head_seq <- t.head_seq + 1;
+          go ()
+      | Some key ->
+          let e = Hashtbl.find t.tbl key in
+          evict t e;
+          t.head_seq <- t.head_seq + 1;
+          Some e
+  in
+  go ()
+
+(* oldest live entry of one tenant; scans from the head without
+   advancing it (other tenants' older entries stay) *)
+let pop_oldest_of t tn =
+  let rec go seq =
+    if seq >= t.next_seq then None
+    else
+      match Hashtbl.find_opt t.by_seq seq with
+      | Some key ->
+          let e = Hashtbl.find t.tbl key in
+          if e.e_tenant = tn then (
+            evict t e;
+            Some e)
+          else go (seq + 1)
+      | None -> go (seq + 1)
+  in
+  go t.head_seq
+
+(* bulk-evict the oldest generation that still has live entries *)
+let evict_oldest_gen t =
+  let evicted = ref [] in
+  while !evicted = [] && t.head_gen <= t.gen do
+    (match Hashtbl.find_opt t.gens t.head_gen with
+    | Some keys ->
+        List.iter
+          (fun key ->
+            match Hashtbl.find_opt t.tbl key with
+            | Some e when e.e_gen = t.head_gen ->
+                evict t e;
+                evicted := e :: !evicted
+            | Some _ | None -> ())
+          (List.rev !keys);
+        Hashtbl.remove t.gens t.head_gen
+    | None -> ());
+    if !evicted = [] then t.head_gen <- t.head_gen + 1
+  done;
+  (* the head must never pass the current generation: the insert in
+     progress re-populates it, and a head beyond it would make every
+     later overflow scan an empty range *)
+  if t.head_gen > t.gen then t.head_gen <- t.gen;
+  List.rev !evicted
+
+let evict_all t =
+  let all = ref [] in
+  let rec go () = match pop_oldest t with Some e -> all := e :: !all; go () | None -> () in
+  go ();
+  Hashtbl.reset t.gens;
+  t.head_gen <- t.gen;
+  List.rev !all
+
+let advance_gen t = t.gen <- t.gen + 1
+
+let insert t ~key ~tenant ~bytes ~insts ~digest =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e -> `Present e
+  | None ->
+      if bytes < 0 then invalid_arg "Store.insert: negative bytes"
+      else if
+        (t.t_bound > 0 && bytes > t.t_bound)
+        || (t.t_budget > 0 && bytes > t.t_budget)
+      then (
+        t.rejects <- t.rejects + 1;
+        `Rejected)
+      else (
+        let out = ref [] in
+        let note es = out := !out @ es in
+        if t.t_budget > 0 then
+          while tenant_bytes t tenant + bytes > t.t_budget do
+            match pop_oldest_of t tenant with
+            | Some e -> note [ e ]
+            | None -> assert false (* bytes <= budget, so the tenant owns the excess *)
+          done;
+        if t.t_bound > 0 then (
+          match t.t_policy with
+          | Flush_all ->
+              if t.occupancy + bytes > t.t_bound then note (evict_all t)
+          | Fifo ->
+              while t.occupancy + bytes > t.t_bound && t.occupancy > 0 do
+                match pop_oldest t with Some e -> note [ e ] | None -> ()
+              done
+          | Generational ->
+              while t.occupancy + bytes > t.t_bound && t.occupancy > 0 do
+                note (evict_oldest_gen t)
+              done);
+        let e =
+          {
+            e_key = key;
+            e_bytes = bytes;
+            e_insts = insts;
+            e_tenant = tenant;
+            e_seq = t.next_seq;
+            e_gen = t.gen;
+            e_digest = digest;
+          }
+        in
+        Hashtbl.replace t.tbl key e;
+        Hashtbl.replace t.by_seq e.e_seq key;
+        (let keys =
+           match Hashtbl.find_opt t.gens t.gen with
+           | Some r -> r
+           | None ->
+               let r = ref [] in
+               Hashtbl.replace t.gens t.gen r;
+               r
+         in
+         keys := key :: !keys);
+        Hashtbl.replace t.tenants tenant (tenant_bytes t tenant + bytes);
+        t.next_seq <- t.next_seq + 1;
+        t.occupancy <- t.occupancy + bytes;
+        if t.occupancy > t.peak then t.peak <- t.occupancy;
+        t.inserts <- t.inserts + 1;
+        `Inserted !out)
+
+let iter t f =
+  for seq = t.head_seq to t.next_seq - 1 do
+    match Hashtbl.find_opt t.by_seq seq with
+    | Some key -> f (Hashtbl.find t.tbl key)
+    | None -> ()
+  done

@@ -1,0 +1,104 @@
+(** The bounded shared fragment store for multi-tenant serving.
+
+    The store is the service-level model of one fragment cache shared
+    by every tenant: each published fragment is an {e entry} keyed by
+    content (application PC, emitted size, emitted-code digest), with
+    the publishing tenant, an insertion sequence number, and the
+    store generation it was published under. Occupancy counts each
+    unique fragment once — per-tenant emitters hold private mappings
+    of shared entries, so cross-tenant dedup is what makes N tenants
+    running the same binary cost one footprint instead of N.
+
+    The bound is enforced {e strictly} at insertion: an insert that
+    would exceed it first evicts according to the configured policy
+    (and the per-tenant budget, if any, evicts the over-budget
+    tenant's own oldest entries first), so occupancy never exceeds
+    the bound at any observable point — the qcheck invariant in
+    [test_serve]. Eviction is pure accounting here; the serving layer
+    reacts by invalidating (flushing) the tenants still linked to the
+    evicted entries.
+
+    Purely host-side and single-writer: the serving layer mutates the
+    store only at epoch barriers; during an epoch worker domains may
+    {!probe} it concurrently (read-only). *)
+
+type policy =
+  | Flush_all
+      (** today's single-tenant behaviour globalised: any overflow
+          drops {e every} entry (and the serving layer flushes every
+          linked tenant) *)
+  | Fifo  (** evict oldest entries, one at a time, until the insert fits *)
+  | Generational
+      (** entries are stamped with the store generation
+          ({!advance_gen}); overflow bulk-evicts the oldest live
+          generation until the insert fits *)
+
+val policy_name : policy -> string
+(** ["flush-all"], ["fifo"], ["gen"]. *)
+
+val policy_of_name : string -> policy option
+
+type entry = {
+  e_key : string;
+  e_bytes : int;  (** emitted fragment bytes *)
+  e_insts : int;  (** application instructions the fragment covers *)
+  e_tenant : int;  (** publishing tenant index *)
+  e_seq : int;  (** insertion order, monotone across the store's life *)
+  e_gen : int;  (** store generation at publication *)
+  e_digest : int;  (** {!Sdt_machine.Memory.digest_range} of the emitted code *)
+}
+
+type t
+
+val create : ?policy:policy -> ?bound:int -> ?budget:int -> unit -> t
+(** [bound] caps total occupancy in bytes, [budget] caps any single
+    tenant's published bytes; [0] (the default for both) means
+    unlimited. Default policy is [Fifo].
+    @raise Invalid_argument on negative [bound] or [budget]. *)
+
+val policy : t -> policy
+
+val probe : t -> string -> entry option
+(** Content lookup; safe to call concurrently with other [probe]s (the
+    serving layer's worker domains probe during an epoch, all
+    mutation happens at barriers). *)
+
+val insert :
+  t ->
+  key:string ->
+  tenant:int ->
+  bytes:int ->
+  insts:int ->
+  digest:int ->
+  [ `Inserted of entry list | `Present of entry | `Rejected ]
+(** Publish a fragment. [`Present] means the key is already stored
+    (another tenant published identical content first — link, don't
+    re-account). [`Rejected] means the fragment alone exceeds the
+    bound or budget and is uncacheable (the tenant keeps its private
+    copy; nothing is evicted). [`Inserted evicted] lists the entries
+    evicted to make room, in eviction order — the serving layer marks
+    their linked tenants for invalidation. *)
+
+val advance_gen : t -> unit
+(** Start a new generation (the serving layer calls this once per
+    epoch); only meaningful under [Generational]. *)
+
+val occupancy : t -> int
+(** Total bytes currently stored. Never exceeds the bound. *)
+
+val peak : t -> int
+(** High-water occupancy over the store's lifetime. *)
+
+val entries : t -> int
+val bound : t -> int
+val tenant_bytes : t -> int -> int
+
+val inserts : t -> int
+val evictions : t -> int
+(** Entries evicted (bound and budget evictions both count). *)
+
+val evicted_bytes : t -> int
+val rejects : t -> int
+
+val iter : t -> (entry -> unit) -> unit
+(** Over live entries, in insertion order (for introspection/tests). *)
