@@ -1,6 +1,6 @@
 # Convenience targets; everything real lives in dune.
 
-.PHONY: all build test bench-smoke bench-par-smoke bench-json perf perf-exec perf-exec-smoke perf-chain perf-trace perf-adapt perf-serve perf-check perf-check-smoke check clean
+.PHONY: all build test bench-smoke bench-par-smoke bench-json perf perf-exec perf-exec-smoke perf-chain perf-trace perf-adapt perf-serve perf-cfi perf-check perf-check-smoke check clean
 
 all: build
 
@@ -75,6 +75,14 @@ perf-serve:
 	  --exec-mode $(PERF_MODE) --perf-tolerance $(PERF_TOLERANCE) \
 	  --trajectory _build/trajectory-serve.jsonl
 	dune exec bench/main.exe -- --size test --only F11 --no-bechamel --perf
+
+# the F12 CFI gate: protection-overhead grid against the committed
+# baseline, then the cfi_* counter block for eyeballing
+perf-cfi:
+	dune exec bench/main.exe -- --size test --only F12 --check-perf \
+	  --exec-mode $(PERF_MODE) --perf-tolerance $(PERF_TOLERANCE) \
+	  --trajectory _build/trajectory-cfi.jsonl
+	dune exec bench/main.exe -- --size test --only F12 --no-bechamel --perf
 
 # the statistical regression gate: re-time the full grid (cold,
 # serial, best-of-N) against bench/baselines, append one row to

@@ -292,6 +292,9 @@ type cell_report = {
   r_adapt_promotions : int;  (** adaptive tier promotions taken *)
   r_adapt_demotions : int;  (** adaptive tier demotions taken *)
   r_adapt_repatches : int;  (** adaptive exit transfers re-patched *)
+  r_cfi_checks : int;  (** CFI membership tests run by the simulated cells *)
+  r_cfi_violations : int;  (** CFI violations recorded *)
+  r_cfi_xcalls : int;  (** mediated cross-compartment transfers *)
   r_serve_jobs : int;  (** guest jobs completed by service runs *)
   r_serve_dedup_hits : int;  (** translations served as cross-tenant copies *)
   r_serve_evictions : int;  (** shared-store entries evicted *)
@@ -323,6 +326,9 @@ let experiment_json (e : Experiments.experiment) size ~jobs seconds
       ("adapt_promotions", Jsonw.Int r.r_adapt_promotions);
       ("adapt_demotions", Jsonw.Int r.r_adapt_demotions);
       ("adapt_repatches", Jsonw.Int r.r_adapt_repatches);
+      ("cfi_checks", Jsonw.Int r.r_cfi_checks);
+      ("cfi_violations", Jsonw.Int r.r_cfi_violations);
+      ("cfi_xcalls", Jsonw.Int r.r_cfi_xcalls);
       ("serve_jobs", Jsonw.Int r.r_serve_jobs);
       ("serve_dedup_hits", Jsonw.Int r.r_serve_dedup_hits);
       ("serve_evictions", Jsonw.Int r.r_serve_evictions);
@@ -341,6 +347,7 @@ let run_one pool size (e : Experiments.experiment) =
   let i0 = Run.simulated_instructions () in
   let b0 = Run.block_cache_stats () in
   let a0 = Run.adapt_stats () in
+  let c0 = Run.cfi_stats () in
   let v0 = Run.serve_stats () in
   let t0 = now () in
   let cells = Experiments.evaluate ~pool size e in
@@ -350,6 +357,7 @@ let run_one pool size (e : Experiments.experiment) =
   let instructions = Run.simulated_instructions () - i0 in
   let b1 = Run.block_cache_stats () in
   let a1 = Run.adapt_stats () in
+  let c1 = Run.cfi_stats () in
   let v1 = Run.serve_stats () in
   ( tables,
     seconds,
@@ -370,6 +378,9 @@ let run_one pool size (e : Experiments.experiment) =
       r_adapt_promotions = a1.Run.promotions - a0.Run.promotions;
       r_adapt_demotions = a1.Run.demotions - a0.Run.demotions;
       r_adapt_repatches = a1.Run.repatches - a0.Run.repatches;
+      r_cfi_checks = c1.Run.checks - c0.Run.checks;
+      r_cfi_violations = c1.Run.violations - c0.Run.violations;
+      r_cfi_xcalls = c1.Run.xcalls - c0.Run.xcalls;
       r_serve_jobs = v1.Run.jobs_served - v0.Run.jobs_served;
       r_serve_dedup_hits = v1.Run.dedup_hits - v0.Run.dedup_hits;
       r_serve_evictions = v1.Run.evictions - v0.Run.evictions;
@@ -479,7 +490,11 @@ let run_perf size jobs exps =
   if v.Run.jobs_served > 0 then
     Printf.printf
       "  serving: %d jobs, %d dedup hits, %d evictions, %d flushes\n%!"
-      v.Run.jobs_served v.Run.dedup_hits v.Run.evictions v.Run.service_flushes
+      v.Run.jobs_served v.Run.dedup_hits v.Run.evictions v.Run.service_flushes;
+  let c = Run.cfi_stats () in
+  if c.Run.checks + c.Run.violations + c.Run.xcalls > 0 then
+    Printf.printf "  cfi: %d checks, %d violations, %d xcalls\n%!" c.Run.checks
+      c.Run.violations c.Run.xcalls
 
 (* The committed baseline wall time for an experiment selection: the
    sum of the "seconds" fields of bench/baselines/BENCH_<id>.json, if

@@ -9,6 +9,7 @@ module Loader = Sdt_machine.Loader
 module Config = Sdt_core.Config
 module Stats = Sdt_core.Stats
 module Runtime = Sdt_core.Runtime
+module Cfi = Sdt_core.Cfi
 module Suite = Sdt_workloads.Suite
 module Serve = Sdt_serve.Serve
 module Store = Sdt_serve.Store
@@ -47,7 +48,7 @@ let rec mkdir_p dir =
 (* --introspect: dump the block interpreter's chain graph and per-site
    inline-cache counters, plus (under a sieve) the bucket-chain
    histogram from the runtime. *)
-let write_introspect ?site_mech dir sieve m =
+let write_introspect ?site_mech ?cfi dir sieve m =
   match Machine.block_cache m with
   | None ->
       prerr_endline
@@ -56,9 +57,10 @@ let write_introspect ?site_mech dir sieve m =
   | Some cache ->
       mkdir_p dir;
       with_out_file (Filename.concat dir "chain.dot") (fun oc ->
-          output_string oc (Sdt_machine.Introspect.chain_dot ?site_mech cache));
+          output_string oc
+            (Sdt_machine.Introspect.chain_dot ?site_mech ?cfi cache));
       let doc =
-        match (Sdt_machine.Introspect.to_json ?site_mech cache, sieve) with
+        match (Sdt_machine.Introspect.to_json ?site_mech ?cfi cache, sieve) with
         | Jsonw.Obj kvs, buckets when buckets <> [] ->
             let h =
               Sdt_observe.Histo.create
@@ -292,11 +294,15 @@ let serve_report_json (spec : Serve.spec) exec_mode_name (r : Serve.report) =
         ("p99_latency", Jsonw.Float t.Serve.tl_p99);
         ("dedup_hits", Jsonw.Int t.Serve.tl_dedup_hits);
         ("flush_marks", Jsonw.Int t.Serve.tl_flush_marks);
+        ("cfi_checks", Jsonw.Int t.Serve.tl_cfi_checks);
+        ("cfi_violations", Jsonw.Int t.Serve.tl_cfi_violations);
+        ("cfi_elided", Jsonw.Int t.Serve.tl_cfi_elided);
       ]
   in
   Jsonw.Obj
     [
       ("config", Jsonw.Str (Serve.describe spec));
+      ("cfi_policy", Jsonw.Str (Config.cfi_name spec.Serve.sp_cfg.Config.cfi));
       ("exec_mode", Jsonw.Str exec_mode_name);
       ("jobs", Jsonw.Int r.Serve.rp_jobs);
       ("epochs", Jsonw.Int r.Serve.rp_epochs);
@@ -318,6 +324,9 @@ let serve_report_json (spec : Serve.spec) exec_mode_name (r : Serve.report) =
       ("evicted_bytes", Jsonw.Int r.Serve.rp_evicted_bytes);
       ("rejects", Jsonw.Int r.Serve.rp_rejects);
       ("checksum", Jsonw.Str (Printf.sprintf "0x%08x" r.Serve.rp_checksum));
+      ("cfi_checks", Jsonw.Int r.Serve.rp_cfi_checks);
+      ("cfi_violations", Jsonw.Int r.Serve.rp_cfi_violations);
+      ("cfi_elided", Jsonw.Int r.Serve.rp_cfi_elided);
       ("tenants", Jsonw.List (List.map tenant_json r.Serve.rp_tenants));
     ]
 
@@ -379,16 +388,25 @@ let run_serve tenants size arch cfg exec_mode exec_mode_name policy_name bound
     r.Serve.rp_evicted_bytes r.Serve.rp_rejects;
   Printf.printf "invalidation:  %d flush marks, %d cache flushes\n"
     r.Serve.rp_flush_marks r.Serve.rp_flushes;
+  if cfg.Config.cfi <> Config.Cfi_none then
+    Printf.printf
+      "cfi (%s):      %d checks, %d violations, %d elided on hit paths\n"
+      (Config.cfi_name cfg.Config.cfi)
+      r.Serve.rp_cfi_checks r.Serve.rp_cfi_violations r.Serve.rp_cfi_elided;
   Printf.printf "checksum:      0x%08x\n" r.Serve.rp_checksum;
   print_endline "per tenant:";
   List.iter
     (fun (t : Serve.tenant_line) ->
       Printf.printf
         "  %-12s %3d jobs  cks 0x%08x  mean %10.0f  p99 %10.0f  %d hits  %d \
-         marks\n"
+         marks%s\n"
         t.Serve.tl_name t.Serve.tl_jobs t.Serve.tl_checksum
         t.Serve.tl_mean_latency t.Serve.tl_p99 t.Serve.tl_dedup_hits
-        t.Serve.tl_flush_marks)
+        t.Serve.tl_flush_marks
+        (if cfg.Config.cfi = Config.Cfi_none then ""
+         else
+           Printf.sprintf "  cfi %d/%d/%d" t.Serve.tl_cfi_checks
+             t.Serve.tl_cfi_violations t.Serve.tl_cfi_elided))
     r.Serve.rp_tenants;
   if show_stats then begin
     print_endline "--- registry counters ---";
@@ -406,7 +424,8 @@ let run_serve tenants size arch cfg exec_mode exec_mode_name policy_name bound
 
 let run file workload size_name native arch_name mech ibtc_entries
     sieve_buckets inline miss_policy returns pred no_link traces ways
-    profile_ib shepherd show_stats trace_steps dump_frags max_steps trace_file
+    profile_ib shepherd cfi_name show_stats trace_steps dump_frags max_steps
+    trace_file
     metrics_file profile sample_interval exec_mode_name introspect_dir
     stats_json serve_tenants serve_policy serve_bound serve_budget no_dedup
     serve_quantum serve_servers serve_schedule =
@@ -434,6 +453,18 @@ let run file workload size_name native arch_name mech ibtc_entries
           arch_name;
         exit 2
   in
+  (* --cfi overrides the SDT_CFI-derived default; absent, the policy
+     baked into [Config.default] (env or none) stands *)
+  let cfi =
+    match cfi_name with
+    | None -> Config.default.Config.cfi
+    | Some s -> (
+        match Config.cfi_of_string s with
+        | Ok p -> p
+        | Error msg ->
+            Printf.eprintf "--cfi: %s\n" msg;
+            exit 2)
+  in
   match serve_tenants with
   | Some tenants ->
       let cfg =
@@ -446,6 +477,7 @@ let run file workload size_name native arch_name mech ibtc_entries
           pred_depth = pred;
           link_direct = not no_link;
           follow_direct_jumps = traces;
+          cfi;
         }
       in
       run_serve tenants size arch cfg exec_mode exec_mode_name serve_policy
@@ -528,8 +560,14 @@ let run file workload size_name native arch_name mech ibtc_entries
         follow_direct_jumps = traces;
         profile_ib_sites = profile_ib;
         shepherd;
+        cfi;
       }
     in
+    (match Config.validate cfg with
+    | Ok () -> ()
+    | Error msg ->
+        Printf.eprintf "invalid configuration: %s\n" msg;
+        exit 2);
     let tracer = Option.map (fun _ -> Trace.create ()) trace_file in
     let metrics = Option.map (fun _ -> Metrics.create ()) metrics_file in
     let prof = if profile then Some (Profile.create ()) else None in
@@ -553,9 +591,16 @@ let run file workload size_name native arch_name mech ibtc_entries
     (try
        traced (Runtime.machine rt);
        Runtime.run ~max_steps ~mode:exec_mode rt
-     with Runtime.Policy_violation { target } ->
-       Printf.printf "POLICY VIOLATION: control transfer to %#x blocked\n"
-         target);
+     with
+    | Runtime.Policy_violation { target } ->
+        Printf.printf "POLICY VIOLATION: control transfer to %#x blocked\n"
+          target
+    | Cfi.Violation { site_pc; target } ->
+        Printf.printf
+          "CFI VIOLATION: transfer%s to %#x failed the %s policy check\n"
+          (if site_pc <> 0 then Printf.sprintf " from %#x" site_pc else "")
+          target
+          (Config.cfi_name cfg.Config.cfi));
     let m = Runtime.machine rt in
     print_string (Machine.output m);
     Printf.printf "\n--- SDT %s on %s ---\n" (Config.describe cfg) arch.Arch.name;
@@ -564,6 +609,17 @@ let run file workload size_name native arch_name mech ibtc_entries
     Printf.printf "runtime cycles: %d\n" (Timing.runtime_cycles timing);
     Printf.printf "code bytes:    %d\n" (Runtime.code_bytes rt);
     print_block_stats m;
+    (if cfg.Config.cfi <> Config.Cfi_none then
+       let s = Runtime.stats rt in
+       let elided =
+         max 0 (Machine.ib_dynamic_count m - s.Stats.cfi_checks)
+       in
+       Printf.printf
+         "cfi (%s):      %d checks (%d first-use), %d violations, %d \
+          xcalls, %d elided on hit paths\n"
+         (Config.cfi_name cfg.Config.cfi)
+         s.Stats.cfi_checks s.Stats.cfi_validations s.Stats.cfi_violations
+         s.Stats.cfi_xcalls elided);
     Printf.printf "checksum:      0x%08x\n" m.Machine.checksum;
     Printf.printf "exit code:     %s\n"
       (match Machine.exit_code m with Some c -> string_of_int c | None -> "-");
@@ -650,8 +706,59 @@ let run file workload size_name native arch_name mech ibtc_entries
                 (Runtime.adapt_site_at rt addr))
       | _ -> None
     in
+    (* attribute CFI violations (recorded against application PCs) to
+       the fragments that translated them, then key the view by emitted
+       code address — the address space introspection sees *)
+    let cfi_view =
+      if cfg.Config.cfi = Config.Cfi_none then None
+      else begin
+        let frags = Runtime.fragments rt in
+        let by_app =
+          Array.of_list (List.sort compare frags) (* ascending app pc *)
+        in
+        let owner pc =
+          (* greatest fragment app start <= pc, within a block's reach *)
+          let best = ref None in
+          Array.iter
+            (fun (app, frag) ->
+              if app <= pc && pc - app < 4096 then best := Some frag)
+            by_app;
+          !best
+        in
+        let counts = Hashtbl.create 16 in
+        List.iter
+          (fun (pc, n) ->
+            match owner pc with
+            | Some frag ->
+                Hashtbl.replace counts frag
+                  (n + Option.value ~default:0 (Hashtbl.find_opt counts frag))
+            | None -> ())
+          (Runtime.cfi_violation_sites rt);
+        let by_frag =
+          Array.of_list
+            (List.sort compare (List.map (fun (_, f) -> f) frags))
+        in
+        Some
+          {
+            Sdt_machine.Introspect.cv_policy = Config.cfi_name cfg.Config.cfi;
+            cv_violations =
+              (fun addr ->
+                (* the fragment owning an emitted-code address *)
+                let best = ref None in
+                Array.iter
+                  (fun frag -> if frag <= addr then best := Some frag)
+                  by_frag;
+                match !best with
+                | Some frag ->
+                    Option.value ~default:0 (Hashtbl.find_opt counts frag)
+                | None -> 0);
+          }
+      end
+    in
     Option.iter
-      (fun dir -> write_introspect ?site_mech dir (Runtime.sieve_buckets rt) m)
+      (fun dir ->
+        write_introspect ?site_mech ?cfi:cfi_view dir
+          (Runtime.sieve_buckets rt) m)
       introspect_dir;
     Option.iter
       (fun path ->
@@ -683,6 +790,27 @@ let run file workload size_name native arch_name mech ibtc_entries
                        (List.map
                           (fun (k, v) -> (k, Jsonw.Float v))
                           (Runtime.mech_stats rt)) );
+                   ( "cfi",
+                     if cfg.Config.cfi = Config.Cfi_none then Jsonw.Null
+                     else
+                       let s = Runtime.stats rt in
+                       Jsonw.Obj
+                         ([
+                            ( "policy",
+                              Jsonw.Str (Config.cfi_name cfg.Config.cfi) );
+                            ("checks", Jsonw.Int s.Stats.cfi_checks);
+                            ("validations", Jsonw.Int s.Stats.cfi_validations);
+                            ("violations", Jsonw.Int s.Stats.cfi_violations);
+                            ("xcalls", Jsonw.Int s.Stats.cfi_xcalls);
+                            ( "elided",
+                              Jsonw.Int
+                                (max 0
+                                   (Machine.ib_dynamic_count m
+                                   - s.Stats.cfi_checks)) );
+                          ]
+                         @ List.map
+                             (fun (k, v) -> (k, Jsonw.Int v))
+                             (Runtime.cfi_report rt)) );
                  ])))
       stats_json;
     0
@@ -756,6 +884,14 @@ let profile_ib =
 let shepherd =
   Arg.(value & flag & info [ "shepherd" ]
        ~doc:"Enforce a control-flow policy: transfers may only enter the text segment.")
+
+let cfi_name =
+  Arg.(value & opt (some string) None & info [ "cfi" ] ~docv:"POLICY"
+       ~doc:"CFI enforcement policy layered over the IB mechanism: none, \
+             landing_pad (per-fragment entry pads, checks elided on \
+             mechanism hit paths), comp:N (N SFI compartments with \
+             mediated cross-compartment transfers) or ret (shadow-stack \
+             return integrity). Defaults to \\$SDT_CFI or none.")
 
 let trace_steps =
   Arg.(value & opt int 0 & info [ "trace-steps" ] ~docv:"N"
@@ -850,7 +986,7 @@ let cmd =
     Term.(
       const run $ file $ workload $ size_name $ native $ arch_name $ mech
       $ ibtc_entries $ sieve_buckets $ inline $ miss_policy $ returns $ pred
-      $ no_link $ traces $ ways $ profile_ib $ shepherd $ show_stats
+      $ no_link $ traces $ ways $ profile_ib $ shepherd $ cfi_name $ show_stats
       $ trace_steps $ dump_frags $ max_steps $ trace_file $ metrics_file
       $ profile $ sample_interval $ exec_mode_name $ introspect_dir
       $ stats_json $ serve_tenants $ serve_policy $ serve_bound $ serve_budget

@@ -274,6 +274,8 @@ let rec emit_ic_body t env s =
   in
   Env.emit_trap env ~code:Env.trap_adapt (fun m ~trap_pc:_ ->
       let target = Machine.reg m Reg.k0 in
+      (* CFI: validate before the IC rebinds or a tier learns it *)
+      Env.cfi_validate env ~target;
       bump s.miss_targets target;
       let known = Hashtbl.mem env.Env.frags target in
       let frag = env.Env.ensure_translated target in
@@ -390,6 +392,9 @@ and emit_dispatch_body t env s =
       s.dispatches <- s.dispatches + 1;
       s.win_events <- s.win_events + 1;
       bump s.win_targets target;
+      (* the adaptive dispatch tier checks every transfer, like the
+         static full-dispatch mechanism *)
+      Env.cfi_validate env ~target;
       let frag = env.Env.ensure_translated target in
       Sdt_machine.Memory.store_word m.Machine.mem
         env.Env.layout.Layout.result_slot frag;

@@ -35,6 +35,60 @@ type return_policy =
 
 type spill_mode = Spill_auto | Spill_always | Spill_never
 
+type cfi_policy =
+  | Cfi_none
+  | Cfi_landing_pad
+  | Cfi_compartment of { count : int }
+  | Ret_integrity
+
+let cfi_name = function
+  | Cfi_none -> "none"
+  | Cfi_landing_pad -> "landing_pad"
+  | Cfi_compartment { count } -> Printf.sprintf "compartment:%d" count
+  | Ret_integrity -> "ret_integrity"
+
+let cfi_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "" | "none" | "off" -> Ok Cfi_none
+  | "landing_pad" | "landing-pad" | "pad" -> Ok Cfi_landing_pad
+  | "ret_integrity" | "ret-integrity" | "ret" -> Ok Ret_integrity
+  | "compartment" | "comp" -> Ok (Cfi_compartment { count = 8 })
+  | s -> (
+      let comp prefix =
+        if String.length s > String.length prefix + 1
+           && String.sub s 0 (String.length prefix + 1) = prefix ^ ":"
+        then
+          let tail =
+            String.sub s
+              (String.length prefix + 1)
+              (String.length s - String.length prefix - 1)
+          in
+          int_of_string_opt tail
+        else None
+      in
+      match (comp "compartment", comp "comp") with
+      | Some count, _ | _, Some count -> Ok (Cfi_compartment { count })
+      | None, None ->
+          Error
+            (Printf.sprintf
+               "unknown CFI policy %S (want none|landing_pad|compartment[:K]|ret_integrity)"
+               s))
+
+(* the SDT_CFI environment variable retargets [default]/[baseline] so an
+   unmodified test suite can be swept policy-enabled (mirrors how the
+   harness's SDT_EXEC_MODE sweeps the interpreters); a bad value fails
+   loudly rather than silently running unprotected. This runs at module
+   init, before any main can catch, so report cleanly and exit 2. *)
+let cfi_from_env =
+  match Sys.getenv_opt "SDT_CFI" with
+  | None | Some "" -> Cfi_none
+  | Some s -> (
+      match cfi_of_string s with
+      | Ok p -> p
+      | Error msg ->
+          prerr_endline ("SDT_CFI: " ^ msg);
+          exit 2)
+
 type t = {
   mech : mechanism;
   returns : return_policy;
@@ -47,6 +101,7 @@ type t = {
   count_memops : bool;
   profile_ib_sites : bool;
   shepherd : bool;
+  cfi : cfi_policy;
 }
 
 let default_ibtc =
@@ -88,6 +143,7 @@ let default =
     count_memops = false;
     profile_ib_sites = false;
     shepherd = false;
+    cfi = cfi_from_env;
   }
 
 let baseline =
@@ -103,6 +159,7 @@ let baseline =
     count_memops = false;
     profile_ib_sites = false;
     shepherd = false;
+    cfi = cfi_from_env;
   }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
@@ -189,6 +246,18 @@ let validate t =
       (not (t.shepherd && t.returns = Fast_return))
       "shepherding cannot police fast returns (they bypass the translator)"
   in
+  let* () =
+    match t.cfi with
+    | Cfi_none | Cfi_landing_pad | Ret_integrity -> Ok ()
+    | Cfi_compartment { count } ->
+        ensure (count >= 1 && count <= 256)
+          "cfi compartment count must be in [1, 256]"
+  in
+  let* () =
+    ensure
+      (not (t.cfi = Ret_integrity && t.returns = Fast_return))
+      "return integrity cannot police fast returns (they bypass the translator)"
+  in
   let* () = ensure (t.pred_depth >= 0 && t.pred_depth <= 4) "pred_depth in [0,4]" in
   let* () = ensure (t.block_limit >= 1) "block_limit must be positive" in
   ensure (t.code_capacity >= 0x400) "code_capacity too small"
@@ -227,4 +296,11 @@ let describe t =
   let trace = if t.follow_direct_jumps then "+traces" else "" in
   let instr = if t.count_memops then "+count-memops" else "" in
   let shep = if t.shepherd then "+shepherd" else "" in
-  mech ^ "+" ^ ret ^ pred ^ link ^ trace ^ instr ^ shep
+  let cfi =
+    match t.cfi with
+    | Cfi_none -> ""
+    | Cfi_landing_pad -> "+cfi:pad"
+    | Cfi_compartment { count } -> Printf.sprintf "+cfi:comp%d" count
+    | Ret_integrity -> "+cfi:ret"
+  in
+  mech ^ "+" ^ ret ^ pred ^ link ^ trace ^ instr ^ shep ^ cfi

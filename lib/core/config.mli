@@ -115,6 +115,45 @@ type spill_mode =
   | Spill_always
   | Spill_never
 
+type cfi_policy =
+  | Cfi_none
+  | Cfi_landing_pad
+      (** FineIBT-style enforcement: every fragment opens with a 4-word
+          landing pad that verifies the delivered target register against
+          the fragment's application PC (catching poisoned IBTC / sieve /
+          inline-cache state), and every IB mechanism's miss path runs a
+          set-membership validation of the target before caching it.
+          Membership is trust-on-first-use over the static call graph:
+          direct-call targets are pre-seeded; first-time indirect targets
+          pay a validation charge, repeats pay nothing on hit paths
+          (sieve/IBTC hits skip the test entirely) while full dispatch
+          re-checks on every transfer. *)
+  | Cfi_compartment of { count : int }
+      (** landing pads plus a RiscMachine-style cross-component jump
+          monitor: the text segment is partitioned into [count] equal
+          compartments, every IB site records its own PC before
+          transferring, and a cross-compartment indirect transfer is
+          mediated (extra charge) and audited against the static
+          entry-point set. *)
+  | Ret_integrity
+      (** return integrity via the wired-in shadow stack: returns are
+          forced through a shadow stack in audit mode, where an unmatched
+          return traps (counted as a CFI violation) before falling back
+          through the IB mechanism. Incompatible with {!Fast_return}. *)
+
+val cfi_name : cfi_policy -> string
+(** ["none"], ["landing_pad"], ["compartment:K"], ["ret_integrity"]. *)
+
+val cfi_of_string : string -> (cfi_policy, string) result
+(** Parse [none|landing_pad|compartment[:K]|ret_integrity] (a few
+    aliases accepted); inverse of {!cfi_name}. *)
+
+val cfi_from_env : cfi_policy
+(** The policy named by the [SDT_CFI] environment variable at startup
+    ([Cfi_none] when unset) — folded into {!default} and {!baseline} so
+    the whole test suite can be swept policy-enabled without touching
+    call sites. An unparseable value raises [Invalid_argument]. *)
+
 type t = {
   mech : mechanism;
   returns : return_policy;
@@ -156,6 +195,10 @@ type t = {
           is zero — the selling point of SDT-based enforcement.
           Incompatible with {!Fast_return}, whose returns bypass the
           translator entirely (the security/transparency trade). *)
+  cfi : cfi_policy;
+      (** control-flow-integrity policy stage composed with the IB
+          mechanism at translation time (see {!cfi_policy}); [Cfi_none]
+          emits nothing and charges nothing. *)
 }
 
 val default_ibtc : ibtc

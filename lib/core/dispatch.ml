@@ -13,6 +13,9 @@ let emit_routine (env : Env.t) =
             env.Env.stats.Stats.dispatch_entries + 1;
           let target = Machine.reg m Reg.k0 in
           Env.observe env (Sdt_observe.Event.Dispatch_entry { target });
+          (* full dispatch has no hit path: every indirect transfer is a
+             miss, so a CFI policy checks every transfer here *)
+          Env.cfi_validate env ~target;
           let frag = env.Env.ensure_translated target in
           Memory.store_word m.Machine.mem env.Env.layout.Layout.result_slot frag;
           Env.charge env

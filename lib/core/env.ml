@@ -5,6 +5,7 @@ module Timing = Sdt_march.Timing
 module Machine = Sdt_machine.Machine
 
 type tail = Tail_jr | Tail_jalr_ra
+type ib_kind = Ib_jump | Ib_call | Ib_return
 type handler = Machine.t -> trap_pc:int -> unit
 
 type service = {
@@ -32,6 +33,16 @@ type t = {
   mutable ib_site_counters : (int * int) list;
   mutable obs : Sdt_observe.Observer.t option;
   mutable service : service option;
+  mutable cfi : cfi_hooks option;
+}
+
+and cfi_hooks = {
+  cf_policy : Config.cfi_policy;
+  cf_pad_words : int;
+  cf_emit_pad : t -> app_pc:int -> unit;
+  cf_emit_site : t -> site_pc:int -> kind:ib_kind -> unit;
+  cf_validate : t -> target:int -> unit;
+  cf_ret_violation : t -> site_pc:int -> unit;
 }
 
 let trap_link = 1
@@ -42,6 +53,7 @@ let trap_sieve = 5
 let trap_pred = 6
 let trap_link_call = 7
 let trap_adapt = 8
+let trap_cfi = 9
 
 let create ~cfg ~arch ~machine ~em ~layout =
   (match Config.validate cfg with
@@ -72,7 +84,28 @@ let create ~cfg ~arch ~machine ~em ~layout =
     ib_site_counters = [];
     obs = None;
     service = None;
+    cfi = None;
   }
+
+(* CFI policy hooks: single [None] test when no policy is active, so a
+   policy-off translation emits and charges exactly what it always did. *)
+
+let pad_words t = match t.cfi with None -> 0 | Some h -> h.cf_pad_words
+
+(* where a direct (already-verified) entry lands: past the landing pad *)
+let body_entry t frag = frag + (4 * pad_words t)
+
+let cfi_emit_pad t ~app_pc =
+  match t.cfi with None -> () | Some h -> h.cf_emit_pad t ~app_pc
+
+let cfi_emit_site t ~site_pc ~kind =
+  match t.cfi with None -> () | Some h -> h.cf_emit_site t ~site_pc ~kind
+
+let cfi_validate t ~target =
+  match t.cfi with None -> () | Some h -> h.cf_validate t ~target
+
+let cfi_ret_violation t ~site_pc =
+  match t.cfi with None -> () | Some h -> h.cf_ret_violation t ~site_pc
 
 let charge t n =
   match t.machine.Machine.timing with

@@ -22,6 +22,11 @@ type tail = Tail_jr | Tail_jalr_ra
     [jalr $ra, $k1] so the hardware return-address stack is pushed
     (used by the fast-return policy at indirect call sites). *)
 
+type ib_kind = Ib_jump | Ib_call | Ib_return
+(** What kind of indirect transfer an IB site performs — the policy
+    stage of the IB pipeline keys per-site emission on it (return sites
+    are policed by the return plan, not the jump monitor). *)
+
 type handler = Machine.t -> trap_pc:int -> unit
 
 type service = {
@@ -97,7 +102,39 @@ type t = {
   mutable service : service option;
       (** the attached serving layer, if any (set by [Sdt_serve]
           between [Runtime.create] and the first run). *)
+  mutable cfi : cfi_hooks option;
+      (** the active CFI policy stage, if any (installed by {!Runtime}
+          before any code is emitted). [None] (policy off) must cost
+          nothing beyond one match per hook, and must leave emitted
+          fragments bit-identical to a build without the hooks. *)
 }
+
+and cfi_hooks = {
+  cf_policy : Config.cfi_policy;
+  cf_pad_words : int;
+      (** words of landing pad prepended to every fragment (0 when the
+          policy emits no pads); direct entries skip them *)
+  cf_emit_pad : t -> app_pc:int -> unit;
+      (** emit the fragment's landing pad at the current emission point
+          (called by [Translate.block] before the body) *)
+  cf_emit_site : t -> site_pc:int -> kind:ib_kind -> unit;
+      (** policy site stage, emitted between the profiling stage and the
+          mechanism stage of every IB site (compartment policies record
+          the transferring site here) *)
+  cf_validate : t -> target:int -> unit;
+      (** host-side membership validation, called by every IB
+          mechanism's miss-path trap handler before it caches, patches
+          or stubs a new target — the one shared interface through which
+          IC, IBTC, sieve, dispatch, adaptive and retcache all emit
+          their check *)
+  cf_ret_violation : t -> site_pc:int -> unit;
+      (** count an unmatched-return audit event (shadow-stack audit
+          mode) against [site_pc] *)
+}
+(** The policy stage of the staged IB-translation pipeline. The
+    closures are installed by {!Runtime} from [Cfi.install]; they close
+    over the policy state so the core emission modules depend only on
+    this record. *)
 
 (** Trap codes, for diagnostics only (dispatch is by site address). *)
 
@@ -109,6 +146,7 @@ val trap_sieve : int
 val trap_pred : int
 val trap_link_call : int
 val trap_adapt : int
+val trap_cfi : int
 
 val create :
   cfg:Config.t ->
@@ -122,6 +160,25 @@ val create :
 
 val charge : t -> int -> unit
 (** Charge runtime-service cycles (no-op when untimed). *)
+
+(** {1 CFI policy hooks}
+
+    All are single-[match] no-ops when no policy is installed. *)
+
+val pad_words : t -> int
+(** Landing-pad length (words) prepended to every fragment; 0 when no
+    policy (or a pad-free policy) is active. *)
+
+val body_entry : t -> int -> int
+(** [body_entry t frag] is where a {e direct} (statically verified)
+    entry into fragment [frag] lands: past the landing pad. Indirect
+    deliveries always enter at [frag] itself so the pad can verify the
+    claimed target in [$k0]. *)
+
+val cfi_emit_pad : t -> app_pc:int -> unit
+val cfi_emit_site : t -> site_pc:int -> kind:ib_kind -> unit
+val cfi_validate : t -> target:int -> unit
+val cfi_ret_violation : t -> site_pc:int -> unit
 
 (** {1 Observability hooks}
 

@@ -113,6 +113,8 @@ let emit_probe ?on_miss t env ~base ~entries ~tail =
           stats.Stats.ibtc_misses_fast <- stats.Stats.ibtc_misses_fast + 1;
           let target = Machine.reg m Reg.k0 in
           Env.observe env (Sdt_observe.Event.Ibtc_miss { target; fast = true });
+          (* CFI: miss path only — a probe hit never re-validates *)
+          Env.cfi_validate env ~target;
           let known = Hashtbl.mem env.Env.frags target in
           let frag = env.Env.ensure_translated target in
           Env.charge env
@@ -151,6 +153,7 @@ let emit_probe ?on_miss t env ~base ~entries ~tail =
               (Sdt_observe.Event.Ibtc_miss { target; fast = false });
             Env.observe env
               (Sdt_observe.Event.Context_switch { routine = "ibtc-full-miss" });
+            Env.cfi_validate env ~target;
             let frag = env.Env.ensure_translated target in
             Env.charge env
               (env.Env.arch.Arch.trap_cycles + env.Env.arch.Arch.lookup_cycles);
@@ -197,6 +200,7 @@ let emit_full_miss_routine t env =
       Env.observe env (Sdt_observe.Event.Ibtc_miss { target; fast = false });
       Env.observe env
         (Sdt_observe.Event.Context_switch { routine = "ibtc-full-miss" });
+      Env.cfi_validate env ~target;
       let frag = env.Env.ensure_translated target in
       fill_entry t env ~base:t.shared_base ~cfg:t.cfg
         ~entries:t.cfg.Config.entries ~target ~frag;

@@ -8,6 +8,7 @@ type t = {
   counter_slot : int;
   data_limit : int;
   mutable cursor : int;
+  mutable cfi_slot : int;
 }
 
 exception Out_of_memory
@@ -36,6 +37,7 @@ let create ~mem_size ~code_capacity =
     counter_slot;
     data_limit = mem_size;
     cursor;
+    cfi_slot = 0;
   }
 
 let alloc t ~bytes =

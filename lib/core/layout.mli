@@ -24,6 +24,10 @@ type t = {
   counter_slot : int;    (** instrumentation counter (memory-op counting) *)
   data_limit : int;
   mutable cursor : int;  (** next free data byte *)
+  mutable cfi_slot : int;
+      (** transferring-site slot for the CFI compartment policy; 0 until
+          that policy {!alloc}ates it, so policy-off layouts are
+          byte-identical to builds without CFI *)
 }
 
 exception Out_of_memory

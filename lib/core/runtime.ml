@@ -27,6 +27,7 @@ type t = {
      targets must be word-aligned addresses inside it *)
   text_lo : int;
   text_hi : int;
+  cfi : Cfi.t option;  (** the active CFI policy engine, if any *)
   mutable started : bool;
 }
 
@@ -67,13 +68,24 @@ let setup_shared t =
       env.Env.emit_ib <-
         (fun env ~site_pc ~tail -> Adapt.emit_site a env ~site_pc ~tail));
   t.ret <-
-    (match env.Env.cfg.Config.returns with
-    | Config.As_ib -> Translate.Plan_as_ib
-    | Config.Return_cache { entries } ->
-        Translate.Plan_retcache (Retcache.create env ~entries)
-    | Config.Shadow_stack { depth } ->
-        Translate.Plan_shadow (Shadow_stack.create env ~depth)
-    | Config.Fast_return -> Translate.Plan_fast)
+    (if env.Env.cfg.Config.cfi = Config.Ret_integrity then
+       (* return integrity polices every return through an auditing
+          shadow stack, whatever return policy was configured (validate
+          already rejected Fast_return, which bypasses the translator) *)
+       let depth =
+         match env.Env.cfg.Config.returns with
+         | Config.Shadow_stack { depth } -> depth
+         | Config.As_ib | Config.Return_cache _ | Config.Fast_return -> 1024
+       in
+       Translate.Plan_shadow (Shadow_stack.create ~audit:true env ~depth)
+     else
+       match env.Env.cfg.Config.returns with
+       | Config.As_ib -> Translate.Plan_as_ib
+       | Config.Return_cache { entries } ->
+           Translate.Plan_retcache (Retcache.create env ~entries)
+       | Config.Shadow_stack { depth } ->
+           Translate.Plan_shadow (Shadow_stack.create env ~depth)
+       | Config.Fast_return -> Translate.Plan_fast)
 
 let reemit_shared t =
   (* Shared routines are re-emitted in exactly the creation order, so
@@ -123,6 +135,9 @@ let flush_env t () =
   env.Env.ib_site_counters <- [];
   Emitter.reset ~force:true env.Env.em;
   reemit_shared t;
+  (* the flushed generation's fragment bodies are gone; membership and
+     violation history survive, like the adaptive census *)
+  Option.iter Cfi.on_flush t.cfi;
   match env.Env.service with
   | Some s -> s.Env.sv_flushed ()
   | None -> ()
@@ -277,6 +292,18 @@ let create ~cfg ~arch ?timing ?observer (program : Program.t) =
     | Some { Program.base; data } -> (base, base + Bytes.length data)
     | None -> (program.Program.entry, program.Program.entry + 4)
   in
+  let cfi =
+    match cfg.Config.cfi with
+    | Config.Cfi_none -> None
+    | Config.Cfi_landing_pad | Config.Cfi_compartment _ | Config.Ret_integrity
+      ->
+        let c = Cfi.create env ~text_lo ~text_hi ~entry:program.Program.entry in
+        Cfi.install c env;
+        (match Cfi.link_guard c env with
+        | Some g -> Machine.set_cfi_guard machine (Some g)
+        | None -> ());
+        Some c
+  in
   let t =
     {
       env;
@@ -285,6 +312,7 @@ let create ~cfg ~arch ?timing ?observer (program : Program.t) =
       entry = program.Program.entry;
       text_lo;
       text_hi;
+      cfi;
       started = false;
     }
   in
@@ -306,7 +334,8 @@ let start t =
   if not t.started then (
     (try
        let entry_frag = ensure t t.entry in
-       t.env.Env.machine.Machine.pc <- entry_frag
+       (* the initial transfer is statically verified: enter the body *)
+       t.env.Env.machine.Machine.pc <- Env.body_entry t.env entry_frag
      with Translate.Unsupported msg -> error "unsupported application: %s" msg);
     t.started <- true)
 
@@ -394,6 +423,20 @@ let ib_site_profile t =
   Hashtbl.fold (fun pc count acc -> (pc, count) :: acc) by_pc []
   |> List.sort (fun (pa, a) (pb, b) ->
          if a = b then compare pa pb else compare b a)
+
+let cfi_policy t = t.env.Env.cfg.Config.cfi
+
+let cfi_report t =
+  match t.cfi with None -> [] | Some c -> Cfi.report c
+
+let cfi_violations_at t pc =
+  match t.cfi with None -> 0 | Some c -> Cfi.violations_at c pc
+
+let cfi_violation_sites t =
+  match t.cfi with None -> [] | Some c -> Cfi.violation_sites c
+
+let cfi_compartment_of t addr =
+  match t.cfi with None -> None | Some c -> Cfi.compartment_of c addr
 
 let instrumented_memops t =
   Memory.load_word t.env.Env.machine.Machine.mem

@@ -104,6 +104,27 @@ val adapt_site_at : t -> int -> Adapt.site_info option
 (** The adaptive site owning a fragment-cache address (its current tier
     body or one of its occurrence transfers), if any. *)
 
+val cfi_policy : t -> Config.cfi_policy
+(** The configured CFI policy (possibly [Cfi_none]). *)
+
+val cfi_report : t -> (string * int) list
+(** Host-tier CFI bookkeeping (membership/entry-point set sizes, host
+    fast-path guard checks and refusals); [[]] when no policy is
+    active. The runtime counters live in {!Stats.t}
+    ([cfi_checks] .. [cfi_xcalls]). *)
+
+val cfi_violations_at : t -> int -> int
+(** CFI violations attributed to an application PC (the transferring
+    site when a compartment policy recorded it, the target fragment
+    otherwise); 0 when no policy is active. *)
+
+val cfi_violation_sites : t -> (int * int) list
+(** Every application PC with recorded CFI violations as [(pc, count)]
+    ascending; [[]] when no policy is active or none occurred. *)
+
+val cfi_compartment_of : t -> int -> int option
+(** Compartment index of a text address under [Cfi_compartment]. *)
+
 val instrumented_memops : t -> int
 (** Value of the instrumentation counter
     ({!Config.t.count_memops}). *)

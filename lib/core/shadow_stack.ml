@@ -3,15 +3,15 @@ module Reg = Sdt_isa.Reg
 module Machine = Sdt_machine.Machine
 module Memory = Sdt_machine.Memory
 
-type t = { base : int; limit : int }
+type t = { base : int; limit : int; audit : bool }
 
 let reset_ptr t env =
   Memory.store_word env.Env.machine.Machine.mem
     env.Env.layout.Layout.shadow_ptr_slot t.base
 
-let create env ~depth =
+let create ?(audit = false) env ~depth =
   let base = Layout.alloc env.Env.layout ~bytes:(8 * depth) in
-  let t = { base; limit = base + (8 * depth) } in
+  let t = { base; limit = base + (8 * depth); audit } in
   reset_ptr t env;
   t
 
@@ -33,7 +33,7 @@ let emit_call_site t env ~app_ret ~re =
       Emitter.emit em (Inst.Sw (Reg.at, Reg.k1, 0));
       Emitter.place em lskip)
 
-let emit_return_site t env =
+let emit_return_site t env ~site_pc =
   let em = env.Env.em in
   let entry = Emitter.here em in
   let lmiss = Emitter.fresh em in
@@ -51,7 +51,16 @@ let emit_return_site t env =
   Emitter.place em lmiss;
   let miss_pc = Emitter.here em in
   Emitter.emit em (Inst.Add (Reg.k0, Reg.ra, Reg.zero));
-  Emitter.jump_abs em `J env.Env.mech_routine;
+  (* return-integrity audit: an unmatched return (mismatch, underflow,
+     or a push dropped by the overflow check) is a policed event — count
+     it against this return site, then fall back through the IB
+     mechanism exactly as the plain shadow stack would *)
+  if t.audit then
+    Env.emit_trap env ~code:Env.trap_cfi (fun m ~trap_pc:_ ->
+        Env.cfi_ret_violation env ~site_pc;
+        Env.charge env env.Env.arch.Sdt_march.Arch.trap_cycles;
+        m.Machine.pc <- env.Env.mech_routine)
+  else Emitter.jump_abs em `J env.Env.mech_routine;
   Env.observe_region env ~lo:entry ~hi:(Emitter.here em)
     (Sdt_observe.Profile.Service "shadow-stack return site");
   Env.observe_entry env ~pc:miss_pc Sdt_observe.Event.Shadow_fallback

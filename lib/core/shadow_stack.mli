@@ -15,15 +15,19 @@
 
 type t
 
-val create : Env.t -> depth:int -> t
+val create : ?audit:bool -> Env.t -> depth:int -> t
 (** Allocate [depth] 8-byte frames and point the stack pointer at the
-    base. *)
+    base. With [~audit:true] (the [Ret_integrity] CFI policy) every
+    unmatched return additionally traps into the runtime to be counted
+    via {!Env.cfi_ret_violation} before taking the normal mechanism
+    fallback. *)
 
 val emit_call_site : t -> Env.t -> app_ret:int -> re:Emitter.label -> unit
 (** Emit the push (with overflow check — a full stack skips the push). *)
 
-val emit_return_site : t -> Env.t -> unit
-(** Emit the pop/verify/jump sequence for [jr $ra]. *)
+val emit_return_site : t -> Env.t -> site_pc:int -> unit
+(** Emit the pop/verify/jump sequence for [jr $ra]. [site_pc] is the
+    application PC of the return, used to attribute audit events. *)
 
 val on_flush : t -> Env.t -> unit
 (** Reset the stack pointer: saved return points are stale; subsequent

@@ -66,6 +66,9 @@ let emit_miss_routine t env =
       Env.observe env (Sdt_observe.Event.Sieve_miss { target });
       Env.observe env
         (Sdt_observe.Event.Context_switch { routine = "sieve-miss" });
+      (* CFI: validate before the target is stubbed into the chain — a
+         stub hit thereafter never re-validates *)
+      Env.cfi_validate env ~target;
       let mem = m.Machine.mem in
       (* Translating the target or emitting the stub can overflow the
          code region; a flush resets chains and buckets, after which the

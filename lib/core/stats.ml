@@ -19,6 +19,10 @@ type t = {
   mutable adapt_repatches : int;
   mutable dedup_hits : int;
   mutable service_evictions : int;
+  mutable cfi_checks : int;
+  mutable cfi_validations : int;
+  mutable cfi_violations : int;
+  mutable cfi_xcalls : int;
 }
 
 let create () =
@@ -43,6 +47,10 @@ let create () =
     adapt_repatches = 0;
     dedup_hits = 0;
     service_evictions = 0;
+    cfi_checks = 0;
+    cfi_validations = 0;
+    cfi_violations = 0;
+    cfi_xcalls = 0;
   }
 
 let reset t =
@@ -65,7 +73,11 @@ let reset t =
   t.adapt_demotions <- 0;
   t.adapt_repatches <- 0;
   t.dedup_hits <- 0;
-  t.service_evictions <- 0
+  t.service_evictions <- 0;
+  t.cfi_checks <- 0;
+  t.cfi_validations <- 0;
+  t.cfi_violations <- 0;
+  t.cfi_xcalls <- 0
 
 let total_ib_misses t =
   t.dispatch_entries + t.ibtc_misses_full + t.ibtc_misses_fast + t.sieve_misses
@@ -95,6 +107,10 @@ let to_assoc t =
     ("adapt_repatches", t.adapt_repatches);
     ("dedup_hits", t.dedup_hits);
     ("service_evictions", t.service_evictions);
+    ("cfi_checks", t.cfi_checks);
+    ("cfi_validations", t.cfi_validations);
+    ("cfi_violations", t.cfi_violations);
+    ("cfi_xcalls", t.cfi_xcalls);
   ]
 
 let pp ppf t =

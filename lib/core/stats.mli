@@ -26,6 +26,10 @@ type t = {
   mutable adapt_repatches : int;   (** site occurrences re-patched to a new tier *)
   mutable dedup_hits : int;        (** fragments satisfied from a shared service store *)
   mutable service_evictions : int; (** times a serving layer invalidated this tenant *)
+  mutable cfi_checks : int;        (** CFI membership tests run (miss paths + per-transfer dispatch) *)
+  mutable cfi_validations : int;   (** first-use targets admitted into the CFI membership set *)
+  mutable cfi_violations : int;    (** landing-pad mismatches, audit failures, unmatched returns *)
+  mutable cfi_xcalls : int;        (** mediated cross-compartment indirect transfers *)
 }
 
 val create : unit -> t

@@ -49,6 +49,8 @@ let emit_site (env : Env.t) ~depth ~(tail : Env.tail) ?cont () =
   let site = { slots; filled = 0; fall_at; call_hit = cont <> None } in
   Env.emit_trap env ~code:Env.trap_pred (fun m ~trap_pc:_ ->
       let target = Machine.reg m Reg.k0 in
+      (* CFI: validate before the target is burned into a slot *)
+      Env.cfi_validate env ~target;
       let frag = env.Env.ensure_translated target in
       Env.charge env
         (env.Env.arch.Arch.trap_cycles + env.Env.arch.Arch.lookup_cycles);

@@ -29,15 +29,18 @@ let emit_exit_stub (env : Env.t) app_target =
     let gen = env.Env.generation in
     Env.emit_trap env ~code:Env.trap_link (fun m ~trap_pc:_ ->
         let frag = env.Env.ensure_translated app_target in
+        (* a patched link is a statically verified direct transfer: it
+           enters past the landing pad, which polices indirect claims *)
+        let entry = Env.body_entry env frag in
         Env.charge env
           (env.Env.arch.Arch.trap_cycles + env.Env.arch.Arch.lookup_cycles);
         if env.Env.generation = gen then begin
           env.Env.stats.Stats.links <- env.Env.stats.Stats.links + 1;
           Env.observe env
             (Sdt_observe.Event.Link_patched { app_target; frag });
-          Emitter.patch em stub_at (Inst.J ((frag lsr 2) land 0x3FF_FFFF))
+          Emitter.patch em stub_at (Inst.J ((entry lsr 2) land 0x3FF_FFFF))
         end;
-        m.Machine.pc <- frag)
+        m.Machine.pc <- entry)
   end
   else begin
     Emitter.li32 em Reg.k0 app_target;
@@ -71,12 +74,18 @@ let emit_site_counter (env : Env.t) ~site_pc =
   Emitter.emit em (Inst.Addi (Reg.at, Reg.at, 1));
   Emitter.emit em (Inst.Sw (Reg.at, Reg.k1, 0))
 
-(* The IB mechanism with optional inline prediction in front. *)
-let emit_mech ?(pred = false) ?cont (env : Env.t) ~site_pc ~tail =
+(* The staged IB-site pipeline: profiling stage (optional site counter),
+   policy stage (the installed CFI hooks' per-site emission), prediction
+   stage (optional inline target prediction), then the mechanism stage —
+   every mechanism, static or adaptive, goes through this one path, so a
+   policy composes with all of them identically. *)
+let emit_mech ?(pred = false) ?cont ?(kind = Env.Ib_jump) (env : Env.t)
+    ~site_pc ~tail =
   env.Env.stats.Stats.ib_sites <- env.Env.stats.Stats.ib_sites + 1;
   if env.Env.cfg.Config.profile_ib_sites then
     Env.observing_emit env "site counter" (fun () ->
         emit_site_counter env ~site_pc);
+  Env.cfi_emit_site env ~site_pc ~kind;
   if pred && env.Env.cfg.Config.pred_depth > 0 then
     Env.observing_emit env "pred slots" (fun () ->
         Target_pred.emit_site env ~depth:env.Env.cfg.Config.pred_depth ~tail
@@ -122,15 +131,16 @@ let translate_direct_call (env : Env.t) ~ret ~callee ~app_ret =
       let gen = env.Env.generation in
       Env.emit_trap env ~code:Env.trap_link_call (fun m ~trap_pc:_ ->
           let frag = env.Env.ensure_translated callee in
+          let entry = Env.body_entry env frag in
           Env.charge env
             (env.Env.arch.Arch.trap_cycles + env.Env.arch.Arch.lookup_cycles);
           if env.Env.generation = gen then begin
             env.Env.stats.Stats.links <- env.Env.stats.Stats.links + 1;
             Env.observe env
               (Sdt_observe.Event.Link_patched { app_target = callee; frag });
-            Emitter.patch em jal_at (Inst.Jal ((frag lsr 2) land 0x3FF_FFFF))
+            Emitter.patch em jal_at (Inst.Jal ((entry lsr 2) land 0x3FF_FFFF))
           end;
-          m.Machine.pc <- frag)
+          m.Machine.pc <- entry)
 
 let translate_icall (env : Env.t) ~ret ~rd ~rs ~app_ret =
   let em = env.Env.em in
@@ -138,7 +148,7 @@ let translate_icall (env : Env.t) ~ret ~rd ~rs ~app_ret =
   | Plan_fast when rd = Reg.ra ->
       emit_mv_k0 env rs;
       let cont = Emitter.fresh em in
-      emit_mech ~pred:true ~cont env ~site_pc:(app_ret - 4)
+      emit_mech ~pred:true ~cont ~kind:Env.Ib_call env ~site_pc:(app_ret - 4)
         ~tail:Env.Tail_jalr_ra;
       Emitter.place em cont;
       emit_exit_stub env app_ret
@@ -160,7 +170,8 @@ let translate_icall (env : Env.t) ~ret ~rd ~rs ~app_ret =
       in
       emit_mv_k0 env rs;
       Emitter.li32 em rd app_ret;
-      emit_mech ~pred:true env ~site_pc:(app_ret - 4) ~tail:Env.Tail_jr;
+      emit_mech ~pred:true ~kind:Env.Ib_call env ~site_pc:(app_ret - 4)
+        ~tail:Env.Tail_jr;
       (match re with
       | Some (`Rc (rc, re)) ->
           Retcache.emit_return_entry rc env ~app_ret ~re;
@@ -174,9 +185,16 @@ let translate_return (env : Env.t) ~ret ~site_pc =
   match ret with
   | Plan_as_ib ->
       emit_mv_k0 env Reg.ra;
-      emit_mech env ~site_pc ~tail:Env.Tail_jr
-  | Plan_retcache rc -> Retcache.emit_return_site rc env
-  | Plan_shadow sh -> Shadow_stack.emit_return_site sh env
+      emit_mech ~kind:Env.Ib_return env ~site_pc ~tail:Env.Tail_jr
+  | Plan_retcache rc ->
+      (* the return mechanisms bypass emit_mech, so they run the policy
+         site stage themselves: their miss paths fall back through the
+         shared mechanism routine, where the monitor reads the site *)
+      Env.cfi_emit_site env ~site_pc ~kind:Env.Ib_return;
+      Retcache.emit_return_site rc env
+  | Plan_shadow sh ->
+      Env.cfi_emit_site env ~site_pc ~kind:Env.Ib_return;
+      Shadow_stack.emit_return_site sh env ~site_pc
   | Plan_fast -> Emitter.emit env.Env.em (Inst.Jr Reg.ra)
 
 let block (env : Env.t) ~ret app_pc =
@@ -276,6 +294,9 @@ let block (env : Env.t) ~ret app_pc =
               go (pc + 4) (n + 1)
         end
       in
+      (* policy landing pad first: every fragment's indirect entry point
+         verifies the claimed target before the body runs *)
+      Env.cfi_emit_pad env ~app_pc;
       go app_pc 0;
       List.iter
         (fun (l, target) ->

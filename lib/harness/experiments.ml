@@ -1197,6 +1197,217 @@ let fig_serving size =
       mech_rows;
   ]
 
+(* ------------------------------------------------------------------ *)
+(* F12: CFI protection overhead *)
+
+(* Every point of the IB design space the policy stage composes with,
+   all over as-ib returns so the ret-integrity column compares like
+   with like (a shadow stack is compatible with each). *)
+let f12_mechs =
+  [
+    ("dispatch", Config.baseline);
+    ("ibtc-4096", ibtc ());
+    ("sieve-4096", sieve ());
+    ("adaptive", adaptive_cfg ~returns:Config.As_ib ());
+  ]
+
+let f12_policies =
+  [
+    ("none", Config.Cfi_none);
+    ("pad", Config.Cfi_landing_pad);
+    ("comp:8", Config.Cfi_compartment { count = 8 });
+    ("ret", Config.Ret_integrity);
+  ]
+
+let f12_comp_counts = [ 2; 8; 32 ]
+
+(* three IB-heavy SPEC stand-ins plus the plugin-host compartment
+   workload (registered in Suite.extra, so it appears only here) *)
+let f12_wls = List.filter_map Suite.find [ "perlbmk"; "eon"; "crafty"; "sfi" ]
+let f12_sfi = List.filter (fun e -> e.Suite.name = "sfi") f12_wls
+let with_cfi cfg cfi = { cfg with Config.cfi }
+
+let f12_grid =
+  List.concat_map
+    (fun e ->
+      List.concat_map
+        (fun arch ->
+          { cell_entry = e; cell_arch = arch; cell_cfg = None }
+          :: List.concat_map
+               (fun (_, cfg) ->
+                 List.map
+                   (fun (_, pol) ->
+                     {
+                       cell_entry = e;
+                       cell_arch = arch;
+                       cell_cfg = Some (with_cfi cfg pol);
+                     })
+                   f12_policies)
+               f12_mechs)
+        cross_arches)
+    f12_wls
+  @ (* the compartment-count sweep runs sfi on archA only *)
+  List.concat_map
+    (fun e ->
+      List.concat_map
+        (fun n ->
+          List.map
+            (fun (_, cfg) ->
+              {
+                cell_entry = e;
+                cell_arch = Arch.arch_a;
+                cell_cfg =
+                  Some (with_cfi cfg (Config.Cfi_compartment { count = n }));
+              })
+            f12_mechs)
+        f12_comp_counts)
+    f12_sfi
+
+let fig_cfi size =
+  let overhead base prot = 100.0 *. ((prot -. base) /. base) in
+  let arch_table arch =
+    let rows =
+      List.concat_map
+        (fun (mn, cfg) ->
+          let wl_rows =
+            List.map
+              (fun e ->
+                let s pol =
+                  (sdt ~arch ~cfg:(with_cfi cfg pol) e size).Run.slowdown
+                in
+                let base = s Config.Cfi_none in
+                (mn :: e.Suite.name
+                :: List.map (fun (_, pol) -> Summary.f2 (s pol)) f12_policies)
+                @ [ Summary.f1 (overhead base (s Config.Cfi_landing_pad)) ])
+              f12_wls
+          in
+          let gm pol =
+            Summary.geomean
+              (List.map
+                 (fun e ->
+                   (sdt ~arch ~cfg:(with_cfi cfg pol) e size).Run.slowdown)
+                 f12_wls)
+          in
+          wl_rows
+          @ [
+              (mn :: "geomean"
+              :: List.map (fun (_, pol) -> Summary.f2 (gm pol)) f12_policies)
+              @ [
+                  Summary.f1
+                    (overhead (gm Config.Cfi_none) (gm Config.Cfi_landing_pad));
+                ];
+            ])
+        f12_mechs
+    in
+    Table.make
+      ~title:
+        (Printf.sprintf "F12 (%s): CFI protection overhead per mechanism"
+           arch.Arch.name)
+      ~note:
+        "Slowdown vs native under each policy; \"pad ovh%\" is the \
+         landing-pad policy's cost relative to the same mechanism \
+         unprotected. Hit-caching mechanisms buy protection almost for \
+         free (validation lives on their miss paths); full dispatch pays \
+         a membership test on every transfer."
+      ~headers:
+        (("mechanism" :: "benchmark" :: List.map fst f12_policies)
+        @ [ "pad ovh%" ])
+      rows
+  in
+  let elision =
+    let dispatch_cfg = with_cfi (snd (List.hd f12_mechs)) Config.Cfi_landing_pad in
+    let data =
+      List.map
+        (fun e ->
+          let ibs = app_ibs (native e size) in
+          let d = (sdt ~cfg:dispatch_cfg e size).Run.s_stats.Stats.cfi_checks in
+          let cs =
+            List.map
+              (fun (_, cfg) ->
+                (sdt ~cfg:(with_cfi cfg Config.Cfi_landing_pad) e size)
+                  .Run.s_stats.Stats.cfi_checks)
+              (List.tl f12_mechs)
+          in
+          (e.Suite.name, ibs, d, cs))
+        f12_wls
+    in
+    let cell d c =
+      [ string_of_int c; Summary.f1 (float_of_int d /. float_of_int (max 1 c)) ]
+    in
+    let row (name, ibs, d, cs) =
+      [ name; string_of_int ibs; string_of_int d ] @ List.concat_map (cell d) cs
+    in
+    let total =
+      let sum f = List.fold_left (fun a r -> a + f r) 0 data in
+      let ibs = sum (fun (_, i, _, _) -> i) in
+      let d = sum (fun (_, _, d, _) -> d) in
+      let cs =
+        List.mapi
+          (fun i _ -> sum (fun (_, _, _, cs) -> List.nth cs i))
+          (List.tl f12_mechs)
+      in
+      ("total", ibs, d, cs)
+    in
+    let rows = List.map row (data @ [ total ]) in
+    Table.make ~title:"F12b: hit-path check elision under landing-pad CFI (archA)"
+      ~note:
+        "Membership checks actually run per workload. Dispatch checks \
+         every dynamic IB transfer; sieve/IBTC/adaptive validate only on \
+         miss paths, so their check counts collapse to the working-set \
+         size. \"x\" is dispatch checks divided by that mechanism's \
+         checks — the elision factor bought by caching."
+      ~headers:
+        [
+          "benchmark"; "dyn IBs"; "dispatch"; "ibtc"; "x"; "sieve"; "x";
+          "adaptive"; "x";
+        ]
+      rows
+  in
+  let compartments =
+    let rows =
+      List.concat_map
+        (fun e ->
+          List.concat_map
+            (fun (mn, cfg) ->
+              let base = (sdt ~cfg:(with_cfi cfg Config.Cfi_none) e size).Run.slowdown in
+              List.map
+                (fun count ->
+                  let s =
+                    sdt
+                      ~cfg:(with_cfi cfg (Config.Cfi_compartment { count }))
+                      e size
+                  in
+                  let st = s.Run.s_stats in
+                  [
+                    mn;
+                    string_of_int count;
+                    Summary.f2 s.Run.slowdown;
+                    Summary.f1 (overhead base s.Run.slowdown);
+                    string_of_int st.Stats.cfi_checks;
+                    string_of_int st.Stats.cfi_xcalls;
+                    string_of_int st.Stats.cfi_violations;
+                  ])
+                f12_comp_counts)
+            f12_mechs)
+        f12_sfi
+    in
+    Table.make
+      ~title:"F12c: compartment count sweep — sfi plugin host (archA)"
+      ~note:
+        "The SFI workload's capability calls cross compartment boundaries; \
+         finer partitions mediate more transfers (xcalls) and cost more. \
+         Violations stay zero: the capability table's address-taken plugin \
+         entries are pre-seeded as valid entry points, so every mediated \
+         call passes the audit."
+      ~headers:
+        [
+          "mechanism"; "comps"; "slowdown"; "ovh%"; "checks"; "xcalls";
+          "violations";
+        ]
+      rows
+  in
+  List.map arch_table cross_arches @ [ elision; compartments ]
+
 let experiments =
   [
     {
@@ -1282,6 +1493,13 @@ let experiments =
       grid = grid_of [];
       serves = f11_serves;
       run = fig_serving;
+    };
+    {
+      id = "F12";
+      title = "CFI protection overhead";
+      grid = f12_grid;
+      serves = no_serves;
+      run = fig_cfi;
     };
     {
       id = "A1";

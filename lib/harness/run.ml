@@ -146,6 +146,26 @@ let adapt_stats () =
     repatches = Atomic.get ad_repatches;
   }
 
+(* CFI policy-stage activity, accumulated the same way; all zero when
+   every cell ran with the policy off. *)
+let cf_checks = Atomic.make 0
+let cf_violations = Atomic.make 0
+let cf_xcalls = Atomic.make 0
+
+type cfi_stats = { checks : int; violations : int; xcalls : int }
+
+let note_cfi_stats (s : Stats.t) =
+  ignore (Atomic.fetch_and_add cf_checks s.Stats.cfi_checks);
+  ignore (Atomic.fetch_and_add cf_violations s.Stats.cfi_violations);
+  ignore (Atomic.fetch_and_add cf_xcalls s.Stats.cfi_xcalls)
+
+let cfi_stats () =
+  {
+    checks = Atomic.get cf_checks;
+    violations = Atomic.get cf_violations;
+    xcalls = Atomic.get cf_xcalls;
+  }
+
 (* Instructions actually simulated (cache misses only — memoized cells
    add nothing), accumulated across pool domains; feeds the bench
    MIPS figures. *)
@@ -264,6 +284,10 @@ let stats_of_json doc =
       s.Stats.adapt_repatches <- g "adapt_repatches";
       s.Stats.dedup_hits <- g "dedup_hits";
       s.Stats.service_evictions <- g "service_evictions";
+      s.Stats.cfi_checks <- g "cfi_checks";
+      s.Stats.cfi_validations <- g "cfi_validations";
+      s.Stats.cfi_violations <- g "cfi_violations";
+      s.Stats.cfi_xcalls <- g "cfi_xcalls";
       Some s
   | _ -> None
 
@@ -342,6 +366,9 @@ let tenant_line_to_json (t : Serve.tenant_line) =
       ("p99", json_float t.Serve.tl_p99);
       ("dedup_hits", Jsonw.Int t.Serve.tl_dedup_hits);
       ("flush_marks", Jsonw.Int t.Serve.tl_flush_marks);
+      ("cfi_checks", Jsonw.Int t.Serve.tl_cfi_checks);
+      ("cfi_violations", Jsonw.Int t.Serve.tl_cfi_violations);
+      ("cfi_elided", Jsonw.Int t.Serve.tl_cfi_elided);
     ]
 
 let tenant_line_of_json doc =
@@ -354,6 +381,9 @@ let tenant_line_of_json doc =
   let* tl_p99 = field "p99" float_of_json in
   let* tl_dedup_hits = field "dedup_hits" int_of_json in
   let* tl_flush_marks = field "flush_marks" int_of_json in
+  let* tl_cfi_checks = field "cfi_checks" int_of_json in
+  let* tl_cfi_violations = field "cfi_violations" int_of_json in
+  let* tl_cfi_elided = field "cfi_elided" int_of_json in
   Some
     {
       Serve.tl_name;
@@ -363,6 +393,9 @@ let tenant_line_of_json doc =
       tl_p99;
       tl_dedup_hits;
       tl_flush_marks;
+      tl_cfi_checks;
+      tl_cfi_violations;
+      tl_cfi_elided;
     }
 
 let serve_to_json (r : Serve.report) =
@@ -388,6 +421,9 @@ let serve_to_json (r : Serve.report) =
       ("evicted_bytes", Jsonw.Int r.Serve.rp_evicted_bytes);
       ("rejects", Jsonw.Int r.Serve.rp_rejects);
       ("checksum", Jsonw.Int r.Serve.rp_checksum);
+      ("cfi_checks", Jsonw.Int r.Serve.rp_cfi_checks);
+      ("cfi_violations", Jsonw.Int r.Serve.rp_cfi_violations);
+      ("cfi_elided", Jsonw.Int r.Serve.rp_cfi_elided);
       ("tenants", Jsonw.List (List.map tenant_line_to_json r.Serve.rp_tenants));
     ]
 
@@ -414,6 +450,9 @@ let serve_of_json doc =
   let* rp_evicted_bytes = field "evicted_bytes" int_of_json in
   let* rp_rejects = field "rejects" int_of_json in
   let* rp_checksum = field "checksum" int_of_json in
+  let* rp_cfi_checks = field "cfi_checks" int_of_json in
+  let* rp_cfi_violations = field "cfi_violations" int_of_json in
+  let* rp_cfi_elided = field "cfi_elided" int_of_json in
   let* items =
     match Jsonw.member "tenants" doc with
     | Some (Jsonw.List l) -> Some l
@@ -449,6 +488,9 @@ let serve_of_json doc =
       rp_evicted_bytes;
       rp_rejects;
       rp_checksum;
+      rp_cfi_checks;
+      rp_cfi_violations;
+      rp_cfi_elided;
       rp_tenants;
     }
 
@@ -535,6 +577,7 @@ let sdt ~arch ~cfg ~key build =
       ignore (Atomic.fetch_and_add sim_instrs m.Machine.c.Machine.instructions);
       note_block_stats m;
       note_adapt_stats (Runtime.stats rt);
+      note_cfi_stats (Runtime.stats rt);
       if
         Machine.output m <> nat.n_output
         || m.Machine.checksum <> nat.n_checksum

@@ -130,6 +130,17 @@ val adapt_stats : unit -> adapt_stats
     process start, accumulated atomically across pool domains. All
     zero unless some cell ran {!Sdt_core.Config.Adaptive}. *)
 
+type cfi_stats = {
+  checks : int;  (** CFI membership tests run *)
+  violations : int;  (** pad mismatches, audit failures, unmatched returns *)
+  xcalls : int;  (** mediated cross-compartment transfers *)
+}
+
+val cfi_stats : unit -> cfi_stats
+(** CFI policy-stage activity summed over every actually-simulated SDT
+    cell since process start, accumulated atomically across pool
+    domains. All zero when every cell ran [Cfi_none]. *)
+
 val block_cache_stats : unit -> block_cache_stats
 (** Block-cache activity summed over every actually-simulated machine
     (native and SDT; memoized cells add nothing) since process start,

@@ -178,6 +178,11 @@ type cache = {
   gen : int ref; (* {!Memory.code_gen_ref}: shared with the store guards *)
   chain : bool;
   introspect : bool;
+  cfi_guard : (int -> bool) option;
+      (* consulted before caching an indirect link or forming a trace
+         indirect guard; [false] refuses the cache entry so the
+         transfer keeps re-probing (and keeps hitting the emitted
+         policy checks). Host-side only. *)
   isites : (int, isite) Hashtbl.t; (* IB site pc -> counters *)
   tbl : t option array; (* indexed by (start lsr 2) land slot_mask *)
   (* mid-block abort rendezvous: -1 normally; an aborting store closure
@@ -226,7 +231,8 @@ type stats = {
    compilation after self-modification stays cheap. *)
 let max_len = 64
 
-let create ~regs ~counters ?timing ?(chain = true) ?(introspect = false) mem =
+let create ~regs ~counters ?timing ?(chain = true) ?(introspect = false)
+    ?cfi_guard mem =
   {
     mem;
     regs;
@@ -235,6 +241,7 @@ let create ~regs ~counters ?timing ?(chain = true) ?(introspect = false) mem =
     gen = Memory.code_gen_ref mem;
     chain;
     introspect;
+    cfi_guard;
     isites = Hashtbl.create (if introspect then 64 else 1);
     tbl = Array.make slots None;
     abort = -1;
@@ -1044,6 +1051,13 @@ let follow_cond cache (cd : cond_link) taken =
         if cache.chain then cd.c_flink <- Some b;
         b
 
+(* May an indirect edge to [target] be cached? A CFI link guard refuses
+   targets that enter a fragment past its landing pad; valid already-hit
+   links are not re-asked (the target was admitted when cached). *)
+let[@inline] cacheable cache target =
+  cache.chain
+  && match cache.cfi_guard with None -> true | Some g -> g target
+
 (* 2-entry inline cache with MRU promotion, the host-side shape of an
    IBTC entry: slot 0 is the most recent target, slot 1 the runner-up,
    a miss demotes 0 into 1. *)
@@ -1064,7 +1078,7 @@ let follow_indirect cache (ind : ind_link) target =
     | stale ->
         sever_if_linked cache stale;
         let b = find cache target in
-        if cache.chain then ind.i_l0 <- Some b;
+        if cacheable cache target then ind.i_l0 <- Some b;
         b
   else if ind.i_pc1 = target then
     match ind.i_l1 with
@@ -1078,7 +1092,7 @@ let follow_indirect cache (ind : ind_link) target =
     | stale ->
         sever_if_linked cache stale;
         let b = find cache target in
-        if cache.chain then begin
+        if cacheable cache target then begin
           ind.i_pc1 <- ind.i_pc0;
           ind.i_l1 <- ind.i_l0;
           ind.i_pc0 <- target;
@@ -1087,7 +1101,7 @@ let follow_indirect cache (ind : ind_link) target =
         b
   else begin
     let b = find cache target in
-    if cache.chain then begin
+    if cacheable cache target then begin
       ind.i_pc1 <- ind.i_pc0;
       ind.i_l1 <- ind.i_l0;
       ind.i_pc0 <- target;
@@ -1165,8 +1179,14 @@ let form_trace cache (head : t) =
               | _ -> None
             else None
         | T_indirect ind ->
-            (* monomorphic so far: one target ever observed *)
-            if ind.i_pc0 >= 0 && ind.i_pc1 < 0 then
+            (* monomorphic so far: one target ever observed — and, under
+               a CFI link guard, re-validated before the predicted edge
+               is compiled into a trace guard *)
+            if
+              ind.i_pc0 >= 0
+              && ind.i_pc1 < 0
+              && cacheable cache ind.i_pc0
+            then
               match ind.i_l0 with
               | Some b when b.gen = g -> Some (b, P_ind (ind, ind.i_pc0))
               | _ -> None

@@ -153,6 +153,7 @@ val create :
   ?timing:Sdt_march.Timing.t ->
   ?chain:bool ->
   ?introspect:bool ->
+  ?cfi_guard:(int -> bool) ->
   Memory.t ->
   cache
 (** A block cache compiling against the given machine state. The
@@ -165,7 +166,11 @@ val create :
     per-IB-site inline-cache hits/misses and the target multiset are
     counted — host-side only (simulated results are bit-identical),
     with the disabled-mode cost of one null test per indirect
-    transition. *)
+    transition. [cfi_guard], when given, is consulted before an
+    indirect MRU link is cached or a trace indirect guard is compiled:
+    [false] refuses the cache entry, so the transfer keeps re-probing
+    (and keeps passing through the emitted CFI policy checks) — also
+    host-side only. *)
 
 val chained : cache -> bool
 val introspected : cache -> bool

@@ -101,7 +101,19 @@ let block_site_pc (b : Block.t) =
   | Block.T_indirect { Block.i_site = Some s; _ } -> Some s.Block.is_pc
   | _ -> None
 
-let chain_dot ?(site_mech = fun _ -> None) cache =
+(* What the policy layer knows about enforcement, passed in the same
+   neutral-callback style as [site_mech]: the active policy name and a
+   violation count attributed to a code address. *)
+type cfi_view = {
+  cv_policy : string;  (** active CFI policy name, e.g. ["landing_pad"] *)
+  cv_violations : int -> int;
+      (** violations attributed to the fragment owning a code address *)
+}
+
+let block_violations cfi (b : Block.t) =
+  match cfi with None -> 0 | Some c -> c.cv_violations b.Block.start
+
+let chain_dot ?(site_mech = fun _ -> None) ?cfi cache =
   let gen = Block.generation cache in
   let resident = Block.resident cache in
   let is_resident = Hashtbl.create 256 in
@@ -120,8 +132,12 @@ let chain_dot ?(site_mech = fun _ -> None) cache =
   List.iter
     (fun (b : Block.t) ->
       let mech = Option.bind (block_site_pc b) site_mech in
+      let viols = block_violations cfi b in
       let trace_mark =
-        if Hashtbl.mem heads b.Block.start then
+        (* a block whose fragment recorded policy violations outranks
+           every other colouring: it is the thing to look at *)
+        if viols > 0 then " style=bold color=red"
+        else if Hashtbl.mem heads b.Block.start then
           " peripheries=2 style=bold color=blue"
         else if Hashtbl.mem members b.Block.start then " style=bold color=blue"
         else
@@ -140,21 +156,30 @@ let chain_dot ?(site_mech = fun _ -> None) cache =
                  Printf.sprintf ", re-patched x%d" sm.sm_repatches
                else "")
       in
+      let cfi_label =
+        if viols > 0 then Printf.sprintf "\\n[%d CFI violations]" viols else ""
+      in
       Buffer.add_string buf
-        (Printf.sprintf "  \"%s\" [label=\"%s\\n%d instrs%s%s\"%s];\n"
+        (Printf.sprintf "  \"%s\" [label=\"%s\\n%d instrs%s%s%s\"%s];\n"
            (hex b.Block.start) (hex b.Block.start) b.Block.n_instrs
            (if Hashtbl.mem heads b.Block.start then " (trace head)"
             else if Hashtbl.mem members b.Block.start then " (in trace)"
             else "")
-           mech_label trace_mark);
+           mech_label cfi_label trace_mark);
       List.iter
         (fun (kind, (s : Block.t)) ->
           if not (Hashtbl.mem is_resident s.Block.start) then
             Hashtbl.replace ghosts s.Block.start s;
+          (* an indirect edge out of a violating site is the edge the
+             policy complained about: draw it red *)
+          let violating =
+            viols > 0 && (kind = "mru0" || kind = "mru1")
+          in
           Buffer.add_string buf
-            (Printf.sprintf "  \"%s\" -> \"%s\" [label=\"%s\"%s];\n"
+            (Printf.sprintf "  \"%s\" -> \"%s\" [label=\"%s\"%s%s];\n"
                (hex b.Block.start) (hex s.Block.start) kind
-               (if s.Block.gen = gen then "" else " style=dashed")))
+               (if s.Block.gen = gen then "" else " style=dashed")
+               (if violating then " color=red penwidth=2" else "")))
         (links b))
     resident;
   Hashtbl.iter
@@ -178,7 +203,7 @@ let histo_json h =
           ])
   | other -> other
 
-let site_json ?(site_mech = fun _ -> None) (s : Block.isite) =
+let site_json ?(site_mech = fun _ -> None) ?cfi (s : Block.isite) =
   let targets = Block.site_targets s in
   let counts = List.map snd targets in
   let executions = List.fold_left ( + ) 0 counts in
@@ -198,6 +223,15 @@ let site_json ?(site_mech = fun _ -> None) (s : Block.isite) =
           ("repatches", Jsonw.Int sm.sm_repatches);
         ]
   in
+  let cfi_fields =
+    match cfi with
+    | None -> []
+    | Some c ->
+        [
+          ("cfi_policy", Jsonw.Str c.cv_policy);
+          ("cfi_violations", Jsonw.Int (c.cv_violations s.Block.is_pc));
+        ]
+  in
   Jsonw.Obj
     ([
        ("pc", Jsonw.Str (hex s.Block.is_pc));
@@ -214,9 +248,9 @@ let site_json ?(site_mech = fun _ -> None) (s : Block.isite) =
                   [ ("target", Jsonw.Str (hex pc)); ("count", Jsonw.Int n) ])
               targets) );
      ]
-    @ mech_fields)
+    @ mech_fields @ cfi_fields)
 
-let to_json ?site_mech cache =
+let to_json ?site_mech ?cfi cache =
   let st = Block.stats cache in
   let depths = chain_depths cache in
   let depth_of = Hashtbl.create 256 in
@@ -258,7 +292,10 @@ let to_json ?site_mech cache =
       ]
   in
   Jsonw.Obj
-    [
+    ((match cfi with
+     | None -> []
+     | Some c -> [ ("cfi_policy", Jsonw.Str c.cv_policy) ])
+    @ [
       ("generation", Jsonw.Int gen);
       ("chained", Jsonw.Bool (Block.chained cache));
       ("introspect", Jsonw.Bool (Block.introspected cache));
@@ -303,5 +340,5 @@ let to_json ?site_mech cache =
       ("blocks", Jsonw.List (List.map block_json (Block.resident cache)));
       ( "ind_sites",
         Jsonw.List
-          (List.map (site_json ?site_mech) (Block.ind_sites cache)) );
-    ]
+          (List.map (site_json ?site_mech ?cfi) (Block.ind_sites cache)) );
+    ])

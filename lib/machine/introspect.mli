@@ -63,7 +63,22 @@ type site_mech = {
     constant for a static one. The callback returning [None] for every
     address reproduces the old reports exactly. *)
 
-val chain_dot : ?site_mech:(int -> site_mech option) -> Block.cache -> string
+type cfi_view = {
+  cv_policy : string;  (** active CFI policy name, e.g. ["landing_pad"] *)
+  cv_violations : int -> int;
+      (** violations attributed to the fragment owning a code address *)
+}
+(** What the IB-policy layer knows about enforcement, in the same
+    neutral-callback style as {!site_mech}: the active policy and a
+    violation count per code address (typically derived from
+    [Sdt_core.Runtime.cfi_violation_sites] mapped through the fragment
+    map). Omitting it reproduces the policy-free reports exactly. *)
+
+val chain_dot :
+  ?site_mech:(int -> site_mech option) ->
+  ?cfi:cfi_view ->
+  Block.cache ->
+  string
 (** The chain graph as Graphviz DOT: one box per resident block
     (labelled with start PC and length), one edge per installed link
     (labelled with its kind; stale-generation links dashed). Linked
@@ -71,9 +86,16 @@ val chain_dot : ?site_mech:(int -> site_mech option) -> Block.cache -> string
     trace-subsumed blocks are bold blue, trace heads double-bordered.
     With [site_mech], blocks ending in an introspected IB site carry
     the site's current mechanism in their label, and sites whose exit
-    transfer has been re-patched since emission are bold orange-red. *)
+    transfer has been re-patched since emission are bold orange-red.
+    With [cfi], blocks whose fragment recorded policy violations are
+    bold red with the count in their label, and their indirect (MRU)
+    edges are drawn red — the hijacked edges. *)
 
-val to_json : ?site_mech:(int -> site_mech option) -> Block.cache -> Jsonw.t
+val to_json :
+  ?site_mech:(int -> site_mech option) ->
+  ?cfi:cfi_view ->
+  Block.cache ->
+  Jsonw.t
 (** The full dump: cache stats (including the trace tier), generation,
     per-block records with links, chain depth and trace membership,
     the shape histograms — block length, chain depth, trace length,
@@ -81,4 +103,6 @@ val to_json : ?site_mech:(int -> site_mech option) -> Block.cache -> Jsonw.t
     {!Histo.percentile}), per-trace records (head, members, entries,
     side exits, staleness), and per-IB-site counters with entropy.
     With [site_mech], each site row additionally names its current
-    mechanism, its transition history, and its re-patch count. *)
+    mechanism, its transition history, and its re-patch count. With
+    [cfi], the dump leads with the active policy and each site row
+    carries its attributed violation count. *)

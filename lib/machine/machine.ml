@@ -33,6 +33,7 @@ type t = {
   mutable trap_handler : t -> code:int -> trap_pc:int -> unit;
   mutable bcache : Block.cache option;
   mutable binspect : bool;
+  mutable cfi_guard : (int -> bool) option;
 }
 
 let no_handler _ ~code ~trap_pc =
@@ -55,9 +56,18 @@ let create ?timing ~mem_size () =
     trap_handler = no_handler;
     bcache = None;
     binspect = false;
+    cfi_guard = None;
   }
 
 let set_trap_handler t h = t.trap_handler <- h
+
+(* Install (or clear) the CFI link guard the block cache consults before
+   caching an indirect chain link or trace indirect guard. Any live
+   cache was built without it, so drop it; installation happens before
+   the first run in practice. *)
+let set_cfi_guard t g =
+  t.cfi_guard <- g;
+  t.bcache <- None
 
 (* Request per-IB-site introspection from the next block cache. Must be
    set before the first [run_blocks] call to cover the whole run: a
@@ -407,7 +417,7 @@ let run_blocks ?(max_steps = 1_000_000_000) ?(chain = true) ?(trace = false) t =
       | _ ->
           let c =
             Block.create ~regs:t.regs ~counters:t.c ?timing:t.timing ~chain
-              ~introspect:t.binspect t.mem
+              ~introspect:t.binspect ?cfi_guard:t.cfi_guard t.mem
           in
           t.bcache <- Some c;
           c

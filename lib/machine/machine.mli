@@ -52,11 +52,22 @@ type t = {
   mutable binspect : bool;
       (** whether the next-created block cache counts per-IB-site
           inline-cache traffic; see {!set_block_introspect} *)
+  mutable cfi_guard : (int -> bool) option;
+      (** host-side CFI link guard; see {!set_cfi_guard} *)
 }
 
 val create : ?timing:Timing.t -> mem_size:int -> unit -> t
 
 val set_trap_handler : t -> (t -> code:int -> trap_pc:int -> unit) -> unit
+
+val set_cfi_guard : t -> (int -> bool) option -> unit
+(** Install the predicate the block interpreter consults before caching
+    an indirect chain link (MRU fill) or compiling a trace indirect
+    guard: [false] refuses the cache entry, forcing that transfer to
+    keep re-probing — and so to keep passing through the emitted policy
+    checks. Purely host-side: simulated results are unaffected. Drops
+    any live block cache, so install it before the first
+    {!run_blocks}. *)
 
 val reg : t -> int -> int
 (** Read a register ([reg t 0 = 0]). *)

@@ -4,7 +4,7 @@ module Config = Sdt_core.Config
 
 (* bump when the canonical format (or anything it fails to capture)
    changes: stale on-disk cache entries must not survive the change *)
-let version = "v1"
+let version = "v2"
 
 let cache_config = function
   | None -> "none"
@@ -54,10 +54,10 @@ let spill = function
 
 let config (c : Config.t) =
   Printf.sprintf
-    "cfg{%s;ret=%s;pred=%d;link=%b;traces=%b;spill=%s;blk=%d;cap=%d;memops=%b;profib=%b;shep=%b}"
+    "cfg{%s;ret=%s;pred=%d;link=%b;traces=%b;spill=%s;blk=%d;cap=%d;memops=%b;profib=%b;shep=%b;cfi=%s}"
     (mechanism c.Config.mech) (returns c.returns) c.pred_depth c.link_direct
     c.follow_direct_jumps (spill c.spill) c.block_limit c.code_capacity
-    c.count_memops c.profile_ib_sites c.shepherd
+    c.count_memops c.profile_ib_sites c.shepherd (Config.cfi_name c.cfi)
 
 let cell ~key ~arch:a ~cfg =
   Printf.sprintf "%s|%s|%s|%s" version key (arch a)

@@ -148,6 +148,9 @@ type job_result = {
   jr_dedup_hits : int;
   jr_flush_marks : int;
   jr_flushes : int;
+  jr_cfi_checks : int;
+  jr_cfi_violations : int;
+  jr_cfi_elided : int;
 }
 
 type result = {
@@ -227,6 +230,22 @@ let run ?pool ?(mode = `Block) s =
       Registry.counter reg ~labels:[ ("tenant", t.tn_name) ] "serve.flush_marks")
       tenants
   in
+  let cfi_checks_of = Array.map (fun t ->
+      Registry.counter reg ~labels:[ ("tenant", t.tn_name) ] "cfi.checks")
+      tenants
+  in
+  let cfi_viol_of = Array.map (fun t ->
+      Registry.counter reg ~labels:[ ("tenant", t.tn_name) ] "cfi.violations")
+      tenants
+  in
+  let cfi_elided_of = Array.map (fun t ->
+      Registry.counter reg ~labels:[ ("tenant", t.tn_name) ] "cfi.elided")
+      tenants
+  in
+  (* fragments emitted under different IB policies are never
+     interchangeable, even when the emitted bytes happen to collide:
+     the policy joins the content key *)
+  let cfi_key = Config.cfi_name s.sp_cfg.Config.cfi in
   (* arrival plan: (arrival tick, tenant, per-tenant job index); closed
      arrivals beyond the first job materialise at completion time *)
   let waiting = ref [] in
@@ -323,9 +342,11 @@ let run ?pool ?(mode = `Block) s =
               let hi = Emitter.here em in
               let digest = Memory.digest_range mem ~lo:(hi - bytes) ~len:bytes in
               let key =
-                if s.sp_dedup then Printf.sprintf "%x:%d:%x" app_pc bytes digest
+                if s.sp_dedup then
+                  Printf.sprintf "%x:%d:%x:%s" app_pc bytes digest cfi_key
                 else
-                  Printf.sprintf "t%d:%x:%d:%x" tn app_pc bytes digest
+                  Printf.sprintf "t%d:%x:%d:%x:%s" tn app_pc bytes digest
+                    cfi_key
               in
               let j = Lazy.force job in
               match Store.probe store key with
@@ -529,6 +550,17 @@ let run ?pool ?(mode = `Block) s =
               Histo.observe lat_of.(j.a_tenant) latency;
               Registry.incr jobs_of.(j.a_tenant);
               Registry.add hits_of.(j.a_tenant) stats.Stats.dedup_hits;
+              let cfi_checks = stats.Stats.cfi_checks in
+              let cfi_violations = stats.Stats.cfi_violations in
+              (* transfers the policy never re-checked: the hit-path
+                 elision the per-site mechanisms buy *)
+              let cfi_elided =
+                if Runtime.cfi_policy j.a_rt = Config.Cfi_none then 0
+                else max 0 (Machine.ib_dynamic_count m - cfi_checks)
+              in
+              Registry.add cfi_checks_of.(j.a_tenant) cfi_checks;
+              Registry.add cfi_viol_of.(j.a_tenant) cfi_violations;
+              Registry.add cfi_elided_of.(j.a_tenant) cfi_elided;
               finished :=
                 {
                   jr_tenant = tname j.a_tenant;
@@ -545,6 +577,9 @@ let run ?pool ?(mode = `Block) s =
                   jr_dedup_hits = stats.Stats.dedup_hits;
                   jr_flush_marks = j.a_flush_marks;
                   jr_flushes = stats.Stats.flushes;
+                  jr_cfi_checks = cfi_checks;
+                  jr_cfi_violations = cfi_violations;
+                  jr_cfi_elided = cfi_elided;
                 }
                 :: !finished;
               match s.sp_schedule with
@@ -607,6 +642,9 @@ type tenant_line = {
   tl_p99 : float;
   tl_dedup_hits : int;
   tl_flush_marks : int;
+  tl_cfi_checks : int;
+  tl_cfi_violations : int;
+  tl_cfi_elided : int;
 }
 
 type report = {
@@ -630,6 +668,9 @@ type report = {
   rp_evicted_bytes : int;
   rp_rejects : int;
   rp_checksum : int;
+  rp_cfi_checks : int;
+  rp_cfi_violations : int;
+  rp_cfi_elided : int;
   rp_tenants : tenant_line list;
 }
 
@@ -660,6 +701,12 @@ let report_of_result res =
           tl_dedup_hits = List.fold_left (fun a j -> a + j.jr_dedup_hits) 0 js;
           tl_flush_marks =
             List.fold_left (fun a j -> a + j.jr_flush_marks) 0 js;
+          tl_cfi_checks =
+            List.fold_left (fun a j -> a + j.jr_cfi_checks) 0 js;
+          tl_cfi_violations =
+            List.fold_left (fun a j -> a + j.jr_cfi_violations) 0 js;
+          tl_cfi_elided =
+            List.fold_left (fun a j -> a + j.jr_cfi_elided) 0 js;
         })
       names
   in
@@ -686,5 +733,9 @@ let report_of_result res =
     rp_rejects = res.res_rejects;
     rp_checksum =
       List.fold_left (fun a t -> cks_fold a t.tl_checksum) 0 tenants;
+    rp_cfi_checks = List.fold_left (fun a t -> a + t.tl_cfi_checks) 0 tenants;
+    rp_cfi_violations =
+      List.fold_left (fun a t -> a + t.tl_cfi_violations) 0 tenants;
+    rp_cfi_elided = List.fold_left (fun a t -> a + t.tl_cfi_elided) 0 tenants;
     rp_tenants = tenants;
   }

@@ -24,9 +24,9 @@
     (tenant memories are disjoint); the store is the service-level
     shared backing cache those private caches are mappings of.
     Fragments are keyed by (application PC, emitted size,
-    emitted-code digest), so a dedup hit {e requires} bit-identical
-    emitted code — the common case being N tenants running the same
-    binary. A hit replaces the translation charge
+    emitted-code digest, CFI policy name), so a dedup hit {e requires}
+    bit-identical emitted code under the same IB policy — the common
+    case being N tenants running the same binary. A hit replaces the translation charge
     ([insts * translate_per_inst]) with a copy charge
     ([insts * sp_copy_per_inst]); guest-visible results are untouched
     (per-tenant output and checksums stay bit-identical to isolated
@@ -144,6 +144,11 @@ type job_result = {
   jr_dedup_hits : int;
   jr_flush_marks : int;  (** service invalidations targeting this job *)
   jr_flushes : int;  (** fragment-cache flushes (marks applied + overflows) *)
+  jr_cfi_checks : int;  (** CFI policy membership checks the job paid *)
+  jr_cfi_violations : int;
+  jr_cfi_elided : int;
+      (** indirect transfers delivered by a mechanism hit path with no
+          re-check ([ib_dynamic - cfi_checks]); 0 under [Cfi_none] *)
 }
 
 type result = {
@@ -165,7 +170,8 @@ type result = {
   res_registry : Registry.t;
       (** per-tenant labeled instruments: [serve.latency_cycles]
           histograms (overall + one per tenant), [serve.jobs],
-          [serve.dedup_hits], [serve.flush_marks] counters *)
+          [serve.dedup_hits], [serve.flush_marks], [cfi.checks],
+          [cfi.violations], [cfi.elided] counters *)
 }
 
 val run :
@@ -198,6 +204,9 @@ type tenant_line = {
   tl_p99 : float;
   tl_dedup_hits : int;
   tl_flush_marks : int;
+  tl_cfi_checks : int;
+  tl_cfi_violations : int;
+  tl_cfi_elided : int;
 }
 
 type report = {
@@ -221,6 +230,9 @@ type report = {
   rp_evicted_bytes : int;
   rp_rejects : int;
   rp_checksum : int;  (** fold over tenant checksums, isolation-invariant *)
+  rp_cfi_checks : int;
+  rp_cfi_violations : int;
+  rp_cfi_elided : int;
   rp_tenants : tenant_line list;
 }
 

@@ -22,7 +22,14 @@ val all : entry list
     crafty, parser, eon, perlbmk, gap, vortex, bzip2, twolf — followed
     by two CFP2000 stand-ins, art and equake. *)
 
+val extra : entry list
+(** Workloads findable by name but excluded from [all] (and so from
+    every F1–F11 grid and its baselines): currently the [sfi]
+    plugin-host compartment workload the F12 CFI experiment uses. *)
+
 val find : string -> entry option
+(** Looks through [all] and [extra]. *)
+
 val names : string list
 
 val program : entry -> [ `Test | `Ref ] -> Program.t

@@ -1,0 +1,113 @@
+(* sfi stand-in: a plugin host making cross-compartment indirect calls.
+   A trusted host loop dispatches through a capability table into 24
+   untrusted plugin entry points laid out across the text segment, so
+   under [Config.Cfi_compartment] the hot indirect calls (and their
+   returns) cross compartment boundaries and exercise the monitor's
+   mediation path — the RiscMachine-style cross-component jump/return
+   traffic the F12 experiment measures. A phase dispatcher adds
+   indirect-jump traffic on top of the dominant indirect calls. *)
+
+module B = Sdt_isa.Builder
+module Reg = Sdt_isa.Reg
+module Inst = Sdt_isa.Inst
+
+let name = "sfi"
+let description = "plugin host with cross-compartment indirect calls"
+
+let n_plugins = 24
+let n_phases = 4
+
+let build ~size =
+  let rounds = max 2 (size / 64) in
+  let b = B.create () in
+  let plugins =
+    List.init n_plugins (fun i ->
+        B.fresh_label ~name:(Printf.sprintf "plugin%d" i) b)
+  in
+  let phases =
+    List.init n_phases (fun i ->
+        B.fresh_label ~name:(Printf.sprintf "phase%d" i) b)
+  in
+  let caps = Gen.table_of_labels b ~name:"caps" plugins in
+  let phase_tab = Gen.table_of_labels b ~name:"phases" phases in
+  (* one private state cell per plugin *)
+  let cells = B.dlabel ~name:"cells" b in
+  B.space b (4 * n_plugins);
+  B.align b 4;
+
+  let main = B.here ~name:"main" b in
+  (* s0=caps, s1=cells, s2=seed, s3=acc, s4=round, s5=rounds, s6=phases *)
+  Gen.fill_table b ~table:caps plugins;
+  Gen.fill_table b ~table:phase_tab phases;
+  B.la b Reg.s0 caps;
+  B.la b Reg.s1 cells;
+  B.li b Reg.s2 (size + 41);
+  B.li b Reg.s3 0;
+  B.la b Reg.s6 phase_tab;
+
+  B.li b Reg.s4 0;
+  B.li b Reg.s5 rounds;
+  let phase_done = B.fresh_label ~name:"phase_done" b in
+  Gen.for_loop b ~counter:Reg.s4 ~bound:Reg.s5 (fun () ->
+      (* phase select: an indirect jump through the phase table (the
+         host's own computed control flow, mostly intra-compartment) *)
+      B.emit b (Inst.Andi (Reg.t0, Reg.s4, n_phases - 1));
+      B.emit b (Inst.Sll (Reg.t0, Reg.t0, 2));
+      B.emit b (Inst.Add (Reg.t0, Reg.s6, Reg.t0));
+      B.emit b (Inst.Lw (Reg.t0, Reg.t0, 0));
+      B.emit b (Inst.Jr Reg.t0);
+      (* each phase picks a plugin draw bias, then falls through to the
+         shared capability call sequence *)
+      List.iteri
+        (fun i ph ->
+          B.place b ph;
+          B.li b Reg.t4 ((i * 7) + 1);
+          if i < n_phases - 1 then B.j b phase_done)
+        phases;
+      B.place b phase_done;
+      (* four capability calls per round: LCG draw -> table load -> jalr
+         into a plugin that lives in another compartment *)
+      for _site = 0 to 3 do
+        Gen.lcg_bits b ~seed:Reg.s2 ~tmp:Reg.t0 ~dst:Reg.t1;
+        B.emit b (Inst.Add (Reg.t1, Reg.t1, Reg.t4));
+        B.li b Reg.t2 n_plugins;
+        B.emit b (Inst.Rem (Reg.t1, Reg.t1, Reg.t2));
+        B.emit b (Inst.Sll (Reg.t3, Reg.t1, 2));
+        B.emit b (Inst.Add (Reg.t3, Reg.s0, Reg.t3));
+        B.emit b (Inst.Lw (Reg.t3, Reg.t3, 0));
+        (* a0 = plugin id, a1 = its state cell *)
+        B.mv b Reg.a0 Reg.t1;
+        B.emit b (Inst.Sll (Reg.a1, Reg.t1, 2));
+        B.emit b (Inst.Add (Reg.a1, Reg.s1, Reg.a1));
+        B.emit b (Inst.Jalr (Reg.ra, Reg.t3));
+        B.emit b (Inst.Add (Reg.s3, Reg.s3, Reg.v0))
+      done);
+
+  Gen.checksum_reg b Reg.s3;
+  Gen.print_int_reg b Reg.s3;
+  Gen.exit0 b;
+
+  (* plugin bodies, placed sequentially after main so they spread over
+     the rest of the text segment (and so over the compartments of any
+     proportional split). Each reads and updates its private cell. *)
+  List.iteri
+    (fun i p ->
+      B.place b p;
+      B.emit b (Inst.Lw (Reg.t8, Reg.a1, 0));
+      (match i mod 4 with
+      | 0 -> B.emit b (Inst.Addi (Reg.t8, Reg.t8, (i * 13) + 7))
+      | 1 -> B.emit b (Inst.Xori (Reg.t8, Reg.t8, (i * 251) land 0xFFFF))
+      | 2 ->
+          B.li b Reg.t9 ((2 * i) + 3);
+          B.emit b (Inst.Mul (Reg.t8, Reg.t8, Reg.t9));
+          B.emit b (Inst.Addi (Reg.t8, Reg.t8, i + 1))
+      | _ ->
+          B.emit b (Inst.Sll (Reg.t9, Reg.t8, (i mod 11) + 1));
+          B.emit b (Inst.Xor (Reg.t8, Reg.t8, Reg.t9));
+          B.emit b (Inst.Add (Reg.t8, Reg.t8, Reg.a0)));
+      B.emit b (Inst.Sw (Reg.t8, Reg.a1, 0));
+      B.mv b Reg.v0 Reg.t8;
+      B.ret b)
+    plugins;
+
+  B.assemble b ~entry:main

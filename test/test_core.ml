@@ -20,6 +20,7 @@ module Emitter = Sdt_core.Emitter
 module Stats = Sdt_core.Stats
 module Runtime = Sdt_core.Runtime
 module Adapt = Sdt_core.Adapt
+module Cfi = Sdt_core.Cfi
 
 let check = Alcotest.check
 let int = Alcotest.int
@@ -44,10 +45,31 @@ let test_config_validate () =
   let bad_ret = { Config.default with returns = Return_cache { entries = 3 } } in
   check bool "bad retcache rejected" false (ok bad_ret);
   let bad_pred = { Config.default with pred_depth = 9 } in
-  check bool "bad pred depth rejected" false (ok bad_pred)
+  check bool "bad pred depth rejected" false (ok bad_pred);
+  let bad_cfi =
+    {
+      Config.default with
+      returns = Config.Fast_return;
+      cfi = Config.Ret_integrity;
+    }
+  in
+  check bool "ret-integrity over fast returns rejected" false (ok bad_cfi);
+  let bad_comp =
+    { Config.default with cfi = Config.Cfi_compartment { count = 0 } }
+  in
+  check bool "zero compartments rejected" false (ok bad_comp);
+  let big_comp =
+    { Config.default with cfi = Config.Cfi_compartment { count = 500 } }
+  in
+  check bool "oversize compartment count rejected" false (ok big_comp)
 
 let test_config_describe () =
-  check string "baseline" "dispatch+ret:as-ib" (Config.describe Config.baseline);
+  (* pin the policy: SDT_CFI retargets [baseline], and this test checks
+     the un-suffixed rendering *)
+  check string "baseline" "dispatch+ret:as-ib"
+    (Config.describe { Config.baseline with cfi = Config.Cfi_none });
+  check string "policy suffix" "dispatch+ret:as-ib+cfi:pad"
+    (Config.describe { Config.baseline with cfi = Config.Cfi_landing_pad });
   check bool "default mentions ibtc" true
     (String.length (Config.describe Config.default) > 0
     && String.sub (Config.describe Config.default) 0 4 = "ibtc")
@@ -549,6 +571,11 @@ let test_shepherd_catches_hijack () =
   | exception Runtime.Policy_violation { target } ->
       check int "violation reports the rogue target" Program.default_data_base
         target
+  | exception Cfi.Violation { target; _ } ->
+      (* under SDT_CFI the policy stage catches the hijack before the
+         shepherd range check — equally a successful catch *)
+      check int "violation reports the rogue target" Program.default_data_base
+        target
   | exception e ->
       Alcotest.failf "expected Policy_violation, got %s" (Printexc.to_string e)
   | () -> Alcotest.fail "hijack executed to completion");
@@ -577,6 +604,306 @@ let test_shepherd_no_false_positives () =
 let test_shepherd_rejects_fast_returns () =
   let cfg = { Config.default with shepherd = true; returns = Config.Fast_return } in
   check bool "config rejected" true (Config.validate cfg <> Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Shadow-stack edge cases *)
+
+let deep_recursion_src =
+  (* linear recursion 40 frames deep: far past a tiny shadow stack *)
+  {|
+main:   li   $a0, 40
+        jal  down
+        move $a0, $v0
+        li   $v0, 1
+        syscall
+        li   $a0, 0
+        li   $v0, 5
+        syscall
+
+# v0 = a0 + (a0-1) + ... + 1
+down:   li   $t1, 1
+        blt  $a0, $t1, dbase
+        push $ra
+        push $a0
+        addi $a0, $a0, -1
+        jal  down
+        pop  $t0
+        add  $v0, $v0, $t0
+        pop  $ra
+        ret
+dbase:  li   $v0, 0
+        ret
+|}
+
+let longjmp_src =
+  (* f "longjmps": it overwrites $ra and returns somewhere other than
+     its call site, leaving its own shadow frame unconsumed *)
+  {|
+main:   jal  f
+cont:   addi $s2, $s2, 42      # skipped by the longjmp
+skip:   move $a0, $s2
+        li   $v0, 1
+        syscall
+        li   $a0, 0
+        li   $v0, 5
+        syscall
+
+f:      la   $ra, skip
+        ret
+|}
+
+(* shadow fallbacks happen in pure emitted code (no trap), so they are
+   only visible through an observer's entry triggers — attach one and
+   count [Shadow_fallback] events *)
+let run_counting_fallbacks ~cfg program =
+  let timing = Timing.create Arch.arch_a in
+  let tracer = Sdt_observe.Trace.create () in
+  let observer =
+    Sdt_observe.Observer.create
+      ~clock:(fun () -> Timing.cycles timing)
+      ~trace:tracer ()
+  in
+  let rt = Runtime.create ~cfg ~arch:Arch.arch_a ~timing ~observer program in
+  Runtime.run ~max_steps:50_000_000 rt;
+  let m = Runtime.machine rt in
+  let fallbacks =
+    List.length
+      (List.filter
+         (fun e -> e.Sdt_observe.Event.kind = Sdt_observe.Event.Shadow_fallback)
+         (Sdt_observe.Trace.events tracer))
+  in
+  ( {
+      out = Machine.output m;
+      chk = m.Machine.checksum;
+      code = Machine.exit_code m;
+      cycles = None;
+    },
+    fallbacks )
+
+let test_shadow_overflow () =
+  let program = Assembler.assemble_string deep_recursion_src in
+  let native = run_native program in
+  (* depth 4 overflows 40 frames in: pushes are skipped while the stack
+     is full, so the frames that do pop were orphaned by the skipped
+     pushes and mismatch — every such return falls back through the IB
+     mechanism, bit-exactly *)
+  let shallow, fallbacks =
+    run_counting_fallbacks
+      ~cfg:{ Config.default with returns = Config.Shadow_stack { depth = 4 } }
+      program
+  in
+  check string "output after overflow" native.out shallow.out;
+  check int "checksum after overflow" native.chk shallow.chk;
+  check bool "orphaned returns fell back" true (fallbacks > 0);
+  (* a deep-enough stack never falls back on the same program *)
+  let deep, none =
+    run_counting_fallbacks
+      ~cfg:{ Config.default with returns = Config.Shadow_stack { depth = 128 } }
+      program
+  in
+  check string "output when deep enough" native.out deep.out;
+  check int "no fallbacks when deep enough" 0 none
+
+let test_shadow_unmatched_return () =
+  let program = Assembler.assemble_string longjmp_src in
+  let native = run_native program in
+  List.iter
+    (fun mech ->
+      let cfg =
+        {
+          Config.default with
+          mech;
+          returns = Config.Shadow_stack { depth = 16 };
+        }
+      in
+      let res, fallbacks = run_counting_fallbacks ~cfg program in
+      check string "longjmp output" native.out res.out;
+      check (Alcotest.option int) "longjmp exit" native.code res.code;
+      check bool "mismatch fell back through the IB mechanism" true
+        (fallbacks > 0))
+    [
+      Config.Dispatch;
+      Config.Ibtc Config.default_ibtc;
+      Config.Sieve Config.default_sieve;
+    ]
+
+let prop_shadow_any_depth =
+  (* overflow, self-healing after mismatches, and the auditing variant
+     must preserve semantics at every depth *)
+  QCheck.Test.make ~count:12 ~name:"shadow stack equivalent at any depth"
+    QCheck.(pair (int_range 1 64) bool)
+    (fun (depth, audit) ->
+      let cfg =
+        {
+          Config.default with
+          returns = Config.Shadow_stack { depth };
+          cfi = (if audit then Config.Ret_integrity else Config.Cfi_none);
+        }
+      in
+      let program = Lazy.force torture_program in
+      let native = run_native program in
+      let res, _ = run_sdt ~cfg program in
+      res.out = native.out && res.chk = native.chk)
+
+(* ------------------------------------------------------------------ *)
+(* CFI policies *)
+
+let cfi_policies =
+  [
+    ("pad", Config.Cfi_landing_pad);
+    ("comp-3", Config.Cfi_compartment { count = 3 });
+    ("comp-16", Config.Cfi_compartment { count = 16 });
+    ("ret", Config.Ret_integrity);
+  ]
+
+let cfi_mechs =
+  [
+    ("dispatch", Config.Dispatch);
+    ("ibtc", Config.Ibtc Config.default_ibtc);
+    ("ibtc-tiny", Config.Ibtc { Config.default_ibtc with entries = 4 });
+    ("sieve", Config.Sieve Config.default_sieve);
+    ("adaptive", Config.Adaptive Config.default_adaptive);
+  ]
+
+let cfi_equivalence_cases =
+  List.concat_map
+    (fun (mname, mech) ->
+      List.map
+        (fun (pname, cfi) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s + %s" mname pname)
+            `Quick
+            (equivalence_case ~cfg:{ Config.default with mech; cfi }))
+        cfi_policies)
+    cfi_mechs
+
+let test_cfi_traces_and_flush () =
+  (* the policy stage composes with the trace tier, flush pressure and
+     a tiny shadow stack without perturbing guest results *)
+  equivalence_case
+    ~cfg:
+      {
+        Config.default with
+        follow_direct_jumps = true;
+        cfi = Config.Cfi_landing_pad;
+      }
+    ();
+  equivalence_case
+    ~cfg:
+      {
+        Config.default with
+        code_capacity = 0x800;
+        cfi = Config.Cfi_compartment { count = 8 };
+      }
+    ();
+  equivalence_case
+    ~cfg:
+      {
+        Config.default with
+        returns = Config.Shadow_stack { depth = 4 };
+        cfi = Config.Cfi_landing_pad;
+      }
+    ()
+
+let test_cfi_catches_hijack () =
+  (* the hard membership predicate stops a data-segment hijack without
+     shepherding enabled *)
+  let program = Assembler.assemble_string rogue_src in
+  List.iter
+    (fun mech ->
+      let cfg =
+        { Config.default with mech; cfi = Config.Cfi_landing_pad }
+      in
+      let rt = Runtime.create ~cfg ~arch:Arch.arch_a program in
+      match Runtime.run ~max_steps:100_000 rt with
+      | exception Cfi.Violation { target; _ } ->
+          check int "violation reports the rogue target"
+            Program.default_data_base target
+      | exception e ->
+          Alcotest.failf "expected Cfi.Violation, got %s"
+            (Printexc.to_string e)
+      | () -> Alcotest.fail "hijack executed to completion")
+    [
+      Config.Dispatch;
+      Config.Ibtc Config.default_ibtc;
+      Config.Sieve Config.default_sieve;
+    ]
+
+let forged_entry_src =
+  (* a computed mid-function target: inside the text segment (so the
+     hard predicate admits it) but never named as an entry point *)
+  {|
+main:   la   $t0, f
+        addi $t0, $t0, 8
+        jr   $t0
+back:   move $a0, $s2
+        li   $v0, 1
+        syscall
+        li   $a0, 0
+        li   $v0, 5
+        syscall
+
+f:      addi $s2, $s2, 1
+        addi $s2, $s2, 2
+        addi $s2, $s2, 4
+        addi $s2, $s2, 8
+        j    back
+|}
+
+let test_cfi_compartment_audit () =
+  let program = Assembler.assemble_string forged_entry_src in
+  let native = run_native program in
+  (* enough compartments that main and f land in different ones *)
+  let cfg =
+    { Config.default with cfi = Config.Cfi_compartment { count = 64 } }
+  in
+  let res, rt = run_sdt ~cfg program in
+  check string "forged-entry output" native.out res.out;
+  let s = Runtime.stats rt in
+  check bool "transfer mediated" true (s.Stats.cfi_xcalls > 0);
+  check bool "audit flagged the mid-function entry" true
+    (s.Stats.cfi_violations > 0)
+
+let test_cfi_ret_integrity_audit () =
+  (* the longjmp under ret-integrity: the unmatched return is counted
+     as a violation before taking the normal mechanism fallback *)
+  let program = Assembler.assemble_string longjmp_src in
+  let native = run_native program in
+  let cfg = { Config.default with cfi = Config.Ret_integrity } in
+  let res, rt = run_sdt ~cfg program in
+  check string "audited output" native.out res.out;
+  check bool "unmatched return counted" true
+    ((Runtime.stats rt).Stats.cfi_violations > 0);
+  (* the torture program's returns all match: it audits clean *)
+  let _, rt2 = run_sdt ~cfg (Lazy.force torture_program) in
+  check int "no violations on matched returns" 0
+    (Runtime.stats rt2).Stats.cfi_violations
+
+let test_cfi_elision_counts () =
+  (* full dispatch re-validates every dynamic transfer; a hit-caching
+     mechanism validates only on miss paths *)
+  let program = Lazy.force torture_program in
+  let m = Loader.load program in
+  Machine.run ~max_steps:10_000_000 m;
+  let ibs = Machine.ib_dynamic_count m in
+  let _, drt =
+    run_sdt ~cfg:{ Config.baseline with cfi = Config.Cfi_landing_pad } program
+  in
+  check int "dispatch checks every transfer" ibs
+    (Runtime.stats drt).Stats.cfi_checks;
+  let _, irt =
+    run_sdt
+      ~cfg:
+        {
+          Config.default with
+          returns = Config.As_ib;
+          cfi = Config.Cfi_landing_pad;
+        }
+      program
+  in
+  let ic = (Runtime.stats irt).Stats.cfi_checks in
+  check bool "ibtc elides hit-path checks" true (ic * 2 <= ibs);
+  check bool "ibtc still validates misses" true (ic > 0)
 
 let test_stats_render_and_totals () =
   let s = Stats.create () in
@@ -871,6 +1198,27 @@ let () =
             test_shepherd_no_false_positives;
           Alcotest.test_case "rejects fast returns" `Quick
             test_shepherd_rejects_fast_returns;
+        ] );
+      ( "shadow-stack",
+        [
+          Alcotest.test_case "overflow leaves the stack full" `Quick
+            test_shadow_overflow;
+          Alcotest.test_case "unmatched return falls back" `Quick
+            test_shadow_unmatched_return;
+          QCheck_alcotest.to_alcotest prop_shadow_any_depth;
+        ] );
+      ("cfi-equivalence", cfi_equivalence_cases);
+      ( "cfi",
+        [
+          Alcotest.test_case "traces, flush and tiny shadow" `Quick
+            test_cfi_traces_and_flush;
+          Alcotest.test_case "catches hijack without shepherd" `Quick
+            test_cfi_catches_hijack;
+          Alcotest.test_case "compartment audit" `Quick
+            test_cfi_compartment_audit;
+          Alcotest.test_case "ret-integrity audit" `Quick
+            test_cfi_ret_integrity_audit;
+          Alcotest.test_case "hit-path elision" `Quick test_cfi_elision_counts;
         ] );
       ( "behaviour",
         [

@@ -272,7 +272,7 @@ let test_warm_disk_cache_reproduces_cold () =
 (* Experiments *)
 
 let test_registry () =
-  check int "17 experiments" 17 (List.length Experiments.experiments);
+  check int "18 experiments" 18 (List.length Experiments.experiments);
   check bool "find T1" true (Experiments.find "t1" <> None);
   check bool "find F8" true (Experiments.find "F8" <> None);
   check bool "find F10" true (Experiments.find "F10" <> None);

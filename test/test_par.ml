@@ -140,7 +140,7 @@ let test_fingerprint_cell_native_vs_cfg () =
   check bool "native <> configured" true (native <> cfg);
   check bool "key matters" true
     (native <> Fingerprint.cell ~key:"k2" ~arch:Arch.arch_a ~cfg:None);
-  check bool "versioned" true (String.length native > 3 && String.sub native 0 3 = "v1|")
+  check bool "versioned" true (String.length native > 3 && String.sub native 0 3 = "v2|")
 
 let test_digest_shape () =
   let d = Fingerprint.digest "hello" in

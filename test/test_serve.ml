@@ -435,6 +435,79 @@ let qcheck_serve_invariants =
              cks = j.Serve.jr_checksum && out = j.Serve.jr_output)
            res.Serve.res_jobs)
 
+let test_serve_cfi_instruments () =
+  (* a whole service under landing-pad CFI: jobs stay bit-identical to
+     isolated runs, dedup still hits under the uniform policy (the
+     content key includes the policy name, so identical tenants share),
+     and the per-tenant cfi instruments agree with the job rows *)
+  let cfg = { Config.default with Config.cfi = Config.Cfi_landing_pad } in
+  let spec =
+    Serve.spec ~quantum:10_000 ~servers:1 ~cfg
+      [ Serve.tenant "alpha" (micro 7); Serve.tenant "beta" (micro 7) ]
+  in
+  let res = Serve.run ~mode spec in
+  check_vs_isolated spec res;
+  Alcotest.(check bool) "dedup still hits under a uniform policy" true
+    (res.Serve.res_dedup_hits > 0);
+  List.iter
+    (fun j ->
+      Alcotest.(check bool) (j.Serve.jr_tenant ^ " paid checks") true
+        (j.Serve.jr_cfi_checks > 0);
+      Alcotest.(check int)
+        (j.Serve.jr_tenant ^ " audits clean")
+        0 j.Serve.jr_cfi_violations)
+    res.Serve.res_jobs;
+  let elided =
+    List.fold_left (fun a j -> a + j.Serve.jr_cfi_elided) 0 res.Serve.res_jobs
+  in
+  Alcotest.(check bool) "hit paths elided checks" true (elided > 0);
+  let counters = Registry.counters res.Serve.res_registry in
+  let get id = Option.value ~default:0 (List.assoc_opt id counters) in
+  let sum name =
+    get (Printf.sprintf {|%s{tenant="alpha"}|} name)
+    + get (Printf.sprintf {|%s{tenant="beta"}|} name)
+  in
+  Alcotest.(check int) "cfi.checks instrument matches jobs"
+    (List.fold_left (fun a j -> a + j.Serve.jr_cfi_checks) 0 res.Serve.res_jobs)
+    (sum "cfi.checks");
+  Alcotest.(check int) "cfi.elided instrument matches jobs" elided
+    (sum "cfi.elided");
+  Alcotest.(check int) "cfi.violations instrument zero" 0 (sum "cfi.violations");
+  let rp = Serve.report_of_result res in
+  Alcotest.(check int) "report aggregates checks"
+    (List.fold_left (fun a j -> a + j.Serve.jr_cfi_checks) 0 res.Serve.res_jobs)
+    rp.Serve.rp_cfi_checks;
+  (* a policy-off run of the same mix reports no cfi activity *)
+  let off =
+    Serve.run ~mode
+      (Serve.spec ~quantum:10_000 ~servers:1
+         ~cfg:{ Config.default with Config.cfi = Config.Cfi_none }
+         [ Serve.tenant "alpha" (micro 7); Serve.tenant "beta" (micro 7) ])
+  in
+  List.iter
+    (fun j ->
+      Alcotest.(check int) "no checks under Cfi_none" 0 j.Serve.jr_cfi_checks;
+      Alcotest.(check int) "no elision accounting under Cfi_none" 0
+        j.Serve.jr_cfi_elided)
+    off.Serve.res_jobs
+
+let test_serve_fingerprint_keyed_on_policy () =
+  (* two specs identical except for the CFI policy must not share a
+     memo entry (or, through it, a baseline row) *)
+  let t = [ Serve.tenant "t0" (micro 1) ] in
+  let off =
+    Serve.spec ~quantum:10_000
+      ~cfg:{ Config.default with Config.cfi = Config.Cfi_none }
+      t
+  in
+  let on =
+    Serve.spec ~quantum:10_000
+      ~cfg:{ Config.default with Config.cfi = Config.Ret_integrity }
+      t
+  in
+  Alcotest.(check bool) "fingerprints differ" true
+    (Serve.fingerprint off <> Serve.fingerprint on)
+
 let test_serve_workload_tenants () =
   (* suite workloads as tenants, two of them identical for dedup *)
   let gzip = Serve.Workload { wl = "gzip"; size = 400 } in
@@ -488,6 +561,10 @@ let () =
           Alcotest.test_case "report shape" `Quick test_serve_report;
           Alcotest.test_case "bounded fast-return rejected" `Quick
             test_serve_fast_return_rejected;
+          Alcotest.test_case "cfi instruments" `Quick
+            test_serve_cfi_instruments;
+          Alcotest.test_case "fingerprint keyed on policy" `Quick
+            test_serve_fingerprint_keyed_on_policy;
           Alcotest.test_case "jobs independence" `Quick
             test_serve_jobs_independence;
           Alcotest.test_case "workload tenants" `Quick
